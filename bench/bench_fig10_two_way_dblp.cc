@@ -1,0 +1,120 @@
+/// \file bench/bench_fig10_two_way_dblp.cc
+/// \brief Reproduces paper Figure 10: 2-way joins on DBLP.
+///   (a) backward algorithms vs lambda — B-IDJ-Y's advantage grows with
+///       lambda while B-IDJ-X collapses to B-BJ;
+///   (b) fraction of Q pruned per deepening iteration at lambda = 0.7 —
+///       the paper reports B-IDJ-Y pruning > 96.5% after iteration 1 and
+///       > 98.5% after iteration 2, with B-IDJ-X pruning nothing early.
+
+#include "bench_common.h"
+
+using namespace dhtjoin;        // NOLINT
+using namespace dhtjoin::bench;  // NOLINT
+
+namespace {
+
+constexpr std::size_t kSetSize = 150;
+
+double RunJoin(TwoWayJoin& algo, const Graph& g, const DhtParams& p, int d,
+               const NodeSet& P, const NodeSet& Q, std::size_t k,
+               int repeats) {
+  return TimeIt(repeats, [&] {
+    auto result = algo.Run(g, p, d, P, Q, k);
+    CheckOk(result.status(), algo.Name().c_str());
+  });
+}
+
+}  // namespace
+
+int main() {
+  auto ds = MakeDblp();
+  PaperDefaults def;
+  NodeSet P = Unwrap(ds.Area("DB"), "area").TopByDegree(ds.graph, kSetSize);
+  NodeSet Q = Unwrap(ds.Area("AI"), "area").TopByDegree(ds.graph, kSetSize);
+  std::printf("node sets: |P| = %zu (DB), |Q| = %zu (AI)\n\n", P.size(),
+              Q.size());
+
+  // --------------------------------------------------- (a) vs lambda
+  double x_slowdown = 0.0, y_slowdown = 0.0;
+  bool y_beats_x = true;
+  {
+    std::printf("=== Figure 10(a): backward algorithms vs lambda ===\n");
+    TablePrinter table("DBLP 2-way join: time vs lambda (epsilon=1e-6)",
+                       {"lambda", "d", "B-BJ", "B-IDJ-X", "B-IDJ-Y"});
+    double x_first = 0.0, x_last = 0.0, y_first = 0.0, y_last = 0.0;
+    for (double lambda : {0.2, 0.4, 0.6, 0.8}) {
+      DhtParams p = DhtParams::Lambda(lambda);
+      int d = p.StepsForEpsilon(1e-6);
+      BBjJoin bbj;
+      BIdjJoin bx(BIdjJoin::Options{UpperBoundKind::kX});
+      BIdjJoin by(BIdjJoin::Options{UpperBoundKind::kY});
+      double tb = RunJoin(bbj, ds.graph, p, d, P, Q, def.k, 1);
+      double tx = RunJoin(bx, ds.graph, p, d, P, Q, def.k, 1);
+      double ty = RunJoin(by, ds.graph, p, d, P, Q, def.k, 1);
+      if (lambda == 0.2) {
+        x_first = tx;
+        y_first = ty;
+      }
+      if (lambda == 0.8) {
+        x_last = tx;
+        y_last = ty;
+      }
+      if (ty > tx) y_beats_x = false;
+      table.AddRow({TablePrinter::Num(lambda, 1), std::to_string(d),
+                    TablePrinter::Secs(tb), TablePrinter::Secs(tx),
+                    TablePrinter::Secs(ty)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+    x_slowdown = x_last / std::max(x_first, 1e-9);
+    y_slowdown = y_last / std::max(y_first, 1e-9);
+    std::printf("slowdown 0.2 -> 0.8: B-IDJ-X %.1fx, B-IDJ-Y %.1fx\n\n",
+                x_slowdown, y_slowdown);
+  }
+
+  // -------------------------------- (b) pruning per iteration, l=0.7
+  bool prune_pass = false;
+  {
+    std::printf("=== Figure 10(b): %% of Q pruned per iteration "
+                "(lambda=0.7) ===\n");
+    // Like the paper, this analysis joins the FULL DB and AI areas —
+    // the bulk of a whole area sits far from the other area's authors,
+    // which is exactly the mass a good bound prunes in iteration 1.
+    // (Part (a) uses hub subsets to keep the B-BJ timing comparison
+    // affordable; hubs are the hardest nodes to prune.)
+    NodeSet full_p = Unwrap(ds.Area("DB"), "area");
+    NodeSet full_q = Unwrap(ds.Area("AI"), "area");
+    std::printf("full areas: |P| = %zu (DB), |Q| = %zu (AI)\n",
+                full_p.size(), full_q.size());
+    DhtParams p = DhtParams::Lambda(0.7);
+    int d = p.StepsForEpsilon(1e-6);
+    BIdjJoin bx(BIdjJoin::Options{UpperBoundKind::kX});
+    BIdjJoin by(BIdjJoin::Options{UpperBoundKind::kY});
+    CheckOk(by.Run(ds.graph, p, d, full_p, full_q, def.k).status(),
+            "B-IDJ-Y");
+    CheckOk(bx.Run(ds.graph, p, d, full_p, full_q, def.k).status(),
+            "B-IDJ-X");
+    const auto& fx = bx.stats().pruned_fraction_per_iteration;
+    const auto& fy = by.stats().pruned_fraction_per_iteration;
+    TablePrinter table("Cumulative % of Q pruned after each iteration",
+                       {"iteration", "B-IDJ-X", "B-IDJ-Y"});
+    std::size_t iters = std::min<std::size_t>(4, fy.size());
+    for (std::size_t i = 0; i < iters; ++i) {
+      table.AddRow({std::to_string(i + 1),
+                    TablePrinter::Num(100.0 * fx[i], 1) + "%",
+                    TablePrinter::Num(100.0 * fy[i], 1) + "%"});
+    }
+    std::printf("%s\n", table.Render().c_str());
+    // Paper: Y prunes the overwhelming majority immediately (>96% on
+    // the 188k-node DBLP; dilution is weaker at our 15k scale); X
+    // prunes ~nothing in the first iterations.
+    prune_pass = !fy.empty() && !fx.empty() && fy[0] > 0.5 &&
+                 fx[0] < 0.05 && fy[0] > fx[0] + 0.25;
+    std::printf("shape check [B-IDJ-Y prunes a majority of Q in "
+                "iteration 1, X prunes ~nothing]: %s\n",
+                prune_pass ? "PASS" : "FAIL");
+  }
+
+  std::printf("shape check [B-IDJ-Y <= B-IDJ-X at every lambda]: %s\n",
+              y_beats_x ? "PASS" : "FAIL");
+  return (prune_pass && y_beats_x) ? 0 : 1;
+}

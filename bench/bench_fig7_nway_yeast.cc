@@ -1,0 +1,194 @@
+/// \file bench/bench_fig7_nway_yeast.cc
+/// \brief Reproduces paper Figure 7: n-way join efficiency on Yeast.
+///   (a) running time vs n (chain query), NL / AP / PJ / PJ-i
+///   (b) running time vs |E_Q| over 3 node sets, AP / PJ / PJ-i
+///   (c) running time vs k, AP / PJ / PJ-i
+///   (d) running time vs m, PJ / PJ-i
+///
+/// Paper shapes: NL is orders of magnitude slower and infeasible for
+/// n >= 3; AP >> PJ > PJ-i; PJ degrades at small m while PJ-i stays
+/// flat. Node sets here are the top-|set| members of distinct Yeast
+/// partitions (the paper does not fix set sizes; 60 keeps AP affordable
+/// on a laptop while preserving the ordering).
+
+#include "bench_common.h"
+
+using namespace dhtjoin;        // NOLINT
+using namespace dhtjoin::bench;  // NOLINT
+
+namespace {
+
+constexpr std::size_t kSetSize = 60;
+constexpr double kNlBudgetSeconds = 30.0;
+
+std::vector<NodeSet> BenchSets(const datasets::YeastLikeDataset& ds,
+                               std::size_t count) {
+  std::vector<NodeSet> sets;
+  for (std::size_t i = 0; i < count; ++i) {
+    sets.push_back(ds.partitions[i].TopByDegree(ds.graph, kSetSize));
+  }
+  return sets;
+}
+
+QueryGraph ChainQuery(const std::vector<NodeSet>& sets, std::size_t n) {
+  QueryGraph q;
+  std::vector<int> attr;
+  for (std::size_t i = 0; i < n; ++i) attr.push_back(q.AddNodeSet(sets[i]));
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    CheckOk(q.AddEdge(attr[i], attr[i + 1]), "chain edge");
+  }
+  return q;
+}
+
+/// 3 node sets with 2..6 directed edges (chain -> full bidirectional
+/// triangle), mirroring the paper's |E_Q| sweep.
+QueryGraph EdgeCountQuery(const std::vector<NodeSet>& sets, int num_edges) {
+  QueryGraph q;
+  int a = q.AddNodeSet(sets[0]);
+  int b = q.AddNodeSet(sets[1]);
+  int c = q.AddNodeSet(sets[2]);
+  struct E {
+    int from, to;
+  };
+  static const E order[6] = {{0, 1}, {1, 2}, {0, 2},
+                             {1, 0}, {2, 1}, {2, 0}};
+  int attrs[3] = {a, b, c};
+  for (int e = 0; e < num_edges; ++e) {
+    CheckOk(q.AddEdge(attrs[order[e].from], attrs[order[e].to]), "edge");
+  }
+  return q;
+}
+
+std::string RunTimed(NwayJoin& algo, const Graph& g,
+                     const PaperDefaults& def, const QueryGraph& q,
+                     std::size_t k, double* out_secs = nullptr) {
+  MinAggregate f;
+  WallTimer timer;
+  auto result = algo.Run(g, def.dht, def.d, q, f, k);
+  double secs = timer.Seconds();
+  if (out_secs != nullptr) *out_secs = secs;
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kOutOfRange) {
+      return "DNF(>" + TablePrinter::Num(kNlBudgetSeconds, 0) + "s)";
+    }
+    CheckOk(result.status(), algo.Name().c_str());
+  }
+  return TablePrinter::Secs(secs);
+}
+
+}  // namespace
+
+int main() {
+  auto ds = MakeYeast();
+  PaperDefaults def;
+  auto sets = BenchSets(ds, 7);
+  std::printf("node sets: top-%zu by degree of 7 Yeast partitions\n\n",
+              kSetSize);
+
+  // ------------------------------------------------- (a) time vs n
+  {
+    std::printf("=== Figure 7(a): running time vs n (chain, k=m=50) ===\n");
+    TablePrinter table("Yeast n-way join: time vs n",
+                       {"n", "NL", "AP", "PJ", "PJ-i"});
+    double pj_total = 0.0, pji_total = 0.0;
+    for (std::size_t n = 2; n <= 7; ++n) {
+      QueryGraph q = ChainQuery(sets, n);
+      NestedLoopJoin nl(
+          NestedLoopJoin::Options{.time_budget_seconds = kNlBudgetSeconds});
+      AllPairsJoin ap;  // paper configuration: F-BJ engine
+      PartialJoin pj(PartialJoin::Options{.m = def.m, .incremental = false});
+      PartialJoin pji(PartialJoin::Options{.m = def.m, .incremental = true});
+      // NL beyond n = 3 is astronomically slow even with a budget; the
+      // paper stops it at n >= 3 too.
+      std::string nl_cell =
+          n <= 3 ? RunTimed(nl, ds.graph, def, q, def.k) : "-";
+      double pj_secs = 0.0, pji_secs = 0.0;
+      std::string ap_cell = RunTimed(ap, ds.graph, def, q, def.k);
+      std::string pj_cell =
+          RunTimed(pj, ds.graph, def, q, def.k, &pj_secs);
+      std::string pji_cell =
+          RunTimed(pji, ds.graph, def, q, def.k, &pji_secs);
+      pj_total += pj_secs;
+      pji_total += pji_secs;
+      table.AddRow({std::to_string(n), nl_cell, ap_cell, pj_cell,
+                    pji_cell});
+    }
+    std::printf("%s\n", table.Render().c_str());
+    std::printf("shape check [PJ-i <= PJ overall]: %s\n\n",
+                pji_total <= pj_total * 1.2 ? "PASS" : "FAIL");
+  }
+
+  // ---------------------------------------------- (b) time vs |E_Q|
+  {
+    std::printf("=== Figure 7(b): running time vs |E_Q| (3 sets) ===\n");
+    TablePrinter table("Yeast n-way join: time vs |E_Q|",
+                       {"|E_Q|", "AP", "PJ", "PJ-i"});
+    for (int e = 2; e <= 6; ++e) {
+      QueryGraph q = EdgeCountQuery(sets, e);
+      AllPairsJoin ap;
+      PartialJoin pj(PartialJoin::Options{.m = def.m, .incremental = false});
+      PartialJoin pji(PartialJoin::Options{.m = def.m, .incremental = true});
+      table.AddRow({std::to_string(e), RunTimed(ap, ds.graph, def, q, def.k),
+                    RunTimed(pj, ds.graph, def, q, def.k),
+                    RunTimed(pji, ds.graph, def, q, def.k)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // -------------------------------------------------- (c) time vs k
+  {
+    std::printf("=== Figure 7(c): running time vs k (3-way chain) ===\n");
+    QueryGraph q = ChainQuery(sets, 3);
+    TablePrinter table("Yeast 3-way join: time vs k",
+                       {"k", "AP", "PJ", "PJ-i"});
+    for (std::size_t k : {10u, 50u, 100u, 200u}) {
+      AllPairsJoin ap;
+      PartialJoin pj(PartialJoin::Options{.m = def.m, .incremental = false});
+      PartialJoin pji(PartialJoin::Options{.m = def.m, .incremental = true});
+      table.AddRow({std::to_string(k), RunTimed(ap, ds.graph, def, q, k),
+                    RunTimed(pj, ds.graph, def, q, k),
+                    RunTimed(pji, ds.graph, def, q, k)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // -------------------------------------------------- (d) time vs m
+  {
+    std::printf("=== Figure 7(d): running time vs m (3-way chain, k=50) "
+                "===\n");
+    QueryGraph q = ChainQuery(sets, 3);
+    TablePrinter table("Yeast 3-way join: time vs m",
+                       {"m", "PJ", "PJ-i"});
+    double pj_small_m = 0.0, pj_large_m = 0.0;
+    double pji_small_m = 0.0, pji_large_m = 0.0;
+    for (std::size_t m : {10u, 20u, 50u, 100u, 200u, 500u}) {
+      PartialJoin pj(PartialJoin::Options{.m = m, .incremental = false});
+      PartialJoin pji(PartialJoin::Options{.m = m, .incremental = true});
+      double pj_secs = 0.0, pji_secs = 0.0;
+      std::string pj_cell = RunTimed(pj, ds.graph, def, q, def.k, &pj_secs);
+      std::string pji_cell =
+          RunTimed(pji, ds.graph, def, q, def.k, &pji_secs);
+      if (m == 10) {
+        pj_small_m = pj_secs;
+        pji_small_m = pji_secs;
+      }
+      if (m == 200) {
+        pj_large_m = pj_secs;
+        pji_large_m = pji_secs;
+      }
+      table.AddRow({std::to_string(m), pj_cell, pji_cell});
+    }
+    std::printf("%s\n", table.Render().c_str());
+    // Paper shape: PJ suffers badly at small m (constant re-joins); PJ-i
+    // is much less sensitive.
+    double pj_ratio = pj_small_m / std::max(pj_large_m, 1e-9);
+    double pji_ratio = pji_small_m / std::max(pji_large_m, 1e-9);
+    std::printf("m-sensitivity (time@m=10 / time@m=200): PJ %.1fx, PJ-i "
+                "%.1fx\n",
+                pj_ratio, pji_ratio);
+    bool pass = pji_ratio < pj_ratio;
+    std::printf("shape check [PJ-i less sensitive to m than PJ]: %s\n",
+                pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+  }
+}

@@ -1,0 +1,170 @@
+/// \file bench/bench_fig8_nway_dblp.cc
+/// \brief Reproduces paper Figure 8: the Figure-7 sweeps on DBLP.
+///   (a) time vs n — AP shown only where feasible (paper: "AP performs
+///       badly in most experiments ... we only show some of its results")
+///   (b) time vs |E_Q|, PJ / PJ-i
+///   (c) time vs k, PJ / PJ-i
+///   (d) time vs m, PJ / PJ-i
+///
+/// Paper shape: identical trends to Yeast at a larger scale; AP is only
+/// measurable for the smallest queries.
+
+#include "bench_common.h"
+
+using namespace dhtjoin;        // NOLINT
+using namespace dhtjoin::bench;  // NOLINT
+
+namespace {
+
+constexpr std::size_t kSetSize = 40;
+
+std::vector<NodeSet> BenchSets(const datasets::DblpLikeDataset& ds) {
+  std::vector<NodeSet> sets;
+  for (const char* name : {"DB", "AI", "SYS", "ML", "IR", "NET"}) {
+    sets.push_back(
+        Unwrap(ds.Area(name), "area").TopByDegree(ds.graph, kSetSize));
+  }
+  return sets;
+}
+
+QueryGraph ChainQuery(const std::vector<NodeSet>& sets, std::size_t n) {
+  QueryGraph q;
+  std::vector<int> attr;
+  for (std::size_t i = 0; i < n; ++i) attr.push_back(q.AddNodeSet(sets[i]));
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    CheckOk(q.AddEdge(attr[i], attr[i + 1]), "chain edge");
+  }
+  return q;
+}
+
+QueryGraph EdgeCountQuery(const std::vector<NodeSet>& sets, int num_edges) {
+  QueryGraph q;
+  int attrs[3] = {q.AddNodeSet(sets[0]), q.AddNodeSet(sets[1]),
+                  q.AddNodeSet(sets[2])};
+  struct E {
+    int from, to;
+  };
+  static const E order[6] = {{0, 1}, {1, 2}, {0, 2},
+                             {1, 0}, {2, 1}, {2, 0}};
+  for (int e = 0; e < num_edges; ++e) {
+    CheckOk(q.AddEdge(attrs[order[e].from], attrs[order[e].to]), "edge");
+  }
+  return q;
+}
+
+std::string RunTimed(NwayJoin& algo, const Graph& g,
+                     const PaperDefaults& def, const QueryGraph& q,
+                     std::size_t k, double* out_secs = nullptr) {
+  MinAggregate f;
+  WallTimer timer;
+  auto result = algo.Run(g, def.dht, def.d, q, f, k);
+  double secs = timer.Seconds();
+  if (out_secs != nullptr) *out_secs = secs;
+  CheckOk(result.status(), algo.Name().c_str());
+  return TablePrinter::Secs(secs);
+}
+
+}  // namespace
+
+int main() {
+  auto ds = MakeDblp(10000);
+  PaperDefaults def;
+  auto sets = BenchSets(ds);
+  std::printf("node sets: top-%zu by degree of 6 research areas\n\n",
+              kSetSize);
+
+  // ------------------------------------------------- (a) time vs n
+  {
+    std::printf("=== Figure 8(a): running time vs n (chain, k=m=50) ===\n");
+    TablePrinter table("DBLP n-way join: time vs n",
+                       {"n", "AP", "PJ", "PJ-i"});
+    double pj_total = 0.0, pji_total = 0.0;
+    for (std::size_t n = 2; n <= 6; ++n) {
+      QueryGraph q = ChainQuery(sets, n);
+      PartialJoin pj(PartialJoin::Options{.m = def.m, .incremental = false});
+      PartialJoin pji(PartialJoin::Options{.m = def.m, .incremental = true});
+      // AP with its paper-configured F-BJ engine is ~|P| times slower
+      // than the backward joins; only n = 2 completes in bench time.
+      std::string ap_cell = "-";
+      if (n == 2) {
+        AllPairsJoin ap;
+        ap_cell = RunTimed(ap, ds.graph, def, q, def.k);
+      }
+      double pj_secs = 0.0, pji_secs = 0.0;
+      std::string pj_cell = RunTimed(pj, ds.graph, def, q, def.k, &pj_secs);
+      std::string pji_cell =
+          RunTimed(pji, ds.graph, def, q, def.k, &pji_secs);
+      pj_total += pj_secs;
+      pji_total += pji_secs;
+      table.AddRow({std::to_string(n), ap_cell, pj_cell, pji_cell});
+    }
+    std::printf("%s\n", table.Render().c_str());
+    std::printf("shape check [PJ-i <= PJ overall]: %s\n\n",
+                pji_total <= pj_total * 1.2 ? "PASS" : "FAIL");
+  }
+
+  // ---------------------------------------------- (b) time vs |E_Q|
+  {
+    std::printf("=== Figure 8(b): running time vs |E_Q| (3 sets) ===\n");
+    TablePrinter table("DBLP n-way join: time vs |E_Q|",
+                       {"|E_Q|", "PJ", "PJ-i"});
+    for (int e = 2; e <= 6; ++e) {
+      QueryGraph q = EdgeCountQuery(sets, e);
+      PartialJoin pj(PartialJoin::Options{.m = def.m, .incremental = false});
+      PartialJoin pji(PartialJoin::Options{.m = def.m, .incremental = true});
+      table.AddRow({std::to_string(e), RunTimed(pj, ds.graph, def, q, def.k),
+                    RunTimed(pji, ds.graph, def, q, def.k)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // -------------------------------------------------- (c) time vs k
+  {
+    std::printf("=== Figure 8(c): running time vs k (3-way chain) ===\n");
+    QueryGraph q = ChainQuery(sets, 3);
+    TablePrinter table("DBLP 3-way join: time vs k", {"k", "PJ", "PJ-i"});
+    for (std::size_t k : {10u, 50u, 100u, 200u}) {
+      PartialJoin pj(PartialJoin::Options{.m = def.m, .incremental = false});
+      PartialJoin pji(PartialJoin::Options{.m = def.m, .incremental = true});
+      table.AddRow({std::to_string(k), RunTimed(pj, ds.graph, def, q, k),
+                    RunTimed(pji, ds.graph, def, q, k)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // -------------------------------------------------- (d) time vs m
+  {
+    std::printf("=== Figure 8(d): running time vs m (3-way chain, k=50) "
+                "===\n");
+    QueryGraph q = ChainQuery(sets, 3);
+    TablePrinter table("DBLP 3-way join: time vs m", {"m", "PJ", "PJ-i"});
+    double pj_small = 0.0, pj_big = 0.0, pji_small = 0.0, pji_big = 0.0;
+    for (std::size_t m : {10u, 20u, 50u, 100u, 200u}) {
+      PartialJoin pj(PartialJoin::Options{.m = m, .incremental = false});
+      PartialJoin pji(PartialJoin::Options{.m = m, .incremental = true});
+      double pj_secs = 0.0, pji_secs = 0.0;
+      std::string pj_cell = RunTimed(pj, ds.graph, def, q, def.k, &pj_secs);
+      std::string pji_cell =
+          RunTimed(pji, ds.graph, def, q, def.k, &pji_secs);
+      if (m == 10) {
+        pj_small = pj_secs;
+        pji_small = pji_secs;
+      }
+      if (m == 200) {
+        pj_big = pj_secs;
+        pji_big = pji_secs;
+      }
+      table.AddRow({std::to_string(m), pj_cell, pji_cell});
+    }
+    std::printf("%s\n", table.Render().c_str());
+    double pj_ratio = pj_small / std::max(pj_big, 1e-9);
+    double pji_ratio = pji_small / std::max(pji_big, 1e-9);
+    std::printf("m-sensitivity (time@m=10 / time@m=200): PJ %.1fx, PJ-i "
+                "%.1fx\n",
+                pj_ratio, pji_ratio);
+    bool pass = pji_ratio < pj_ratio;
+    std::printf("shape check [PJ-i less sensitive to m than PJ]: %s\n",
+                pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+  }
+}

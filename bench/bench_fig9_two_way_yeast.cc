@@ -1,0 +1,161 @@
+/// \file bench/bench_fig9_two_way_yeast.cc
+/// \brief Reproduces paper Figure 9: 2-way join efficiency on Yeast.
+///   (a) all five algorithms at the defaults
+///   (b) backward algorithms vs epsilon (via Lemma 1's d)
+///   (c) backward algorithms vs lambda
+///   (d) backward algorithms vs k
+///
+/// Paper shapes: backward >> forward (factor ~|P|); the B-IDJ variants
+/// beat B-BJ thanks to pruning; B-IDJ-X degrades to B-BJ as lambda
+/// grows while B-IDJ-Y keeps its lead; B-BJ is k-independent.
+
+#include <memory>
+
+#include "bench_common.h"
+
+using namespace dhtjoin;        // NOLINT
+using namespace dhtjoin::bench;  // NOLINT
+
+namespace {
+
+constexpr std::size_t kSetSize = 150;
+
+double RunJoin(TwoWayJoin& algo, const Graph& g, const DhtParams& p, int d,
+               const NodeSet& P, const NodeSet& Q, std::size_t k,
+               int repeats) {
+  return TimeIt(repeats, [&] {
+    auto result = algo.Run(g, p, d, P, Q, k);
+    CheckOk(result.status(), algo.Name().c_str());
+  });
+}
+
+}  // namespace
+
+int main() {
+  auto ds = MakeYeast();
+  PaperDefaults def;
+  // The link-prediction node sets of Sec VII-B, capped for bench time
+  // (F-BJ pays |P| * |Q| full walks).
+  NodeSet P = Unwrap(ds.Partition("3-U"), "partition")
+                  .TopByDegree(ds.graph, kSetSize);
+  NodeSet Q = Unwrap(ds.Partition("8-D"), "partition")
+                  .TopByDegree(ds.graph, kSetSize);
+  std::printf("node sets: |P| = %zu (3-U), |Q| = %zu (8-D)\n\n", P.size(),
+              Q.size());
+
+  // ------------------------------------------- (a) the five algorithms
+  double bidj_y_time = 0.0, fbj_time = 0.0;
+  {
+    std::printf("=== Figure 9(a): all five 2-way join algorithms ===\n");
+    TablePrinter table("Yeast 2-way join, k=50, DHTlambda(0.2), d=8",
+                       {"algorithm", "time", "speedup vs F-BJ"});
+    std::vector<std::unique_ptr<TwoWayJoin>> algos;
+    algos.push_back(std::make_unique<FBjJoin>());
+    algos.push_back(std::make_unique<FIdjJoin>());
+    algos.push_back(std::make_unique<BBjJoin>());
+    algos.push_back(
+        std::make_unique<BIdjJoin>(BIdjJoin::Options{UpperBoundKind::kX}));
+    algos.push_back(
+        std::make_unique<BIdjJoin>(BIdjJoin::Options{UpperBoundKind::kY}));
+    for (auto& algo : algos) {
+      bool forward = algo->Name()[0] == 'F';
+      double secs = RunJoin(*algo, ds.graph, def.dht, def.d, P, Q, def.k,
+                            forward ? 1 : 5);
+      if (algo->Name() == "F-BJ") fbj_time = secs;
+      if (algo->Name() == "B-IDJ-Y") bidj_y_time = secs;
+      table.AddRow({algo->Name(), TablePrinter::Secs(secs),
+                    fbj_time > 0 ? TablePrinter::Num(fbj_time / secs, 1) + "x"
+                                 : "1.0x"});
+    }
+    std::printf("%s\n", table.Render().c_str());
+    std::printf("shape check [B-IDJ-Y >= 100x faster than F-BJ]: %s\n\n",
+                fbj_time / bidj_y_time >= 100.0 ? "PASS" : "FAIL");
+  }
+
+  // -------------------------------------------------- (b) vs epsilon
+  {
+    std::printf("=== Figure 9(b): backward algorithms vs epsilon ===\n");
+    TablePrinter table("Yeast 2-way join: time vs epsilon (lambda=0.2)",
+                       {"epsilon", "d", "B-BJ", "B-IDJ-X", "B-IDJ-Y"});
+    for (double eps : {1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8}) {
+      int d = def.dht.StepsForEpsilon(eps);
+      BBjJoin bbj;
+      BIdjJoin bx(BIdjJoin::Options{UpperBoundKind::kX});
+      BIdjJoin by(BIdjJoin::Options{UpperBoundKind::kY});
+      char eps_label[32];
+      std::snprintf(eps_label, sizeof(eps_label), "%.0e", eps);
+      table.AddRow(
+          {eps_label, std::to_string(d),
+           TablePrinter::Secs(
+               RunJoin(bbj, ds.graph, def.dht, d, P, Q, def.k, 5)),
+           TablePrinter::Secs(
+               RunJoin(bx, ds.graph, def.dht, d, P, Q, def.k, 5)),
+           TablePrinter::Secs(
+               RunJoin(by, ds.graph, def.dht, d, P, Q, def.k, 5))});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // --------------------------------------------------- (c) vs lambda
+  double x_slowdown = 0.0, y_slowdown = 0.0;
+  bool y_beats_x = true;
+  {
+    std::printf("=== Figure 9(c): backward algorithms vs lambda ===\n");
+    TablePrinter table("Yeast 2-way join: time vs lambda (epsilon=1e-6)",
+                       {"lambda", "d", "B-BJ", "B-IDJ-X", "B-IDJ-Y"});
+    double x_first = 0.0, x_last = 0.0, y_first = 0.0, y_last = 0.0;
+    for (double lambda : {0.2, 0.4, 0.6, 0.8}) {
+      DhtParams p = DhtParams::Lambda(lambda);
+      int d = p.StepsForEpsilon(1e-6);
+      BBjJoin bbj;
+      BIdjJoin bx(BIdjJoin::Options{UpperBoundKind::kX});
+      BIdjJoin by(BIdjJoin::Options{UpperBoundKind::kY});
+      double tb = RunJoin(bbj, ds.graph, p, d, P, Q, def.k, 3);
+      double tx = RunJoin(bx, ds.graph, p, d, P, Q, def.k, 3);
+      double ty = RunJoin(by, ds.graph, p, d, P, Q, def.k, 3);
+      if (lambda == 0.2) {
+        x_first = tx;
+        y_first = ty;
+      }
+      if (lambda == 0.8) {
+        x_last = tx;
+        y_last = ty;
+      }
+      if (ty > tx) y_beats_x = false;
+      table.AddRow({TablePrinter::Num(lambda, 1), std::to_string(d),
+                    TablePrinter::Secs(tb), TablePrinter::Secs(tx),
+                    TablePrinter::Secs(ty)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+    x_slowdown = x_last / std::max(x_first, 1e-9);
+    y_slowdown = y_last / std::max(y_first, 1e-9);
+    std::printf("slowdown 0.2 -> 0.8: B-IDJ-X %.1fx, B-IDJ-Y %.1fx\n",
+                x_slowdown, y_slowdown);
+  }
+
+  // -------------------------------------------------------- (d) vs k
+  {
+    std::printf("\n=== Figure 9(d): backward algorithms vs k ===\n");
+    TablePrinter table("Yeast 2-way join: time vs k",
+                       {"k", "B-BJ", "B-IDJ-X", "B-IDJ-Y"});
+    for (std::size_t k : {10u, 20u, 50u, 75u, 100u}) {
+      BBjJoin bbj;
+      BIdjJoin bx(BIdjJoin::Options{UpperBoundKind::kX});
+      BIdjJoin by(BIdjJoin::Options{UpperBoundKind::kY});
+      table.AddRow(
+          {std::to_string(k),
+           TablePrinter::Secs(
+               RunJoin(bbj, ds.graph, def.dht, def.d, P, Q, k, 5)),
+           TablePrinter::Secs(
+               RunJoin(bx, ds.graph, def.dht, def.d, P, Q, k, 5)),
+           TablePrinter::Secs(
+               RunJoin(by, ds.graph, def.dht, def.d, P, Q, k, 5))});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // Paper shape for (c): the tighter Y bound wins at every lambda.
+  std::printf("shape check [B-IDJ-Y <= B-IDJ-X at every lambda]: %s\n",
+              y_beats_x ? "PASS" : "FAIL");
+  return y_beats_x ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+/// \file bench/bench_micro_join2.cc
+/// \brief google-benchmark micro timings of the 2-way join algorithms
+/// and the incremental enumerator's steady-state Next().
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "join2/b_bj.h"
+#include "join2/b_idj.h"
+#include "join2/incremental.h"
+
+namespace dhtjoin::bench {
+namespace {
+
+struct Fixture {
+  datasets::YeastLikeDataset ds;
+  NodeSet P, Q;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fx = [] {
+    auto r = datasets::GenerateYeastLike(
+        datasets::YeastLikeConfig{.num_nodes = 1200, .num_edges = 3600});
+    auto* out = new Fixture{std::move(r).value(), {}, {}};
+    out->P = out->ds.partitions[0].TopByDegree(out->ds.graph, 80);
+    out->Q = out->ds.partitions[1].TopByDegree(out->ds.graph, 80);
+    return out;
+  }();
+  return *fx;
+}
+
+void BM_BBj(benchmark::State& state) {
+  const auto& fx = GetFixture();
+  DhtParams p = DhtParams::Lambda(0.2);
+  BBjJoin join;
+  for (auto _ : state) {
+    auto r = join.Run(fx.ds.graph, p, 8, fx.P, fx.Q,
+                      static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BBj)->Arg(10)->Arg(50);
+
+void BM_BIdjX(benchmark::State& state) {
+  const auto& fx = GetFixture();
+  DhtParams p = DhtParams::Lambda(0.2);
+  BIdjJoin join(BIdjJoin::Options{UpperBoundKind::kX});
+  for (auto _ : state) {
+    auto r = join.Run(fx.ds.graph, p, 8, fx.P, fx.Q,
+                      static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BIdjX)->Arg(10)->Arg(50);
+
+void BM_BIdjY(benchmark::State& state) {
+  const auto& fx = GetFixture();
+  DhtParams p = DhtParams::Lambda(0.2);
+  BIdjJoin join(BIdjJoin::Options{UpperBoundKind::kY});
+  for (auto _ : state) {
+    auto r = join.Run(fx.ds.graph, p, 8, fx.P, fx.Q,
+                      static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BIdjY)->Arg(10)->Arg(50);
+
+void BM_IncrementalNext(benchmark::State& state) {
+  // Steady-state cost of one more pair after a top-50 run; this is the
+  // operation PJ-i hammers (getNextNodePair).
+  const auto& fx = GetFixture();
+  DhtParams p = DhtParams::Lambda(0.2);
+  auto join =
+      IncrementalTwoWayJoin::Create(fx.ds.graph, p, 8, fx.P, fx.Q, 50);
+  for (int i = 0; i < 50; ++i) (*join)->Next();
+  for (auto _ : state) {
+    auto next = (*join)->Next();
+    if (!next.has_value()) {
+      state.PauseTiming();
+      join = IncrementalTwoWayJoin::Create(fx.ds.graph, p, 8, fx.P, fx.Q,
+                                           50);
+      for (int i = 0; i < 50; ++i) (*join)->Next();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(next);
+  }
+}
+BENCHMARK(BM_IncrementalNext);
+
+}  // namespace
+}  // namespace dhtjoin::bench

@@ -1,0 +1,69 @@
+/// \file bench/bench_micro_walkers.cc
+/// \brief google-benchmark micro timings of the DHT engine primitives:
+/// one forward pair computation, one backward walk, and the Y-bound
+/// sweep. These are regression canaries for the inner loops every join
+/// algorithm sits on.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "dht/backward.h"
+#include "dht/bounds.h"
+#include "dht/forward.h"
+
+namespace dhtjoin::bench {
+namespace {
+
+const datasets::YeastLikeDataset& Dataset() {
+  static const datasets::YeastLikeDataset* ds = [] {
+    auto r = datasets::GenerateYeastLike(
+        datasets::YeastLikeConfig{.num_nodes = 1200, .num_edges = 3600});
+    return new datasets::YeastLikeDataset(std::move(r).value());
+  }();
+  return *ds;
+}
+
+void BM_ForwardPair(benchmark::State& state) {
+  const auto& ds = Dataset();
+  ForwardWalker walker(ds.graph);
+  DhtParams p = DhtParams::Lambda(0.2);
+  const int d = static_cast<int>(state.range(0));
+  NodeId u = ds.partitions[0][0];
+  NodeId v = ds.partitions[1][0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(walker.Compute(p, d, u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardPair)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_BackwardWalk(benchmark::State& state) {
+  const auto& ds = Dataset();
+  BackwardWalker walker(ds.graph);
+  DhtParams p = DhtParams::Lambda(0.2);
+  const int d = static_cast<int>(state.range(0));
+  NodeId q = ds.partitions[1][0];
+  for (auto _ : state) {
+    walker.Reset(p, q);
+    walker.Advance(d);
+    benchmark::DoNotOptimize(walker.Score(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.graph.num_nodes()));
+}
+BENCHMARK(BM_BackwardWalk)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_YBoundTable(benchmark::State& state) {
+  const auto& ds = Dataset();
+  DhtParams p = DhtParams::Lambda(0.2);
+  const NodeSet& P = ds.partitions[0];
+  const NodeSet& Q = ds.partitions[1];
+  for (auto _ : state) {
+    YBoundTable table(ds.graph, p, 8, P, Q);
+    benchmark::DoNotOptimize(table.Bound(0, 0));
+  }
+}
+BENCHMARK(BM_YBoundTable);
+
+}  // namespace
+}  // namespace dhtjoin::bench

@@ -1,0 +1,67 @@
+/// \file examples/ecommerce_chain.cpp
+/// \brief The paper's Example 3: a retailer looking for manufacturers
+/// and customers via a chain 3-way join (M -> R -> C).
+///
+/// On a social graph with Manufacturer / Retailer / Customer groups, the
+/// chain query graph scores each (m, r, c) triple by how close the
+/// manufacturer is to the retailer AND the retailer to the customer —
+/// the SUM aggregate here rewards overall closeness along the supply
+/// chain (the paper's introduction uses exactly this f).
+
+#include <cstdio>
+
+#include "core/dhtjoin.h"
+#include "datasets/youtube_like.h"
+
+using namespace dhtjoin;  // NOLINT: example brevity
+
+int main() {
+  std::printf("generating a social graph with interest groups...\n");
+  auto ds = datasets::GenerateYouTubeLike(datasets::YouTubeLikeConfig{
+      .num_users = 20000, .num_groups = 30, .seed = 11});
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+
+  // Cast three groups as the paper's M, R, C.
+  NodeSet manufacturers = std::move(ds->Group(2)).value();
+  NodeSet retailers = std::move(ds->Group(3)).value();
+  NodeSet customers = std::move(ds->Group(4)).value();
+  std::printf("|M| = %zu, |R| = %zu, |C| = %zu members\n",
+              manufacturers.size(), retailers.size(), customers.size());
+
+  QueryGraph q;
+  int m = q.AddNodeSet(manufacturers);
+  int r = q.AddNodeSet(retailers);
+  int c = q.AddNodeSet(customers);
+  (void)q.AddEdge(m, r);  // directed, like Fig. 2(b)
+  (void)q.AddEdge(r, c);
+
+  DhtParams dht = DhtParams::Lambda(0.2);
+  int d = dht.StepsForEpsilon(1e-6);
+  SumAggregate sum_f;  // overall closeness along the chain
+  PartialJoin pji(PartialJoin::Options{.m = 50, .incremental = true});
+  auto answers = pji.Run(ds->graph, dht, d, q, sum_f, 10);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "%s\n", answers.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\ntop-10 supply-chain suggestions (SUM of DHTs):\n");
+  std::printf("%-4s %-12s %-12s %-12s %-10s %-10s %s\n", "rank",
+              "manufacturer", "retailer", "customer", "h(m,r)", "h(r,c)",
+              "f");
+  int rank = 1;
+  for (const TupleAnswer& t : *answers) {
+    std::printf("%-4d u%-11d u%-11d u%-11d %+.5f  %+.5f  %+.5f\n", rank++,
+                t.nodes[0], t.nodes[1], t.nodes[2], t.edge_scores[0],
+                t.edge_scores[1], t.f);
+  }
+
+  const auto& stats = pji.stats();
+  std::printf("\nrank-join pulls per query edge: M->R: %lld, R->C: %lld\n",
+              static_cast<long long>(stats.pulls_per_edge[0]),
+              static_cast<long long>(stats.pulls_per_edge[1]));
+  return 0;
+}

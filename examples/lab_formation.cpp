@@ -1,0 +1,110 @@
+/// \file examples/lab_formation.cpp
+/// \brief The paper's Example 2 / Table III scenario: staffing a
+/// cross-disciplinary lab with a triangle 3-way join.
+///
+/// A researcher wants experts from Database (DB), Artificial
+/// Intelligence (AI) and Systems (SYS) who work closely with EACH OTHER.
+/// A triangle query graph over the three areas, scored by MIN of the
+/// pairwise DHTs, surfaces author triples whose weakest pairwise tie is
+/// still strong. The same sets in a chain query graph (AI - DB - SYS)
+/// give a different answer: the AI and SYS people no longer need any
+/// direct affinity — exactly the contrast the paper's Table III shows.
+
+#include <cstdio>
+#include <string>
+
+#include "core/dhtjoin.h"
+#include "datasets/dblp_like.h"
+
+using namespace dhtjoin;  // NOLINT: example brevity
+
+namespace {
+
+std::string AuthorName(NodeId id, const datasets::DblpLikeDataset& ds) {
+  for (const NodeSet& area : ds.areas) {
+    if (area.Contains(id)) {
+      return "a" + std::to_string(id) + "(" + area.name() + ")";
+    }
+  }
+  return "a" + std::to_string(id);
+}
+
+void PrintAnswers(const char* title, const std::vector<TupleAnswer>& answers,
+                  const datasets::DblpLikeDataset& ds) {
+  std::printf("\n%s\n", title);
+  std::printf("%-4s %-14s %-14s %-14s %s\n", "rank", "DB", "AI", "SYS",
+              "f (MIN DHT)");
+  int rank = 1;
+  for (const TupleAnswer& t : answers) {
+    std::printf("%-4d %-14s %-14s %-14s %+.6f\n", rank++,
+                AuthorName(t.nodes[0], ds).c_str(),
+                AuthorName(t.nodes[1], ds).c_str(),
+                AuthorName(t.nodes[2], ds).c_str(), t.f);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("generating DBLP-like co-authorship graph...\n");
+  auto ds = datasets::GenerateDblpLike(
+      datasets::DblpLikeConfig{.num_authors = 8000, .seed = 7});
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph: %d authors, %lld coauthor links\n",
+              ds->graph.num_nodes(),
+              static_cast<long long>(ds->graph.num_edges() / 2));
+
+  // The paper selects the 100 most-published authors per area.
+  NodeSet db = ds->Area("DB")->TopByDegree(ds->graph, 100);
+  NodeSet ai = ds->Area("AI")->TopByDegree(ds->graph, 100);
+  NodeSet sys = ds->Area("SYS")->TopByDegree(ds->graph, 100);
+
+  DhtParams dht = DhtParams::Lambda(0.2);
+  int d = dht.StepsForEpsilon(1e-6);
+  MinAggregate min_f;
+  PartialJoin pji(PartialJoin::Options{.m = 50, .incremental = true});
+
+  // Triangle query graph (paper Fig. 2(a); single line = both directions).
+  {
+    QueryGraph q;
+    int a = q.AddNodeSet(db);
+    int b = q.AddNodeSet(ai);
+    int c = q.AddNodeSet(sys);
+    (void)q.AddBidirectionalEdge(a, b);
+    (void)q.AddBidirectionalEdge(b, c);
+    (void)q.AddBidirectionalEdge(a, c);
+    auto answers = pji.Run(ds->graph, dht, d, q, min_f, 5);
+    if (!answers.ok()) {
+      std::fprintf(stderr, "%s\n", answers.status().ToString().c_str());
+      return 1;
+    }
+    PrintAnswers("== top-5 3-way join, TRIANGLE query graph ==", *answers,
+                 *ds);
+  }
+
+  // Chain query graph (AI - DB - SYS, paper Table III right half).
+  {
+    QueryGraph q;
+    int a = q.AddNodeSet(db);
+    int b = q.AddNodeSet(ai);
+    int c = q.AddNodeSet(sys);
+    (void)q.AddBidirectionalEdge(b, a);  // AI - DB
+    (void)q.AddBidirectionalEdge(a, c);  // DB - SYS
+    auto answers = pji.Run(ds->graph, dht, d, q, min_f, 5);
+    if (!answers.ok()) {
+      std::fprintf(stderr, "%s\n", answers.status().ToString().c_str());
+      return 1;
+    }
+    PrintAnswers("== top-5 3-way join, CHAIN query graph (AI-DB-SYS) ==",
+                 *answers, *ds);
+  }
+
+  std::printf(
+      "\nnote: triangle answers require every pair to be close; chain\n"
+      "answers only constrain AI-DB and DB-SYS, so the AI and SYS experts\n"
+      "may have no direct collaboration (cf. paper Table III).\n");
+  return 0;
+}

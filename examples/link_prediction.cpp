@@ -1,0 +1,68 @@
+/// \file examples/link_prediction.cpp
+/// \brief The paper's Sec VII-B.2 experiment as an application: predict
+/// future DB-AI collaborations from a historical DBLP snapshot.
+///
+/// The test graph T is the co-authorship graph before 2010; predictions
+/// are 2-way join pairs on T that are NOT yet linked; ground truth is
+/// the full (2012) graph. Prints the top predictions and the ROC/AUC.
+
+#include <cstdio>
+
+#include "core/dhtjoin.h"
+#include "datasets/dblp_like.h"
+#include "eval/link_prediction.h"
+
+using namespace dhtjoin;  // NOLINT: example brevity
+
+int main() {
+  std::printf("generating DBLP-like bibliography (1990-2012)...\n");
+  auto ds = datasets::GenerateDblpLike(
+      datasets::DblpLikeConfig{.num_authors = 8000, .seed = 7});
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto snapshot = ds->SnapshotBefore(2010);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("true graph: %lld links; pre-2010 snapshot: %lld links\n",
+              static_cast<long long>(ds->graph.num_edges() / 2),
+              static_cast<long long>(snapshot->num_edges() / 2));
+
+  NodeSet db = ds->Area("DB")->TopByDegree(ds->graph, 150);
+  NodeSet ai = ds->Area("AI")->TopByDegree(ds->graph, 150);
+  DhtParams dht = DhtParams::Lambda(0.2);
+  int d = dht.StepsForEpsilon(1e-6);
+
+  // Top predictions via the fast 2-way join on the snapshot.
+  BIdjJoin join;
+  auto pairs = join.Run(*snapshot, dht, d, db, ai, 200);
+  if (!pairs.ok()) {
+    std::fprintf(stderr, "%s\n", pairs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntop predicted new DB-AI collaborations:\n");
+  int shown = 0;
+  for (const ScoredPair& sp : *pairs) {
+    if (snapshot->HasEdge(sp.p, sp.q)) continue;  // already collaborated
+    bool came_true = ds->graph.HasEdge(sp.p, sp.q);
+    std::printf("  a%-6d ~ a%-6d  h_d = %+.6f   %s\n", sp.p, sp.q, sp.score,
+                came_true ? "[came true by 2012]" : "");
+    if (++shown == 10) break;
+  }
+
+  // Full ROC/AUC over every candidate pair.
+  auto roc = eval::EvaluateLinkPrediction(ds->graph, *snapshot, db, ai, dht,
+                                          d);
+  if (!roc.ok()) {
+    std::fprintf(stderr, "%s\n", roc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nROC: %lld positives, %lld negatives, AUC = %.4f\n",
+              static_cast<long long>(roc->positives),
+              static_cast<long long>(roc->negatives), roc->auc);
+  std::printf("(paper Table IV reports AUC > 0.92 on the real datasets)\n");
+  return 0;
+}

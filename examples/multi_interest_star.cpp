@@ -1,0 +1,72 @@
+/// \file examples/multi_interest_star.cpp
+/// \brief The paper's Example 4: Mary the sports photographer builds a
+/// multi-interest group with a 6-way STAR join.
+///
+/// Photography (P) sits at the centre of the query graph; Soccer,
+/// Basketball, Hockey, Golf and Tennis hang off it. Each answer is a
+/// 6-tuple of one member per group such that every sports lover is close
+/// (in DHT) to the photographer — MIN over the five star edges makes the
+/// weakest connection the score.
+
+#include <cstdio>
+
+#include "core/dhtjoin.h"
+#include "datasets/youtube_like.h"
+
+using namespace dhtjoin;  // NOLINT: example brevity
+
+int main() {
+  std::printf("generating a social graph with interest groups...\n");
+  auto ds = datasets::GenerateYouTubeLike(datasets::YouTubeLikeConfig{
+      .num_users = 20000, .num_groups = 40, .seed = 12});
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+
+  const char* names[6] = {"photo", "soccer", "basket", "hockey", "golf",
+                          "tennis"};
+  // Keep the star sets modest so the example runs in seconds.
+  std::vector<NodeSet> groups;
+  for (int gid = 5; gid <= 10; ++gid) {
+    groups.push_back(
+        ds->Group(gid)->TopByDegree(ds->graph, 60));
+  }
+
+  QueryGraph q;
+  std::vector<int> attr;
+  attr.reserve(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    attr.push_back(q.AddNodeSet(groups[i]));
+  }
+  // Star: photography (attr 0) at the centre, edges to all five others
+  // (paper Fig. 2(c)).
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    (void)q.AddEdge(attr[0], attr[i]);
+  }
+
+  DhtParams dht = DhtParams::Lambda(0.2);
+  int d = dht.StepsForEpsilon(1e-6);
+  MinAggregate min_f;
+  PartialJoin pji(PartialJoin::Options{.m = 50, .incremental = true});
+  auto answers = pji.Run(ds->graph, dht, d, q, min_f, 5);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "%s\n", answers.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\ntop-5 multi-interest 6-tuples (6-way star join):\n");
+  std::printf("%-4s", "rank");
+  for (const char* n : names) std::printf(" %-9s", n);
+  std::printf(" %s\n", "f (MIN)");
+  int rank = 1;
+  for (const TupleAnswer& t : *answers) {
+    std::printf("%-4d", rank++);
+    for (NodeId u : t.nodes) std::printf(" u%-8d", u);
+    std::printf(" %+.6f\n", t.f);
+  }
+  if (answers->empty()) {
+    std::printf("  (no 6-tuple connects all groups within d=%d steps)\n", d);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file examples/proximity_measures.cpp
+/// \brief The paper's future-work direction, implemented: the same n-way
+/// join machinery evaluated over three proximity measures — DHTlambda,
+/// DHTe (the paper's two variants), and Personalized PageRank (visiting
+/// semantics through the identical general form).
+///
+/// Runs the same top-5 2-way join on a Yeast-like graph under each
+/// measure and prints the rankings side by side, so the effect of the
+/// measure choice is visible directly.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/dhtjoin.h"
+#include "datasets/yeast_like.h"
+
+using namespace dhtjoin;  // NOLINT: example brevity
+
+int main() {
+  std::printf("generating Yeast-like PPI graph...\n");
+  auto ds = datasets::GenerateYeastLike();
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto p_set = ds->Partition("3-U");
+  auto q_set = ds->Partition("8-D");
+  if (!p_set.ok() || !q_set.ok()) return 1;
+  NodeSet P = p_set->TopByDegree(ds->graph, 120);
+  NodeSet Q = q_set->TopByDegree(ds->graph, 120);
+
+  struct Measure {
+    const char* name;
+    DhtParams params;
+  };
+  std::vector<Measure> measures = {
+      {"DHTlambda(0.2)", DhtParams::Lambda(0.2)},
+      {"DHTe", DhtParams::Exponential()},
+      {"PPR(c=0.85)", DhtParams::PersonalizedPageRank(0.85)},
+  };
+
+  std::printf("\ntop-5 2-way join (B-IDJ-Y) under each measure:\n");
+  for (const Measure& m : measures) {
+    int d = m.params.StepsForEpsilon(1e-6);
+    BIdjJoin join;
+    auto pairs = join.Run(ds->graph, m.params, d, P, Q, 5);
+    if (!pairs.ok()) {
+      std::fprintf(stderr, "%s: %s\n", m.name,
+                   pairs.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n  %-16s (alpha=%.3f beta=%+.3f lambda=%.3f d=%d, %s)\n",
+                m.name, m.params.alpha, m.params.beta, m.params.lambda, d,
+                m.params.first_hit ? "first-hit" : "visiting");
+    int rank = 1;
+    for (const ScoredPair& sp : *pairs) {
+      std::printf("    %d. (%4d, %4d)  score = %+.6f\n", rank++, sp.p,
+                  sp.q, sp.score);
+    }
+  }
+
+  std::printf(
+      "\nall three run through the identical PJ-i / B-IDJ-Y machinery;\n"
+      "only the (alpha, beta, lambda, first_hit) tuple changes.\n");
+  return 0;
+}

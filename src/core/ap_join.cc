@@ -1,0 +1,45 @@
+#include "core/ap_join.h"
+
+#include <memory>
+
+#include "core/pair_streams.h"
+#include "join2/b_bj.h"
+#include "join2/f_bj.h"
+
+namespace dhtjoin {
+
+Result<std::vector<TupleAnswer>> AllPairsJoin::Run(
+    const Graph& g, const DhtParams& params, int d, const QueryGraph& query,
+    const Aggregate& f, std::size_t k) {
+  DHTJOIN_RETURN_NOT_OK(params.Validate());
+  DHTJOIN_RETURN_NOT_OK(query.Validate(g));
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  stats_ = Stats();
+
+  // Complete 2-way join per query edge.
+  std::vector<std::unique_ptr<VectorPairStream>> streams;
+  std::vector<PairStream*> stream_ptrs;
+  FBjJoin forward;
+  BBjJoin backward;
+  for (const JoinEdge& e : query.edges()) {
+    const NodeSet& P = query.set(e.left);
+    const NodeSet& Q = query.set(e.right);
+    stats_.dht_computations +=
+        static_cast<int64_t>(P.size()) * static_cast<int64_t>(Q.size());
+    Result<std::vector<ScoredPair>> pairs =
+        options_.engine == Engine::kForward
+            ? forward.RunAllPairs(g, params, d, P, Q)
+            : backward.RunAllPairs(g, params, d, P, Q);
+    if (!pairs.ok()) return pairs.status();
+    streams.push_back(
+        std::make_unique<VectorPairStream>(std::move(pairs).value()));
+    stream_ptrs.push_back(streams.back().get());
+  }
+
+  Pbrj rank_join(query.num_sets(), query.edges(), &f, k);
+  auto result = rank_join.Run(stream_ptrs);
+  stats_.rank_join = rank_join.stats();
+  return result;
+}
+
+}  // namespace dhtjoin

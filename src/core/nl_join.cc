@@ -1,0 +1,84 @@
+#include "core/nl_join.h"
+
+#include "dht/forward.h"
+#include "util/timer.h"
+#include "util/top_k.h"
+
+namespace dhtjoin {
+
+Result<std::vector<TupleAnswer>> NestedLoopJoin::Run(
+    const Graph& g, const DhtParams& params, int d, const QueryGraph& query,
+    const Aggregate& f, std::size_t k) {
+  DHTJOIN_RETURN_NOT_OK(params.Validate());
+  DHTJOIN_RETURN_NOT_OK(query.Validate(g));
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  stats_ = Stats();
+
+  WallTimer timer;
+  ForwardWalker walker(g);
+  const int n = query.num_sets();
+  const auto& edges = query.edges();
+
+  TopK<TupleAnswer> best(k);
+  std::vector<NodeId> tuple(static_cast<std::size_t>(n), kInvalidNode);
+  std::vector<double> edge_scores(edges.size(), 0.0);
+  bool budget_exceeded = false;
+
+  // n nested loops, expressed recursively over attribute position.
+  auto enumerate = [&](auto&& self, int attr) -> void {
+    if (budget_exceeded) return;
+    if (attr == n) {
+      stats_.tuples_enumerated++;
+      bool valid = true;
+      for (std::size_t e = 0; e < edges.size() && valid; ++e) {
+        NodeId u = tuple[static_cast<std::size_t>(edges[e].left)];
+        NodeId v = tuple[static_cast<std::size_t>(edges[e].right)];
+        if (u == v) {
+          valid = false;  // self pair: h undefined
+          break;
+        }
+        double score = walker.Compute(params, d, u, v);
+        stats_.dht_computations++;
+        if (score <= params.beta) {
+          valid = false;  // unreachable within d steps
+          break;
+        }
+        edge_scores[e] = score;
+      }
+      if (valid) {
+        TupleAnswer answer;
+        answer.nodes = tuple;
+        answer.edge_scores = edge_scores;
+        answer.f = f.Apply(edge_scores);
+        best.Offer(answer.f, answer);
+      }
+      if (timer.Seconds() > options_.time_budget_seconds) {
+        budget_exceeded = true;
+      }
+      return;
+    }
+    for (NodeId r : query.set(attr)) {
+      tuple[static_cast<std::size_t>(attr)] = r;
+      self(self, attr + 1);
+      if (budget_exceeded) return;
+    }
+  };
+  enumerate(enumerate, 0);
+
+  if (budget_exceeded) {
+    return Status::OutOfRange(
+        "NL exceeded its time budget after " +
+        std::to_string(stats_.tuples_enumerated) + " tuples");
+  }
+  stats_.completed = true;
+
+  std::vector<TupleAnswer> out;
+  for (auto& entry : best.TakeSortedDescending()) {
+    out.push_back(std::move(entry.item));
+  }
+  std::sort(out.begin(), out.end(), TupleAnswerGreater);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,52 @@
+/// \file core/nl_join.h
+/// \brief NL — the Nested Loop baseline (paper Sec III-B).
+///
+/// Enumerates every candidate answer with n nested loops, evaluates a
+/// fresh forward DHT computation for every query edge of every tuple,
+/// and keeps the k best. Cost Pi |R_i| * |E_Q| * d * |E_G| — the paper
+/// reports it cannot finish for n >= 3; an optional wall-clock budget
+/// lets benchmarks report DNF instead of hanging.
+
+#ifndef DHTJOIN_CORE_NL_JOIN_H_
+#define DHTJOIN_CORE_NL_JOIN_H_
+
+#include <limits>
+
+#include "core/nway_join.h"
+
+namespace dhtjoin {
+
+class NestedLoopJoin final : public NwayJoin {
+ public:
+  struct Options {
+    /// Abort (returning OutOfRange) when the run exceeds this budget.
+    double time_budget_seconds = std::numeric_limits<double>::infinity();
+  };
+
+  struct Stats {
+    int64_t tuples_enumerated = 0;
+    int64_t dht_computations = 0;
+    bool completed = false;
+  };
+
+  NestedLoopJoin() = default;
+  explicit NestedLoopJoin(Options options) : options_(options) {}
+
+  std::string Name() const override { return "NL"; }
+
+  Result<std::vector<TupleAnswer>> Run(const Graph& g,
+                                       const DhtParams& params, int d,
+                                       const QueryGraph& query,
+                                       const Aggregate& f,
+                                       std::size_t k) override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Options options_;
+  Stats stats_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_CORE_NL_JOIN_H_

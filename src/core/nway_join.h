@@ -1,0 +1,46 @@
+/// \file core/nway_join.h
+/// \brief Common interface of the n-way join algorithms (paper Def. 4).
+///
+/// Given the data graph G, a query graph Q over node sets R_1..R_n, a
+/// monotone aggregate f, and k: return the k candidate answers (n-tuples
+/// from R_1 x ... x R_n) with the highest f of their per-edge DHT
+/// scores, sorted descending.
+///
+/// Validity semantics (consistent across NL, AP, PJ, PJ-i — inherited
+/// from the 2-way join semantics in join2/two_way_join.h): a candidate
+/// answer qualifies only if every query edge's node pair (r_i, r_j) has
+/// r_i != r_j and is reachable within d steps (h_d > beta). Fewer than k
+/// answers are returned when fewer qualify.
+
+#ifndef DHTJOIN_CORE_NWAY_JOIN_H_
+#define DHTJOIN_CORE_NWAY_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query_graph.h"
+#include "dht/params.h"
+#include "rankjoin/aggregate.h"
+#include "rankjoin/pbrj.h"
+
+namespace dhtjoin {
+
+/// Abstract top-k n-way join algorithm.
+class NwayJoin {
+ public:
+  virtual ~NwayJoin() = default;
+
+  /// Algorithm name as used in the paper ("NL", "AP", "PJ", "PJ-i").
+  virtual std::string Name() const = 0;
+
+  /// Runs the join; see file comment for semantics.
+  virtual Result<std::vector<TupleAnswer>> Run(const Graph& g,
+                                               const DhtParams& params, int d,
+                                               const QueryGraph& query,
+                                               const Aggregate& f,
+                                               std::size_t k) = 0;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_CORE_NWAY_JOIN_H_

@@ -1,0 +1,48 @@
+#include "core/pair_streams.h"
+
+namespace dhtjoin {
+
+RerunPairStream::RerunPairStream(const Graph& g, const DhtParams& params,
+                                 int d, const NodeSet& P, const NodeSet& Q,
+                                 std::size_t m, UpperBoundKind bound)
+    : g_(g),
+      params_(params),
+      d_(d),
+      P_(P),
+      Q_(Q),
+      join_(BIdjJoin::Options{bound}) {
+  if (m == 0) {
+    // Nothing eager; the first Next() triggers a top-1 join.
+    status_ = Status::OK();
+    return;
+  }
+  auto result = join_.Run(g_, params_, d_, P_, Q_, m);
+  if (!result.ok()) {
+    status_ = result.status();
+    return;
+  }
+  list_ = std::move(result).value();
+  if (list_.size() < m) exhausted_ = true;  // pair space ran dry
+  status_ = Status::OK();
+}
+
+std::optional<ScoredPair> RerunPairStream::Next() {
+  DHTJOIN_CHECK(status_.ok());
+  if (pos_ < list_.size()) return list_[pos_++];
+  if (exhausted_) return std::nullopt;
+  // getNextNodePair, PJ flavour: re-run a strictly larger top-k join
+  // from scratch and take its last element (paper Sec IV: "simply
+  // running a top-(m+1) join").
+  stats_.reruns++;
+  auto result = join_.Run(g_, params_, d_, P_, Q_, list_.size() + 1);
+  DHTJOIN_CHECK(result.ok());  // inputs were validated by the first run
+  std::vector<ScoredPair> bigger = std::move(result).value();
+  if (bigger.size() <= list_.size()) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  list_ = std::move(bigger);
+  return list_[pos_++];
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,90 @@
+/// \file core/pair_streams.h
+/// \brief PairStream implementations wiring 2-way joins into PBRJ.
+///
+/// Three stream flavours, one per n-way algorithm:
+///  * VectorPairStream — a fully materialized sorted list (AP: the
+///    complete 2-way join of each query edge);
+///  * RerunPairStream — the plain PJ behaviour: a top-m list up front,
+///    and every further pair obtained by re-running a top-(m+1), then
+///    top-(m+2), ... join FROM SCRATCH (paper Sec IV, Step 10 footnote);
+///  * IncrementalPairStream — the PJ-i behaviour: further pairs come
+///    from the resumable F structure (paper Sec VI-D).
+
+#ifndef DHTJOIN_CORE_PAIR_STREAMS_H_
+#define DHTJOIN_CORE_PAIR_STREAMS_H_
+
+#include <memory>
+#include <vector>
+
+#include "join2/b_idj.h"
+#include "join2/incremental.h"
+#include "rankjoin/pbrj.h"
+
+namespace dhtjoin {
+
+/// Replays a pre-sorted vector of pairs.
+class VectorPairStream final : public PairStream {
+ public:
+  /// `pairs` must already be sorted in descending score order.
+  explicit VectorPairStream(std::vector<ScoredPair> pairs)
+      : pairs_(std::move(pairs)) {}
+
+  std::optional<ScoredPair> Next() override {
+    if (pos_ >= pairs_.size()) return std::nullopt;
+    return pairs_[pos_++];
+  }
+
+ private:
+  std::vector<ScoredPair> pairs_;
+  std::size_t pos_ = 0;
+};
+
+/// PJ stream: top-m eagerly, then top-(m+i) joins from scratch.
+class RerunPairStream final : public PairStream {
+ public:
+  struct Stats {
+    int64_t reruns = 0;  ///< getNextNodePair invocations (full joins)
+  };
+
+  /// Runs the initial top-m join (using B-IDJ with the given bound).
+  /// Check `status()` after construction.
+  RerunPairStream(const Graph& g, const DhtParams& params, int d,
+                  const NodeSet& P, const NodeSet& Q, std::size_t m,
+                  UpperBoundKind bound);
+
+  const Status& status() const { return status_; }
+
+  std::optional<ScoredPair> Next() override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const Graph& g_;
+  DhtParams params_;
+  int d_;
+  NodeSet P_, Q_;
+  BIdjJoin join_;
+  Status status_;
+  std::vector<ScoredPair> list_;  // current top-|list_| results
+  std::size_t pos_ = 0;
+  bool exhausted_ = false;
+  Stats stats_;
+};
+
+/// PJ-i stream: a thin adapter over IncrementalTwoWayJoin.
+class IncrementalPairStream final : public PairStream {
+ public:
+  explicit IncrementalPairStream(std::unique_ptr<IncrementalTwoWayJoin> join)
+      : join_(std::move(join)) {}
+
+  std::optional<ScoredPair> Next() override { return join_->Next(); }
+
+  const IncrementalTwoWayJoin& join() const { return *join_; }
+
+ private:
+  std::unique_ptr<IncrementalTwoWayJoin> join_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_CORE_PAIR_STREAMS_H_

@@ -1,0 +1,60 @@
+#include "core/query_graph.h"
+
+namespace dhtjoin {
+
+int QueryGraph::AddNodeSet(NodeSet set) {
+  sets_.push_back(std::move(set));
+  return static_cast<int>(sets_.size()) - 1;
+}
+
+Status QueryGraph::AddEdge(int from, int to) {
+  if (from < 0 || from >= num_sets() || to < 0 || to >= num_sets()) {
+    return Status::InvalidArgument(
+        "query edge (" + std::to_string(from) + ", " + std::to_string(to) +
+        ") references an unknown node set");
+  }
+  if (from == to) {
+    return Status::InvalidArgument(
+        "query self-edge on set " + std::to_string(from) +
+        " is not supported: h(u, u) is undefined");
+  }
+  for (const JoinEdge& e : edges_) {
+    if (e.left == from && e.right == to) {
+      return Status::AlreadyExists("duplicate query edge (" +
+                                   std::to_string(from) + ", " +
+                                   std::to_string(to) + ")");
+    }
+  }
+  edges_.push_back(JoinEdge{from, to});
+  return Status::OK();
+}
+
+Status QueryGraph::AddBidirectionalEdge(int a, int b) {
+  DHTJOIN_RETURN_NOT_OK(AddEdge(a, b));
+  return AddEdge(b, a);
+}
+
+Status QueryGraph::Validate(const Graph& g) const {
+  if (num_sets() < 2) {
+    return Status::InvalidArgument(
+        "an n-way join needs at least two node sets, got " +
+        std::to_string(num_sets()));
+  }
+  if (edges_.empty()) {
+    return Status::InvalidArgument("query graph has no edges");
+  }
+  for (const NodeSet& s : sets_) {
+    DHTJOIN_RETURN_NOT_OK(s.Validate(g));
+  }
+  return Status::OK();
+}
+
+double QueryGraph::CandidateSpace() const {
+  double space = 1.0;
+  for (const NodeSet& s : sets_) {
+    space *= static_cast<double>(s.size());
+  }
+  return space;
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,55 @@
+/// \file core/query_graph.h
+/// \brief The query graph Q of an n-way join (paper Def. 1).
+///
+/// Nodes of Q are node sets R_1..R_n of the data graph; each directed
+/// edge (R_i, R_j) asks for the DHT score h(r_i, r_j) of the answer
+/// tuple's nodes from those sets. Since DHT is asymmetric, an undirected
+/// relationship is modelled as two opposite edges (paper footnote 2) —
+/// AddBidirectionalEdge is a convenience for exactly that.
+
+#ifndef DHTJOIN_CORE_QUERY_GRAPH_H_
+#define DHTJOIN_CORE_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/node_set.h"
+#include "rankjoin/pbrj.h"
+#include "util/status.h"
+
+namespace dhtjoin {
+
+/// Builder/holder of an n-way join's query graph.
+class QueryGraph {
+ public:
+  /// Adds a node set; returns its attribute index (position in answer
+  /// tuples).
+  int AddNodeSet(NodeSet set);
+
+  /// Adds directed edge (from, to) over attribute indices. Rejects
+  /// out-of-range indices, self-edges, and duplicate directed edges.
+  Status AddEdge(int from, int to);
+
+  /// Adds both (a, b) and (b, a).
+  Status AddBidirectionalEdge(int a, int b);
+
+  int num_sets() const { return static_cast<int>(sets_.size()); }
+  const NodeSet& set(int i) const { return sets_[static_cast<std::size_t>(i)]; }
+  const std::vector<NodeSet>& sets() const { return sets_; }
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  /// Checks the query graph is executable against `g`: at least two node
+  /// sets, at least one edge, and every set valid and non-empty.
+  Status Validate(const Graph& g) const;
+
+  /// Upper bound on distinct candidate answers (product of set sizes).
+  double CandidateSpace() const;
+
+ private:
+  std::vector<NodeSet> sets_;
+  std::vector<JoinEdge> edges_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_CORE_QUERY_GRAPH_H_

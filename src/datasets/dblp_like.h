@@ -1,0 +1,57 @@
+/// \file datasets/dblp_like.h
+/// \brief Synthetic stand-in for the paper's DBLP co-authorship graph.
+///
+/// The real dataset: undirected, weighted (papers co-authored), 188k
+/// nodes / 1.14M edges, with authors grouped by research area, plus a
+/// temporal snapshot (edges before 2010) used as the link-prediction
+/// test graph. This generator reproduces the shape at a configurable
+/// scale: community preferential attachment, geometric weights, and a
+/// per-edge publication year that grows with generation order (the graph
+/// "accretes" like a bibliography does).
+
+#ifndef DHTJOIN_DATASETS_DBLP_LIKE_H_
+#define DHTJOIN_DATASETS_DBLP_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "datasets/preferential_attachment.h"
+#include "util/status.h"
+
+namespace dhtjoin::datasets {
+
+struct DblpLikeConfig {
+  NodeId num_authors = 30000;
+  int edges_per_author = 6;
+  /// Extra hub-hub collaborations per arriving author (densification);
+  /// these carry late years, which is what the temporal link-prediction
+  /// experiment predicts.
+  double densify_per_author = 0.8;
+  uint64_t seed = 7;
+  int first_year = 1990;
+  int last_year = 2012;
+};
+
+struct DblpLikeDataset {
+  Graph graph;
+  std::vector<NodeSet> areas;  ///< research areas ("DB", "AI", ...)
+  std::vector<std::pair<NodeId, NodeId>> edge_list;
+  std::vector<int> edge_year;  ///< aligned with edge_list
+
+  /// Area by name; Status error when unknown.
+  Result<NodeSet> Area(const std::string& name) const;
+
+  /// Co-authorship graph restricted to edges published before `year`
+  /// (the paper's test graph T for link prediction).
+  Result<Graph> SnapshotBefore(int year) const;
+};
+
+/// Research-area names, largest community first.
+extern const char* const kDblpAreaNames[10];
+
+Result<DblpLikeDataset> GenerateDblpLike(
+    const DblpLikeConfig& config = DblpLikeConfig{});
+
+}  // namespace dhtjoin::datasets
+
+#endif  // DHTJOIN_DATASETS_DBLP_LIKE_H_

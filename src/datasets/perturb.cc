@@ -1,0 +1,134 @@
+#include "datasets/perturb.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace dhtjoin::datasets {
+
+namespace {
+
+uint64_t UndirectedKey(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return PackPair(a, b);
+}
+
+}  // namespace
+
+Result<Graph> RemoveEdges(const Graph& g,
+                          const std::vector<UndirectedPair>& removed) {
+  std::unordered_set<uint64_t> drop;
+  for (auto [u, v] : removed) drop.insert(UndirectedKey(u, v));
+  GraphBuilder builder(g.num_nodes(), /*undirected=*/false);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const OutEdge& e : g.OutEdges(u)) {
+      if (drop.contains(UndirectedKey(u, e.to))) continue;
+      DHTJOIN_RETURN_NOT_OK(builder.AddEdge(u, e.to, e.weight));
+    }
+  }
+  return builder.Build();
+}
+
+Result<EdgeRemovalResult> RemoveInterSetEdges(const Graph& g,
+                                              const NodeSet& P,
+                                              const NodeSet& Q,
+                                              double fraction,
+                                              uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0,1]");
+  }
+  DHTJOIN_RETURN_NOT_OK(P.Validate(g));
+  DHTJOIN_RETURN_NOT_OK(Q.Validate(g));
+
+  // Collect inter-set undirected pairs once (scan the smaller side).
+  std::vector<UndirectedPair> candidates;
+  std::unordered_set<uint64_t> seen;
+  for (NodeId p : P) {
+    for (const OutEdge& e : g.OutEdges(p)) {
+      if (!Q.Contains(e.to) || e.to == p) continue;
+      if (seen.insert(UndirectedKey(p, e.to)).second) {
+        candidates.emplace_back(std::min(p, e.to), std::max(p, e.to));
+      }
+    }
+  }
+
+  Rng rng(seed);
+  // Fisher-Yates prefix shuffle to pick the removal sample.
+  auto keep = static_cast<std::size_t>(
+      (1.0 - fraction) * static_cast<double>(candidates.size()) + 0.5);
+  std::size_t remove_count = candidates.size() - keep;
+  for (std::size_t i = 0; i < remove_count; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(
+                            rng.Below(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+  }
+  EdgeRemovalResult out;
+  out.removed.assign(candidates.begin(),
+                     candidates.begin() + static_cast<std::ptrdiff_t>(
+                                              remove_count));
+  DHTJOIN_ASSIGN_OR_RETURN(out.graph, RemoveEdges(g, out.removed));
+  return out;
+}
+
+std::vector<Triangle> FindTriangles(const Graph& g, const NodeSet& P,
+                                    const NodeSet& Q, const NodeSet& R) {
+  std::vector<Triangle> out;
+  for (NodeId p : P) {
+    for (const OutEdge& pe : g.OutEdges(p)) {
+      NodeId q = pe.to;
+      if (q == p || !Q.Contains(q)) continue;
+      // Intersect out-neighbourhoods of p and q, restricted to R.
+      auto prow = g.OutEdges(p);
+      auto qrow = g.OutEdges(q);
+      std::size_t i = 0, j = 0;
+      while (i < prow.size() && j < qrow.size()) {
+        if (prow[i].to < qrow[j].to) {
+          ++i;
+        } else if (prow[i].to > qrow[j].to) {
+          ++j;
+        } else {
+          NodeId r = prow[i].to;
+          if (r != p && r != q && R.Contains(r)) {
+            out.push_back(Triangle{p, q, r});
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<EdgeRemovalResult> RemoveCliqueEdges(const Graph& g, const NodeSet& P,
+                                            const NodeSet& Q,
+                                            const NodeSet& R,
+                                            uint64_t seed) {
+  DHTJOIN_RETURN_NOT_OK(P.Validate(g));
+  DHTJOIN_RETURN_NOT_OK(Q.Validate(g));
+  DHTJOIN_RETURN_NOT_OK(R.Validate(g));
+
+  Rng rng(seed);
+  std::unordered_set<uint64_t> drop_keys;
+  EdgeRemovalResult out;
+  for (const Triangle& t : FindTriangles(g, P, Q, R)) {
+    // Skip cliques already broken by an earlier removal.
+    bool broken = drop_keys.contains(UndirectedKey(t.p, t.q)) ||
+                  drop_keys.contains(UndirectedKey(t.q, t.r)) ||
+                  drop_keys.contains(UndirectedKey(t.p, t.r));
+    if (broken) continue;
+    UndirectedPair sides[3] = {{t.p, t.q}, {t.q, t.r}, {t.p, t.r}};
+    UndirectedPair pick = sides[rng.Below(3)];
+    if (drop_keys.insert(UndirectedKey(pick.first, pick.second)).second) {
+      out.removed.emplace_back(std::min(pick.first, pick.second),
+                               std::max(pick.first, pick.second));
+    }
+  }
+  DHTJOIN_ASSIGN_OR_RETURN(out.graph, RemoveEdges(g, out.removed));
+  return out;
+}
+
+}  // namespace dhtjoin::datasets

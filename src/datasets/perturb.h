@@ -1,0 +1,66 @@
+/// \file datasets/perturb.h
+/// \brief Test-graph construction for the prediction experiments.
+///
+/// Section VII-B of the paper distinguishes the TRUE graph G from a TEST
+/// graph T on which the joins run; predictions are verified against G.
+/// Three constructions are used:
+///  * link prediction: remove a random fraction of the (P, Q)
+///    inter-set edges (Yeast / YouTube), or take a temporal snapshot
+///    (DBLP; see DblpLikeDataset::SnapshotBefore);
+///  * 3-clique prediction: remove one random edge from every 3-clique
+///    spanning (P, Q, R).
+
+#ifndef DHTJOIN_DATASETS_PERTURB_H_
+#define DHTJOIN_DATASETS_PERTURB_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/node_set.h"
+#include "util/status.h"
+
+namespace dhtjoin::datasets {
+
+/// An undirected node pair, normalized to u <= v.
+using UndirectedPair = std::pair<NodeId, NodeId>;
+
+/// Result of an edge-removal perturbation.
+struct EdgeRemovalResult {
+  Graph graph;                          ///< the test graph T
+  std::vector<UndirectedPair> removed;  ///< ground-truth positives
+};
+
+/// Removes `fraction` of the undirected edges with one endpoint in P and
+/// the other in Q (both directions dropped). The input graph must store
+/// undirected edges symmetrically (all library generators do).
+Result<EdgeRemovalResult> RemoveInterSetEdges(const Graph& g,
+                                              const NodeSet& P,
+                                              const NodeSet& Q,
+                                              double fraction,
+                                              uint64_t seed);
+
+/// A 3-clique spanning three node sets.
+struct Triangle {
+  NodeId p, q, r;
+};
+
+/// Enumerates all 3-cliques (p, q, r) in P x Q x R (undirected
+/// adjacency). A node belonging to several sets may appear in cliques
+/// under each membership, but p, q, r are pairwise distinct.
+std::vector<Triangle> FindTriangles(const Graph& g, const NodeSet& P,
+                                    const NodeSet& Q, const NodeSet& R);
+
+/// Removes one random edge from each 3-clique spanning (P, Q, R); a
+/// removal destroying several cliques counts for all of them.
+Result<EdgeRemovalResult> RemoveCliqueEdges(const Graph& g, const NodeSet& P,
+                                            const NodeSet& Q,
+                                            const NodeSet& R, uint64_t seed);
+
+/// Rebuilds `g` without the undirected pairs in `removed`.
+Result<Graph> RemoveEdges(const Graph& g,
+                          const std::vector<UndirectedPair>& removed);
+
+}  // namespace dhtjoin::datasets
+
+#endif  // DHTJOIN_DATASETS_PERTURB_H_

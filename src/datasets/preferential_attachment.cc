@@ -1,0 +1,173 @@
+#include "datasets/preferential_attachment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/hash.h"
+
+namespace dhtjoin::datasets {
+
+Result<PreferentialAttachmentDataset> GeneratePreferentialAttachment(
+    const PreferentialAttachmentConfig& config) {
+  if (config.num_nodes < 2 || config.edges_per_node < 1 ||
+      config.num_communities < 1) {
+    return Status::InvalidArgument("infeasible generator config");
+  }
+  if (config.intra_prob < 0.0 || config.intra_prob > 1.0) {
+    return Status::InvalidArgument("intra_prob must be in [0,1]");
+  }
+
+  Rng rng(config.seed);
+  const auto n = static_cast<std::size_t>(config.num_nodes);
+  const auto c = static_cast<std::size_t>(config.num_communities);
+
+  // Community assignment round-robin with a geometric skew: community 0
+  // is the largest ("DB publishes the most"), later ones shrink.
+  std::vector<int> node_comm(n);
+  {
+    std::vector<double> weight(c);
+    double w = 1.0, total = 0.0;
+    for (auto& x : weight) {
+      x = w;
+      total += w;
+      w *= 0.85;
+    }
+    std::vector<double> cumulative(c);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < c; ++i) {
+      acc += weight[i] / total;
+      cumulative[i] = acc;
+    }
+    for (std::size_t u = 0; u < n; ++u) {
+      double x = rng.NextDouble();
+      std::size_t ci = 0;
+      while (ci + 1 < c && x > cumulative[ci]) ++ci;
+      node_comm[u] = static_cast<int>(ci);
+    }
+  }
+
+  // Degree-proportional sampling via repeated-node lists: every edge
+  // endpoint is appended once, so uniform sampling from the list is
+  // preferential attachment.
+  std::vector<std::vector<NodeId>> comm_endpoints(c);
+  std::vector<NodeId> all_endpoints;
+  std::unordered_set<uint64_t> seen;
+  auto undirected_key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return PackPair(a, b);
+  };
+
+  PreferentialAttachmentDataset out;
+  GraphBuilder builder(config.num_nodes, /*undirected=*/true);
+
+  auto add_edge = [&](NodeId u, NodeId v) -> Status {
+    double w = config.weighted
+                   ? static_cast<double>(rng.Geometric(config.weight_p))
+                   : 1.0;
+    DHTJOIN_RETURN_NOT_OK(builder.AddEdge(u, v, w));
+    out.edge_list.emplace_back(std::min(u, v), std::max(u, v));
+    out.edge_weights.push_back(w);
+    comm_endpoints[static_cast<std::size_t>(node_comm[
+        static_cast<std::size_t>(u)])].push_back(u);
+    comm_endpoints[static_cast<std::size_t>(node_comm[
+        static_cast<std::size_t>(v)])].push_back(v);
+    all_endpoints.push_back(u);
+    all_endpoints.push_back(v);
+    return Status::OK();
+  };
+
+  // Seed clique over the first few nodes so attachment has targets.
+  const NodeId seed_size = std::min<NodeId>(
+      config.num_nodes, static_cast<NodeId>(config.edges_per_node) + 1);
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      seen.insert(undirected_key(u, v));
+      DHTJOIN_RETURN_NOT_OK(add_edge(u, v));
+    }
+  }
+
+  // Incremental adjacency for the Holme-Kim triangle-closure step.
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const auto& [eu, ev] : out.edge_list) {
+    adj[static_cast<std::size_t>(eu)].push_back(ev);
+    adj[static_cast<std::size_t>(ev)].push_back(eu);
+  }
+
+  for (NodeId u = seed_size; u < config.num_nodes; ++u) {
+    const auto cu = static_cast<std::size_t>(
+        node_comm[static_cast<std::size_t>(u)]);
+    int placed = 0;
+    int guard = 0;
+    NodeId last_target = kInvalidNode;
+    while (placed < config.edges_per_node &&
+           guard < 200 * config.edges_per_node) {
+      ++guard;
+      NodeId v;
+      if (placed > 0 && last_target != kInvalidNode &&
+          rng.Chance(config.triad_prob) &&
+          !adj[static_cast<std::size_t>(last_target)].empty()) {
+        // Triangle closure: befriend a friend of the previous target.
+        const auto& nbrs = adj[static_cast<std::size_t>(last_target)];
+        v = nbrs[rng.Below(nbrs.size())];
+      } else {
+        const std::vector<NodeId>& pool =
+            (rng.Chance(config.intra_prob) && !comm_endpoints[cu].empty())
+                ? comm_endpoints[cu]
+                : all_endpoints;
+        v = pool[rng.Below(pool.size())];
+      }
+      if (v == u) continue;
+      if (!seen.insert(undirected_key(u, v)).second) continue;
+      DHTJOIN_RETURN_NOT_OK(add_edge(u, v));
+      adj[static_cast<std::size_t>(u)].push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+      last_target = v;
+      ++placed;
+    }
+
+    // Densification: extra edges between two existing (degree-biased)
+    // nodes, interleaved with node arrivals so they carry late
+    // timestamps once edge_list order is mapped to years.
+    double budget = config.densify_per_node;
+    int extras = static_cast<int>(budget);
+    if (rng.Chance(budget - extras)) ++extras;
+    for (int e = 0; e < extras; ++e) {
+      int guard2 = 0;
+      while (guard2++ < 50) {
+        NodeId a = all_endpoints[rng.Below(all_endpoints.size())];
+        NodeId b;
+        const auto& nbrs = adj[static_cast<std::size_t>(a)];
+        if (!nbrs.empty() && rng.Chance(config.triad_prob)) {
+          // Close a triangle around a: pick a neighbour's neighbour.
+          NodeId w = nbrs[rng.Below(nbrs.size())];
+          const auto& wn = adj[static_cast<std::size_t>(w)];
+          if (wn.empty()) continue;
+          b = wn[rng.Below(wn.size())];
+        } else {
+          b = all_endpoints[rng.Below(all_endpoints.size())];
+        }
+        if (a == b) continue;
+        if (!seen.insert(undirected_key(a, b)).second) continue;
+        DHTJOIN_RETURN_NOT_OK(add_edge(a, b));
+        adj[static_cast<std::size_t>(a)].push_back(b);
+        adj[static_cast<std::size_t>(b)].push_back(a);
+        break;
+      }
+    }
+  }
+
+  DHTJOIN_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  std::vector<std::vector<NodeId>> members(c);
+  for (std::size_t u = 0; u < n; ++u) {
+    members[static_cast<std::size_t>(node_comm[u])].push_back(
+        static_cast<NodeId>(u));
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    out.communities.emplace_back("comm-" + std::to_string(i),
+                                 std::move(members[i]));
+  }
+  return out;
+}
+
+}  // namespace dhtjoin::datasets

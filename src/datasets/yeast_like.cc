@@ -1,0 +1,46 @@
+#include "datasets/yeast_like.h"
+
+namespace dhtjoin::datasets {
+
+namespace {
+
+/// The 13 protein-type codes; "3-U", "5-F" and "8-D" are the ones the
+/// paper's experiments name, placed so that 3-U and 8-D are the two
+/// largest partitions (as the paper states).
+const char* kTypeCodes[13] = {"3-U", "8-D", "5-F", "1-A", "2-T", "4-G",
+                              "6-R", "7-C", "9-M", "10-E", "11-P", "12-S",
+                              "13-O"};
+
+}  // namespace
+
+Result<NodeSet> YeastLikeDataset::Partition(const std::string& code) const {
+  for (const NodeSet& s : partitions) {
+    if (s.name() == code) return s;
+  }
+  return Status::NotFound("unknown Yeast partition code '" + code + "'");
+}
+
+Result<YeastLikeDataset> GenerateYeastLike(const YeastLikeConfig& config) {
+  PlantedPartitionConfig pp;
+  pp.num_nodes = config.num_nodes;
+  pp.num_partitions = 13;
+  pp.num_edges = config.num_edges;
+  pp.intra_fraction = 0.7;
+  pp.size_skew = 0.85;
+  pp.seed = config.seed;
+  DHTJOIN_ASSIGN_OR_RETURN(PlantedPartitionDataset base,
+                           GeneratePlantedPartition(pp));
+
+  YeastLikeDataset out;
+  out.graph = std::move(base.graph);
+  // Partitions come out of the generator largest-first; relabel with the
+  // type codes.
+  for (std::size_t i = 0; i < base.partitions.size(); ++i) {
+    std::vector<NodeId> members(base.partitions[i].begin(),
+                                base.partitions[i].end());
+    out.partitions.emplace_back(kTypeCodes[i], std::move(members));
+  }
+  return out;
+}
+
+}  // namespace dhtjoin::datasets

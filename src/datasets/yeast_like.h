@@ -1,0 +1,39 @@
+/// \file datasets/yeast_like.h
+/// \brief Synthetic stand-in for the Yeast PPI network [Bu et al. 2003].
+///
+/// The paper's Yeast dataset: undirected, unweighted, 2.4k nodes, 7.2k
+/// edges, nodes partitioned into 13 non-overlapping protein-type sets.
+/// This generator reproduces those exact counts with a planted-partition
+/// topology; partition names follow the paper's type codes ("3-U",
+/// "5-F", "8-D" are the sets its experiments reference).
+
+#ifndef DHTJOIN_DATASETS_YEAST_LIKE_H_
+#define DHTJOIN_DATASETS_YEAST_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "datasets/planted_partition.h"
+
+namespace dhtjoin::datasets {
+
+struct YeastLikeDataset {
+  Graph graph;
+  std::vector<NodeSet> partitions;  ///< 13 disjoint type sets
+
+  /// Partition by paper-style code ("3-U"); Status error when unknown.
+  Result<NodeSet> Partition(const std::string& code) const;
+};
+
+struct YeastLikeConfig {
+  NodeId num_nodes = 2400;
+  int64_t num_edges = 7200;
+  uint64_t seed = 13;
+};
+
+Result<YeastLikeDataset> GenerateYeastLike(
+    const YeastLikeConfig& config = YeastLikeConfig{});
+
+}  // namespace dhtjoin::datasets
+
+#endif  // DHTJOIN_DATASETS_YEAST_LIKE_H_

@@ -1,0 +1,41 @@
+/// \file datasets/youtube_like.h
+/// \brief Synthetic stand-in for the paper's YouTube social graph.
+///
+/// The real dataset [Mislove et al. 2007]: undirected, unweighted, 1.1M
+/// nodes / 3M edges, with user-created interest groups as node sets
+/// (groups may overlap). This generator reproduces the shape at a
+/// configurable scale: heavy-tailed friendship topology plus Zipf-sized
+/// overlapping groups whose membership skews toward well-connected
+/// users.
+
+#ifndef DHTJOIN_DATASETS_YOUTUBE_LIKE_H_
+#define DHTJOIN_DATASETS_YOUTUBE_LIKE_H_
+
+#include <vector>
+
+#include "datasets/preferential_attachment.h"
+
+namespace dhtjoin::datasets {
+
+struct YouTubeLikeConfig {
+  NodeId num_users = 60000;
+  int edges_per_user = 4;
+  int num_groups = 100;
+  NodeId max_group_size = 400;
+  uint64_t seed = 36;
+};
+
+struct YouTubeLikeDataset {
+  Graph graph;
+  std::vector<NodeSet> groups;  ///< overlapping; "group-<id>"
+
+  /// Group by numeric id (paper uses "groups with ids 1 and 5").
+  Result<NodeSet> Group(int id) const;
+};
+
+Result<YouTubeLikeDataset> GenerateYouTubeLike(
+    const YouTubeLikeConfig& config = YouTubeLikeConfig{});
+
+}  // namespace dhtjoin::datasets
+
+#endif  // DHTJOIN_DATASETS_YOUTUBE_LIKE_H_

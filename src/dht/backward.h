@@ -1,0 +1,63 @@
+/// \file dht/backward.h
+/// \brief Backward first-hit propagation — the paper's backWalk (Eq. 5).
+///
+/// One backward walk from a target q yields h_d(u, q) for EVERY source u
+/// simultaneously in O(d * |E|):
+///   P_i(u, q) = sum_{(u,v) in E, v != q} p_uv * backProb[v]   (i > 1)
+///   P_1(u, q) = p_uq
+/// This |P|-fold advantage over forward processing is the core of the
+/// paper's B-BJ / B-IDJ family (Sec VI).
+
+#ifndef DHTJOIN_DHT_BACKWARD_H_
+#define DHTJOIN_DHT_BACKWARD_H_
+
+#include <vector>
+
+#include "dht/params.h"
+#include "graph/graph.h"
+
+namespace dhtjoin {
+
+/// Resumable backward walker for a single target q.
+///
+/// Reset() fixes the target, Advance() deepens the walk, Score(u) reads
+/// h_l(u, q) at the current depth l for any u. Workspace vectors are
+/// reused across Reset() calls.
+class BackwardWalker {
+ public:
+  explicit BackwardWalker(const Graph& g);
+
+  /// Starts a new backward walk absorbed at `q`.
+  void Reset(const DhtParams& params, NodeId q);
+
+  /// Advances the walk by `steps` more steps.
+  void Advance(int steps);
+
+  /// Current depth l.
+  int level() const { return level_; }
+
+  NodeId target() const { return target_; }
+
+  /// h_l(u, q) at the current depth; equals params.beta when u cannot
+  /// reach q within l steps. Score(q) itself is meaningless (self pair)
+  /// and must not be consumed by joins.
+  double Score(NodeId u) const {
+    return score_[static_cast<std::size_t>(u)];
+  }
+
+  /// Full score vector, indexed by node id.
+  const std::vector<double>& scores() const { return score_; }
+
+ private:
+  const Graph& g_;
+  DhtParams params_;
+  NodeId target_ = kInvalidNode;
+  int level_ = 0;
+  double lambda_pow_ = 1.0;              // lambda^level
+  std::vector<double> back_prob_, next_;  // P_l(u, q) per node
+  std::vector<double> score_;             // h_l(u, q) per node
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_DHT_BACKWARD_H_

@@ -1,0 +1,55 @@
+#include "dht/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dhtjoin {
+
+double XUpperBound(const DhtParams& params, int l) {
+  return params.XBound(l);
+}
+
+YBoundTable::YBoundTable(const Graph& g, const DhtParams& params, int d,
+                         const NodeSet& P, const NodeSet& Q)
+    : d_(d) {
+  DHTJOIN_CHECK_GE(d, 1);
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<double> prob(n, 0.0), next(n, 0.0);
+  for (NodeId p : P) prob[static_cast<std::size_t>(p)] = 1.0;
+
+  // s[qi][i-1] = S_i(P, q) for i = 1..d.
+  std::vector<std::vector<double>> s(
+      Q.size(), std::vector<double>(static_cast<std::size_t>(d), 0.0));
+
+  for (int i = 1; i <= d; ++i) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      double mass = prob[static_cast<std::size_t>(u)];
+      if (mass == 0.0) continue;
+      for (const OutEdge& e : g.OutEdges(u)) {
+        next[static_cast<std::size_t>(e.to)] += mass * e.prob;
+      }
+    }
+    for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+      s[qi][static_cast<std::size_t>(i) - 1] =
+          next[static_cast<std::size_t>(Q[qi])];
+    }
+    prob.swap(next);
+  }
+
+  // Suffix sums: Y_l = alpha * sum_{i=l+1..d} lambda^i min(S_i, 1).
+  per_q_suffix_.assign(Q.size(),
+                       std::vector<double>(static_cast<std::size_t>(d) + 1,
+                                           0.0));
+  for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+    double acc = 0.0;
+    for (int l = d - 1; l >= 0; --l) {
+      double li = std::pow(params.lambda, l + 1);
+      acc += params.alpha * li *
+             std::min(s[qi][static_cast<std::size_t>(l)], 1.0);
+      per_q_suffix_[qi][static_cast<std::size_t>(l)] = acc;
+    }
+  }
+}
+
+}  // namespace dhtjoin

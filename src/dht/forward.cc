@@ -1,0 +1,64 @@
+#include "dht/forward.h"
+
+#include <algorithm>
+
+namespace dhtjoin {
+
+ForwardWalker::ForwardWalker(const Graph& g)
+    : g_(g),
+      cur_(static_cast<std::size_t>(g.num_nodes()), 0.0),
+      next_(static_cast<std::size_t>(g.num_nodes()), 0.0) {}
+
+void ForwardWalker::Reset(const DhtParams& params, NodeId u, NodeId v) {
+  DHTJOIN_CHECK(g_.ContainsNode(u));
+  DHTJOIN_CHECK(g_.ContainsNode(v));
+  DHTJOIN_CHECK_NE(u, v);
+  params_ = params;
+  target_ = v;
+  level_ = 0;
+  score_ = params.beta;
+  lambda_pow_ = 1.0;
+  std::fill(cur_.begin(), cur_.end(), 0.0);
+  cur_[static_cast<std::size_t>(u)] = 1.0;
+  hit_probs_.clear();
+}
+
+void ForwardWalker::Advance(int steps) {
+  DHTJOIN_CHECK(target_ != kInvalidNode);
+  const NodeId n = g_.num_nodes();
+  for (int s = 0; s < steps; ++s) {
+    std::fill(next_.begin(), next_.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      double mass = cur_[static_cast<std::size_t>(u)];
+      // First-hit semantics absorb at the target; visiting semantics
+      // (PPR) let mass flow through it.
+      if (mass == 0.0 || (params_.first_hit && u == target_)) continue;
+      for (const OutEdge& e : g_.OutEdges(u)) {
+        next_[static_cast<std::size_t>(e.to)] += mass * e.prob;
+      }
+    }
+    ++level_;
+    lambda_pow_ *= params_.lambda;
+    double hit = next_[static_cast<std::size_t>(target_)];
+    hit_probs_.push_back(hit);
+    score_ += params_.alpha * lambda_pow_ * hit;
+    cur_.swap(next_);
+    // Mass now sitting on the target is first-hit mass of this step; it
+    // must not propagate further. The u == target_ skip above enforces
+    // that, and next iteration overwrites next_[target_] from zero.
+  }
+}
+
+double ForwardWalker::HitProbability(int i) const {
+  DHTJOIN_CHECK(i >= 1 && i <= level_);
+  return hit_probs_[static_cast<std::size_t>(i) - 1];
+}
+
+double ForwardWalker::Compute(const DhtParams& params, int d, NodeId u,
+                              NodeId v) {
+  Reset(params, u, v);
+  Advance(d);
+  return Score();
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,62 @@
+/// \file dht/forward.h
+/// \brief Forward first-hit random-walk propagation (paper Sec V-B).
+///
+/// Computes h_d(u, v) by pushing probability mass ALONG edge directions
+/// from the source u, with absorption at the target v: at every step,
+///   r'[w] = sum_{x != v, (x,w) in E} r[x] * p_xw ,
+/// and r'[v] is the first-hit probability P_i(u, v) of that step.
+/// One (u, v) pair costs O(d * |E|); this is what makes the forward
+/// 2-way join algorithms (F-BJ, F-IDJ) slow, as the paper stresses.
+
+#ifndef DHTJOIN_DHT_FORWARD_H_
+#define DHTJOIN_DHT_FORWARD_H_
+
+#include <vector>
+
+#include "dht/params.h"
+#include "graph/graph.h"
+
+namespace dhtjoin {
+
+/// Resumable forward walker for a single (source, target) pair.
+///
+/// Reset() sets the pair, Advance() pushes the walk further; Score()
+/// reads h_l(u, v) at the current depth l. The workspace is reused
+/// across Reset() calls, so one walker instance can serve many pairs
+/// without reallocating.
+class ForwardWalker {
+ public:
+  explicit ForwardWalker(const Graph& g);
+
+  /// Starts a new walk from `u` absorbed at `v`. `u != v` required.
+  void Reset(const DhtParams& params, NodeId u, NodeId v);
+
+  /// Advances the walk by `steps` more steps.
+  void Advance(int steps);
+
+  /// Current depth l (number of steps taken since Reset).
+  int level() const { return level_; }
+
+  /// h_l(u, v) at the current depth.
+  double Score() const { return score_; }
+
+  /// First-hit probability P_i(u, v) for i in [1, level()].
+  double HitProbability(int i) const;
+
+  /// Convenience: full truncated score h_d(u, v) in one call.
+  double Compute(const DhtParams& params, int d, NodeId u, NodeId v);
+
+ private:
+  const Graph& g_;
+  DhtParams params_;
+  NodeId target_ = kInvalidNode;
+  int level_ = 0;
+  double score_ = 0.0;
+  double lambda_pow_ = 1.0;           // lambda^level
+  std::vector<double> cur_, next_;    // probability mass vectors
+  std::vector<double> hit_probs_;     // P_i for i = 1..level
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_DHT_FORWARD_H_

@@ -1,0 +1,41 @@
+#include "eval/clique_prediction.h"
+
+#include "core/partial_join.h"
+#include "core/query_graph.h"
+#include "rankjoin/aggregate.h"
+
+namespace dhtjoin::eval {
+
+Result<RocResult> EvaluateCliquePrediction(
+    const Graph& true_graph, const Graph& test_graph, const NodeSet& P,
+    const NodeSet& Q, const NodeSet& R, const DhtParams& params, int d,
+    const CliquePredictionOptions& options) {
+  QueryGraph query;
+  int a = query.AddNodeSet(P);
+  int b = query.AddNodeSet(Q);
+  int c = query.AddNodeSet(R);
+  DHTJOIN_RETURN_NOT_OK(query.AddBidirectionalEdge(a, b));
+  DHTJOIN_RETURN_NOT_OK(query.AddBidirectionalEdge(b, c));
+  DHTJOIN_RETURN_NOT_OK(query.AddBidirectionalEdge(a, c));
+
+  PartialJoin join(PartialJoin::Options{
+      .m = options.m, .incremental = true, .bound = UpperBoundKind::kY});
+  MinAggregate min_f;
+  DHTJOIN_ASSIGN_OR_RETURN(
+      std::vector<TupleAnswer> tuples,
+      join.Run(test_graph, params, d, query, min_f, options.k));
+
+  auto is_clique = [](const Graph& g, NodeId x, NodeId y, NodeId z) {
+    return g.HasEdge(x, y) && g.HasEdge(y, z) && g.HasEdge(x, z);
+  };
+
+  std::vector<std::pair<double, bool>> scored;
+  for (const TupleAnswer& t : tuples) {
+    NodeId x = t.nodes[0], y = t.nodes[1], z = t.nodes[2];
+    if (is_clique(test_graph, x, y, z)) continue;  // already known in T
+    scored.emplace_back(t.f, is_clique(true_graph, x, y, z));
+  }
+  return ComputeRoc(std::move(scored));
+}
+
+}  // namespace dhtjoin::eval

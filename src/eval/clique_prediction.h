@@ -1,0 +1,36 @@
+/// \file eval/clique_prediction.h
+/// \brief The paper's 3-clique-prediction experiment (Sec VII-B.3).
+///
+/// Run a triangle 3-way join (both directions per side, MIN aggregate)
+/// over (P, Q, R) on the TEST graph T; every returned tuple that is not
+/// already a 3-clique in T is a prediction, a true positive when the
+/// three nodes DO form a clique in the TRUE graph G. Scores feed an
+/// ROC/AUC exactly as in link prediction (paper Table IV).
+
+#ifndef DHTJOIN_EVAL_CLIQUE_PREDICTION_H_
+#define DHTJOIN_EVAL_CLIQUE_PREDICTION_H_
+
+#include "dht/params.h"
+#include "eval/roc.h"
+#include "graph/graph.h"
+#include "graph/node_set.h"
+#include "util/status.h"
+
+namespace dhtjoin::eval {
+
+struct CliquePredictionOptions {
+  /// Number of top tuples the 3-way join materializes as candidates.
+  std::size_t k = 2000;
+  /// 2-way list depth of the underlying PJ-i run.
+  std::size_t m = 200;
+};
+
+/// Runs the triangle join on the test graph and scores the predictions.
+Result<RocResult> EvaluateCliquePrediction(
+    const Graph& true_graph, const Graph& test_graph, const NodeSet& P,
+    const NodeSet& Q, const NodeSet& R, const DhtParams& params, int d,
+    const CliquePredictionOptions& options = CliquePredictionOptions{});
+
+}  // namespace dhtjoin::eval
+
+#endif  // DHTJOIN_EVAL_CLIQUE_PREDICTION_H_

@@ -1,0 +1,34 @@
+#include "eval/link_prediction.h"
+
+#include "dht/backward.h"
+
+namespace dhtjoin::eval {
+
+Result<RocResult> EvaluateLinkPrediction(const Graph& true_graph,
+                                         const Graph& test_graph,
+                                         const NodeSet& P, const NodeSet& Q,
+                                         const DhtParams& params, int d) {
+  DHTJOIN_RETURN_NOT_OK(params.Validate());
+  DHTJOIN_RETURN_NOT_OK(P.Validate(test_graph));
+  DHTJOIN_RETURN_NOT_OK(Q.Validate(test_graph));
+  DHTJOIN_RETURN_NOT_OK(P.Validate(true_graph));
+  DHTJOIN_RETURN_NOT_OK(Q.Validate(true_graph));
+  if (d < 1) return Status::InvalidArgument("d must be >= 1");
+
+  std::vector<std::pair<double, bool>> scored;
+  BackwardWalker walker(test_graph);
+  for (NodeId q : Q) {
+    walker.Reset(params, q);
+    walker.Advance(d);
+    for (NodeId p : P) {
+      if (p == q) continue;
+      if (test_graph.HasEdge(p, q)) continue;  // already linked: not a
+                                               // prediction
+      bool positive = true_graph.HasEdge(p, q);
+      scored.emplace_back(walker.Score(p), positive);
+    }
+  }
+  return ComputeRoc(std::move(scored));
+}
+
+}  // namespace dhtjoin::eval

@@ -1,0 +1,33 @@
+/// \file eval/link_prediction.h
+/// \brief The paper's link-prediction experiment (Sec VII-B.2).
+///
+/// Run a 2-way join between P and Q on the TEST graph T; every returned
+/// pair not already linked in T is a prediction, counted as a true
+/// positive when the pair IS linked in the TRUE graph G. Sweeping the
+/// prediction cutoff yields an ROC curve and its AUC (paper Fig. 6,
+/// Table IV).
+
+#ifndef DHTJOIN_EVAL_LINK_PREDICTION_H_
+#define DHTJOIN_EVAL_LINK_PREDICTION_H_
+
+#include "dht/params.h"
+#include "eval/roc.h"
+#include "graph/graph.h"
+#include "graph/node_set.h"
+#include "util/status.h"
+
+namespace dhtjoin::eval {
+
+/// Scores every candidate pair (p in P, q in Q, p != q, not adjacent in
+/// `test_graph`) by h_d(p, q) computed ON the test graph (backward
+/// processing, one walk per q), labels it by adjacency in `true_graph`,
+/// and returns the ROC/AUC. Pairs unreachable within d steps score at
+/// the floor (beta) and participate as lowest-ranked candidates.
+Result<RocResult> EvaluateLinkPrediction(const Graph& true_graph,
+                                         const Graph& test_graph,
+                                         const NodeSet& P, const NodeSet& Q,
+                                         const DhtParams& params, int d);
+
+}  // namespace dhtjoin::eval
+
+#endif  // DHTJOIN_EVAL_LINK_PREDICTION_H_

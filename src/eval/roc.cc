@@ -1,0 +1,53 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+
+namespace dhtjoin::eval {
+
+RocResult ComputeRoc(std::vector<std::pair<double, bool>> scored_labels) {
+  RocResult out;
+  for (const auto& [score, positive] : scored_labels) {
+    (void)score;
+    if (positive) {
+      out.positives++;
+    } else {
+      out.negatives++;
+    }
+  }
+  if (out.positives == 0 || out.negatives == 0) return out;
+
+  std::sort(scored_labels.begin(), scored_labels.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  const double np = static_cast<double>(out.positives);
+  const double nn = static_cast<double>(out.negatives);
+  int64_t tp = 0, fp = 0;
+  out.points.push_back(RocPoint{0.0, 0.0});
+  double auc = 0.0;
+  double prev_fpr = 0.0, prev_tpr = 0.0;
+
+  std::size_t i = 0;
+  while (i < scored_labels.size()) {
+    // Process tied scores as one step so the curve cuts diagonally
+    // through the tie block instead of favouring one label order.
+    double score = scored_labels[i].first;
+    while (i < scored_labels.size() && scored_labels[i].first == score) {
+      if (scored_labels[i].second) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    double fpr = static_cast<double>(fp) / nn;
+    double tpr = static_cast<double>(tp) / np;
+    auc += 0.5 * (fpr - prev_fpr) * (tpr + prev_tpr);  // trapezoid
+    out.points.push_back(RocPoint{fpr, tpr});
+    prev_fpr = fpr;
+    prev_tpr = tpr;
+  }
+  out.auc = auc;
+  return out;
+}
+
+}  // namespace dhtjoin::eval

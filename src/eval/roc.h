@@ -1,0 +1,39 @@
+/// \file eval/roc.h
+/// \brief ROC curves and AUC (paper Sec VII-B measurement protocol).
+///
+/// Predictions are scored candidates with binary ground-truth labels;
+/// sweeping a threshold over the scores traces the ROC curve, and the
+/// area under it (AUC) summarizes accuracy robustly under class
+/// imbalance [Fawcett 2006], which is why the paper uses it.
+
+#ifndef DHTJOIN_EVAL_ROC_H_
+#define DHTJOIN_EVAL_ROC_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dhtjoin::eval {
+
+struct RocPoint {
+  double fpr;  ///< false-positive rate
+  double tpr;  ///< true-positive rate
+};
+
+struct RocResult {
+  std::vector<RocPoint> points;  ///< curve from (0,0) to (1,1)
+  double auc = 0.0;
+  int64_t positives = 0;
+  int64_t negatives = 0;
+};
+
+/// Computes the ROC curve and AUC from (score, is_positive) pairs.
+/// Ties are handled correctly (grouped into a single sweep step, which
+/// is equivalent to the Mann-Whitney treatment of ties). Degenerate
+/// inputs (no positives or no negatives) yield auc = 0 with an empty
+/// curve.
+RocResult ComputeRoc(std::vector<std::pair<double, bool>> scored_labels);
+
+}  // namespace dhtjoin::eval
+
+#endif  // DHTJOIN_EVAL_ROC_H_

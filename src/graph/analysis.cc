@@ -1,0 +1,99 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace dhtjoin {
+
+ComponentInfo ConnectedComponents(const Graph& g) {
+  ComponentInfo info;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  info.component.assign(n, -1);
+  std::vector<int64_t> sizes;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (info.component[static_cast<std::size_t>(start)] != -1) continue;
+    int id = info.num_components++;
+    int64_t size = 0;
+    std::deque<NodeId> frontier = {start};
+    info.component[static_cast<std::size_t>(start)] = id;
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop_front();
+      ++size;
+      auto visit = [&](NodeId v) {
+        if (info.component[static_cast<std::size_t>(v)] == -1) {
+          info.component[static_cast<std::size_t>(v)] = id;
+          frontier.push_back(v);
+        }
+      };
+      for (const OutEdge& e : g.OutEdges(u)) visit(e.to);
+      for (NodeId v : g.InNeighbors(u)) visit(v);
+    }
+    sizes.push_back(size);
+  }
+  for (int64_t s : sizes) info.largest = std::max(info.largest, s);
+  return info;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  // Undirected view: neighbour sets merge out- and in-adjacency.
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::vector<NodeId>> nbrs(n);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::unordered_set<NodeId> set;
+    for (const OutEdge& e : g.OutEdges(u)) set.insert(e.to);
+    for (NodeId v : g.InNeighbors(u)) set.insert(v);
+    set.erase(u);
+    nbrs[static_cast<std::size_t>(u)].assign(set.begin(), set.end());
+    std::sort(nbrs[static_cast<std::size_t>(u)].begin(),
+              nbrs[static_cast<std::size_t>(u)].end());
+  }
+
+  int64_t wedges = 0;
+  int64_t closed = 0;  // ordered wedge closures; each triangle counts 6x
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto& row = nbrs[static_cast<std::size_t>(u)];
+    auto deg = static_cast<int64_t>(row.size());
+    wedges += deg * (deg - 1);  // ordered wedges centred at u
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        const auto& ri = nbrs[static_cast<std::size_t>(row[i])];
+        if (std::binary_search(ri.begin(), ri.end(), row[j])) {
+          closed += 2;  // both orderings of (i, j)
+        }
+      }
+    }
+  }
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(closed) / static_cast<double>(wedges);
+}
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  if (g.num_nodes() == 0) return stats;
+  std::vector<int64_t> degrees(static_cast<std::size_t>(g.num_nodes()));
+  int64_t total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    degrees[static_cast<std::size_t>(u)] = g.Degree(u);
+    total += g.Degree(u);
+  }
+  std::sort(degrees.begin(), degrees.end());
+  auto percentile = [&](double p) {
+    auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(degrees.size() - 1));
+    return static_cast<double>(degrees[idx]);
+  };
+  stats.min = degrees.front();
+  stats.max = degrees.back();
+  stats.mean = static_cast<double>(total) /
+               static_cast<double>(g.num_nodes());
+  stats.p50 = percentile(0.50);
+  stats.p90 = percentile(0.90);
+  stats.p99 = percentile(0.99);
+  return stats;
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,49 @@
+/// \file graph/analysis.h
+/// \brief Structural statistics of a graph.
+///
+/// Used three ways: by tests to verify that the dataset generators
+/// actually produce the structural properties DESIGN.md claims
+/// (clustering, connectivity, heavy-tailed degrees); by the CLI `stats`
+/// subcommand; and by users sizing a join workload.
+
+#ifndef DHTJOIN_GRAPH_ANALYSIS_H_
+#define DHTJOIN_GRAPH_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dhtjoin {
+
+/// Weakly connected components (edge direction ignored).
+struct ComponentInfo {
+  /// component id per node, in [0, num_components).
+  std::vector<int> component;
+  int num_components = 0;
+  /// size of the largest component.
+  int64_t largest = 0;
+};
+
+ComponentInfo ConnectedComponents(const Graph& g);
+
+/// Global clustering coefficient: 3 * triangles / wedges, computed over
+/// the undirected view of the graph (an edge in either direction counts
+/// once). Returns 0 for graphs without wedges.
+double GlobalClusteringCoefficient(const Graph& g);
+
+/// Summary statistics of the total-degree distribution.
+struct DegreeStats {
+  int64_t min = 0;
+  int64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;  ///< median
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_GRAPH_ANALYSIS_H_

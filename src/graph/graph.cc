@@ -1,0 +1,26 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace dhtjoin {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (!ContainsNode(u) || !ContainsNode(v)) return false;
+  auto row = OutEdges(u);
+  auto it = std::lower_bound(
+      row.begin(), row.end(), v,
+      [](const OutEdge& e, NodeId target) { return e.to < target; });
+  return it != row.end() && it->to == v;
+}
+
+double Graph::EdgeWeight(NodeId u, NodeId v) const {
+  if (!ContainsNode(u) || !ContainsNode(v)) return 0.0;
+  auto row = OutEdges(u);
+  auto it = std::lower_bound(
+      row.begin(), row.end(), v,
+      [](const OutEdge& e, NodeId target) { return e.to < target; });
+  if (it == row.end() || it->to != v) return 0.0;
+  return it->weight;
+}
+
+}  // namespace dhtjoin

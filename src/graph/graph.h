@@ -1,0 +1,100 @@
+/// \file graph/graph.h
+/// \brief Immutable directed weighted graph in CSR form.
+///
+/// This is the data model of the paper (Sec III-A): a directed, weighted
+/// graph G = (V_G, E_G) where w_uv is the weight of edge (u, v) and the
+/// random-walk transition probability is
+///   p_uv = w_uv / sum_{v' in O_u} w_uv' .
+/// The graph stores out-adjacency (targets + weights + precomputed
+/// transition probabilities) and in-adjacency (sources) in compressed
+/// sparse row layout so that both forward and backward walks stream over
+/// contiguous memory.
+///
+/// Construct via GraphBuilder (graph/graph_builder.h) or the dataset
+/// generators (datasets/).
+
+#ifndef DHTJOIN_GRAPH_GRAPH_H_
+#define DHTJOIN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dhtjoin {
+
+/// Dense node identifier in [0, Graph::num_nodes()).
+using NodeId = int32_t;
+
+/// Invalid/absent node marker.
+inline constexpr NodeId kInvalidNode = -1;
+
+/// One outgoing arc: target node, raw weight, transition probability.
+struct OutEdge {
+  NodeId to;
+  double weight;
+  double prob;  ///< p_uv = weight / total out-weight of the source
+};
+
+/// Immutable CSR graph. Instances are cheap to move, expensive to copy.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes |V_G|.
+  NodeId num_nodes() const { return static_cast<NodeId>(out_offsets_.empty()
+                                 ? 0
+                                 : out_offsets_.size() - 1); }
+
+  /// Number of directed edges |E_G|.
+  int64_t num_edges() const { return static_cast<int64_t>(out_edges_.size()); }
+
+  /// Outgoing arcs of `u` (O_u) with weights and transition probabilities.
+  std::span<const OutEdge> OutEdges(NodeId u) const {
+    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
+    return {out_edges_.data() + out_offsets_[u],
+            out_edges_.data() + out_offsets_[u + 1]};
+  }
+
+  /// In-neighbor node ids of `u` (I_u).
+  std::span<const NodeId> InNeighbors(NodeId u) const {
+    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
+    return {in_neighbors_.data() + in_offsets_[u],
+            in_neighbors_.data() + in_offsets_[u + 1]};
+  }
+
+  int64_t OutDegree(NodeId u) const {
+    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+
+  int64_t InDegree(NodeId u) const {
+    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
+    return in_offsets_[u + 1] - in_offsets_[u];
+  }
+
+  /// Total degree (in + out); the generators use it for hub selection.
+  int64_t Degree(NodeId u) const { return OutDegree(u) + InDegree(u); }
+
+  /// True when (u, v) is an edge. O(log OutDegree(u)) — out-edges are
+  /// sorted by target within each row.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Weight of edge (u, v); 0 when absent.
+  double EdgeWeight(NodeId u, NodeId v) const;
+
+  bool ContainsNode(NodeId u) const { return u >= 0 && u < num_nodes(); }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<int64_t> out_offsets_;  // size num_nodes()+1
+  std::vector<OutEdge> out_edges_;    // sorted by target within each row
+  std::vector<int64_t> in_offsets_;   // size num_nodes()+1
+  std::vector<NodeId> in_neighbors_;  // sorted within each row
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_GRAPH_GRAPH_H_

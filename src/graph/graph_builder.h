@@ -1,0 +1,61 @@
+/// \file graph/graph_builder.h
+/// \brief Mutable accumulator that produces an immutable Graph.
+
+#ifndef DHTJOIN_GRAPH_GRAPH_BUILDER_H_
+#define DHTJOIN_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dhtjoin {
+
+/// Accumulates edges, then finalizes into a CSR Graph.
+///
+/// Duplicate edges have their weights summed (the DBLP co-authorship
+/// semantics: one paper = +1 weight). Self-loops are rejected: a
+/// first-hit random walk never follows (v, v) meaningfully and the
+/// paper's graphs contain none.
+class GraphBuilder {
+ public:
+  /// \param num_nodes total node count; node ids are [0, num_nodes).
+  /// \param undirected when true, AddEdge(u, v, w) also adds (v, u, w).
+  explicit GraphBuilder(NodeId num_nodes, bool undirected = false);
+
+  /// Adds edge (u, v) with weight `w` (> 0). Ids must be in range;
+  /// self-loops and non-positive weights return InvalidArgument.
+  Status AddEdge(NodeId u, NodeId v, double w = 1.0);
+
+  /// Number of AddEdge calls accepted so far (before dedup).
+  int64_t num_pending_edges() const {
+    return static_cast<int64_t>(edges_.size());
+  }
+
+  NodeId num_nodes() const { return num_nodes_; }
+  bool undirected() const { return undirected_; }
+
+  /// True when (u, v) was added (directed view). O(pending edges) — only
+  /// intended for generator-side duplicate avoidance via hash, so the
+  /// generators keep their own sets; exposed for tests.
+  bool HasPendingEdge(NodeId u, NodeId v) const;
+
+  /// Finalizes: dedups (summing weights), sorts rows, computes transition
+  /// probabilities, builds the in-adjacency. The builder is left empty.
+  Result<Graph> Build();
+
+ private:
+  struct PendingEdge {
+    NodeId from;
+    NodeId to;
+    double weight;
+  };
+
+  NodeId num_nodes_;
+  bool undirected_;
+  std::vector<PendingEdge> edges_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,136 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+
+namespace dhtjoin {
+
+namespace {
+
+std::string LineError(const std::string& path, int line,
+                      const std::string& what) {
+  return path + ":" + std::to_string(line) + ": " + what;
+}
+
+}  // namespace
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << "# dhtjoin-graph nodes=" << g.num_nodes()
+      << " edges=" << g.num_edges() << " directed=1\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const OutEdge& e : g.OutEdges(u)) {
+      out << u << ' ' << e.to << ' ' << e.weight << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+
+  struct RawEdge {
+    NodeId u, v;
+    double w;
+  };
+  std::vector<RawEdge> raw;
+  NodeId declared_nodes = -1;
+  NodeId max_node = -1;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Optional header: "# dhtjoin-graph nodes=N ...".
+      auto pos = line.find("nodes=");
+      if (pos != std::string::npos) {
+        declared_nodes =
+            static_cast<NodeId>(std::strtol(line.c_str() + pos + 6,
+                                            nullptr, 10));
+      }
+      continue;
+    }
+    std::istringstream ss(line);
+    long long u, v;
+    double w = 1.0;
+    if (!(ss >> u >> v)) {
+      return Status::IOError(LineError(path, line_no, "expected '<u> <v>'"));
+    }
+    ss >> w;  // optional weight
+    if (u < 0 || v < 0) {
+      return Status::IOError(LineError(path, line_no, "negative node id"));
+    }
+    if (!(w > 0.0)) {
+      return Status::IOError(
+          LineError(path, line_no, "non-positive edge weight"));
+    }
+    raw.push_back(RawEdge{static_cast<NodeId>(u), static_cast<NodeId>(v), w});
+    max_node = std::max({max_node, static_cast<NodeId>(u),
+                         static_cast<NodeId>(v)});
+  }
+
+  NodeId n = declared_nodes >= 0 ? declared_nodes : max_node + 1;
+  if (max_node >= n) {
+    return Status::IOError(path + ": edge references node " +
+                           std::to_string(max_node) +
+                           " but header declares only " + std::to_string(n));
+  }
+  GraphBuilder builder(n, /*undirected=*/false);
+  for (const auto& e : raw) {
+    DHTJOIN_RETURN_NOT_OK(builder.AddEdge(e.u, e.v, e.w));
+  }
+  return builder.Build();
+}
+
+Status SaveNodeSets(const std::vector<NodeSet>& sets,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  for (const NodeSet& s : sets) {
+    out << s.name();
+    for (NodeId u : s) out << ' ' << u;
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<std::vector<NodeSet>> LoadNodeSets(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::vector<NodeSet> sets;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string name;
+    if (!(ss >> name)) {
+      return Status::IOError(LineError(path, line_no, "missing set name"));
+    }
+    std::vector<NodeId> nodes;
+    long long id;
+    while (ss >> id) {
+      if (id < 0) {
+        return Status::IOError(LineError(path, line_no, "negative node id"));
+      }
+      nodes.push_back(static_cast<NodeId>(id));
+    }
+    sets.emplace_back(name, std::move(nodes));
+  }
+  return sets;
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,41 @@
+/// \file graph/graph_io.h
+/// \brief Text serialization of graphs and node sets.
+///
+/// Edge-list format, one edge per line:
+///   <from> <to> [weight]
+/// '#'-prefixed lines are comments. A header comment written by
+/// SaveEdgeList records node count and directedness; LoadEdgeList also
+/// accepts headerless files (node count inferred, directed, weight 1).
+///
+/// Node-set format, one set per line:
+///   <name> <id> <id> ...
+
+#ifndef DHTJOIN_GRAPH_GRAPH_IO_H_
+#define DHTJOIN_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/node_set.h"
+#include "util/status.h"
+
+namespace dhtjoin {
+
+/// Writes `g` as a directed edge list with a "# dhtjoin-graph" header.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+/// Reads an edge list. Malformed lines, out-of-range ids, and negative
+/// weights produce IOError/InvalidArgument with the line number.
+Result<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes node sets, one per line.
+Status SaveNodeSets(const std::vector<NodeSet>& sets,
+                    const std::string& path);
+
+/// Reads node sets written by SaveNodeSets.
+Result<std::vector<NodeSet>> LoadNodeSets(const std::string& path);
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_GRAPH_GRAPH_IO_H_

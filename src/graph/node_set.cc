@@ -1,0 +1,42 @@
+#include "graph/node_set.h"
+
+#include <algorithm>
+
+namespace dhtjoin {
+
+NodeSet::NodeSet(std::string name, std::vector<NodeId> nodes)
+    : name_(std::move(name)), nodes_(std::move(nodes)) {
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+}
+
+bool NodeSet::Contains(NodeId u) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), u);
+}
+
+Status NodeSet::Validate(const Graph& g) const {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("node set '" + name_ + "' is empty");
+  }
+  for (NodeId u : nodes_) {
+    if (!g.ContainsNode(u)) {
+      return Status::InvalidArgument("node set '" + name_ +
+                                     "' references node " +
+                                     std::to_string(u) +
+                                     " absent from the graph");
+    }
+  }
+  return Status::OK();
+}
+
+NodeSet NodeSet::TopByDegree(const Graph& g, std::size_t count) const {
+  std::vector<NodeId> sorted = nodes_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&g](NodeId a, NodeId b) {
+                     return g.Degree(a) > g.Degree(b);
+                   });
+  if (sorted.size() > count) sorted.resize(count);
+  return NodeSet(name_ + "-top" + std::to_string(count), std::move(sorted));
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,52 @@
+/// \file graph/node_set.h
+/// \brief A named subset of graph nodes (paper Sec III-A: "node set").
+///
+/// The operands of every join in the paper are node sets R_i ⊆ V_G —
+/// e.g. "authors in the Database area" or "members of YouTube group 5".
+
+#ifndef DHTJOIN_GRAPH_NODE_SET_H_
+#define DHTJOIN_GRAPH_NODE_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dhtjoin {
+
+/// Sorted, deduplicated set of node ids with a display name.
+class NodeSet {
+ public:
+  NodeSet() = default;
+
+  /// Sorts and dedups `nodes`.
+  NodeSet(std::string name, std::vector<NodeId> nodes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Membership test; O(log size).
+  bool Contains(NodeId u) const;
+
+  NodeId operator[](std::size_t i) const { return nodes_[i]; }
+  auto begin() const { return nodes_.begin(); }
+  auto end() const { return nodes_.end(); }
+
+  /// Error unless every node id exists in `g` and the set is non-empty.
+  Status Validate(const Graph& g) const;
+
+  /// The `count` members with the largest total degree in `g`
+  /// (the paper's Table III picks the 100 most-published authors).
+  NodeSet TopByDegree(const Graph& g, std::size_t count) const;
+
+ private:
+  std::string name_;
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_GRAPH_NODE_SET_H_

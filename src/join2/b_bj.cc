@@ -1,0 +1,44 @@
+#include "join2/b_bj.h"
+
+#include "dht/backward.h"
+
+namespace dhtjoin {
+
+Result<std::vector<ScoredPair>> BBjJoin::Run(const Graph& g,
+                                             const DhtParams& params, int d,
+                                             const NodeSet& P,
+                                             const NodeSet& Q,
+                                             std::size_t k) {
+  DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, k));
+  DHTJOIN_ASSIGN_OR_RETURN(std::vector<ScoredPair> all,
+                           RunAllPairs(g, params, d, P, Q));
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+Result<std::vector<ScoredPair>> BBjJoin::RunAllPairs(const Graph& g,
+                                                     const DhtParams& params,
+                                                     int d, const NodeSet& P,
+                                                     const NodeSet& Q) {
+  DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, 1));
+  stats_.Reset();
+  BackwardWalker walker(g);
+  std::vector<ScoredPair> out;
+  for (NodeId q : Q) {
+    walker.Reset(params, q);
+    walker.Advance(d);
+    stats_.walks_started++;
+    stats_.walk_steps += d;
+    for (NodeId p : P) {
+      if (p == q) continue;
+      double score = walker.Score(p);
+      if (score > params.beta) {
+        out.push_back(ScoredPair{p, q, score});
+      }
+    }
+  }
+  FinalizePairs(out, out.size());
+  return out;
+}
+
+}  // namespace dhtjoin

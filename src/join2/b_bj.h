@@ -1,0 +1,34 @@
+/// \file join2/b_bj.h
+/// \brief B-BJ — Backward Basic Join (paper Sec VI-A).
+///
+/// One d-step backward walk per target q yields h_d(p, q) for every
+/// p in P at once: O(|Q| * d * |E|), an O(|P|)-factor improvement over
+/// F-BJ. No pruning; running time is independent of k.
+
+#ifndef DHTJOIN_JOIN2_B_BJ_H_
+#define DHTJOIN_JOIN2_B_BJ_H_
+
+#include "join2/two_way_join.h"
+
+namespace dhtjoin {
+
+class BBjJoin final : public TwoWayJoin {
+ public:
+  std::string Name() const override { return "B-BJ"; }
+
+  Result<std::vector<ScoredPair>> Run(const Graph& g, const DhtParams& params,
+                                      int d, const NodeSet& P,
+                                      const NodeSet& Q,
+                                      std::size_t k) override;
+
+  /// All-pairs variant (no k cut); a faster engine for the AP baseline
+  /// than the paper's F-BJ choice — used by the ablation bench.
+  Result<std::vector<ScoredPair>> RunAllPairs(const Graph& g,
+                                              const DhtParams& params, int d,
+                                              const NodeSet& P,
+                                              const NodeSet& Q);
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_JOIN2_B_BJ_H_

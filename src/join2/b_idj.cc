@@ -1,0 +1,91 @@
+#include "join2/b_idj.h"
+
+#include <limits>
+#include <memory>
+
+#include "dht/backward.h"
+#include "dht/bounds.h"
+#include "util/top_k.h"
+
+namespace dhtjoin {
+
+Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
+                                              const DhtParams& params, int d,
+                                              const NodeSet& P,
+                                              const NodeSet& Q,
+                                              std::size_t k) {
+  DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, k));
+  stats_.Reset();
+
+  std::unique_ptr<YBoundTable> ybound;
+  if (options_.bound == UpperBoundKind::kY) {
+    ybound = std::make_unique<YBoundTable>(g, params, d, P, Q);
+    stats_.walk_steps += d;  // the S_i(P, q) sweep
+  }
+  auto remainder = [&](int l, std::size_t qi) {
+    return options_.bound == UpperBoundKind::kY ? ybound->Bound(l, qi)
+                                                : params.XBound(l);
+  };
+
+  BackwardWalker walker(g);
+  std::vector<std::size_t> live(Q.size());
+  for (std::size_t qi = 0; qi < Q.size(); ++qi) live[qi] = qi;
+  stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+
+  for (int l = 1; l < d; l *= 2) {
+    TopK<ScoredPair> bounds(k);  // B is reset every iteration (Alg. 2 Step 3)
+    std::vector<double> q_upper(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      NodeId q = Q[live[i]];
+      walker.Reset(params, q);
+      walker.Advance(l);
+      stats_.walks_started++;
+      stats_.walk_steps += l;
+      double pmax = params.beta;  // floor of h_l over p
+      for (NodeId p : P) {
+        if (p == q) continue;
+        double s = walker.Score(p);
+        if (s > params.beta) {
+          bounds.Offer(s, ScoredPair{p, q, s});
+          if (s > pmax) pmax = s;
+        }
+      }
+      q_upper[i] = pmax + remainder(l, live[i]);
+    }
+    double tk = bounds.Threshold();
+    std::vector<std::size_t> survivors;
+    survivors.reserve(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (q_upper[i] >= tk) survivors.push_back(live[i]);
+    }
+    stats_.pruned_fraction_per_iteration.push_back(
+        1.0 - static_cast<double>(survivors.size()) /
+                  static_cast<double>(Q.size()));
+    live.swap(survivors);
+    stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+  }
+
+  // Final pass (Alg. 2 Steps 16-17): exact d-step walks for survivors.
+  TopK<ScoredPair> best(k);
+  for (std::size_t qi : live) {
+    NodeId q = Q[qi];
+    walker.Reset(params, q);
+    walker.Advance(d);
+    stats_.walks_started++;
+    stats_.walk_steps += d;
+    for (NodeId p : P) {
+      if (p == q) continue;
+      double s = walker.Score(p);
+      if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
+    }
+  }
+
+  std::vector<ScoredPair> out;
+  for (auto& entry : best.TakeSortedDescending()) {
+    out.push_back(entry.item);
+  }
+  FinalizePairs(out, k);
+  return out;
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,43 @@
+/// \file join2/b_idj.h
+/// \brief B-IDJ — Backward Iterative Deepening Join (paper Algorithm 2).
+///
+/// Iterative deepening over backward walks: walk lengths l = 1, 2, 4, ...
+/// (< d); after each iteration target q is pruned from Q when
+///   qUpper[q] = max_p h_l(p, q) + U_l^+  <  T_k ,
+/// T_k being the k-th best lower bound of the iteration. Survivors get a
+/// final exact d-step walk. The remainder bound U_l^+ is pluggable:
+/// X_l^+ (B-IDJ-X) or Y_l^+(P, q) (B-IDJ-Y, tighter — the paper's best
+/// 2-way algorithm and the engine inside PJ).
+
+#ifndef DHTJOIN_JOIN2_B_IDJ_H_
+#define DHTJOIN_JOIN2_B_IDJ_H_
+
+#include "join2/two_way_join.h"
+
+namespace dhtjoin {
+
+class BIdjJoin final : public TwoWayJoin {
+ public:
+  struct Options {
+    UpperBoundKind bound = UpperBoundKind::kY;
+  };
+
+  BIdjJoin() = default;
+  explicit BIdjJoin(Options options) : options_(options) {}
+
+  std::string Name() const override {
+    return options_.bound == UpperBoundKind::kY ? "B-IDJ-Y" : "B-IDJ-X";
+  }
+
+  Result<std::vector<ScoredPair>> Run(const Graph& g, const DhtParams& params,
+                                      int d, const NodeSet& P,
+                                      const NodeSet& Q,
+                                      std::size_t k) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_JOIN2_B_IDJ_H_

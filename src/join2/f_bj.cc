@@ -1,0 +1,42 @@
+#include "join2/f_bj.h"
+
+#include "dht/forward.h"
+
+namespace dhtjoin {
+
+Result<std::vector<ScoredPair>> FBjJoin::Run(const Graph& g,
+                                             const DhtParams& params, int d,
+                                             const NodeSet& P,
+                                             const NodeSet& Q,
+                                             std::size_t k) {
+  DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, k));
+  DHTJOIN_ASSIGN_OR_RETURN(std::vector<ScoredPair> all,
+                           RunAllPairs(g, params, d, P, Q));
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+Result<std::vector<ScoredPair>> FBjJoin::RunAllPairs(const Graph& g,
+                                                     const DhtParams& params,
+                                                     int d, const NodeSet& P,
+                                                     const NodeSet& Q) {
+  DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, 1));
+  stats_.Reset();
+  ForwardWalker walker(g);
+  std::vector<ScoredPair> out;
+  for (NodeId p : P) {
+    for (NodeId q : Q) {
+      if (p == q) continue;
+      double score = walker.Compute(params, d, p, q);
+      stats_.walks_started++;
+      stats_.walk_steps += d;
+      if (score > params.beta) {
+        out.push_back(ScoredPair{p, q, score});
+      }
+    }
+  }
+  FinalizePairs(out, out.size());
+  return out;
+}
+
+}  // namespace dhtjoin

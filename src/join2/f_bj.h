@@ -1,0 +1,35 @@
+/// \file join2/f_bj.h
+/// \brief F-BJ — Forward Basic Join (paper Sec V-B).
+///
+/// Computes h_d(p, q) for every pair by a full forward walk per pair:
+/// O(|P| * |Q| * d * |E|). The slowest correct algorithm; it is the
+/// 2-way engine the paper uses inside the AP baseline.
+
+#ifndef DHTJOIN_JOIN2_F_BJ_H_
+#define DHTJOIN_JOIN2_F_BJ_H_
+
+#include "join2/two_way_join.h"
+
+namespace dhtjoin {
+
+class FBjJoin final : public TwoWayJoin {
+ public:
+  std::string Name() const override { return "F-BJ"; }
+
+  Result<std::vector<ScoredPair>> Run(const Graph& g, const DhtParams& params,
+                                      int d, const NodeSet& P,
+                                      const NodeSet& Q,
+                                      std::size_t k) override;
+
+  /// All-pairs variant: every valid pair with its score, sorted
+  /// descending (no k cut). Used by the AP n-way baseline, which needs
+  /// complete per-edge lists.
+  Result<std::vector<ScoredPair>> RunAllPairs(const Graph& g,
+                                              const DhtParams& params, int d,
+                                              const NodeSet& P,
+                                              const NodeSet& Q);
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_JOIN2_F_BJ_H_

@@ -1,0 +1,74 @@
+#include "join2/f_idj.h"
+
+#include <limits>
+
+#include "dht/forward.h"
+#include "util/top_k.h"
+
+namespace dhtjoin {
+
+Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
+                                              const DhtParams& params, int d,
+                                              const NodeSet& P,
+                                              const NodeSet& Q,
+                                              std::size_t k) {
+  DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, k));
+  stats_.Reset();
+
+  ForwardWalker walker(g);
+  std::vector<NodeId> live(P.begin(), P.end());
+  stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+  for (int l = 1; l < d; l *= 2) {
+    TopK<ScoredPair> bounds(k);
+    std::vector<double> p_upper(live.size(), kNegInf);
+    for (std::size_t pi = 0; pi < live.size(); ++pi) {
+      NodeId p = live[pi];
+      double pmax = params.beta;  // floor of h_l over q
+      for (NodeId q : Q) {
+        if (p == q) continue;
+        double s = walker.Compute(params, l, p, q);
+        stats_.walks_started++;
+        stats_.walk_steps += l;
+        if (s > params.beta) {
+          bounds.Offer(s, ScoredPair{p, q, s});
+          if (s > pmax) pmax = s;
+        }
+      }
+      p_upper[pi] = pmax + params.XBound(l);
+    }
+    double tk = bounds.Threshold();
+    std::vector<NodeId> survivors;
+    survivors.reserve(live.size());
+    for (std::size_t pi = 0; pi < live.size(); ++pi) {
+      if (p_upper[pi] >= tk) survivors.push_back(live[pi]);
+    }
+    stats_.pruned_fraction_per_iteration.push_back(
+        1.0 - static_cast<double>(survivors.size()) /
+                  static_cast<double>(P.size()));
+    live.swap(survivors);
+    stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+  }
+
+  // Final pass: exact d-step scores for surviving sources.
+  TopK<ScoredPair> best(k);
+  for (NodeId p : live) {
+    for (NodeId q : Q) {
+      if (p == q) continue;
+      double s = walker.Compute(params, d, p, q);
+      stats_.walks_started++;
+      stats_.walk_steps += d;
+      if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
+    }
+  }
+
+  std::vector<ScoredPair> out;
+  for (auto& entry : best.TakeSortedDescending()) {
+    out.push_back(entry.item);
+  }
+  FinalizePairs(out, k);
+  return out;
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,31 @@
+/// \file join2/f_idj.h
+/// \brief F-IDJ — forward Iterative Deepening Join (paper Sec V-B).
+///
+/// Adaptation of the IDJ framework [Sun et al., VLDB'11] to DHT: walk
+/// lengths double per iteration (l = 1, 2, 4, ... < d); after each
+/// iteration a source node p is pruned from P when
+///   max_q h_l(p, q) + X_l^+  <  T_k ,
+/// T_k being the k-th best lower bound seen this iteration. Survivors
+/// get exact d-step scores in a final pass. Same worst case as F-BJ but
+/// much faster in practice — while still paying one walk per (p, q).
+
+#ifndef DHTJOIN_JOIN2_F_IDJ_H_
+#define DHTJOIN_JOIN2_F_IDJ_H_
+
+#include "join2/two_way_join.h"
+
+namespace dhtjoin {
+
+class FIdjJoin final : public TwoWayJoin {
+ public:
+  std::string Name() const override { return "F-IDJ"; }
+
+  Result<std::vector<ScoredPair>> Run(const Graph& g, const DhtParams& params,
+                                      int d, const NodeSet& P,
+                                      const NodeSet& Q,
+                                      std::size_t k) override;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_JOIN2_F_IDJ_H_

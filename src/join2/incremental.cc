@@ -1,0 +1,201 @@
+#include "join2/incremental.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/top_k.h"
+
+namespace dhtjoin {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+IncrementalTwoWayJoin::IncrementalTwoWayJoin(const Graph& g,
+                                             const DhtParams& params, int d,
+                                             const NodeSet& P,
+                                             const NodeSet& Q,
+                                             Options options)
+    : g_(g),
+      params_(params),
+      d_(d),
+      P_(P),
+      Q_(Q),
+      options_(options),
+      walker_(g) {
+  if (options_.bound == UpperBoundKind::kY) {
+    ybound_ = std::make_unique<YBoundTable>(g, params, d, P, Q);
+    stats_.walk_steps += d;  // the S_i(P, q) sweep
+  }
+  q_level_.assign(Q_.size(), 0);
+  residual_handle_.resize(Q_.size());
+  for (std::size_t qi = 0; qi < Q_.size(); ++qi) {
+    residual_handle_[qi] =
+        residual_.Push(params_.beta + Remainder(0, qi), qi);
+  }
+}
+
+Result<std::unique_ptr<IncrementalTwoWayJoin>> IncrementalTwoWayJoin::Create(
+    const Graph& g, const DhtParams& params, int d, const NodeSet& P,
+    const NodeSet& Q, std::size_t m, Options options) {
+  DHTJOIN_RETURN_NOT_OK(
+      ValidateJoinInputs(g, params, d, P, Q, std::max<std::size_t>(m, 1)));
+  auto join = std::unique_ptr<IncrementalTwoWayJoin>(
+      new IncrementalTwoWayJoin(g, params, d, P, Q, options));
+  join->RunInitialSchedule(m);
+  return join;
+}
+
+Result<std::unique_ptr<IncrementalTwoWayJoin>> IncrementalTwoWayJoin::Create(
+    const Graph& g, const DhtParams& params, int d, const NodeSet& P,
+    const NodeSet& Q, std::size_t m) {
+  return Create(g, params, d, P, Q, m, Options{});
+}
+
+double IncrementalTwoWayJoin::Remainder(int l, std::size_t qi) const {
+  // The enumerator ranks TRUNCATED scores h_d, which are final once the
+  // walk reaches depth d — unlike X_l^+, which bounds the infinite
+  // series and stays positive at l == d.
+  if (l >= d_) return 0.0;
+  return options_.bound == UpperBoundKind::kY ? ybound_->Bound(l, qi)
+                                              : params_.XBound(l);
+}
+
+void IncrementalTwoWayJoin::DeepenTarget(std::size_t qi, int new_level) {
+  DHTJOIN_CHECK_GT(new_level, q_level_[qi]);
+  DHTJOIN_CHECK_LE(new_level, d_);
+  NodeId q = Q_[qi];
+  walker_.Reset(params_, q);
+  walker_.Advance(new_level);
+  stats_.walks_started++;
+  stats_.walk_steps += new_level;
+
+  const double remainder = Remainder(new_level, qi);
+  for (NodeId p : P_) {
+    if (p == q) continue;
+    double s = walker_.Score(p);
+    if (s <= params_.beta) continue;
+    uint64_t key = PairKey(p, q);
+    if (returned_.contains(key)) continue;
+    double upper = s + remainder;
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      PairEntry entry{p, qi, s, new_level};
+      index_.emplace(key, f_.Push(upper, entry));
+    } else {
+      PairEntry& entry = f_.GetMutable(it->second);
+      // Deeper walks only tighten: lower grows, upper shrinks
+      // (monotonicity of h_l and of h_l + U_l^+; see DESIGN.md).
+      entry.lower = s;
+      entry.level = new_level;
+      f_.Update(it->second, upper);
+    }
+  }
+
+  q_level_[qi] = new_level;
+  if (new_level >= d_) {
+    residual_.Erase(residual_handle_[qi]);
+  } else {
+    residual_.Update(residual_handle_[qi],
+                     params_.beta + Remainder(new_level, qi));
+  }
+}
+
+double IncrementalTwoWayJoin::LowerThreshold(std::size_t m) const {
+  if (m == 0) return kNegInf;
+  TopK<char> lowers(m);
+  f_.ForEach([&lowers](const PairEntry& e, double /*priority*/) {
+    lowers.Offer(e.lower, 0);
+  });
+  return lowers.size() < m ? kNegInf : lowers.MinKey();
+}
+
+void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
+  if (m == 0) return;  // fully lazy; Next() drives everything
+  std::vector<std::size_t> live(Q_.size());
+  for (std::size_t qi = 0; qi < Q_.size(); ++qi) live[qi] = qi;
+  stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+
+  for (int l = 1; l < d_; l *= 2) {
+    std::vector<double> q_upper(live.size(), kNegInf);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      std::size_t qi = live[i];
+      DeepenTarget(qi, l);
+      // qUpper = max_p h_l(p, q) + U_l^+; the walker still holds the
+      // scores of this target.
+      double pmax = params_.beta;
+      for (NodeId p : P_) {
+        if (p == Q_[qi]) continue;
+        pmax = std::max(pmax, walker_.Score(p));
+      }
+      q_upper[i] = pmax + Remainder(l, qi);
+    }
+    double tm = LowerThreshold(m);
+    std::vector<std::size_t> survivors;
+    survivors.reserve(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (q_upper[i] >= tm) survivors.push_back(live[i]);
+    }
+    stats_.pruned_fraction_per_iteration.push_back(
+        1.0 - static_cast<double>(survivors.size()) /
+                  static_cast<double>(Q_.size()));
+    live.swap(survivors);
+    stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+  }
+  for (std::size_t qi : live) {
+    if (q_level_[qi] < d_) DeepenTarget(qi, d_);
+  }
+}
+
+std::optional<ScoredPair> IncrementalTwoWayJoin::Next() {
+  auto next_level = [this](int l) {
+    return l == 0 ? 1 : std::min(2 * l, d_);
+  };
+  while (true) {
+    const double unseen =
+        residual_.empty() ? kNegInf : residual_.TopPriority();
+    if (f_.empty()) {
+      if (residual_.empty()) return std::nullopt;
+      // Only unmaterialized pairs remain possible; a residual bound at
+      // the floor means every remaining pair is unreachable.
+      if (unseen <= params_.beta) return std::nullopt;
+      std::size_t qi = residual_.Get(residual_.TopHandle());
+      DeepenTarget(qi, next_level(q_level_[qi]));
+      continue;
+    }
+
+    auto top_handle = f_.TopHandle();
+    const PairEntry e1 = f_.Get(top_handle);
+    const double second = f_.SecondPriority();
+    const double blocker = std::max(second, unseen);
+
+    if (e1.lower >= blocker) {
+      if (e1.level < d_) {
+        // Order is decided but the exact score is not known yet; the
+        // paper exactifies with a d-step walk before emitting.
+        DeepenTarget(e1.qi, d_);
+        continue;
+      }
+      f_.Pop();
+      uint64_t key = PairKey(e1.p, Q_[e1.qi]);
+      index_.erase(key);
+      returned_.insert(key);
+      ++num_returned_;
+      return ScoredPair{e1.p, Q_[e1.qi], e1.lower};
+    }
+
+    // Blocked. When the top entry is exact, the heap property makes
+    // second <= e1.lower, so the blocker must be a residual target.
+    if (unseen >= second && unseen > e1.lower) {
+      std::size_t qi = residual_.Get(residual_.TopHandle());
+      DeepenTarget(qi, next_level(q_level_[qi]));
+    } else {
+      // Refine the top pair's target (paper rule: min(2 l, d) steps).
+      // q_level_[e1.qi] == e1.level by construction (every walk of a
+      // target refreshes all of its entries); read the authoritative one.
+      DeepenTarget(e1.qi, next_level(q_level_[e1.qi]));
+    }
+  }
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,125 @@
+/// \file join2/incremental.h
+/// \brief Resumable 2-way join — the `F` structure of PJ-i (paper Sec VI-D).
+///
+/// PJ-i needs getNextNodePair to be cheap: after a top-m join, the
+/// (m+1)-th, (m+2)-th, ... pairs must be derivable from information the
+/// top-m computation already produced, instead of re-running a top-(m+1)
+/// join from scratch.
+///
+/// IncrementalTwoWayJoin runs a B-IDJ-style deepening schedule once, but
+/// records every bound it computes in a mutable priority queue F of
+/// entries  <(p, q), h-, h+, l>  ordered by the upper bound h+, paired
+/// with a hash index from (p, q) to its heap handle — exactly the
+/// structure the paper describes. Next() then repeatedly resolves the
+/// top of F:
+///   * if the top entry's lower bound dominates both the runner-up's
+///     upper bound and every not-yet-materialized pair, it is the next
+///     result (exactified by a d-step walk from its q first if needed);
+///   * otherwise the blocking target q is walked deeper
+///     (l -> min(2l, d), the paper's refinement rule) and its entries
+///     are tightened in place.
+///
+/// Pairs invisible to F (their q was pruned early, or they were not
+/// reachable within the walked depth) are covered by a per-target
+/// *residual* bound beta + U_l^+(q), kept in a second heap; when such a
+/// bound tops the candidate upper bounds, that q is re-activated and
+/// walked deeper. This closes the gap the paper leaves open (pairs of
+/// pruned targets are absent from F) and makes the enumerator exact over
+/// the full valid pair space — see DESIGN.md §2.
+
+#ifndef DHTJOIN_JOIN2_INCREMENTAL_H_
+#define DHTJOIN_JOIN2_INCREMENTAL_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dht/backward.h"
+#include "dht/bounds.h"
+#include "join2/two_way_join.h"
+#include "util/mutable_heap.h"
+
+namespace dhtjoin {
+
+/// Produces the 2-way join results of (P, Q) one at a time, in
+/// descending h_d order, resuming cheaply between calls.
+class IncrementalTwoWayJoin {
+ public:
+  struct Options {
+    UpperBoundKind bound = UpperBoundKind::kY;
+  };
+
+  /// Prepares the enumerator and runs the top-m deepening schedule.
+  /// `m` tunes how much work is done eagerly (the paper's top-m join);
+  /// m = 0 defers everything to Next(). Fails on invalid inputs.
+  static Result<std::unique_ptr<IncrementalTwoWayJoin>> Create(
+      const Graph& g, const DhtParams& params, int d, const NodeSet& P,
+      const NodeSet& Q, std::size_t m, Options options);
+
+  /// Create() with default options (B-IDJ-Y bound).
+  static Result<std::unique_ptr<IncrementalTwoWayJoin>> Create(
+      const Graph& g, const DhtParams& params, int d, const NodeSet& P,
+      const NodeSet& Q, std::size_t m);
+
+  /// Next pair in descending score order; nullopt when every valid pair
+  /// has been returned.
+  std::optional<ScoredPair> Next();
+
+  /// Number of pairs returned so far.
+  std::size_t num_returned() const { return num_returned_; }
+
+  const TwoWayJoinStats& stats() const { return stats_; }
+
+ private:
+  struct PairEntry {
+    NodeId p;
+    std::size_t qi;    // index into Q
+    double lower;      // h_l(p, q)
+    int level;         // l at which `lower` was computed
+  };
+
+  IncrementalTwoWayJoin(const Graph& g, const DhtParams& params, int d,
+                        const NodeSet& P, const NodeSet& Q, Options options);
+
+  /// Remainder bound U_l^+ for target index qi at depth l.
+  double Remainder(int l, std::size_t qi) const;
+
+  /// Walks target qi to depth `new_level` (> current), inserting /
+  /// tightening F entries and refreshing the residual bound.
+  void DeepenTarget(std::size_t qi, int new_level);
+
+  /// Runs the B-IDJ deepening schedule with pruning threshold from the
+  /// m-th best lower bound.
+  void RunInitialSchedule(std::size_t m);
+
+  /// m-th largest lower bound currently in F (-inf when |F| < m).
+  double LowerThreshold(std::size_t m) const;
+
+  const Graph& g_;
+  DhtParams params_;
+  int d_;
+  const NodeSet P_;  // copies: the enumerator outlives caller temporaries
+  const NodeSet Q_;
+  Options options_;
+  std::unique_ptr<YBoundTable> ybound_;
+  BackwardWalker walker_;
+
+  MutableHeap<PairEntry> f_;  // keyed by upper bound h+
+  std::unordered_map<uint64_t, MutableHeap<PairEntry>::Handle> index_;
+  std::unordered_set<uint64_t> returned_;
+
+  // Residual heap over target indices, keyed by beta + U_l^+(q): the
+  // bound on any pair of that target not represented in F.
+  MutableHeap<std::size_t> residual_;
+  std::vector<MutableHeap<std::size_t>::Handle> residual_handle_;
+  std::vector<int> q_level_;  // walked depth per target (0 = never)
+
+  std::size_t num_returned_ = 0;
+  TwoWayJoinStats stats_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_JOIN2_INCREMENTAL_H_

@@ -1,0 +1,28 @@
+#include "join2/two_way_join.h"
+
+#include <algorithm>
+
+namespace dhtjoin {
+
+Status ValidateJoinInputs(const Graph& g, const DhtParams& params, int d,
+                          const NodeSet& P, const NodeSet& Q,
+                          std::size_t k) {
+  DHTJOIN_RETURN_NOT_OK(params.Validate());
+  if (d < 1) {
+    return Status::InvalidArgument("walk depth d must be >= 1, got " +
+                                   std::to_string(d));
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  DHTJOIN_RETURN_NOT_OK(P.Validate(g));
+  DHTJOIN_RETURN_NOT_OK(Q.Validate(g));
+  return Status::OK();
+}
+
+void FinalizePairs(std::vector<ScoredPair>& pairs, std::size_t k) {
+  std::sort(pairs.begin(), pairs.end(), ScoredPairGreater);
+  if (pairs.size() > k) pairs.resize(k);
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,112 @@
+/// \file join2/two_way_join.h
+/// \brief Common interface of the paper's five 2-way join algorithms.
+///
+/// A top-k 2-way join over DHT (paper Sec V): given node sets P and Q,
+/// return the k pairs (p, q), p in P, q in Q, with the highest truncated
+/// DHT h_d(p, q), together with those scores.
+///
+/// Result semantics shared by every implementation (and inherited by the
+/// n-way joins):
+///  * self pairs (p == q, possible when P and Q overlap) are excluded —
+///    h(u, u) is not defined by the measure;
+///  * unreachable pairs (h_d == beta, i.e. q not reachable from p within
+///    d steps) are excluded, mirroring Algorithm 2's `score[p] > beta`
+///    insertion guard;
+///  * fewer than k pairs are returned when fewer valid pairs exist;
+///  * output is sorted by score descending, ties broken by (p, q).
+///
+/// Implementations: F-BJ / F-IDJ (forward, Sec V-B), B-BJ / B-IDJ-X /
+/// B-IDJ-Y (backward, Sec VI), each a separate translation unit.
+
+#ifndef DHTJOIN_JOIN2_TWO_WAY_JOIN_H_
+#define DHTJOIN_JOIN2_TWO_WAY_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dht/params.h"
+#include "graph/graph.h"
+#include "graph/node_set.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace dhtjoin {
+
+/// One 2-way join result: nodes and their truncated DHT score h_d(p, q).
+struct ScoredPair {
+  NodeId p = kInvalidNode;
+  NodeId q = kInvalidNode;
+  double score = 0.0;
+
+  bool operator==(const ScoredPair& other) const {
+    return p == other.p && q == other.q && score == other.score;
+  }
+};
+
+/// Descending score, ties by (p, q) ascending — the library-wide result
+/// order.
+inline bool ScoredPairGreater(const ScoredPair& a, const ScoredPair& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.p != b.p) return a.p < b.p;
+  return a.q < b.q;
+}
+
+/// 64-bit key for hashing a node pair.
+inline uint64_t PairKey(NodeId p, NodeId q) { return PackPair(p, q); }
+
+/// Which remainder bound U_l^+ an IDJ-style algorithm plugs in.
+enum class UpperBoundKind {
+  kX,  ///< X_l^+ of Lemma 2 (pair-independent)
+  kY,  ///< Y_l^+(P, q) of Theorem 1 (per-target, tighter)
+};
+
+/// Observability counters filled in by every algorithm run.
+struct TwoWayJoinStats {
+  /// Total walk steps performed, in units of one |E| edge sweep.
+  int64_t walk_steps = 0;
+  /// Number of walker (re)starts.
+  int64_t walks_started = 0;
+  /// For IDJ variants: number of live candidates (q for backward, p for
+  /// forward) entering each deepening iteration; entry 0 is the initial
+  /// size.
+  std::vector<int64_t> live_per_iteration;
+  /// For IDJ variants: cumulative fraction of candidates pruned after
+  /// each deepening iteration (paper Fig. 10(b)).
+  std::vector<double> pruned_fraction_per_iteration;
+
+  void Reset() { *this = TwoWayJoinStats(); }
+};
+
+/// Abstract top-k 2-way join algorithm.
+class TwoWayJoin {
+ public:
+  virtual ~TwoWayJoin() = default;
+
+  /// Algorithm name as used in the paper ("F-BJ", "B-IDJ-Y", ...).
+  virtual std::string Name() const = 0;
+
+  /// Runs the join; see file comment for result semantics.
+  virtual Result<std::vector<ScoredPair>> Run(const Graph& g,
+                                              const DhtParams& params, int d,
+                                              const NodeSet& P,
+                                              const NodeSet& Q,
+                                              std::size_t k) = 0;
+
+  /// Counters from the most recent Run().
+  const TwoWayJoinStats& stats() const { return stats_; }
+
+ protected:
+  TwoWayJoinStats stats_;
+};
+
+/// Validates the common Run() preconditions; shared by implementations.
+Status ValidateJoinInputs(const Graph& g, const DhtParams& params, int d,
+                          const NodeSet& P, const NodeSet& Q, std::size_t k);
+
+/// Sorts `pairs` into the library-wide result order and truncates to k.
+void FinalizePairs(std::vector<ScoredPair>& pairs, std::size_t k);
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_JOIN2_TWO_WAY_JOIN_H_

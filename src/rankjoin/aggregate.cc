@@ -1,0 +1,19 @@
+#include "rankjoin/aggregate.h"
+
+#include <limits>
+
+namespace dhtjoin {
+
+double SumAggregate::Apply(std::span<const double> scores) const {
+  double total = 0.0;
+  for (double s : scores) total += s;
+  return total;
+}
+
+double MinAggregate::Apply(std::span<const double> scores) const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (double s : scores) lo = s < lo ? s : lo;
+  return lo;
+}
+
+}  // namespace dhtjoin

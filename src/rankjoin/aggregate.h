@@ -1,0 +1,48 @@
+/// \file rankjoin/aggregate.h
+/// \brief Monotone aggregate score functions (paper Def. 2).
+///
+/// The aggregate score f of a query graph maps the |E_Q| per-edge DHT
+/// values of a candidate answer to a single real. Every n-way join
+/// algorithm in the paper supports any MONOTONE f: increasing any input
+/// must not decrease the output — that is what makes the rank-join corner
+/// bound valid. SUM and MIN (the paper's examples, MIN being the
+/// experimental default) are provided; users can plug their own.
+
+#ifndef DHTJOIN_RANKJOIN_AGGREGATE_H_
+#define DHTJOIN_RANKJOIN_AGGREGATE_H_
+
+#include <span>
+#include <string>
+
+namespace dhtjoin {
+
+/// A monotone function of |E_Q| real-valued inputs.
+class Aggregate {
+ public:
+  virtual ~Aggregate() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Applies f. `scores` has one entry per query-graph edge; entries may
+  /// be -infinity (used by the corner bound for exhausted inputs) and
+  /// are negative for DHTlambda scores.
+  virtual double Apply(std::span<const double> scores) const = 0;
+};
+
+/// f = sum of the edge scores ("overall closeness").
+class SumAggregate final : public Aggregate {
+ public:
+  std::string Name() const override { return "SUM"; }
+  double Apply(std::span<const double> scores) const override;
+};
+
+/// f = minimum edge score ("weakest link"); the paper's default.
+class MinAggregate final : public Aggregate {
+ public:
+  std::string Name() const override { return "MIN"; }
+  double Apply(std::span<const double> scores) const override;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_RANKJOIN_AGGREGATE_H_

@@ -1,0 +1,33 @@
+#include "rankjoin/candidate_buffer.h"
+
+namespace dhtjoin {
+
+const std::vector<ScoredPair> CandidateBuffer::kEmpty = {};
+
+void CandidateBuffer::Insert(NodeId left, NodeId right, double score) {
+  auto [it, inserted] = by_pair_.emplace(PairKey(left, right), score);
+  DHTJOIN_CHECK(inserted);
+  ScoredPair pair{left, right, score};
+  all_.push_back(pair);
+  by_left_[left].push_back(pair);
+  by_right_[right].push_back(pair);
+}
+
+std::optional<double> CandidateBuffer::Lookup(NodeId left,
+                                              NodeId right) const {
+  auto it = by_pair_.find(PairKey(left, right));
+  if (it == by_pair_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<ScoredPair>& CandidateBuffer::ByLeft(NodeId left) const {
+  auto it = by_left_.find(left);
+  return it == by_left_.end() ? kEmpty : it->second;
+}
+
+const std::vector<ScoredPair>& CandidateBuffer::ByRight(NodeId right) const {
+  auto it = by_right_.find(right);
+  return it == by_right_.end() ? kEmpty : it->second;
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,54 @@
+/// \file rankjoin/candidate_buffer.h
+/// \brief Per-query-edge buffer of pulled node pairs (paper Alg. 1, C).
+///
+/// Every pair pulled from a 2-way join stream is remembered here so that
+/// getCandidate can join a newly arrived pair against all compatible
+/// pairs of the other edges. Supports lookup by left endpoint, by right
+/// endpoint, and by exact pair. (The paper describes C as a dense
+/// |R_i| x |R_j| array; a hash index is equivalent and much smaller,
+/// since only pulled pairs are ever probed.)
+
+#ifndef DHTJOIN_RANKJOIN_CANDIDATE_BUFFER_H_
+#define DHTJOIN_RANKJOIN_CANDIDATE_BUFFER_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "join2/two_way_join.h"
+
+namespace dhtjoin {
+
+/// Hash-indexed set of scored pairs for one query edge.
+class CandidateBuffer {
+ public:
+  /// Inserts a pulled pair. Re-inserting the same (left, right) is a
+  /// programming error — streams never repeat pairs.
+  void Insert(NodeId left, NodeId right, double score);
+
+  /// Score of (left, right) when buffered.
+  std::optional<double> Lookup(NodeId left, NodeId right) const;
+
+  /// All buffered pairs with the given left endpoint (empty span if none).
+  const std::vector<ScoredPair>& ByLeft(NodeId left) const;
+
+  /// All buffered pairs with the given right endpoint.
+  const std::vector<ScoredPair>& ByRight(NodeId right) const;
+
+  /// Every buffered pair, insertion-ordered.
+  const std::vector<ScoredPair>& All() const { return all_; }
+
+  std::size_t size() const { return all_.size(); }
+
+ private:
+  static const std::vector<ScoredPair> kEmpty;
+
+  std::vector<ScoredPair> all_;
+  std::unordered_map<NodeId, std::vector<ScoredPair>> by_left_;
+  std::unordered_map<NodeId, std::vector<ScoredPair>> by_right_;
+  std::unordered_map<uint64_t, double> by_pair_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_RANKJOIN_CANDIDATE_BUFFER_H_

@@ -1,0 +1,49 @@
+#include "spjoin/bfs.h"
+
+#include <deque>
+
+#include "util/check.h"
+
+namespace dhtjoin {
+
+namespace {
+
+template <typename NeighborFn>
+std::vector<int> Bfs(const Graph& g, NodeId start, int max_depth,
+                     NeighborFn&& neighbors) {
+  DHTJOIN_CHECK(g.ContainsNode(start));
+  DHTJOIN_CHECK_GE(max_depth, 0);
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()),
+                        kUnreachable);
+  dist[static_cast<std::size_t>(start)] = 0;
+  std::deque<NodeId> frontier = {start};
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    int du = dist[static_cast<std::size_t>(u)];
+    if (du == max_depth) continue;
+    neighbors(u, [&](NodeId v) {
+      if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
+        dist[static_cast<std::size_t>(v)] = du + 1;
+        frontier.push_back(v);
+      }
+    });
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<int> BfsFrom(const Graph& g, NodeId source, int max_depth) {
+  return Bfs(g, source, max_depth, [&g](NodeId u, auto&& visit) {
+    for (const OutEdge& e : g.OutEdges(u)) visit(e.to);
+  });
+}
+
+std::vector<int> BfsTo(const Graph& g, NodeId target, int max_depth) {
+  return Bfs(g, target, max_depth, [&g](NodeId u, auto&& visit) {
+    for (NodeId v : g.InNeighbors(u)) visit(v);
+  });
+}
+
+}  // namespace dhtjoin

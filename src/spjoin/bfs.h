@@ -1,0 +1,33 @@
+/// \file spjoin/bfs.h
+/// \brief Hop-count shortest-path distances (the comparator's metric).
+///
+/// The paper's related work (Sec II) contrasts its DHT top-k join with
+/// the distance-join of Zou et al. [VLDB'09], which matches node tuples
+/// whose pairwise SHORTEST-PATH distances stay within a threshold
+/// delta. This module supplies the distances: plain BFS over edge hops
+/// (edge weights express affinity strength, not length, on every
+/// dataset in the paper — hop count is the natural distance).
+
+#ifndef DHTJOIN_SPJOIN_BFS_H_
+#define DHTJOIN_SPJOIN_BFS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dhtjoin {
+
+/// Marker for "unreachable" in distance vectors.
+inline constexpr int kUnreachable = -1;
+
+/// Directed hop distances FROM `source` to every node, truncated at
+/// `max_depth` (nodes further away report kUnreachable).
+std::vector<int> BfsFrom(const Graph& g, NodeId source, int max_depth);
+
+/// Directed hop distances from every node TO `target` (walks in-edges),
+/// truncated at `max_depth`.
+std::vector<int> BfsTo(const Graph& g, NodeId target, int max_depth);
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_SPJOIN_BFS_H_

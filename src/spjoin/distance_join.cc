@@ -1,0 +1,102 @@
+#include "spjoin/distance_join.h"
+
+#include <unordered_map>
+
+#include "spjoin/bfs.h"
+#include "util/hash.h"
+
+namespace dhtjoin {
+
+Result<DistanceJoinResult> DistanceJoin(const Graph& g,
+                                        const QueryGraph& query, int delta,
+                                        std::size_t max_results) {
+  DHTJOIN_RETURN_NOT_OK(query.Validate(g));
+  if (delta < 1) {
+    return Status::InvalidArgument("delta must be >= 1");
+  }
+
+  // Per query edge, the set of qualifying pairs keyed for O(1) probes,
+  // computed by one truncated backward BFS per target node:
+  // O(|E_Q| * |R_j| * (|V| + |E|)) worst case, usually far less at
+  // small delta.
+  const auto& edges = query.edges();
+  std::vector<std::unordered_map<uint64_t, char>> pair_ok(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const NodeSet& P = query.set(edges[e].left);
+    const NodeSet& Q = query.set(edges[e].right);
+    for (NodeId q : Q) {
+      std::vector<int> dist = BfsTo(g, q, delta);
+      for (NodeId p : P) {
+        if (p == q) continue;
+        int d = dist[static_cast<std::size_t>(p)];
+        if (d != kUnreachable && d <= delta) {
+          pair_ok[e].emplace(PackPair(p, q), 1);
+        }
+      }
+    }
+  }
+
+  // Enumerate tuples with nested loops over attributes, pruning as soon
+  // as a bound edge pair disqualifies.
+  DistanceJoinResult out;
+  const int n = query.num_sets();
+  std::vector<NodeId> tuple(static_cast<std::size_t>(n), kInvalidNode);
+  // Edges checkable once attribute `a` is bound (both endpoints <= a).
+  std::vector<std::vector<std::size_t>> checks(static_cast<std::size_t>(n));
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    int latest = std::max(edges[e].left, edges[e].right);
+    checks[static_cast<std::size_t>(latest)].push_back(e);
+  }
+
+  auto enumerate = [&](auto&& self, int attr) -> bool {
+    if (attr == n) {
+      out.tuples.push_back(tuple);
+      return out.tuples.size() < max_results;
+    }
+    for (NodeId r : query.set(attr)) {
+      tuple[static_cast<std::size_t>(attr)] = r;
+      bool ok = true;
+      for (std::size_t e : checks[static_cast<std::size_t>(attr)]) {
+        NodeId u = tuple[static_cast<std::size_t>(edges[e].left)];
+        NodeId v = tuple[static_cast<std::size_t>(edges[e].right)];
+        if (u == v || !pair_ok[e].contains(PackPair(u, v))) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      if (!self(self, attr + 1)) return false;
+    }
+    return true;
+  };
+  out.truncated = !enumerate(enumerate, 0);
+  return out;
+}
+
+Result<eval::RocResult> EvaluateLinkPredictionByDistance(
+    const Graph& true_graph, const Graph& test_graph, const NodeSet& P,
+    const NodeSet& Q, int max_depth) {
+  DHTJOIN_RETURN_NOT_OK(P.Validate(test_graph));
+  DHTJOIN_RETURN_NOT_OK(Q.Validate(test_graph));
+  DHTJOIN_RETURN_NOT_OK(P.Validate(true_graph));
+  DHTJOIN_RETURN_NOT_OK(Q.Validate(true_graph));
+  if (max_depth < 1) return Status::InvalidArgument("max_depth must be >= 1");
+
+  std::vector<std::pair<double, bool>> scored;
+  for (NodeId q : Q) {
+    std::vector<int> dist = BfsTo(test_graph, q, max_depth);
+    for (NodeId p : P) {
+      if (p == q) continue;
+      if (test_graph.HasEdge(p, q)) continue;
+      int d = dist[static_cast<std::size_t>(p)];
+      // Unreachable pairs rank at the bottom, like beta-floor DHT pairs.
+      double score = d == kUnreachable
+                         ? -static_cast<double>(max_depth) - 1.0
+                         : -static_cast<double>(d);
+      scored.emplace_back(score, true_graph.HasEdge(p, q));
+    }
+  }
+  return eval::ComputeRoc(std::move(scored));
+}
+
+}  // namespace dhtjoin

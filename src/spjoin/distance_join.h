@@ -1,0 +1,51 @@
+/// \file spjoin/distance_join.h
+/// \brief The shortest-path distance-join baseline (Zou et al., VLDB'09)
+/// that the paper's Related Work argues against.
+///
+/// Given a query graph over node sets and a global threshold delta, the
+/// distance join returns ALL n-tuples whose every query-edge pair
+/// (r_i, r_j) satisfies dist(r_i, r_j) <= delta (directed hop count).
+/// The paper's two criticisms are directly observable here:
+///   * result cardinality is wildly sensitive to delta (there is no
+///     top-k control) — see the delta sweep in bench_baseline_spjoin;
+///   * shortest-path distance is a weaker predictor than random-walk
+///     proximity — see eval/link_prediction vs the distance ranking.
+
+#ifndef DHTJOIN_SPJOIN_DISTANCE_JOIN_H_
+#define DHTJOIN_SPJOIN_DISTANCE_JOIN_H_
+
+#include <vector>
+
+#include "core/query_graph.h"
+#include "eval/roc.h"
+#include "util/status.h"
+
+namespace dhtjoin {
+
+/// Result of a distance join.
+struct DistanceJoinResult {
+  /// Qualifying tuples (node per attribute), up to `max_results`.
+  std::vector<std::vector<NodeId>> tuples;
+  /// True when enumeration stopped at the cap (more answers exist).
+  bool truncated = false;
+};
+
+/// Evaluates the distance join; `max_results` caps the output (the
+/// unbounded result set is the baseline's documented weakness).
+Result<DistanceJoinResult> DistanceJoin(const Graph& g,
+                                        const QueryGraph& query, int delta,
+                                        std::size_t max_results = 100000);
+
+/// Link prediction by (negative) shortest-path distance, the baseline
+/// ranking for the paper's "random walk beats shortest path" claim:
+/// candidates are non-adjacent (p, q) pairs on `test_graph`, scored by
+/// -dist(p, q) (ties broken by nothing — BFS distance is integral, so
+/// the ROC handles the tie plateaus), labelled by adjacency in
+/// `true_graph`.
+Result<eval::RocResult> EvaluateLinkPredictionByDistance(
+    const Graph& true_graph, const Graph& test_graph, const NodeSet& P,
+    const NodeSet& Q, int max_depth);
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_SPJOIN_DISTANCE_JOIN_H_

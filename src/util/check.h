@@ -1,0 +1,47 @@
+/// \file util/check.h
+/// \brief Precondition / invariant check macros.
+///
+/// DHTJOIN_CHECK* fire in all build types; DHTJOIN_DCHECK* only when
+/// NDEBUG is not defined. A failed check prints the condition and
+/// location to stderr and aborts — these guard programming errors, not
+/// recoverable conditions (use Status for those).
+
+#ifndef DHTJOIN_UTIL_CHECK_H_
+#define DHTJOIN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dhtjoin::internal {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "DHTJOIN_CHECK failed: %s at %s:%d\n", cond, file,
+               line);
+  std::abort();
+}
+
+}  // namespace dhtjoin::internal
+
+#define DHTJOIN_CHECK(cond)                                         \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::dhtjoin::internal::CheckFailed(#cond, __FILE__, __LINE__);  \
+  } while (false)
+
+#define DHTJOIN_CHECK_GE(a, b) DHTJOIN_CHECK((a) >= (b))
+#define DHTJOIN_CHECK_GT(a, b) DHTJOIN_CHECK((a) > (b))
+#define DHTJOIN_CHECK_LE(a, b) DHTJOIN_CHECK((a) <= (b))
+#define DHTJOIN_CHECK_LT(a, b) DHTJOIN_CHECK((a) < (b))
+#define DHTJOIN_CHECK_EQ(a, b) DHTJOIN_CHECK((a) == (b))
+#define DHTJOIN_CHECK_NE(a, b) DHTJOIN_CHECK((a) != (b))
+
+#ifdef NDEBUG
+#define DHTJOIN_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define DHTJOIN_DCHECK(cond) DHTJOIN_CHECK(cond)
+#endif
+
+#endif  // DHTJOIN_UTIL_CHECK_H_

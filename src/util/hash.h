@@ -1,0 +1,19 @@
+/// \file util/hash.h
+/// \brief Small hashing helpers shared across modules.
+
+#ifndef DHTJOIN_UTIL_HASH_H_
+#define DHTJOIN_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace dhtjoin {
+
+/// Packs two 32-bit ids into one 64-bit hash/map key.
+inline uint64_t PackPair(int32_t a, int32_t b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_UTIL_HASH_H_

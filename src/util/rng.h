@@ -1,0 +1,100 @@
+/// \file util/rng.h
+/// \brief Deterministic pseudo-random number generation.
+///
+/// All stochastic components of the library (dataset generators, edge
+/// removal perturbations) take an explicit Rng so that every experiment is
+/// reproducible from a seed. The generator is xoshiro256**, seeded through
+/// SplitMix64 as recommended by its authors.
+
+#ifndef DHTJOIN_UTIL_RNG_H_
+#define DHTJOIN_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dhtjoin {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic generator.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    uint64_t sm = seed;
+    for (auto& lane : s_) lane = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Below(uint64_t bound) {
+    DHTJOIN_CHECK_GT(bound, 0u);
+    uint64_t x = Next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t threshold = -bound % bound;
+      while (l < threshold) {
+        x = Next64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Between(int64_t lo, int64_t hi) {
+    DHTJOIN_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Geometric variate: number of Bernoulli(p) trials up to and including
+  /// the first success; support {1, 2, ...}. `p` must be in (0, 1].
+  int Geometric(double p) {
+    DHTJOIN_CHECK(p > 0.0 && p <= 1.0);
+    int n = 1;
+    while (!Chance(p) && n < 1000) ++n;
+    return n;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_UTIL_RNG_H_

@@ -1,0 +1,145 @@
+/// \file util/status.h
+/// \brief Error model for the dhtjoin library.
+///
+/// The library does not throw exceptions from its public API. Fallible
+/// operations return a Status (or a Result<T> when they produce a value),
+/// in the style of RocksDB / Apache Arrow. Programming errors (violated
+/// preconditions inside the library) abort via the DHTJOIN_CHECK macros in
+/// util/check.h.
+
+#ifndef DHTJOIN_UTIL_STATUS_H_
+#define DHTJOIN_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dhtjoin {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIOError,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// An operation outcome: either OK or an error code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` must be
+  /// false; a Result cannot hold an OK status without a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define DHTJOIN_RETURN_NOT_OK(expr)          \
+  do {                                       \
+    ::dhtjoin::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define DHTJOIN_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  auto DHTJOIN_CONCAT_(_res_, __LINE__) = (rexpr); \
+  if (!DHTJOIN_CONCAT_(_res_, __LINE__).ok())      \
+    return DHTJOIN_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(DHTJOIN_CONCAT_(_res_, __LINE__)).value()
+
+#define DHTJOIN_CONCAT_IMPL_(a, b) a##b
+#define DHTJOIN_CONCAT_(a, b) DHTJOIN_CONCAT_IMPL_(a, b)
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_UTIL_STATUS_H_

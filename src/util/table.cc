@@ -1,0 +1,90 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dhtjoin {
+
+TablePrinter::TablePrinter(std::string title,
+                           std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {
+  DHTJOIN_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  DHTJOIN_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += "| ";
+      line += row[c];
+      line.append(width[c] - row[c].size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  out += render_row(header_);
+  std::string sep;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    sep += "|";
+    sep.append(width[c] + 2, '-');
+  }
+  sep += "|\n";
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::RenderCsv() const {
+  auto join = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ",";
+      line += row[c];
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = join(header_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+std::string TablePrinter::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::Secs(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,47 @@
+/// \file util/table.h
+/// \brief ASCII table / CSV printing for the benchmark harnesses.
+///
+/// Every bench binary reproduces one of the paper's tables or figures by
+/// printing rows; TablePrinter renders them with aligned columns so the
+/// output can be compared against the paper directly, and DumpCsv emits
+/// the same data machine-readably.
+
+#ifndef DHTJOIN_UTIL_TABLE_H_
+#define DHTJOIN_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dhtjoin {
+
+/// Collects rows of string cells and renders them aligned.
+class TablePrinter {
+ public:
+  /// \param title caption printed above the table.
+  /// \param header column names.
+  TablePrinter(std::string title, std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the title, header, separator, and rows with padding.
+  std::string Render() const;
+
+  /// Renders as comma-separated values (header + rows, no title).
+  std::string RenderCsv() const;
+
+  /// Formats a double with `digits` significant decimal places.
+  static std::string Num(double v, int digits = 4);
+
+  /// Formats seconds adaptively (µs/ms/s).
+  static std::string Secs(double seconds);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_UTIL_TABLE_H_

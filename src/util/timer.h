@@ -1,0 +1,33 @@
+/// \file util/timer.h
+/// \brief Wall-clock timing for the benchmark harnesses.
+
+#ifndef DHTJOIN_UTIL_TIMER_H_
+#define DHTJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dhtjoin {
+
+/// Measures elapsed wall time from construction (or the latest Reset).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/Reset.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_UTIL_TIMER_H_

@@ -1,0 +1,88 @@
+/// \file util/top_k.h
+/// \brief Fixed-capacity top-k selection heap.
+
+#ifndef DHTJOIN_UTIL_TOP_K_H_
+#define DHTJOIN_UTIL_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dhtjoin {
+
+/// Keeps the k items with the LARGEST keys seen so far.
+///
+/// Internally a size-bounded min-heap on the key: the root is the current
+/// k-th largest key, which is exactly the pruning threshold `T_k` used by
+/// the IDJ family of algorithms (paper Sec V-B / VI-B).
+///
+/// \tparam T item type (copyable).
+template <typename T>
+class TopK {
+ public:
+  struct Entry {
+    double key;
+    T item;
+  };
+
+  /// \param k capacity; must be positive.
+  explicit TopK(std::size_t k) : k_(k) { DHTJOIN_CHECK_GT(k, 0u); }
+
+  /// Offers an item; keeps it only if it ranks among the k largest.
+  /// Returns true when the item was retained.
+  bool Offer(double key, const T& item) {
+    if (heap_.size() < k_) {
+      heap_.push_back(Entry{key, item});
+      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+      return true;
+    }
+    if (key <= heap_.front().key) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), MinFirst);
+    heap_.back() = Entry{key, item};
+    std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+    return true;
+  }
+
+  /// Current k-th largest key; -inf while fewer than k items are held.
+  /// This is the threshold below which no new item can enter.
+  double Threshold() const {
+    if (heap_.size() < k_) return -std::numeric_limits<double>::infinity();
+    return heap_.front().key;
+  }
+
+  /// Smallest retained key; -inf when empty.
+  double MinKey() const {
+    if (heap_.empty()) return -std::numeric_limits<double>::infinity();
+    return heap_.front().key;
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t capacity() const { return k_; }
+  void Clear() { heap_.clear(); }
+
+  /// Extracts all retained entries in DESCENDING key order.
+  std::vector<Entry> TakeSortedDescending() {
+    std::sort(heap_.begin(), heap_.end(),
+              [](const Entry& a, const Entry& b) { return a.key > b.key; });
+    return std::move(heap_);
+  }
+
+  /// Read-only access to the (unordered) retained entries.
+  const std::vector<Entry>& entries() const { return heap_; }
+
+ private:
+  static bool MinFirst(const Entry& a, const Entry& b) {
+    return a.key > b.key;  // std heap is max-heap; invert for min-heap
+  }
+
+  std::size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_UTIL_TOP_K_H_

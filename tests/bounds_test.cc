@@ -1,0 +1,153 @@
+/// \file tests/bounds_test.cc
+/// \brief The X/Y remainder bounds: Lemma 2, Theorem 1, and Lemma 5.
+
+#include <gtest/gtest.h>
+
+#include "dht/backward.h"
+#include "dht/bounds.h"
+#include "testing/reference.h"
+
+namespace dhtjoin {
+namespace {
+
+using testing::RandomGraph;
+using testing::Range;
+using testing::TwoCommunityGraph;
+
+class BoundsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoundsSweep, XBoundBracketsRemainder) {
+  // Lemma 2: h(p,q) <= h_l(p,q) + X_l; since h_d <= h, also h_d.
+  const double lambda = GetParam();
+  Graph g = RandomGraph(40, 120, 31);
+  DhtParams p = DhtParams::Lambda(lambda);
+  const int d = 10;
+  BackwardWalker partial(g), full(g);
+  for (NodeId q : {0, 13, 29}) {
+    full.Reset(p, q);
+    full.Advance(d);
+    partial.Reset(p, q);
+    for (int l = 1; l <= d; l++) {
+      partial.Advance(1);
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (u == q) continue;
+        EXPECT_LE(full.Score(u), partial.Score(u) + p.XBound(l) + 1e-12)
+            << "q=" << q << " u=" << u << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST_P(BoundsSweep, YBoundBracketsRemainder) {
+  // Theorem 1: h_d(p,q) <= h_l(p,q) + Y_l(P, q).
+  const double lambda = GetParam();
+  Graph g = RandomGraph(40, 120, 32);
+  DhtParams p = DhtParams::Lambda(lambda);
+  const int d = 10;
+  NodeSet P = Range("P", 0, 12);
+  NodeSet Q = Range("Q", 20, 32);
+  YBoundTable ytable(g, p, d, P, Q);
+  BackwardWalker partial(g), full(g);
+  for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+    NodeId q = Q[qi];
+    full.Reset(p, q);
+    full.Advance(d);
+    partial.Reset(p, q);
+    for (int l = 1; l <= d; ++l) {
+      partial.Advance(1);
+      for (NodeId u : P) {
+        if (u == q) continue;
+        EXPECT_LE(full.Score(u),
+                  partial.Score(u) + ytable.Bound(l, qi) + 1e-12)
+            << "q=" << q << " u=" << u << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST_P(BoundsSweep, Lemma5YNotLooserThanX) {
+  const double lambda = GetParam();
+  Graph g = RandomGraph(40, 120, 33);
+  DhtParams p = DhtParams::Lambda(lambda);
+  const int d = 10;
+  NodeSet P = Range("P", 0, 12);
+  NodeSet Q = Range("Q", 20, 32);
+  YBoundTable ytable(g, p, d, P, Q);
+  for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+    for (int l = 0; l <= d; ++l) {
+      EXPECT_LE(ytable.Bound(l, qi), p.XBound(l) + 1e-12)
+          << "qi=" << qi << " l=" << l;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, BoundsSweep,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8));
+
+TEST(BoundsTest, YBoundZeroAtFullDepth) {
+  Graph g = TwoCommunityGraph();
+  DhtParams p = DhtParams::Lambda(0.2);
+  NodeSet P = Range("P", 0, 5);
+  NodeSet Q = Range("Q", 5, 10);
+  YBoundTable ytable(g, p, 8, P, Q);
+  for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+    EXPECT_DOUBLE_EQ(ytable.Bound(8, qi), 0.0);
+  }
+}
+
+TEST(BoundsTest, YBoundMonotoneDecreasingInL) {
+  Graph g = TwoCommunityGraph();
+  DhtParams p = DhtParams::Lambda(0.5);
+  NodeSet P = Range("P", 0, 5);
+  NodeSet Q = Range("Q", 5, 10);
+  YBoundTable ytable(g, p, 8, P, Q);
+  for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+    for (int l = 0; l < 8; ++l) {
+      EXPECT_GE(ytable.Bound(l, qi), ytable.Bound(l + 1, qi) - 1e-15);
+    }
+  }
+}
+
+TEST(BoundsTest, YBoundUnreachableTargetIsZero) {
+  // Node 3 of the directed path 0->1->2->3 can never walk back to P, but
+  // more importantly an ISOLATED target gets S_i == 0 and thus Y == 0:
+  // the bound proves immediately that nothing more can arrive.
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  Graph g = std::move(b.Build()).value();  // nodes 3, 4 isolated
+  DhtParams p = DhtParams::Lambda(0.2);
+  NodeSet P = Range("P", 0, 2);
+  NodeSet Q("Q", {3, 4});
+  YBoundTable ytable(g, p, 8, P, Q);
+  for (std::size_t qi = 0; qi < 2; ++qi) {
+    for (int l = 0; l <= 8; ++l) {
+      EXPECT_DOUBLE_EQ(ytable.Bound(l, qi), 0.0);
+    }
+  }
+}
+
+TEST(BoundsTest, XUpperBoundFreeFunctionAgrees) {
+  DhtParams p = DhtParams::Lambda(0.35);
+  for (int l = 0; l < 6; ++l) {
+    EXPECT_DOUBLE_EQ(XUpperBound(p, l), p.XBound(l));
+  }
+}
+
+TEST(BoundsTest, YBoundCapsProbabilityAtOne) {
+  // With many sources, sum_p S_i(p, q) can exceed 1; Theorem 1 clamps it.
+  // On the star graph every leaf reaches the hub in one step, so
+  // S_1(P, hub) = |P| but the Y bound must use min(., 1).
+  Graph g = testing::StarGraph(12);
+  DhtParams p = DhtParams::Lambda(0.5);
+  NodeSet P = Range("P", 1, 11);  // 10 leaves
+  NodeSet Q("Q", {0});
+  const int d = 6;
+  YBoundTable ytable(g, p, d, P, Q);
+  // Uncapped would give alpha * (lambda * 10 + ...); capped is at most
+  // alpha * sum_{i=1..d} lambda^i = X_0 truncated, which equals X_0 - X_d.
+  EXPECT_LE(ytable.Bound(0, 0), p.XBound(0) - p.XBound(d) + 1e-12);
+}
+
+}  // namespace
+}  // namespace dhtjoin

@@ -1,0 +1,97 @@
+/// \file tests/cli_parse_test.cc
+/// \brief Unit tests for the CLI argument/spec parsers.
+
+#include <gtest/gtest.h>
+
+#include "tools/cli_parse.h"
+
+namespace dhtjoin::cli {
+namespace {
+
+TEST(ParseArgsTest, SubcommandAndOptions) {
+  const char* argv[] = {"dhtjoin_cli", "join2", "--graph", "g.txt",
+                        "--k",         "10",    "--verbose"};
+  auto parsed = ParseArgs(7, argv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->command, "join2");
+  EXPECT_EQ(parsed->Get("graph", ""), "g.txt");
+  EXPECT_EQ(parsed->Get("k", ""), "10");
+  EXPECT_TRUE(parsed->Has("verbose"));
+  EXPECT_EQ(parsed->Get("missing", "dflt"), "dflt");
+}
+
+TEST(ParseArgsTest, MissingSubcommandRejected) {
+  const char* argv[] = {"dhtjoin_cli"};
+  EXPECT_FALSE(ParseArgs(1, argv).ok());
+}
+
+TEST(ParseArgsTest, BarewordOptionRejected) {
+  const char* argv[] = {"dhtjoin_cli", "join2", "oops"};
+  EXPECT_FALSE(ParseArgs(3, argv).ok());
+}
+
+TEST(ParseMeasureTest, AllMeasures) {
+  auto lam = ParseMeasure("dhtlambda");
+  ASSERT_TRUE(lam.ok());
+  EXPECT_DOUBLE_EQ(lam->lambda, 0.2);
+  EXPECT_TRUE(lam->first_hit);
+
+  auto lam4 = ParseMeasure("dhtlambda:0.4");
+  ASSERT_TRUE(lam4.ok());
+  EXPECT_DOUBLE_EQ(lam4->lambda, 0.4);
+
+  auto e = ParseMeasure("dhte");
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(e->beta, 0.0);
+
+  auto ppr = ParseMeasure("ppr:0.9");
+  ASSERT_TRUE(ppr.ok());
+  EXPECT_FALSE(ppr->first_hit);
+  EXPECT_DOUBLE_EQ(ppr->lambda, 0.9);
+}
+
+TEST(ParseMeasureTest, InvalidSpecsRejected) {
+  EXPECT_FALSE(ParseMeasure("simrank").ok());
+  EXPECT_FALSE(ParseMeasure("dhtlambda:1.5").ok());
+  EXPECT_FALSE(ParseMeasure("dhtlambda:zero").ok());
+  EXPECT_FALSE(ParseMeasure("dhte:0.5").ok());
+  EXPECT_FALSE(ParseMeasure("ppr:0").ok());
+}
+
+TEST(ParseQuerySpecTest, DirectedAndBidirectional) {
+  auto q = ParseQuerySpec("DB>AI,AI-SYS");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->size(), 2u);
+  EXPECT_EQ((*q)[0].from, "DB");
+  EXPECT_EQ((*q)[0].to, "AI");
+  EXPECT_FALSE((*q)[0].bidirectional);
+  EXPECT_EQ((*q)[1].from, "AI");
+  EXPECT_EQ((*q)[1].to, "SYS");
+  EXPECT_TRUE((*q)[1].bidirectional);
+}
+
+TEST(ParseQuerySpecTest, ArrowTakesPrecedenceForDashedNames) {
+  // Set names containing '-' work with '>' edges.
+  auto q = ParseQuerySpec("3-U>8-D");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)[0].from, "3-U");
+  EXPECT_EQ((*q)[0].to, "8-D");
+}
+
+TEST(ParseQuerySpecTest, InvalidSpecsRejected) {
+  EXPECT_FALSE(ParseQuerySpec("").ok());
+  EXPECT_FALSE(ParseQuerySpec("AB").ok());
+  EXPECT_FALSE(ParseQuerySpec(">B").ok());
+  EXPECT_FALSE(ParseQuerySpec("A>").ok());
+}
+
+TEST(ParsePositiveIntTest, Bounds) {
+  EXPECT_EQ(ParsePositiveInt("42", "k").value(), 42);
+  EXPECT_FALSE(ParsePositiveInt("0", "k").ok());
+  EXPECT_FALSE(ParsePositiveInt("-3", "k").ok());
+  EXPECT_FALSE(ParsePositiveInt("ten", "k").ok());
+  EXPECT_FALSE(ParsePositiveInt("10x", "k").ok());
+}
+
+}  // namespace
+}  // namespace dhtjoin::cli

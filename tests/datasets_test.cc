@@ -1,0 +1,361 @@
+/// \file tests/datasets_test.cc
+/// \brief The synthetic dataset generators and perturbation tools.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "datasets/dblp_like.h"
+#include "datasets/perturb.h"
+#include "datasets/planted_partition.h"
+#include "datasets/preferential_attachment.h"
+#include "datasets/yeast_like.h"
+#include "datasets/youtube_like.h"
+#include "graph/graph_builder.h"
+#include "util/hash.h"
+
+namespace dhtjoin::datasets {
+namespace {
+
+bool IsSymmetric(const Graph& g) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const OutEdge& e : g.OutEdges(u)) {
+      if (!g.HasEdge(e.to, u)) return false;
+      if (g.EdgeWeight(e.to, u) != e.weight) return false;
+    }
+  }
+  return true;
+}
+
+// ----------------------------------------------------- planted partition
+
+TEST(PlantedPartitionTest, MatchesRequestedScale) {
+  PlantedPartitionConfig cfg;
+  cfg.num_nodes = 500;
+  cfg.num_partitions = 5;
+  cfg.num_edges = 1500;
+  auto ds = GeneratePlantedPartition(cfg);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->graph.num_nodes(), 500);
+  EXPECT_EQ(ds->graph.num_edges(), 3000);  // undirected, stored both ways
+  EXPECT_EQ(ds->partitions.size(), 5u);
+}
+
+TEST(PlantedPartitionTest, PartitionsDisjointAndCovering) {
+  auto ds = GeneratePlantedPartition(PlantedPartitionConfig{});
+  ASSERT_TRUE(ds.ok());
+  std::set<NodeId> all;
+  std::size_t total = 0;
+  for (const NodeSet& p : ds->partitions) {
+    total += p.size();
+    for (NodeId u : p) all.insert(u);
+  }
+  EXPECT_EQ(total, all.size());  // disjoint
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(ds->graph.num_nodes()));
+}
+
+TEST(PlantedPartitionTest, DeterministicPerSeed) {
+  PlantedPartitionConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_edges = 900;
+  auto a = GeneratePlantedPartition(cfg);
+  auto b = GeneratePlantedPartition(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  for (NodeId u = 0; u < a->graph.num_nodes(); ++u) {
+    auto ra = a->graph.OutEdges(u);
+    auto rb = b->graph.OutEdges(u);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].to, rb[i].to);
+    }
+  }
+  cfg.seed = 999;
+  auto c = GeneratePlantedPartition(cfg);
+  ASSERT_TRUE(c.ok());
+  bool identical = true;
+  for (NodeId u = 0; u < a->graph.num_nodes() && identical; ++u) {
+    auto ra = a->graph.OutEdges(u);
+    auto rc = c->graph.OutEdges(u);
+    if (ra.size() != rc.size()) identical = false;
+  }
+  EXPECT_FALSE(identical);  // different seed, different graph
+}
+
+TEST(PlantedPartitionTest, CommunityStructurePresent) {
+  // Intra-partition edges must dominate: the generator targets 70% on
+  // its non-closure samples, and the cross-biased triadic closure pulls
+  // the realized fraction down a little. Uniform placement over 13
+  // partitions would give only ~8%, so anything above one half is
+  // unambiguous community structure.
+  auto ds = GeneratePlantedPartition(PlantedPartitionConfig{});
+  ASSERT_TRUE(ds.ok());
+  std::vector<int> part(static_cast<std::size_t>(ds->graph.num_nodes()), -1);
+  for (std::size_t i = 0; i < ds->partitions.size(); ++i) {
+    for (NodeId u : ds->partitions[i]) {
+      part[static_cast<std::size_t>(u)] = static_cast<int>(i);
+    }
+  }
+  int64_t intra = 0, total = 0;
+  for (NodeId u = 0; u < ds->graph.num_nodes(); ++u) {
+    for (const OutEdge& e : ds->graph.OutEdges(u)) {
+      ++total;
+      if (part[static_cast<std::size_t>(u)] ==
+          part[static_cast<std::size_t>(e.to)]) {
+        ++intra;
+      }
+    }
+  }
+  double frac = static_cast<double>(intra) / static_cast<double>(total);
+  EXPECT_GT(frac, 0.5);
+  EXPECT_LT(frac, 0.8);
+}
+
+TEST(PlantedPartitionTest, InfeasibleConfigsRejected) {
+  PlantedPartitionConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.num_partitions = 20;
+  EXPECT_FALSE(GeneratePlantedPartition(cfg).ok());
+  cfg = PlantedPartitionConfig{};
+  cfg.num_nodes = 10;
+  cfg.num_edges = 1000;  // denser than the simple-graph space
+  EXPECT_FALSE(GeneratePlantedPartition(cfg).ok());
+  cfg = PlantedPartitionConfig{};
+  cfg.intra_fraction = 1.5;
+  EXPECT_FALSE(GeneratePlantedPartition(cfg).ok());
+}
+
+// ----------------------------------------------- preferential attachment
+
+TEST(PreferentialAttachmentTest, HeavyTailedDegrees) {
+  PreferentialAttachmentConfig cfg;
+  cfg.num_nodes = 2000;
+  cfg.edges_per_node = 4;
+  auto ds = GeneratePreferentialAttachment(cfg);
+  ASSERT_TRUE(ds.ok());
+  int64_t max_degree = 0;
+  for (NodeId u = 0; u < ds->graph.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, ds->graph.Degree(u));
+  }
+  double mean = static_cast<double>(ds->graph.num_edges()) /
+                static_cast<double>(ds->graph.num_nodes());
+  // Hubs should tower over the mean (scale-free-ish tail).
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * mean);
+}
+
+TEST(PreferentialAttachmentTest, SymmetricWeightedEdges) {
+  PreferentialAttachmentConfig cfg;
+  cfg.num_nodes = 500;
+  cfg.weighted = true;
+  auto ds = GeneratePreferentialAttachment(cfg);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(IsSymmetric(ds->graph));
+  for (double w : ds->edge_weights) EXPECT_GE(w, 1.0);
+}
+
+TEST(PreferentialAttachmentTest, EdgeListAlignedWithGraph) {
+  PreferentialAttachmentConfig cfg;
+  cfg.num_nodes = 300;
+  auto ds = GeneratePreferentialAttachment(cfg);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->edge_list.size(), ds->edge_weights.size());
+  EXPECT_EQ(static_cast<int64_t>(ds->edge_list.size()) * 2,
+            ds->graph.num_edges());
+  for (auto [u, v] : ds->edge_list) {
+    EXPECT_TRUE(ds->graph.HasEdge(u, v));
+    EXPECT_LE(u, v);
+  }
+}
+
+TEST(PreferentialAttachmentTest, CommunitiesCoverAllNodes) {
+  auto ds = GeneratePreferentialAttachment(PreferentialAttachmentConfig{
+      .num_nodes = 400, .edges_per_node = 3, .num_communities = 6});
+  ASSERT_TRUE(ds.ok());
+  std::size_t total = 0;
+  for (const NodeSet& c : ds->communities) total += c.size();
+  EXPECT_EQ(total, 400u);
+}
+
+// --------------------------------------------------------------- wrappers
+
+TEST(YeastLikeTest, PaperScaleAndPartitions) {
+  auto ds = GenerateYeastLike();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->graph.num_nodes(), 2400);
+  EXPECT_EQ(ds->graph.num_edges(), 14400);  // 7200 undirected
+  EXPECT_EQ(ds->partitions.size(), 13u);
+  EXPECT_TRUE(IsSymmetric(ds->graph));
+  // The paper's named partitions exist, and 3-U / 8-D are the largest.
+  auto u3 = ds->Partition("3-U");
+  auto d8 = ds->Partition("8-D");
+  auto f5 = ds->Partition("5-F");
+  ASSERT_TRUE(u3.ok());
+  ASSERT_TRUE(d8.ok());
+  ASSERT_TRUE(f5.ok());
+  for (const NodeSet& p : ds->partitions) {
+    EXPECT_LE(p.size(), u3->size());
+  }
+  EXPECT_FALSE(ds->Partition("nope").ok());
+}
+
+TEST(DblpLikeTest, AreasWeightsAndYears) {
+  DblpLikeConfig cfg;
+  cfg.num_authors = 2000;
+  auto ds = GenerateDblpLike(cfg);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->areas.size(), 10u);
+  ASSERT_TRUE(ds->Area("DB").ok());
+  ASSERT_TRUE(ds->Area("AI").ok());
+  ASSERT_TRUE(ds->Area("SYS").ok());
+  EXPECT_FALSE(ds->Area("XX").ok());
+  ASSERT_EQ(ds->edge_year.size(), ds->edge_list.size());
+  for (int y : ds->edge_year) {
+    EXPECT_GE(y, cfg.first_year);
+    EXPECT_LE(y, cfg.last_year);
+  }
+  // Co-authorship weights are positive integers.
+  for (NodeId u = 0; u < ds->graph.num_nodes(); ++u) {
+    for (const OutEdge& e : ds->graph.OutEdges(u)) {
+      EXPECT_GE(e.weight, 1.0);
+    }
+  }
+}
+
+TEST(DblpLikeTest, SnapshotIsSubgraph) {
+  DblpLikeConfig cfg;
+  cfg.num_authors = 1500;
+  auto ds = GenerateDblpLike(cfg);
+  ASSERT_TRUE(ds.ok());
+  auto snap = ds->SnapshotBefore(2010);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_LT(snap->num_edges(), ds->graph.num_edges());
+  EXPECT_GT(snap->num_edges(), 0);
+  for (NodeId u = 0; u < snap->num_nodes(); ++u) {
+    for (const OutEdge& e : snap->OutEdges(u)) {
+      EXPECT_TRUE(ds->graph.HasEdge(u, e.to));
+    }
+  }
+  // Recent years hold the bulk of the edges (growth curve).
+  auto early = ds->SnapshotBefore(2000);
+  ASSERT_TRUE(early.ok());
+  EXPECT_LT(early->num_edges(), snap->num_edges());
+}
+
+TEST(YouTubeLikeTest, GroupsOverlapAndScale) {
+  YouTubeLikeConfig cfg;
+  cfg.num_users = 3000;
+  cfg.num_groups = 20;
+  cfg.max_group_size = 150;
+  auto ds = GenerateYouTubeLike(cfg);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->groups.size(), 20u);
+  ASSERT_TRUE(ds->Group(1).ok());
+  ASSERT_TRUE(ds->Group(5).ok());
+  EXPECT_FALSE(ds->Group(999).ok());
+  // Zipf sizes: group 1 biggest.
+  EXPECT_GE(ds->Group(1)->size(), ds->Group(10)->size());
+  for (const NodeSet& grp : ds->groups) {
+    EXPECT_GE(grp.size(), 8u);
+    for (NodeId u : grp) {
+      EXPECT_TRUE(ds->graph.ContainsNode(u));
+    }
+  }
+}
+
+// ---------------------------------------------------------------- perturb
+
+TEST(PerturbTest, RemoveInterSetEdgesHalves) {
+  auto ds = GenerateYeastLike(YeastLikeConfig{.num_nodes = 800,
+                                              .num_edges = 2400,
+                                              .seed = 3});
+  ASSERT_TRUE(ds.ok());
+  const NodeSet& P = ds->partitions[0];
+  const NodeSet& Q = ds->partitions[1];
+  auto removed = RemoveInterSetEdges(ds->graph, P, Q, 0.5, 42);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_GT(removed->removed.size(), 0u);
+  for (auto [u, v] : removed->removed) {
+    EXPECT_TRUE(ds->graph.HasEdge(u, v));           // was there
+    EXPECT_FALSE(removed->graph.HasEdge(u, v));     // now gone
+    EXPECT_FALSE(removed->graph.HasEdge(v, u));     // both directions
+  }
+  // Non-removed edges intact.
+  EXPECT_EQ(removed->graph.num_edges(),
+            ds->graph.num_edges() -
+                2 * static_cast<int64_t>(removed->removed.size()));
+}
+
+TEST(PerturbTest, RemoveFractionBounds) {
+  auto ds = GenerateYeastLike(YeastLikeConfig{.num_nodes = 800,
+                                              .num_edges = 2400,
+                                              .seed = 4});
+  ASSERT_TRUE(ds.ok());
+  const NodeSet& P = ds->partitions[0];
+  const NodeSet& Q = ds->partitions[1];
+  auto none = RemoveInterSetEdges(ds->graph, P, Q, 0.0, 1);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->removed.empty());
+  auto all = RemoveInterSetEdges(ds->graph, P, Q, 1.0, 1);
+  ASSERT_TRUE(all.ok());
+  // Every inter-set edge gone.
+  for (NodeId p : P) {
+    for (const OutEdge& e : all->graph.OutEdges(p)) {
+      EXPECT_FALSE(Q.Contains(e.to));
+    }
+  }
+  EXPECT_FALSE(RemoveInterSetEdges(ds->graph, P, Q, 1.5, 1).ok());
+}
+
+TEST(PerturbTest, FindTrianglesCorrect) {
+  // Hand-built graph with exactly two (P,Q,R) triangles.
+  GraphBuilder b(9, true);
+  ASSERT_TRUE(b.AddEdge(0, 3).ok());
+  ASSERT_TRUE(b.AddEdge(3, 6).ok());
+  ASSERT_TRUE(b.AddEdge(0, 6).ok());  // triangle (0, 3, 6)
+  ASSERT_TRUE(b.AddEdge(1, 4).ok());
+  ASSERT_TRUE(b.AddEdge(4, 7).ok());
+  ASSERT_TRUE(b.AddEdge(1, 7).ok());  // triangle (1, 4, 7)
+  ASSERT_TRUE(b.AddEdge(2, 5).ok());
+  ASSERT_TRUE(b.AddEdge(5, 8).ok());  // (2, 5, 8) missing one side
+  Graph g = std::move(b.Build()).value();
+  NodeSet P("P", {0, 1, 2});
+  NodeSet Q("Q", {3, 4, 5});
+  NodeSet R("R", {6, 7, 8});
+  auto tris = FindTriangles(g, P, Q, R);
+  ASSERT_EQ(tris.size(), 2u);
+  std::set<std::tuple<NodeId, NodeId, NodeId>> found;
+  for (const Triangle& t : tris) found.insert({t.p, t.q, t.r});
+  EXPECT_TRUE(found.contains({0, 3, 6}));
+  EXPECT_TRUE(found.contains({1, 4, 7}));
+}
+
+TEST(PerturbTest, RemoveCliqueEdgesBreaksEveryClique) {
+  auto ds = GenerateYeastLike(YeastLikeConfig{.num_nodes = 600,
+                                              .num_edges = 3000,
+                                              .seed = 5});
+  ASSERT_TRUE(ds.ok());
+  const NodeSet& P = ds->partitions[0];
+  const NodeSet& Q = ds->partitions[1];
+  const NodeSet& R = ds->partitions[2];
+  auto before = FindTriangles(ds->graph, P, Q, R);
+  auto result = RemoveCliqueEdges(ds->graph, P, Q, R, 77);
+  ASSERT_TRUE(result.ok());
+  if (!before.empty()) {
+    EXPECT_GT(result->removed.size(), 0u);
+  }
+  auto after = FindTriangles(result->graph, P, Q, R);
+  EXPECT_TRUE(after.empty());
+}
+
+TEST(PerturbTest, RemoveEdgesRebuildsExactly) {
+  Graph g = std::move(GraphBuilder(4, true).Build()).value();
+  // Empty graph: removing nothing keeps nothing.
+  auto same = RemoveEdges(g, {});
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace dhtjoin::datasets

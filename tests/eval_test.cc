@@ -1,0 +1,168 @@
+/// \file tests/eval_test.cc
+/// \brief ROC/AUC math and the link / 3-clique prediction harnesses.
+
+#include <gtest/gtest.h>
+
+#include "datasets/perturb.h"
+#include "datasets/yeast_like.h"
+#include "eval/clique_prediction.h"
+#include "eval/link_prediction.h"
+#include "eval/roc.h"
+#include "testing/reference.h"
+
+namespace dhtjoin::eval {
+namespace {
+
+TEST(RocTest, PerfectRankingIsAucOne) {
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 10; ++i) scored.emplace_back(10.0 - i, i < 3);
+  RocResult r = ComputeRoc(scored);
+  EXPECT_DOUBLE_EQ(r.auc, 1.0);
+  EXPECT_EQ(r.positives, 3);
+  EXPECT_EQ(r.negatives, 7);
+  EXPECT_DOUBLE_EQ(r.points.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(r.points.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(r.points.back().fpr, 1.0);
+}
+
+TEST(RocTest, InvertedRankingIsAucZero) {
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 10; ++i) scored.emplace_back(10.0 - i, i >= 7);
+  EXPECT_DOUBLE_EQ(ComputeRoc(scored).auc, 0.0);
+}
+
+TEST(RocTest, AllTiedIsAucHalf) {
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 20; ++i) scored.emplace_back(1.0, i % 2 == 0);
+  EXPECT_DOUBLE_EQ(ComputeRoc(scored).auc, 0.5);
+}
+
+TEST(RocTest, RandomScoresNearHalf) {
+  Rng rng(8);
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 20000; ++i) {
+    scored.emplace_back(rng.NextDouble(), rng.Chance(0.3));
+  }
+  EXPECT_NEAR(ComputeRoc(scored).auc, 0.5, 0.02);
+}
+
+TEST(RocTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(ComputeRoc({}).auc, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeRoc({{1.0, true}}).auc, 0.0);   // no negatives
+  EXPECT_DOUBLE_EQ(ComputeRoc({{1.0, false}}).auc, 0.0);  // no positives
+}
+
+TEST(RocTest, AucEqualsMannWhitneyStatistic) {
+  // AUC == P(score_pos > score_neg) + 0.5 P(tie), checked by brute force.
+  Rng rng(9);
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 200; ++i) {
+    // Positives drawn from a higher-mean distribution.
+    bool pos = rng.Chance(0.4);
+    double s = rng.NextDouble() + (pos ? 0.3 : 0.0);
+    scored.emplace_back(s, pos);
+  }
+  double wins = 0.0;
+  int64_t pairs = 0;
+  for (const auto& [sp, lp] : scored) {
+    if (!lp) continue;
+    for (const auto& [sn, ln] : scored) {
+      if (ln) continue;
+      ++pairs;
+      if (sp > sn) {
+        wins += 1.0;
+      } else if (sp == sn) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(ComputeRoc(scored).auc, wins / static_cast<double>(pairs),
+              1e-9);
+}
+
+TEST(RocTest, CurveIsMonotone) {
+  Rng rng(10);
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 500; ++i) {
+    scored.emplace_back(rng.NextDouble(), rng.Chance(0.2));
+  }
+  RocResult r = ComputeRoc(scored);
+  for (std::size_t i = 1; i < r.points.size(); ++i) {
+    EXPECT_GE(r.points[i].fpr, r.points[i - 1].fpr - 1e-15);
+    EXPECT_GE(r.points[i].tpr, r.points[i - 1].tpr - 1e-15);
+  }
+}
+
+// ----------------------------------------------------- link prediction
+
+TEST(LinkPredictionTest, RecoversRemovedEdges) {
+  // Remove half the inter-set edges of a community graph; DHT on the
+  // remainder should rank the removed pairs well above random pairs.
+  auto ds = datasets::GenerateYeastLike(datasets::YeastLikeConfig{
+      .num_nodes = 600, .num_edges = 2400, .seed = 21});
+  ASSERT_TRUE(ds.ok());
+  const NodeSet& P = ds->partitions[0];
+  const NodeSet& Q = ds->partitions[1];
+  auto removed =
+      datasets::RemoveInterSetEdges(ds->graph, P, Q, 0.5, 99);
+  ASSERT_TRUE(removed.ok());
+  ASSERT_GT(removed->removed.size(), 5u);
+  DhtParams params = DhtParams::Lambda(0.2);
+  auto roc = EvaluateLinkPrediction(ds->graph, removed->graph, P, Q, params,
+                                    8);
+  ASSERT_TRUE(roc.ok()) << roc.status().ToString();
+  EXPECT_GT(roc->positives, 0);
+  EXPECT_GT(roc->negatives, 0);
+  EXPECT_GT(roc->auc, 0.7);  // far better than chance
+}
+
+TEST(LinkPredictionTest, ExcludesExistingTestEdges) {
+  // Candidates must not include pairs already linked in T; with
+  // fraction=0 the candidate set has no positives that are T-edges.
+  auto ds = datasets::GenerateYeastLike(datasets::YeastLikeConfig{
+      .num_nodes = 400, .num_edges = 1600, .seed = 22});
+  ASSERT_TRUE(ds.ok());
+  const NodeSet& P = ds->partitions[0];
+  const NodeSet& Q = ds->partitions[1];
+  DhtParams params = DhtParams::Lambda(0.2);
+  // T == G: every remaining candidate is a non-edge of G => 0 positives.
+  auto roc = EvaluateLinkPrediction(ds->graph, ds->graph, P, Q, params, 8);
+  ASSERT_TRUE(roc.ok());
+  EXPECT_EQ(roc->positives, 0);
+}
+
+TEST(LinkPredictionTest, InvalidInputsRejected) {
+  Graph g = testing::TwoCommunityGraph();
+  DhtParams params = DhtParams::Lambda(0.2);
+  NodeSet P = testing::Range("P", 0, 5);
+  NodeSet Q = testing::Range("Q", 5, 10);
+  EXPECT_FALSE(
+      EvaluateLinkPrediction(g, g, NodeSet("E", {}), Q, params, 8).ok());
+  EXPECT_FALSE(EvaluateLinkPrediction(g, g, P, Q, params, 0).ok());
+}
+
+// --------------------------------------------------- clique prediction
+
+TEST(CliquePredictionTest, RecoversBrokenCliques) {
+  auto ds = datasets::GenerateYeastLike(datasets::YeastLikeConfig{
+      .num_nodes = 500, .num_edges = 2500, .seed = 23});
+  ASSERT_TRUE(ds.ok());
+  const NodeSet& P = ds->partitions[0];
+  const NodeSet& Q = ds->partitions[1];
+  const NodeSet& R = ds->partitions[2];
+  auto tris = datasets::FindTriangles(ds->graph, P, Q, R);
+  if (tris.size() < 3) GTEST_SKIP() << "not enough cliques in sample";
+  auto removed = datasets::RemoveCliqueEdges(ds->graph, P, Q, R, 31);
+  ASSERT_TRUE(removed.ok());
+  DhtParams params = DhtParams::Lambda(0.2);
+  auto roc = EvaluateCliquePrediction(ds->graph, removed->graph, P, Q, R,
+                                      params, 8,
+                                      CliquePredictionOptions{.k = 500,
+                                                              .m = 100});
+  ASSERT_TRUE(roc.ok()) << roc.status().ToString();
+  EXPECT_GT(roc->positives, 0);
+  EXPECT_GT(roc->auc, 0.5);
+}
+
+}  // namespace
+}  // namespace dhtjoin::eval

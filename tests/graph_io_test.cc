@@ -1,0 +1,165 @@
+/// \file tests/graph_io_test.cc
+/// \brief Unit tests for edge-list / node-set serialization, including
+/// failure injection on malformed files.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/graph_io.h"
+#include "testing/reference.h"
+
+namespace dhtjoin {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "dhtjoin_io_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(GraphIoTest, RoundTripPreservesGraph) {
+  Graph g = testing::TwoCommunityGraph();
+  std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const OutEdge& e : g.OutEdges(u)) {
+      EXPECT_DOUBLE_EQ(loaded->EdgeWeight(u, e.to), e.weight);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, LoadsHeaderlessFileWithDefaults) {
+  std::string path = TempPath("headerless.txt");
+  WriteFile(path, "0 1\n1 2 2.5\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 1.0);  // default weight
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 2), 2.5);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::string path = TempPath("comments.txt");
+  WriteFile(path, "# a comment\n\n0 1\n# another\n1 0\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, MissingFileIsIOError) {
+  auto g = LoadEdgeList("/nonexistent/definitely/missing.txt");
+  EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(GraphIoTest, MalformedLineReportsLineNumber) {
+  std::string path = TempPath("malformed.txt");
+  WriteFile(path, "0 1\nnot numbers\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, NegativeIdRejected) {
+  std::string path = TempPath("negid.txt");
+  WriteFile(path, "0 -1\n");
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, NonPositiveWeightRejected) {
+  std::string path = TempPath("badweight.txt");
+  WriteFile(path, "0 1 0\n");
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, HeaderNodeCountTooSmallRejected) {
+  std::string path = TempPath("badheader.txt");
+  WriteFile(path, "# dhtjoin-graph nodes=2 edges=1 directed=1\n0 5 1\n");
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, HeaderAllowsIsolatedTrailingNodes) {
+  std::string path = TempPath("isolated.txt");
+  WriteFile(path, "# dhtjoin-graph nodes=10 edges=1 directed=1\n0 1 1\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 10);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, NodeSetsRoundTrip) {
+  std::vector<NodeSet> sets = {NodeSet("alpha", {3, 1, 2}),
+                               NodeSet("beta", {7})};
+  std::string path = TempPath("sets.txt");
+  ASSERT_TRUE(SaveNodeSets(sets, path).ok());
+  auto loaded = LoadNodeSets(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].name(), "alpha");
+  EXPECT_EQ((*loaded)[0].size(), 3u);
+  EXPECT_EQ((*loaded)[1].name(), "beta");
+  EXPECT_TRUE((*loaded)[1].Contains(7));
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, NodeSetNegativeIdRejected) {
+  std::string path = TempPath("negsets.txt");
+  WriteFile(path, "alpha 1 -2\n");
+  EXPECT_FALSE(LoadNodeSets(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, ScientificNotationWeightsAccepted) {
+  std::string path = TempPath("sci.txt");
+  WriteFile(path, "0 1 1.5e2\n1 0 2.5E-1\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 150.0);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 0), 0.25);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, DuplicateEdgesInFileAccumulate) {
+  std::string path = TempPath("dups.txt");
+  WriteFile(path, "0 1 1\n0 1 2\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 3.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, SelfLoopInFileRejected) {
+  std::string path = TempPath("selfloop.txt");
+  WriteFile(path, "2 2 1\n");
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, SaveToUnwritablePathFails) {
+  Graph g = testing::PathGraph(2);
+  EXPECT_EQ(SaveEdgeList(g, "/nonexistent/dir/file.txt").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace dhtjoin

@@ -1,0 +1,183 @@
+/// \file tests/graph_test.cc
+/// \brief Unit tests for the graph substrate: GraphBuilder, Graph, NodeSet.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/node_set.h"
+#include "testing/reference.h"
+
+namespace dhtjoin {
+namespace {
+
+TEST(GraphBuilderTest, BasicDirectedGraph) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2, 6.0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3);
+  EXPECT_EQ(g->num_edges(), 3);
+  EXPECT_EQ(g->OutDegree(0), 2);
+  EXPECT_EQ(g->OutDegree(2), 0);
+  EXPECT_EQ(g->InDegree(2), 2);
+}
+
+TEST(GraphBuilderTest, TransitionProbabilitiesNormalized) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2, 6.0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto row = g->OutEdges(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0].prob, 0.25);  // to node 1: 2/8
+  EXPECT_DOUBLE_EQ(row[1].prob, 0.75);  // to node 2: 6/8
+}
+
+TEST(GraphBuilderTest, UndirectedAddsBothDirections) {
+  GraphBuilder b(2, /*undirected=*/true);
+  ASSERT_TRUE(b.AddEdge(0, 1, 3.0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 0));
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 0), 3.0);
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesAccumulateWeight) {
+  // DBLP semantics: one co-authored paper = +1 weight.
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 2.5).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 4.5);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder b(2);
+  Status s = b.AddEdge(1, 1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeNode) {
+  GraphBuilder b(2);
+  EXPECT_FALSE(b.AddEdge(0, 2).ok());
+  EXPECT_FALSE(b.AddEdge(-1, 0).ok());
+}
+
+TEST(GraphBuilderTest, RejectsNonPositiveWeight) {
+  GraphBuilder b(2);
+  EXPECT_FALSE(b.AddEdge(0, 1, 0.0).ok());
+  EXPECT_FALSE(b.AddEdge(0, 1, -1.0).ok());
+}
+
+TEST(GraphBuilderTest, EmptyGraphBuilds) {
+  GraphBuilder b(0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0);
+  EXPECT_EQ(g->num_edges(), 0);
+}
+
+TEST(GraphBuilderTest, IsolatedNodesAllowed) {
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->OutDegree(3), 0);
+  EXPECT_EQ(g->InDegree(3), 0);
+}
+
+TEST(GraphTest, OutEdgesSortedByTarget) {
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 4).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(0, 3).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto row = g->OutEdges(0);
+  EXPECT_EQ(row[0].to, 1);
+  EXPECT_EQ(row[1].to, 3);
+  EXPECT_EQ(row[2].to, 4);
+}
+
+TEST(GraphTest, InNeighborsMatchOutEdges) {
+  Graph g = testing::TwoCommunityGraph();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const OutEdge& e : g.OutEdges(u)) {
+      auto ins = g.InNeighbors(e.to);
+      EXPECT_TRUE(std::find(ins.begin(), ins.end(), u) != ins.end())
+          << "edge (" << u << "," << e.to << ") missing from in-adjacency";
+    }
+  }
+}
+
+TEST(GraphTest, ProbabilitiesSumToOnePerNode) {
+  Graph g = testing::TwoCommunityGraph();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) == 0) continue;
+    double total = 0.0;
+    for (const OutEdge& e : g.OutEdges(u)) total += e.prob;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(GraphTest, HasEdgeAndWeightOnMissing) {
+  Graph g = testing::PathGraph(3);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));  // directed
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 0.0);
+  EXPECT_FALSE(g.HasEdge(-1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 99));
+}
+
+// ---------------------------------------------------------------- NodeSet
+
+TEST(NodeSetTest, SortsAndDedups) {
+  NodeSet s("x", {3, 1, 2, 1, 3});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[2], 3);
+}
+
+TEST(NodeSetTest, Contains) {
+  NodeSet s("x", {5, 7});
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(6));
+}
+
+TEST(NodeSetTest, ValidateAgainstGraph) {
+  Graph g = testing::PathGraph(3);
+  EXPECT_TRUE(NodeSet("ok", {0, 2}).Validate(g).ok());
+  EXPECT_EQ(NodeSet("empty", {}).Validate(g).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(NodeSet("bad", {0, 5}).Validate(g).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NodeSetTest, TopByDegreePicksHubs) {
+  Graph g = testing::StarGraph(6);  // node 0 is the hub
+  NodeSet all("all", {0, 1, 2, 3, 4, 5});
+  NodeSet top = all.TopByDegree(g, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 0);
+}
+
+TEST(NodeSetTest, TopByDegreeKeepsAllWhenCountExceedsSize) {
+  Graph g = testing::StarGraph(4);
+  NodeSet all("all", {1, 2});
+  EXPECT_EQ(all.TopByDegree(g, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace dhtjoin

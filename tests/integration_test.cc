@@ -1,0 +1,174 @@
+/// \file tests/integration_test.cc
+/// \brief End-to-end pipelines over the synthetic datasets: generate ->
+/// join -> evaluate, exercising the public umbrella API the way the
+/// examples and benches do.
+
+#include <gtest/gtest.h>
+
+#include "core/dhtjoin.h"
+#include "datasets/dblp_like.h"
+#include "datasets/perturb.h"
+#include "datasets/yeast_like.h"
+#include "eval/link_prediction.h"
+
+namespace dhtjoin {
+namespace {
+
+class YeastPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto ds = datasets::GenerateYeastLike(datasets::YeastLikeConfig{
+        .num_nodes = 800, .num_edges = 2400, .seed = 77});
+    ASSERT_TRUE(ds.ok());
+    dataset_ = new datasets::YeastLikeDataset(std::move(ds).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static datasets::YeastLikeDataset* dataset_;
+};
+
+datasets::YeastLikeDataset* YeastPipeline::dataset_ = nullptr;
+
+TEST_F(YeastPipeline, TwoWayJoinTopKStable) {
+  DhtParams p = DhtParams::Lambda(0.2);
+  int d = p.StepsForEpsilon(1e-6);
+  ASSERT_EQ(d, 8);
+  NodeSet P = dataset_->partitions[0].TopByDegree(dataset_->graph, 40);
+  NodeSet Q = dataset_->partitions[1].TopByDegree(dataset_->graph, 40);
+  BIdjJoin y(BIdjJoin::Options{UpperBoundKind::kY});
+  BBjJoin basic;
+  auto fast = y.Run(dataset_->graph, p, d, P, Q, 25);
+  auto slow = basic.Run(dataset_->graph, p, d, P, Q, 25);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(fast->size(), slow->size());
+  for (std::size_t i = 0; i < fast->size(); ++i) {
+    EXPECT_NEAR((*fast)[i].score, (*slow)[i].score, 1e-9);
+  }
+}
+
+TEST_F(YeastPipeline, ChainAndTriangleJoinsAgreeAcrossAlgorithms) {
+  DhtParams p = DhtParams::Lambda(0.2);
+  NodeSet A = dataset_->partitions[0].TopByDegree(dataset_->graph, 15);
+  NodeSet B = dataset_->partitions[1].TopByDegree(dataset_->graph, 15);
+  NodeSet C = dataset_->partitions[2].TopByDegree(dataset_->graph, 15);
+
+  for (bool triangle : {false, true}) {
+    QueryGraph q;
+    int a = q.AddNodeSet(A);
+    int b = q.AddNodeSet(B);
+    int c = q.AddNodeSet(C);
+    ASSERT_TRUE(q.AddEdge(a, b).ok());
+    ASSERT_TRUE(q.AddEdge(b, c).ok());
+    if (triangle) ASSERT_TRUE(q.AddEdge(a, c).ok());
+    MinAggregate f;
+    AllPairsJoin ap(AllPairsJoin::Options{AllPairsJoin::Engine::kBackward});
+    PartialJoin pj(PartialJoin::Options{.m = 20, .incremental = false});
+    PartialJoin pji(PartialJoin::Options{.m = 20, .incremental = true});
+    auto want = ap.Run(dataset_->graph, p, 8, q, f, 10);
+    ASSERT_TRUE(want.ok());
+    for (NwayJoin* algo :
+         {static_cast<NwayJoin*>(&pj), static_cast<NwayJoin*>(&pji)}) {
+      auto got = algo->Run(dataset_->graph, p, 8, q, f, 10);
+      ASSERT_TRUE(got.ok()) << algo->Name();
+      ASSERT_EQ(got->size(), want->size()) << algo->Name();
+      for (std::size_t i = 0; i < want->size(); ++i) {
+        EXPECT_NEAR((*got)[i].f, (*want)[i].f, 1e-9)
+            << algo->Name() << " rank " << i << (triangle ? " tri" : " chain");
+      }
+    }
+  }
+}
+
+TEST_F(YeastPipeline, DhtVariantsBothWork) {
+  NodeSet P = dataset_->partitions[0].TopByDegree(dataset_->graph, 20);
+  NodeSet Q = dataset_->partitions[1].TopByDegree(dataset_->graph, 20);
+  for (DhtParams p : {DhtParams::Lambda(0.2), DhtParams::Exponential()}) {
+    int d = p.StepsForEpsilon(1e-6);
+    BIdjJoin join;
+    auto got = join.Run(dataset_->graph, p, d, P, Q, 10);
+    ASSERT_TRUE(got.ok());
+    EXPECT_FALSE(got->empty());
+    for (const ScoredPair& sp : *got) {
+      EXPECT_GT(sp.score, p.FloorScore());
+      EXPECT_LE(sp.score, p.MaxScore() + 1e-12);
+    }
+  }
+}
+
+TEST(DblpPipeline, TemporalLinkPredictionBeatsChance) {
+  auto ds = datasets::GenerateDblpLike(
+      datasets::DblpLikeConfig{.num_authors = 3000, .seed = 5});
+  ASSERT_TRUE(ds.ok());
+  auto snapshot = ds->SnapshotBefore(2010);
+  ASSERT_TRUE(snapshot.ok());
+  NodeSet db = ds->Area("DB")->TopByDegree(ds->graph, 120);
+  NodeSet ai = ds->Area("AI")->TopByDegree(ds->graph, 120);
+  DhtParams p = DhtParams::Lambda(0.2);
+  auto roc = eval::EvaluateLinkPrediction(ds->graph, *snapshot, db, ai, p, 8);
+  ASSERT_TRUE(roc.ok()) << roc.status().ToString();
+  if (roc->positives == 0) GTEST_SKIP() << "no new DB-AI links in sample";
+  EXPECT_GT(roc->auc, 0.6);
+}
+
+TEST(DblpPipeline, GraphRoundTripsThroughIo) {
+  auto ds = datasets::GenerateDblpLike(
+      datasets::DblpLikeConfig{.num_authors = 500, .seed = 6});
+  ASSERT_TRUE(ds.ok());
+  std::string path = ::testing::TempDir() + "dhtjoin_dblp_roundtrip.txt";
+  ASSERT_TRUE(SaveEdgeList(ds->graph, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), ds->graph.num_edges());
+  // Joins on the loaded graph behave identically.
+  NodeSet db = ds->Area("DB")->TopByDegree(ds->graph, 20);
+  NodeSet ai = ds->Area("AI")->TopByDegree(ds->graph, 20);
+  DhtParams p = DhtParams::Lambda(0.2);
+  BIdjJoin join;
+  auto a = join.Run(ds->graph, p, 8, db, ai, 10);
+  auto b = join.Run(*loaded, p, 8, db, ai, 10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].score, (*b)[i].score);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UmbrellaHeaderTest, QuickstartCompilesAndRuns) {
+  // The doc-comment example from core/dhtjoin.h, executed literally.
+  GraphBuilder builder(6, /*undirected=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  ASSERT_TRUE(builder.AddEdge(3, 4).ok());
+  ASSERT_TRUE(builder.AddEdge(4, 5).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 4).ok());
+  Graph g = std::move(builder.Build()).value();
+  DhtParams dht = DhtParams::Lambda(0.2);
+  int d = dht.StepsForEpsilon(1e-6);
+
+  NodeSet P("P", {0, 1, 2});
+  NodeSet Q("Q", {3, 4, 5});
+  BIdjJoin two_way;
+  auto pairs = two_way.Run(g, dht, d, P, Q, 3);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 3u);
+
+  QueryGraph query;
+  int a = query.AddNodeSet(P);
+  int b = query.AddNodeSet(Q);
+  ASSERT_TRUE(query.AddBidirectionalEdge(a, b).ok());
+  PartialJoin pji(PartialJoin::Options{.m = 5, .incremental = true});
+  MinAggregate min_f;
+  auto tuples = pji.Run(g, dht, d, query, min_f, 3);
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_FALSE(tuples->empty());
+}
+
+}  // namespace
+}  // namespace dhtjoin

@@ -1,0 +1,246 @@
+/// \file tests/testing/reference.h
+/// \brief Independent ground-truth oracles and graph fixtures for tests.
+///
+/// RefFirstHitProb enumerates every walk explicitly (exponential in d;
+/// only for tiny graphs) — a genuinely independent check of both the
+/// forward and backward propagation engines. RefTwoWayJoin and
+/// RefNwayJoin are brute-force joins built on top of it / of the
+/// (separately validated) walkers.
+
+#ifndef DHTJOIN_TESTS_TESTING_REFERENCE_H_
+#define DHTJOIN_TESTS_TESTING_REFERENCE_H_
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "dht/backward.h"
+#include "dht/params.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/node_set.h"
+#include "join2/two_way_join.h"
+#include "rankjoin/aggregate.h"
+#include "rankjoin/pbrj.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dhtjoin::testing {
+
+/// Probability that a walk from `u` FIRST hits `v` at exactly step `i`,
+/// by explicit enumeration of all walks (exponential; tiny graphs only).
+inline double RefFirstHitProb(const Graph& g, NodeId u, NodeId v, int i) {
+  DHTJOIN_CHECK_GE(i, 1);
+  // When u == v the result is the first-RETURN probability; the start
+  // node does not count as a hit, so the recursion below covers it.
+  double total = 0.0;
+  for (const OutEdge& e : g.OutEdges(u)) {
+    if (i == 1) {
+      if (e.to == v) total += e.prob;
+    } else if (e.to != v) {
+      total += e.prob * RefFirstHitProb(g, e.to, v, i - 1);
+    }
+  }
+  return total;
+}
+
+/// Truncated DHT h_d(u, v) from the path oracle.
+inline double RefHd(const Graph& g, const DhtParams& params, int d, NodeId u,
+                    NodeId v) {
+  double score = params.beta;
+  double lp = 1.0;
+  for (int i = 1; i <= d; ++i) {
+    lp *= params.lambda;
+    score += params.alpha * lp * RefFirstHitProb(g, u, v, i);
+  }
+  return score;
+}
+
+/// Brute-force 2-way join via the backward walker (validated separately
+/// against RefHd). Returns all valid pairs sorted, truncated to k.
+inline std::vector<ScoredPair> RefTwoWayJoin(const Graph& g,
+                                             const DhtParams& params, int d,
+                                             const NodeSet& P,
+                                             const NodeSet& Q,
+                                             std::size_t k) {
+  BackwardWalker walker(g);
+  std::vector<ScoredPair> out;
+  for (NodeId q : Q) {
+    walker.Reset(params, q);
+    walker.Advance(d);
+    for (NodeId p : P) {
+      if (p == q) continue;
+      double s = walker.Score(p);
+      if (s > params.beta) out.push_back(ScoredPair{p, q, s});
+    }
+  }
+  std::sort(out.begin(), out.end(), ScoredPairGreater);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+/// Brute-force n-way join: all pair scores via the backward walker, full
+/// tuple enumeration, validity filtering, top-k by f. Independent of the
+/// PBRJ machinery.
+inline std::vector<TupleAnswer> RefNwayJoin(
+    const Graph& g, const DhtParams& params, int d,
+    const std::vector<NodeSet>& sets, const std::vector<JoinEdge>& edges,
+    const Aggregate& f, std::size_t k) {
+  // Pair score tables per edge.
+  struct Table {
+    std::vector<ScoredPair> pairs;
+    double Get(NodeId p, NodeId q) const {
+      for (const auto& sp : pairs) {
+        if (sp.p == p && sp.q == q) return sp.score;
+      }
+      return -std::numeric_limits<double>::infinity();  // invalid pair
+    }
+  };
+  std::vector<Table> tables(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    tables[e].pairs = RefTwoWayJoin(
+        g, params, d, sets[static_cast<std::size_t>(edges[e].left)],
+        sets[static_cast<std::size_t>(edges[e].right)],
+        static_cast<std::size_t>(-1));
+  }
+
+  std::vector<TupleAnswer> all;
+  std::vector<NodeId> tuple(sets.size(), kInvalidNode);
+  auto enumerate = [&](auto&& self, std::size_t attr) -> void {
+    if (attr == sets.size()) {
+      TupleAnswer a;
+      a.nodes = tuple;
+      a.edge_scores.resize(edges.size());
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        double s = tables[e].Get(
+            tuple[static_cast<std::size_t>(edges[e].left)],
+            tuple[static_cast<std::size_t>(edges[e].right)]);
+        if (s == -std::numeric_limits<double>::infinity()) return;
+        a.edge_scores[e] = s;
+      }
+      a.f = f.Apply(a.edge_scores);
+      all.push_back(std::move(a));
+      return;
+    }
+    for (NodeId r : sets[attr]) {
+      tuple[attr] = r;
+      self(self, attr + 1);
+    }
+  };
+  enumerate(enumerate, 0);
+  std::sort(all.begin(), all.end(), TupleAnswerGreater);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+// ---------------------------------------------------------------------
+// Graph fixtures.
+// ---------------------------------------------------------------------
+
+/// Directed path 0 -> 1 -> ... -> n-1.
+inline Graph PathGraph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    DHTJOIN_CHECK(b.AddEdge(u, u + 1).ok());
+  }
+  auto g = b.Build();
+  DHTJOIN_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+inline Graph CycleGraph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    DHTJOIN_CHECK(b.AddEdge(u, (u + 1) % n).ok());
+  }
+  auto g = b.Build();
+  DHTJOIN_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+/// Undirected complete graph K_n, unit weights.
+inline Graph CompleteGraph(NodeId n) {
+  GraphBuilder b(n, /*undirected=*/true);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      DHTJOIN_CHECK(b.AddEdge(u, v).ok());
+    }
+  }
+  auto g = b.Build();
+  DHTJOIN_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+/// Undirected star: hub 0 connected to 1..n-1.
+inline Graph StarGraph(NodeId n) {
+  GraphBuilder b(n, /*undirected=*/true);
+  for (NodeId v = 1; v < n; ++v) {
+    DHTJOIN_CHECK(b.AddEdge(0, v).ok());
+  }
+  auto g = b.Build();
+  DHTJOIN_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+/// The paper's Figure 1(a)-style graph: two small communities bridged by
+/// a few edges; weighted and undirected. 10 nodes.
+inline Graph TwoCommunityGraph() {
+  GraphBuilder b(10, /*undirected=*/true);
+  // Community A: 0-4 (dense).
+  const NodeId a[] = {0, 1, 2, 3, 4};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      if ((i + j) % 3 != 0) {
+        DHTJOIN_CHECK(b.AddEdge(a[i], a[j], 1.0 + i).ok());
+      }
+    }
+  }
+  // Community B: 5-9 (ring).
+  for (NodeId u = 5; u < 10; ++u) {
+    DHTJOIN_CHECK(b.AddEdge(u, u == 9 ? 5 : u + 1, 2.0).ok());
+  }
+  // Bridges.
+  DHTJOIN_CHECK(b.AddEdge(2, 7, 0.5).ok());
+  DHTJOIN_CHECK(b.AddEdge(4, 5, 1.5).ok());
+  auto g = b.Build();
+  DHTJOIN_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+/// Random simple graph for property sweeps; deterministic per seed.
+inline Graph RandomGraph(NodeId n, int64_t edges, uint64_t seed,
+                         bool undirected = true, bool weighted = false) {
+  GraphBuilder b(n, undirected);
+  Rng rng(seed);
+  int64_t added = 0;
+  int64_t guard = 0;
+  std::vector<uint64_t> seen;
+  while (added < edges && guard < 500 * edges) {
+    ++guard;
+    auto u = static_cast<NodeId>(rng.Below(static_cast<uint64_t>(n)));
+    auto v = static_cast<NodeId>(rng.Below(static_cast<uint64_t>(n)));
+    if (u == v) continue;
+    uint64_t key = undirected ? PairKey(std::min(u, v), std::max(u, v))
+                              : PairKey(u, v);
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+    seen.push_back(key);
+    double w = weighted ? 1.0 + static_cast<double>(rng.Below(5)) : 1.0;
+    DHTJOIN_CHECK(b.AddEdge(u, v, w).ok());
+    ++added;
+  }
+  auto g = b.Build();
+  DHTJOIN_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+/// First `count` node ids as a NodeSet.
+inline NodeSet Range(const char* name, NodeId begin, NodeId end) {
+  std::vector<NodeId> ids;
+  for (NodeId u = begin; u < end; ++u) ids.push_back(u);
+  return NodeSet(name, std::move(ids));
+}
+
+}  // namespace dhtjoin::testing
+
+#endif  // DHTJOIN_TESTS_TESTING_REFERENCE_H_

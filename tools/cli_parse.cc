@@ -1,0 +1,120 @@
+#include "tools/cli_parse.h"
+
+#include <cstdlib>
+
+namespace dhtjoin::cli {
+
+std::string ParsedArgs::Get(const std::string& key,
+                            const std::string& fallback) const {
+  auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+bool ParsedArgs::Has(const std::string& key) const {
+  return options.contains(key);
+}
+
+Result<ParsedArgs> ParseArgs(int argc, const char* const* argv) {
+  if (argc < 2) {
+    return Status::InvalidArgument("missing subcommand");
+  }
+  ParsedArgs out;
+  out.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      return Status::InvalidArgument("expected --option, got '" + arg + "'");
+    }
+    std::string key = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out.options[key] = argv[++i];
+    } else {
+      out.options[key] = "";  // boolean flag
+    }
+  }
+  return out;
+}
+
+Result<DhtParams> ParseMeasure(const std::string& spec) {
+  auto colon = spec.find(':');
+  std::string name = spec.substr(0, colon);
+  std::string arg =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  auto parse_param = [&](double fallback) -> Result<double> {
+    if (arg.empty()) return fallback;
+    char* end = nullptr;
+    double v = std::strtod(arg.c_str(), &end);
+    if (end == arg.c_str() || *end != '\0' || !(v > 0.0) || !(v < 1.0)) {
+      return Status::InvalidArgument("measure parameter must be in (0,1): '" +
+                                     arg + "'");
+    }
+    return v;
+  };
+  if (name == "dhtlambda") {
+    DHTJOIN_ASSIGN_OR_RETURN(double lambda, parse_param(0.2));
+    return DhtParams::Lambda(lambda);
+  }
+  if (name == "dhte") {
+    if (!arg.empty()) {
+      return Status::InvalidArgument("dhte takes no parameter");
+    }
+    return DhtParams::Exponential();
+  }
+  if (name == "ppr") {
+    DHTJOIN_ASSIGN_OR_RETURN(double c, parse_param(0.85));
+    return DhtParams::PersonalizedPageRank(c);
+  }
+  return Status::InvalidArgument(
+      "unknown measure '" + name +
+      "' (expected dhtlambda[:l] | dhte | ppr[:c])");
+}
+
+Result<std::vector<QueryEdgeSpec>> ParseQuerySpec(const std::string& spec) {
+  std::vector<QueryEdgeSpec> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto comma = spec.find(',', pos);
+    std::string edge = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (edge.empty()) continue;
+    auto arrow = edge.find('>');
+    auto dash = edge.find('-');
+    std::size_t sep;
+    bool bidirectional;
+    if (arrow != std::string::npos) {
+      sep = arrow;
+      bidirectional = false;
+    } else if (dash != std::string::npos) {
+      sep = dash;
+      bidirectional = true;
+    } else {
+      return Status::InvalidArgument("query edge '" + edge +
+                                     "' needs 'A>B' or 'A-B'");
+    }
+    std::string from = edge.substr(0, sep);
+    std::string to = edge.substr(sep + 1);
+    if (from.empty() || to.empty()) {
+      return Status::InvalidArgument("query edge '" + edge +
+                                     "' has an empty endpoint");
+    }
+    out.push_back(QueryEdgeSpec{from, to, bidirectional});
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("query spec has no edges");
+  }
+  return out;
+}
+
+Result<int64_t> ParsePositiveInt(const std::string& text,
+                                 const std::string& what) {
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v <= 0) {
+    return Status::InvalidArgument(what + " must be a positive integer, got '" +
+                                   text + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace dhtjoin::cli

@@ -1,0 +1,55 @@
+/// \file tools/cli_parse.h
+/// \brief Argument parsing helpers for the dhtjoin command-line tool.
+///
+/// Kept separate from the main() so the parsing rules are unit-testable
+/// (tests/cli_parse_test.cc).
+
+#ifndef DHTJOIN_TOOLS_CLI_PARSE_H_
+#define DHTJOIN_TOOLS_CLI_PARSE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dht/params.h"
+#include "rankjoin/pbrj.h"
+#include "util/status.h"
+
+namespace dhtjoin::cli {
+
+/// "--key value" and "--flag" arguments after the subcommand.
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  /// Value of --key, or `fallback` when absent.
+  std::string Get(const std::string& key, const std::string& fallback) const;
+  bool Has(const std::string& key) const;
+};
+
+/// Splits argv into subcommand + --key value pairs. A "--key" followed
+/// by another "--..." or end-of-args is treated as a boolean flag.
+Result<ParsedArgs> ParseArgs(int argc, const char* const* argv);
+
+/// Parses a measure spec:
+///   "dhtlambda" | "dhtlambda:0.4" | "dhte" | "ppr" | "ppr:0.9"
+Result<DhtParams> ParseMeasure(const std::string& spec);
+
+/// One parsed query-graph edge over set names.
+struct QueryEdgeSpec {
+  std::string from;
+  std::string to;
+  bool bidirectional;
+};
+
+/// Parses a query spec: comma-separated edges, "A>B" directed or "A-B"
+/// bidirectional, e.g. "DB-AI,AI>SYS".
+Result<std::vector<QueryEdgeSpec>> ParseQuerySpec(const std::string& spec);
+
+/// Parses a positive integer.
+Result<int64_t> ParsePositiveInt(const std::string& text,
+                                 const std::string& what);
+
+}  // namespace dhtjoin::cli
+
+#endif  // DHTJOIN_TOOLS_CLI_PARSE_H_

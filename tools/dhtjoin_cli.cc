@@ -1,0 +1,315 @@
+/// \file tools/dhtjoin_cli.cc
+/// \brief Command-line front end for the dhtjoin library.
+///
+/// Subcommands:
+///   generate  --dataset yeast|dblp|youtube --out G.txt --sets S.txt
+///             [--nodes N] [--seed S]
+///   join2     --graph G.txt --sets S.txt --left NAME --right NAME
+///             [--k 50] [--algo bidj-y|bidj-x|bbj|fbj|fidj]
+///             [--measure dhtlambda[:l]|dhte|ppr[:c]] [--epsilon 1e-6]
+///   njoin     --graph G.txt --sets S.txt --query "A-B,B>C"
+///             [--agg min|sum] [--k 50] [--m 50]
+///             [--algo pj-i|pj|ap|nl] [--measure ...] [--epsilon 1e-6]
+///
+/// Examples:
+///   dhtjoin_cli generate --dataset yeast --out yeast.txt --sets sets.txt
+///   dhtjoin_cli join2 --graph yeast.txt --sets sets.txt
+///       --left 3-U --right 8-D --k 10
+///   dhtjoin_cli njoin --graph yeast.txt --sets sets.txt
+///       --query "3-U>8-D,8-D>3-U" --k 5
+///   (set names containing '-' need '>' edges in --query)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/dhtjoin.h"
+#include "datasets/dblp_like.h"
+#include "datasets/yeast_like.h"
+#include "datasets/youtube_like.h"
+#include "graph/analysis.h"
+#include "tools/cli_parse.h"
+
+namespace dhtjoin::cli {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: dhtjoin_cli <generate|join2|njoin|stats> [--option value]...\n"
+    "  stats    --graph G.txt [--sets S.txt]\n"
+    "  generate --dataset yeast|dblp|youtube --out G.txt --sets S.txt\n"
+    "           [--nodes N] [--seed S]\n"
+    "  join2    --graph G.txt --sets S.txt --left NAME --right NAME\n"
+    "           [--k 50] [--algo bidj-y|bidj-x|bbj|fbj|fidj]\n"
+    "           [--measure dhtlambda[:l]|dhte|ppr[:c]] [--epsilon 1e-6]\n"
+    "  njoin    --graph G.txt --sets S.txt --query \"A>B,B>C\"\n"
+    "           [--agg min|sum] [--k 50] [--m 50]\n"
+    "           [--algo pj-i|pj|ap|nl] [--measure ...] [--epsilon 1e-6]\n";
+
+Status Fail(const std::string& msg) { return Status::InvalidArgument(msg); }
+
+Result<NodeSet> FindSet(const std::vector<NodeSet>& sets,
+                        const std::string& name) {
+  for (const NodeSet& s : sets) {
+    if (s.name() == name) return s;
+  }
+  return Status::NotFound("node set '" + name + "' not found");
+}
+
+Status RunGenerate(const ParsedArgs& args) {
+  std::string dataset = args.Get("dataset", "");
+  std::string out_path = args.Get("out", "");
+  std::string sets_path = args.Get("sets", "");
+  if (dataset.empty() || out_path.empty() || sets_path.empty()) {
+    return Fail("generate needs --dataset, --out and --sets");
+  }
+  uint64_t seed = 13;
+  if (args.Has("seed")) {
+    DHTJOIN_ASSIGN_OR_RETURN(int64_t s,
+                             ParsePositiveInt(args.Get("seed", ""), "seed"));
+    seed = static_cast<uint64_t>(s);
+  }
+
+  Graph graph;
+  std::vector<NodeSet> sets;
+  if (dataset == "yeast") {
+    datasets::YeastLikeConfig cfg;
+    cfg.seed = seed;
+    if (args.Has("nodes")) {
+      DHTJOIN_ASSIGN_OR_RETURN(
+          int64_t n, ParsePositiveInt(args.Get("nodes", ""), "nodes"));
+      cfg.num_nodes = static_cast<NodeId>(n);
+      cfg.num_edges = 3 * n;
+    }
+    DHTJOIN_ASSIGN_OR_RETURN(auto ds, datasets::GenerateYeastLike(cfg));
+    graph = std::move(ds.graph);
+    sets = std::move(ds.partitions);
+  } else if (dataset == "dblp") {
+    datasets::DblpLikeConfig cfg;
+    cfg.seed = seed;
+    if (args.Has("nodes")) {
+      DHTJOIN_ASSIGN_OR_RETURN(
+          int64_t n, ParsePositiveInt(args.Get("nodes", ""), "nodes"));
+      cfg.num_authors = static_cast<NodeId>(n);
+    }
+    DHTJOIN_ASSIGN_OR_RETURN(auto ds, datasets::GenerateDblpLike(cfg));
+    graph = std::move(ds.graph);
+    sets = std::move(ds.areas);
+  } else if (dataset == "youtube") {
+    datasets::YouTubeLikeConfig cfg;
+    cfg.seed = seed;
+    if (args.Has("nodes")) {
+      DHTJOIN_ASSIGN_OR_RETURN(
+          int64_t n, ParsePositiveInt(args.Get("nodes", ""), "nodes"));
+      cfg.num_users = static_cast<NodeId>(n);
+    }
+    DHTJOIN_ASSIGN_OR_RETURN(auto ds, datasets::GenerateYouTubeLike(cfg));
+    graph = std::move(ds.graph);
+    sets = std::move(ds.groups);
+  } else {
+    return Fail("unknown --dataset '" + dataset + "'");
+  }
+
+  DHTJOIN_RETURN_NOT_OK(SaveEdgeList(graph, out_path));
+  DHTJOIN_RETURN_NOT_OK(SaveNodeSets(sets, sets_path));
+  std::printf("wrote %d nodes / %lld edges to %s, %zu node sets to %s\n",
+              graph.num_nodes(), static_cast<long long>(graph.num_edges()),
+              out_path.c_str(), sets.size(), sets_path.c_str());
+  return Status::OK();
+}
+
+struct LoadedInputs {
+  Graph graph;
+  std::vector<NodeSet> sets;
+  DhtParams measure;
+  int d;
+};
+
+Result<LoadedInputs> LoadCommon(const ParsedArgs& args) {
+  std::string graph_path = args.Get("graph", "");
+  std::string sets_path = args.Get("sets", "");
+  if (graph_path.empty() || sets_path.empty()) {
+    return Fail("need --graph and --sets");
+  }
+  LoadedInputs out;
+  DHTJOIN_ASSIGN_OR_RETURN(out.graph, LoadEdgeList(graph_path));
+  DHTJOIN_ASSIGN_OR_RETURN(out.sets, LoadNodeSets(sets_path));
+  DHTJOIN_ASSIGN_OR_RETURN(out.measure,
+                           ParseMeasure(args.Get("measure", "dhtlambda")));
+  double epsilon = std::strtod(args.Get("epsilon", "1e-6").c_str(), nullptr);
+  if (!(epsilon > 0.0)) return Fail("--epsilon must be positive");
+  out.d = out.measure.StepsForEpsilon(epsilon);
+  return out;
+}
+
+Status RunJoin2(const ParsedArgs& args) {
+  DHTJOIN_ASSIGN_OR_RETURN(LoadedInputs in, LoadCommon(args));
+  DHTJOIN_ASSIGN_OR_RETURN(NodeSet P,
+                           FindSet(in.sets, args.Get("left", "")));
+  DHTJOIN_ASSIGN_OR_RETURN(NodeSet Q,
+                           FindSet(in.sets, args.Get("right", "")));
+  DHTJOIN_ASSIGN_OR_RETURN(int64_t k,
+                           ParsePositiveInt(args.Get("k", "50"), "k"));
+
+  std::string algo = args.Get("algo", "bidj-y");
+  std::unique_ptr<TwoWayJoin> join;
+  if (algo == "bidj-y") {
+    join = std::make_unique<BIdjJoin>(BIdjJoin::Options{UpperBoundKind::kY});
+  } else if (algo == "bidj-x") {
+    join = std::make_unique<BIdjJoin>(BIdjJoin::Options{UpperBoundKind::kX});
+  } else if (algo == "bbj") {
+    join = std::make_unique<BBjJoin>();
+  } else if (algo == "fbj") {
+    join = std::make_unique<FBjJoin>();
+  } else if (algo == "fidj") {
+    join = std::make_unique<FIdjJoin>();
+  } else {
+    return Fail("unknown --algo '" + algo + "'");
+  }
+
+  DHTJOIN_ASSIGN_OR_RETURN(
+      auto pairs, join->Run(in.graph, in.measure, in.d, P, Q,
+                            static_cast<std::size_t>(k)));
+  std::printf("# top-%lld 2-way join %s x %s via %s (d=%d)\n",
+              static_cast<long long>(k), P.name().c_str(),
+              Q.name().c_str(), join->Name().c_str(), in.d);
+  int rank = 1;
+  for (const ScoredPair& sp : pairs) {
+    std::printf("%4d  %8d %8d  %+.8f\n", rank++, sp.p, sp.q, sp.score);
+  }
+  return Status::OK();
+}
+
+Status RunNjoin(const ParsedArgs& args) {
+  DHTJOIN_ASSIGN_OR_RETURN(LoadedInputs in, LoadCommon(args));
+  DHTJOIN_ASSIGN_OR_RETURN(auto edge_specs,
+                           ParseQuerySpec(args.Get("query", "")));
+  DHTJOIN_ASSIGN_OR_RETURN(int64_t k,
+                           ParsePositiveInt(args.Get("k", "50"), "k"));
+  DHTJOIN_ASSIGN_OR_RETURN(int64_t m,
+                           ParsePositiveInt(args.Get("m", "50"), "m"));
+
+  QueryGraph query;
+  std::map<std::string, int> attr_of;
+  auto attr = [&](const std::string& name) -> Result<int> {
+    auto it = attr_of.find(name);
+    if (it != attr_of.end()) return it->second;
+    DHTJOIN_ASSIGN_OR_RETURN(NodeSet set, FindSet(in.sets, name));
+    int a = query.AddNodeSet(std::move(set));
+    attr_of[name] = a;
+    return a;
+  };
+  for (const QueryEdgeSpec& e : edge_specs) {
+    DHTJOIN_ASSIGN_OR_RETURN(int from, attr(e.from));
+    DHTJOIN_ASSIGN_OR_RETURN(int to, attr(e.to));
+    if (e.bidirectional) {
+      DHTJOIN_RETURN_NOT_OK(query.AddBidirectionalEdge(from, to));
+    } else {
+      DHTJOIN_RETURN_NOT_OK(query.AddEdge(from, to));
+    }
+  }
+
+  std::string agg_name = args.Get("agg", "min");
+  MinAggregate min_f;
+  SumAggregate sum_f;
+  const Aggregate* f = nullptr;
+  if (agg_name == "min") {
+    f = &min_f;
+  } else if (agg_name == "sum") {
+    f = &sum_f;
+  } else {
+    return Fail("unknown --agg '" + agg_name + "'");
+  }
+
+  std::string algo = args.Get("algo", "pj-i");
+  std::unique_ptr<NwayJoin> join;
+  if (algo == "pj-i") {
+    join = std::make_unique<PartialJoin>(PartialJoin::Options{
+        .m = static_cast<std::size_t>(m), .incremental = true});
+  } else if (algo == "pj") {
+    join = std::make_unique<PartialJoin>(PartialJoin::Options{
+        .m = static_cast<std::size_t>(m), .incremental = false});
+  } else if (algo == "ap") {
+    join = std::make_unique<AllPairsJoin>();
+  } else if (algo == "nl") {
+    join = std::make_unique<NestedLoopJoin>();
+  } else {
+    return Fail("unknown --algo '" + algo + "'");
+  }
+
+  DHTJOIN_ASSIGN_OR_RETURN(
+      auto tuples, join->Run(in.graph, in.measure, in.d, query, *f,
+                             static_cast<std::size_t>(k)));
+  std::printf("# top-%lld %d-way join via %s, f=%s (d=%d)\n",
+              static_cast<long long>(k), query.num_sets(),
+              join->Name().c_str(), f->Name().c_str(), in.d);
+  int rank = 1;
+  for (const TupleAnswer& t : tuples) {
+    std::printf("%4d ", rank++);
+    for (NodeId u : t.nodes) std::printf(" %8d", u);
+    std::printf("  %+.8f\n", t.f);
+  }
+  return Status::OK();
+}
+
+Status RunStats(const ParsedArgs& args) {
+  std::string graph_path = args.Get("graph", "");
+  if (graph_path.empty()) return Fail("stats needs --graph");
+  DHTJOIN_ASSIGN_OR_RETURN(Graph g, LoadEdgeList(graph_path));
+
+  std::printf("graph: %d nodes, %lld directed edges\n", g.num_nodes(),
+              static_cast<long long>(g.num_edges()));
+  ComponentInfo comp = ConnectedComponents(g);
+  std::printf("components: %d (largest %lld nodes)\n", comp.num_components,
+              static_cast<long long>(comp.largest));
+  DegreeStats deg = ComputeDegreeStats(g);
+  std::printf(
+      "degree: min %lld, p50 %.0f, p90 %.0f, p99 %.0f, max %lld, "
+      "mean %.2f\n",
+      static_cast<long long>(deg.min), deg.p50, deg.p90, deg.p99,
+      static_cast<long long>(deg.max), deg.mean);
+  std::printf("global clustering coefficient: %.4f\n",
+              GlobalClusteringCoefficient(g));
+
+  if (args.Has("sets")) {
+    DHTJOIN_ASSIGN_OR_RETURN(auto sets, LoadNodeSets(args.Get("sets", "")));
+    std::printf("node sets (%zu):\n", sets.size());
+    for (const NodeSet& s : sets) {
+      std::printf("  %-12s %zu nodes\n", s.name().c_str(), s.size());
+    }
+  }
+  return Status::OK();
+}
+
+int Main(int argc, const char* const* argv) {
+  auto parsed = ParseArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  Status status;
+  if (parsed->command == "generate") {
+    status = RunGenerate(*parsed);
+  } else if (parsed->command == "join2") {
+    status = RunJoin2(*parsed);
+  } else if (parsed->command == "njoin") {
+    status = RunNjoin(*parsed);
+  } else if (parsed->command == "stats") {
+    status = RunStats(*parsed);
+  } else {
+    std::fprintf(stderr, "unknown subcommand '%s'\n%s",
+                 parsed->command.c_str(), kUsage);
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dhtjoin::cli
+
+int main(int argc, char** argv) { return dhtjoin::cli::Main(argc, argv); }
