@@ -1,69 +1,200 @@
 /// \file bench/bench_micro_walkers.cc
-/// \brief google-benchmark micro timings of the DHT engine primitives:
-/// one forward pair computation, one backward walk, and the Y-bound
-/// sweep. These are regression canaries for the inner loops every join
-/// algorithm sits on.
+/// \brief Micro timings of the DHT engine primitives, comparing the
+/// three propagation engines the repo now ships:
+///   dense    — the seed's full O(n + m)-per-step sweep,
+///   adaptive — the frontier-adaptive sparse/dense engine,
+///   batched  — BackwardWalkerBatch (kLaneWidth walkers per edge pass,
+///              blocks fanned across the thread pool).
+/// The d-step backward evaluation on the DBLP-like dataset is the
+/// paper-critical inner loop (B-BJ/B-IDJ bottom out in it); results are
+/// printed and also written to BENCH_walkers.json for the perf
+/// trajectory. Score agreement between engines is checked to 1e-12 as
+/// part of the run, so a fast-but-wrong engine fails loudly here.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "dht/backward.h"
+#include "dht/backward_batch.h"
 #include "dht/bounds.h"
 #include "dht/forward.h"
 
-namespace dhtjoin::bench {
+using namespace dhtjoin;         // NOLINT
+using namespace dhtjoin::bench;  // NOLINT
+
 namespace {
 
-const datasets::YeastLikeDataset& Dataset() {
-  static const datasets::YeastLikeDataset* ds = [] {
-    auto r = datasets::GenerateYeastLike(
-        datasets::YeastLikeConfig{.num_nodes = 1200, .num_edges = 3600});
-    return new datasets::YeastLikeDataset(std::move(r).value());
-  }();
-  return *ds;
-}
+/// Targets/sources used for the backward comparison; big enough to
+/// amortize per-walk noise, small enough that the dense engine finishes.
+constexpr std::size_t kNumTargets = 64;
+constexpr std::size_t kNumSources = 200;
 
-void BM_ForwardPair(benchmark::State& state) {
-  const auto& ds = Dataset();
-  ForwardWalker walker(ds.graph);
-  DhtParams p = DhtParams::Lambda(0.2);
-  const int d = static_cast<int>(state.range(0));
-  NodeId u = ds.partitions[0][0];
-  NodeId v = ds.partitions[1][0];
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(walker.Compute(p, d, u, v));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ForwardPair)->Arg(2)->Arg(8)->Arg(16);
+struct BackwardResult {
+  double dense_sec_per_target = 0.0;
+  double adaptive_sec_per_target = 0.0;
+  double batched_sec_per_target = 0.0;
+  double max_abs_diff = 0.0;  // adaptive & batched vs dense scores
+};
 
-void BM_BackwardWalk(benchmark::State& state) {
-  const auto& ds = Dataset();
-  BackwardWalker walker(ds.graph);
-  DhtParams p = DhtParams::Lambda(0.2);
-  const int d = static_cast<int>(state.range(0));
-  NodeId q = ds.partitions[1][0];
-  for (auto _ : state) {
-    walker.Reset(p, q);
-    walker.Advance(d);
-    benchmark::DoNotOptimize(walker.Score(0));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(ds.graph.num_nodes()));
-}
-BENCHMARK(BM_BackwardWalk)->Arg(2)->Arg(8)->Arg(16);
+BackwardResult RunBackwardComparison(const Graph& g, const DhtParams& p,
+                                     int d,
+                                     const std::vector<NodeId>& targets,
+                                     const std::vector<NodeId>& sources,
+                                     int repeats) {
+  BackwardResult r;
 
-void BM_YBoundTable(benchmark::State& state) {
-  const auto& ds = Dataset();
-  DhtParams p = DhtParams::Lambda(0.2);
-  const NodeSet& P = ds.partitions[0];
-  const NodeSet& Q = ds.partitions[1];
-  for (auto _ : state) {
-    YBoundTable table(ds.graph, p, 8, P, Q);
-    benchmark::DoNotOptimize(table.Bound(0, 0));
+  // Dense reference: one sequential walker per target (the seed engine).
+  std::vector<double> dense_scores(targets.size() * sources.size());
+  r.dense_sec_per_target = TimeIt(repeats, [&] {
+    BackwardWalker walker(g, PropagationMode::kDense);
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      walker.Reset(p, targets[t]);
+      walker.Advance(d);
+      for (std::size_t s = 0; s < sources.size(); ++s) {
+        dense_scores[t * sources.size() + s] = walker.Score(sources[s]);
+      }
+    }
+  }) / static_cast<double>(targets.size());
+
+  // Frontier-adaptive, still one walker per target.
+  std::vector<double> adaptive_scores(dense_scores.size());
+  r.adaptive_sec_per_target = TimeIt(repeats, [&] {
+    BackwardWalker walker(g, PropagationMode::kAdaptive);
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      walker.Reset(p, targets[t]);
+      walker.Advance(d);
+      for (std::size_t s = 0; s < sources.size(); ++s) {
+        adaptive_scores[t * sources.size() + s] = walker.Score(sources[s]);
+      }
+    }
+  }) / static_cast<double>(targets.size());
+
+  // Sparse + batched: the B-BJ/B-IDJ configuration. The batch (and its
+  // thread pool) is a fixture, mirroring how joins reuse one evaluator
+  // across Run() calls — thread spawn must not be charged per repeat.
+  std::vector<double> batched_scores;
+  BackwardWalkerBatch batch(g);
+  r.batched_sec_per_target = TimeIt(repeats, [&] {
+    batched_scores = batch.Run(p, d, targets, sources);
+  }) / static_cast<double>(targets.size());
+
+  for (std::size_t i = 0; i < dense_scores.size(); ++i) {
+    r.max_abs_diff = std::max(
+        r.max_abs_diff, std::abs(adaptive_scores[i] - dense_scores[i]));
+    r.max_abs_diff = std::max(
+        r.max_abs_diff, std::abs(batched_scores[i] - dense_scores[i]));
   }
+  return r;
 }
-BENCHMARK(BM_YBoundTable);
 
 }  // namespace
-}  // namespace dhtjoin::bench
+
+int main() {
+  auto ds = MakeDblp();
+  const Graph& g = ds.graph;
+  DhtParams p = DhtParams::Lambda(0.2);
+  std::printf("[setup] n=%d m=%lld\n", g.num_nodes(),
+              static_cast<long long>(g.num_edges()));
+
+  // Spread targets across the id space; sources likewise.
+  std::vector<NodeId> targets, sources;
+  for (std::size_t i = 0; i < kNumTargets; ++i) {
+    targets.push_back(static_cast<NodeId>(
+        (i * 131 + 17) % static_cast<std::size_t>(g.num_nodes())));
+  }
+  for (std::size_t i = 0; i < kNumSources; ++i) {
+    sources.push_back(static_cast<NodeId>(
+        (i * 37 + 5) % static_cast<std::size_t>(g.num_nodes())));
+  }
+
+  std::vector<JsonObject> rows;
+  double headline_speedup = 0.0;
+  double headline_diff = 0.0;
+  std::printf("\nbackward d-step evaluation, per target (DBLP-like):\n");
+  std::printf("%4s %14s %14s %14s %9s %9s %12s\n", "d", "dense(ms)",
+              "adaptive(ms)", "batched(ms)", "adp x", "batch x", "max|diff|");
+  for (int d : {2, 8, 16}) {
+    const int repeats = d <= 8 ? 3 : 2;
+    BackwardResult r =
+        RunBackwardComparison(g, p, d, targets, sources, repeats);
+    double adaptive_speedup = r.dense_sec_per_target /
+                              std::max(r.adaptive_sec_per_target, 1e-12);
+    double batched_speedup = r.dense_sec_per_target /
+                             std::max(r.batched_sec_per_target, 1e-12);
+    std::printf("%4d %14.3f %14.3f %14.3f %8.1fx %8.1fx %12.2e\n", d,
+                r.dense_sec_per_target * 1e3, r.adaptive_sec_per_target * 1e3,
+                r.batched_sec_per_target * 1e3, adaptive_speedup,
+                batched_speedup, r.max_abs_diff);
+    if (r.max_abs_diff > 1e-12) {
+      std::fprintf(stderr,
+                   "FAIL: engines disagree beyond 1e-12 at d=%d (%.3e)\n", d,
+                   r.max_abs_diff);
+      return 1;
+    }
+    if (d == 8) {  // the paper's default depth is the headline number
+      headline_speedup = batched_speedup;
+      headline_diff = r.max_abs_diff;
+    }
+    rows.push_back(JsonObject()
+                       .Set("d", d)
+                       .Set("dense_ms_per_target", r.dense_sec_per_target * 1e3)
+                       .Set("adaptive_ms_per_target",
+                            r.adaptive_sec_per_target * 1e3)
+                       .Set("batched_ms_per_target",
+                            r.batched_sec_per_target * 1e3)
+                       .Set("adaptive_speedup", adaptive_speedup)
+                       .Set("batched_speedup", batched_speedup)
+                       .Set("max_abs_score_diff", r.max_abs_diff));
+  }
+
+  // Forward single-pair micro numbers (the F-BJ inner loop).
+  std::printf("\nforward pair computation (d=8):\n");
+  NodeId u = ds.areas[0][0];
+  NodeId v = ds.areas[1][0];
+  double fwd_dense = 0.0, fwd_adaptive = 0.0;
+  {
+    ForwardWalker dense(g, PropagationMode::kDense);
+    ForwardWalker adaptive(g, PropagationMode::kAdaptive);
+    fwd_dense = TimeIt(3, [&] { dense.Compute(p, 8, u, v); });
+    fwd_adaptive = TimeIt(3, [&] { adaptive.Compute(p, 8, u, v); });
+    if (std::abs(dense.Score() - adaptive.Score()) > 1e-12) {
+      std::fprintf(stderr, "FAIL: forward engines disagree\n");
+      return 1;
+    }
+  }
+  std::printf("  dense %.3f ms, adaptive %.3f ms (%.1fx)\n", fwd_dense * 1e3,
+              fwd_adaptive * 1e3, fwd_dense / std::max(fwd_adaptive, 1e-12));
+
+  // Y-bound sweep regression canary (B-IDJ-Y and the incremental join
+  // still pay this dense d-step sweep up front).
+  NodeSet yp = ds.areas[0].TopByDegree(g, 100);
+  NodeSet yq = ds.areas[1].TopByDegree(g, 100);
+  double ybound_sec = TimeIt(3, [&] {
+    YBoundTable table(g, p, 8, yp, yq);
+    if (table.Bound(0, 0) < 0.0) std::abort();  // keep the table alive
+  });
+  std::printf("\nY-bound table construction (d=8, |P|=|Q|=100): %.3f ms\n",
+              ybound_sec * 1e3);
+
+  JsonObject doc;
+  doc.Set("bench", std::string("micro_walkers"))
+      .Set("dataset", std::string("dblp_like"))
+      .Set("num_nodes", static_cast<int64_t>(g.num_nodes()))
+      .Set("num_edges", g.num_edges())
+      .Set("num_targets", static_cast<int64_t>(targets.size()))
+      .Set("num_sources", static_cast<int64_t>(sources.size()))
+      .Set("lane_width", BackwardWalkerBatch::kLaneWidth)
+      .SetRaw("backward", JsonArray(rows))
+      .Set("forward_pair_dense_ms", fwd_dense * 1e3)
+      .Set("forward_pair_adaptive_ms", fwd_adaptive * 1e3)
+      .Set("ybound_table_ms", ybound_sec * 1e3)
+      .Set("headline_sparse_batched_speedup_d8", headline_speedup)
+      .Set("headline_max_abs_score_diff_d8", headline_diff);
+  WriteJsonFile("BENCH_walkers.json", doc.ToString());
+  std::printf("\nwrote BENCH_walkers.json (headline d=8 sparse+batched "
+              "speedup: %.1fx)\n", headline_speedup);
+  return 0;
+}

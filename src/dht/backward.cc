@@ -1,14 +1,11 @@
 #include "dht/backward.h"
 
-#include <algorithm>
-
 namespace dhtjoin {
 
-BackwardWalker::BackwardWalker(const Graph& g)
+BackwardWalker::BackwardWalker(const Graph& g, PropagationMode mode)
     : g_(g),
-      back_prob_(static_cast<std::size_t>(g.num_nodes()), 0.0),
-      next_(static_cast<std::size_t>(g.num_nodes()), 0.0),
-      score_(static_cast<std::size_t>(g.num_nodes()), 0.0) {}
+      engine_(g, Propagator::Direction::kBackward, mode),
+      score_delta_(static_cast<std::size_t>(g.num_nodes()), 0.0) {}
 
 void BackwardWalker::Reset(const DhtParams& params, NodeId q) {
   DHTJOIN_CHECK(g_.ContainsNode(q));
@@ -16,39 +13,30 @@ void BackwardWalker::Reset(const DhtParams& params, NodeId q) {
   target_ = q;
   level_ = 0;
   lambda_pow_ = 1.0;
-  std::fill(back_prob_.begin(), back_prob_.end(), 0.0);
-  back_prob_[static_cast<std::size_t>(q)] = 1.0;
-  std::fill(score_.begin(), score_.end(), params.beta);
+  engine_.Reset(q);
+  for (NodeId u : touched_) score_delta_[static_cast<std::size_t>(u)] = 0.0;
+  touched_.clear();
 }
 
 void BackwardWalker::Advance(int steps) {
   DHTJOIN_CHECK(target_ != kInvalidNode);
-  const NodeId n = g_.num_nodes();
   for (int s = 0; s < steps; ++s) {
-    // next[u] = sum over out-edges (u, v) of p_uv * back_prob[v].
-    // The "v != q for i > 1" restriction of Eq. 5 is realized by zeroing
-    // back_prob[q] after the first step (see below), so the loop body is
-    // uniform across iterations.
-    for (NodeId u = 0; u < n; ++u) {
-      double acc = 0.0;
-      for (const OutEdge& e : g_.OutEdges(u)) {
-        acc += e.prob * back_prob_[static_cast<std::size_t>(e.to)];
-      }
-      next_[static_cast<std::size_t>(u)] = acc;
-    }
+    engine_.Step();
     ++level_;
     lambda_pow_ *= params_.lambda;
     const double coeff = params_.alpha * lambda_pow_;
-    for (NodeId u = 0; u < n; ++u) {
-      score_[static_cast<std::size_t>(u)] +=
-          coeff * next_[static_cast<std::size_t>(u)];
-    }
-    back_prob_.swap(next_);
+    engine_.ForEachMass([&](NodeId u, double mass) {
+      double add = coeff * mass;
+      // Underflow guard: keep the first-touch test exact (see
+      // Propagator::StepSparse for the same pattern).
+      if (add == 0.0) return;
+      double& slot = score_delta_[static_cast<std::size_t>(u)];
+      if (slot == 0.0) touched_.push_back(u);
+      slot += add;
+    });
     // First-hit semantics: mass that reached q must not re-emit.
     // Visiting semantics (PPR) keep propagating through the target.
-    if (params_.first_hit) {
-      back_prob_[static_cast<std::size_t>(target_)] = 0.0;
-    }
+    if (params_.first_hit) engine_.ClearMass(target_);
   }
 }
 

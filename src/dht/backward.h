@@ -2,11 +2,16 @@
 /// \brief Backward first-hit propagation — the paper's backWalk (Eq. 5).
 ///
 /// One backward walk from a target q yields h_d(u, q) for EVERY source u
-/// simultaneously in O(d * |E|):
+/// simultaneously in O(d * |E|) worst case:
 ///   P_i(u, q) = sum_{(u,v) in E, v != q} p_uv * backProb[v]   (i > 1)
 ///   P_1(u, q) = p_uq
 /// This |P|-fold advantage over forward processing is the core of the
-/// paper's B-BJ / B-IDJ family (Sec VI).
+/// paper's B-BJ / B-IDJ family (Sec VI). The frontier-adaptive engine
+/// (dht/propagate.h) further makes the per-step cost proportional to the
+/// reverse-reachable frontier instead of the whole graph; scores are
+/// kept as deltas over the beta floor so Reset() costs O(touched), not
+/// O(n). For advancing MANY targets at once, prefer BackwardWalkerBatch
+/// (dht/backward_batch.h).
 
 #ifndef DHTJOIN_DHT_BACKWARD_H_
 #define DHTJOIN_DHT_BACKWARD_H_
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "dht/params.h"
+#include "dht/propagate.h"
 #include "graph/graph.h"
 
 namespace dhtjoin {
@@ -25,7 +31,8 @@ namespace dhtjoin {
 /// reused across Reset() calls.
 class BackwardWalker {
  public:
-  explicit BackwardWalker(const Graph& g);
+  explicit BackwardWalker(const Graph& g,
+                          PropagationMode mode = PropagationMode::kAdaptive);
 
   /// Starts a new backward walk absorbed at `q`.
   void Reset(const DhtParams& params, NodeId q);
@@ -42,20 +49,23 @@ class BackwardWalker {
   /// reach q within l steps. Score(q) itself is meaningless (self pair)
   /// and must not be consumed by joins.
   double Score(NodeId u) const {
-    return score_[static_cast<std::size_t>(u)];
+    return params_.beta + score_delta_[static_cast<std::size_t>(u)];
   }
 
-  /// Full score vector, indexed by node id.
-  const std::vector<double>& scores() const { return score_; }
+  /// Edges relaxed by this walker since construction (across Resets).
+  int64_t edges_relaxed() const { return engine_.edges_relaxed(); }
 
  private:
   const Graph& g_;
+  Propagator engine_;
   DhtParams params_;
   NodeId target_ = kInvalidNode;
   int level_ = 0;
-  double lambda_pow_ = 1.0;              // lambda^level
-  std::vector<double> back_prob_, next_;  // P_l(u, q) per node
-  std::vector<double> score_;             // h_l(u, q) per node
+  double lambda_pow_ = 1.0;  // lambda^level
+  // score_delta_[u] = h_l(u, q) - beta; exactly 0.0 outside touched_,
+  // so Reset clears in O(|touched_|).
+  std::vector<double> score_delta_;
+  std::vector<NodeId> touched_;
 };
 
 }  // namespace dhtjoin

@@ -1,0 +1,203 @@
+#include "dht/backward_batch.h"
+
+#include <algorithm>
+
+namespace dhtjoin {
+
+namespace {
+constexpr int kW = BackwardWalkerBatch::kLaneWidth;
+}  // namespace
+
+/// Workspace for one in-flight block. All arrays obey the propagate.h
+/// zero-invariant (exactly 0.0 / false outside the support lists), so a
+/// state popped from the free list is clean without any O(n) reset.
+struct BackwardWalkerBatch::BlockState {
+  explicit BlockState(NodeId n)
+      : mass(static_cast<std::size_t>(n) * kW, 0.0),
+        next(static_cast<std::size_t>(n) * kW, 0.0),
+        in_next(static_cast<std::size_t>(n), 0) {}
+
+  std::vector<double> mass, next;   // n x kW row-major lane matrices
+  std::vector<uint8_t> in_next;     // first-touch flags for `next`
+  std::vector<NodeId> support, next_support;
+  int64_t edges_relaxed = 0;        // per-lane, accumulated per Run
+};
+
+BackwardWalkerBatch::BackwardWalkerBatch(const Graph& g)
+    : BackwardWalkerBatch(g, Options()) {}
+
+BackwardWalkerBatch::BackwardWalkerBatch(const Graph& g, Options options)
+    : g_(g),
+      options_(options),
+      pool_(options.num_threads > 0 ? options.num_threads
+                                    : ThreadPool::DefaultThreadCount()) {}
+
+BackwardWalkerBatch::~BackwardWalkerBatch() = default;
+
+std::unique_ptr<BackwardWalkerBatch::BlockState>
+BackwardWalkerBatch::AcquireState() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (free_states_.empty()) {
+    return std::make_unique<BlockState>(g_.num_nodes());
+  }
+  auto state = std::move(free_states_.back());
+  free_states_.pop_back();
+  return state;
+}
+
+void BackwardWalkerBatch::ReleaseState(std::unique_ptr<BlockState> state) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  edges_relaxed_ += state->edges_relaxed;
+  state->edges_relaxed = 0;
+  free_states_.push_back(std::move(state));
+}
+
+std::vector<double> BackwardWalkerBatch::Run(const DhtParams& params, int d,
+                                             std::span<const NodeId> targets,
+                                             std::span<const NodeId> sources) {
+  DHTJOIN_CHECK(params.Validate().ok());
+  DHTJOIN_CHECK_GE(d, 1);
+  for (NodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
+  for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
+
+  std::vector<double> out(targets.size() * sources.size(), params.beta);
+  const std::size_t num_blocks = (targets.size() + kW - 1) / kW;
+  pool_.ParallelFor(static_cast<int64_t>(num_blocks), [&](int64_t block) {
+    const std::size_t first = static_cast<std::size_t>(block) * kW;
+    const int width =
+        static_cast<int>(std::min<std::size_t>(kW, targets.size() - first));
+    auto state = AcquireState();
+    RunBlock(*state, params, d, targets, first, width, sources, out.data());
+    ReleaseState(std::move(state));
+  });
+  return out;
+}
+
+void BackwardWalkerBatch::RunBlock(BlockState& st, const DhtParams& params,
+                                   int d, std::span<const NodeId> targets,
+                                   std::size_t first_target, int width,
+                                   std::span<const NodeId> sources,
+                                   double* out) {
+  const NodeId n = g_.num_nodes();
+  const auto num_sources = static_cast<std::size_t>(sources.size());
+
+  // Seed: lane b carries the walker of targets[first_target + b].
+  // Duplicate targets simply share a support node with two live lanes.
+  NodeId lane_target[kW];
+  for (int b = 0; b < width; ++b) {
+    NodeId q = targets[first_target + b];
+    lane_target[b] = q;
+    st.mass[static_cast<std::size_t>(q) * kW + static_cast<std::size_t>(b)] =
+        1.0;
+    st.support.push_back(q);
+  }
+  // Dedup in case two lanes share a target node (they stay independent
+  // columns of the shared row).
+  std::sort(st.support.begin(), st.support.end());
+  st.support.erase(std::unique(st.support.begin(), st.support.end()),
+                   st.support.end());
+
+  double lambda_pow = 1.0;
+  for (int step = 0; step < d; ++step) {
+    // Adaptive direction choice, as in Propagator::ChooseDense. The
+    // per-edge work is `width` lanes on both paths, so the single-lane
+    // threshold carries over unchanged.
+    bool dense = options_.mode == PropagationMode::kDense;
+    if (options_.mode == PropagationMode::kAdaptive) {
+      if (SupportSizeForcesDense(st.support.size(), g_)) {
+        dense = true;
+      } else {
+        // The degree sum counts every support row (reading all kW lanes
+        // per node just to exclude the rare all-dead ones would cost
+        // more than it saves); dead rows are dropped by the next sparse
+        // push, so the estimate only transiently overshoots.
+        int64_t frontier_edges = 0;
+        for (NodeId v : st.support) frontier_edges += g_.InDegree(v);
+        dense = FrontierPrefersDense(st.support.size(), frontier_edges, g_);
+      }
+    }
+
+    if (!dense) {
+      // Sparse: push the block's union frontier over transposed rows.
+      int64_t relaxed = 0;
+      for (NodeId v : st.support) {
+        double* row = &st.mass[static_cast<std::size_t>(v) * kW];
+        // Rows with no live lane (absorbed targets, decayed mass) carry
+        // nothing; skipping them also drops the node from the support so
+        // dead regions stop inflating the frontier and edges_relaxed.
+        int live_lanes = 0;
+        for (int b = 0; b < kW; ++b) live_lanes += row[b] != 0.0 ? 1 : 0;
+        if (live_lanes == 0) continue;
+        // Bill each lane only for its own frontier: lane b's sequential
+        // walker would relax InDegree(v) edges iff it has mass at v.
+        relaxed += g_.InDegree(v) * live_lanes;
+        for (const InEdge& e : g_.InEdges(v)) {
+          double* dst = &st.next[static_cast<std::size_t>(e.from) * kW];
+          uint8_t& flag = st.in_next[static_cast<std::size_t>(e.from)];
+          if (!flag) {
+            flag = 1;
+            st.next_support.push_back(e.from);
+          }
+          for (int b = 0; b < kW; ++b) dst[b] += e.prob * row[b];
+        }
+        std::fill(row, row + kW, 0.0);
+      }
+      st.edges_relaxed += relaxed;
+    } else {
+      // Dense: sequential gather over every out-row.
+      for (NodeId u = 0; u < n; ++u) {
+        double acc[kW] = {0.0};
+        for (const OutEdge& e : g_.OutEdges(u)) {
+          const double* src = &st.mass[static_cast<std::size_t>(e.to) * kW];
+          for (int b = 0; b < kW; ++b) acc[b] += e.prob * src[b];
+        }
+        if (std::any_of(acc, acc + kW, [](double x) { return x != 0.0; })) {
+          double* dst = &st.next[static_cast<std::size_t>(u) * kW];
+          for (int b = 0; b < kW; ++b) dst[b] = acc[b];
+          st.next_support.push_back(u);
+        }
+      }
+      for (NodeId v : st.support) {
+        double* row = &st.mass[static_cast<std::size_t>(v) * kW];
+        std::fill(row, row + kW, 0.0);
+      }
+      st.edges_relaxed += g_.num_edges() * width;
+    }
+    for (NodeId u : st.next_support) {
+      st.in_next[static_cast<std::size_t>(u)] = 0;
+    }
+    st.mass.swap(st.next);
+    st.support.swap(st.next_support);
+    st.next_support.clear();
+
+    // Score the requested sources: h grows by alpha * lambda^i * P_i.
+    lambda_pow *= params.lambda;
+    const double coeff = params.alpha * lambda_pow;
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      const double* row =
+          &st.mass[static_cast<std::size_t>(sources[s]) * kW];
+      for (int b = 0; b < width; ++b) {
+        out[(first_target + static_cast<std::size_t>(b)) * num_sources + s] +=
+            coeff * row[b];
+      }
+    }
+
+    // First-hit absorption, per lane: mass that reached the lane's own
+    // target must not re-emit.
+    if (params.first_hit) {
+      for (int b = 0; b < width; ++b) {
+        st.mass[static_cast<std::size_t>(lane_target[b]) * kW +
+                static_cast<std::size_t>(b)] = 0.0;
+      }
+    }
+  }
+
+  // Restore the zero-invariant so the state can be reused as-is.
+  for (NodeId v : st.support) {
+    double* row = &st.mass[static_cast<std::size_t>(v) * kW];
+    std::fill(row, row + kW, 0.0);
+  }
+  st.support.clear();
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,142 @@
+/// \file dht/backward_batch.h
+/// \brief Batched multi-target backward evaluation (SpMM-style).
+///
+/// The backward join algorithms (B-BJ, B-IDJ) advance one BackwardWalker
+/// per target q in Q — |Q| independent sparse matrix-vector products
+/// that each re-stream the whole edge array. This evaluator advances
+/// blocks of kLaneWidth targets TOGETHER: the mass state is an n x W
+/// row-major matrix (one contiguous W-lane row per node), so one pass
+/// over the edges relaxes W walkers at once. Per walker this divides
+/// the edge-stream traffic by W and turns the random 8-byte gather of
+/// mass[e.to] into a single cache line carrying all W lanes — the
+/// classic SpMV -> SpMM win. Blocks are independent and fan out across
+/// a ThreadPool for multicore scaling on top.
+///
+/// Steps are frontier-adaptive exactly like dht/propagate.h: while the
+/// union support of a block is small, mass is pushed over the transposed
+/// in-rows of the frontier only; once it crosses the degree-weighted
+/// threshold the block switches to the dense sequential gather.
+///
+/// Scores are only materialized for a caller-provided source set P
+/// (joins never read anything else), which keeps the output |Q| x |P|
+/// instead of |Q| x n.
+///
+/// Memory contract: each concurrently-running block owns a workspace of
+/// 2 * n * kLaneWidth doubles (128 bytes/node), and workspaces are
+/// pooled for the evaluator's lifetime — peak resident memory is
+/// num_threads x 128 bytes x n. Fine up to millions of nodes on a few
+/// dozen threads; a shrink policy for billion-edge graphs is a ROADMAP
+/// item.
+
+#ifndef DHTJOIN_DHT_BACKWARD_BATCH_H_
+#define DHTJOIN_DHT_BACKWARD_BATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "dht/params.h"
+#include "dht/propagate.h"
+#include "graph/graph.h"
+#include "util/thread_pool.h"
+
+namespace dhtjoin {
+
+/// Advances many backward walkers at once; see file comment.
+class BackwardWalkerBatch {
+ public:
+  /// Walkers advanced together per block; also the SIMD-friendly row
+  /// width of the mass matrix (8 doubles = one cache line).
+  static constexpr int kLaneWidth = 8;
+
+  struct Options {
+    PropagationMode mode = PropagationMode::kAdaptive;
+    /// Worker threads; 0 means ThreadPool::DefaultThreadCount().
+    int num_threads = 0;
+  };
+
+  explicit BackwardWalkerBatch(const Graph& g);
+  BackwardWalkerBatch(const Graph& g, Options options);
+  ~BackwardWalkerBatch();
+
+  /// Runs a d-step backward walk from every target and returns the
+  /// scores of the requested sources, row-major:
+  ///   result[t * sources.size() + s] = h_d(sources[s], targets[t]).
+  /// Self pairs (sources[s] == targets[t]) are present but meaningless,
+  /// mirroring BackwardWalker::Score — callers must skip them.
+  ///
+  /// The matrix is dense: callers with huge target sets must slice them
+  /// to MaxTargetsPerRun() per call or the allocation alone defeats the
+  /// engine (50k x 50k doubles is 20 GB).
+  std::vector<double> Run(const DhtParams& params, int d,
+                          std::span<const NodeId> targets,
+                          std::span<const NodeId> sources);
+
+  /// Largest target count per Run() that keeps the returned matrix near
+  /// 32 MB; never less than one full lane block.
+  static std::size_t MaxTargetsPerRun(std::size_t num_sources) {
+    constexpr std::size_t kMaxMatrixDoubles = std::size_t{4} << 20;
+    std::size_t cap = kMaxMatrixDoubles / (num_sources == 0 ? 1 : num_sources);
+    return cap < kLaneWidth ? kLaneWidth : cap;
+  }
+
+  /// Run() with the MaxTargetsPerRun slicing applied: walks every
+  /// target, invoking consume(target_index, row) with the |sources|-wide
+  /// score row of targets[target_index]. Rows are only valid during the
+  /// callback. This is the form the joins use — memory stays bounded
+  /// regardless of |targets| x |sources|. `max_targets_per_run` forces a
+  /// smaller slice (0 = MaxTargetsPerRun); tests use it to exercise the
+  /// multi-chunk path at toy sizes.
+  template <typename Consume>
+  void RunChunked(const DhtParams& params, int d,
+                  std::span<const NodeId> targets,
+                  std::span<const NodeId> sources, Consume&& consume,
+                  std::size_t max_targets_per_run = 0) {
+    const std::size_t chunk = max_targets_per_run > 0
+                                  ? max_targets_per_run
+                                  : MaxTargetsPerRun(sources.size());
+    for (std::size_t base = 0; base < targets.size(); base += chunk) {
+      const std::size_t count = std::min(chunk, targets.size() - base);
+      std::vector<double> scores =
+          Run(params, d, targets.subspan(base, count), sources);
+      for (std::size_t i = 0; i < count; ++i) {
+        // data() + offset, not operator[]: the row pointer is valid (if
+        // useless) even for an empty source set.
+        consume(base + i, scores.data() + i * sources.size());
+      }
+    }
+  }
+
+  /// Per-walker edges relaxed, summed over all lanes and Run() calls,
+  /// comparable with sequential BackwardWalker::edges_relaxed: a sparse
+  /// step bills each lane only for frontier nodes where that lane has
+  /// mass; a dense pass bills every lane |E| (the work the blocked
+  /// kernel actually performs per lane).
+  int64_t edges_relaxed() const { return edges_relaxed_; }
+
+ private:
+  struct BlockState;
+
+  std::unique_ptr<BlockState> AcquireState();
+  void ReleaseState(std::unique_ptr<BlockState> state);
+
+  /// Walks one block of `width` targets to depth d, writing score rows
+  /// for block-local target t into out[(first_target + t) * num_sources].
+  void RunBlock(BlockState& state, const DhtParams& params, int d,
+                std::span<const NodeId> targets, std::size_t first_target,
+                int width, std::span<const NodeId> sources, double* out);
+
+  const Graph& g_;
+  Options options_;
+  ThreadPool pool_;
+  std::mutex state_mu_;
+  std::vector<std::unique_ptr<BlockState>> free_states_;
+  int64_t edges_relaxed_ = 0;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_DHT_BACKWARD_BATCH_H_

@@ -1,13 +1,9 @@
 #include "dht/forward.h"
 
-#include <algorithm>
-
 namespace dhtjoin {
 
-ForwardWalker::ForwardWalker(const Graph& g)
-    : g_(g),
-      cur_(static_cast<std::size_t>(g.num_nodes()), 0.0),
-      next_(static_cast<std::size_t>(g.num_nodes()), 0.0) {}
+ForwardWalker::ForwardWalker(const Graph& g, PropagationMode mode)
+    : g_(g), engine_(g, Propagator::Direction::kForward, mode) {}
 
 void ForwardWalker::Reset(const DhtParams& params, NodeId u, NodeId v) {
   DHTJOIN_CHECK(g_.ContainsNode(u));
@@ -18,34 +14,23 @@ void ForwardWalker::Reset(const DhtParams& params, NodeId u, NodeId v) {
   level_ = 0;
   score_ = params.beta;
   lambda_pow_ = 1.0;
-  std::fill(cur_.begin(), cur_.end(), 0.0);
-  cur_[static_cast<std::size_t>(u)] = 1.0;
+  engine_.Reset(u);
   hit_probs_.clear();
 }
 
 void ForwardWalker::Advance(int steps) {
   DHTJOIN_CHECK(target_ != kInvalidNode);
-  const NodeId n = g_.num_nodes();
   for (int s = 0; s < steps; ++s) {
-    std::fill(next_.begin(), next_.end(), 0.0);
-    for (NodeId u = 0; u < n; ++u) {
-      double mass = cur_[static_cast<std::size_t>(u)];
-      // First-hit semantics absorb at the target; visiting semantics
-      // (PPR) let mass flow through it.
-      if (mass == 0.0 || (params_.first_hit && u == target_)) continue;
-      for (const OutEdge& e : g_.OutEdges(u)) {
-        next_[static_cast<std::size_t>(e.to)] += mass * e.prob;
-      }
-    }
+    engine_.Step();
     ++level_;
     lambda_pow_ *= params_.lambda;
-    double hit = next_[static_cast<std::size_t>(target_)];
+    double hit = engine_.Mass(target_);
     hit_probs_.push_back(hit);
     score_ += params_.alpha * lambda_pow_ * hit;
-    cur_.swap(next_);
-    // Mass now sitting on the target is first-hit mass of this step; it
-    // must not propagate further. The u == target_ skip above enforces
-    // that, and next iteration overwrites next_[target_] from zero.
+    // First-hit semantics absorb at the target: mass that arrived this
+    // step was counted above and must not propagate further. Visiting
+    // semantics (PPR) let it flow on.
+    if (params_.first_hit) engine_.ClearMass(target_);
   }
 }
 

@@ -5,8 +5,11 @@
 /// from the source u, with absorption at the target v: at every step,
 ///   r'[w] = sum_{x != v, (x,w) in E} r[x] * p_xw ,
 /// and r'[v] is the first-hit probability P_i(u, v) of that step.
-/// One (u, v) pair costs O(d * |E|); this is what makes the forward
-/// 2-way join algorithms (F-BJ, F-IDJ) slow, as the paper stresses.
+/// One (u, v) pair costs O(d * |E|) worst case; the frontier-adaptive
+/// engine (dht/propagate.h) makes it output-sensitive when the walk mass
+/// stays concentrated, but the per-pair restart is still what makes the
+/// forward 2-way join algorithms (F-BJ, F-IDJ) slow, as the paper
+/// stresses.
 
 #ifndef DHTJOIN_DHT_FORWARD_H_
 #define DHTJOIN_DHT_FORWARD_H_
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "dht/params.h"
+#include "dht/propagate.h"
 #include "graph/graph.h"
 
 namespace dhtjoin {
@@ -26,7 +30,8 @@ namespace dhtjoin {
 /// without reallocating.
 class ForwardWalker {
  public:
-  explicit ForwardWalker(const Graph& g);
+  explicit ForwardWalker(const Graph& g,
+                         PropagationMode mode = PropagationMode::kAdaptive);
 
   /// Starts a new walk from `u` absorbed at `v`. `u != v` required.
   void Reset(const DhtParams& params, NodeId u, NodeId v);
@@ -46,15 +51,18 @@ class ForwardWalker {
   /// Convenience: full truncated score h_d(u, v) in one call.
   double Compute(const DhtParams& params, int d, NodeId u, NodeId v);
 
+  /// Edges relaxed by this walker since construction (across Resets).
+  int64_t edges_relaxed() const { return engine_.edges_relaxed(); }
+
  private:
   const Graph& g_;
+  Propagator engine_;
   DhtParams params_;
   NodeId target_ = kInvalidNode;
   int level_ = 0;
   double score_ = 0.0;
-  double lambda_pow_ = 1.0;           // lambda^level
-  std::vector<double> cur_, next_;    // probability mass vectors
-  std::vector<double> hit_probs_;     // P_i for i = 1..level
+  double lambda_pow_ = 1.0;        // lambda^level
+  std::vector<double> hit_probs_;  // P_i for i = 1..level
 };
 
 }  // namespace dhtjoin

@@ -1,0 +1,115 @@
+#include "dht/propagate.h"
+
+namespace dhtjoin {
+
+Propagator::Propagator(const Graph& g, Direction dir, PropagationMode mode)
+    : g_(g),
+      dir_(dir),
+      mode_(mode),
+      mass_(static_cast<std::size_t>(g.num_nodes()), 0.0),
+      next_(static_cast<std::size_t>(g.num_nodes()), 0.0) {}
+
+void Propagator::Reset(NodeId seed) {
+  DHTJOIN_CHECK(g_.ContainsNode(seed));
+  for (NodeId u : support_) mass_[static_cast<std::size_t>(u)] = 0.0;
+  support_.clear();
+  support_.push_back(seed);
+  mass_[static_cast<std::size_t>(seed)] = 1.0;
+}
+
+bool Propagator::ChooseDense() const {
+  if (mode_ == PropagationMode::kDense) return true;
+  if (mode_ == PropagationMode::kSparse) return false;
+  if (SupportSizeForcesDense(support_.size(), g_)) return true;
+  int64_t frontier_edges = 0;
+  for (NodeId u : support_) {
+    if (mass_[static_cast<std::size_t>(u)] == 0.0) continue;
+    frontier_edges += dir_ == Direction::kForward ? g_.OutDegree(u)
+                                                  : g_.InDegree(u);
+  }
+  return FrontierPrefersDense(support_.size(), frontier_edges, g_);
+}
+
+void Propagator::Step() {
+  last_step_dense_ = ChooseDense();
+  if (!last_step_dense_) {
+    StepSparse();
+  } else if (dir_ == Direction::kForward) {
+    StepDenseForward();
+  } else {
+    StepDenseBackward();
+  }
+  support_.swap(next_support_);
+  mass_.swap(next_);
+  next_support_.clear();
+}
+
+void Propagator::StepSparse() {
+  next_support_.clear();
+  for (NodeId u : support_) {
+    double m = mass_[static_cast<std::size_t>(u)];
+    mass_[static_cast<std::size_t>(u)] = 0.0;
+    if (m == 0.0) continue;
+    if (dir_ == Direction::kForward) {
+      for (const OutEdge& e : g_.OutEdges(u)) {
+        double add = m * e.prob;
+        // Underflow guard: a zero contribution must not register the
+        // node in the support (the first-touch test below relies on
+        // nonzero slots staying nonzero).
+        if (add == 0.0) continue;
+        double& slot = next_[static_cast<std::size_t>(e.to)];
+        if (slot == 0.0) next_support_.push_back(e.to);
+        slot += add;
+      }
+      edges_relaxed_ += g_.OutDegree(u);
+    } else {
+      for (const InEdge& e : g_.InEdges(u)) {
+        double add = m * e.prob;
+        if (add == 0.0) continue;
+        double& slot = next_[static_cast<std::size_t>(e.from)];
+        if (slot == 0.0) next_support_.push_back(e.from);
+        slot += add;
+      }
+      edges_relaxed_ += g_.InDegree(u);
+    }
+  }
+}
+
+void Propagator::StepDenseForward() {
+  next_support_.clear();
+  const NodeId n = g_.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    double m = mass_[static_cast<std::size_t>(u)];
+    if (m == 0.0) continue;
+    mass_[static_cast<std::size_t>(u)] = 0.0;
+    for (const OutEdge& e : g_.OutEdges(u)) {
+      double add = m * e.prob;
+      if (add == 0.0) continue;
+      double& slot = next_[static_cast<std::size_t>(e.to)];
+      if (slot == 0.0) next_support_.push_back(e.to);
+      slot += add;
+    }
+  }
+  edges_relaxed_ += g_.num_edges();
+}
+
+void Propagator::StepDenseBackward() {
+  // Sequential gather over every out-row, the cache-friendly layout the
+  // seed engine used; the support rebuild rides the same O(n) sweep.
+  next_support_.clear();
+  const NodeId n = g_.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    double acc = 0.0;
+    for (const OutEdge& e : g_.OutEdges(u)) {
+      acc += e.prob * mass_[static_cast<std::size_t>(e.to)];
+    }
+    if (acc != 0.0) {
+      next_[static_cast<std::size_t>(u)] = acc;
+      next_support_.push_back(u);
+    }
+  }
+  for (NodeId u : support_) mass_[static_cast<std::size_t>(u)] = 0.0;
+  edges_relaxed_ += g_.num_edges();
+}
+
+}  // namespace dhtjoin

@@ -1,6 +1,6 @@
 #include "eval/link_prediction.h"
 
-#include "dht/backward.h"
+#include "dht/backward_batch.h"
 
 namespace dhtjoin::eval {
 
@@ -16,18 +16,20 @@ Result<RocResult> EvaluateLinkPrediction(const Graph& true_graph,
   if (d < 1) return Status::InvalidArgument("d must be >= 1");
 
   std::vector<std::pair<double, bool>> scored;
-  BackwardWalker walker(test_graph);
-  for (NodeId q : Q) {
-    walker.Reset(params, q);
-    walker.Advance(d);
-    for (NodeId p : P) {
-      if (p == q) continue;
-      if (test_graph.HasEdge(p, q)) continue;  // already linked: not a
-                                               // prediction
-      bool positive = true_graph.HasEdge(p, q);
-      scored.emplace_back(walker.Score(p), positive);
-    }
-  }
+  BackwardWalkerBatch batch(test_graph);
+  batch.RunChunked(
+      params, d, Q.nodes(), P.nodes(),
+      [&](std::size_t qi, const double* row) {
+        NodeId q = Q[qi];
+        for (std::size_t pi = 0; pi < P.size(); ++pi) {
+          NodeId p = P[pi];
+          if (p == q) continue;
+          if (test_graph.HasEdge(p, q)) continue;  // already linked: not
+                                                   // a prediction
+          bool positive = true_graph.HasEdge(p, q);
+          scored.emplace_back(row[pi], positive);
+        }
+      });
   return ComputeRoc(std::move(scored));
 }
 

@@ -30,7 +30,7 @@ ComponentInfo ConnectedComponents(const Graph& g) {
         }
       };
       for (const OutEdge& e : g.OutEdges(u)) visit(e.to);
-      for (NodeId v : g.InNeighbors(u)) visit(v);
+      for (const InEdge& e : g.InEdges(u)) visit(e.from);
     }
     sizes.push_back(size);
   }
@@ -45,7 +45,7 @@ double GlobalClusteringCoefficient(const Graph& g) {
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     std::unordered_set<NodeId> set;
     for (const OutEdge& e : g.OutEdges(u)) set.insert(e.to);
-    for (NodeId v : g.InNeighbors(u)) set.insert(v);
+    for (const InEdge& e : g.InEdges(u)) set.insert(e.from);
     set.erase(u);
     nbrs[static_cast<std::size_t>(u)].assign(set.begin(), set.end());
     std::sort(nbrs[static_cast<std::size_t>(u)].begin(),

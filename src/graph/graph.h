@@ -6,9 +6,12 @@
 /// random-walk transition probability is
 ///   p_uv = w_uv / sum_{v' in O_u} w_uv' .
 /// The graph stores out-adjacency (targets + weights + precomputed
-/// transition probabilities) and in-adjacency (sources) in compressed
-/// sparse row layout so that both forward and backward walks stream over
-/// contiguous memory.
+/// transition probabilities) and a transposed in-adjacency (sources +
+/// the SAME transition probabilities, p_uv on the row of v) in
+/// compressed sparse row layout. The transposed rows let a backward
+/// propagation step push mass from a sparse frontier — next[u] +=
+/// p_uv * mass[v] over only the in-edges of frontier nodes v — instead
+/// of gathering over every node's out-row (see dht/propagate.h).
 ///
 /// Construct via GraphBuilder (graph/graph_builder.h) or the dataset
 /// generators (datasets/).
@@ -37,6 +40,14 @@ struct OutEdge {
   double prob;  ///< p_uv = weight / total out-weight of the source
 };
 
+/// One incoming arc of node v: the source u and p_uv — the transition
+/// probability of the underlying (u, v) edge. Kept lean (16 bytes) so
+/// backward frontier pushes stream the minimum number of cache lines.
+struct InEdge {
+  NodeId from;
+  double prob;  ///< p_uv of the edge (from, v)
+};
+
 /// Immutable CSR graph. Instances are cheap to move, expensive to copy.
 class Graph {
  public:
@@ -57,11 +68,12 @@ class Graph {
             out_edges_.data() + out_offsets_[u + 1]};
   }
 
-  /// In-neighbor node ids of `u` (I_u).
-  std::span<const NodeId> InNeighbors(NodeId u) const {
+  /// Incoming arcs of `u` (sources I_u with their transition
+  /// probabilities p_{source,u}).
+  std::span<const InEdge> InEdges(NodeId u) const {
     DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
-    return {in_neighbors_.data() + in_offsets_[u],
-            in_neighbors_.data() + in_offsets_[u + 1]};
+    return {in_edges_.data() + in_offsets_[u],
+            in_edges_.data() + in_offsets_[u + 1]};
   }
 
   int64_t OutDegree(NodeId u) const {
@@ -92,7 +104,7 @@ class Graph {
   std::vector<int64_t> out_offsets_;  // size num_nodes()+1
   std::vector<OutEdge> out_edges_;    // sorted by target within each row
   std::vector<int64_t> in_offsets_;   // size num_nodes()+1
-  std::vector<NodeId> in_neighbors_;  // sorted within each row
+  std::vector<InEdge> in_edges_;      // sorted by source within each row
 };
 
 }  // namespace dhtjoin

@@ -81,7 +81,9 @@ Result<Graph> GraphBuilder::Build() {
     }
   }
 
-  // In-adjacency via counting sort over deduped edges.
+  // Transposed adjacency (in-edges with transition probabilities) via
+  // counting sort over deduped edges. Runs after the probability pass so
+  // each InEdge carries the finalized p_uv of its out-edge twin.
   g.in_offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
   for (const auto& e : g.out_edges_) {
     g.in_offsets_[static_cast<std::size_t>(e.to) + 1]++;
@@ -90,15 +92,16 @@ Result<Graph> GraphBuilder::Build() {
     g.in_offsets_[static_cast<std::size_t>(u) + 1] +=
         g.in_offsets_[static_cast<std::size_t>(u)];
   }
-  g.in_neighbors_.resize(g.out_edges_.size());
+  g.in_edges_.resize(g.out_edges_.size());
   std::vector<int64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
   for (NodeId u = 0; u < num_nodes_; ++u) {
     auto begin = g.out_offsets_[static_cast<std::size_t>(u)];
     auto end = g.out_offsets_[static_cast<std::size_t>(u) + 1];
     for (auto e = begin; e < end; ++e) {
-      NodeId v = g.out_edges_[static_cast<std::size_t>(e)].to;
-      g.in_neighbors_[static_cast<std::size_t>(
-          cursor[static_cast<std::size_t>(v)]++)] = u;
+      const OutEdge& edge = g.out_edges_[static_cast<std::size_t>(e)];
+      g.in_edges_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(edge.to)]++)] =
+          InEdge{u, edge.prob};
     }
   }
   // Sources arrive in ascending order (outer loop over u), rows sorted.

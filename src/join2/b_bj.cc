@@ -1,6 +1,6 @@
 #include "join2/b_bj.h"
 
-#include "dht/backward.h"
+#include "dht/backward_batch.h"
 
 namespace dhtjoin {
 
@@ -22,21 +22,25 @@ Result<std::vector<ScoredPair>> BBjJoin::RunAllPairs(const Graph& g,
                                                      const NodeSet& Q) {
   DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, 1));
   stats_.Reset();
-  BackwardWalker walker(g);
+  // All |Q| walkers advance together, kLaneWidth per edge pass, blocks
+  // spread across cores; RunChunked keeps the score matrix bounded on
+  // all-pairs joins.
+  BackwardWalkerBatch batch(g);
   std::vector<ScoredPair> out;
-  for (NodeId q : Q) {
-    walker.Reset(params, q);
-    walker.Advance(d);
-    stats_.walks_started++;
-    stats_.walk_steps += d;
-    for (NodeId p : P) {
-      if (p == q) continue;
-      double score = walker.Score(p);
-      if (score > params.beta) {
-        out.push_back(ScoredPair{p, q, score});
-      }
-    }
-  }
+  batch.RunChunked(params, d, Q.nodes(), P.nodes(),
+                   [&](std::size_t qi, const double* row) {
+                     NodeId q = Q[qi];
+                     for (std::size_t pi = 0; pi < P.size(); ++pi) {
+                       NodeId p = P[pi];
+                       if (p == q) continue;
+                       double score = row[pi];
+                       if (score > params.beta) {
+                         out.push_back(ScoredPair{p, q, score});
+                       }
+                     }
+                   });
+  stats_.walks_started += static_cast<int64_t>(Q.size());
+  stats_.walk_steps += batch.edges_relaxed();
   FinalizePairs(out, out.size());
   return out;
 }

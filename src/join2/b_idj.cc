@@ -2,8 +2,9 @@
 
 #include <limits>
 #include <memory>
+#include <vector>
 
-#include "dht/backward.h"
+#include "dht/backward_batch.h"
 #include "dht/bounds.h"
 #include "util/top_k.h"
 
@@ -20,14 +21,28 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   std::unique_ptr<YBoundTable> ybound;
   if (options_.bound == UpperBoundKind::kY) {
     ybound = std::make_unique<YBoundTable>(g, params, d, P, Q);
-    stats_.walk_steps += d;  // the S_i(P, q) sweep
+    // The S_i(P, q) sweep is d dense passes over the edge array.
+    stats_.walk_steps += static_cast<int64_t>(d) * g.num_edges();
   }
   auto remainder = [&](int l, std::size_t qi) {
     return options_.bound == UpperBoundKind::kY ? ybound->Bound(l, qi)
                                                 : params.XBound(l);
   };
 
-  BackwardWalker walker(g);
+  BackwardWalkerBatch batch(g);
+  int64_t batch_edges_seen = 0;
+  // Batched l-step walks for the live targets; consume(i, row) receives
+  // the |P|-wide score row of live[i].
+  auto walk_live = [&](const std::vector<std::size_t>& live, int l,
+                       auto&& consume) {
+    std::vector<NodeId> nodes(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) nodes[i] = Q[live[i]];
+    batch.RunChunked(params, l, nodes, P.nodes(), consume);
+    stats_.walks_started += static_cast<int64_t>(live.size());
+    stats_.walk_steps += batch.edges_relaxed() - batch_edges_seen;
+    batch_edges_seen = batch.edges_relaxed();
+  };
+
   std::vector<std::size_t> live(Q.size());
   for (std::size_t qi = 0; qi < Q.size(); ++qi) live[qi] = qi;
   stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
@@ -35,23 +50,20 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   for (int l = 1; l < d; l *= 2) {
     TopK<ScoredPair> bounds(k);  // B is reset every iteration (Alg. 2 Step 3)
     std::vector<double> q_upper(live.size());
-    for (std::size_t i = 0; i < live.size(); ++i) {
+    walk_live(live, l, [&](std::size_t i, const double* row) {
       NodeId q = Q[live[i]];
-      walker.Reset(params, q);
-      walker.Advance(l);
-      stats_.walks_started++;
-      stats_.walk_steps += l;
       double pmax = params.beta;  // floor of h_l over p
-      for (NodeId p : P) {
+      for (std::size_t pi = 0; pi < P.size(); ++pi) {
+        NodeId p = P[pi];
         if (p == q) continue;
-        double s = walker.Score(p);
+        double s = row[pi];
         if (s > params.beta) {
           bounds.Offer(s, ScoredPair{p, q, s});
           if (s > pmax) pmax = s;
         }
       }
       q_upper[i] = pmax + remainder(l, live[i]);
-    }
+    });
     double tk = bounds.Threshold();
     std::vector<std::size_t> survivors;
     survivors.reserve(live.size());
@@ -67,17 +79,16 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
 
   // Final pass (Alg. 2 Steps 16-17): exact d-step walks for survivors.
   TopK<ScoredPair> best(k);
-  for (std::size_t qi : live) {
-    NodeId q = Q[qi];
-    walker.Reset(params, q);
-    walker.Advance(d);
-    stats_.walks_started++;
-    stats_.walk_steps += d;
-    for (NodeId p : P) {
-      if (p == q) continue;
-      double s = walker.Score(p);
-      if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
-    }
+  if (!live.empty()) {
+    walk_live(live, d, [&](std::size_t i, const double* row) {
+      NodeId q = Q[live[i]];
+      for (std::size_t pi = 0; pi < P.size(); ++pi) {
+        NodeId p = P[pi];
+        if (p == q) continue;
+        double s = row[pi];
+        if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
+      }
+    });
   }
 
   std::vector<ScoredPair> out;

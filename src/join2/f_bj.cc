@@ -29,12 +29,12 @@ Result<std::vector<ScoredPair>> FBjJoin::RunAllPairs(const Graph& g,
       if (p == q) continue;
       double score = walker.Compute(params, d, p, q);
       stats_.walks_started++;
-      stats_.walk_steps += d;
       if (score > params.beta) {
         out.push_back(ScoredPair{p, q, score});
       }
     }
   }
+  stats_.walk_steps += walker.edges_relaxed();
   FinalizePairs(out, out.size());
   return out;
 }

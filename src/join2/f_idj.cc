@@ -30,7 +30,6 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
         if (p == q) continue;
         double s = walker.Compute(params, l, p, q);
         stats_.walks_started++;
-        stats_.walk_steps += l;
         if (s > params.beta) {
           bounds.Offer(s, ScoredPair{p, q, s});
           if (s > pmax) pmax = s;
@@ -58,10 +57,10 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
       if (p == q) continue;
       double s = walker.Compute(params, d, p, q);
       stats_.walks_started++;
-      stats_.walk_steps += d;
       if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
     }
   }
+  stats_.walk_steps += walker.edges_relaxed();
 
   std::vector<ScoredPair> out;
   for (auto& entry : best.TakeSortedDescending()) {

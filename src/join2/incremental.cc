@@ -25,7 +25,8 @@ IncrementalTwoWayJoin::IncrementalTwoWayJoin(const Graph& g,
       walker_(g) {
   if (options_.bound == UpperBoundKind::kY) {
     ybound_ = std::make_unique<YBoundTable>(g, params, d, P, Q);
-    stats_.walk_steps += d;  // the S_i(P, q) sweep
+    // The S_i(P, q) sweep is d dense passes over the edge array.
+    stats_.walk_steps += static_cast<int64_t>(d) * g.num_edges();
   }
   q_level_.assign(Q_.size(), 0);
   residual_handle_.resize(Q_.size());
@@ -65,10 +66,11 @@ void IncrementalTwoWayJoin::DeepenTarget(std::size_t qi, int new_level) {
   DHTJOIN_CHECK_GT(new_level, q_level_[qi]);
   DHTJOIN_CHECK_LE(new_level, d_);
   NodeId q = Q_[qi];
+  int64_t edges_before = walker_.edges_relaxed();
   walker_.Reset(params_, q);
   walker_.Advance(new_level);
   stats_.walks_started++;
-  stats_.walk_steps += new_level;
+  stats_.walk_steps += walker_.edges_relaxed() - edges_before;
 
   const double remainder = Remainder(new_level, qi);
   for (NodeId p : P_) {

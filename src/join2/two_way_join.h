@@ -63,7 +63,10 @@ enum class UpperBoundKind {
 
 /// Observability counters filled in by every algorithm run.
 struct TwoWayJoinStats {
-  /// Total walk steps performed, in units of one |E| edge sweep.
+  /// Total edges relaxed across all walks (multiply-adds into the next
+  /// mass vector, as counted by the propagation engine). A dense step
+  /// costs |E|; a frontier-adaptive step only what its frontier touches,
+  /// so this is the number the sparse engine actually improves.
   int64_t walk_steps = 0;
   /// Number of walker (re)starts.
   int64_t walks_started = 0;

@@ -42,7 +42,7 @@ std::vector<int> BfsFrom(const Graph& g, NodeId source, int max_depth) {
 
 std::vector<int> BfsTo(const Graph& g, NodeId target, int max_depth) {
   return Bfs(g, target, max_depth, [&g](NodeId u, auto&& visit) {
-    for (NodeId v : g.InNeighbors(u)) visit(v);
+    for (const InEdge& e : g.InEdges(u)) visit(e.from);
   });
 }
 

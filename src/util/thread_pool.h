@@ -1,0 +1,126 @@
+/// \file util/thread_pool.h
+/// \brief Minimal fixed-size worker pool for the batched walk engines.
+///
+/// Deliberately tiny: a task queue, N workers, and a Wait() barrier —
+/// enough for BackwardWalkerBatch to fan blocks of targets across cores.
+/// A pool of size 1 runs tasks inline on the submitting thread (no
+/// worker is spawned), so single-core machines and tests pay nothing
+/// for the abstraction.
+
+#ifndef DHTJOIN_UTIL_THREAD_POOL_H_
+#define DHTJOIN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dhtjoin {
+
+class ThreadPool {
+ public:
+  /// Hardware concurrency, with a floor of 1.
+  static int DefaultThreadCount() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  /// \param num_threads worker count; <= 1 means run-inline mode.
+  /// Workers are spawned lazily on the first Submit(), so pools that
+  /// end up only serving inline work (e.g. a single-block batch run)
+  /// never pay thread creation.
+  explicit ThreadPool(int num_threads) : target_threads_(num_threads) {
+    DHTJOIN_CHECK_GE(num_threads, 1);
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    ready_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return target_threads_; }
+
+  /// Enqueues a task. In run-inline mode the task executes immediately.
+  void Submit(std::function<void()> task) {
+    if (target_threads_ <= 1) {
+      task();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++pending_;
+      // Grow the crew no faster than the outstanding work: a 2-task job
+      // on a 64-thread pool spawns 2 workers, not 64.
+      if (static_cast<int>(workers_.size()) < target_threads_ &&
+          static_cast<int64_t>(workers_.size()) < pending_) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+      }
+      queue_.push_back(std::move(task));
+    }
+    ready_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void Wait() {
+    if (target_threads_ <= 1) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Runs fn(i) for i in [0, count), spread over the pool, and waits.
+  /// A single item runs inline — no reason to bounce one task through
+  /// a worker (or spawn the workers at all).
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn) {
+    if (target_threads_ <= 1 || count == 1) {
+      for (int64_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      Submit([&fn, i] { fn(i); });
+    }
+    Wait();
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  const int target_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable ready_, idle_;
+  std::deque<std::function<void()>> queue_;
+  int64_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_UTIL_THREAD_POOL_H_

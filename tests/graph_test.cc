@@ -110,15 +110,24 @@ TEST(GraphTest, OutEdgesSortedByTarget) {
   EXPECT_EQ(row[2].to, 4);
 }
 
-TEST(GraphTest, InNeighborsMatchOutEdges) {
+TEST(GraphTest, InEdgesMatchOutEdges) {
+  // Every out-edge (u, v, p_uv) must appear on v's transposed row with
+  // the same transition probability.
   Graph g = testing::TwoCommunityGraph();
+  int64_t in_edge_count = 0;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    in_edge_count += static_cast<int64_t>(g.InEdges(u).size());
     for (const OutEdge& e : g.OutEdges(u)) {
-      auto ins = g.InNeighbors(e.to);
-      EXPECT_TRUE(std::find(ins.begin(), ins.end(), u) != ins.end())
+      auto ins = g.InEdges(e.to);
+      auto it = std::find_if(ins.begin(), ins.end(),
+                             [&](const InEdge& in) { return in.from == u; });
+      ASSERT_TRUE(it != ins.end())
           << "edge (" << u << "," << e.to << ") missing from in-adjacency";
+      EXPECT_DOUBLE_EQ(it->prob, e.prob)
+          << "edge (" << u << "," << e.to << ") transposed prob mismatch";
     }
   }
+  EXPECT_EQ(in_edge_count, g.num_edges());
 }
 
 TEST(GraphTest, ProbabilitiesSumToOnePerNode) {
