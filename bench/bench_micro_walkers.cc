@@ -1,15 +1,20 @@
 /// \file bench/bench_micro_walkers.cc
 /// \brief Micro timings of the DHT engine primitives, comparing the
-/// three propagation engines the repo now ships:
+/// propagation engines the repo now ships:
 ///   dense    — the seed's full O(n + m)-per-step sweep,
 ///   adaptive — the frontier-adaptive sparse/dense engine,
-///   batched  — BackwardWalkerBatch (kLaneWidth walkers per edge pass,
-///              blocks fanned across the thread pool).
+///   batched  — BackwardWalkerBatch / ForwardWalkerBatch (kLaneWidth
+///              walkers per edge pass, blocks fanned across the pool).
 /// The d-step backward evaluation on the DBLP-like dataset is the
-/// paper-critical inner loop (B-BJ/B-IDJ bottom out in it); results are
-/// printed and also written to BENCH_walkers.json for the perf
-/// trajectory. Score agreement between engines is checked to 1e-12 as
-/// part of the run, so a fast-but-wrong engine fails loudly here.
+/// paper-critical inner loop (B-BJ/B-IDJ bottom out in it); the forward
+/// pair sweep is the slow side of Fig. 9(a) that the forward batch
+/// lifts. Results are printed and also written to BENCH_walkers.json
+/// for the perf trajectory (a committed dev-box baseline lives at
+/// bench/baselines/BENCH_walkers.json). Score agreement between engines
+/// is checked to 1e-12 as part of the run, and the resumable deepening
+/// paths of B-IDJ / F-IDJ are checked byte-identical to their restart
+/// schedules with strictly fewer walk_steps — a fast-but-wrong engine
+/// fails loudly here.
 
 #include <algorithm>
 #include <cmath>
@@ -21,6 +26,9 @@
 #include "dht/backward_batch.h"
 #include "dht/bounds.h"
 #include "dht/forward.h"
+#include "dht/forward_batch.h"
+#include "join2/b_idj.h"
+#include "join2/f_idj.h"
 
 using namespace dhtjoin;         // NOLINT
 using namespace dhtjoin::bench;  // NOLINT
@@ -168,6 +176,109 @@ int main() {
   std::printf("  dense %.3f ms, adaptive %.3f ms (%.1fx)\n", fwd_dense * 1e3,
               fwd_adaptive * 1e3, fwd_dense / std::max(fwd_adaptive, 1e-12));
 
+  // Forward batch vs scalar pair loop (the F-BJ/F-IDJ inner sweep):
+  // same per-pair walks, one out-CSR pass per kLaneWidth lanes.
+  constexpr std::size_t kFwdSources = 24;
+  constexpr std::size_t kFwdTargets = 12;
+  std::vector<NodeId> fwd_sources, fwd_targets;
+  for (std::size_t i = 0; i < kFwdSources; ++i) {
+    fwd_sources.push_back(static_cast<NodeId>(
+        (i * 211 + 3) % static_cast<std::size_t>(g.num_nodes())));
+  }
+  for (std::size_t i = 0; i < kFwdTargets; ++i) {
+    fwd_targets.push_back(static_cast<NodeId>(
+        (i * 97 + 41) % static_cast<std::size_t>(g.num_nodes())));
+  }
+  const double num_pairs =
+      static_cast<double>(kFwdSources) * static_cast<double>(kFwdTargets);
+  std::vector<double> fwd_scalar_scores(fwd_sources.size() *
+                                        fwd_targets.size());
+  double fwd_scalar_sec = TimeIt(2, [&] {
+    ForwardWalker walker(g);
+    for (std::size_t s = 0; s < fwd_sources.size(); ++s) {
+      for (std::size_t t = 0; t < fwd_targets.size(); ++t) {
+        if (fwd_sources[s] == fwd_targets[t]) continue;
+        fwd_scalar_scores[s * fwd_targets.size() + t] =
+            walker.Compute(p, 8, fwd_sources[s], fwd_targets[t]);
+      }
+    }
+  }) / num_pairs;
+  std::vector<double> fwd_batch_scores;
+  ForwardWalkerBatch fwd_batch(g);
+  double fwd_batch_sec = TimeIt(2, [&] {
+    fwd_batch_scores = fwd_batch.Run(p, 8, fwd_sources, fwd_targets);
+  }) / num_pairs;
+  double fwd_batch_diff = 0.0;
+  for (std::size_t s = 0; s < fwd_sources.size(); ++s) {
+    for (std::size_t t = 0; t < fwd_targets.size(); ++t) {
+      if (fwd_sources[s] == fwd_targets[t]) continue;
+      fwd_batch_diff = std::max(
+          fwd_batch_diff,
+          std::abs(fwd_batch_scores[s * fwd_targets.size() + t] -
+                   fwd_scalar_scores[s * fwd_targets.size() + t]));
+    }
+  }
+  double fwd_batch_speedup = fwd_scalar_sec / std::max(fwd_batch_sec, 1e-12);
+  std::printf("\nforward batch, %zux%zu pairs (d=8): scalar %.3f ms/pair, "
+              "batched %.3f ms/pair (%.1fx), max|diff| %.2e\n",
+              kFwdSources, kFwdTargets, fwd_scalar_sec * 1e3,
+              fwd_batch_sec * 1e3, fwd_batch_speedup, fwd_batch_diff);
+  if (fwd_batch_diff > 1e-12) {
+    std::fprintf(stderr,
+                 "FAIL: forward batch/scalar disagree beyond 1e-12 (%.3e)\n",
+                 fwd_batch_diff);
+    return 1;
+  }
+
+  // Resumable deepening acceptance: B-IDJ and F-IDJ must produce
+  // byte-identical top-k with strictly fewer walk_steps than the
+  // restart schedule, on this DBLP-like graph.
+  NodeSet rp = ds.areas[0].TopByDegree(g, 100);
+  NodeSet rq = ds.areas[1].TopByDegree(g, 100);
+  BIdjJoin bidj_resume(BIdjJoin::Options{.resume = true});
+  BIdjJoin bidj_restart(BIdjJoin::Options{.resume = false});
+  auto bidj_a = bidj_resume.Run(g, p, 8, rp, rq, 50);
+  auto bidj_b = bidj_restart.Run(g, p, 8, rp, rq, 50);
+  CheckOk(bidj_a.status(), "B-IDJ resume");
+  CheckOk(bidj_b.status(), "B-IDJ restart");
+  bool bidj_identical = *bidj_a == *bidj_b;
+  int64_t bidj_resume_steps = bidj_resume.stats().walk_steps;
+  int64_t bidj_restart_steps = bidj_restart.stats().walk_steps;
+  std::printf("\nB-IDJ-Y deepening (|P|=|Q|=100, k=50, d=8): resume %lld "
+              "steps vs restart %lld steps (%.2fx fewer), byte-identical=%s\n",
+              static_cast<long long>(bidj_resume_steps),
+              static_cast<long long>(bidj_restart_steps),
+              static_cast<double>(bidj_restart_steps) /
+                  std::max<int64_t>(bidj_resume_steps, 1),
+              bidj_identical ? "yes" : "NO");
+  if (!bidj_identical || bidj_resume_steps >= bidj_restart_steps) {
+    std::fprintf(stderr, "FAIL: B-IDJ resume parity/steps check\n");
+    return 1;
+  }
+
+  NodeSet fp = ds.areas[0].TopByDegree(g, 24);
+  NodeSet fq = ds.areas[1].TopByDegree(g, 24);
+  FIdjJoin fidj_resume(FIdjJoin::Options{.resume = true});
+  FIdjJoin fidj_restart(FIdjJoin::Options{.resume = false});
+  auto fidj_a = fidj_resume.Run(g, p, 8, fp, fq, 20);
+  auto fidj_b = fidj_restart.Run(g, p, 8, fp, fq, 20);
+  CheckOk(fidj_a.status(), "F-IDJ resume");
+  CheckOk(fidj_b.status(), "F-IDJ restart");
+  bool fidj_identical = *fidj_a == *fidj_b;
+  int64_t fidj_resume_steps = fidj_resume.stats().walk_steps;
+  int64_t fidj_restart_steps = fidj_restart.stats().walk_steps;
+  std::printf("F-IDJ deepening (|P|=|Q|=24, k=20, d=8): resume %lld steps "
+              "vs restart %lld steps (%.2fx fewer), byte-identical=%s\n",
+              static_cast<long long>(fidj_resume_steps),
+              static_cast<long long>(fidj_restart_steps),
+              static_cast<double>(fidj_restart_steps) /
+                  std::max<int64_t>(fidj_resume_steps, 1),
+              fidj_identical ? "yes" : "NO");
+  if (!fidj_identical || fidj_resume_steps >= fidj_restart_steps) {
+    std::fprintf(stderr, "FAIL: F-IDJ resume parity/steps check\n");
+    return 1;
+  }
+
   // Y-bound sweep regression canary (B-IDJ-Y and the incremental join
   // still pay this dense d-step sweep up front).
   NodeSet yp = ds.areas[0].TopByDegree(g, 100);
@@ -190,6 +301,14 @@ int main() {
       .SetRaw("backward", JsonArray(rows))
       .Set("forward_pair_dense_ms", fwd_dense * 1e3)
       .Set("forward_pair_adaptive_ms", fwd_adaptive * 1e3)
+      .Set("forward_scalar_ms_per_pair", fwd_scalar_sec * 1e3)
+      .Set("forward_batched_ms_per_pair", fwd_batch_sec * 1e3)
+      .Set("forward_batched_speedup", fwd_batch_speedup)
+      .Set("forward_batched_max_abs_diff", fwd_batch_diff)
+      .Set("bidj_resume_walk_steps", bidj_resume_steps)
+      .Set("bidj_restart_walk_steps", bidj_restart_steps)
+      .Set("fidj_resume_walk_steps", fidj_resume_steps)
+      .Set("fidj_restart_walk_steps", fidj_restart_steps)
       .Set("ybound_table_ms", ybound_sec * 1e3)
       .Set("headline_sparse_batched_speedup_d8", headline_speedup)
       .Set("headline_max_abs_score_diff_d8", headline_diff);

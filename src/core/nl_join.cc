@@ -1,6 +1,7 @@
 #include "core/nl_join.h"
 
 #include "dht/forward.h"
+#include "dht/forward_batch.h"
 #include "util/timer.h"
 #include "util/top_k.h"
 
@@ -15,14 +16,68 @@ Result<std::vector<TupleAnswer>> NestedLoopJoin::Run(
   stats_ = Stats();
 
   WallTimer timer;
-  ForwardWalker walker(g);
   const int n = query.num_sets();
   const auto& edges = query.edges();
 
-  TopK<TupleAnswer> best(k);
+  // Dense tables need sum_e |L| * |R| doubles; above the ceiling, fall
+  // back to the seed's O(1)-memory per-tuple walker instead of OOMing.
+  std::size_t table_bytes = 0;
+  for (const JoinEdge& edge : edges) {
+    table_bytes += query.set(edge.left).size() *
+                   query.set(edge.right).size() * sizeof(double);
+  }
+  const bool use_tables = table_bytes <= options_.max_table_bytes;
+
+  // Score every query edge's pair table up front on the batched forward
+  // engine (kLaneWidth source lanes per out-CSR pass). The seed NL
+  // recomputed h_d per TUPLE, so a pair shared by many tuples was walked
+  // many times; one batched pass per edge keeps NL the same brute-force
+  // baseline (every pair walked, no pruning) minus the redundancy.
+  ForwardWalkerBatch batch(g);
+  std::vector<std::vector<double>> tables(edges.size());
+  bool budget_exceeded = timer.Seconds() > options_.time_budget_seconds;
+  for (std::size_t e = 0; use_tables && e < edges.size() && !budget_exceeded;
+       ++e) {
+    const NodeSet& L = query.set(edges[e].left);
+    const NodeSet& R = query.set(edges[e].right);
+    tables[e].resize(L.size() * R.size());
+    // Small pair slices so the wall-clock budget is enforced between
+    // batch runs: one slice (at most kMaxPairsPerSlice walks) is the
+    // overshoot bound, standing in for the seed's per-tuple check, and
+    // it must not scale with |L| or |R|.
+    const std::size_t src_chunk = ForwardWalkerBatch::kLaneWidth;
+    constexpr std::size_t kMaxPairsPerSlice = 4096;
+    const std::size_t tgt_chunk =
+        std::max<std::size_t>(1, kMaxPairsPerSlice / src_chunk);
+    for (std::size_t sb = 0; sb < L.size() && !budget_exceeded;
+         sb += src_chunk) {
+      const std::size_t scount = std::min(src_chunk, L.size() - sb);
+      for (std::size_t tb = 0; tb < R.size() && !budget_exceeded;
+           tb += tgt_chunk) {
+        const std::size_t tcount = std::min(tgt_chunk, R.size() - tb);
+        std::vector<double> scores = batch.Run(
+            params, d,
+            std::span<const NodeId>(L.nodes()).subspan(sb, scount),
+            std::span<const NodeId>(R.nodes()).subspan(tb, tcount));
+        for (std::size_t li = 0; li < scount; ++li) {
+          std::copy(scores.begin() + static_cast<std::ptrdiff_t>(li * tcount),
+                    scores.begin() +
+                        static_cast<std::ptrdiff_t>((li + 1) * tcount),
+                    tables[e].data() + (sb + li) * R.size() + tb);
+        }
+        stats_.dht_computations += static_cast<int64_t>(scount * tcount);
+        if (timer.Seconds() > options_.time_budget_seconds) {
+          budget_exceeded = true;
+        }
+      }
+    }
+  }
+
+  ForwardWalker walker(g);  // the per-tuple fallback scorer
+  TopK<TupleAnswer, TupleAnswerPrefer> best(k);
   std::vector<NodeId> tuple(static_cast<std::size_t>(n), kInvalidNode);
+  std::vector<std::size_t> tuple_index(static_cast<std::size_t>(n), 0);
   std::vector<double> edge_scores(edges.size(), 0.0);
-  bool budget_exceeded = false;
 
   // n nested loops, expressed recursively over attribute position.
   auto enumerate = [&](auto&& self, int attr) -> void {
@@ -37,8 +92,16 @@ Result<std::vector<TupleAnswer>> NestedLoopJoin::Run(
           valid = false;  // self pair: h undefined
           break;
         }
-        double score = walker.Compute(params, d, u, v);
-        stats_.dht_computations++;
+        double score;
+        if (use_tables) {
+          score =
+              tables[e][tuple_index[static_cast<std::size_t>(edges[e].left)] *
+                            query.set(edges[e].right).size() +
+                        tuple_index[static_cast<std::size_t>(edges[e].right)]];
+        } else {
+          score = walker.Compute(params, d, u, v);
+          stats_.dht_computations++;
+        }
         if (score <= params.beta) {
           valid = false;  // unreachable within d steps
           break;
@@ -57,8 +120,10 @@ Result<std::vector<TupleAnswer>> NestedLoopJoin::Run(
       }
       return;
     }
-    for (NodeId r : query.set(attr)) {
-      tuple[static_cast<std::size_t>(attr)] = r;
+    const NodeSet& set = query.set(attr);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      tuple[static_cast<std::size_t>(attr)] = set[i];
+      tuple_index[static_cast<std::size_t>(attr)] = i;
       self(self, attr + 1);
       if (budget_exceeded) return;
     }

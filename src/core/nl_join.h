@@ -1,11 +1,18 @@
 /// \file core/nl_join.h
 /// \brief NL — the Nested Loop baseline (paper Sec III-B).
 ///
-/// Enumerates every candidate answer with n nested loops, evaluates a
-/// fresh forward DHT computation for every query edge of every tuple,
-/// and keeps the k best. Cost Pi |R_i| * |E_Q| * d * |E_G| — the paper
-/// reports it cannot finish for n >= 3; an optional wall-clock budget
-/// lets benchmarks report DNF instead of hanging.
+/// Enumerates every candidate answer with n nested loops and keeps the
+/// k best. The per-edge DHT scores are batch-computed up front on
+/// ForwardWalkerBatch (one forward walk per pair, kLaneWidth pairs per
+/// edge pass) instead of the seed's one walk per TUPLE — still zero
+/// pruning, every pair of every edge walked, but without recomputing a
+/// pair for each tuple that contains it. Cost
+/// sum_e |R_left| * |R_right| * d * |E_G| walks + Pi |R_i| enumeration —
+/// the enumeration alone keeps NL infeasible for n >= 3 at paper scale;
+/// an optional wall-clock budget lets benchmarks report DNF instead of
+/// hanging. When the dense per-edge tables would exceed
+/// Options::max_table_bytes, NL falls back to the seed's O(1)-memory
+/// per-tuple walker instead of risking an OOM.
 
 #ifndef DHTJOIN_CORE_NL_JOIN_H_
 #define DHTJOIN_CORE_NL_JOIN_H_
@@ -21,6 +28,9 @@ class NestedLoopJoin final : public NwayJoin {
   struct Options {
     /// Abort (returning OutOfRange) when the run exceeds this budget.
     double time_budget_seconds = std::numeric_limits<double>::infinity();
+    /// Ceiling on the batched per-edge score tables (summed over query
+    /// edges); above it NL walks per tuple in O(1) memory instead.
+    std::size_t max_table_bytes = std::size_t{1} << 30;
   };
 
   struct Stats {

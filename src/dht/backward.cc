@@ -18,6 +18,34 @@ void BackwardWalker::Reset(const DhtParams& params, NodeId q) {
   touched_.clear();
 }
 
+void BackwardWalker::Save(BackwardWalkerState* out) const {
+  out->target = target_;
+  out->level = level_;
+  out->lambda_pow = lambda_pow_;
+  engine_.SaveState(&out->engine);
+  out->score_delta.clear();
+  out->score_delta.reserve(touched_.size());
+  for (NodeId u : touched_) {
+    out->score_delta.emplace_back(u, score_delta_[static_cast<std::size_t>(u)]);
+  }
+}
+
+void BackwardWalker::Restore(const DhtParams& params,
+                             const BackwardWalkerState& state) {
+  DHTJOIN_CHECK(state.target != kInvalidNode);
+  params_ = params;
+  target_ = state.target;
+  level_ = state.level;
+  lambda_pow_ = state.lambda_pow;
+  engine_.RestoreState(state.engine);
+  for (NodeId u : touched_) score_delta_[static_cast<std::size_t>(u)] = 0.0;
+  touched_.clear();
+  for (const auto& [u, delta] : state.score_delta) {
+    touched_.push_back(u);
+    score_delta_[static_cast<std::size_t>(u)] = delta;
+  }
+}
+
 void BackwardWalker::Advance(int steps) {
   DHTJOIN_CHECK(target_ != kInvalidNode);
   for (int s = 0; s < steps; ++s) {

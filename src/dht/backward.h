@@ -12,10 +12,19 @@
 /// kept as deltas over the beta floor so Reset() costs O(touched), not
 /// O(n). For advancing MANY targets at once, prefer BackwardWalkerBatch
 /// (dht/backward_batch.h).
+///
+/// Walks are resumable two ways: Advance() continues from the current
+/// level in place, and Save()/Restore() snapshot the full walk state so
+/// one walker instance can interleave many targets' deepening schedules
+/// (see WalkerStatePool in dht/walker_state.h). A restored walk is
+/// bit-identical to the walk it was saved from — and, by the engine's
+/// sorted-support determinism (DESIGN.md §3), to a from-scratch walk of
+/// the same depth.
 
 #ifndef DHTJOIN_DHT_BACKWARD_H_
 #define DHTJOIN_DHT_BACKWARD_H_
 
+#include <utility>
 #include <vector>
 
 #include "dht/params.h"
@@ -23,6 +32,21 @@
 #include "graph/graph.h"
 
 namespace dhtjoin {
+
+/// Snapshot of one in-flight backward walk (target, depth, propagation
+/// mass, score deltas). O(touched) memory, not O(n).
+struct BackwardWalkerState {
+  NodeId target = kInvalidNode;
+  int level = 0;
+  double lambda_pow = 1.0;
+  PropagatorState engine;
+  std::vector<std::pair<NodeId, double>> score_delta;  // touched order
+
+  std::size_t ApproxBytes() const {
+    return sizeof(*this) + engine.ApproxBytes() +
+           score_delta.capacity() * sizeof(score_delta[0]);
+  }
+};
 
 /// Resumable backward walker for a single target q.
 ///
@@ -39,6 +63,14 @@ class BackwardWalker {
 
   /// Advances the walk by `steps` more steps.
   void Advance(int steps);
+
+  /// Snapshots the current walk into `out`; the walker is unchanged.
+  void Save(BackwardWalkerState* out) const;
+
+  /// Replaces the current walk with `state` (saved with the same params;
+  /// the caller is responsible for passing matching params). Subsequent
+  /// Advance() calls produce bit-identical scores to the original walk.
+  void Restore(const DhtParams& params, const BackwardWalkerState& state);
 
   /// Current depth l.
   int level() const { return level_; }

@@ -15,27 +15,42 @@
 /// Steps are frontier-adaptive exactly like dht/propagate.h: while the
 /// union support of a block is small, mass is pushed over the transposed
 /// in-rows of the frontier only; once it crosses the degree-weighted
-/// threshold the block switches to the dense sequential gather.
+/// threshold the block switches to the dense sequential gather. The
+/// union support is kept SORTED at every step boundary, which makes the
+/// per-lane summation order identical to the dense gather's CSR order —
+/// so scores are bit-identical across modes, lane groupings, thread
+/// counts, and (crucially) across restarted vs resumed walks
+/// (DESIGN.md §3).
 ///
 /// Scores are only materialized for a caller-provided source set P
 /// (joins never read anything else), which keeps the output |Q| x |P|
 /// instead of |Q| x n.
 ///
+/// Resumable deepening: the IDJ schedule walks the same targets at
+/// levels 1, 2, 4, ..., d. BackwardBatchStates holds per-target sparse
+/// snapshots (mass + score row + depth) so AdvanceChunked() continues
+/// each target from its saved level instead of restarting — O(d) total
+/// steps per surviving target instead of O(2d). States live under a
+/// byte budget; a target whose state was evicted (or never saved) is
+/// transparently restarted, producing bit-identical scores.
+///
 /// Memory contract: each concurrently-running block owns a workspace of
 /// 2 * n * kLaneWidth doubles (128 bytes/node), and workspaces are
 /// pooled for the evaluator's lifetime — peak resident memory is
-/// num_threads x 128 bytes x n. Fine up to millions of nodes on a few
-/// dozen threads; a shrink policy for billion-edge graphs is a ROADMAP
-/// item.
+/// num_threads x 128 bytes x n, plus whatever BackwardBatchStates'
+/// budget admits. Fine up to millions of nodes on a few dozen threads;
+/// a shrink policy for billion-edge graphs is a ROADMAP item.
 
 #ifndef DHTJOIN_DHT_BACKWARD_BATCH_H_
 #define DHTJOIN_DHT_BACKWARD_BATCH_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "dht/params.h"
@@ -44,6 +59,55 @@
 #include "util/thread_pool.h"
 
 namespace dhtjoin {
+
+/// Per-target resumable walk states for BackwardWalkerBatch, indexed by
+/// a caller-stable slot id (B-IDJ uses the target's index within Q).
+/// Retention is best-effort under `max_bytes`: a state that does not fit
+/// is dropped and its walk restarts from scratch on the next advance,
+/// with bit-identical results (see file comment).
+class BackwardBatchStates {
+ public:
+  explicit BackwardBatchStates(std::size_t num_slots,
+                               std::size_t max_bytes = kDefaultMaxBytes) :
+      slots_(num_slots), max_bytes_(max_bytes) {}
+
+  /// Default budget mirrors WalkerStatePool::kDefaultMaxBytes.
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t{256} << 20;
+
+  /// Walked depth of `slot`; 0 means no saved state (fresh or evicted).
+  int level(std::size_t slot) const { return slots_[slot].level; }
+
+  /// Drops the saved state of `slot` (e.g. a pruned target).
+  void Drop(std::size_t slot) {
+    Slot& s = slots_[slot];
+    bytes_.fetch_sub(s.bytes, std::memory_order_relaxed);
+    s = Slot{};
+  }
+
+  std::size_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class BackwardWalkerBatch;
+
+  struct Slot {
+    int level = 0;
+    double lambda_pow = 1.0;
+    std::vector<std::pair<NodeId, double>> mass;  // nonzero, ascending node
+    std::vector<double> row;  // score row over the pinned source set
+    std::size_t bytes = 0;
+
+    std::size_t ApproxBytes() const {
+      return sizeof(*this) + mass.capacity() * sizeof(mass[0]) +
+             row.capacity() * sizeof(double);
+    }
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t max_bytes_;
+  std::atomic<std::size_t> bytes_{0};
+};
 
 /// Advances many backward walkers at once; see file comment.
 class BackwardWalkerBatch {
@@ -110,6 +174,42 @@ class BackwardWalkerBatch {
     }
   }
 
+  /// The resumable form of RunChunked: advances targets[i] (whose state
+  /// lives in states slot slots[i]) from its saved level to `to_level`,
+  /// then invokes consume(i, row) with its h_{to_level} score row over
+  /// `sources`. The source set must be identical across calls sharing a
+  /// states object (rows are resumed, not recomputed). Targets saved at
+  /// different levels are grouped and advanced separately, so evictions
+  /// and fresh targets mix freely. `save_states = false` skips the
+  /// write-back — for a FINAL advance (e.g. the exact-d pass) whose
+  /// states would never be read, sparing the snapshot copies. Returns
+  /// the number of walks that started from scratch (fresh or evicted).
+  template <typename Consume>
+  int64_t AdvanceChunked(const DhtParams& params, int to_level,
+                         std::span<const NodeId> targets,
+                         std::span<const std::size_t> slots,
+                         std::span<const NodeId> sources,
+                         BackwardBatchStates& states, Consume&& consume,
+                         bool save_states = true,
+                         std::size_t max_targets_per_run = 0) {
+    DHTJOIN_CHECK_EQ(targets.size(), slots.size());
+    const std::size_t chunk = max_targets_per_run > 0
+                                  ? max_targets_per_run
+                                  : MaxTargetsPerRun(sources.size());
+    int64_t fresh = 0;
+    for (std::size_t base = 0; base < targets.size(); base += chunk) {
+      const std::size_t count = std::min(chunk, targets.size() - base);
+      std::vector<double> scores(count * sources.size());
+      fresh += AdvanceRun(params, to_level, targets.subspan(base, count),
+                          slots.subspan(base, count), sources, states,
+                          save_states, scores.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        consume(base + i, scores.data() + i * sources.size());
+      }
+    }
+    return fresh;
+  }
+
   /// Per-walker edges relaxed, summed over all lanes and Run() calls,
   /// comparable with sequential BackwardWalker::edges_relaxed: a sparse
   /// step bills each lane only for frontier nodes where that lane has
@@ -123,11 +223,35 @@ class BackwardWalkerBatch {
   std::unique_ptr<BlockState> AcquireState();
   void ReleaseState(std::unique_ptr<BlockState> state);
 
+  /// One blocked transition step shared by the from-scratch and
+  /// resumable paths; leaves the (sorted) new support in st.support.
+  void StepLanes(BlockState& st, int width) const;
+
   /// Walks one block of `width` targets to depth d, writing score rows
   /// for block-local target t into out[(first_target + t) * num_sources].
   void RunBlock(BlockState& state, const DhtParams& params, int d,
                 std::span<const NodeId> targets, std::size_t first_target,
                 int width, std::span<const NodeId> sources, double* out);
+
+  /// Resumable chunk body behind AdvanceChunked; writes the score row of
+  /// targets[i] into out[i * sources.size()]. Returns fresh-start count.
+  int64_t AdvanceRun(const DhtParams& params, int to_level,
+                     std::span<const NodeId> targets,
+                     std::span<const std::size_t> slots,
+                     std::span<const NodeId> sources,
+                     BackwardBatchStates& states, bool save_states,
+                     double* out);
+
+  /// Walks one uniform-level block from `from_level` to `to_level`.
+  /// Lane seeds/rows must already be loaded into `st` / `out`; saves
+  /// per-lane states back into `states` under its budget (unless
+  /// `save_states` is off).
+  void AdvanceBlock(BlockState& st, const DhtParams& params, int from_level,
+                    int to_level, std::span<const NodeId> lane_targets,
+                    std::span<const std::size_t> lane_slots,
+                    std::span<const NodeId> sources,
+                    BackwardBatchStates& states, bool save_states,
+                    double* const* rows);
 
   const Graph& g_;
   Options options_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dht/propagate.h"
+
 namespace dhtjoin {
 
 double XUpperBound(const DhtParams& params, int l) {
@@ -13,29 +15,24 @@ YBoundTable::YBoundTable(const Graph& g, const DhtParams& params, int d,
                          const NodeSet& P, const NodeSet& Q)
     : d_(d) {
   DHTJOIN_CHECK_GE(d, 1);
-  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
-  std::vector<double> prob(n, 0.0), next(n, 0.0);
-  for (NodeId p : P) prob[static_cast<std::size_t>(p)] = 1.0;
+  // Non-absorbing sweep from all of P at once on the shared engine: the
+  // visiting probability S_i(P, q) is the step-i mass at q. Frontier-
+  // adaptive steps keep the cost output-sensitive, and edges_relaxed()
+  // reports what the sweep actually paid.
+  Propagator sweep(g, Propagator::Direction::kForward);
+  sweep.Reset(P.nodes());
 
   // s[qi][i-1] = S_i(P, q) for i = 1..d.
   std::vector<std::vector<double>> s(
       Q.size(), std::vector<double>(static_cast<std::size_t>(d), 0.0));
 
   for (int i = 1; i <= d; ++i) {
-    std::fill(next.begin(), next.end(), 0.0);
-    for (NodeId u = 0; u < g.num_nodes(); ++u) {
-      double mass = prob[static_cast<std::size_t>(u)];
-      if (mass == 0.0) continue;
-      for (const OutEdge& e : g.OutEdges(u)) {
-        next[static_cast<std::size_t>(e.to)] += mass * e.prob;
-      }
-    }
+    sweep.Step();
     for (std::size_t qi = 0; qi < Q.size(); ++qi) {
-      s[qi][static_cast<std::size_t>(i) - 1] =
-          next[static_cast<std::size_t>(Q[qi])];
+      s[qi][static_cast<std::size_t>(i) - 1] = sweep.Mass(Q[qi]);
     }
-    prob.swap(next);
   }
+  edges_relaxed_ = sweep.edges_relaxed();
 
   // Suffix sums: Y_l = alpha * sum_{i=l+1..d} lambda^i min(S_i, 1).
   per_q_suffix_.assign(Q.size(),

@@ -33,10 +33,17 @@ double XUpperBound(const DhtParams& params, int l);
 /// Precomputed Y_l^+(P, q) for all q in Q and all l in [0, d].
 class YBoundTable {
  public:
-  /// Runs the d-step non-absorbing sweep from all of P (O(d * |E|)) and
-  /// builds per-q suffix sums (O(d * |Q|) space).
+  /// Runs the d-step non-absorbing sweep from all of P on the shared
+  /// frontier-adaptive engine (dht/propagate.h) — O(d * |E|) worst case,
+  /// output-sensitive when the sweep mass stays local — and builds
+  /// per-q suffix sums (O(d * |Q|) space).
   YBoundTable(const Graph& g, const DhtParams& params, int d,
               const NodeSet& P, const NodeSet& Q);
+
+  /// Edges actually relaxed by the construction sweep — the real cost
+  /// to charge to TwoWayJoinStats::walk_steps (a flat d * |E| would
+  /// overcount whenever the adaptive engine ran sparse steps).
+  int64_t edges_relaxed() const { return edges_relaxed_; }
 
   /// Y_l^+(P, q) where `q_index` is the position of q within Q.
   /// Valid for 0 <= l <= d (Bound(d, .) == 0).
@@ -50,6 +57,7 @@ class YBoundTable {
 
  private:
   int d_;
+  int64_t edges_relaxed_ = 0;
   // per_q_suffix_[qi][l] = Y_l^+(P, q); length d+1, entry [d] = 0.
   std::vector<std::vector<double>> per_q_suffix_;
 };

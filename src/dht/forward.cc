@@ -10,12 +10,36 @@ void ForwardWalker::Reset(const DhtParams& params, NodeId u, NodeId v) {
   DHTJOIN_CHECK(g_.ContainsNode(v));
   DHTJOIN_CHECK_NE(u, v);
   params_ = params;
+  source_ = u;
   target_ = v;
   level_ = 0;
   score_ = params.beta;
   lambda_pow_ = 1.0;
   engine_.Reset(u);
   hit_probs_.clear();
+}
+
+void ForwardWalker::Save(ForwardWalkerState* out) const {
+  out->source = source_;
+  out->target = target_;
+  out->level = level_;
+  out->score = score_;
+  out->lambda_pow = lambda_pow_;
+  engine_.SaveState(&out->engine);
+  out->hit_probs = hit_probs_;
+}
+
+void ForwardWalker::Restore(const DhtParams& params,
+                            const ForwardWalkerState& state) {
+  DHTJOIN_CHECK(state.target != kInvalidNode);
+  params_ = params;
+  source_ = state.source;
+  target_ = state.target;
+  level_ = state.level;
+  score_ = state.score;
+  lambda_pow_ = state.lambda_pow;
+  engine_.RestoreState(state.engine);
+  hit_probs_ = state.hit_probs;
 }
 
 void ForwardWalker::Advance(int steps) {

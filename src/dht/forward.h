@@ -9,7 +9,16 @@
 /// engine (dht/propagate.h) makes it output-sensitive when the walk mass
 /// stays concentrated, but the per-pair restart is still what makes the
 /// forward 2-way join algorithms (F-BJ, F-IDJ) slow, as the paper
-/// stresses.
+/// stresses. For evaluating MANY pairs, prefer ForwardWalkerBatch
+/// (dht/forward_batch.h), which advances kLaneWidth source walkers per
+/// out-CSR pass.
+///
+/// Walks are resumable two ways: Advance() continues from the current
+/// level in place, and Save()/Restore() snapshot the full walk state
+/// (see WalkerStatePool in dht/walker_state.h). A restored walk is
+/// bit-identical to the walk it was saved from — and, by the engine's
+/// sorted-support determinism (DESIGN.md §3), to a from-scratch walk of
+/// the same depth.
 
 #ifndef DHTJOIN_DHT_FORWARD_H_
 #define DHTJOIN_DHT_FORWARD_H_
@@ -21,6 +30,22 @@
 #include "graph/graph.h"
 
 namespace dhtjoin {
+
+/// Snapshot of one in-flight forward walk. O(support) memory.
+struct ForwardWalkerState {
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+  int level = 0;
+  double score = 0.0;
+  double lambda_pow = 1.0;
+  PropagatorState engine;
+  std::vector<double> hit_probs;
+
+  std::size_t ApproxBytes() const {
+    return sizeof(*this) + engine.ApproxBytes() +
+           hit_probs.capacity() * sizeof(double);
+  }
+};
 
 /// Resumable forward walker for a single (source, target) pair.
 ///
@@ -38,6 +63,13 @@ class ForwardWalker {
 
   /// Advances the walk by `steps` more steps.
   void Advance(int steps);
+
+  /// Snapshots the current walk into `out`; the walker is unchanged.
+  void Save(ForwardWalkerState* out) const;
+
+  /// Replaces the current walk with `state` (saved with the same params;
+  /// the caller is responsible for passing matching params).
+  void Restore(const DhtParams& params, const ForwardWalkerState& state);
 
   /// Current depth l (number of steps taken since Reset).
   int level() const { return level_; }
@@ -58,6 +90,7 @@ class ForwardWalker {
   const Graph& g_;
   Propagator engine_;
   DhtParams params_;
+  NodeId source_ = kInvalidNode;
   NodeId target_ = kInvalidNode;
   int level_ = 0;
   double score_ = 0.0;

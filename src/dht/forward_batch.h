@@ -1,0 +1,229 @@
+/// \file dht/forward_batch.h
+/// \brief Batched multi-source forward evaluation (SpMM-style).
+///
+/// Forward first-hit walks are inherently per-PAIR: absorption at the
+/// target entangles the mass trajectory with the target, so one walk
+/// yields one h_d(p, q) — the reason the forward join family (F-BJ,
+/// F-IDJ) is the slow side of the paper's Fig. 9(a). What CAN be shared
+/// is the edge stream: this evaluator fixes one absorption target q per
+/// block and advances kLaneWidth SOURCE walkers together, the mass state
+/// an n x W row-major matrix pushed over the out-CSR one pass per step.
+/// Per pair this divides edge traffic by W and turns the scattered
+/// per-walk pushes into cache-line-wide lane updates — the forward
+/// analogue of BackwardWalkerBatch, with the lane axis transposed
+/// (8 sources x 1 target instead of 8 targets x all sources). Blocks
+/// are independent and fan out across a ThreadPool.
+///
+/// Steps are frontier-adaptive with the shared policy of
+/// dht/propagate.h, and the union support is kept SORTED at every step
+/// boundary, so per-lane summation order equals the dense sweep's CSR
+/// order: scores are bit-identical across modes, lane groupings, thread
+/// counts, and restarted vs resumed walks (DESIGN.md §3), and match the
+/// scalar ForwardWalker exactly.
+///
+/// Resumable deepening: F-IDJ revisits the same (p, q) pairs at levels
+/// 1, 2, 4, ..., d. ForwardBatchStates holds per-pair sparse snapshots
+/// so AdvancePairs() continues each pair from its saved level instead of
+/// restarting — O(d) total steps per surviving pair instead of O(2d) —
+/// under a byte budget with transparent bit-identical restarts on
+/// eviction.
+///
+/// Memory contract: like the backward batch, each concurrent block owns
+/// 2 * n * kLaneWidth doubles, pooled for the evaluator's lifetime.
+
+#ifndef DHTJOIN_DHT_FORWARD_BATCH_H_
+#define DHTJOIN_DHT_FORWARD_BATCH_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dht/params.h"
+#include "dht/propagate.h"
+#include "graph/graph.h"
+#include "util/thread_pool.h"
+
+namespace dhtjoin {
+
+/// Per-pair resumable walk states for ForwardWalkerBatch, indexed by a
+/// caller-stable slot id (F-IDJ uses source_index * |Q| + target_index).
+/// Retention is best-effort under `max_bytes`: a dropped state restarts
+/// from scratch on the next advance with bit-identical results.
+class ForwardBatchStates {
+ public:
+  explicit ForwardBatchStates(std::size_t num_slots,
+                              std::size_t max_bytes = kDefaultMaxBytes)
+      : slots_(num_slots), max_bytes_(max_bytes) {}
+
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t{256} << 20;
+
+  /// Fixed per-slot overhead of the dense slot grid itself (the saved
+  /// mass vectors are accounted separately, against max_bytes). Callers
+  /// sizing a |P| x |Q| pair grid should check
+  /// num_slots * kSlotOverheadBytes against their budget BEFORE
+  /// constructing — a sparse keyed grid is a ROADMAP item.
+  static std::size_t SlotOverheadBytes() { return sizeof(Slot); }
+
+  /// Walked depth of `slot`; 0 means no saved state (fresh or evicted).
+  int level(std::size_t slot) const { return slots_[slot].level; }
+
+  /// Drops the saved state of `slot` (e.g. a pruned source's pairs).
+  void Drop(std::size_t slot) {
+    Slot& s = slots_[slot];
+    bytes_.fetch_sub(s.bytes, std::memory_order_relaxed);
+    s = Slot{};
+  }
+
+  std::size_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ForwardWalkerBatch;
+
+  struct Slot {
+    int level = 0;
+    double lambda_pow = 1.0;
+    double score = 0.0;  // h_level(p, q); meaningless while level == 0
+    std::vector<std::pair<NodeId, double>> mass;  // nonzero, ascending node
+    std::size_t bytes = 0;
+
+    std::size_t ApproxBytes() const {
+      return sizeof(*this) + mass.capacity() * sizeof(mass[0]);
+    }
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t max_bytes_;
+  std::atomic<std::size_t> bytes_{0};
+};
+
+/// Advances many forward pair-walkers at once; see file comment.
+class ForwardWalkerBatch {
+ public:
+  /// Source walkers advanced together per block (8 doubles = one cache
+  /// line), all absorbed at the block's common target.
+  static constexpr int kLaneWidth = 8;
+
+  struct Options {
+    PropagationMode mode = PropagationMode::kAdaptive;
+    /// Worker threads; 0 means ThreadPool::DefaultThreadCount().
+    int num_threads = 0;
+  };
+
+  explicit ForwardWalkerBatch(const Graph& g);
+  ForwardWalkerBatch(const Graph& g, Options options);
+  ~ForwardWalkerBatch();
+
+  /// Runs a d-step forward walk for every (source, target) pair and
+  /// returns the scores row-major by SOURCE:
+  ///   result[s * targets.size() + t] = h_d(sources[s], targets[t]).
+  /// Self pairs (sources[s] == targets[t]) are present but meaningless —
+  /// callers must skip them, mirroring the backward batch.
+  ///
+  /// The matrix is dense: slice huge source sets to MaxSourcesPerRun()
+  /// per call (RunChunked does this for you).
+  std::vector<double> Run(const DhtParams& params, int d,
+                          std::span<const NodeId> sources,
+                          std::span<const NodeId> targets);
+
+  /// Largest source count per Run() that keeps the returned matrix near
+  /// 32 MB; never less than one full lane block.
+  static std::size_t MaxSourcesPerRun(std::size_t num_targets) {
+    constexpr std::size_t kMaxMatrixDoubles = std::size_t{4} << 20;
+    std::size_t cap = kMaxMatrixDoubles / (num_targets == 0 ? 1 : num_targets);
+    return cap < kLaneWidth ? kLaneWidth : cap;
+  }
+
+  /// Run() with MaxSourcesPerRun slicing applied: walks every pair,
+  /// invoking consume(source_index, row) with the |targets|-wide score
+  /// row of sources[source_index]. Rows are only valid during the
+  /// callback. `max_sources_per_run` forces a smaller slice (0 =
+  /// MaxSourcesPerRun); tests use it to exercise the multi-chunk path.
+  template <typename Consume>
+  void RunChunked(const DhtParams& params, int d,
+                  std::span<const NodeId> sources,
+                  std::span<const NodeId> targets, Consume&& consume,
+                  std::size_t max_sources_per_run = 0) {
+    const std::size_t chunk = max_sources_per_run > 0
+                                  ? max_sources_per_run
+                                  : MaxSourcesPerRun(targets.size());
+    for (std::size_t base = 0; base < sources.size(); base += chunk) {
+      const std::size_t count = std::min(chunk, sources.size() - base);
+      std::vector<double> scores =
+          Run(params, d, sources.subspan(base, count), targets);
+      for (std::size_t i = 0; i < count; ++i) {
+        consume(base + i, scores.data() + i * targets.size());
+      }
+    }
+  }
+
+  /// The resumable form: advances the pairs (sources[i], target) from
+  /// their saved levels (states slot slots[i]) to `to_level`, then
+  /// invokes consume(i, score) with h_{to_level}(sources[i], target).
+  /// Pairs saved at different levels are grouped and advanced
+  /// separately, so evictions and fresh pairs mix freely.
+  /// `save_states = false` skips the write-back for a FINAL advance
+  /// whose states would never be read. Returns the number of pair
+  /// walks started from scratch.
+  template <typename Consume>
+  int64_t AdvancePairs(const DhtParams& params, int to_level,
+                       std::span<const NodeId> sources,
+                       std::span<const std::size_t> slots, NodeId target,
+                       ForwardBatchStates& states, Consume&& consume,
+                       bool save_states = true) {
+    DHTJOIN_CHECK_EQ(sources.size(), slots.size());
+    std::vector<double> scores(sources.size());
+    int64_t fresh = AdvancePairsRun(params, to_level, sources, slots, target,
+                                    states, save_states, scores.data());
+    for (std::size_t i = 0; i < sources.size(); ++i) consume(i, scores[i]);
+    return fresh;
+  }
+
+  /// Per-walker edges relaxed, summed over all lanes and runs,
+  /// comparable with the scalar ForwardWalker's edges_relaxed: a sparse
+  /// step bills each lane only for frontier nodes where that lane has
+  /// mass; a dense pass bills every lane |E|.
+  int64_t edges_relaxed() const { return edges_relaxed_; }
+
+ private:
+  struct BlockState;
+
+  std::unique_ptr<BlockState> AcquireState();
+  void ReleaseState(std::unique_ptr<BlockState> state);
+
+  /// One blocked forward transition step; leaves the (sorted) new
+  /// support in st.support.
+  void StepLanes(BlockState& st, int width) const;
+
+  /// Walks one block of `width` sources to depth d with absorption at
+  /// `target`, adding score contributions into out[(first + b)].
+  void RunBlock(BlockState& st, const DhtParams& params, int d,
+                std::span<const NodeId> sources, std::size_t first_source,
+                int width, NodeId target, std::size_t target_index,
+                std::size_t num_targets, double* out);
+
+  /// Resumable body behind AdvancePairs; writes h_{to_level} of pair i
+  /// into out[i]. Returns fresh-start count.
+  int64_t AdvancePairsRun(const DhtParams& params, int to_level,
+                          std::span<const NodeId> sources,
+                          std::span<const std::size_t> slots, NodeId target,
+                          ForwardBatchStates& states, bool save_states,
+                          double* out);
+
+  const Graph& g_;
+  Options options_;
+  ThreadPool pool_;
+  std::mutex state_mu_;
+  std::vector<std::unique_ptr<BlockState>> free_states_;
+  int64_t edges_relaxed_ = 0;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_DHT_FORWARD_BATCH_H_

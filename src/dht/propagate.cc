@@ -1,5 +1,7 @@
 #include "dht/propagate.h"
 
+#include <algorithm>
+
 namespace dhtjoin {
 
 Propagator::Propagator(const Graph& g, Direction dir, PropagationMode mode)
@@ -15,6 +17,37 @@ void Propagator::Reset(NodeId seed) {
   support_.clear();
   support_.push_back(seed);
   mass_[static_cast<std::size_t>(seed)] = 1.0;
+}
+
+void Propagator::Reset(std::span<const NodeId> seeds) {
+  for (NodeId u : support_) mass_[static_cast<std::size_t>(u)] = 0.0;
+  support_.clear();
+  for (NodeId seed : seeds) {
+    DHTJOIN_CHECK(g_.ContainsNode(seed));
+    double& slot = mass_[static_cast<std::size_t>(seed)];
+    if (slot == 0.0) support_.push_back(seed);
+    slot = 1.0;
+  }
+  // The sorted-support contract must hold from step one.
+  std::sort(support_.begin(), support_.end());
+}
+
+void Propagator::SaveState(PropagatorState* out) const {
+  out->mass.clear();
+  out->mass.reserve(support_.size());
+  for (NodeId u : support_) {
+    out->mass.emplace_back(u, mass_[static_cast<std::size_t>(u)]);
+  }
+}
+
+void Propagator::RestoreState(const PropagatorState& state) {
+  for (NodeId u : support_) mass_[static_cast<std::size_t>(u)] = 0.0;
+  support_.clear();
+  for (const auto& [u, m] : state.mass) {
+    DHTJOIN_DCHECK(g_.ContainsNode(u));
+    support_.push_back(u);
+    mass_[static_cast<std::size_t>(u)] = m;
+  }
 }
 
 bool Propagator::ChooseDense() const {
@@ -39,6 +72,11 @@ void Propagator::Step() {
   } else {
     StepDenseBackward();
   }
+  // Sorted-support contract: keeping the support ascending makes the
+  // next sparse push accumulate contributions in dense-sweep order, so
+  // every mode (and every resumed walk) is bit-identical. The backward
+  // dense gather emits an already-sorted list; sorting it is O(s).
+  std::sort(next_support_.begin(), next_support_.end());
   support_.swap(next_support_);
   mass_.swap(next_);
   next_support_.clear();

@@ -2,7 +2,7 @@
 /// \brief Frontier-adaptive probability-mass propagation engine.
 ///
 /// Every DHT primitive in the repo — the forward walker (Sec V-B), the
-/// backward walker (Eq. 5), and the batched backward evaluator — bottoms
+/// backward walker (Eq. 5), and the batched evaluators — bottoms
 /// out in the same operation: one step of the random-walk transition,
 ///   next = M^T cur   (forward: push mass ALONG edges)
 ///   next = M   cur   (backward: push mass AGAINST edges)
@@ -26,17 +26,23 @@
 /// of the dense engine while small frontiers — the common case for few-
 /// step truncated DHT on sparse graphs — cost almost nothing.
 ///
-/// Numerical contract: all modes compute the same values up to FP
-/// summation order (contributions to next[u] arrive in support order
-/// instead of CSR order), so results agree to ~1e-12; the tests enforce
-/// this. Mass is nonnegative and contributions are strictly positive,
-/// which the support bookkeeping exploits: a slot is appended to the
-/// support exactly when it first becomes nonzero.
+/// Numerical contract (DESIGN.md §3): the support list is kept SORTED by
+/// node id at every step boundary, so a sparse push visits sources in
+/// ascending id order — the same order in which the dense sweep's CSR
+/// rows accumulate them. Floating-point summation order is therefore
+/// identical across modes, and all modes produce bit-identical mass
+/// vectors. This determinism is load-bearing: it is what lets a resumed
+/// walk (SaveState/RestoreState, or the batched engines' per-target
+/// states) produce byte-identical scores to a from-scratch walk, and it
+/// lets state pools drop entries under memory pressure and restart
+/// without changing any result.
 
 #ifndef DHTJOIN_DHT_PROPAGATE_H_
 #define DHTJOIN_DHT_PROPAGATE_H_
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -56,8 +62,8 @@ enum class PropagationMode {
 /// step is only chosen when its edge count is below dense/kSparsePenalty.
 inline constexpr int64_t kSparsePenalty = 4;
 
-/// The adaptive policy, shared by Propagator and BackwardWalkerBatch so
-/// both engines flip modes at the same threshold.
+/// The adaptive policy, shared by Propagator and the batch engines so
+/// all of them flip modes at the same threshold.
 ///
 /// SupportSizeForcesDense is the cheap early-out: once the support alone
 /// crosses the threshold, the degree sum can only confirm it and the
@@ -74,6 +80,18 @@ inline bool FrontierPrefersDense(std::size_t support_size,
              kSparsePenalty >=
          g.num_edges() + g.num_nodes();
 }
+
+/// Sparse snapshot of a Propagator's in-flight mass: (node, mass) pairs
+/// in support order. Entries with zero mass are preserved so a restored
+/// engine has the exact support list (and thus the exact sparse/dense
+/// policy decisions and edge billing) of the saved one.
+struct PropagatorState {
+  std::vector<std::pair<NodeId, double>> mass;
+
+  std::size_t ApproxBytes() const {
+    return sizeof(*this) + mass.capacity() * sizeof(mass[0]);
+  }
+};
 
 /// One unit of probability mass propagated through the graph, stepwise,
 /// in either edge direction. Absorption (first-hit semantics) is the
@@ -92,6 +110,11 @@ class Propagator {
   /// Drops all mass and places 1.0 at `seed`. O(|support|), not O(n).
   void Reset(NodeId seed);
 
+  /// Drops all mass and places 1.0 at every seed (the YBoundTable sweep
+  /// starts from all of P at once). Seeds are deduplicated; a duplicate
+  /// seed still carries mass 1.0, not 2.0.
+  void Reset(std::span<const NodeId> seeds);
+
   /// Advances one transition step.
   void Step();
 
@@ -102,7 +125,8 @@ class Propagator {
   /// support list with zero mass; iteration skips it.
   void ClearMass(NodeId u) { mass_[static_cast<std::size_t>(u)] = 0.0; }
 
-  /// Invokes fn(node, mass) for every node with nonzero mass.
+  /// Invokes fn(node, mass) for every node with nonzero mass, in
+  /// ascending node order.
   template <typename Fn>
   void ForEachMass(Fn&& fn) const {
     for (NodeId u : support_) {
@@ -110,6 +134,15 @@ class Propagator {
       if (m != 0.0) fn(u, m);
     }
   }
+
+  /// Copies the current mass state into `out` (support order, zero-mass
+  /// entries included — see PropagatorState). The engine is unchanged.
+  void SaveState(PropagatorState* out) const;
+
+  /// Replaces the current mass state with `state`. A restored engine is
+  /// indistinguishable from the one SaveState ran on: subsequent Step()
+  /// calls produce bit-identical mass vectors.
+  void RestoreState(const PropagatorState& state);
 
   /// Nodes currently carrying mass (upper bound: entries may be 0.0).
   std::size_t support_size() const { return support_.size(); }
@@ -133,7 +166,8 @@ class Propagator {
   PropagationMode mode_;
   // Invariant: mass_ and next_ are exactly 0.0 outside their support
   // lists, at all times. Steps clean up after themselves (sparse clear),
-  // so Reset never pays O(n).
+  // so Reset never pays O(n). support_ is sorted ascending at every
+  // step boundary (the determinism contract in the file comment).
   std::vector<double> mass_, next_;
   std::vector<NodeId> support_, next_support_;
   int64_t edges_relaxed_ = 0;

@@ -1,0 +1,102 @@
+/// \file dht/walker_state.h
+/// \brief Byte-budgeted LRU pool of saved walker states.
+///
+/// The IDJ deepening schedules (B-IDJ, F-IDJ, the incremental join's
+/// DeepenTarget) revisit the same walk at levels 1, 2, 4, ..., d. A
+/// restart at each level pays 1+2+4+...+d = O(2d) steps; resuming from a
+/// saved state pays d total. This pool holds those saved states — keyed
+/// by whatever the caller identifies a walk with (a target index, a
+/// PairKey) — under a byte budget, evicting least-recently-used entries
+/// when walks outgrow it.
+///
+/// Eviction is always safe: by the propagation engine's sorted-support
+/// determinism (DESIGN.md §3), a restarted walk reproduces the evicted
+/// walk's scores bit-for-bit, so dropping a state costs only time, never
+/// correctness. Callers therefore treat Find() returning nullptr and a
+/// stale level identically: restart from scratch.
+
+#ifndef DHTJOIN_DHT_WALKER_STATE_H_
+#define DHTJOIN_DHT_WALKER_STATE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dhtjoin {
+
+/// Keyed LRU pool of walker snapshots. `State` must expose
+/// ApproxBytes() (BackwardWalkerState, ForwardWalkerState, and the
+/// batch engines' per-target states all do).
+template <typename State>
+class WalkerStatePool {
+ public:
+  /// Default budget: enough for a few thousand mid-sized walk states
+  /// without threatening a laptop; joins override per workload.
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t{256} << 20;
+
+  explicit WalkerStatePool(std::size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// Returns the state saved under `key` (bumping it to most-recently-
+  /// used) or nullptr. The pointer is valid until the next Put/Erase.
+  State* Find(uint64_t key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->state;
+  }
+
+  /// Saves (or replaces) the state under `key`, then evicts LRU entries
+  /// until the pool fits the budget. A state larger than the whole
+  /// budget is simply not retained.
+  void Put(uint64_t key, State state) {
+    Erase(key);
+    const std::size_t bytes = state.ApproxBytes();
+    lru_.push_front(Entry{key, std::move(state), bytes});
+    index_[key] = lru_.begin();
+    bytes_ += bytes;
+    while (bytes_ > max_bytes_ && !lru_.empty()) {
+      Entry& victim = lru_.back();
+      bytes_ -= victim.bytes;
+      index_.erase(victim.key);
+      lru_.pop_back();
+    }
+  }
+
+  void Erase(uint64_t key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void Clear() {
+    lru_.clear();
+    index_.clear();
+    bytes_ = 0;
+  }
+
+  std::size_t size() const { return lru_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  std::size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    State state;
+    std::size_t bytes;
+  };
+
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_DHT_WALKER_STATE_H_

@@ -4,7 +4,6 @@
 #include <memory>
 #include <vector>
 
-#include "dht/backward_batch.h"
 #include "dht/bounds.h"
 #include "util/top_k.h"
 
@@ -21,8 +20,9 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   std::unique_ptr<YBoundTable> ybound;
   if (options_.bound == UpperBoundKind::kY) {
     ybound = std::make_unique<YBoundTable>(g, params, d, P, Q);
-    // The S_i(P, q) sweep is d dense passes over the edge array.
-    stats_.walk_steps += static_cast<int64_t>(d) * g.num_edges();
+    // Charge what the S_i(P, q) sweep actually relaxed (it runs on the
+    // shared adaptive engine now, so a flat d * |E| would overcount).
+    stats_.walk_steps += ybound->edges_relaxed();
   }
   auto remainder = [&](int l, std::size_t qi) {
     return options_.bound == UpperBoundKind::kY ? ybound->Bound(l, qi)
@@ -30,15 +30,26 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   };
 
   BackwardWalkerBatch batch(g);
+  BackwardBatchStates states(options_.resume ? Q.size() : 0,
+                             options_.state_budget_bytes);
   int64_t batch_edges_seen = 0;
   // Batched l-step walks for the live targets; consume(i, row) receives
-  // the |P|-wide score row of live[i].
-  auto walk_live = [&](const std::vector<std::size_t>& live, int l,
+  // the |P|-wide score row of live[i]. With resume on, each target
+  // continues from its previous level's saved state; otherwise it
+  // restarts from scratch — same rows either way (sorted-support
+  // determinism), different step counts. `save` is off for the final
+  // exact-d pass, whose states would never be read again.
+  auto walk_live = [&](const std::vector<std::size_t>& live, int l, bool save,
                        auto&& consume) {
     std::vector<NodeId> nodes(live.size());
     for (std::size_t i = 0; i < live.size(); ++i) nodes[i] = Q[live[i]];
-    batch.RunChunked(params, l, nodes, P.nodes(), consume);
-    stats_.walks_started += static_cast<int64_t>(live.size());
+    if (options_.resume) {
+      stats_.walks_started += batch.AdvanceChunked(
+          params, l, nodes, live, P.nodes(), states, consume, save);
+    } else {
+      batch.RunChunked(params, l, nodes, P.nodes(), consume);
+      stats_.walks_started += static_cast<int64_t>(live.size());
+    }
     stats_.walk_steps += batch.edges_relaxed() - batch_edges_seen;
     batch_edges_seen = batch.edges_relaxed();
   };
@@ -48,9 +59,9 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
 
   for (int l = 1; l < d; l *= 2) {
-    TopK<ScoredPair> bounds(k);  // B is reset every iteration (Alg. 2 Step 3)
+    PairTopK bounds(k);  // B is reset every iteration (Alg. 2 Step 3)
     std::vector<double> q_upper(live.size());
-    walk_live(live, l, [&](std::size_t i, const double* row) {
+    walk_live(live, l, /*save=*/true, [&](std::size_t i, const double* row) {
       NodeId q = Q[live[i]];
       double pmax = params.beta;  // floor of h_l over p
       for (std::size_t pi = 0; pi < P.size(); ++pi) {
@@ -68,7 +79,12 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
     std::vector<std::size_t> survivors;
     survivors.reserve(live.size());
     for (std::size_t i = 0; i < live.size(); ++i) {
-      if (q_upper[i] >= tk) survivors.push_back(live[i]);
+      if (q_upper[i] >= tk) {
+        survivors.push_back(live[i]);
+      } else if (options_.resume) {
+        // A pruned target never walks again; free its state now.
+        states.Drop(live[i]);
+      }
     }
     stats_.pruned_fraction_per_iteration.push_back(
         1.0 - static_cast<double>(survivors.size()) /
@@ -78,9 +94,9 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   }
 
   // Final pass (Alg. 2 Steps 16-17): exact d-step walks for survivors.
-  TopK<ScoredPair> best(k);
+  PairTopK best(k);
   if (!live.empty()) {
-    walk_live(live, d, [&](std::size_t i, const double* row) {
+    walk_live(live, d, /*save=*/false, [&](std::size_t i, const double* row) {
       NodeId q = Q[live[i]];
       for (std::size_t pi = 0; pi < P.size(); ++pi) {
         NodeId p = P[pi];

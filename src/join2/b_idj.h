@@ -8,10 +8,19 @@
 /// final exact d-step walk. The remainder bound U_l^+ is pluggable:
 /// X_l^+ (B-IDJ-X) or Y_l^+(P, q) (B-IDJ-Y, tighter — the paper's best
 /// 2-way algorithm and the engine inside PJ).
+///
+/// Deepening is RESUMABLE by default: each live target's batch walk
+/// state persists across levels (BackwardBatchStates), so the geometric
+/// schedule costs O(d) total steps per surviving target instead of the
+/// O(2d) a restart at every level pays. Results are byte-identical
+/// either way (the engine's sorted-support determinism, DESIGN.md §3);
+/// `resume = false` forces the restart schedule, which the parity tests
+/// and walk_steps comparisons use as the reference.
 
 #ifndef DHTJOIN_JOIN2_B_IDJ_H_
 #define DHTJOIN_JOIN2_B_IDJ_H_
 
+#include "dht/backward_batch.h"
 #include "join2/two_way_join.h"
 
 namespace dhtjoin {
@@ -20,6 +29,11 @@ class BIdjJoin final : public TwoWayJoin {
  public:
   struct Options {
     UpperBoundKind bound = UpperBoundKind::kY;
+    /// Resume per-target walk states across deepening levels. Off: the
+    /// restart schedule (bit-identical output, strictly more steps).
+    bool resume = true;
+    /// Byte budget for the per-target states; evictions restart.
+    std::size_t state_budget_bytes = BackwardBatchStates::kDefaultMaxBytes;
   };
 
   BIdjJoin() = default;

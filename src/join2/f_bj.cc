@@ -1,6 +1,6 @@
 #include "join2/f_bj.h"
 
-#include "dht/forward.h"
+#include "dht/forward_batch.h"
 
 namespace dhtjoin {
 
@@ -22,19 +22,26 @@ Result<std::vector<ScoredPair>> FBjJoin::RunAllPairs(const Graph& g,
                                                      const NodeSet& Q) {
   DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, 1));
   stats_.Reset();
-  ForwardWalker walker(g);
+  // One per-pair walk is unavoidable under first-hit absorption, but the
+  // batch shares each out-CSR pass across kLaneWidth source lanes and
+  // fans blocks over the thread pool; RunChunked keeps the score matrix
+  // bounded on all-pairs joins.
+  ForwardWalkerBatch batch(g);
   std::vector<ScoredPair> out;
-  for (NodeId p : P) {
-    for (NodeId q : Q) {
-      if (p == q) continue;
-      double score = walker.Compute(params, d, p, q);
-      stats_.walks_started++;
-      if (score > params.beta) {
-        out.push_back(ScoredPair{p, q, score});
-      }
-    }
-  }
-  stats_.walk_steps += walker.edges_relaxed();
+  batch.RunChunked(params, d, P.nodes(), Q.nodes(),
+                   [&](std::size_t pi, const double* row) {
+                     NodeId p = P[pi];
+                     for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+                       NodeId q = Q[qi];
+                       if (p == q) continue;
+                       double score = row[qi];
+                       if (score > params.beta) {
+                         out.push_back(ScoredPair{p, q, score});
+                       }
+                     }
+                   });
+  stats_.walks_started += static_cast<int64_t>(P.size() * Q.size());
+  stats_.walk_steps += batch.edges_relaxed();
   FinalizePairs(out, out.size());
   return out;
 }

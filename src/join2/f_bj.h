@@ -3,7 +3,10 @@
 ///
 /// Computes h_d(p, q) for every pair by a full forward walk per pair:
 /// O(|P| * |Q| * d * |E|). The slowest correct algorithm; it is the
-/// 2-way engine the paper uses inside the AP baseline.
+/// 2-way engine the paper uses inside the AP baseline. The walks run on
+/// ForwardWalkerBatch (dht/forward_batch.h), which shares each out-CSR
+/// pass across kLaneWidth source lanes and fans blocks over the thread
+/// pool — same asymptotics, much better constant.
 
 #ifndef DHTJOIN_JOIN2_F_BJ_H_
 #define DHTJOIN_JOIN2_F_BJ_H_

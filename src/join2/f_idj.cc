@@ -1,8 +1,7 @@
 #include "join2/f_idj.h"
 
-#include <limits>
+#include <vector>
 
-#include "dht/forward.h"
 #include "util/top_k.h"
 
 namespace dhtjoin {
@@ -15,33 +14,87 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, k));
   stats_.Reset();
 
-  ForwardWalker walker(g);
-  std::vector<NodeId> live(P.begin(), P.end());
+  ForwardWalkerBatch batch(g);
+  // Pair states are slotted on the ORIGINAL (pi, qi) grid so a source's
+  // slots stay stable as the live set shrinks. The dense grid itself
+  // must fit the budget — on pair spaces where even empty slots would
+  // blow it, fall back to the restart schedule (identical output, see
+  // DESIGN.md §3) instead of allocating gigabytes up front.
+  const bool resume =
+      options_.resume &&
+      P.size() * Q.size() * ForwardBatchStates::SlotOverheadBytes() <=
+          options_.state_budget_bytes;
+  ForwardBatchStates states(resume ? P.size() * Q.size() : 0,
+                            options_.state_budget_bytes);
+  int64_t batch_edges_seen = 0;
+
+  // live holds ORIGINAL indices into P.
+  std::vector<std::size_t> live(P.size());
+  for (std::size_t pi = 0; pi < P.size(); ++pi) live[pi] = pi;
   stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
 
-  const double kNegInf = -std::numeric_limits<double>::infinity();
+  // Walks every (live source, q) pair to depth l and hands each score to
+  // consume(i, qi, score), i indexing `live`. Resume continues each pair
+  // from its saved level; restart recomputes from scratch — identical
+  // scores either way (sorted-support determinism, DESIGN.md §3).
+  // `save` is off for the final exact-d pass.
+  auto walk_live = [&](const std::vector<std::size_t>& lv, int l, bool save,
+                       auto&& consume) {
+    std::vector<NodeId> nodes(lv.size());
+    for (std::size_t i = 0; i < lv.size(); ++i) nodes[i] = P[lv[i]];
+    if (resume) {
+      std::vector<std::size_t> slots(lv.size());
+      for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+        for (std::size_t i = 0; i < lv.size(); ++i) {
+          slots[i] = lv[i] * Q.size() + qi;
+        }
+        stats_.walks_started +=
+            batch.AdvancePairs(params, l, nodes, slots, Q[qi], states,
+                               [&](std::size_t i, double s) {
+                                 consume(i, qi, s);
+                               },
+                               save);
+      }
+    } else {
+      batch.RunChunked(params, l, nodes, Q.nodes(),
+                       [&](std::size_t i, const double* row) {
+                         for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+                           consume(i, qi, row[qi]);
+                         }
+                       });
+      stats_.walks_started +=
+          static_cast<int64_t>(lv.size() * Q.size());
+    }
+    stats_.walk_steps += batch.edges_relaxed() - batch_edges_seen;
+    batch_edges_seen = batch.edges_relaxed();
+  };
+
   for (int l = 1; l < d; l *= 2) {
-    TopK<ScoredPair> bounds(k);
-    std::vector<double> p_upper(live.size(), kNegInf);
-    for (std::size_t pi = 0; pi < live.size(); ++pi) {
-      NodeId p = live[pi];
-      double pmax = params.beta;  // floor of h_l over q
-      for (NodeId q : Q) {
-        if (p == q) continue;
-        double s = walker.Compute(params, l, p, q);
-        stats_.walks_started++;
-        if (s > params.beta) {
-          bounds.Offer(s, ScoredPair{p, q, s});
-          if (s > pmax) pmax = s;
+    PairTopK bounds(k);
+    std::vector<double> pmax(live.size(), params.beta);  // floor over q
+    walk_live(live, l, /*save=*/true,
+              [&](std::size_t i, std::size_t qi, double s) {
+      NodeId p = P[live[i]];
+      NodeId q = Q[qi];
+      if (p == q) return;  // self pair: score is meaningless
+      if (s > params.beta) {
+        bounds.Offer(s, ScoredPair{p, q, s});
+        if (s > pmax[i]) pmax[i] = s;
+      }
+    });
+    double tk = bounds.Threshold();
+    std::vector<std::size_t> survivors;
+    survivors.reserve(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      double p_upper = pmax[i] + params.XBound(l);
+      if (p_upper >= tk) {
+        survivors.push_back(live[i]);
+      } else if (resume) {
+        // A pruned source never walks again; free its pair states.
+        for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+          states.Drop(live[i] * Q.size() + qi);
         }
       }
-      p_upper[pi] = pmax + params.XBound(l);
-    }
-    double tk = bounds.Threshold();
-    std::vector<NodeId> survivors;
-    survivors.reserve(live.size());
-    for (std::size_t pi = 0; pi < live.size(); ++pi) {
-      if (p_upper[pi] >= tk) survivors.push_back(live[pi]);
     }
     stats_.pruned_fraction_per_iteration.push_back(
         1.0 - static_cast<double>(survivors.size()) /
@@ -51,16 +104,14 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   }
 
   // Final pass: exact d-step scores for surviving sources.
-  TopK<ScoredPair> best(k);
-  for (NodeId p : live) {
-    for (NodeId q : Q) {
-      if (p == q) continue;
-      double s = walker.Compute(params, d, p, q);
-      stats_.walks_started++;
-      if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
-    }
-  }
-  stats_.walk_steps += walker.edges_relaxed();
+  PairTopK best(k);
+  walk_live(live, d, /*save=*/false,
+            [&](std::size_t i, std::size_t qi, double s) {
+    NodeId p = P[live[i]];
+    NodeId q = Q[qi];
+    if (p == q) return;
+    if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
+  });
 
   std::vector<ScoredPair> out;
   for (auto& entry : best.TakeSortedDescending()) {

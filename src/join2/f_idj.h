@@ -8,22 +8,46 @@
 /// T_k being the k-th best lower bound seen this iteration. Survivors
 /// get exact d-step scores in a final pass. Same worst case as F-BJ but
 /// much faster in practice — while still paying one walk per (p, q).
+///
+/// The per-pair walks run on ForwardWalkerBatch (kLaneWidth source
+/// lanes per out-CSR pass) and, by default, RESUME across deepening
+/// levels from per-pair saved states (ForwardBatchStates): O(d) total
+/// steps per surviving pair instead of the O(2d) restart schedule.
+/// Output is byte-identical either way (DESIGN.md §3); `resume = false`
+/// forces restarts for parity tests and step-count comparisons.
 
 #ifndef DHTJOIN_JOIN2_F_IDJ_H_
 #define DHTJOIN_JOIN2_F_IDJ_H_
 
+#include "dht/forward_batch.h"
 #include "join2/two_way_join.h"
 
 namespace dhtjoin {
 
 class FIdjJoin final : public TwoWayJoin {
  public:
+  struct Options {
+    /// Resume per-pair walk states across deepening levels. Off: the
+    /// restart schedule (bit-identical output, strictly more steps).
+    /// Automatically falls back to restart when even the EMPTY |P|x|Q|
+    /// slot grid would exceed state_budget_bytes (huge pair spaces).
+    bool resume = true;
+    /// Byte budget for the per-pair states; evictions restart.
+    std::size_t state_budget_bytes = ForwardBatchStates::kDefaultMaxBytes;
+  };
+
+  FIdjJoin() = default;
+  explicit FIdjJoin(Options options) : options_(options) {}
+
   std::string Name() const override { return "F-IDJ"; }
 
   Result<std::vector<ScoredPair>> Run(const Graph& g, const DhtParams& params,
                                       int d, const NodeSet& P,
                                       const NodeSet& Q,
                                       std::size_t k) override;
+
+ private:
+  Options options_;
 };
 
 }  // namespace dhtjoin

@@ -25,8 +25,9 @@ IncrementalTwoWayJoin::IncrementalTwoWayJoin(const Graph& g,
       walker_(g) {
   if (options_.bound == UpperBoundKind::kY) {
     ybound_ = std::make_unique<YBoundTable>(g, params, d, P, Q);
-    // The S_i(P, q) sweep is d dense passes over the edge array.
-    stats_.walk_steps += static_cast<int64_t>(d) * g.num_edges();
+    // Charge what the S_i(P, q) sweep actually relaxed (it runs on the
+    // shared adaptive engine now, so a flat d * |E| would overcount).
+    stats_.walk_steps += ybound_->edges_relaxed();
   }
   q_level_.assign(Q_.size(), 0);
   residual_handle_.resize(Q_.size());
@@ -67,10 +68,28 @@ void IncrementalTwoWayJoin::DeepenTarget(std::size_t qi, int new_level) {
   DHTJOIN_CHECK_LE(new_level, d_);
   NodeId q = Q_[qi];
   int64_t edges_before = walker_.edges_relaxed();
-  walker_.Reset(params_, q);
-  walker_.Advance(new_level);
-  stats_.walks_started++;
+  // Resume from the target's saved state when the pool still holds it
+  // at the current level; otherwise restart (bit-identical scores by
+  // DESIGN.md §3, just 2x the steps for that target).
+  BackwardWalkerState* saved = walker_states_.Find(static_cast<uint64_t>(qi));
+  if (saved != nullptr && saved->level == q_level_[qi] &&
+      q_level_[qi] > 0) {
+    walker_.Restore(params_, *saved);
+    walker_.Advance(new_level - saved->level);
+  } else {
+    walker_.Reset(params_, q);
+    walker_.Advance(new_level);
+    stats_.walks_started++;
+  }
   stats_.walk_steps += walker_.edges_relaxed() - edges_before;
+  if (new_level < d_) {
+    BackwardWalkerState snapshot;
+    walker_.Save(&snapshot);
+    walker_states_.Put(static_cast<uint64_t>(qi), std::move(snapshot));
+  } else {
+    // Depth d is final for the truncated measure; the state is dead.
+    walker_states_.Erase(static_cast<uint64_t>(qi));
+  }
 
   const double remainder = Remainder(new_level, qi);
   for (NodeId p : P_) {

@@ -38,6 +38,7 @@
 
 #include "dht/backward.h"
 #include "dht/bounds.h"
+#include "dht/walker_state.h"
 #include "join2/two_way_join.h"
 #include "util/mutable_heap.h"
 
@@ -105,6 +106,12 @@ class IncrementalTwoWayJoin {
   Options options_;
   std::unique_ptr<YBoundTable> ybound_;
   BackwardWalker walker_;
+  // Saved per-target walk states so DeepenTarget resumes from a
+  // target's current level instead of replaying it from scratch (the
+  // paper's min(2l, d) refinement revisits the same targets over and
+  // over). LRU under a byte budget; an evicted target restarts with
+  // bit-identical results (DESIGN.md §3).
+  WalkerStatePool<BackwardWalkerState> walker_states_;
 
   MutableHeap<PairEntry> f_;  // keyed by upper bound h+
   std::unordered_map<uint64_t, MutableHeap<PairEntry>::Handle> index_;

@@ -11,9 +11,17 @@
 ///    h(u, u) is not defined by the measure;
 ///  * unreachable pairs (h_d == beta, i.e. q not reachable from p within
 ///    d steps) are excluded, mirroring Algorithm 2's `score[p] > beta`
-///    insertion guard;
+///    insertion guard. This is the library-wide under-k decision: a
+///    floor-score pair carries no proximity signal, so every algorithm
+///    (and NestedLoopJoin) drops it via the same strict `score > beta`
+///    test and returns FEWER than k pairs rather than padding with
+///    unreachable ones;
 ///  * fewer than k pairs are returned when fewer valid pairs exist;
-///  * output is sorted by score descending, ties broken by (p, q).
+///  * output is sorted by score descending, ties broken by (p, q)
+///    ascending — including at the k-th boundary: when several pairs tie
+///    there, the ones with the smallest (p, q) are retained (the
+///    PairTopK tie policy below), so all algorithms return the same
+///    pairs regardless of enumeration order.
 ///
 /// Implementations: F-BJ / F-IDJ (forward, Sec V-B), B-BJ / B-IDJ-X /
 /// B-IDJ-Y (backward, Sec VI), each a separate translation unit.
@@ -30,6 +38,7 @@
 #include "graph/node_set.h"
 #include "util/hash.h"
 #include "util/status.h"
+#include "util/top_k.h"
 
 namespace dhtjoin {
 
@@ -51,6 +60,19 @@ inline bool ScoredPairGreater(const ScoredPair& a, const ScoredPair& b) {
   if (a.p != b.p) return a.p < b.p;
   return a.q < b.q;
 }
+
+/// Tie policy for TopK<ScoredPair>: among equal scores, the smaller
+/// (p, q) outranks — the tie half of ScoredPairGreater.
+struct ScoredPairPrefer {
+  bool operator()(const ScoredPair& a, const ScoredPair& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    return a.q < b.q;
+  }
+};
+
+/// The top-k heap every 2-way algorithm uses for candidate selection, so
+/// the retained set at a tied k-th boundary is algorithm-independent.
+using PairTopK = TopK<ScoredPair, ScoredPairPrefer>;
 
 /// 64-bit key for hashing a node pair.
 inline uint64_t PairKey(NodeId p, NodeId q) { return PackPair(p, q); }

@@ -187,7 +187,9 @@ Result<std::vector<TupleAnswer>> Pbrj::Run(
   stats_ = PbrjStats();
   stats_.pulls_per_edge.assign(edges_.size(), 0);
 
-  TopK<TupleAnswer> output(k_);
+  // TupleAnswerPrefer keeps the retained set at a tied k-th boundary
+  // enumeration-order independent, matching NL and the 2-way joins.
+  TopK<TupleAnswer, TupleAnswerPrefer> output(k_);
   std::vector<TupleAnswer> generated;
 
   auto pull = [&](std::size_t e) {

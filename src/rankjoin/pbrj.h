@@ -50,6 +50,16 @@ struct TupleAnswer {
 /// Descending f, ties by node vector ascending — library-wide order.
 bool TupleAnswerGreater(const TupleAnswer& a, const TupleAnswer& b);
 
+/// Tie policy for TopK<TupleAnswer>: among equal aggregates the
+/// lexicographically smaller node vector outranks, so the retained set
+/// at a tied k-th boundary does not depend on enumeration order (the
+/// tuple analogue of ScoredPairPrefer in join2/two_way_join.h).
+struct TupleAnswerPrefer {
+  bool operator()(const TupleAnswer& a, const TupleAnswer& b) const {
+    return a.nodes < b.nodes;
+  }
+};
+
 /// Counters from one rank-join run.
 struct PbrjStats {
   std::vector<int64_t> pulls_per_edge;  ///< pairs consumed per stream

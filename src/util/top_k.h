@@ -13,6 +13,13 @@
 
 namespace dhtjoin {
 
+/// Default tie policy: no item preference, so the first arrival among
+/// equal keys is retained (the pre-tie-break behaviour).
+template <typename T>
+struct KeepFirstTie {
+  bool operator()(const T& /*a*/, const T& /*b*/) const { return false; }
+};
+
 /// Keeps the k items with the LARGEST keys seen so far.
 ///
 /// Internally a size-bounded min-heap on the key: the root is the current
@@ -20,7 +27,13 @@ namespace dhtjoin {
 /// the IDJ family of algorithms (paper Sec V-B / VI-B).
 ///
 /// \tparam T item type (copyable).
-template <typename T>
+/// \tparam Prefer strict weak order over items used ONLY to break key
+///   ties: Prefer(a, b) == true means `a` outranks `b` at equal key, so
+///   the retained set (and thus the k-th boundary) is deterministic no
+///   matter in which order equal-keyed items arrive. The joins pass the
+///   library-wide (p, q)-ascending order here so every algorithm returns
+///   the same pairs on tied scores (see join2/two_way_join.h).
+template <typename T, typename Prefer = KeepFirstTie<T>>
 class TopK {
  public:
   struct Entry {
@@ -31,15 +44,20 @@ class TopK {
   /// \param k capacity; must be positive.
   explicit TopK(std::size_t k) : k_(k) { DHTJOIN_CHECK_GT(k, 0u); }
 
-  /// Offers an item; keeps it only if it ranks among the k largest.
-  /// Returns true when the item was retained.
+  /// Offers an item; keeps it only if it ranks among the k largest
+  /// (key-descending, ties broken by Prefer). Returns true when the
+  /// item was retained.
   bool Offer(double key, const T& item) {
     if (heap_.size() < k_) {
       heap_.push_back(Entry{key, item});
       std::push_heap(heap_.begin(), heap_.end(), MinFirst);
       return true;
     }
-    if (key <= heap_.front().key) return false;
+    const Entry& worst = heap_.front();
+    if (key < worst.key ||
+        (key == worst.key && !Prefer()(item, worst.item))) {
+      return false;
+    }
     std::pop_heap(heap_.begin(), heap_.end(), MinFirst);
     heap_.back() = Entry{key, item};
     std::push_heap(heap_.begin(), heap_.end(), MinFirst);
@@ -64,10 +82,13 @@ class TopK {
   std::size_t capacity() const { return k_; }
   void Clear() { heap_.clear(); }
 
-  /// Extracts all retained entries in DESCENDING key order.
+  /// Extracts all retained entries in DESCENDING key order (ties in
+  /// Prefer order).
   std::vector<Entry> TakeSortedDescending() {
-    std::sort(heap_.begin(), heap_.end(),
-              [](const Entry& a, const Entry& b) { return a.key > b.key; });
+    std::sort(heap_.begin(), heap_.end(), [](const Entry& a, const Entry& b) {
+      if (a.key != b.key) return a.key > b.key;
+      return Prefer()(a.item, b.item);
+    });
     return std::move(heap_);
   }
 
@@ -75,8 +96,12 @@ class TopK {
   const std::vector<Entry>& entries() const { return heap_; }
 
  private:
+  /// std heap is a max-heap; this comparator inverts it so the WORST
+  /// retained entry (smallest key; among equals, the one Prefer ranks
+  /// lowest) sits at the root, ready to be displaced.
   static bool MinFirst(const Entry& a, const Entry& b) {
-    return a.key > b.key;  // std heap is max-heap; invert for min-heap
+    if (a.key != b.key) return a.key > b.key;
+    return Prefer()(a.item, b.item);
   }
 
   std::size_t k_;

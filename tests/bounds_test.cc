@@ -134,6 +134,33 @@ TEST(BoundsTest, XUpperBoundFreeFunctionAgrees) {
   }
 }
 
+TEST(BoundsTest, YBoundChargesRealSweepCost) {
+  // The construction sweep runs on the shared adaptive engine; its
+  // edges_relaxed is what walk_steps gets charged. On a walk whose mass
+  // stays inside a small component the sweep must cost far less than
+  // the d dense passes the seed billed (d * |E|), and never more.
+  Graph big = testing::RandomGraph(200, 800, 77);
+  DhtParams p = DhtParams::Lambda(0.2);
+  const int d = 8;
+  {
+    YBoundTable ytable(big, p, d, testing::Range("P", 0, 10),
+                       testing::Range("Q", 50, 60));
+    EXPECT_GT(ytable.edges_relaxed(), 0);
+    EXPECT_LE(ytable.edges_relaxed(),
+              static_cast<int64_t>(d) * big.num_edges());
+  }
+  // Two isolated edges: the sweep from P = {0} touches almost nothing,
+  // so a flat d * |E| would overcount wildly.
+  GraphBuilder b(6);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  ASSERT_TRUE(b.AddEdge(3, 2).ok());
+  Graph tiny = std::move(b.Build()).value();
+  YBoundTable ytable(tiny, p, d, NodeSet("P", {0}), NodeSet("Q", {1}));
+  EXPECT_LT(ytable.edges_relaxed(),
+            static_cast<int64_t>(d) * tiny.num_edges());
+}
+
 TEST(BoundsTest, YBoundCapsProbabilityAtOne) {
   // With many sources, sum_p S_i(p, q) can exceed 1; Theorem 1 clamps it.
   // On the star graph every leaf reaches the hub in one step, so

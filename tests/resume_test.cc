@@ -1,0 +1,410 @@
+/// \file tests/resume_test.cc
+/// \brief Resume-equivalence property tests: continuing a walk from its
+/// current level (or from a saved/restored state, or from a batch
+/// engine's persistent per-target state) must be BIT-identical to a
+/// from-scratch walk of the same depth, under both first-hit (DHT) and
+/// visiting (PPR) semantics — the determinism contract of DESIGN.md §3
+/// that makes resumable deepening byte-safe.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dht/backward.h"
+#include "dht/backward_batch.h"
+#include "dht/forward.h"
+#include "dht/forward_batch.h"
+#include "dht/walker_state.h"
+#include "join2/b_idj.h"
+#include "join2/f_idj.h"
+#include "testing/reference.h"
+
+namespace dhtjoin {
+namespace {
+
+using testing::RandomGraph;
+using testing::Range;
+using testing::StarGraph;
+using testing::TwoCommunityGraph;
+
+std::vector<DhtParams> Semantics() {
+  return {DhtParams::Lambda(0.2), DhtParams::Lambda(0.7),
+          DhtParams::Exponential(), DhtParams::PersonalizedPageRank(0.7)};
+}
+
+// --------------------------------------------------- scalar walkers
+
+TEST(ResumeTest, BackwardSplitAdvanceIsBitIdentical) {
+  Graph g = RandomGraph(45, 140, 41, true, true);
+  for (const DhtParams& p : Semantics()) {
+    for (auto mode : {PropagationMode::kDense, PropagationMode::kSparse,
+                      PropagationMode::kAdaptive}) {
+      BackwardWalker whole(g, mode);
+      BackwardWalker split(g, mode);
+      for (int l : {1, 2, 4}) {
+        whole.Reset(p, 7);
+        whole.Advance(2 * l);
+        split.Reset(p, 7);
+        split.Advance(l);
+        split.Advance(l);
+        for (NodeId u = 0; u < g.num_nodes(); ++u) {
+          // Bit-identical, not merely close: resume must not perturb
+          // the floating-point trajectory.
+          EXPECT_EQ(whole.Score(u), split.Score(u))
+              << "first_hit=" << p.first_hit << " l=" << l << " u=" << u;
+        }
+      }
+    }
+  }
+}
+
+TEST(ResumeTest, ForwardSplitAdvanceIsBitIdentical) {
+  Graph g = RandomGraph(45, 140, 42, false, true);
+  for (const DhtParams& p : Semantics()) {
+    ForwardWalker whole(g);
+    ForwardWalker split(g);
+    for (int l : {1, 3, 4}) {
+      whole.Reset(p, 2, 31);
+      whole.Advance(2 * l);
+      split.Reset(p, 2, 31);
+      split.Advance(l);
+      split.Advance(l);
+      EXPECT_EQ(whole.Score(), split.Score())
+          << "first_hit=" << p.first_hit << " l=" << l;
+      for (int i = 1; i <= 2 * l; ++i) {
+        EXPECT_EQ(whole.HitProbability(i), split.HitProbability(i));
+      }
+    }
+  }
+}
+
+TEST(ResumeTest, BackwardSaveRestoreResumesExactly) {
+  Graph g = TwoCommunityGraph();
+  DhtParams p = DhtParams::Lambda(0.3);
+  BackwardWalker reference(g);
+  reference.Reset(p, 7);
+  reference.Advance(8);
+
+  BackwardWalker walker(g);
+  walker.Reset(p, 7);
+  walker.Advance(3);
+  BackwardWalkerState snapshot;
+  walker.Save(&snapshot);
+  EXPECT_EQ(snapshot.level, 3);
+  EXPECT_EQ(snapshot.target, 7);
+  // Perturb the walker with unrelated targets, then restore.
+  walker.Reset(p, 2);
+  walker.Advance(5);
+  walker.Restore(p, snapshot);
+  EXPECT_EQ(walker.level(), 3);
+  EXPECT_EQ(walker.target(), 7);
+  walker.Advance(5);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(walker.Score(u), reference.Score(u)) << "u=" << u;
+  }
+}
+
+TEST(ResumeTest, ForwardSaveRestoreResumesExactly) {
+  Graph g = TwoCommunityGraph();
+  DhtParams p = DhtParams::PersonalizedPageRank(0.8);  // PPR path too
+  ForwardWalker reference(g);
+  reference.Reset(p, 0, 9);
+  reference.Advance(9);
+
+  ForwardWalker walker(g);
+  walker.Reset(p, 0, 9);
+  walker.Advance(4);
+  ForwardWalkerState snapshot;
+  walker.Save(&snapshot);
+  walker.Reset(p, 3, 6);
+  walker.Advance(2);
+  walker.Restore(p, snapshot);
+  walker.Advance(5);
+  EXPECT_EQ(walker.Score(), reference.Score());
+  EXPECT_EQ(walker.level(), 9);
+  for (int i = 1; i <= 9; ++i) {
+    EXPECT_EQ(walker.HitProbability(i), reference.HitProbability(i));
+  }
+}
+
+// ------------------------------------------------ walker state pool
+
+TEST(ResumeTest, WalkerStatePoolFindsPutAndEvictsLru) {
+  Graph g = StarGraph(16);
+  DhtParams p = DhtParams::Lambda(0.2);
+  BackwardWalker walker(g);
+
+  BackwardWalkerState proto;
+  walker.Reset(p, 1);
+  walker.Advance(2);
+  walker.Save(&proto);
+  const std::size_t per_state = proto.ApproxBytes();
+
+  // Budget for about two states.
+  WalkerStatePool<BackwardWalkerState> pool(2 * per_state + per_state / 2);
+  pool.Put(10, proto);
+  pool.Put(11, proto);
+  EXPECT_EQ(pool.size(), 2u);
+  ASSERT_NE(pool.Find(10), nullptr);  // bump 10 to most-recent
+  pool.Put(12, proto);                // evicts 11, the LRU entry
+  EXPECT_EQ(pool.Find(11), nullptr);
+  EXPECT_NE(pool.Find(10), nullptr);
+  EXPECT_NE(pool.Find(12), nullptr);
+  pool.Erase(10);
+  EXPECT_EQ(pool.Find(10), nullptr);
+  EXPECT_EQ(pool.size(), 1u);
+
+  // A state larger than the whole budget is not retained.
+  WalkerStatePool<BackwardWalkerState> tiny(1);
+  tiny.Put(1, proto);
+  EXPECT_EQ(tiny.Find(1), nullptr);
+}
+
+// ------------------------------------------------- batched backward
+
+TEST(ResumeTest, BackwardBatchResumeMatchesFromScratchBitwise) {
+  Graph g = RandomGraph(50, 170, 43, true, true);
+  std::vector<NodeId> targets = {3, 9, 14, 20, 27, 33, 38, 44, 48};
+  std::vector<std::size_t> slots = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < 25; ++u) sources.push_back(u);
+  for (const DhtParams& p : Semantics()) {
+    BackwardWalkerBatch batch(g);
+    std::vector<double> scratch = batch.Run(p, 8, targets, sources);
+
+    BackwardBatchStates states(targets.size());
+    std::vector<double> resumed(scratch.size());
+    int64_t fresh_total = 0;
+    for (int l : {1, 2, 4, 8}) {  // the IDJ deepening schedule
+      fresh_total += batch.AdvanceChunked(
+          p, l, targets, slots, sources,
+          states, [&](std::size_t i, const double* row) {
+            std::copy(row, row + sources.size(),
+                      resumed.data() + i * sources.size());
+          });
+    }
+    // Every target walked from scratch exactly once, at level 1.
+    EXPECT_EQ(fresh_total, static_cast<int64_t>(targets.size()));
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      EXPECT_EQ(resumed[i], scratch[i]) << "first_hit=" << p.first_hit
+                                        << " i=" << i;
+    }
+  }
+}
+
+TEST(ResumeTest, BackwardBatchResumeRelaxesFewerEdgesThanRestart) {
+  Graph g = RandomGraph(60, 220, 44);
+  DhtParams p = DhtParams::Lambda(0.2);
+  std::vector<NodeId> targets;
+  std::vector<std::size_t> slots;
+  for (NodeId q = 0; q < 24; ++q) {
+    targets.push_back(q);
+    slots.push_back(static_cast<std::size_t>(q));
+  }
+  std::vector<NodeId> sources = {30, 40, 50, 55};
+
+  BackwardWalkerBatch restart(g);
+  BackwardWalkerBatch resume(g);
+  BackwardBatchStates states(targets.size());
+  auto sink = [](std::size_t, const double*) {};
+  for (int l : {1, 2, 4, 8}) {
+    restart.RunChunked(p, l, targets, sources, sink);
+    resume.AdvanceChunked(p, l, targets, slots, sources, states, sink);
+  }
+  // Restart pays 1+2+4+8 = 15 levels of stepping; resume pays 8.
+  EXPECT_LT(resume.edges_relaxed(), restart.edges_relaxed());
+  EXPECT_GT(resume.edges_relaxed(), 0);
+}
+
+TEST(ResumeTest, BackwardBatchEvictionRestartsTransparently) {
+  Graph g = RandomGraph(40, 130, 45);
+  DhtParams p = DhtParams::Exponential();
+  std::vector<NodeId> targets = {1, 5, 9, 13, 17, 21, 25, 29, 33, 37};
+  std::vector<std::size_t> slots;
+  for (std::size_t i = 0; i < targets.size(); ++i) slots.push_back(i);
+  std::vector<NodeId> sources = {0, 2, 4, 6};
+
+  BackwardWalkerBatch batch(g);
+  std::vector<double> scratch = batch.Run(p, 6, targets, sources);
+
+  // A 1-byte budget: every writeback is dropped, every level restarts —
+  // results must not change (only the step count does).
+  BackwardBatchStates starving(targets.size(), 1);
+  std::vector<double> resumed(scratch.size());
+  for (int l : {1, 2, 4, 6}) {
+    batch.AdvanceChunked(p, l, targets, slots, sources, starving,
+                         [&](std::size_t i, const double* row) {
+                           std::copy(row, row + sources.size(),
+                                     resumed.data() + i * sources.size());
+                         });
+  }
+  EXPECT_EQ(starving.bytes(), 0u);
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    EXPECT_EQ(resumed[i], scratch[i]) << "i=" << i;
+  }
+}
+
+TEST(ResumeTest, BackwardBatchDropFreesAndRestarts) {
+  Graph g = TwoCommunityGraph();
+  DhtParams p = DhtParams::Lambda(0.4);
+  std::vector<NodeId> targets = {7, 2};
+  std::vector<std::size_t> slots = {0, 1};
+  std::vector<NodeId> sources = {0, 1, 3};
+  BackwardWalkerBatch batch(g);
+  BackwardBatchStates states(2);
+  auto sink = [](std::size_t, const double*) {};
+  batch.AdvanceChunked(p, 2, targets, slots, sources, states, sink);
+  EXPECT_EQ(states.level(0), 2);
+  EXPECT_GT(states.bytes(), 0u);
+  states.Drop(0);
+  EXPECT_EQ(states.level(0), 0);
+  // Dropped slot restarts; undropped one resumes. Both match scratch.
+  std::vector<double> rows(2 * sources.size());
+  int64_t fresh = batch.AdvanceChunked(
+      p, 4, targets, slots, sources, states,
+      [&](std::size_t i, const double* row) {
+        std::copy(row, row + sources.size(), rows.data() + i * sources.size());
+      });
+  EXPECT_EQ(fresh, 1);
+  std::vector<double> scratch = batch.Run(p, 4, targets, sources);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i], scratch[i]);
+  }
+}
+
+// -------------------------------------------------- batched forward
+
+TEST(ResumeTest, ForwardBatchMatchesScalarWalker) {
+  Graph g = RandomGraph(50, 160, 46, true, true);
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < 21; ++u) sources.push_back(u);  // partial block
+  std::vector<NodeId> targets = {25, 30, 35, 40, 45};
+  for (const DhtParams& p : Semantics()) {
+    ForwardWalkerBatch batch(g);
+    std::vector<double> got = batch.Run(p, 8, sources, targets);
+    ASSERT_EQ(got.size(), sources.size() * targets.size());
+    ForwardWalker walker(g);
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        if (sources[s] == targets[t]) continue;
+        double want = walker.Compute(p, 8, sources[s], targets[t]);
+        // The sorted-support contract makes batch lanes bit-equal to
+        // the scalar engine, not merely 1e-12-close.
+        EXPECT_EQ(got[s * targets.size() + t], want)
+            << "first_hit=" << p.first_hit << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ResumeTest, ForwardBatchChunkedMatchesSingleRun) {
+  Graph g = RandomGraph(40, 120, 47);
+  DhtParams p = DhtParams::Lambda(0.3);
+  std::vector<NodeId> sources = {0, 3, 6, 9, 12, 15, 18, 21, 24, 27};
+  std::vector<NodeId> targets = {30, 33, 36};
+  ForwardWalkerBatch batch(g);
+  std::vector<double> whole = batch.Run(p, 7, sources, targets);
+  std::vector<double> chunked(whole.size(), 0.0);
+  std::vector<int> rows_seen(sources.size(), 0);
+  batch.RunChunked(
+      p, 7, sources, targets,
+      [&](std::size_t s, const double* row) {
+        rows_seen[s]++;
+        std::copy(row, row + targets.size(), &chunked[s * targets.size()]);
+      },
+      /*max_sources_per_run=*/3);
+  for (int seen : rows_seen) EXPECT_EQ(seen, 1);
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(chunked[i], whole[i]) << "i=" << i;
+  }
+}
+
+TEST(ResumeTest, ForwardBatchThreadCountDoesNotChangeResults) {
+  Graph g = RandomGraph(45, 150, 48);
+  DhtParams p = DhtParams::Lambda(0.5);
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < 30; ++u) sources.push_back(u);
+  std::vector<NodeId> targets = {31, 35, 39, 43};
+  ForwardWalkerBatch one(g, {.num_threads = 1});
+  ForwardWalkerBatch four(g, {.num_threads = 4});
+  std::vector<double> a = one.Run(p, 8, sources, targets);
+  std::vector<double> b = four.Run(p, 8, sources, targets);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "i=" << i;
+  }
+  EXPECT_EQ(one.edges_relaxed(), four.edges_relaxed());
+}
+
+TEST(ResumeTest, ForwardBatchPairResumeMatchesFromScratchBitwise) {
+  Graph g = RandomGraph(40, 130, 49, false, true);
+  std::vector<NodeId> sources = {0, 2, 4, 6, 8, 10, 12, 14, 16};
+  NodeId target = 33;
+  std::vector<std::size_t> slots;
+  for (std::size_t i = 0; i < sources.size(); ++i) slots.push_back(i);
+  std::vector<NodeId> target_vec = {target};
+  for (const DhtParams& p : Semantics()) {
+    ForwardWalkerBatch batch(g);
+    std::vector<double> scratch = batch.Run(p, 8, sources, target_vec);
+
+    ForwardBatchStates states(sources.size());
+    std::vector<double> resumed(sources.size());
+    int64_t fresh_total = 0;
+    for (int l : {1, 2, 4, 8}) {
+      fresh_total += batch.AdvancePairs(
+          p, l, sources, slots, target, states,
+          [&](std::size_t i, double s) { resumed[i] = s; });
+    }
+    EXPECT_EQ(fresh_total, static_cast<int64_t>(sources.size()));
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(resumed[i], scratch[i])
+          << "first_hit=" << p.first_hit << " i=" << i;
+    }
+  }
+}
+
+// ------------------------------------------- joins: resume ≡ restart
+
+TEST(ResumeTest, BIdjResumeIsByteIdenticalWithFewerSteps) {
+  Graph g = RandomGraph(60, 200, 51, true, true);
+  DhtParams p = DhtParams::Lambda(0.2);
+  NodeSet P = Range("P", 0, 20);
+  NodeSet Q = Range("Q", 25, 55);
+  for (auto bound : {UpperBoundKind::kX, UpperBoundKind::kY}) {
+    BIdjJoin resumed(BIdjJoin::Options{.bound = bound, .resume = true});
+    BIdjJoin restarted(BIdjJoin::Options{.bound = bound, .resume = false});
+    auto a = resumed.Run(g, p, 8, P, Q, 10);
+    auto b = restarted.Run(g, p, 8, P, Q, 10);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      // operator== compares scores exactly: byte-identical output.
+      EXPECT_EQ((*a)[i], (*b)[i]) << "rank " << i;
+    }
+    EXPECT_LT(resumed.stats().walk_steps, restarted.stats().walk_steps);
+    EXPECT_LE(resumed.stats().walks_started, restarted.stats().walks_started);
+  }
+}
+
+TEST(ResumeTest, FIdjResumeIsByteIdenticalWithFewerSteps) {
+  Graph g = RandomGraph(50, 170, 52, true, true);
+  DhtParams p = DhtParams::Lambda(0.2);
+  NodeSet P = Range("P", 0, 15);
+  NodeSet Q = Range("Q", 20, 40);
+  FIdjJoin resumed(FIdjJoin::Options{.resume = true});
+  FIdjJoin restarted(FIdjJoin::Options{.resume = false});
+  auto a = resumed.Run(g, p, 8, P, Q, 10);
+  auto b = restarted.Run(g, p, 8, P, Q, 10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i], (*b)[i]) << "rank " << i;
+  }
+  EXPECT_LT(resumed.stats().walk_steps, restarted.stats().walk_steps);
+}
+
+}  // namespace
+}  // namespace dhtjoin

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_set>
 #include <vector>
 
 #include "dht/backward.h"
@@ -215,7 +216,11 @@ inline Graph RandomGraph(NodeId n, int64_t edges, uint64_t seed,
   Rng rng(seed);
   int64_t added = 0;
   int64_t guard = 0;
-  std::vector<uint64_t> seen;
+  // Hash-set dedup: membership tests are O(1), so large fixtures stay
+  // linear in |edges|. Same accept/reject sequence as any other exact
+  // membership structure, so graphs are unchanged for a given seed.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(edges) * 2);
   while (added < edges && guard < 500 * edges) {
     ++guard;
     auto u = static_cast<NodeId>(rng.Below(static_cast<uint64_t>(n)));
@@ -223,8 +228,7 @@ inline Graph RandomGraph(NodeId n, int64_t edges, uint64_t seed,
     if (u == v) continue;
     uint64_t key = undirected ? PairKey(std::min(u, v), std::max(u, v))
                               : PairKey(u, v);
-    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
-    seen.push_back(key);
+    if (!seen.insert(key).second) continue;
     double w = weighted ? 1.0 + static_cast<double>(rng.Below(5)) : 1.0;
     DHTJOIN_CHECK(b.AddEdge(u, v, w).ok());
     ++added;
