@@ -1,0 +1,219 @@
+/// \file bench/bench_serving.cc
+/// \brief Serving-path benchmark: a Zipfian repeated-query workload
+/// through DhtJoinService, warm (cross-query ScoreCache) vs cold
+/// (budget-0 cache, every query recomputes).
+///
+/// This is the acceptance harness for the serving layer: it runs the
+/// SAME request stream through both configurations, asserts every warm
+/// answer is byte-identical to its cold answer (and that both match a
+/// fresh BIdjJoin::Run per template — the library cold path), and
+/// gates on warm being >= 2x faster per query. Cache hit rates and the
+/// walk-state pool counters (TwoWayJoinStats::state_*) are printed and
+/// written to BENCH_serving.json for the perf trajectory (committed
+/// dev-box baseline: bench/baselines/BENCH_serving.json).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "join2/b_idj.h"
+#include "serve/session.h"
+#include "serve/workload.h"
+
+using namespace dhtjoin;         // NOLINT
+using namespace dhtjoin::bench;  // NOLINT
+
+namespace {
+
+struct StreamResult {
+  double total_seconds = 0.0;
+  double repeat_seconds = 0.0;  // requests after their template's first
+  std::size_t repeat_requests = 0;
+  int64_t warm_targets = 0;
+  int64_t cold_targets = 0;
+  int64_t walk_steps = 0;
+  int64_t state_hits = 0;
+  int64_t state_misses = 0;
+  int64_t state_evictions = 0;
+  std::vector<std::vector<ScoredPair>> answers;
+};
+
+StreamResult RunStream(serve::DhtJoinService& service,
+                       const serve::ServingWorkload& workload) {
+  StreamResult r;
+  std::vector<char> seen(workload.num_templates, 0);
+  for (const serve::TwoWayRequest& req : workload.requests) {
+    serve::QueryStats qs;
+    auto result = service.TwoWay(req.P, req.Q, req.k, &qs);
+    CheckOk(result.status(), "service TwoWay");
+    r.total_seconds += qs.seconds;
+    if (seen[req.template_id]) {
+      r.repeat_seconds += qs.seconds;
+      r.repeat_requests++;
+    }
+    seen[req.template_id] = 1;
+    r.warm_targets += qs.warm_targets;
+    r.cold_targets += qs.cold_targets;
+    r.walk_steps += qs.join.walk_steps;
+    r.state_hits += qs.join.state_hits;
+    r.state_misses += qs.join.state_misses;
+    r.state_evictions += qs.join.state_evictions;
+    r.answers.push_back(std::move(*result));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  auto ds = MakeDblp();
+  const Graph& g = ds.graph;
+  PaperDefaults defaults;
+  const DhtParams& p = defaults.dht;
+  const int d = defaults.d;
+
+  serve::WorkloadOptions wopts;
+  wopts.num_requests = 120;
+  wopts.num_templates = 12;
+  wopts.zipf_s = 1.0;
+  wopts.set_size = 100;
+  wopts.k = defaults.k;
+  wopts.seed = 29;
+  auto workload =
+      Unwrap(serve::GenerateZipfianTwoWayWorkload(g, ds.areas, wopts),
+             "GenerateZipfianTwoWayWorkload");
+  std::printf("[setup] %zu requests over %zu templates (zipf %.1f, "
+              "|P|=|Q|=%zu, k=%zu)\n",
+              workload.requests.size(), workload.num_templates, wopts.zipf_s,
+              wopts.set_size, wopts.k);
+
+  // Library cold path per template: the byte-identity reference.
+  std::vector<std::vector<ScoredPair>> reference(workload.num_templates);
+  std::vector<char> have_reference(workload.num_templates, 0);
+  for (const serve::TwoWayRequest& req : workload.requests) {
+    if (have_reference[req.template_id]) continue;
+    BIdjJoin join;
+    reference[req.template_id] =
+        Unwrap(join.Run(g, p, d, req.P, req.Q, req.k), "BIdjJoin");
+    have_reference[req.template_id] = 1;
+  }
+
+  serve::DhtJoinService::Options cold_opts;
+  cold_opts.cache_budget_bytes = 0;  // hold nothing: every query is cold
+  cold_opts.num_threads = 1;
+  serve::DhtJoinService cold_service(g, p, d, cold_opts);
+  StreamResult cold = RunStream(cold_service, workload);
+
+  serve::DhtJoinService warm_service(g, p, d,
+                                     serve::DhtJoinService::Options{
+                                         .num_threads = 1});
+  StreamResult warm = RunStream(warm_service, workload);
+
+  // Byte-identity: every warm answer == its cold answer == the fresh
+  // BIdjJoin answer of its template.
+  bool identical = true;
+  for (std::size_t i = 0; i < workload.requests.size(); ++i) {
+    const auto& ref = reference[workload.requests[i].template_id];
+    if (!(warm.answers[i] == cold.answers[i]) || !(warm.answers[i] == ref)) {
+      identical = false;
+      std::fprintf(stderr, "FAIL: answer mismatch at request %zu\n", i);
+      break;
+    }
+  }
+
+  const double n = static_cast<double>(workload.requests.size());
+  const double cold_ms = cold.total_seconds * 1e3 / n;
+  const double warm_ms = warm.total_seconds * 1e3 / n;
+  const double speedup = cold_ms / std::max(warm_ms, 1e-9);
+  const double warm_repeat_ms =
+      warm.repeat_requests == 0
+          ? 0.0
+          : warm.repeat_seconds * 1e3 /
+                static_cast<double>(warm.repeat_requests);
+  serve::CacheStats cache = warm_service.cache_stats();
+  const double hit_rate =
+      cache.hits + cache.misses == 0
+          ? 0.0
+          : static_cast<double>(cache.hits) /
+                static_cast<double>(cache.hits + cache.misses);
+  const double warm_target_rate =
+      warm.warm_targets + warm.cold_targets == 0
+          ? 0.0
+          : static_cast<double>(warm.warm_targets) /
+                static_cast<double>(warm.warm_targets + warm.cold_targets);
+
+  std::printf("\nserving, %zu-request Zipfian stream (DBLP-like, d=%d):\n",
+              workload.requests.size(), d);
+  std::printf("  cold (budget-0 cache):  %8.3f ms/query, %lld walk steps\n",
+              cold_ms, static_cast<long long>(cold.walk_steps));
+  std::printf("  warm (ScoreCache):      %8.3f ms/query, %lld walk steps "
+              "(%.1fx faster)\n",
+              warm_ms, static_cast<long long>(warm.walk_steps), speedup);
+  std::printf("  warm repeats only:      %8.3f ms/query over %zu repeats\n",
+              warm_repeat_ms, warm.repeat_requests);
+  std::printf("  cache: %.1f%% hit rate (%lld hits / %lld misses), "
+              "%lld evictions, %zu entries, %.1f MB resident\n",
+              hit_rate * 1e2, static_cast<long long>(cache.hits),
+              static_cast<long long>(cache.misses),
+              static_cast<long long>(cache.evictions), cache.entries,
+              static_cast<double>(cache.resident_bytes) / (1 << 20));
+  std::printf("  targets resumed warm: %.1f%% (%lld of %lld)\n",
+              warm_target_rate * 1e2,
+              static_cast<long long>(warm.warm_targets),
+              static_cast<long long>(warm.warm_targets + warm.cold_targets));
+  std::printf("  state pools: %lld hits, %lld misses, %lld evictions "
+              "(warm stream)\n",
+              static_cast<long long>(warm.state_hits),
+              static_cast<long long>(warm.state_misses),
+              static_cast<long long>(warm.state_evictions));
+  std::printf("  byte-identical warm == cold == fresh B-IDJ: %s\n",
+              identical ? "yes" : "NO");
+
+  JsonObject doc;
+  doc.Set("bench", std::string("serving"))
+      .Set("dataset", std::string("dblp_like"))
+      .Set("num_nodes", static_cast<int64_t>(g.num_nodes()))
+      .Set("num_edges", g.num_edges())
+      .Set("num_requests", static_cast<int64_t>(workload.requests.size()))
+      .Set("num_templates", static_cast<int64_t>(workload.num_templates))
+      .Set("zipf_s", wopts.zipf_s)
+      .Set("set_size", static_cast<int64_t>(wopts.set_size))
+      .Set("k", static_cast<int64_t>(wopts.k))
+      .Set("d", d)
+      .Set("cold_ms_per_query", cold_ms)
+      .Set("warm_ms_per_query", warm_ms)
+      .Set("warm_repeat_ms_per_query", warm_repeat_ms)
+      .Set("warm_over_cold_speedup", speedup)
+      .Set("cold_walk_steps", cold.walk_steps)
+      .Set("warm_walk_steps", warm.walk_steps)
+      .Set("cache_hit_rate", hit_rate)
+      .Set("cache_hits", cache.hits)
+      .Set("cache_misses", cache.misses)
+      .Set("cache_evictions", cache.evictions)
+      .Set("cache_entries", static_cast<int64_t>(cache.entries))
+      .Set("cache_resident_bytes",
+           static_cast<int64_t>(cache.resident_bytes))
+      .Set("cache_budget_bytes",
+           static_cast<int64_t>(warm_service.cache().max_bytes()))
+      .Set("warm_target_rate", warm_target_rate)
+      .Set("state_hits", warm.state_hits)
+      .Set("state_misses", warm.state_misses)
+      .Set("state_evictions", warm.state_evictions)
+      .Set("byte_identical", std::string(identical ? "true" : "false"));
+  WriteJsonFile("BENCH_serving.json", doc.ToString());
+  std::printf("\nwrote BENCH_serving.json (warm-over-cold: %.1fx, hit rate "
+              "%.1f%%)\n",
+              speedup, hit_rate * 1e2);
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: warm results not byte-identical to cold\n");
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: warm-over-cold speedup %.2fx below the 2x gate\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -33,14 +33,25 @@ Result<std::vector<TupleAnswer>> NestedLoopJoin::Run(
   // recomputed h_d per TUPLE, so a pair shared by many tuples was walked
   // many times; one batched pass per edge keeps NL the same brute-force
   // baseline (every pair walked, no pruning) minus the redundancy.
+  // A serving-cache provider (Options::tables) short-circuits the walks
+  // entirely for edges whose table an earlier query already computed —
+  // byte-equal by the engine's determinism (DESIGN.md §3).
   ForwardWalkerBatch batch(g);
-  std::vector<std::vector<double>> tables(edges.size());
+  std::vector<std::shared_ptr<const std::vector<double>>> tables(edges.size());
   bool budget_exceeded = timer.Seconds() > options_.time_budget_seconds;
   for (std::size_t e = 0; use_tables && e < edges.size() && !budget_exceeded;
        ++e) {
     const NodeSet& L = query.set(edges[e].left);
     const NodeSet& R = query.set(edges[e].right);
-    tables[e].resize(L.size() * R.size());
+    if (options_.tables != nullptr) {
+      auto cached = options_.tables->Fetch(L, R);
+      if (cached != nullptr && cached->size() == L.size() * R.size()) {
+        tables[e] = std::move(cached);
+        stats_.table_hits++;
+        continue;
+      }
+    }
+    auto table = std::make_shared<std::vector<double>>(L.size() * R.size());
     // Small pair slices so the wall-clock budget is enforced between
     // batch runs: one slice (at most kMaxPairsPerSlice walks) is the
     // overshoot bound, standing in for the seed's per-tuple check, and
@@ -63,13 +74,19 @@ Result<std::vector<TupleAnswer>> NestedLoopJoin::Run(
           std::copy(scores.begin() + static_cast<std::ptrdiff_t>(li * tcount),
                     scores.begin() +
                         static_cast<std::ptrdiff_t>((li + 1) * tcount),
-                    tables[e].data() + (sb + li) * R.size() + tb);
+                    table->data() + (sb + li) * R.size() + tb);
         }
         stats_.dht_computations += static_cast<int64_t>(scount * tcount);
         if (timer.Seconds() > options_.time_budget_seconds) {
           budget_exceeded = true;
         }
       }
+    }
+    tables[e] = table;
+    // Only fully-walked tables are offered back; a budget-truncated one
+    // would poison future queries.
+    if (!budget_exceeded && options_.tables != nullptr) {
+      options_.tables->Store(L, R, tables[e]);
     }
   }
 
@@ -95,9 +112,11 @@ Result<std::vector<TupleAnswer>> NestedLoopJoin::Run(
         double score;
         if (use_tables) {
           score =
-              tables[e][tuple_index[static_cast<std::size_t>(edges[e].left)] *
-                            query.set(edges[e].right).size() +
-                        tuple_index[static_cast<std::size_t>(edges[e].right)]];
+              (*tables[e])[tuple_index[static_cast<std::size_t>(
+                               edges[e].left)] *
+                               query.set(edges[e].right).size() +
+                           tuple_index[static_cast<std::size_t>(
+                               edges[e].right)]];
         } else {
           score = walker.Compute(params, d, u, v);
           stats_.dht_computations++;

@@ -18,10 +18,32 @@
 #define DHTJOIN_CORE_NL_JOIN_H_
 
 #include <limits>
+#include <memory>
+#include <vector>
 
 #include "core/nway_join.h"
 
 namespace dhtjoin {
+
+/// Cross-query source of per-edge score tables, implemented by the
+/// serving cache (src/serve/). A fetched table is |L| x |R| row-major
+/// h_d scores for exactly the (L, R, params, d) NL is about to walk;
+/// since the batched forward engine is bit-deterministic (DESIGN.md §3)
+/// a cached table is byte-equal to a recomputed one. Fetch returning
+/// nullptr and Store discarding are both always legal. Implementations
+/// must be thread-safe.
+class EdgeScoreTableProvider {
+ public:
+  virtual ~EdgeScoreTableProvider() = default;
+
+  /// Saved table for query edge (L, R), or nullptr.
+  virtual std::shared_ptr<const std::vector<double>> Fetch(
+      const NodeSet& L, const NodeSet& R) = 0;
+
+  /// Offers a fully-computed table for future queries.
+  virtual void Store(const NodeSet& L, const NodeSet& R,
+                     std::shared_ptr<const std::vector<double>> table) = 0;
+};
 
 class NestedLoopJoin final : public NwayJoin {
  public:
@@ -31,11 +53,16 @@ class NestedLoopJoin final : public NwayJoin {
     /// Ceiling on the batched per-edge score tables (summed over query
     /// edges); above it NL walks per tuple in O(1) memory instead.
     std::size_t max_table_bytes = std::size_t{1} << 30;
+    /// Optional cross-query table source (the serving cache). Must
+    /// outlive the join.
+    EdgeScoreTableProvider* tables = nullptr;
   };
 
   struct Stats {
     int64_t tuples_enumerated = 0;
     int64_t dht_computations = 0;
+    /// Per-edge tables served by Options::tables instead of walked.
+    int64_t table_hits = 0;
     bool completed = false;
   };
 

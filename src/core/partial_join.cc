@@ -24,7 +24,8 @@ Result<std::vector<TupleAnswer>> PartialJoin::Run(
     if (options_.incremental) {
       auto join = IncrementalTwoWayJoin::Create(
           g, params, d, P, Q, options_.m,
-          IncrementalTwoWayJoin::Options{options_.bound});
+          IncrementalTwoWayJoin::Options{.bound = options_.bound,
+                                         .snapshots = options_.snapshots});
       if (!join.ok()) return join.status();
       streams.push_back(std::make_unique<IncrementalPairStream>(
           std::move(join).value()));

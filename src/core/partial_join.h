@@ -22,6 +22,8 @@
 
 namespace dhtjoin {
 
+class BackwardSnapshotProvider;
+
 class PartialJoin final : public NwayJoin {
  public:
   struct Options {
@@ -35,6 +37,9 @@ class PartialJoin final : public NwayJoin {
     /// HRJN*-style adaptive strategy is an extension, see the ablation
     /// bench).
     PullStrategy pull_strategy = PullStrategy::kRoundRobin;
+    /// Cross-query walk-snapshot source for the incremental streams
+    /// (the serving cache; see dht/backward.h). PJ-i only.
+    BackwardSnapshotProvider* snapshots = nullptr;
   };
 
   struct Stats {

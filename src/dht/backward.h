@@ -24,6 +24,7 @@
 #ifndef DHTJOIN_DHT_BACKWARD_H_
 #define DHTJOIN_DHT_BACKWARD_H_
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -45,6 +46,37 @@ struct BackwardWalkerState {
   std::size_t ApproxBytes() const {
     return sizeof(*this) + engine.ApproxBytes() +
            score_delta.capacity() * sizeof(score_delta[0]);
+  }
+};
+
+/// Cross-query source of saved backward walks, implemented by the
+/// serving cache (src/serve/). The provider's key context (graph,
+/// params) is fixed at construction; a fetched state is a walk of
+/// `target` at some depth `state->level` in [1, d] and may be resumed
+/// from exactly that level with bit-identical results (DESIGN.md §3).
+/// Fetch returning nullptr, and Store discarding its argument, are both
+/// always legal — the provider is a cache, not a store of record.
+/// Implementations must be thread-safe: concurrent query sessions share
+/// one provider.
+class BackwardSnapshotProvider {
+ public:
+  virtual ~BackwardSnapshotProvider() = default;
+
+  /// Deepest saved walk of `target`, or nullptr.
+  virtual std::shared_ptr<const BackwardWalkerState> Fetch(NodeId target) = 0;
+
+  /// Offers the walk of `target` for future queries.
+  virtual void Store(NodeId target, BackwardWalkerState state) = 0;
+
+  /// Cheap pre-check: would a Store of `target` at `level` possibly be
+  /// kept? False lets callers skip the snapshot copy entirely (the
+  /// common warm case: the cache already holds an equal-or-deeper
+  /// walk). Advisory only — Store remains the authoritative,
+  /// race-safe arbiter.
+  virtual bool WantsLevel(NodeId target, int level) {
+    (void)target;
+    (void)level;
+    return true;
   }
 };
 

@@ -310,6 +310,7 @@ void BackwardWalkerBatch::AdvanceBlock(BlockState& st, const DhtParams& params,
       slot = std::move(cand);
     } else {
       states.bytes_.fetch_sub(cand.bytes, std::memory_order_relaxed);
+      states.evictions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -343,6 +344,7 @@ int64_t BackwardWalkerBatch::AdvanceRun(const DhtParams& params, int to_level,
     } else {
       DHTJOIN_CHECK_EQ(slot.row.size(), num_sources);
       std::copy(slot.row.begin(), slot.row.end(), row);
+      states.hits_.fetch_add(1, std::memory_order_relaxed);
     }
     if (slot.level < to_level) by_level[slot.level].push_back(i);
   }

@@ -60,6 +60,23 @@
 
 namespace dhtjoin {
 
+/// Portable snapshot of one saved target walk: depth, discount, sparse
+/// mass, and the score row over the pinned source set. The serving
+/// layer (src/serve/) moves these between a query's BackwardBatchStates
+/// and a cross-query cache via Import/Take; the engine itself only ever
+/// sees slots.
+struct BackwardBatchSnapshot {
+  int level = 0;
+  double lambda_pow = 1.0;
+  std::vector<std::pair<NodeId, double>> mass;  // nonzero, ascending node
+  std::vector<double> row;                      // over the pinned sources
+
+  std::size_t ApproxBytes() const {
+    return sizeof(*this) + mass.capacity() * sizeof(mass[0]) +
+           row.capacity() * sizeof(double);
+  }
+};
+
 /// Per-target resumable walk states for BackwardWalkerBatch, indexed by
 /// a caller-stable slot id (B-IDJ uses the target's index within Q).
 /// Retention is best-effort under `max_bytes`: a state that does not fit
@@ -84,8 +101,58 @@ class BackwardBatchStates {
     s = Slot{};
   }
 
+  /// Score row of `slot` over the pinned source set, at depth
+  /// level(slot). Empty when the slot holds no state. Valid until the
+  /// slot is next advanced, dropped, or taken.
+  std::span<const double> Row(std::size_t slot) const {
+    return slots_[slot].row;
+  }
+
+  /// Moves the state of `slot` out into `out`, clearing the slot.
+  /// Returns false (leaving `out` untouched) when the slot is empty.
+  bool Take(std::size_t slot, BackwardBatchSnapshot* out) {
+    Slot& s = slots_[slot];
+    if (s.level == 0) return false;
+    out->level = s.level;
+    out->lambda_pow = s.lambda_pow;
+    out->mass = std::move(s.mass);
+    out->row = std::move(s.row);
+    bytes_.fetch_sub(s.bytes, std::memory_order_relaxed);
+    s = Slot{};
+    return true;
+  }
+
+  /// Copies `snap` into `slot` (replacing any saved state). Returns
+  /// false — slot left empty — when the copy would not fit the budget;
+  /// the walk then simply restarts from scratch, bit-identically.
+  bool Import(std::size_t slot, const BackwardBatchSnapshot& snap) {
+    Drop(slot);
+    if (snap.level == 0) return false;
+    Slot cand;
+    cand.level = snap.level;
+    cand.lambda_pow = snap.lambda_pow;
+    cand.mass = snap.mass;
+    cand.row = snap.row;
+    cand.bytes = cand.ApproxBytes();
+    const std::size_t prev =
+        bytes_.fetch_add(cand.bytes, std::memory_order_relaxed);
+    if (prev + cand.bytes > max_bytes_) {
+      bytes_.fetch_sub(cand.bytes, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[slot] = std::move(cand);
+    return true;
+  }
+
   std::size_t bytes() const {
     return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Observability (TwoWayJoinStats::state_*): walks resumed from a
+  /// saved slot vs snapshots the byte budget forced out at write-back.
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -107,6 +174,8 @@ class BackwardBatchStates {
   std::vector<Slot> slots_;
   std::size_t max_bytes_;
   std::atomic<std::size_t> bytes_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> evictions_{0};
 };
 
 /// Advances many backward walkers at once; see file comment.

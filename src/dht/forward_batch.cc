@@ -186,15 +186,23 @@ int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
   std::map<int, std::vector<std::size_t>> by_level;
   int64_t fresh = 0;
   for (std::size_t i = 0; i < sources.size(); ++i) {
-    const ForwardBatchStates::Slot& slot = states.slots_[slots[i]];
-    DHTJOIN_CHECK_LE(slot.level, to_level);
-    if (slot.level == 0) {
+    const ForwardBatchStates::Slot* slot = states.FindSlot(slots[i]);
+    const int level = slot == nullptr ? 0 : slot->level;
+    DHTJOIN_CHECK_LE(level, to_level);
+    if (level == 0) {
       out[i] = params.beta;
       ++fresh;
     } else {
-      out[i] = slot.score;
+      out[i] = slot->score;
+      states.hits_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (slot.level < to_level) by_level[slot.level].push_back(i);
+    if (level < to_level) {
+      by_level[level].push_back(i);
+      // Materialize the map entry now: the parallel write-back below
+      // only assigns through pre-existing entries, so the hash map is
+      // never structurally mutated from worker threads.
+      if (save_states && slot == nullptr) states.slots_[slots[i]];
+    }
   }
 
   struct Block {
@@ -233,7 +241,7 @@ int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
         }
         slot = 1.0;
       } else {
-        const auto& saved = states.slots_[slots[i]].mass;
+        const auto& saved = states.FindSlot(slots[i])->mass;
         for (const auto& [v, m] : saved) {
           double& slot = st.mass[static_cast<std::size_t>(v) * kW +
                                  static_cast<std::size_t>(b)];
@@ -253,7 +261,7 @@ int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
     double lambda_pow =
         blk.from_level == 0
             ? 1.0
-            : states.slots_[slots[blk.idx[0]]].lambda_pow;
+            : states.FindSlot(slots[blk.idx[0]])->lambda_pow;
 
     for (int step = blk.from_level; step < to_level; ++step) {
       StepLanes(st, width);
@@ -273,7 +281,7 @@ int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
     // advance (save_states off) skips the snapshots entirely.
     for (int b = 0; save_states && b < width; ++b) {
       const std::size_t i = blk.idx[static_cast<std::size_t>(b)];
-      ForwardBatchStates::Slot& slot = states.slots_[slots[i]];
+      ForwardBatchStates::Slot& slot = *states.FindSlot(slots[i]);
       ForwardBatchStates::Slot cand;
       cand.level = to_level;
       cand.lambda_pow = lambda_pow;
@@ -291,12 +299,27 @@ int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
         slot = std::move(cand);
       } else {
         states.bytes_.fetch_sub(cand.bytes, std::memory_order_relaxed);
+        states.evictions_.fetch_add(1, std::memory_order_relaxed);
       }
     }
 
     st.RestoreZeroInvariant();
     ReleaseState(std::move(state));
   });
+
+  // Entries whose write-back was refused by the budget (or that were
+  // only materialized for the parallel phase) hold no state; erase them
+  // so the sparse map never accumulates empty nodes.
+  if (save_states) {
+    for (const auto& [level, idxs] : by_level) {
+      for (std::size_t i : idxs) {
+        auto it = states.slots_.find(slots[i]);
+        if (it != states.slots_.end() && it->second.level == 0) {
+          states.slots_.erase(it);
+        }
+      }
+    }
+  }
   return fresh;
 }
 

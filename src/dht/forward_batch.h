@@ -40,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -50,37 +51,47 @@
 
 namespace dhtjoin {
 
-/// Per-pair resumable walk states for ForwardWalkerBatch, indexed by a
-/// caller-stable slot id (F-IDJ uses source_index * |Q| + target_index).
-/// Retention is best-effort under `max_bytes`: a dropped state restarts
-/// from scratch on the next advance with bit-identical results.
+/// Per-pair resumable walk states for ForwardWalkerBatch, keyed by a
+/// caller-stable slot id (F-IDJ uses source_index * |Q| + target_index,
+/// i.e. a PairKey over the original grid). Storage is a SPARSE hash map:
+/// only pairs that actually saved a state pay anything, so a huge
+/// |P| x |Q| pair space resumes under budget with no upfront dense
+/// allocation (formerly a ROADMAP item). Retention is best-effort under
+/// `max_bytes`: a dropped state restarts from scratch on the next
+/// advance with bit-identical results.
 class ForwardBatchStates {
  public:
-  explicit ForwardBatchStates(std::size_t num_slots,
-                              std::size_t max_bytes = kDefaultMaxBytes)
-      : slots_(num_slots), max_bytes_(max_bytes) {}
+  explicit ForwardBatchStates(std::size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
 
   static constexpr std::size_t kDefaultMaxBytes = std::size_t{256} << 20;
 
-  /// Fixed per-slot overhead of the dense slot grid itself (the saved
-  /// mass vectors are accounted separately, against max_bytes). Callers
-  /// sizing a |P| x |Q| pair grid should check
-  /// num_slots * kSlotOverheadBytes against their budget BEFORE
-  /// constructing — a sparse keyed grid is a ROADMAP item.
-  static std::size_t SlotOverheadBytes() { return sizeof(Slot); }
-
   /// Walked depth of `slot`; 0 means no saved state (fresh or evicted).
-  int level(std::size_t slot) const { return slots_[slot].level; }
+  int level(std::size_t slot) const {
+    const Slot* s = FindSlot(slot);
+    return s == nullptr ? 0 : s->level;
+  }
 
   /// Drops the saved state of `slot` (e.g. a pruned source's pairs).
   void Drop(std::size_t slot) {
-    Slot& s = slots_[slot];
-    bytes_.fetch_sub(s.bytes, std::memory_order_relaxed);
-    s = Slot{};
+    auto it = slots_.find(slot);
+    if (it == slots_.end()) return;
+    bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    slots_.erase(it);
   }
 
   std::size_t bytes() const {
     return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of pairs currently holding a saved state.
+  std::size_t size() const { return slots_.size(); }
+
+  /// Observability (TwoWayJoinStats::state_*): walks resumed from a
+  /// saved state vs snapshots the byte budget forced out at write-back.
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -93,14 +104,32 @@ class ForwardBatchStates {
     std::vector<std::pair<NodeId, double>> mass;  // nonzero, ascending node
     std::size_t bytes = 0;
 
+    /// Includes the hash-map node the slot occupies, so the byte budget
+    /// reflects the sparse container's real footprint.
     std::size_t ApproxBytes() const {
-      return sizeof(*this) + mass.capacity() * sizeof(mass[0]);
+      return sizeof(*this) + kMapEntryOverheadBytes +
+             mass.capacity() * sizeof(mass[0]);
     }
   };
 
-  std::vector<Slot> slots_;
+  /// Rough per-entry cost of an unordered_map node (key, hash link,
+  /// allocator overhead) on mainstream implementations.
+  static constexpr std::size_t kMapEntryOverheadBytes = 64;
+
+  const Slot* FindSlot(std::size_t slot) const {
+    auto it = slots_.find(slot);
+    return it == slots_.end() ? nullptr : &it->second;
+  }
+  Slot* FindSlot(std::size_t slot) {
+    auto it = slots_.find(slot);
+    return it == slots_.end() ? nullptr : &it->second;
+  }
+
+  std::unordered_map<std::size_t, Slot> slots_;
   std::size_t max_bytes_;
   std::atomic<std::size_t> bytes_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> evictions_{0};
 };
 
 /// Advances many forward pair-walkers at once; see file comment.

@@ -18,6 +18,7 @@
 #ifndef DHTJOIN_DHT_WALKER_STATE_H_
 #define DHTJOIN_DHT_WALKER_STATE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
@@ -26,6 +27,29 @@
 #include "util/check.h"
 
 namespace dhtjoin {
+
+/// Autotuned walk-state byte budget for a graph of `num_nodes` nodes.
+///
+/// A saved sparse walk state costs up to ~24 bytes per touched node (a
+/// (node, mass) pair plus its share of the score row), and a walk can
+/// touch every node, so `num_nodes * 24` bounds one saturated snapshot.
+/// The budget leaves room for kAutotuneSnapshotHeadroom of those —
+/// enough for the IDJ schedules' live sets and a serving cache's working
+/// set — clamped so toy graphs still keep a useful pool and huge graphs
+/// do not silently claim the whole machine. Callers treat a configured
+/// budget of 0 as "autotune"; an explicit nonzero budget wins as before.
+inline constexpr std::size_t kAutotuneBytesPerNodeSnapshot = 24;
+inline constexpr std::size_t kAutotuneSnapshotHeadroom = 256;
+
+inline std::size_t AutotuneStateBudgetBytes(int64_t num_nodes) {
+  const std::size_t per_snapshot =
+      static_cast<std::size_t>(std::max<int64_t>(num_nodes, 1)) *
+      kAutotuneBytesPerNodeSnapshot;
+  const std::size_t budget = per_snapshot * kAutotuneSnapshotHeadroom;
+  constexpr std::size_t kMin = std::size_t{64} << 20;   // 64 MB
+  constexpr std::size_t kMax = std::size_t{1} << 30;    // 1 GB
+  return std::clamp(budget, kMin, kMax);
+}
 
 /// Keyed LRU pool of walker snapshots. `State` must expose
 /// ApproxBytes() (BackwardWalkerState, ForwardWalkerState, and the
@@ -44,7 +68,11 @@ class WalkerStatePool {
   /// used) or nullptr. The pointer is valid until the next Put/Erase.
   State* Find(uint64_t key) {
     auto it = index_.find(key);
-    if (it == index_.end()) return nullptr;
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);
     return &it->second->state;
   }
@@ -63,6 +91,7 @@ class WalkerStatePool {
       bytes_ -= victim.bytes;
       index_.erase(victim.key);
       lru_.pop_back();
+      ++evictions_;
     }
   }
 
@@ -84,6 +113,14 @@ class WalkerStatePool {
   std::size_t bytes() const { return bytes_; }
   std::size_t max_bytes() const { return max_bytes_; }
 
+  /// Observability counters, surfaced as TwoWayJoinStats::state_*:
+  /// Find() calls that returned a state / returned nullptr, and entries
+  /// dropped by the byte budget (Erase/Clear are deliberate, not
+  /// evictions).
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t evictions() const { return evictions_; }
+
  private:
   struct Entry {
     uint64_t key;
@@ -93,6 +130,9 @@ class WalkerStatePool {
 
   std::size_t max_bytes_;
   std::size_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
   std::list<Entry> lru_;
   std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index_;
 };

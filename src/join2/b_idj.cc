@@ -5,10 +5,14 @@
 #include <vector>
 
 #include "dht/bounds.h"
+#include "dht/walker_state.h"
 #include "util/top_k.h"
 
 namespace dhtjoin {
 
+// NOTE: serve/session.cc's RunTwoWay carries a cache-aware copy of
+// this schedule (byte-identity between the two is CI-gated); schedule
+// changes here must be mirrored there.
 Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
                                               const DhtParams& params, int d,
                                               const NodeSet& P,
@@ -30,8 +34,10 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   };
 
   BackwardWalkerBatch batch(g);
-  BackwardBatchStates states(options_.resume ? Q.size() : 0,
-                             options_.state_budget_bytes);
+  const std::size_t budget = options_.state_budget_bytes > 0
+                                 ? options_.state_budget_bytes
+                                 : AutotuneStateBudgetBytes(g.num_nodes());
+  BackwardBatchStates states(options_.resume ? Q.size() : 0, budget);
   int64_t batch_edges_seen = 0;
   // Batched l-step walks for the live targets; consume(i, row) receives
   // the |P|-wide score row of live[i]. With resume on, each target
@@ -106,6 +112,12 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
       }
     });
   }
+
+  // Pool observability; all zero on the restart schedule (no pool use).
+  stats_.state_hits = states.hits();
+  stats_.state_misses = options_.resume ? stats_.walks_started : 0;
+  stats_.state_evictions = states.evictions();
+  stats_.state_resident_bytes = static_cast<int64_t>(states.bytes());
 
   std::vector<ScoredPair> out;
   for (auto& entry : best.TakeSortedDescending()) {

@@ -32,8 +32,9 @@ class BIdjJoin final : public TwoWayJoin {
     /// Resume per-target walk states across deepening levels. Off: the
     /// restart schedule (bit-identical output, strictly more steps).
     bool resume = true;
-    /// Byte budget for the per-target states; evictions restart.
-    std::size_t state_budget_bytes = BackwardBatchStates::kDefaultMaxBytes;
+    /// Byte budget for the per-target states; evictions restart. 0 means
+    /// autotune from graph size (AutotuneStateBudgetBytes).
+    std::size_t state_budget_bytes = 0;
   };
 
   BIdjJoin() = default;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "dht/walker_state.h"
 #include "util/top_k.h"
 
 namespace dhtjoin {
@@ -15,17 +16,14 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   stats_.Reset();
 
   ForwardWalkerBatch batch(g);
-  // Pair states are slotted on the ORIGINAL (pi, qi) grid so a source's
-  // slots stay stable as the live set shrinks. The dense grid itself
-  // must fit the budget — on pair spaces where even empty slots would
-  // blow it, fall back to the restart schedule (identical output, see
-  // DESIGN.md §3) instead of allocating gigabytes up front.
-  const bool resume =
-      options_.resume &&
-      P.size() * Q.size() * ForwardBatchStates::SlotOverheadBytes() <=
-          options_.state_budget_bytes;
-  ForwardBatchStates states(resume ? P.size() * Q.size() : 0,
-                            options_.state_budget_bytes);
+  // Pair states are keyed on the ORIGINAL (pi, qi) grid so a source's
+  // slot ids stay stable as the live set shrinks; the map is sparse, so
+  // a huge pair space costs nothing until pairs actually save states.
+  const bool resume = options_.resume;
+  const std::size_t budget = options_.state_budget_bytes > 0
+                                 ? options_.state_budget_bytes
+                                 : AutotuneStateBudgetBytes(g.num_nodes());
+  ForwardBatchStates states(budget);
   int64_t batch_edges_seen = 0;
 
   // live holds ORIGINAL indices into P.
@@ -112,6 +110,12 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
     if (p == q) return;
     if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
   });
+
+  // Pool observability; all zero on the restart schedule (no pool use).
+  stats_.state_hits = states.hits();
+  stats_.state_misses = resume ? stats_.walks_started : 0;
+  stats_.state_evictions = states.evictions();
+  stats_.state_resident_bytes = static_cast<int64_t>(states.bytes());
 
   std::vector<ScoredPair> out;
   for (auto& entry : best.TakeSortedDescending()) {

@@ -29,11 +29,12 @@ class FIdjJoin final : public TwoWayJoin {
   struct Options {
     /// Resume per-pair walk states across deepening levels. Off: the
     /// restart schedule (bit-identical output, strictly more steps).
-    /// Automatically falls back to restart when even the EMPTY |P|x|Q|
-    /// slot grid would exceed state_budget_bytes (huge pair spaces).
+    /// States live in a sparse keyed map, so huge |P| x |Q| pair spaces
+    /// resume under budget with no upfront allocation.
     bool resume = true;
-    /// Byte budget for the per-pair states; evictions restart.
-    std::size_t state_budget_bytes = ForwardBatchStates::kDefaultMaxBytes;
+    /// Byte budget for the per-pair states; evictions restart. 0 means
+    /// autotune from graph size (AutotuneStateBudgetBytes).
+    std::size_t state_budget_bytes = 0;
   };
 
   FIdjJoin() = default;

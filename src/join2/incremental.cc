@@ -22,7 +22,10 @@ IncrementalTwoWayJoin::IncrementalTwoWayJoin(const Graph& g,
       P_(P),
       Q_(Q),
       options_(options),
-      walker_(g) {
+      walker_(g),
+      walker_states_(options.state_budget_bytes > 0
+                         ? options.state_budget_bytes
+                         : AutotuneStateBudgetBytes(g.num_nodes())) {
   if (options_.bound == UpperBoundKind::kY) {
     ybound_ = std::make_unique<YBoundTable>(g, params, d, P, Q);
     // Charge what the S_i(P, q) sweep actually relaxed (it runs on the
@@ -69,27 +72,55 @@ void IncrementalTwoWayJoin::DeepenTarget(std::size_t qi, int new_level) {
   NodeId q = Q_[qi];
   int64_t edges_before = walker_.edges_relaxed();
   // Resume from the target's saved state when the pool still holds it
-  // at the current level; otherwise restart (bit-identical scores by
+  // at the current level; failing that, try the cross-query provider
+  // (the serving cache); otherwise restart (bit-identical scores by
   // DESIGN.md §3, just 2x the steps for that target).
   BackwardWalkerState* saved = walker_states_.Find(static_cast<uint64_t>(qi));
   if (saved != nullptr && saved->level == q_level_[qi] &&
       q_level_[qi] > 0) {
     walker_.Restore(params_, *saved);
     walker_.Advance(new_level - saved->level);
+    stats_.state_hits++;
   } else {
-    walker_.Reset(params_, q);
-    walker_.Advance(new_level);
-    stats_.walks_started++;
+    std::shared_ptr<const BackwardWalkerState> external;
+    if (options_.snapshots != nullptr) {
+      external = options_.snapshots->Fetch(q);
+    }
+    if (external != nullptr && external->target == q && external->level > 0 &&
+        external->level <= new_level) {
+      walker_.Restore(params_, *external);
+      walker_.Advance(new_level - external->level);
+      stats_.state_hits++;
+    } else {
+      walker_.Reset(params_, q);
+      walker_.Advance(new_level);
+      stats_.walks_started++;
+      stats_.state_misses++;
+    }
   }
   stats_.walk_steps += walker_.edges_relaxed() - edges_before;
+  // One Save serves both consumers; the provider copy is skipped
+  // entirely when its cache already holds an equal-or-deeper walk
+  // (WantsLevel — the common warm case).
+  const bool offer = options_.snapshots != nullptr &&
+                     options_.snapshots->WantsLevel(q, new_level);
   if (new_level < d_) {
     BackwardWalkerState snapshot;
     walker_.Save(&snapshot);
+    if (offer) options_.snapshots->Store(q, snapshot);
     walker_states_.Put(static_cast<uint64_t>(qi), std::move(snapshot));
   } else {
-    // Depth d is final for the truncated measure; the state is dead.
+    // Depth d is final for the truncated measure; the local state is
+    // dead (the provider may keep a copy for other queries).
     walker_states_.Erase(static_cast<uint64_t>(qi));
+    if (offer) {
+      BackwardWalkerState snapshot;
+      walker_.Save(&snapshot);
+      options_.snapshots->Store(q, std::move(snapshot));
+    }
   }
+  stats_.state_evictions = walker_states_.evictions();
+  stats_.state_resident_bytes = static_cast<int64_t>(walker_states_.bytes());
 
   const double remainder = Remainder(new_level, qi);
   for (NodeId p : P_) {

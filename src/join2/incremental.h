@@ -50,6 +50,14 @@ class IncrementalTwoWayJoin {
  public:
   struct Options {
     UpperBoundKind bound = UpperBoundKind::kY;
+    /// Byte budget for the per-target resume pool; 0 means autotune
+    /// from graph size (AutotuneStateBudgetBytes).
+    std::size_t state_budget_bytes = 0;
+    /// Optional cross-query snapshot source (the serving cache). On a
+    /// local pool miss, DeepenTarget resumes from the provider's saved
+    /// walk instead of restarting, and offers its own walks back —
+    /// bit-identical either way (DESIGN.md §3). Must outlive the join.
+    BackwardSnapshotProvider* snapshots = nullptr;
   };
 
   /// Prepares the enumerator and runs the top-m deepening schedule.

@@ -100,6 +100,18 @@ struct TwoWayJoinStats {
   /// each deepening iteration (paper Fig. 10(b)).
   std::vector<double> pruned_fraction_per_iteration;
 
+  /// Resume-state pool observability (filled by the IDJ-family runs, the
+  /// incremental enumerator, and the serving executor): walks continued
+  /// from a saved state vs started fresh (never saved, or evicted), and
+  /// snapshots the byte budget forced out. `state_resident_bytes` is the
+  /// pool's footprint when the run finished — together with the budget
+  /// these are the inputs an autotuner needs (see
+  /// AutotuneStateBudgetBytes in dht/walker_state.h).
+  int64_t state_hits = 0;
+  int64_t state_misses = 0;
+  int64_t state_evictions = 0;
+  int64_t state_resident_bytes = 0;
+
   void Reset() { *this = TwoWayJoinStats(); }
 };
 

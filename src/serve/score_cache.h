@@ -1,0 +1,249 @@
+/// \file serve/score_cache.h
+/// \brief Cross-query walk-state / score cache for the serving layer.
+///
+/// Every join in the library is cold today at the process level: NL
+/// rebuilds its per-edge tables per Run(), the IDJ engines' resumable
+/// snapshots die with the join object, and the Y-bound sweep is repaid
+/// per query. ScoreCache is the shared, thread-safe store that lets a
+/// stream of queries amortize all of that: a sharded, byte-budgeted LRU
+/// generalizing dht/walker_state.h's WalkerStatePool, keyed exactly by
+/// everything a payload's bits depend on — graph fingerprint, DhtParams
+/// coefficients, truncation depth d where it matters, walk direction,
+/// and the seed node / seed node sets (see CacheKey).
+///
+/// Keying is EXACT, not probabilistic: besides the 64-bit content
+/// digests used for hashing, a key carries shared_ptr copies of its
+/// seed-set contents and equality compares them element-wise, so a
+/// digest collision can never alias two different queries. Combined
+/// with the engines' sorted-support determinism (DESIGN.md §3 and §6),
+/// this is what makes a warm hit BYTE-safe: a resumed or reused payload
+/// is bit-identical to what a cold query would recompute.
+///
+/// Eviction is always safe (the WalkerStatePool argument): a dropped
+/// entry costs the next query time, never correctness. Entries are
+/// handed out as shared_ptr<const ...>, so a reader holding a payload
+/// is unaffected by concurrent eviction.
+
+#ifndef DHTJOIN_SERVE_SCORE_CACHE_H_
+#define DHTJOIN_SERVE_SCORE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dht/backward.h"
+#include "dht/backward_batch.h"
+#include "dht/bounds.h"
+#include "dht/params.h"
+#include "graph/graph.h"
+
+namespace dhtjoin::serve {
+
+/// Content hash of a graph's CSR (nodes, degrees, targets, probability
+/// bits). Two graphs with equal fingerprints are — for all practical
+/// purposes — the same graph, and any cached walk state computed on one
+/// is valid on the other. O(n + m); compute once per served graph.
+uint64_t GraphFingerprint(const Graph& g);
+
+/// Order-sensitive content digest of a node list (NodeSet::nodes() is
+/// sorted/deduped, so equal sets digest equally). Used for HASHING keys
+/// only; equality always compares contents.
+uint64_t DigestNodes(std::span<const NodeId> nodes);
+
+/// What a cache entry holds; part of the key, so one cache serves all
+/// payload kinds without any chance of cross-kind aliasing.
+enum class CachePayload : uint8_t {
+  kBackwardSnapshot,  ///< scalar BackwardWalkerState of one target
+  kBatchState,        ///< BackwardBatchSnapshot of (target, source set)
+  kEdgeTable,         ///< NL's |L| x |R| forward score table
+  kYBound,            ///< YBoundTable of (P, Q) at depth d
+};
+
+/// Exact cache key. `d` participates only for payloads whose bits
+/// depend on the truncation depth (kEdgeTable, kYBound); level-carrying
+/// walk states (kBackwardSnapshot, kBatchState) set it to 0 so services
+/// running different depths share them. Seed sets are carried by
+/// shared_ptr and compared by CONTENT — the pointers just keep one copy
+/// alive per key instead of one per comparison.
+struct CacheKey {
+  uint64_t graph_fp = 0;
+  CachePayload kind = CachePayload::kBackwardSnapshot;
+  DhtParams params;
+  int d = 0;
+  NodeId seed = kInvalidNode;  ///< seed/target node, when the payload has one
+  std::shared_ptr<const std::vector<NodeId>> set_a;  ///< e.g. P / L
+  std::shared_ptr<const std::vector<NodeId>> set_b;  ///< e.g. Q / R
+  uint64_t digest_a = 0;  ///< DigestNodes(*set_a); 0 when unset
+  uint64_t digest_b = 0;
+
+  bool operator==(const CacheKey& other) const;
+  uint64_t Hash() const;
+};
+
+/// Base of every cached payload; ApproxBytes feeds the byte budget.
+class CacheEntry {
+ public:
+  virtual ~CacheEntry() = default;
+  virtual std::size_t ApproxBytes() const = 0;
+};
+
+/// Scalar backward-walker snapshot (IncrementalTwoWayJoin / PJ-i).
+struct CachedBackwardSnapshot final : CacheEntry {
+  explicit CachedBackwardSnapshot(BackwardWalkerState s)
+      : state(std::move(s)) {}
+  BackwardWalkerState state;
+  std::size_t ApproxBytes() const override {
+    return sizeof(*this) + state.ApproxBytes();
+  }
+};
+
+/// Batched backward walk state of one (target, pinned source set) pair
+/// (the serving two-way executor's unit of warmth).
+struct CachedBatchState final : CacheEntry {
+  explicit CachedBatchState(BackwardBatchSnapshot s) : snap(std::move(s)) {}
+  BackwardBatchSnapshot snap;
+  std::size_t ApproxBytes() const override {
+    return sizeof(*this) + snap.ApproxBytes();
+  }
+};
+
+/// NL's per-edge forward score table (|L| x |R| row-major h_d).
+struct CachedTable final : CacheEntry {
+  explicit CachedTable(std::shared_ptr<const std::vector<double>> t)
+      : table(std::move(t)) {}
+  std::shared_ptr<const std::vector<double>> table;
+  std::size_t ApproxBytes() const override {
+    return sizeof(*this) + (table == nullptr
+                                ? 0
+                                : table->capacity() * sizeof(double));
+  }
+};
+
+/// Y_l^+(P, q) table of one (P, Q, d) triple (B-IDJ-Y's up-front sweep).
+struct CachedYBound final : CacheEntry {
+  explicit CachedYBound(YBoundTable t) : table(std::move(t)) {}
+  YBoundTable table;
+  std::size_t ApproxBytes() const override {
+    // d+1 doubles per target plus vector headers.
+    return sizeof(*this) +
+           static_cast<std::size_t>(table.d() + 1) * sizeof(double) *
+               num_targets_hint +
+           num_targets_hint * sizeof(std::vector<double>);
+  }
+  /// |Q| of the construction, recorded because YBoundTable does not
+  /// expose it; set by the inserter.
+  std::size_t num_targets_hint = 0;
+};
+
+/// Aggregate counters; readable while the cache is in use.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+  std::size_t resident_bytes = 0;
+  std::size_t entries = 0;
+};
+
+/// Sharded, thread-safe, byte-budgeted LRU over CacheKey -> CacheEntry.
+///
+/// Each shard owns an independent mutex, LRU list, and an equal slice
+/// of the byte budget, so concurrent query sessions contend only when
+/// they hash to the same shard. A budget of 0 disables retention
+/// entirely (every Put is immediately evicted) — the "cold" serving
+/// configuration used by benchmarks and the budget-0 equivalence tests.
+class ScoreCache {
+ public:
+  struct Options {
+    /// Total byte budget across shards. 0 = hold nothing.
+    std::size_t max_bytes = std::size_t{256} << 20;
+    /// Power of two recommended; clamped to >= 1.
+    int num_shards = 8;
+  };
+
+  explicit ScoreCache(Options options);
+
+  /// Returns the entry under `key` (bumping it in its shard's LRU) or
+  /// nullptr. The returned pointer keeps the payload alive regardless
+  /// of later eviction.
+  std::shared_ptr<const CacheEntry> Get(const CacheKey& key);
+
+  /// Typed Get; returns nullptr on miss. The key's `kind` field keeps
+  /// payload types disjoint, so the cast cannot mismatch for callers
+  /// that pair kinds and types consistently (all of serve/ does).
+  template <typename T>
+  std::shared_ptr<const T> GetAs(const CacheKey& key) {
+    return std::dynamic_pointer_cast<const T>(Get(key));
+  }
+
+  /// Get without the LRU bump or hit/miss accounting — for write-back
+  /// guards ("is the cached state already deeper than mine?") that
+  /// should not distort serving metrics or recency.
+  std::shared_ptr<const CacheEntry> Peek(const CacheKey& key);
+
+  template <typename T>
+  std::shared_ptr<const T> PeekAs(const CacheKey& key) {
+    return std::dynamic_pointer_cast<const T>(Peek(key));
+  }
+
+  /// Inserts (or replaces) `entry` under `key`, then evicts the shard's
+  /// LRU tail to its budget slice. An entry larger than the slice is
+  /// not retained.
+  void Put(const CacheKey& key, std::shared_ptr<const CacheEntry> entry);
+
+  /// Put, unless `keep_existing(current)` returns true for an entry
+  /// already under `key`. The predicate runs UNDER the shard lock, so
+  /// the decision and the insert are one atomic step — this is how
+  /// deepest-wins write-backs stay deepest-wins when concurrent
+  /// sessions race on one key (DESIGN.md §6).
+  void PutIf(const CacheKey& key, std::shared_ptr<const CacheEntry> entry,
+             const std::function<bool(const CacheEntry&)>& keep_existing);
+
+  void Erase(const CacheKey& key);
+  void Clear();
+
+  CacheStats stats() const;
+  std::size_t max_bytes() const { return options_.max_bytes; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return static_cast<std::size_t>(k.Hash());
+    }
+  };
+
+  struct Node {
+    CacheKey key;
+    std::shared_ptr<const CacheEntry> entry;
+    std::size_t bytes = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Node> lru;  // front = most recent
+    std::unordered_map<CacheKey, std::list<Node>::iterator, KeyHash> index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+
+  Options options_;
+  std::size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> insertions_{0};
+  std::atomic<int64_t> evictions_{0};
+};
+
+}  // namespace dhtjoin::serve
+
+#endif  // DHTJOIN_SERVE_SCORE_CACHE_H_

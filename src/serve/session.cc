@@ -1,0 +1,376 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dht/backward_batch.h"
+#include "dht/walker_state.h"
+#include "util/timer.h"
+
+namespace dhtjoin::serve {
+
+/// BackwardSnapshotProvider over the cache: scalar walk snapshots are
+/// keyed by target only (besides graph/params), so ANY query — 2-way or
+/// n-way, any P/Q — that deepens the same target resumes the deepest
+/// walk any earlier query left behind.
+class DhtJoinService::SnapshotAdapter final : public BackwardSnapshotProvider {
+ public:
+  explicit SnapshotAdapter(DhtJoinService* service) : service_(service) {}
+
+  std::shared_ptr<const BackwardWalkerState> Fetch(NodeId target) override {
+    CacheKey key = service_->BaseKey(CachePayload::kBackwardSnapshot);
+    key.seed = target;
+    auto entry = service_->cache_.GetAs<CachedBackwardSnapshot>(key);
+    if (entry == nullptr) return nullptr;
+    // Aliasing shared_ptr: the state lives exactly as long as the entry.
+    return {entry, &entry->state};
+  }
+
+  void Store(NodeId target, BackwardWalkerState state) override {
+    CacheKey key = service_->BaseKey(CachePayload::kBackwardSnapshot);
+    key.seed = target;
+    const int level = state.level;
+    // Never replace a deeper walk with a shallower one: depth only ever
+    // helps the next query, and both are byte-safe to resume. PutIf
+    // decides under the shard lock, so racing sessions converge on the
+    // deepest walk either of them did (DESIGN.md §6).
+    service_->cache_.PutIf(
+        key, std::make_shared<CachedBackwardSnapshot>(std::move(state)),
+        [level](const serve::CacheEntry& existing) {
+          return static_cast<const CachedBackwardSnapshot&>(existing)
+                     .state.level >= level;
+        });
+  }
+
+  bool WantsLevel(NodeId target, int level) override {
+    CacheKey key = service_->BaseKey(CachePayload::kBackwardSnapshot);
+    key.seed = target;
+    auto existing = service_->cache_.PeekAs<CachedBackwardSnapshot>(key);
+    return existing == nullptr || existing->state.level < level;
+  }
+
+ private:
+  DhtJoinService* service_;
+};
+
+/// EdgeScoreTableProvider over the cache: NL's per-edge |L| x |R| score
+/// tables, keyed by both operand sets and d.
+class DhtJoinService::TableAdapter final : public EdgeScoreTableProvider {
+ public:
+  explicit TableAdapter(DhtJoinService* service) : service_(service) {}
+
+  std::shared_ptr<const std::vector<double>> Fetch(
+      const NodeSet& L, const NodeSet& R) override {
+    auto entry = service_->cache_.GetAs<CachedTable>(Key(L, R));
+    return entry == nullptr ? nullptr : entry->table;
+  }
+
+  void Store(const NodeSet& L, const NodeSet& R,
+             std::shared_ptr<const std::vector<double>> table) override {
+    service_->cache_.Put(Key(L, R),
+                         std::make_shared<CachedTable>(std::move(table)));
+  }
+
+ private:
+  CacheKey Key(const NodeSet& L, const NodeSet& R) const {
+    CacheKey key = service_->BaseKey(CachePayload::kEdgeTable);
+    key.d = service_->d_;
+    key.set_a = std::make_shared<const std::vector<NodeId>>(L.nodes());
+    key.set_b = std::make_shared<const std::vector<NodeId>>(R.nodes());
+    key.digest_a = DigestNodes(*key.set_a);
+    key.digest_b = DigestNodes(*key.set_b);
+    return key;
+  }
+
+  DhtJoinService* service_;
+};
+
+DhtJoinService::DhtJoinService(const Graph& g, const DhtParams& params, int d,
+                               Options options)
+    : g_(g),
+      params_(params),
+      d_(d),
+      options_(options),
+      graph_fp_(GraphFingerprint(g)),
+      per_query_state_budget_(AutotuneStateBudgetBytes(g.num_nodes())),
+      cache_(ScoreCache::Options{
+          .max_bytes = options.cache_budget_bytes == kAutotuneBudget
+                           ? AutotuneStateBudgetBytes(g.num_nodes())
+                           : options.cache_budget_bytes,
+          .num_shards = options.cache_shards}),
+      pool_(options.num_threads > 0 ? options.num_threads
+                                    : ThreadPool::DefaultThreadCount()),
+      snapshots_(std::make_unique<SnapshotAdapter>(this)),
+      tables_(std::make_unique<TableAdapter>(this)) {}
+
+DhtJoinService::DhtJoinService(const Graph& g, const DhtParams& params, int d)
+    : DhtJoinService(g, params, d, Options()) {}
+
+DhtJoinService::~DhtJoinService() { Drain(); }
+
+void DhtJoinService::Drain() { pool_.Wait(); }
+
+CacheKey DhtJoinService::BaseKey(CachePayload kind) const {
+  CacheKey key;
+  key.graph_fp = graph_fp_;
+  key.kind = kind;
+  key.params = params_;
+  return key;
+}
+
+Result<std::vector<ScoredPair>> DhtJoinService::TwoWay(const NodeSet& P,
+                                                       const NodeSet& Q,
+                                                       std::size_t k,
+                                                       QueryStats* stats) {
+  return RunTwoWay(P, Q, k, stats);
+}
+
+/// The cache-aware B-IDJ (see the file comment of session.h and
+/// DESIGN.md §6 for why the warm path is byte-identical to cold):
+/// targets deepen through the usual l = 1, 2, 4, ..., d schedule, but a
+/// target whose imported state already sits at level >= l just reads
+/// its stored row — the prune test uses the remainder bound of the
+/// ACTUAL level, which is valid (tighter) by monotonicity (§1).
+///
+/// MAINTENANCE: this is a second copy of join2/b_idj.cc's Algorithm-2
+/// schedule (same offer guard `s > beta`, same `q_upper >= tk` prune,
+/// same FinalizePairs), deliberately diverging only in the cache
+/// import/export, the mixed-level scoring, keeping pruned targets'
+/// states, and saving the final pass. Any change to B-IDJ's schedule
+/// must be mirrored here; the `warm == cold == BIdjJoin::Run`
+/// byte-identity gates in tests/serve_test.cc and bench_serving (CI)
+/// fail loudly on drift. Folding both into one parameterized schedule
+/// is a ROADMAP item.
+Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
+                                                          const NodeSet& Q,
+                                                          std::size_t k,
+                                                          QueryStats* out) {
+  DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g_, params_, d_, P, Q, k));
+  WallTimer timer;
+  QueryStats qs;
+
+  auto p_nodes = std::make_shared<const std::vector<NodeId>>(P.nodes());
+  auto q_nodes = std::make_shared<const std::vector<NodeId>>(Q.nodes());
+  const uint64_t p_digest = DigestNodes(*p_nodes);
+
+  // Y-bound table: cached whole per (P, Q, d).
+  std::shared_ptr<const CachedYBound> ybound;
+  if (options_.bound == UpperBoundKind::kY) {
+    CacheKey ykey = BaseKey(CachePayload::kYBound);
+    ykey.d = d_;
+    ykey.set_a = p_nodes;
+    ykey.set_b = q_nodes;
+    ykey.digest_a = p_digest;
+    ykey.digest_b = DigestNodes(*q_nodes);
+    ybound = cache_.GetAs<CachedYBound>(ykey);
+    if (ybound == nullptr) {
+      auto fresh = std::make_shared<CachedYBound>(
+          YBoundTable(g_, params_, d_, P, Q));
+      fresh->num_targets_hint = Q.size();
+      qs.join.walk_steps += fresh->table.edges_relaxed();
+      cache_.Put(ykey, fresh);
+      ybound = std::move(fresh);
+    } else {
+      qs.ybound_cached = true;
+    }
+  }
+  auto remainder = [&](int l, std::size_t qi) {
+    return options_.bound == UpperBoundKind::kY ? ybound->table.Bound(l, qi)
+                                                : params_.XBound(l);
+  };
+
+  auto batch_key = [&](std::size_t qi) {
+    CacheKey key = BaseKey(CachePayload::kBatchState);
+    key.seed = Q[qi];
+    key.set_a = p_nodes;
+    key.digest_a = p_digest;
+    return key;
+  };
+
+  // Import each target's deepest cached walk state (level <= d, row
+  // pinned to exactly this P — the key guarantees both).
+  BackwardWalkerBatch batch(g_, {.num_threads = 1});
+  BackwardBatchStates states(Q.size(), per_query_state_budget_);
+  std::vector<int> imported_level(Q.size(), 0);
+  for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+    auto entry = cache_.GetAs<CachedBatchState>(batch_key(qi));
+    if (entry != nullptr && entry->snap.level <= d_ &&
+        entry->snap.row.size() == P.size() &&
+        states.Import(qi, entry->snap)) {
+      imported_level[qi] = entry->snap.level;
+      ++qs.warm_targets;
+    }
+  }
+  qs.cold_targets = static_cast<int64_t>(Q.size()) - qs.warm_targets;
+
+  int64_t batch_edges_seen = 0;
+  // Advances the subset of live targets still below level l, then hands
+  // EVERY live target's row to score_row(live_pos, row, row_level):
+  // advanced targets through the batch consume callback (at exactly l),
+  // already-deep targets straight from their stored rows (at their own
+  // level >= l — the valid, tighter bound).
+  auto walk_live = [&](const std::vector<std::size_t>& live, int l, bool save,
+                       auto&& score_row) {
+    std::vector<char> advanced(live.size(), 0);
+    std::vector<std::size_t> need_pos;
+    std::vector<NodeId> need_nodes;
+    std::vector<std::size_t> need_slots;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (states.level(live[i]) < l) {
+        advanced[i] = 1;
+        need_pos.push_back(i);
+        need_nodes.push_back(Q[live[i]]);
+        need_slots.push_back(live[i]);
+      }
+    }
+    if (!need_nodes.empty()) {
+      qs.join.walks_started += batch.AdvanceChunked(
+          params_, l, need_nodes, need_slots, *p_nodes, states,
+          [&](std::size_t i, const double* row) {
+            score_row(need_pos[i], row, l);
+          },
+          save);
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (!advanced[i]) {
+        score_row(i, states.Row(live[i]).data(), states.level(live[i]));
+      }
+    }
+    qs.join.walk_steps += batch.edges_relaxed() - batch_edges_seen;
+    batch_edges_seen = batch.edges_relaxed();
+  };
+
+  std::vector<std::size_t> live(Q.size());
+  for (std::size_t qi = 0; qi < Q.size(); ++qi) live[qi] = qi;
+  qs.join.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+
+  for (int l = 1; l < d_; l *= 2) {
+    PairTopK bounds(k);
+    std::vector<double> q_upper(live.size());
+    walk_live(live, l, /*save=*/true,
+              [&](std::size_t i, const double* row, int row_level) {
+                NodeId q = Q[live[i]];
+                double pmax = params_.beta;
+                for (std::size_t pi = 0; pi < P.size(); ++pi) {
+                  NodeId p = P[pi];
+                  if (p == q) continue;
+                  double s = row[pi];
+                  if (s > params_.beta) {
+                    bounds.Offer(s, ScoredPair{p, q, s});
+                    if (s > pmax) pmax = s;
+                  }
+                }
+                q_upper[i] = pmax + remainder(row_level, live[i]);
+              });
+    double tk = bounds.Threshold();
+    std::vector<std::size_t> survivors;
+    survivors.reserve(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      // Pruned targets KEEP their states — they are this query's gift
+      // to the cache, not dead weight (contrast BIdjJoin, which drops
+      // them because its states die with the run).
+      if (q_upper[i] >= tk) survivors.push_back(live[i]);
+    }
+    qs.join.pruned_fraction_per_iteration.push_back(
+        1.0 - static_cast<double>(survivors.size()) /
+                  static_cast<double>(Q.size()));
+    live.swap(survivors);
+    qs.join.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+  }
+
+  // Final exact-d pass. States are saved (unlike BIdjJoin's final pass)
+  // because a level-d row is the best possible warm start: an exactly
+  // repeated query reads every row with zero walk steps.
+  PairTopK best(k);
+  if (!live.empty()) {
+    walk_live(live, d_, /*save=*/true,
+              [&](std::size_t i, const double* row, int /*row_level*/) {
+                NodeId q = Q[live[i]];
+                for (std::size_t pi = 0; pi < P.size(); ++pi) {
+                  NodeId p = P[pi];
+                  if (p == q) continue;
+                  double s = row[pi];
+                  if (s > params_.beta) best.Offer(s, ScoredPair{p, q, s});
+                }
+              });
+  }
+
+  // Write back every state that got deeper than what the cache gave
+  // us. PutIf keeps the deepest walk under the shard lock when
+  // concurrent sessions race on one target (DESIGN.md §6).
+  for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+    if (states.level(qi) <= imported_level[qi]) continue;
+    BackwardBatchSnapshot snap;
+    if (states.Take(qi, &snap)) {
+      const int level = snap.level;
+      cache_.PutIf(batch_key(qi),
+                   std::make_shared<CachedBatchState>(std::move(snap)),
+                   [level](const CacheEntry& existing) {
+                     return static_cast<const CachedBatchState&>(existing)
+                                .snap.level >= level;
+                   });
+    }
+  }
+
+  qs.join.state_hits = states.hits();
+  qs.join.state_misses = qs.join.walks_started;
+  qs.join.state_evictions = states.evictions();
+  qs.join.state_resident_bytes = static_cast<int64_t>(states.bytes());
+
+  std::vector<ScoredPair> result;
+  for (auto& entry : best.TakeSortedDescending()) {
+    result.push_back(entry.item);
+  }
+  FinalizePairs(result, k);
+  qs.seconds = timer.Seconds();
+  if (out != nullptr) *out = std::move(qs);
+  return result;
+}
+
+Result<std::vector<TupleAnswer>> DhtJoinService::Nway(const QueryGraph& query,
+                                                      const Aggregate& f,
+                                                      std::size_t k,
+                                                      NwayAlgo algo,
+                                                      QueryStats* out) {
+  WallTimer timer;
+  QueryStats qs;
+  Result<std::vector<TupleAnswer>> result =
+      Status::Internal("nway: unreachable");
+  if (algo == NwayAlgo::kNestedLoop) {
+    NestedLoopJoin join(NestedLoopJoin::Options{.tables = tables_.get()});
+    result = join.Run(g_, params_, d_, query, f, k);
+    qs.table_hits = join.stats().table_hits;
+  } else {
+    PartialJoin join(PartialJoin::Options{.incremental = true,
+                                          .bound = options_.bound,
+                                          .snapshots = snapshots_.get()});
+    result = join.Run(g_, params_, d_, query, f, k);
+  }
+  qs.seconds = timer.Seconds();
+  if (out != nullptr) *out = std::move(qs);
+  return result;
+}
+
+std::future<Result<std::vector<ScoredPair>>> DhtJoinService::SubmitTwoWay(
+    NodeSet P, NodeSet Q, std::size_t k) {
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<ScoredPair>>>>();
+  auto future = promise->get_future();
+  pool_.Submit([this, promise, P = std::move(P), Q = std::move(Q), k] {
+    promise->set_value(TwoWay(P, Q, k));
+  });
+  return future;
+}
+
+std::future<Result<std::vector<TupleAnswer>>> DhtJoinService::SubmitNway(
+    QueryGraph query, const Aggregate& f, std::size_t k, NwayAlgo algo) {
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<TupleAnswer>>>>();
+  auto future = promise->get_future();
+  pool_.Submit([this, promise, query = std::move(query), &f, k, algo] {
+    promise->set_value(Nway(query, f, k, algo));
+  });
+  return future;
+}
+
+}  // namespace dhtjoin::serve

@@ -1,0 +1,146 @@
+/// \file serve/session.h
+/// \brief DhtJoinService — concurrent query sessions over one graph,
+/// sharing one cross-query ScoreCache.
+///
+/// The service owns a Graph (by reference), fixed measure parameters
+/// (params, d), a ScoreCache, and a ThreadPool. Queries run either
+/// synchronously (TwoWay / Nway) or as concurrent sessions on the pool
+/// (SubmitTwoWay / SubmitNway); any number may be in flight at once —
+/// the cache is sharded and every per-query engine is private to its
+/// session.
+///
+/// The two-way executor is a cache-aware B-IDJ: per-target batched
+/// backward walk states (BackwardBatchSnapshot) are imported from the
+/// cache before the deepening schedule and exported after it, so a warm
+/// query RESUMES every target at its deepest previously-walked level —
+/// an exactly repeated query does near-zero walk work — while a cold
+/// query runs the ordinary schedule. Warm and cold results are
+/// byte-identical (DESIGN.md §6). The Y-bound table of each (P, Q) is
+/// cached whole. N-way queries route NL's per-edge tables and PJ-i's
+/// backward walk snapshots through the same cache via the provider
+/// hooks in core/nl_join.h and dht/backward.h.
+
+#ifndef DHTJOIN_SERVE_SESSION_H_
+#define DHTJOIN_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/nl_join.h"
+#include "core/partial_join.h"
+#include "join2/two_way_join.h"
+#include "serve/score_cache.h"
+#include "util/thread_pool.h"
+
+namespace dhtjoin::serve {
+
+/// Per-query observability, filled by the executing session.
+struct QueryStats {
+  double seconds = 0.0;
+  /// Two-way: targets resumed from cached batch states vs started cold.
+  int64_t warm_targets = 0;
+  int64_t cold_targets = 0;
+  /// Two-way with the Y bound: whether the (P, Q) sweep was cached.
+  bool ybound_cached = false;
+  /// N-way NL: per-edge tables served from the cache.
+  int64_t table_hits = 0;
+  /// Walk/pool counters of the underlying executor.
+  TwoWayJoinStats join;
+};
+
+/// A serving endpoint for one graph + one measure configuration.
+/// Thread-safe: all public methods may be called concurrently.
+class DhtJoinService {
+ public:
+  /// Sentinel for Options::cache_budget_bytes: derive the budget from
+  /// the graph (AutotuneStateBudgetBytes). An explicit 0 disables
+  /// retention — every query runs cold (used by benches and tests).
+  static constexpr std::size_t kAutotuneBudget =
+      std::numeric_limits<std::size_t>::max();
+
+  struct Options {
+    std::size_t cache_budget_bytes = kAutotuneBudget;
+    int cache_shards = 8;
+    /// Worker threads for Submit* sessions; 0 = hardware concurrency.
+    int num_threads = 0;
+    /// Remainder bound of the two-way executor (paper uses Y).
+    UpperBoundKind bound = UpperBoundKind::kY;
+  };
+
+  /// The graph must outlive the service. O(n + m) once for the
+  /// fingerprint that keys every cache entry.
+  DhtJoinService(const Graph& g, const DhtParams& params, int d,
+                 Options options);
+  DhtJoinService(const Graph& g, const DhtParams& params, int d);
+  ~DhtJoinService();
+
+  DhtJoinService(const DhtJoinService&) = delete;
+  DhtJoinService& operator=(const DhtJoinService&) = delete;
+
+  /// Top-k 2-way join of (P, Q) — results identical to
+  /// BIdjJoin(options.bound).Run on a cold library, whatever the cache
+  /// holds (DESIGN.md §6).
+  Result<std::vector<ScoredPair>> TwoWay(const NodeSet& P, const NodeSet& Q,
+                                         std::size_t k,
+                                         QueryStats* stats = nullptr);
+
+  enum class NwayAlgo {
+    kPartialJoinIncremental,  ///< PJ-i, walk snapshots through the cache
+    kNestedLoop,              ///< NL, per-edge tables through the cache
+  };
+
+  /// Top-k n-way join; `f` must outlive the call (and, for SubmitNway,
+  /// the returned future).
+  Result<std::vector<TupleAnswer>> Nway(const QueryGraph& query,
+                                        const Aggregate& f, std::size_t k,
+                                        NwayAlgo algo =
+                                            NwayAlgo::kPartialJoinIncremental,
+                                        QueryStats* stats = nullptr);
+
+  /// Asynchronous sessions: the query runs on the service pool; the
+  /// future carries the same result TwoWay/Nway would return.
+  std::future<Result<std::vector<ScoredPair>>> SubmitTwoWay(NodeSet P,
+                                                            NodeSet Q,
+                                                            std::size_t k);
+  std::future<Result<std::vector<TupleAnswer>>> SubmitNway(
+      QueryGraph query, const Aggregate& f, std::size_t k,
+      NwayAlgo algo = NwayAlgo::kPartialJoinIncremental);
+
+  /// Blocks until every submitted session has finished.
+  void Drain();
+
+  const Graph& graph() const { return g_; }
+  const DhtParams& params() const { return params_; }
+  int d() const { return d_; }
+  uint64_t graph_fingerprint() const { return graph_fp_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  ScoreCache& cache() { return cache_; }
+
+ private:
+  class SnapshotAdapter;  // BackwardSnapshotProvider over the cache
+  class TableAdapter;     // EdgeScoreTableProvider over the cache
+
+  CacheKey BaseKey(CachePayload kind) const;
+
+  Result<std::vector<ScoredPair>> RunTwoWay(const NodeSet& P,
+                                            const NodeSet& Q, std::size_t k,
+                                            QueryStats* stats);
+
+  const Graph& g_;
+  DhtParams params_;
+  int d_;
+  Options options_;
+  uint64_t graph_fp_;
+  std::size_t per_query_state_budget_;
+  ScoreCache cache_;
+  ThreadPool pool_;
+  std::unique_ptr<SnapshotAdapter> snapshots_;
+  std::unique_ptr<TableAdapter> tables_;
+};
+
+}  // namespace dhtjoin::serve
+
+#endif  // DHTJOIN_SERVE_SESSION_H_

@@ -1,0 +1,78 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace dhtjoin::serve {
+
+Result<ServingWorkload> GenerateZipfianTwoWayWorkload(
+    const Graph& g, const std::vector<NodeSet>& sets,
+    const WorkloadOptions& opts) {
+  if (sets.size() < 2) {
+    return Status::InvalidArgument(
+        "workload needs at least two node sets to draw templates from");
+  }
+  if (opts.num_requests == 0 || opts.num_templates == 0) {
+    return Status::InvalidArgument(
+        "num_requests and num_templates must be positive");
+  }
+  if (opts.k == 0) return Status::InvalidArgument("k must be positive");
+  for (const NodeSet& s : sets) DHTJOIN_RETURN_NOT_OK(s.Validate(g));
+
+  Rng rng(opts.seed);
+
+  // Template pool: distinct ordered (left, right) set pairs, trimmed to
+  // the top-degree members so operand sizes are uniform across
+  // templates. With few sets the pool is capped by the number of
+  // distinct ordered pairs.
+  struct Template {
+    NodeSet P, Q;
+  };
+  std::vector<Template> pool;
+  std::vector<std::pair<std::size_t, std::size_t>> used;
+  const std::size_t max_distinct = sets.size() * (sets.size() - 1);
+  const std::size_t want = std::min(opts.num_templates, max_distinct);
+  while (pool.size() < want) {
+    std::size_t a = rng.Below(sets.size());
+    std::size_t b = rng.Below(sets.size() - 1);
+    if (b >= a) ++b;  // distinct sets
+    if (std::find(used.begin(), used.end(), std::make_pair(a, b)) !=
+        used.end()) {
+      continue;
+    }
+    used.emplace_back(a, b);
+    Template t;
+    t.P = opts.set_size > 0 ? sets[a].TopByDegree(g, opts.set_size) : sets[a];
+    t.Q = opts.set_size > 0 ? sets[b].TopByDegree(g, opts.set_size) : sets[b];
+    pool.push_back(std::move(t));
+  }
+
+  // Zipf CDF over template ranks: weight(rank j) = 1 / (j + 1)^s.
+  std::vector<double> cdf(pool.size());
+  double total = 0.0;
+  for (std::size_t j = 0; j < pool.size(); ++j) {
+    total += std::pow(static_cast<double>(j + 1), -opts.zipf_s);
+    cdf[j] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  ServingWorkload workload;
+  workload.num_templates = pool.size();
+  workload.frequency.assign(pool.size(), 0);
+  workload.requests.reserve(opts.num_requests);
+  for (std::size_t r = 0; r < opts.num_requests; ++r) {
+    const double u = rng.NextDouble();
+    const std::size_t j = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const std::size_t id = std::min(j, pool.size() - 1);
+    workload.requests.push_back(
+        TwoWayRequest{pool[id].P, pool[id].Q, opts.k, id});
+    workload.frequency[id]++;
+  }
+  return workload;
+}
+
+}  // namespace dhtjoin::serve

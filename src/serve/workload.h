@@ -1,0 +1,66 @@
+/// \file serve/workload.h
+/// \brief Zipfian repeated-query workload generation for the serving
+/// bench and the CLI's serve mode.
+///
+/// Real serving traffic is heavily skewed: a few queries (popular
+/// entity pairs, dashboard refreshes) dominate the stream, with a long
+/// tail of one-off requests. That skew is exactly what a cross-query
+/// cache monetizes, so the serving bench drives DhtJoinService with a
+/// workload drawn from a Zipf(s) distribution over a fixed pool of
+/// query templates: rank-j's template is requested with probability
+/// proportional to 1/(j+1)^s. s = 0 degenerates to uniform (worst case
+/// for the cache), s ~ 1 is the classic web-traffic shape.
+
+#ifndef DHTJOIN_SERVE_WORKLOAD_H_
+#define DHTJOIN_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/node_set.h"
+#include "util/status.h"
+
+namespace dhtjoin::serve {
+
+/// One 2-way request of a serving stream.
+struct TwoWayRequest {
+  NodeSet P;
+  NodeSet Q;
+  std::size_t k = 50;
+  /// Which template produced this request (requests from one template
+  /// are identical, so they are the cache's best case).
+  std::size_t template_id = 0;
+};
+
+struct ServingWorkload {
+  std::vector<TwoWayRequest> requests;
+  std::size_t num_templates = 0;
+  /// requests drawn per template, by template id.
+  std::vector<int64_t> frequency;
+};
+
+struct WorkloadOptions {
+  std::size_t num_requests = 200;
+  /// Distinct query templates in the pool.
+  std::size_t num_templates = 16;
+  /// Zipf skew exponent (0 = uniform).
+  double zipf_s = 1.0;
+  /// Operand size: each template trims its node sets to the
+  /// `set_size` highest-degree members (0 = whole sets).
+  std::size_t set_size = 100;
+  std::size_t k = 50;
+  uint64_t seed = 17;
+};
+
+/// Builds a Zipfian 2-way workload over ordered pairs of the given node
+/// sets (distinct sets per template; templates deduplicated).
+/// Deterministic in opts.seed. Fails when `sets` has fewer than two
+/// sets or a requested count is zero.
+Result<ServingWorkload> GenerateZipfianTwoWayWorkload(
+    const Graph& g, const std::vector<NodeSet>& sets,
+    const WorkloadOptions& opts);
+
+}  // namespace dhtjoin::serve
+
+#endif  // DHTJOIN_SERVE_WORKLOAD_H_

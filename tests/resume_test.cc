@@ -348,7 +348,7 @@ TEST(ResumeTest, ForwardBatchPairResumeMatchesFromScratchBitwise) {
     ForwardWalkerBatch batch(g);
     std::vector<double> scratch = batch.Run(p, 8, sources, target_vec);
 
-    ForwardBatchStates states(sources.size());
+    ForwardBatchStates states;  // sparse map: no slot-count preallocation
     std::vector<double> resumed(sources.size());
     int64_t fresh_total = 0;
     for (int l : {1, 2, 4, 8}) {

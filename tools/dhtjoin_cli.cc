@@ -10,6 +10,10 @@
 ///   njoin     --graph G.txt --sets S.txt --query "A-B,B>C"
 ///             [--agg min|sum] [--k 50] [--m 50]
 ///             [--algo pj-i|pj|ap|nl] [--measure ...] [--epsilon 1e-6]
+///   serve     --graph G.txt --sets S.txt [--serve-workload zipf]
+///             [--requests 200] [--templates 16] [--zipf 1.0]
+///             [--set-size 100] [--k 50] [--threads N] [--cache-mb MB]
+///             [--seed 17] [--measure ...] [--epsilon 1e-6]
 ///
 /// Examples:
 ///   dhtjoin_cli generate --dataset yeast --out yeast.txt --sets sets.txt
@@ -21,21 +25,27 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/dhtjoin.h"
 #include "datasets/dblp_like.h"
 #include "datasets/yeast_like.h"
 #include "datasets/youtube_like.h"
 #include "graph/analysis.h"
+#include "serve/session.h"
+#include "serve/workload.h"
 #include "tools/cli_parse.h"
+#include "util/timer.h"
 
 namespace dhtjoin::cli {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: dhtjoin_cli <generate|join2|njoin|stats> [--option value]...\n"
+    "usage: dhtjoin_cli <generate|join2|njoin|serve|stats> "
+    "[--option value]...\n"
     "  stats    --graph G.txt [--sets S.txt]\n"
     "  generate --dataset yeast|dblp|youtube --out G.txt --sets S.txt\n"
     "           [--nodes N] [--seed S]\n"
@@ -44,7 +54,11 @@ constexpr char kUsage[] =
     "           [--measure dhtlambda[:l]|dhte|ppr[:c]] [--epsilon 1e-6]\n"
     "  njoin    --graph G.txt --sets S.txt --query \"A>B,B>C\"\n"
     "           [--agg min|sum] [--k 50] [--m 50]\n"
-    "           [--algo pj-i|pj|ap|nl] [--measure ...] [--epsilon 1e-6]\n";
+    "           [--algo pj-i|pj|ap|nl] [--measure ...] [--epsilon 1e-6]\n"
+    "  serve    --graph G.txt --sets S.txt [--serve-workload zipf]\n"
+    "           [--requests 200] [--templates 16] [--zipf 1.0]\n"
+    "           [--set-size 100] [--k 50] [--threads N] [--cache-mb MB]\n"
+    "           [--seed 17] [--measure ...] [--epsilon 1e-6]\n";
 
 Status Fail(const std::string& msg) { return Status::InvalidArgument(msg); }
 
@@ -252,6 +266,101 @@ Status RunNjoin(const ParsedArgs& args) {
   return Status::OK();
 }
 
+/// Serving mode: generate a repeated-query workload over the loaded
+/// node sets and drive it through a DhtJoinService, reporting warm
+/// throughput and cache behaviour. `--serve-workload` picks the
+/// generator (only "zipf" today); `--threads` > 1 executes the stream
+/// as concurrent sessions.
+Status RunServe(const ParsedArgs& args) {
+  DHTJOIN_ASSIGN_OR_RETURN(LoadedInputs in, LoadCommon(args));
+
+  std::string kind = args.Get("serve-workload", "zipf");
+  if (kind != "zipf") {
+    return Fail("unknown --serve-workload '" + kind + "' (try: zipf)");
+  }
+  serve::WorkloadOptions wopts;
+  DHTJOIN_ASSIGN_OR_RETURN(
+      int64_t requests, ParsePositiveInt(args.Get("requests", "200"),
+                                         "requests"));
+  DHTJOIN_ASSIGN_OR_RETURN(
+      int64_t templates, ParsePositiveInt(args.Get("templates", "16"),
+                                          "templates"));
+  DHTJOIN_ASSIGN_OR_RETURN(int64_t set_size,
+                           ParsePositiveInt(args.Get("set-size", "100"),
+                                            "set-size"));
+  DHTJOIN_ASSIGN_OR_RETURN(int64_t k,
+                           ParsePositiveInt(args.Get("k", "50"), "k"));
+  DHTJOIN_ASSIGN_OR_RETURN(int64_t seed,
+                           ParsePositiveInt(args.Get("seed", "17"), "seed"));
+  wopts.num_requests = static_cast<std::size_t>(requests);
+  wopts.num_templates = static_cast<std::size_t>(templates);
+  wopts.set_size = static_cast<std::size_t>(set_size);
+  wopts.k = static_cast<std::size_t>(k);
+  wopts.seed = static_cast<uint64_t>(seed);
+  wopts.zipf_s = std::strtod(args.Get("zipf", "1.0").c_str(), nullptr);
+  if (wopts.zipf_s < 0.0) return Fail("--zipf must be non-negative");
+
+  DHTJOIN_ASSIGN_OR_RETURN(
+      auto workload,
+      serve::GenerateZipfianTwoWayWorkload(in.graph, in.sets, wopts));
+
+  serve::DhtJoinService::Options sopts;
+  if (args.Has("threads")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        int64_t threads, ParsePositiveInt(args.Get("threads", ""),
+                                          "threads"));
+    sopts.num_threads = static_cast<int>(threads);
+  }
+  if (args.Has("cache-mb")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        int64_t mb, ParsePositiveInt(args.Get("cache-mb", ""), "cache-mb"));
+    sopts.cache_budget_bytes = static_cast<std::size_t>(mb) << 20;
+  }
+  serve::DhtJoinService service(in.graph, in.measure, in.d, sopts);
+
+  std::printf("# serving %zu requests over %zu templates (zipf %.2f, "
+              "|sets| trimmed to %zu, k=%zu, d=%d, %s)\n",
+              workload.requests.size(), workload.num_templates, wopts.zipf_s,
+              wopts.set_size, wopts.k, in.d,
+              sopts.num_threads == 1 ? "sequential" : "concurrent sessions");
+
+  WallTimer timer;
+  if (sopts.num_threads == 1) {
+    for (const serve::TwoWayRequest& req : workload.requests) {
+      DHTJOIN_ASSIGN_OR_RETURN(auto result,
+                               service.TwoWay(req.P, req.Q, req.k));
+      (void)result;
+    }
+  } else {
+    std::vector<std::future<Result<std::vector<ScoredPair>>>> futures;
+    futures.reserve(workload.requests.size());
+    for (const serve::TwoWayRequest& req : workload.requests) {
+      futures.push_back(service.SubmitTwoWay(req.P, req.Q, req.k));
+    }
+    for (auto& f : futures) {
+      DHTJOIN_RETURN_NOT_OK(f.get().status());
+    }
+  }
+  const double seconds = timer.Seconds();
+
+  serve::CacheStats stats = service.cache_stats();
+  const double total = static_cast<double>(stats.hits + stats.misses);
+  std::printf("served %zu queries in %.3f s (%.3f ms/query, %.1f qps)\n",
+              workload.requests.size(), seconds,
+              seconds * 1e3 / static_cast<double>(workload.requests.size()),
+              static_cast<double>(workload.requests.size()) /
+                  (seconds > 0 ? seconds : 1e-9));
+  std::printf("cache: %.1f%% hit rate (%lld hits / %lld misses), "
+              "%lld evictions, %zu entries, %.1f MB resident of %.1f MB\n",
+              total > 0 ? 1e2 * static_cast<double>(stats.hits) / total : 0.0,
+              static_cast<long long>(stats.hits),
+              static_cast<long long>(stats.misses),
+              static_cast<long long>(stats.evictions), stats.entries,
+              static_cast<double>(stats.resident_bytes) / (1 << 20),
+              static_cast<double>(service.cache().max_bytes()) / (1 << 20));
+  return Status::OK();
+}
+
 Status RunStats(const ParsedArgs& args) {
   std::string graph_path = args.Get("graph", "");
   if (graph_path.empty()) return Fail("stats needs --graph");
@@ -295,6 +404,8 @@ int Main(int argc, const char* const* argv) {
     status = RunJoin2(*parsed);
   } else if (parsed->command == "njoin") {
     status = RunNjoin(*parsed);
+  } else if (parsed->command == "serve") {
+    status = RunServe(*parsed);
   } else if (parsed->command == "stats") {
     status = RunStats(*parsed);
   } else {
