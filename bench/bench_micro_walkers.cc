@@ -27,6 +27,7 @@
 #include "dht/bounds.h"
 #include "dht/forward.h"
 #include "dht/forward_batch.h"
+#include "graph/reorder.h"
 #include "join2/b_idj.h"
 #include "join2/f_idj.h"
 
@@ -100,12 +101,27 @@ BackwardResult RunBackwardComparison(const Graph& g, const DhtParams& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional argv[1]: physical layout to run the whole suite under
+  // (none|degree|rcm). CI runs the smoke with reordering on AND off;
+  // every agreement/parity gate below must hold in every layout
+  // (results are bit-identical across layouts by DESIGN.md §7).
+  ReorderKind reorder = ReorderKind::kNone;
+  if (argc > 1) {
+    auto parsed = ParseReorderKind(argv[1]);
+    CheckOk(parsed.status(), "parse reorder kind");
+    reorder = *parsed;
+  }
   auto ds = MakeDblp();
-  const Graph& g = ds.graph;
+  Graph reordered;
+  if (reorder != ReorderKind::kNone) {
+    reordered = Unwrap(ReorderGraph(ds.graph, reorder), "ReorderGraph");
+  }
+  const Graph& g = reorder == ReorderKind::kNone ? ds.graph : reordered;
   DhtParams p = DhtParams::Lambda(0.2);
-  std::printf("[setup] n=%d m=%lld\n", g.num_nodes(),
-              static_cast<long long>(g.num_edges()));
+  std::printf("[setup] n=%d m=%lld layout=%s\n", g.num_nodes(),
+              static_cast<long long>(g.num_edges()),
+              ReorderKindName(reorder));
 
   // Spread targets across the id space; sources likewise.
   std::vector<NodeId> targets, sources;
@@ -293,6 +309,7 @@ int main() {
   JsonObject doc;
   doc.Set("bench", std::string("micro_walkers"))
       .Set("dataset", std::string("dblp_like"))
+      .Set("layout", std::string(ReorderKindName(reorder)))
       .Set("num_nodes", static_cast<int64_t>(g.num_nodes()))
       .Set("num_edges", g.num_edges())
       .Set("num_targets", static_cast<int64_t>(targets.size()))
@@ -312,8 +329,13 @@ int main() {
       .Set("ybound_table_ms", ybound_sec * 1e3)
       .Set("headline_sparse_batched_speedup_d8", headline_speedup)
       .Set("headline_max_abs_score_diff_d8", headline_diff);
-  WriteJsonFile("BENCH_walkers.json", doc.ToString());
-  std::printf("\nwrote BENCH_walkers.json (headline d=8 sparse+batched "
-              "speedup: %.1fx)\n", headline_speedup);
+  const std::string json_name =
+      reorder == ReorderKind::kNone
+          ? "BENCH_walkers.json"
+          : std::string("BENCH_walkers_") + ReorderKindName(reorder) +
+                ".json";
+  WriteJsonFile(json_name, doc.ToString());
+  std::printf("\nwrote %s (headline d=8 sparse+batched speedup: %.1fx)\n",
+              json_name.c_str(), headline_speedup);
   return 0;
 }

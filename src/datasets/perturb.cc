@@ -20,13 +20,21 @@ uint64_t UndirectedKey(NodeId a, NodeId b) {
 
 Result<Graph> RemoveEdges(const Graph& g,
                           const std::vector<UndirectedPair>& removed) {
+  // `removed` carries EXTERNAL ids (like every perturb input/output);
+  // rows are layout-addressed, so keys and the rebuilt graph use the
+  // translated ids — the result is insertion-ordered and externally
+  // labelled whatever layout `g` carries.
   std::unordered_set<uint64_t> drop;
   for (auto [u, v] : removed) drop.insert(UndirectedKey(u, v));
   GraphBuilder builder(g.num_nodes(), /*undirected=*/false);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (const OutEdge& e : g.OutEdges(u)) {
-      if (drop.contains(UndirectedKey(u, e.to))) continue;
-      DHTJOIN_RETURN_NOT_OK(builder.AddEdge(u, e.to, e.weight));
+    const NodeId ext_u = g.ToExternal(u);
+    auto row = g.OutEdges(u);
+    auto weights = g.OutWeights(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const NodeId ext_v = g.ToExternal(row[i].to);
+      if (drop.contains(UndirectedKey(ext_u, ext_v))) continue;
+      DHTJOIN_RETURN_NOT_OK(builder.AddEdge(ext_u, ext_v, weights[i]));
     }
   }
   return builder.Build();
@@ -47,10 +55,11 @@ Result<EdgeRemovalResult> RemoveInterSetEdges(const Graph& g,
   std::vector<UndirectedPair> candidates;
   std::unordered_set<uint64_t> seen;
   for (NodeId p : P) {
-    for (const OutEdge& e : g.OutEdges(p)) {
-      if (!Q.Contains(e.to) || e.to == p) continue;
-      if (seen.insert(UndirectedKey(p, e.to)).second) {
-        candidates.emplace_back(std::min(p, e.to), std::max(p, e.to));
+    for (const OutEdge& e : g.OutEdges(g.ToInternal(p))) {
+      const NodeId v = g.ToExternal(e.to);
+      if (!Q.Contains(v) || v == p) continue;
+      if (seen.insert(UndirectedKey(p, v)).second) {
+        candidates.emplace_back(std::min(p, v), std::max(p, v));
       }
     }
   }
@@ -77,22 +86,25 @@ std::vector<Triangle> FindTriangles(const Graph& g, const NodeSet& P,
                                     const NodeSet& Q, const NodeSet& R) {
   std::vector<Triangle> out;
   for (NodeId p : P) {
-    for (const OutEdge& pe : g.OutEdges(p)) {
-      NodeId q = pe.to;
+    for (const OutEdge& pe : g.OutEdges(g.ToInternal(p))) {
+      NodeId q = g.ToExternal(pe.to);
       if (q == p || !Q.Contains(q)) continue;
       // Intersect out-neighbourhoods of p and q, restricted to R.
-      auto prow = g.OutEdges(p);
-      auto qrow = g.OutEdges(q);
+      // Rows are sorted by CANONICAL (external) id, so the merge
+      // compares external ids — correct in every layout.
+      auto prow = g.OutEdges(g.ToInternal(p));
+      auto qrow = g.OutEdges(g.ToInternal(q));
       std::size_t i = 0, j = 0;
       while (i < prow.size() && j < qrow.size()) {
-        if (prow[i].to < qrow[j].to) {
+        const NodeId pi = g.ToExternal(prow[i].to);
+        const NodeId qj = g.ToExternal(qrow[j].to);
+        if (pi < qj) {
           ++i;
-        } else if (prow[i].to > qrow[j].to) {
+        } else if (pi > qj) {
           ++j;
         } else {
-          NodeId r = prow[i].to;
-          if (r != p && r != q && R.Contains(r)) {
-            out.push_back(Triangle{p, q, r});
+          if (pi != p && pi != q && R.Contains(pi)) {
+            out.push_back(Triangle{p, q, pi});
           }
           ++i;
           ++j;

@@ -2,18 +2,20 @@
 
 namespace dhtjoin {
 
-BackwardWalker::BackwardWalker(const Graph& g, PropagationMode mode)
+BackwardWalker::BackwardWalker(const Graph& g, PropagationMode mode,
+                               bool restrict_dense)
     : g_(g),
-      engine_(g, Propagator::Direction::kBackward, mode),
+      engine_(g, Propagator::Direction::kBackward, mode, restrict_dense),
       score_delta_(static_cast<std::size_t>(g.num_nodes()), 0.0) {}
 
 void BackwardWalker::Reset(const DhtParams& params, NodeId q) {
   DHTJOIN_CHECK(g_.ContainsNode(q));
   params_ = params;
   target_ = q;
+  target_internal_ = g_.ToInternal(q);
   level_ = 0;
   lambda_pow_ = 1.0;
-  engine_.Reset(q);
+  engine_.Reset(target_internal_);
   for (NodeId u : touched_) score_delta_[static_cast<std::size_t>(u)] = 0.0;
   touched_.clear();
 }
@@ -35,6 +37,7 @@ void BackwardWalker::Restore(const DhtParams& params,
   DHTJOIN_CHECK(state.target != kInvalidNode);
   params_ = params;
   target_ = state.target;
+  target_internal_ = g_.ToInternal(state.target);
   level_ = state.level;
   lambda_pow_ = state.lambda_pow;
   engine_.RestoreState(state.engine);
@@ -64,7 +67,7 @@ void BackwardWalker::Advance(int steps) {
     });
     // First-hit semantics: mass that reached q must not re-emit.
     // Visiting semantics (PPR) keep propagating through the target.
-    if (params_.first_hit) engine_.ClearMass(target_);
+    if (params_.first_hit) engine_.ClearMass(target_internal_);
   }
 }
 

@@ -85,10 +85,16 @@ class BackwardSnapshotProvider {
 /// Reset() fixes the target, Advance() deepens the walk, Score(u) reads
 /// h_l(u, q) at the current depth l for any u. Workspace vectors are
 /// reused across Reset() calls.
+///
+/// All node ids crossing this interface (targets, Score() arguments,
+/// BackwardWalkerState::target) are EXTERNAL ids; the walker translates
+/// to the graph's physical layout internally, so callers are oblivious
+/// to reordering (graph/reorder.h).
 class BackwardWalker {
  public:
   explicit BackwardWalker(const Graph& g,
-                          PropagationMode mode = PropagationMode::kAdaptive);
+                          PropagationMode mode = PropagationMode::kAdaptive,
+                          bool restrict_dense = true);
 
   /// Starts a new backward walk absorbed at `q`.
   void Reset(const DhtParams& params, NodeId q);
@@ -113,7 +119,8 @@ class BackwardWalker {
   /// reach q within l steps. Score(q) itself is meaningless (self pair)
   /// and must not be consumed by joins.
   double Score(NodeId u) const {
-    return params_.beta + score_delta_[static_cast<std::size_t>(u)];
+    return params_.beta +
+           score_delta_[static_cast<std::size_t>(g_.ToInternal(u))];
   }
 
   /// Edges relaxed by this walker since construction (across Resets).
@@ -123,11 +130,12 @@ class BackwardWalker {
   const Graph& g_;
   Propagator engine_;
   DhtParams params_;
-  NodeId target_ = kInvalidNode;
+  NodeId target_ = kInvalidNode;           // external id
+  NodeId target_internal_ = kInvalidNode;  // layout id, for absorption
   int level_ = 0;
   double lambda_pow_ = 1.0;  // lambda^level
-  // score_delta_[u] = h_l(u, q) - beta; exactly 0.0 outside touched_,
-  // so Reset clears in O(|touched_|).
+  // score_delta_[u] = h_l(u, q) - beta for INTERNAL u; exactly 0.0
+  // outside touched_, so Reset clears in O(|touched_|).
   std::vector<double> score_delta_;
   std::vector<NodeId> touched_;
 };

@@ -20,7 +20,16 @@ struct BackwardWalkerBatch::BlockState {
   std::vector<double> mass, next;   // n x kW row-major lane matrices
   std::vector<uint8_t> in_next;     // first-touch flags for `next`
   std::vector<NodeId> support, next_support;
+  SweepPlan plan;                   // dense rows of the current block
+  bool support_canonical = true;    // deferred sort; see StepLanes
   int64_t edges_relaxed = 0;        // per-lane, accumulated per Run
+
+  std::size_t ApproxBytes() const {
+    return sizeof(*this) + (mass.capacity() + next.capacity()) *
+                               sizeof(double) +
+           in_next.capacity() +
+           (support.capacity() + next_support.capacity()) * sizeof(NodeId);
+  }
 
   /// Zeroes the mass rows of the current support and clears it, leaving
   /// the workspace reusable without an O(n) sweep.
@@ -30,6 +39,7 @@ struct BackwardWalkerBatch::BlockState {
       std::fill(row, row + kW, 0.0);
     }
     support.clear();
+    support_canonical = true;
   }
 };
 
@@ -52,6 +62,7 @@ BackwardWalkerBatch::AcquireState() {
   }
   auto state = std::move(free_states_.back());
   free_states_.pop_back();
+  pooled_bytes_ -= state->ApproxBytes();
   return state;
 }
 
@@ -59,7 +70,38 @@ void BackwardWalkerBatch::ReleaseState(std::unique_ptr<BlockState> state) {
   std::lock_guard<std::mutex> lock(state_mu_);
   edges_relaxed_ += state->edges_relaxed;
   state->edges_relaxed = 0;
+  pooled_bytes_ += state->ApproxBytes();
   free_states_.push_back(std::move(state));
+}
+
+void BackwardWalkerBatch::TrimPool() {
+  // Pool cap (Options::max_pooled_bytes), applied BETWEEN runs:
+  // workspaces over the cap are freed here instead of pinning 128
+  // bytes/node until the evaluator dies. Trimming only at run
+  // boundaries keeps intra-run block recycling intact even when a
+  // single workspace exceeds the cap (huge n) — the next Run then
+  // reallocates, a time/space trade the caller opted into.
+  std::lock_guard<std::mutex> lock(state_mu_);
+  while (!free_states_.empty() && pooled_bytes_ > options_.max_pooled_bytes) {
+    pooled_bytes_ -= free_states_.back()->ApproxBytes();
+    free_states_.pop_back();
+    ++workspaces_discarded_;
+  }
+}
+
+std::size_t BackwardWalkerBatch::pooled_workspaces() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return free_states_.size();
+}
+
+std::size_t BackwardWalkerBatch::pooled_workspace_bytes() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return pooled_bytes_;
+}
+
+int64_t BackwardWalkerBatch::workspaces_discarded() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return workspaces_discarded_;
 }
 
 std::vector<double> BackwardWalkerBatch::Run(const DhtParams& params, int d,
@@ -70,6 +112,11 @@ std::vector<double> BackwardWalkerBatch::Run(const DhtParams& params, int d,
   for (NodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
   for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
 
+  // External -> layout ids, once per call; all block work is internal.
+  std::vector<NodeId> target_storage, source_storage;
+  std::span<const NodeId> itargets = g_.MapToInternal(targets, target_storage);
+  std::span<const NodeId> isources = g_.MapToInternal(sources, source_storage);
+
   std::vector<double> out(targets.size() * sources.size(), params.beta);
   const std::size_t num_blocks = (targets.size() + kW - 1) / kW;
   pool_.ParallelFor(static_cast<int64_t>(num_blocks), [&](int64_t block) {
@@ -77,26 +124,27 @@ std::vector<double> BackwardWalkerBatch::Run(const DhtParams& params, int d,
     const int width =
         static_cast<int>(std::min<std::size_t>(kW, targets.size() - first));
     auto state = AcquireState();
-    RunBlock(*state, params, d, targets, first, width, sources, out.data());
+    RunBlock(*state, params, d, itargets, first, width, isources, out.data());
     ReleaseState(std::move(state));
   });
+  TrimPool();
   return out;
 }
 
 /// One blocked transition step shared by the from-scratch and resumable
 /// paths: advances every lane of `st` one level, choosing sparse push or
-/// dense gather by the shared adaptive policy, and leaves the (sorted)
-/// new support in st.support with st.mass holding the new masses.
+/// dense gather by the shared adaptive policy (against the block's
+/// restricted dense cost), and leaves the (canonically sorted) new
+/// support in st.support with st.mass holding the new masses.
 void BackwardWalkerBatch::StepLanes(BlockState& st, int width) const {
   const Graph& g = g_;
   const PropagationMode mode = options_.mode;
-  const NodeId n = g.num_nodes();
   // Adaptive direction choice, as in Propagator::ChooseDense. The
   // per-edge work is `width` lanes on both paths, so the single-lane
   // threshold carries over unchanged.
   bool dense = mode == PropagationMode::kDense;
   if (mode == PropagationMode::kAdaptive) {
-    if (SupportSizeForcesDense(st.support.size(), g)) {
+    if (SupportSizeForcesDense(st.support.size(), st.plan.cost)) {
       dense = true;
     } else {
       // The degree sum counts every support row (reading all kW lanes
@@ -105,12 +153,22 @@ void BackwardWalkerBatch::StepLanes(BlockState& st, int width) const {
       // push, so the estimate only transiently overshoots.
       int64_t frontier_edges = 0;
       for (NodeId v : st.support) frontier_edges += g.InDegree(v);
-      dense = FrontierPrefersDense(st.support.size(), frontier_edges, g);
+      dense = FrontierPrefersDense(st.support.size(), frontier_edges,
+                                   st.plan.cost);
     }
   }
 
   if (!dense) {
     // Sparse: push the block's union frontier over transposed rows.
+    // The push CONSUMES the support order (destinations accumulate in
+    // frontier order), so bring it into canonical order first — the
+    // dense gather's summation order in every layout (the deferred
+    // half of the sorted-support contract; a run of dense steps never
+    // pays this sort).
+    if (!st.support_canonical) {
+      g.SortCanonical(st.support);
+      st.support_canonical = true;
+    }
     int64_t relaxed = 0;
     for (NodeId v : st.support) {
       double* row = &st.mass[static_cast<std::size_t>(v) * kW];
@@ -136,8 +194,10 @@ void BackwardWalkerBatch::StepLanes(BlockState& st, int width) const {
     }
     st.edges_relaxed += relaxed;
   } else {
-    // Dense: sequential gather over every out-row.
-    for (NodeId u = 0; u < n; ++u) {
+    // Dense: sequential gather over the block plan's out-rows. Rows
+    // outside the plan (other weak components) cannot see the support,
+    // so skipping them is exact — the restricted sweep (DESIGN.md §7).
+    st.plan.ForEachRow(g.num_nodes(), [&](NodeId u) {
       double acc[kW] = {0.0};
       for (const OutEdge& e : g.OutEdges(u)) {
         const double* src = &st.mass[static_cast<std::size_t>(e.to) * kW];
@@ -148,21 +208,22 @@ void BackwardWalkerBatch::StepLanes(BlockState& st, int width) const {
         for (int b = 0; b < kW; ++b) dst[b] = acc[b];
         st.next_support.push_back(u);
       }
-    }
+    });
     for (NodeId v : st.support) {
       double* row = &st.mass[static_cast<std::size_t>(v) * kW];
       std::fill(row, row + kW, 0.0);
     }
-    st.edges_relaxed += g.num_edges() * width;
+    st.edges_relaxed += st.plan.edges * width;
   }
   for (NodeId u : st.next_support) {
     st.in_next[static_cast<std::size_t>(u)] = 0;
   }
-  // Sorted-support contract (propagate.h): ascending support makes the
-  // next sparse push sum in dense CSR order, so results do not depend
-  // on mode flips, lane grouping, or restart-vs-resume. The dense path
-  // emits an already-sorted list; sorting it again is O(s).
-  std::sort(st.next_support.begin(), st.next_support.end());
+  // Sorted-support contract (propagate.h), deferred: the new support is
+  // left in emission order and canonically sorted only when a later
+  // sparse push consumes it. The dense gather emits rows ascending by
+  // internal id — already canonical exactly on an insertion-ordered
+  // layout with a gap-free plan.
+  st.support_canonical = dense && !g.is_reordered() && st.plan.full;
   st.mass.swap(st.next);
   st.support.swap(st.next_support);
   st.next_support.clear();
@@ -179,7 +240,7 @@ void BackwardWalkerBatch::RunBlock(BlockState& st, const DhtParams& params,
   // Duplicate targets simply share a support node with two live lanes.
   NodeId lane_target[kW];
   for (int b = 0; b < width; ++b) {
-    NodeId q = targets[first_target + b];
+    NodeId q = targets[first_target + static_cast<std::size_t>(b)];
     lane_target[b] = q;
     st.mass[static_cast<std::size_t>(q) * kW + static_cast<std::size_t>(b)] =
         1.0;
@@ -187,9 +248,14 @@ void BackwardWalkerBatch::RunBlock(BlockState& st, const DhtParams& params,
   }
   // Dedup in case two lanes share a target node (they stay independent
   // columns of the shared row).
-  std::sort(st.support.begin(), st.support.end());
+  g_.SortCanonical(st.support);
   st.support.erase(std::unique(st.support.begin(), st.support.end()),
                    st.support.end());
+  st.support_canonical = true;
+  st.plan = options_.restrict_dense
+                ? g_.PlanDenseSweep({lane_target,
+                                     static_cast<std::size_t>(width)})
+                : g_.FullSweepPlan();
 
   double lambda_pow = 1.0;
   for (int step = 0; step < d; ++step) {
@@ -232,7 +298,9 @@ void BackwardWalkerBatch::AdvanceBlock(BlockState& st, const DhtParams& params,
   const auto num_sources = static_cast<std::size_t>(sources.size());
 
   // Load: fresh lanes (from_level == 0) seed unit mass at their target;
-  // resumed lanes replay their sparse snapshot.
+  // resumed lanes replay their sparse snapshot. Every lane's mass lives
+  // in its target's weak component, so the plan from the lane targets
+  // covers resumed snapshots too.
   NodeId lane_target[kW];
   for (int b = 0; b < width; ++b) {
     NodeId q = lane_targets[static_cast<std::size_t>(b)];
@@ -240,7 +308,10 @@ void BackwardWalkerBatch::AdvanceBlock(BlockState& st, const DhtParams& params,
     if (from_level == 0) {
       double& slot =
           st.mass[static_cast<std::size_t>(q) * kW + static_cast<std::size_t>(b)];
-      if (slot == 0.0) st.support.push_back(q);
+      if (slot == 0.0 && st.in_next[static_cast<std::size_t>(q)] == 0) {
+        st.in_next[static_cast<std::size_t>(q)] = 1;
+        st.support.push_back(q);
+      }
       slot = 1.0;
     } else {
       const auto& saved =
@@ -257,9 +328,14 @@ void BackwardWalkerBatch::AdvanceBlock(BlockState& st, const DhtParams& params,
     }
   }
   for (NodeId v : st.support) st.in_next[static_cast<std::size_t>(v)] = 0;
-  std::sort(st.support.begin(), st.support.end());
+  g_.SortCanonical(st.support);
   st.support.erase(std::unique(st.support.begin(), st.support.end()),
                    st.support.end());
+  st.support_canonical = true;
+  st.plan = options_.restrict_dense
+                ? g_.PlanDenseSweep({lane_target,
+                                     static_cast<std::size_t>(width)})
+                : g_.FullSweepPlan();
 
   // Resume the discount where the walk stopped: all lanes share a level
   // (and thus bit-equal saved lambda^level values), so lane 0 speaks
@@ -329,6 +405,10 @@ int64_t BackwardWalkerBatch::AdvanceRun(const DhtParams& params, int to_level,
   for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
   const std::size_t num_sources = sources.size();
 
+  std::vector<NodeId> target_storage, source_storage;
+  std::span<const NodeId> itargets = g_.MapToInternal(targets, target_storage);
+  std::span<const NodeId> isources = g_.MapToInternal(sources, source_storage);
+
   // Initialize each target's output row from its saved score row (or
   // the beta floor when fresh), and group still-advancing targets by
   // saved level so each block steps a uniform number of levels.
@@ -373,17 +453,18 @@ int64_t BackwardWalkerBatch::AdvanceRun(const DhtParams& params, int to_level,
     double* rows[kW];
     for (int b = 0; b < width; ++b) {
       const std::size_t i = blk.idx[static_cast<std::size_t>(b)];
-      lane_targets[b] = targets[i];
+      lane_targets[b] = itargets[i];
       lane_slots[b] = slots[i];
       rows[b] = out + i * num_sources;
     }
     auto state = AcquireState();
     AdvanceBlock(*state, params, blk.from_level, to_level,
                  {lane_targets, static_cast<std::size_t>(width)},
-                 {lane_slots, static_cast<std::size_t>(width)}, sources,
+                 {lane_slots, static_cast<std::size_t>(width)}, isources,
                  states, save_states, rows);
     ReleaseState(std::move(state));
   });
+  TrimPool();
   return fresh;
 }
 

@@ -35,11 +35,24 @@
 /// transparently restarted, producing bit-identical scores.
 ///
 /// Memory contract: each concurrently-running block owns a workspace of
-/// 2 * n * kLaneWidth doubles (128 bytes/node), and workspaces are
-/// pooled for the evaluator's lifetime — peak resident memory is
-/// num_threads x 128 bytes x n, plus whatever BackwardBatchStates'
-/// budget admits. Fine up to millions of nodes on a few dozen threads;
-/// a shrink policy for billion-edge graphs is a ROADMAP item.
+/// 2 * n * kLaneWidth doubles (128 bytes/node). Peak transient memory
+/// is num_threads x 128 bytes x n, plus whatever BackwardBatchStates'
+/// budget admits. Between runs, workspaces are pooled up to
+/// Options::max_pooled_bytes; the pool is trimmed to the cap at every
+/// run boundary (workspaces_discarded counts the frees), so huge
+/// graphs on many cores no longer pin num_threads workspaces for the
+/// evaluator's lifetime while intra-run block recycling stays intact.
+///
+/// Node ids crossing the public interface (targets, sources) are
+/// EXTERNAL ids; the engine translates to the graph's physical layout
+/// (graph/reorder.h) at entry, keeps its union support sorted in
+/// CANONICAL (external) order, and restricts dense gathers to the
+/// walk's weak components (Graph::PlanDenseSweep) — so scores are
+/// bit-identical across layouts AND the dense fallback of a saturated-
+/// but-local walk costs O(|ball|), not O(n + m). Snapshot mass node ids
+/// (BackwardBatchSnapshot::mass) are INTERNAL and only meaningful on
+/// the graph/layout they were saved from; the serving cache enforces
+/// that via the layout-aware GraphFingerprint.
 
 #ifndef DHTJOIN_DHT_BACKWARD_BATCH_H_
 #define DHTJOIN_DHT_BACKWARD_BATCH_H_
@@ -189,7 +202,18 @@ class BackwardWalkerBatch {
     PropagationMode mode = PropagationMode::kAdaptive;
     /// Worker threads; 0 means ThreadPool::DefaultThreadCount().
     int num_threads = 0;
+    /// Restrict dense gathers to the walk's weak components (see file
+    /// comment). Off = the seed engine's all-rows sweep; results are
+    /// bit-identical either way (benchmark baseline switch).
+    bool restrict_dense = true;
+    /// Byte cap on idle block workspaces retained between runs; a
+    /// workspace released over the cap is freed instead of pooled.
+    std::size_t max_pooled_bytes = kDefaultMaxPooledBytes;
   };
+
+  /// Default workspace-pool cap: generous for bench-scale graphs, yet
+  /// bounds a many-core engine on a huge graph to ~8 idle workspaces.
+  static constexpr std::size_t kDefaultMaxPooledBytes = std::size_t{1} << 30;
 
   explicit BackwardWalkerBatch(const Graph& g);
   BackwardWalkerBatch(const Graph& g, Options options);
@@ -282,15 +306,24 @@ class BackwardWalkerBatch {
   /// Per-walker edges relaxed, summed over all lanes and Run() calls,
   /// comparable with sequential BackwardWalker::edges_relaxed: a sparse
   /// step bills each lane only for frontier nodes where that lane has
-  /// mass; a dense pass bills every lane |E| (the work the blocked
-  /// kernel actually performs per lane).
+  /// mass; a dense pass bills every lane its sweep plan's edges (all of
+  /// |E| when unrestricted — the work the blocked kernel performs per
+  /// lane).
   int64_t edges_relaxed() const { return edges_relaxed_; }
+
+  /// Workspace-pool observability (Options::max_pooled_bytes).
+  std::size_t pooled_workspaces() const;
+  std::size_t pooled_workspace_bytes() const;
+  int64_t workspaces_discarded() const;
 
  private:
   struct BlockState;
 
   std::unique_ptr<BlockState> AcquireState();
   void ReleaseState(std::unique_ptr<BlockState> state);
+  /// Frees pooled workspaces over Options::max_pooled_bytes; called at
+  /// run boundaries so intra-run recycling is never disabled.
+  void TrimPool();
 
   /// One blocked transition step shared by the from-scratch and
   /// resumable paths; leaves the (sorted) new support in st.support.
@@ -325,8 +358,10 @@ class BackwardWalkerBatch {
   const Graph& g_;
   Options options_;
   ThreadPool pool_;
-  std::mutex state_mu_;
+  mutable std::mutex state_mu_;
   std::vector<std::unique_ptr<BlockState>> free_states_;
+  std::size_t pooled_bytes_ = 0;
+  int64_t workspaces_discarded_ = 0;
   int64_t edges_relaxed_ = 0;
 };
 

@@ -19,8 +19,12 @@ YBoundTable::YBoundTable(const Graph& g, const DhtParams& params, int d,
   // visiting probability S_i(P, q) is the step-i mass at q. Frontier-
   // adaptive steps keep the cost output-sensitive, and edges_relaxed()
   // reports what the sweep actually paid.
+  // The Propagator is layout-addressed: translate the external seed /
+  // probe ids once (identity on a never-reordered graph).
   Propagator sweep(g, Propagator::Direction::kForward);
-  sweep.Reset(P.nodes());
+  std::vector<NodeId> seed_storage, probe_storage;
+  sweep.Reset(g.MapToInternal(P.nodes(), seed_storage));
+  std::span<const NodeId> probes = g.MapToInternal(Q.nodes(), probe_storage);
 
   // s[qi][i-1] = S_i(P, q) for i = 1..d.
   std::vector<std::vector<double>> s(
@@ -29,7 +33,7 @@ YBoundTable::YBoundTable(const Graph& g, const DhtParams& params, int d,
   for (int i = 1; i <= d; ++i) {
     sweep.Step();
     for (std::size_t qi = 0; qi < Q.size(); ++qi) {
-      s[qi][static_cast<std::size_t>(i) - 1] = sweep.Mass(Q[qi]);
+      s[qi][static_cast<std::size_t>(i) - 1] = sweep.Mass(probes[qi]);
     }
   }
   edges_relaxed_ = sweep.edges_relaxed();

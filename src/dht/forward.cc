@@ -2,8 +2,10 @@
 
 namespace dhtjoin {
 
-ForwardWalker::ForwardWalker(const Graph& g, PropagationMode mode)
-    : g_(g), engine_(g, Propagator::Direction::kForward, mode) {}
+ForwardWalker::ForwardWalker(const Graph& g, PropagationMode mode,
+                             bool restrict_dense)
+    : g_(g),
+      engine_(g, Propagator::Direction::kForward, mode, restrict_dense) {}
 
 void ForwardWalker::Reset(const DhtParams& params, NodeId u, NodeId v) {
   DHTJOIN_CHECK(g_.ContainsNode(u));
@@ -12,10 +14,11 @@ void ForwardWalker::Reset(const DhtParams& params, NodeId u, NodeId v) {
   params_ = params;
   source_ = u;
   target_ = v;
+  target_internal_ = g_.ToInternal(v);
   level_ = 0;
   score_ = params.beta;
   lambda_pow_ = 1.0;
-  engine_.Reset(u);
+  engine_.Reset(g_.ToInternal(u));
   hit_probs_.clear();
 }
 
@@ -35,6 +38,7 @@ void ForwardWalker::Restore(const DhtParams& params,
   params_ = params;
   source_ = state.source;
   target_ = state.target;
+  target_internal_ = g_.ToInternal(state.target);
   level_ = state.level;
   score_ = state.score;
   lambda_pow_ = state.lambda_pow;
@@ -48,13 +52,13 @@ void ForwardWalker::Advance(int steps) {
     engine_.Step();
     ++level_;
     lambda_pow_ *= params_.lambda;
-    double hit = engine_.Mass(target_);
+    double hit = engine_.Mass(target_internal_);
     hit_probs_.push_back(hit);
     score_ += params_.alpha * lambda_pow_ * hit;
     // First-hit semantics absorb at the target: mass that arrived this
     // step was counted above and must not propagate further. Visiting
     // semantics (PPR) let it flow on.
-    if (params_.first_hit) engine_.ClearMass(target_);
+    if (params_.first_hit) engine_.ClearMass(target_internal_);
   }
 }
 

@@ -53,10 +53,15 @@ struct ForwardWalkerState {
 /// reads h_l(u, v) at the current depth l. The workspace is reused
 /// across Reset() calls, so one walker instance can serve many pairs
 /// without reallocating.
+///
+/// All node ids crossing this interface (sources, targets,
+/// ForwardWalkerState ids) are EXTERNAL ids; the walker translates to
+/// the graph's physical layout internally (graph/reorder.h).
 class ForwardWalker {
  public:
   explicit ForwardWalker(const Graph& g,
-                         PropagationMode mode = PropagationMode::kAdaptive);
+                         PropagationMode mode = PropagationMode::kAdaptive,
+                         bool restrict_dense = true);
 
   /// Starts a new walk from `u` absorbed at `v`. `u != v` required.
   void Reset(const DhtParams& params, NodeId u, NodeId v);
@@ -90,8 +95,9 @@ class ForwardWalker {
   const Graph& g_;
   Propagator engine_;
   DhtParams params_;
-  NodeId source_ = kInvalidNode;
-  NodeId target_ = kInvalidNode;
+  NodeId source_ = kInvalidNode;           // external id
+  NodeId target_ = kInvalidNode;           // external id
+  NodeId target_internal_ = kInvalidNode;  // layout id, for absorption
   int level_ = 0;
   double score_ = 0.0;
   double lambda_pow_ = 1.0;        // lambda^level

@@ -19,7 +19,16 @@ struct ForwardWalkerBatch::BlockState {
   std::vector<double> mass, next;   // n x kW row-major lane matrices
   std::vector<uint8_t> in_next;     // first-touch flags for `next`
   std::vector<NodeId> support, next_support;
+  SweepPlan plan;                   // dense plan of the current block
+  bool support_canonical = true;    // deferred sort; see StepLanes
   int64_t edges_relaxed = 0;
+
+  std::size_t ApproxBytes() const {
+    return sizeof(*this) + (mass.capacity() + next.capacity()) *
+                               sizeof(double) +
+           in_next.capacity() +
+           (support.capacity() + next_support.capacity()) * sizeof(NodeId);
+  }
 
   void RestoreZeroInvariant() {
     for (NodeId v : support) {
@@ -27,6 +36,7 @@ struct ForwardWalkerBatch::BlockState {
       std::fill(row, row + kW, 0.0);
     }
     support.clear();
+    support_canonical = true;
   }
 };
 
@@ -49,6 +59,7 @@ ForwardWalkerBatch::AcquireState() {
   }
   auto state = std::move(free_states_.back());
   free_states_.pop_back();
+  pooled_bytes_ -= state->ApproxBytes();
   return state;
 }
 
@@ -56,30 +67,64 @@ void ForwardWalkerBatch::ReleaseState(std::unique_ptr<BlockState> state) {
   std::lock_guard<std::mutex> lock(state_mu_);
   edges_relaxed_ += state->edges_relaxed;
   state->edges_relaxed = 0;
+  pooled_bytes_ += state->ApproxBytes();
   free_states_.push_back(std::move(state));
 }
 
+void ForwardWalkerBatch::TrimPool() {
+  // Run-boundary pool cap, as in BackwardWalkerBatch::TrimPool.
+  std::lock_guard<std::mutex> lock(state_mu_);
+  while (!free_states_.empty() && pooled_bytes_ > options_.max_pooled_bytes) {
+    pooled_bytes_ -= free_states_.back()->ApproxBytes();
+    free_states_.pop_back();
+    ++workspaces_discarded_;
+  }
+}
+
+std::size_t ForwardWalkerBatch::pooled_workspaces() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return free_states_.size();
+}
+
+std::size_t ForwardWalkerBatch::pooled_workspace_bytes() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return pooled_bytes_;
+}
+
+int64_t ForwardWalkerBatch::workspaces_discarded() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return workspaces_discarded_;
+}
+
 /// One blocked forward transition step: pushes every lane's mass along
-/// the out-rows of the (sorted) union support. The "dense" mode differs
-/// from sparse only in billing and in skipping the frontier degree scan
-/// — the push itself already visits exactly the nonzero rows in
-/// ascending order, which is the dense sweep's summation order, so both
-/// modes are bit-identical (the scalar engine's StepDenseForward skips
-/// zero-mass rows the same way).
+/// the out-rows of the (canonically sorted) union support. The "dense"
+/// mode differs from sparse only in billing and in skipping the
+/// frontier degree scan — the push itself already visits exactly the
+/// nonzero rows in canonical order, which is the dense sweep's
+/// summation order, so both modes are bit-identical (the scalar
+/// engine's StepForward works the same way).
 void ForwardWalkerBatch::StepLanes(BlockState& st, int width) const {
   const Graph& g = g_;
   const PropagationMode mode = options_.mode;
   bool dense = mode == PropagationMode::kDense;
   if (mode == PropagationMode::kAdaptive) {
-    if (SupportSizeForcesDense(st.support.size(), g)) {
+    if (SupportSizeForcesDense(st.support.size(), st.plan.cost)) {
       dense = true;
     } else {
       int64_t frontier_edges = 0;
       for (NodeId v : st.support) frontier_edges += g.OutDegree(v);
-      dense = FrontierPrefersDense(st.support.size(), frontier_edges, g);
+      dense = FrontierPrefersDense(st.support.size(), frontier_edges,
+                                   st.plan.cost);
     }
   }
 
+  // The forward push always CONSUMES the support order (destinations
+  // accumulate in frontier order): canonical order first (the deferred
+  // sorted-support contract; see backward_batch.cc's StepLanes).
+  if (!st.support_canonical) {
+    g.SortCanonical(st.support);
+    st.support_canonical = true;
+  }
   int64_t relaxed = 0;
   for (NodeId v : st.support) {
     double* row = &st.mass[static_cast<std::size_t>(v) * kW];
@@ -98,13 +143,15 @@ void ForwardWalkerBatch::StepLanes(BlockState& st, int width) const {
     }
     std::fill(row, row + kW, 0.0);
   }
-  st.edges_relaxed += dense ? g.num_edges() * width : relaxed;
+  st.edges_relaxed += dense ? st.plan.edges * width : relaxed;
 
   for (NodeId u : st.next_support) {
     st.in_next[static_cast<std::size_t>(u)] = 0;
   }
-  // Sorted-support contract (propagate.h / DESIGN.md §3).
-  std::sort(st.next_support.begin(), st.next_support.end());
+  // Sorted-support contract (propagate.h / DESIGN.md §3, §7), deferred:
+  // the push emits destinations in first-touch order; the next step's
+  // sort restores canonical order before it is consumed.
+  st.support_canonical = false;
   st.mass.swap(st.next);
   st.support.swap(st.next_support);
   st.next_support.clear();
@@ -118,6 +165,10 @@ std::vector<double> ForwardWalkerBatch::Run(const DhtParams& params, int d,
   for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
   for (NodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
 
+  std::vector<NodeId> source_storage, target_storage;
+  std::span<const NodeId> isources = g_.MapToInternal(sources, source_storage);
+  std::span<const NodeId> itargets = g_.MapToInternal(targets, target_storage);
+
   std::vector<double> out(sources.size() * targets.size(), params.beta);
   const std::size_t source_blocks = (sources.size() + kW - 1) / kW;
   const std::size_t num_blocks = source_blocks * targets.size();
@@ -128,10 +179,11 @@ std::vector<double> ForwardWalkerBatch::Run(const DhtParams& params, int d,
     const int width =
         static_cast<int>(std::min<std::size_t>(kW, sources.size() - first));
     auto state = AcquireState();
-    RunBlock(*state, params, d, sources, first, width, targets[ti], ti,
+    RunBlock(*state, params, d, isources, first, width, itargets[ti], ti,
              targets.size(), out.data());
     ReleaseState(std::move(state));
   });
+  TrimPool();
   return out;
 }
 
@@ -148,9 +200,12 @@ void ForwardWalkerBatch::RunBlock(BlockState& st, const DhtParams& params,
         1.0;
     st.support.push_back(p);
   }
-  std::sort(st.support.begin(), st.support.end());
+  g_.SortCanonical(st.support);
   st.support.erase(std::unique(st.support.begin(), st.support.end()),
                    st.support.end());
+  st.support_canonical = true;
+  st.plan = options_.restrict_dense ? g_.PlanDenseSweep(st.support)
+                                    : g_.FullSweepPlan();
 
   double lambda_pow = 1.0;
   for (int step = 0; step < d; ++step) {
@@ -182,6 +237,10 @@ int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
   DHTJOIN_CHECK_GE(to_level, 1);
   DHTJOIN_CHECK(g_.ContainsNode(target));
   for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
+
+  std::vector<NodeId> source_storage;
+  std::span<const NodeId> isources = g_.MapToInternal(sources, source_storage);
+  const NodeId itarget = g_.ToInternal(target);
 
   std::map<int, std::vector<std::size_t>> by_level;
   int64_t fresh = 0;
@@ -227,11 +286,14 @@ int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
     BlockState& st = *state;
 
     // Load: fresh lanes seed unit mass at their source; resumed lanes
-    // replay their sparse snapshot.
+    // replay their sparse snapshot (mass stays inside the sources'
+    // components, so the plan from the lane sources covers both).
+    NodeId lane_source[kW];
     for (int b = 0; b < width; ++b) {
       const std::size_t i = blk.idx[static_cast<std::size_t>(b)];
+      lane_source[b] = isources[i];
       if (blk.from_level == 0) {
-        NodeId p = sources[i];
+        NodeId p = isources[i];
         double& slot =
             st.mass[static_cast<std::size_t>(p) * kW +
                     static_cast<std::size_t>(b)];
@@ -254,7 +316,12 @@ int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
       }
     }
     for (NodeId v : st.support) st.in_next[static_cast<std::size_t>(v)] = 0;
-    std::sort(st.support.begin(), st.support.end());
+    g_.SortCanonical(st.support);
+    st.support_canonical = true;
+    st.plan = options_.restrict_dense
+                  ? g_.PlanDenseSweep({lane_source,
+                                       static_cast<std::size_t>(width)})
+                  : g_.FullSweepPlan();
 
     // Resume the discount where the walk stopped (lane 0 speaks for the
     // uniform-level block); fresh blocks start at lambda^0.
@@ -265,7 +332,7 @@ int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
 
     for (int step = blk.from_level; step < to_level; ++step) {
       StepLanes(st, width);
-      double* target_row = &st.mass[static_cast<std::size_t>(target) * kW];
+      double* target_row = &st.mass[static_cast<std::size_t>(itarget) * kW];
       lambda_pow *= params.lambda;
       const double coeff = params.alpha * lambda_pow;
       for (int b = 0; b < width; ++b) {
@@ -306,6 +373,7 @@ int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
     st.RestoreZeroInvariant();
     ReleaseState(std::move(state));
   });
+  TrimPool();
 
   // Entries whose write-back was refused by the budget (or that were
   // only materialized for the parallel phase) hold no state; erase them

@@ -29,7 +29,19 @@
 /// eviction.
 ///
 /// Memory contract: like the backward batch, each concurrent block owns
-/// 2 * n * kLaneWidth doubles, pooled for the evaluator's lifetime.
+/// 2 * n * kLaneWidth doubles, pooled between runs up to
+/// Options::max_pooled_bytes (the pool is trimmed to the cap at run
+/// boundaries; workspaces_discarded counts the frees).
+///
+/// Node ids crossing the public interface (sources, targets) are
+/// EXTERNAL ids; the engine translates to the graph's physical layout
+/// (graph/reorder.h) at entry and keeps its union support sorted in
+/// CANONICAL (external) order, so scores are bit-identical across
+/// layouts. Dense billing and the adaptive policy use the block's
+/// weak-component sweep plan (Graph::PlanDenseSweep), mirroring the
+/// backward batch. ForwardBatchStates' snapshot mass node ids are
+/// INTERNAL and only meaningful on the graph/layout they were saved
+/// from.
 
 #ifndef DHTJOIN_DHT_FORWARD_BATCH_H_
 #define DHTJOIN_DHT_FORWARD_BATCH_H_
@@ -143,7 +155,16 @@ class ForwardWalkerBatch {
     PropagationMode mode = PropagationMode::kAdaptive;
     /// Worker threads; 0 means ThreadPool::DefaultThreadCount().
     int num_threads = 0;
+    /// Use the walk's weak-component sweep plan for dense billing and
+    /// the adaptive threshold (see file comment); results are
+    /// bit-identical either way.
+    bool restrict_dense = true;
+    /// Byte cap on idle block workspaces retained between runs.
+    std::size_t max_pooled_bytes = kDefaultMaxPooledBytes;
   };
+
+  /// Default workspace-pool cap, as in BackwardWalkerBatch.
+  static constexpr std::size_t kDefaultMaxPooledBytes = std::size_t{1} << 30;
 
   explicit ForwardWalkerBatch(const Graph& g);
   ForwardWalkerBatch(const Graph& g, Options options);
@@ -217,14 +238,22 @@ class ForwardWalkerBatch {
   /// Per-walker edges relaxed, summed over all lanes and runs,
   /// comparable with the scalar ForwardWalker's edges_relaxed: a sparse
   /// step bills each lane only for frontier nodes where that lane has
-  /// mass; a dense pass bills every lane |E|.
+  /// mass; a dense pass bills every lane its sweep plan's edges.
   int64_t edges_relaxed() const { return edges_relaxed_; }
+
+  /// Workspace-pool observability (Options::max_pooled_bytes).
+  std::size_t pooled_workspaces() const;
+  std::size_t pooled_workspace_bytes() const;
+  int64_t workspaces_discarded() const;
 
  private:
   struct BlockState;
 
   std::unique_ptr<BlockState> AcquireState();
   void ReleaseState(std::unique_ptr<BlockState> state);
+  /// Frees pooled workspaces over Options::max_pooled_bytes; called at
+  /// run boundaries so intra-run recycling is never disabled.
+  void TrimPool();
 
   /// One blocked forward transition step; leaves the (sorted) new
   /// support in st.support.
@@ -248,8 +277,10 @@ class ForwardWalkerBatch {
   const Graph& g_;
   Options options_;
   ThreadPool pool_;
-  std::mutex state_mu_;
+  mutable std::mutex state_mu_;
   std::vector<std::unique_ptr<BlockState>> free_states_;
+  std::size_t pooled_bytes_ = 0;
+  int64_t workspaces_discarded_ = 0;
   int64_t edges_relaxed_ = 0;
 };
 

@@ -4,12 +4,18 @@
 
 namespace dhtjoin {
 
-Propagator::Propagator(const Graph& g, Direction dir, PropagationMode mode)
+Propagator::Propagator(const Graph& g, Direction dir, PropagationMode mode,
+                       bool restrict_dense)
     : g_(g),
       dir_(dir),
       mode_(mode),
+      restrict_dense_(restrict_dense),
       mass_(static_cast<std::size_t>(g.num_nodes()), 0.0),
       next_(static_cast<std::size_t>(g.num_nodes()), 0.0) {}
+
+void Propagator::RebuildPlan(std::span<const NodeId> seeds) {
+  plan_ = restrict_dense_ ? g_.PlanDenseSweep(seeds) : g_.FullSweepPlan();
+}
 
 void Propagator::Reset(NodeId seed) {
   DHTJOIN_CHECK(g_.ContainsNode(seed));
@@ -17,6 +23,8 @@ void Propagator::Reset(NodeId seed) {
   support_.clear();
   support_.push_back(seed);
   mass_[static_cast<std::size_t>(seed)] = 1.0;
+  support_canonical_ = true;
+  RebuildPlan({&seed, 1});
 }
 
 void Propagator::Reset(std::span<const NodeId> seeds) {
@@ -29,7 +37,9 @@ void Propagator::Reset(std::span<const NodeId> seeds) {
     slot = 1.0;
   }
   // The sorted-support contract must hold from step one.
-  std::sort(support_.begin(), support_.end());
+  g_.SortCanonical(support_);
+  support_canonical_ = true;
+  RebuildPlan(support_);
 }
 
 void Propagator::SaveState(PropagatorState* out) const {
@@ -48,95 +58,110 @@ void Propagator::RestoreState(const PropagatorState& state) {
     support_.push_back(u);
     mass_[static_cast<std::size_t>(u)] = m;
   }
+  // A snapshot records the support in whatever (deterministic) order
+  // the saved walk held it; the next order-consuming step re-sorts.
+  support_canonical_ = false;
+  // The support spans the same components as the original seeds (mass
+  // never crosses a weak-component boundary), so the rebuilt plan
+  // matches the saved walk's.
+  RebuildPlan(support_);
 }
 
 bool Propagator::ChooseDense() const {
   if (mode_ == PropagationMode::kDense) return true;
   if (mode_ == PropagationMode::kSparse) return false;
-  if (SupportSizeForcesDense(support_.size(), g_)) return true;
+  if (SupportSizeForcesDense(support_.size(), plan_.cost)) return true;
   int64_t frontier_edges = 0;
   for (NodeId u : support_) {
     if (mass_[static_cast<std::size_t>(u)] == 0.0) continue;
     frontier_edges += dir_ == Direction::kForward ? g_.OutDegree(u)
                                                   : g_.InDegree(u);
   }
-  return FrontierPrefersDense(support_.size(), frontier_edges, g_);
+  return FrontierPrefersDense(support_.size(), frontier_edges, plan_.cost);
 }
 
 void Propagator::Step() {
   last_step_dense_ = ChooseDense();
-  if (!last_step_dense_) {
-    StepSparse();
-  } else if (dir_ == Direction::kForward) {
-    StepDenseForward();
+  // Sorted-support contract: a step that CONSUMES the support order (a
+  // push — it accumulates contributions at destinations in support
+  // order) first brings it into canonical order, so summation order
+  // equals the dense gather's storage order in every layout and every
+  // mode/resume path stays bit-identical. The dense backward gather
+  // only reads per-row and never consumes the order.
+  bool emitted_canonical;
+  if (dir_ == Direction::kForward) {
+    // The forward push visits exactly the nonzero rows in canonical
+    // order either way; "dense" only changes the billing.
+    EnsureCanonicalSupport();
+    StepForward(last_step_dense_);
+    emitted_canonical = false;  // push order
+  } else if (!last_step_dense_) {
+    EnsureCanonicalSupport();
+    StepSparseBackward();
+    emitted_canonical = false;  // push order
   } else {
     StepDenseBackward();
+    // The gather emits rows ascending by INTERNAL id; that is the
+    // canonical order exactly when the layout is insertion order and
+    // the plan had no component gaps.
+    emitted_canonical = !g_.is_reordered() && plan_.full;
   }
-  // Sorted-support contract: keeping the support ascending makes the
-  // next sparse push accumulate contributions in dense-sweep order, so
-  // every mode (and every resumed walk) is bit-identical. The backward
-  // dense gather emits an already-sorted list; sorting it is O(s).
-  std::sort(next_support_.begin(), next_support_.end());
   support_.swap(next_support_);
   mass_.swap(next_);
   next_support_.clear();
+  support_canonical_ = emitted_canonical;
 }
 
-void Propagator::StepSparse() {
+void Propagator::StepForward(bool bill_dense) {
   next_support_.clear();
+  int64_t relaxed = 0;
   for (NodeId u : support_) {
     double m = mass_[static_cast<std::size_t>(u)];
     mass_[static_cast<std::size_t>(u)] = 0.0;
     if (m == 0.0) continue;
-    if (dir_ == Direction::kForward) {
-      for (const OutEdge& e : g_.OutEdges(u)) {
-        double add = m * e.prob;
-        // Underflow guard: a zero contribution must not register the
-        // node in the support (the first-touch test below relies on
-        // nonzero slots staying nonzero).
-        if (add == 0.0) continue;
-        double& slot = next_[static_cast<std::size_t>(e.to)];
-        if (slot == 0.0) next_support_.push_back(e.to);
-        slot += add;
-      }
-      edges_relaxed_ += g_.OutDegree(u);
-    } else {
-      for (const InEdge& e : g_.InEdges(u)) {
-        double add = m * e.prob;
-        if (add == 0.0) continue;
-        double& slot = next_[static_cast<std::size_t>(e.from)];
-        if (slot == 0.0) next_support_.push_back(e.from);
-        slot += add;
-      }
-      edges_relaxed_ += g_.InDegree(u);
-    }
-  }
-}
-
-void Propagator::StepDenseForward() {
-  next_support_.clear();
-  const NodeId n = g_.num_nodes();
-  for (NodeId u = 0; u < n; ++u) {
-    double m = mass_[static_cast<std::size_t>(u)];
-    if (m == 0.0) continue;
-    mass_[static_cast<std::size_t>(u)] = 0.0;
+    relaxed += g_.OutDegree(u);
     for (const OutEdge& e : g_.OutEdges(u)) {
       double add = m * e.prob;
+      // Underflow guard: a zero contribution must not register the
+      // node in the support (the first-touch test below relies on
+      // nonzero slots staying nonzero).
       if (add == 0.0) continue;
       double& slot = next_[static_cast<std::size_t>(e.to)];
       if (slot == 0.0) next_support_.push_back(e.to);
       slot += add;
     }
   }
-  edges_relaxed_ += g_.num_edges();
+  edges_relaxed_ += bill_dense ? plan_.edges : relaxed;
+}
+
+void Propagator::StepSparseBackward() {
+  next_support_.clear();
+  for (NodeId u : support_) {
+    double m = mass_[static_cast<std::size_t>(u)];
+    mass_[static_cast<std::size_t>(u)] = 0.0;
+    if (m == 0.0) continue;
+    for (const InEdge& e : g_.InEdges(u)) {
+      double add = m * e.prob;
+      if (add == 0.0) continue;
+      double& slot = next_[static_cast<std::size_t>(e.from)];
+      if (slot == 0.0) next_support_.push_back(e.from);
+      slot += add;
+    }
+    edges_relaxed_ += g_.InDegree(u);
+  }
 }
 
 void Propagator::StepDenseBackward() {
-  // Sequential gather over every out-row, the cache-friendly layout the
-  // seed engine used; the support rebuild rides the same O(n) sweep.
+  // Sequential gather over the PLAN's out-rows — the cache-friendly
+  // layout the seed engine used, restricted to the walk's components.
+  // Rows outside the plan have no edge into the support, so their
+  // accumulator would be exactly 0.0: skipping them changes nothing
+  // (the restricted-sweep correctness argument, DESIGN.md §7). Each
+  // row's sum runs in storage (canonical) order; rows are independent,
+  // so the row iteration order never affects values. The support
+  // rebuild rides the same sweep.
   next_support_.clear();
-  const NodeId n = g_.num_nodes();
-  for (NodeId u = 0; u < n; ++u) {
+  plan_.ForEachRow(g_.num_nodes(), [&](NodeId u) {
     double acc = 0.0;
     for (const OutEdge& e : g_.OutEdges(u)) {
       acc += e.prob * mass_[static_cast<std::size_t>(e.to)];
@@ -145,9 +170,9 @@ void Propagator::StepDenseBackward() {
       next_[static_cast<std::size_t>(u)] = acc;
       next_support_.push_back(u);
     }
-  }
+  });
   for (NodeId u : support_) mass_[static_cast<std::size_t>(u)] = 0.0;
-  edges_relaxed_ += g_.num_edges();
+  edges_relaxed_ += plan_.edges;
 }
 
 }  // namespace dhtjoin

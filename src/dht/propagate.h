@@ -17,25 +17,33 @@
 ///    out-rows (forward) or transposed in-rows (backward, which is why
 ///    Graph carries in-edge transition probabilities). Cost is
 ///    proportional to the frontier's degree sum — output-sensitive.
-///  * DENSE step: the seed's full sweep (sequential gather for backward,
-///    full push for forward). Cost O(n + m) regardless of support.
+///  * DENSE step: the full sweep (sequential gather for backward, full
+///    push for forward) — but RESTRICTED to the weak components of the
+///    walk's seeds (Graph::PlanDenseSweep): mass can never leave them,
+///    so rows outside contribute exactly 0.0 and are skipped without
+///    changing a single bit. A saturated-but-local walk therefore pays
+///    O(|ball|) per dense step, not O(n + m); on a connected graph the
+///    plan covers everything and the sweep is the classic one.
 ///
 /// The adaptive policy compares the frontier degree sum against the
-/// dense cost with a constant penalty for the sparse step's random
-/// writes, so worst-case cost never regresses beyond a constant factor
-/// of the dense engine while small frontiers — the common case for few-
-/// step truncated DHT on sparse graphs — cost almost nothing.
+/// RESTRICTED dense cost with a constant penalty for the sparse step's
+/// random writes, so worst-case cost never regresses beyond a constant
+/// factor of the dense engine while small frontiers — the common case
+/// for few-step truncated DHT on sparse graphs — cost almost nothing.
 ///
-/// Numerical contract (DESIGN.md §3): the support list is kept SORTED by
-/// node id at every step boundary, so a sparse push visits sources in
-/// ascending id order — the same order in which the dense sweep's CSR
-/// rows accumulate them. Floating-point summation order is therefore
-/// identical across modes, and all modes produce bit-identical mass
-/// vectors. This determinism is load-bearing: it is what lets a resumed
-/// walk (SaveState/RestoreState, or the batched engines' per-target
-/// states) produce byte-identical scores to a from-scratch walk, and it
-/// lets state pools drop entries under memory pressure and restart
-/// without changing any result.
+/// Numerical contract (DESIGN.md §3, §7): the support list is kept
+/// sorted by CANONICAL (external) node id at every step boundary, and
+/// CSR rows are stored in canonical order, so a sparse push visits
+/// sources in exactly the order the dense sweep's rows accumulate them
+/// — in EVERY physical layout. Floating-point summation order is
+/// therefore identical across modes, across restricted and full
+/// sweeps, and across graph reorderings (graph/reorder.h): all of them
+/// produce bit-identical mass vectors. This determinism is
+/// load-bearing: it is what lets a resumed walk (SaveState/
+/// RestoreState, or the batched engines' per-target states) produce
+/// byte-identical scores to a from-scratch walk, lets state pools drop
+/// entries under memory pressure and restart without changing any
+/// result, and makes a reordered graph a pure physical optimization.
 
 #ifndef DHTJOIN_DHT_PROPAGATE_H_
 #define DHTJOIN_DHT_PROPAGATE_H_
@@ -63,28 +71,35 @@ enum class PropagationMode {
 inline constexpr int64_t kSparsePenalty = 4;
 
 /// The adaptive policy, shared by Propagator and the batch engines so
-/// all of them flip modes at the same threshold.
+/// all of them flip modes at the same threshold. `dense_cost` is the
+/// walk's restricted dense-sweep cost (SweepPlan::cost — covered edges
+/// plus covered rows; n + m when the restriction is off or the graph is
+/// connected).
 ///
 /// SupportSizeForcesDense is the cheap early-out: once the support alone
 /// crosses the threshold, the degree sum can only confirm it and the
 /// per-node degree scan would cost real time every step of a saturated
 /// walk. FrontierPrefersDense is the full comparison once the caller has
 /// summed its frontier degrees.
-inline bool SupportSizeForcesDense(std::size_t support_size, const Graph& g) {
-  return static_cast<int64_t>(support_size) * kSparsePenalty >=
-         g.num_edges() + g.num_nodes();
+inline bool SupportSizeForcesDense(std::size_t support_size,
+                                   int64_t dense_cost) {
+  return static_cast<int64_t>(support_size) * kSparsePenalty >= dense_cost;
 }
 inline bool FrontierPrefersDense(std::size_t support_size,
-                                 int64_t frontier_edges, const Graph& g) {
+                                 int64_t frontier_edges,
+                                 int64_t dense_cost) {
   return (frontier_edges + static_cast<int64_t>(support_size)) *
              kSparsePenalty >=
-         g.num_edges() + g.num_nodes();
+         dense_cost;
 }
 
 /// Sparse snapshot of a Propagator's in-flight mass: (node, mass) pairs
 /// in support order. Entries with zero mass are preserved so a restored
 /// engine has the exact support list (and thus the exact sparse/dense
-/// policy decisions and edge billing) of the saved one.
+/// policy decisions and edge billing) of the saved one. Node ids are
+/// INTERNAL (layout) ids — a state is only meaningful on the graph (and
+/// layout) it was saved from; the serving cache keys enforce that via
+/// the layout-aware GraphFingerprint.
 struct PropagatorState {
   std::vector<std::pair<NodeId, double>> mass;
 
@@ -97,6 +112,10 @@ struct PropagatorState {
 /// in either edge direction. Absorption (first-hit semantics) is the
 /// caller's business: read Mass() at the absorbing node after a Step()
 /// and ClearMass() it before the next.
+///
+/// This is the LOW-LEVEL engine: every node id crossing its interface
+/// is an INTERNAL (layout) id. The scalar walkers and batch engines
+/// translate external ids before reaching it.
 class Propagator {
  public:
   enum class Direction {
@@ -104,8 +123,13 @@ class Propagator {
     kBackward,  ///< next[u] = sum_v p_uv * cur[v]
   };
 
+  /// `restrict_dense` = false disables the reachability restriction
+  /// (dense steps sweep all n rows and bill all m edges, as the seed
+  /// engine did) — the benchmark baseline; results are bit-identical
+  /// either way.
   Propagator(const Graph& g, Direction dir,
-             PropagationMode mode = PropagationMode::kAdaptive);
+             PropagationMode mode = PropagationMode::kAdaptive,
+             bool restrict_dense = true);
 
   /// Drops all mass and places 1.0 at `seed`. O(|support|), not O(n).
   void Reset(NodeId seed);
@@ -125,8 +149,11 @@ class Propagator {
   /// support list with zero mass; iteration skips it.
   void ClearMass(NodeId u) { mass_[static_cast<std::size_t>(u)] = 0.0; }
 
-  /// Invokes fn(node, mass) for every node with nonzero mass, in
-  /// ascending node order.
+  /// Invokes fn(node, mass) for every node with nonzero mass. The
+  /// iteration order is deterministic for a given walk but NOT
+  /// guaranteed sorted (the canonical support sort is deferred until a
+  /// step actually consumes the order); callers must be
+  /// order-insensitive, which every per-node accumulation is.
   template <typename Fn>
   void ForEachMass(Fn&& fn) const {
     for (NodeId u : support_) {
@@ -148,30 +175,54 @@ class Propagator {
   std::size_t support_size() const { return support_.size(); }
 
   /// Total edges relaxed (multiply-adds into next) since construction;
-  /// dense sweeps charge all m edges. This is the engine's work measure,
-  /// surfaced as TwoWayJoinStats::walk_steps.
+  /// a dense sweep charges its PLAN's edges (all m when unrestricted).
+  /// This is the engine's work measure, surfaced as
+  /// TwoWayJoinStats::walk_steps.
   int64_t edges_relaxed() const { return edges_relaxed_; }
 
   /// True when the most recent Step() ran the dense sweep.
   bool last_step_dense() const { return last_step_dense_; }
 
+  /// The dense-sweep plan of the current walk (for tests/benches).
+  const SweepPlan& plan() const { return plan_; }
+
  private:
   bool ChooseDense() const;
-  void StepSparse();
-  void StepDenseForward();
+  void RebuildPlan(std::span<const NodeId> seeds);
+  /// Canonically sorts the support if a prior step left it unsorted.
+  /// Only steps that CONSUME the support order (any forward push, the
+  /// sparse backward push) pay this; the dense backward gather never
+  /// does, so a saturated dense walk skips the per-step sort entirely —
+  /// the deferral is what keeps reordered layouts from paying an
+  /// O(s log s) indirect sort per dense step.
+  void EnsureCanonicalSupport() {
+    if (!support_canonical_) {
+      g_.SortCanonical(support_);
+      support_canonical_ = true;
+    }
+  }
+  /// The forward push; shared by sparse and dense forward steps, which
+  /// differ only in billing (the push already visits exactly the
+  /// nonzero rows in canonical order — the dense sweep's order).
+  void StepForward(bool bill_dense);
+  void StepSparseBackward();
   void StepDenseBackward();
 
   const Graph& g_;
   Direction dir_;
   PropagationMode mode_;
+  bool restrict_dense_;
   // Invariant: mass_ and next_ are exactly 0.0 outside their support
   // lists, at all times. Steps clean up after themselves (sparse clear),
-  // so Reset never pays O(n). support_ is sorted ascending at every
-  // step boundary (the determinism contract in the file comment).
+  // so Reset never pays O(n). support_ is brought into canonical order
+  // before any step that consumes its order (the determinism contract
+  // in the file comment; see EnsureCanonicalSupport).
   std::vector<double> mass_, next_;
   std::vector<NodeId> support_, next_support_;
+  SweepPlan plan_;
   int64_t edges_relaxed_ = 0;
   bool last_step_dense_ = false;
+  bool support_canonical_ = true;  // see EnsureCanonicalSupport
 };
 
 }  // namespace dhtjoin

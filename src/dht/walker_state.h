@@ -41,14 +41,15 @@ namespace dhtjoin {
 inline constexpr std::size_t kAutotuneBytesPerNodeSnapshot = 24;
 inline constexpr std::size_t kAutotuneSnapshotHeadroom = 256;
 
+inline constexpr std::size_t kAutotuneMinBudgetBytes = std::size_t{64} << 20;
+inline constexpr std::size_t kAutotuneMaxBudgetBytes = std::size_t{1} << 30;
+
 inline std::size_t AutotuneStateBudgetBytes(int64_t num_nodes) {
   const std::size_t per_snapshot =
       static_cast<std::size_t>(std::max<int64_t>(num_nodes, 1)) *
       kAutotuneBytesPerNodeSnapshot;
   const std::size_t budget = per_snapshot * kAutotuneSnapshotHeadroom;
-  constexpr std::size_t kMin = std::size_t{64} << 20;   // 64 MB
-  constexpr std::size_t kMax = std::size_t{1} << 30;    // 1 GB
-  return std::clamp(budget, kMin, kMax);
+  return std::clamp(budget, kAutotuneMinBudgetBytes, kAutotuneMaxBudgetBytes);
 }
 
 /// Keyed LRU pool of walker snapshots. `State` must expose
@@ -113,6 +114,40 @@ class WalkerStatePool {
   std::size_t bytes() const { return bytes_; }
   std::size_t max_bytes() const { return max_bytes_; }
 
+  /// Feedback half of the budget autotuner (AutotuneStateBudgetBytes is
+  /// the graph-size half): adjusts max_bytes() from the hit/eviction
+  /// counters OBSERVED since the previous Retune call.
+  ///  * THRASH — evictions happened and under half the lookups hit:
+  ///    the working set does not fit; double the budget (up to `hi`).
+  ///  * IDLE — no evictions and the pool sits under a quarter of its
+  ///    budget: halve it (down to `lo`, never below the resident
+  ///    bytes), handing headroom back to the process.
+  /// Callers with an EXPLICIT budget should not call this; it is for
+  /// budgets derived by the autotuner. Returns the (possibly
+  /// unchanged) budget.
+  std::size_t Retune(std::size_t lo = kAutotuneMinBudgetBytes,
+                     std::size_t hi = kAutotuneMaxBudgetBytes) {
+    const int64_t d_hits = hits_ - retune_hits_;
+    const int64_t d_misses = misses_ - retune_misses_;
+    const int64_t d_evictions = evictions_ - retune_evictions_;
+    retune_hits_ = hits_;
+    retune_misses_ = misses_;
+    retune_evictions_ = evictions_;
+    if (d_evictions > 0 && d_hits < d_misses) {
+      max_bytes_ = std::min(std::max(max_bytes_, std::size_t{1}) * 2, hi);
+      ++grows_;
+    } else if (d_evictions == 0 && bytes_ * 4 <= max_bytes_ &&
+               max_bytes_ > lo) {
+      max_bytes_ = std::max({max_bytes_ / 2, lo, bytes_});
+      ++shrinks_;
+    }
+    return max_bytes_;
+  }
+
+  /// Retune() decisions taken so far (observability/tests).
+  int64_t budget_grows() const { return grows_; }
+  int64_t budget_shrinks() const { return shrinks_; }
+
   /// Observability counters, surfaced as TwoWayJoinStats::state_*:
   /// Find() calls that returned a state / returned nullptr, and entries
   /// dropped by the byte budget (Erase/Clear are deliberate, not
@@ -133,6 +168,12 @@ class WalkerStatePool {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  // Counter snapshots at the last Retune(), and decision counts.
+  int64_t retune_hits_ = 0;
+  int64_t retune_misses_ = 0;
+  int64_t retune_evictions_ = 0;
+  int64_t grows_ = 0;
+  int64_t shrinks_ = 0;
   std::list<Entry> lru_;
   std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index_;
 };

@@ -25,8 +25,11 @@ Result<RocResult> EvaluateCliquePrediction(
       std::vector<TupleAnswer> tuples,
       join.Run(test_graph, params, d, query, min_f, options.k));
 
+  // Tuples carry external ids; HasEdge is layout-addressed.
   auto is_clique = [](const Graph& g, NodeId x, NodeId y, NodeId z) {
-    return g.HasEdge(x, y) && g.HasEdge(y, z) && g.HasEdge(x, z);
+    const NodeId ix = g.ToInternal(x), iy = g.ToInternal(y),
+                 iz = g.ToInternal(z);
+    return g.HasEdge(ix, iy) && g.HasEdge(iy, iz) && g.HasEdge(ix, iz);
   };
 
   std::vector<std::pair<double, bool>> scored;

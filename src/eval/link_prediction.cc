@@ -24,9 +24,13 @@ Result<RocResult> EvaluateLinkPrediction(const Graph& true_graph,
         for (std::size_t pi = 0; pi < P.size(); ++pi) {
           NodeId p = P[pi];
           if (p == q) continue;
-          if (test_graph.HasEdge(p, q)) continue;  // already linked: not
-                                                   // a prediction
-          bool positive = true_graph.HasEdge(p, q);
+          // HasEdge is layout-addressed; p/q are external ids.
+          if (test_graph.HasEdge(test_graph.ToInternal(p),
+                                 test_graph.ToInternal(q))) {
+            continue;  // already linked: not a prediction
+          }
+          bool positive = true_graph.HasEdge(true_graph.ToInternal(p),
+                                             true_graph.ToInternal(q));
           scored.emplace_back(row[pi], positive);
         }
       });

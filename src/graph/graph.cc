@@ -4,23 +4,113 @@
 
 namespace dhtjoin {
 
+namespace {
+
+/// lower_bound on a canonically-sorted out-row for the edge whose
+/// target's CANONICAL id is that of internal node `v`.
+std::span<const OutEdge>::iterator FindEdge(const Graph& g,
+                                            std::span<const OutEdge> row,
+                                            NodeId v) {
+  const NodeId key = g.ToExternal(v);
+  return std::lower_bound(row.begin(), row.end(), key,
+                          [&g](const OutEdge& e, NodeId target_key) {
+                            return g.ToExternal(e.to) < target_key;
+                          });
+}
+
+}  // namespace
+
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   if (!ContainsNode(u) || !ContainsNode(v)) return false;
   auto row = OutEdges(u);
-  auto it = std::lower_bound(
-      row.begin(), row.end(), v,
-      [](const OutEdge& e, NodeId target) { return e.to < target; });
+  auto it = FindEdge(*this, row, v);
   return it != row.end() && it->to == v;
 }
 
 double Graph::EdgeWeight(NodeId u, NodeId v) const {
   if (!ContainsNode(u) || !ContainsNode(v)) return 0.0;
   auto row = OutEdges(u);
-  auto it = std::lower_bound(
-      row.begin(), row.end(), v,
-      [](const OutEdge& e, NodeId target) { return e.to < target; });
+  auto it = FindEdge(*this, row, v);
   if (it == row.end() || it->to != v) return 0.0;
-  return it->weight;
+  return OutWeights(u)[static_cast<std::size_t>(it - row.begin())];
+}
+
+const ReachIndex& Graph::Reachability() const {
+  DHTJOIN_CHECK(caches_ != nullptr);  // set by every Graph producer
+  std::call_once(caches_->reach_once, [this] {
+    ReachIndex& idx = caches_->reach;
+    const NodeId n = num_nodes();
+    idx.comp_of.assign(static_cast<std::size_t>(n), -1);
+    std::vector<NodeId> stack;
+    int num_comps = 0;
+    for (NodeId start = 0; start < n; ++start) {
+      if (idx.comp_of[static_cast<std::size_t>(start)] != -1) continue;
+      const int32_t id = num_comps++;
+      idx.comp_of[static_cast<std::size_t>(start)] = id;
+      stack.push_back(start);
+      while (!stack.empty()) {
+        NodeId u = stack.back();
+        stack.pop_back();
+        auto visit = [&](NodeId v) {
+          if (idx.comp_of[static_cast<std::size_t>(v)] == -1) {
+            idx.comp_of[static_cast<std::size_t>(v)] = id;
+            stack.push_back(v);
+          }
+        };
+        for (const OutEdge& e : OutEdges(u)) visit(e.to);
+        for (const InEdge& e : InEdges(u)) visit(e.from);
+      }
+    }
+    // Group nodes by component via counting sort; ascending internal id
+    // within each component (the outer loop below runs ascending).
+    idx.comp_offsets.assign(static_cast<std::size_t>(num_comps) + 1, 0);
+    idx.comp_edges.assign(static_cast<std::size_t>(num_comps), 0);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto c = static_cast<std::size_t>(
+          idx.comp_of[static_cast<std::size_t>(u)]);
+      idx.comp_offsets[c + 1]++;
+      idx.comp_edges[c] += OutDegree(u);
+    }
+    for (int c = 0; c < num_comps; ++c) {
+      idx.comp_offsets[static_cast<std::size_t>(c) + 1] +=
+          idx.comp_offsets[static_cast<std::size_t>(c)];
+    }
+    idx.comp_nodes.resize(static_cast<std::size_t>(n));
+    std::vector<int64_t> cursor(idx.comp_offsets.begin(),
+                                idx.comp_offsets.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto c = static_cast<std::size_t>(
+          idx.comp_of[static_cast<std::size_t>(u)]);
+      idx.comp_nodes[static_cast<std::size_t>(cursor[c]++)] = u;
+    }
+  });
+  return caches_->reach;
+}
+
+SweepPlan Graph::PlanDenseSweep(std::span<const NodeId> seeds) const {
+  const ReachIndex& idx = Reachability();
+  // Dedup the seeds' component ids (ascending, for a deterministic
+  // range order; values never depend on it).
+  std::vector<int32_t> comps;
+  comps.reserve(seeds.size());
+  for (NodeId u : seeds) {
+    DHTJOIN_DCHECK(ContainsNode(u));
+    comps.push_back(idx.comp_of[static_cast<std::size_t>(u)]);
+  }
+  std::sort(comps.begin(), comps.end());
+  comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+
+  SweepPlan plan;
+  for (int32_t c : comps) {
+    auto nodes = idx.Nodes(c);
+    plan.rows += static_cast<int64_t>(nodes.size());
+    plan.edges += idx.comp_edges[static_cast<std::size_t>(c)];
+    plan.ranges.push_back(nodes);
+  }
+  plan.cost = plan.rows + plan.edges;
+  plan.full = plan.rows == num_nodes();
+  if (plan.full) plan.ranges.clear();
+  return plan;
 }
 
 }  // namespace dhtjoin

@@ -56,7 +56,8 @@ Result<Graph> GraphBuilder::Build() {
       w += edges_[j].weight;
       ++j;
     }
-    g.out_edges_.push_back(OutEdge{edges_[i].to, w, 0.0});
+    g.out_edges_.push_back(OutEdge{edges_[i].to, 0.0});
+    g.out_weights_.push_back(w);
     g.out_offsets_[static_cast<std::size_t>(edges_[i].from) + 1]++;
     i = j;
   }
@@ -71,12 +72,12 @@ Result<Graph> GraphBuilder::Build() {
     auto end = g.out_offsets_[static_cast<std::size_t>(u) + 1];
     double total = 0.0;
     for (auto e = begin; e < end; ++e) {
-      total += g.out_edges_[static_cast<std::size_t>(e)].weight;
+      total += g.out_weights_[static_cast<std::size_t>(e)];
     }
     if (total > 0.0) {
       for (auto e = begin; e < end; ++e) {
-        auto& edge = g.out_edges_[static_cast<std::size_t>(e)];
-        edge.prob = edge.weight / total;
+        g.out_edges_[static_cast<std::size_t>(e)].prob =
+            g.out_weights_[static_cast<std::size_t>(e)] / total;
       }
     }
   }
@@ -108,6 +109,7 @@ Result<Graph> GraphBuilder::Build() {
 
   edges_.clear();
   edges_.shrink_to_fit();
+  g.caches_ = std::make_shared<Graph::LazyCaches>();
   return g;
 }
 

@@ -23,9 +23,15 @@ Status SaveEdgeList(const Graph& g, const std::string& path) {
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
   out << "# dhtjoin-graph nodes=" << g.num_nodes()
       << " edges=" << g.num_edges() << " directed=1\n";
+  // EXTERNAL ids on disk: a reordered graph (graph/reorder.h)
+  // round-trips to the insertion-ordered graph it is a relabeling of,
+  // so files mean the same nodes regardless of the writer's layout.
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (const OutEdge& e : g.OutEdges(u)) {
-      out << u << ' ' << e.to << ' ' << e.weight << '\n';
+    auto row = g.OutEdges(u);
+    auto weights = g.OutWeights(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << g.ToExternal(u) << ' ' << g.ToExternal(row[i].to) << ' '
+          << weights[i] << '\n';
     }
   }
   out.flush();

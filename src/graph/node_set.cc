@@ -31,9 +31,11 @@ Status NodeSet::Validate(const Graph& g) const {
 
 NodeSet NodeSet::TopByDegree(const Graph& g, std::size_t count) const {
   std::vector<NodeId> sorted = nodes_;
+  // Members are external ids; Degree is layout-addressed.
   std::stable_sort(sorted.begin(), sorted.end(),
                    [&g](NodeId a, NodeId b) {
-                     return g.Degree(a) > g.Degree(b);
+                     return g.Degree(g.ToInternal(a)) >
+                            g.Degree(g.ToInternal(b));
                    });
   if (sorted.size() > count) sorted.resize(count);
   return NodeSet(name_ + "-top" + std::to_string(count), std::move(sorted));

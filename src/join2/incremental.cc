@@ -25,7 +25,8 @@ IncrementalTwoWayJoin::IncrementalTwoWayJoin(const Graph& g,
       walker_(g),
       walker_states_(options.state_budget_bytes > 0
                          ? options.state_budget_bytes
-                         : AutotuneStateBudgetBytes(g.num_nodes())) {
+                         : AutotuneStateBudgetBytes(g.num_nodes())),
+      autotune_budget_(options.state_budget_bytes == 0) {
   if (options_.bound == UpperBoundKind::kY) {
     ybound_ = std::make_unique<YBoundTable>(g, params, d, P, Q);
     // Charge what the S_i(P, q) sweep actually relaxed (it runs on the
@@ -69,6 +70,14 @@ double IncrementalTwoWayJoin::Remainder(int l, std::size_t qi) const {
 void IncrementalTwoWayJoin::DeepenTarget(std::size_t qi, int new_level) {
   DHTJOIN_CHECK_GT(new_level, q_level_[qi]);
   DHTJOIN_CHECK_LE(new_level, d_);
+  // Feedback autotune: every so many walks, fold the pool's OBSERVED
+  // hit/eviction behaviour back into its byte budget (grow on thrash,
+  // shrink on idle). Explicit budgets are left alone. Shrink-evicted
+  // states restart bit-identically, so this never changes a result.
+  constexpr int64_t kRetunePeriod = 64;
+  if (autotune_budget_ && ++deepen_calls_ % kRetunePeriod == 0) {
+    walker_states_.Retune();
+  }
   NodeId q = Q_[qi];
   int64_t edges_before = walker_.edges_relaxed();
   // Resume from the target's saved state when the pool still holds it

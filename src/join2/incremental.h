@@ -118,8 +118,13 @@ class IncrementalTwoWayJoin {
   // target's current level instead of replaying it from scratch (the
   // paper's min(2l, d) refinement revisits the same targets over and
   // over). LRU under a byte budget; an evicted target restarts with
-  // bit-identical results (DESIGN.md §3).
+  // bit-identical results (DESIGN.md §3). When the budget came from the
+  // autotuner (Options::state_budget_bytes == 0), the pool's observed
+  // hit/eviction counters feed back into it periodically
+  // (WalkerStatePool::Retune): grow on thrash, shrink on idle.
   WalkerStatePool<BackwardWalkerState> walker_states_;
+  bool autotune_budget_ = false;
+  int64_t deepen_calls_ = 0;
 
   MutableHeap<PairEntry> f_;  // keyed by upper bound h+
   std::unordered_map<uint64_t, MutableHeap<PairEntry>::Handle> index_;

@@ -47,6 +47,10 @@ uint64_t GraphFingerprint(const Graph& g) {
   HashStream h(0x6a09e667f3bcc909ULL);
   h.Mix(static_cast<uint64_t>(g.num_nodes()));
   h.Mix(static_cast<uint64_t>(g.num_edges()));
+  // Layout epoch: cached payloads carry INTERNAL node ids, so two
+  // layouts of the same logical graph must never alias — even if their
+  // CSR bits coincide (a permutation of a symmetric graph).
+  h.Mix(g.layout_epoch());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     h.Mix(static_cast<uint64_t>(g.OutDegree(u)));
     for (const OutEdge& e : g.OutEdges(u)) {
@@ -136,6 +140,17 @@ void ScoreCache::PutIf(
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
+  // First-touch bypass for small payloads (Options::
+  // admission_bypass_bytes): a tiny payload is only admitted once its
+  // key was offered before. Resident keys update as usual — rejecting
+  // those would stale the entry, not save memory.
+  if (bytes < options_.admission_bypass_bytes && it == shard.index.end()) {
+    if (shard.seen.size() >= kMaxSeenPerShard) shard.seen.clear();
+    if (shard.seen.insert(key.Hash()).second) {
+      admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
   if (it != shard.index.end()) {
     if (keep_existing(*it->second->entry)) return;
     shard.bytes -= it->second->bytes;
@@ -180,6 +195,7 @@ CacheStats ScoreCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.insertions = insertions_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     s.resident_bytes += shard->bytes;

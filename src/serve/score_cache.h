@@ -35,6 +35,7 @@
 #include <mutex>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -148,6 +149,9 @@ struct CacheStats {
   int64_t misses = 0;
   int64_t insertions = 0;
   int64_t evictions = 0;
+  /// Puts turned away by the admission policy (first touch of a small
+  /// payload; see Options::admission_bypass_bytes).
+  int64_t admission_rejects = 0;
   std::size_t resident_bytes = 0;
   std::size_t entries = 0;
 };
@@ -166,6 +170,15 @@ class ScoreCache {
     std::size_t max_bytes = std::size_t{256} << 20;
     /// Power of two recommended; clamped to >= 1.
     int num_shards = 8;
+    /// Admission policy (first-touch bypass with a size floor): a
+    /// payload SMALLER than this is only admitted once its key has
+    /// been offered before — one-shot tiny queries then never enter
+    /// the LRU, so they stop churning it, while any repeated key is
+    /// admitted on its second offer. Payloads at or above the floor
+    /// are always admitted (recomputing them is what the cache is
+    /// for). 0 (default) admits everything. Rejects are surfaced as
+    /// CacheStats::admission_rejects.
+    std::size_t admission_bypass_bytes = 0;
   };
 
   explicit ScoreCache(Options options);
@@ -231,7 +244,18 @@ class ScoreCache {
     std::list<Node> lru;  // front = most recent
     std::unordered_map<CacheKey, std::list<Node>::iterator, KeyHash> index;
     std::size_t bytes = 0;
+    /// Admission doorkeeper: key hashes offered at least once. Hash
+    /// collisions only ever admit EARLY (harmless — admission is a
+    /// heuristic; keying stays exact). Cleared when it outgrows its
+    /// bound so memory stays O(1) per shard.
+    std::unordered_set<uint64_t> seen;
   };
+
+  /// Doorkeeper entry bound per shard. A node-based unordered_set
+  /// costs ~32-40 bytes per entry (node + bucket share), so this caps
+  /// the doorkeeper near 0.5 MB per shard — a few MB per cache,
+  /// deliberately outside the payload byte budget.
+  static constexpr std::size_t kMaxSeenPerShard = std::size_t{1} << 14;
 
   Shard& ShardFor(const CacheKey& key);
 
@@ -242,6 +266,7 @@ class ScoreCache {
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> insertions_{0};
   std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> admission_rejects_{0};
 };
 
 }  // namespace dhtjoin::serve

@@ -97,7 +97,8 @@ DhtJoinService::DhtJoinService(const Graph& g, const DhtParams& params, int d,
           .max_bytes = options.cache_budget_bytes == kAutotuneBudget
                            ? AutotuneStateBudgetBytes(g.num_nodes())
                            : options.cache_budget_bytes,
-          .num_shards = options.cache_shards}),
+          .num_shards = options.cache_shards,
+          .admission_bypass_bytes = options.cache_admission_bypass_bytes}),
       pool_(options.num_threads > 0 ? options.num_threads
                                     : ThreadPool::DefaultThreadCount()),
       snapshots_(std::make_unique<SnapshotAdapter>(this)),

@@ -64,6 +64,10 @@ class DhtJoinService {
   struct Options {
     std::size_t cache_budget_bytes = kAutotuneBudget;
     int cache_shards = 8;
+    /// Admission floor: payloads smaller than this are only cached on
+    /// their second offer (ScoreCache first-touch bypass), so one-shot
+    /// tiny queries stop churning the LRU. 0 = admit everything.
+    std::size_t cache_admission_bypass_bytes = 0;
     /// Worker threads for Submit* sessions; 0 = hardware concurrency.
     int num_threads = 0;
     /// Remainder bound of the two-way executor (paper uses Y).

@@ -24,11 +24,13 @@ Result<DistanceJoinResult> DistanceJoin(const Graph& g,
   for (std::size_t e = 0; e < edges.size(); ++e) {
     const NodeSet& P = query.set(edges[e].left);
     const NodeSet& Q = query.set(edges[e].right);
+    // Sets hold external ids; BFS is layout-addressed. pair_ok keys
+    // stay external, matching the enumerated tuples.
     for (NodeId q : Q) {
-      std::vector<int> dist = BfsTo(g, q, delta);
+      std::vector<int> dist = BfsTo(g, g.ToInternal(q), delta);
       for (NodeId p : P) {
         if (p == q) continue;
-        int d = dist[static_cast<std::size_t>(p)];
+        int d = dist[static_cast<std::size_t>(g.ToInternal(p))];
         if (d != kUnreachable && d <= delta) {
           pair_ok[e].emplace(PackPair(p, q), 1);
         }
@@ -83,17 +85,22 @@ Result<eval::RocResult> EvaluateLinkPredictionByDistance(
   if (max_depth < 1) return Status::InvalidArgument("max_depth must be >= 1");
 
   std::vector<std::pair<double, bool>> scored;
+  // P/Q hold external ids; BFS distances and HasEdge are
+  // layout-addressed.
   for (NodeId q : Q) {
-    std::vector<int> dist = BfsTo(test_graph, q, max_depth);
+    const NodeId iq = test_graph.ToInternal(q);
+    std::vector<int> dist = BfsTo(test_graph, iq, max_depth);
     for (NodeId p : P) {
       if (p == q) continue;
-      if (test_graph.HasEdge(p, q)) continue;
-      int d = dist[static_cast<std::size_t>(p)];
+      const NodeId ip = test_graph.ToInternal(p);
+      if (test_graph.HasEdge(ip, iq)) continue;
+      int d = dist[static_cast<std::size_t>(ip)];
       // Unreachable pairs rank at the bottom, like beta-floor DHT pairs.
       double score = d == kUnreachable
                          ? -static_cast<double>(max_depth) - 1.0
                          : -static_cast<double>(d);
-      scored.emplace_back(score, true_graph.HasEdge(p, q));
+      scored.emplace_back(score, true_graph.HasEdge(true_graph.ToInternal(p),
+                                                    true_graph.ToInternal(q)));
     }
   }
   return eval::ComputeRoc(std::move(scored));

@@ -20,9 +20,11 @@ namespace {
 
 bool IsSymmetric(const Graph& g) {
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (const OutEdge& e : g.OutEdges(u)) {
-      if (!g.HasEdge(e.to, u)) return false;
-      if (g.EdgeWeight(e.to, u) != e.weight) return false;
+    auto row = g.OutEdges(u);
+    auto weights = g.OutWeights(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (!g.HasEdge(row[i].to, u)) return false;
+      if (g.EdgeWeight(row[i].to, u) != weights[i]) return false;
     }
   }
   return true;
@@ -217,8 +219,8 @@ TEST(DblpLikeTest, AreasWeightsAndYears) {
   }
   // Co-authorship weights are positive integers.
   for (NodeId u = 0; u < ds->graph.num_nodes(); ++u) {
-    for (const OutEdge& e : ds->graph.OutEdges(u)) {
-      EXPECT_GE(e.weight, 1.0);
+    for (double w : ds->graph.OutWeights(u)) {
+      EXPECT_GE(w, 1.0);
     }
   }
 }

@@ -35,8 +35,10 @@ TEST_F(GraphIoTest, RoundTripPreservesGraph) {
   EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
   EXPECT_EQ(loaded->num_edges(), g.num_edges());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (const OutEdge& e : g.OutEdges(u)) {
-      EXPECT_DOUBLE_EQ(loaded->EdgeWeight(u, e.to), e.weight);
+    auto row = g.OutEdges(u);
+    auto weights = g.OutWeights(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      EXPECT_DOUBLE_EQ(loaded->EdgeWeight(u, row[i].to), weights[i]);
     }
   }
   std::remove(path.c_str());

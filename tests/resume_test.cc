@@ -161,6 +161,72 @@ TEST(ResumeTest, WalkerStatePoolFindsPutAndEvictsLru) {
   EXPECT_EQ(tiny.Find(1), nullptr);
 }
 
+TEST(ResumeTest, WalkerStatePoolRetuneGrowsOnThrashShrinksOnIdle) {
+  Graph g = StarGraph(16);
+  DhtParams p = DhtParams::Lambda(0.2);
+  BackwardWalker walker(g);
+  BackwardWalkerState proto;
+  walker.Reset(p, 1);
+  walker.Advance(2);
+  walker.Save(&proto);
+  const std::size_t per_state = proto.ApproxBytes();
+
+  // THRASH: four keys cycling through a one-state budget — misses and
+  // evictions dominate, so the feedback autotuner doubles the budget.
+  WalkerStatePool<BackwardWalkerState> pool(per_state + per_state / 2);
+  for (uint64_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(pool.Find(k % 4), nullptr);
+    pool.Put(k % 4, proto);
+  }
+  EXPECT_GT(pool.evictions(), 0);
+  const std::size_t before = pool.max_bytes();
+  EXPECT_EQ(pool.Retune(per_state, 100 * per_state), 2 * before);
+  EXPECT_EQ(pool.budget_grows(), 1);
+  // No new activity since: the budget holds steady.
+  EXPECT_EQ(pool.Retune(per_state, 100 * per_state), 2 * before);
+  EXPECT_EQ(pool.budget_grows(), 1);
+
+  // IDLE: all hits, no evictions, resident far below the budget — the
+  // autotuner halves it (never below `lo` or the resident bytes).
+  WalkerStatePool<BackwardWalkerState> idle(64 * per_state);
+  idle.Put(1, proto);
+  for (int i = 0; i < 8; ++i) EXPECT_NE(idle.Find(1), nullptr);
+  EXPECT_EQ(idle.Retune(per_state, 100 * per_state), 32 * per_state);
+  EXPECT_EQ(idle.budget_shrinks(), 1);
+  // Repeated idle periods keep shrinking, but never below `lo`.
+  for (int i = 0; i < 20; ++i) idle.Retune(4 * per_state, 100 * per_state);
+  EXPECT_EQ(idle.max_bytes(), 4 * per_state);
+}
+
+TEST(ResumeTest, BatchWorkspacePoolCapDiscardsIdleWorkspaces) {
+  Graph g = RandomGraph(60, 200, 91);
+  DhtParams p = DhtParams::Lambda(0.2);
+  std::vector<NodeId> targets = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<NodeId> sources = {11, 12, 13};
+
+  // max_pooled_bytes = 1: every workspace is freed on release instead
+  // of pinning 128 bytes/node for the engine's lifetime. Scores are
+  // unaffected — the cap trades reallocation time for idle memory.
+  BackwardWalkerBatch pooled(g);
+  BackwardWalkerBatch capped(g, {.max_pooled_bytes = 1});
+  EXPECT_EQ(pooled.Run(p, 4, targets, sources),
+            capped.Run(p, 4, targets, sources));
+  EXPECT_GT(pooled.pooled_workspaces(), 0u);
+  EXPECT_LE(pooled.pooled_workspace_bytes(),
+            BackwardWalkerBatch::kDefaultMaxPooledBytes);
+  EXPECT_EQ(capped.pooled_workspaces(), 0u);
+  EXPECT_EQ(capped.pooled_workspace_bytes(), 0u);
+  EXPECT_GT(capped.workspaces_discarded(), 0);
+  EXPECT_EQ(pooled.workspaces_discarded(), 0);
+
+  ForwardWalkerBatch fpooled(g);
+  ForwardWalkerBatch fcapped(g, {.max_pooled_bytes = 1});
+  EXPECT_EQ(fpooled.Run(p, 4, sources, targets),
+            fcapped.Run(p, 4, sources, targets));
+  EXPECT_EQ(fcapped.pooled_workspaces(), 0u);
+  EXPECT_GT(fcapped.workspaces_discarded(), 0);
+}
+
 // ------------------------------------------------- batched backward
 
 TEST(ResumeTest, BackwardBatchResumeMatchesFromScratchBitwise) {

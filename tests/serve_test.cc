@@ -129,6 +129,33 @@ TEST(ScoreCacheTest, EvictsLruUnderByteBudget) {
   EXPECT_EQ(cache.GetAs<CachedTable>(TableKey(1, {0}, {100})), nullptr);
 }
 
+TEST(ScoreCacheTest, AdmissionFirstTouchBypassForSmallPayloads) {
+  ScoreCache cache({.max_bytes = 1 << 20,
+                    .num_shards = 2,
+                    .admission_bypass_bytes = 4096});
+  // Tiny payload: the first offer is turned away (one-shot queries
+  // never enter the LRU), the second — a repeated key — is admitted.
+  CacheKey tiny = TableKey(7, {1}, {2});
+  cache.Put(tiny, MakeTable(8));
+  EXPECT_EQ(cache.GetAs<CachedTable>(tiny), nullptr);
+  EXPECT_EQ(cache.stats().admission_rejects, 1);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  cache.Put(tiny, MakeTable(8));
+  EXPECT_NE(cache.GetAs<CachedTable>(tiny), nullptr);
+
+  // A payload at/above the floor is admitted on first touch.
+  CacheKey big = TableKey(7, {3}, {4});
+  cache.Put(big, MakeTable(1024));  // 8 KB payload >= 4 KB floor
+  EXPECT_NE(cache.GetAs<CachedTable>(big), nullptr);
+  EXPECT_EQ(cache.stats().admission_rejects, 1);
+
+  // Default options admit everything (no behaviour change).
+  ScoreCache open(ScoreCache::Options{.max_bytes = 1 << 20});
+  open.Put(tiny, MakeTable(8));
+  EXPECT_NE(open.GetAs<CachedTable>(tiny), nullptr);
+  EXPECT_EQ(open.stats().admission_rejects, 0);
+}
+
 TEST(ScoreCacheTest, ZeroBudgetHoldsNothing) {
   ScoreCache cache({.max_bytes = 0, .num_shards = 2});
   CacheKey key = TableKey(3, {1}, {2});

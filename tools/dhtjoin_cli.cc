@@ -35,6 +35,7 @@
 #include "datasets/yeast_like.h"
 #include "datasets/youtube_like.h"
 #include "graph/analysis.h"
+#include "graph/reorder.h"
 #include "serve/session.h"
 #include "serve/workload.h"
 #include "tools/cli_parse.h"
@@ -52,13 +53,16 @@ constexpr char kUsage[] =
     "  join2    --graph G.txt --sets S.txt --left NAME --right NAME\n"
     "           [--k 50] [--algo bidj-y|bidj-x|bbj|fbj|fidj]\n"
     "           [--measure dhtlambda[:l]|dhte|ppr[:c]] [--epsilon 1e-6]\n"
+    "           [--reorder none|degree|rcm]\n"
     "  njoin    --graph G.txt --sets S.txt --query \"A>B,B>C\"\n"
     "           [--agg min|sum] [--k 50] [--m 50]\n"
     "           [--algo pj-i|pj|ap|nl] [--measure ...] [--epsilon 1e-6]\n"
+    "           [--reorder none|degree|rcm]\n"
     "  serve    --graph G.txt --sets S.txt [--serve-workload zipf]\n"
     "           [--requests 200] [--templates 16] [--zipf 1.0]\n"
     "           [--set-size 100] [--k 50] [--threads N] [--cache-mb MB]\n"
-    "           [--seed 17] [--measure ...] [--epsilon 1e-6]\n";
+    "           [--admit-floor-bytes B] [--seed 17] [--measure ...]\n"
+    "           [--epsilon 1e-6] [--reorder none|degree|rcm]\n";
 
 Status Fail(const std::string& msg) { return Status::InvalidArgument(msg); }
 
@@ -147,6 +151,16 @@ Result<LoadedInputs> LoadCommon(const ParsedArgs& args) {
   }
   LoadedInputs out;
   DHTJOIN_ASSIGN_OR_RETURN(out.graph, LoadEdgeList(graph_path));
+  // Optional cache-conscious relayout (graph/reorder.h). Results are
+  // bit-identical in every layout — node sets, printed ids, and scores
+  // are all external-id based; only the physical CSR changes.
+  DHTJOIN_ASSIGN_OR_RETURN(ReorderKind reorder,
+                           ParseReorderKind(args.Get("reorder", "none")));
+  if (reorder != ReorderKind::kNone) {
+    DHTJOIN_ASSIGN_OR_RETURN(out.graph, ReorderGraph(out.graph, reorder));
+    std::printf("# graph relaid out: --reorder %s\n",
+                ReorderKindName(reorder));
+  }
   DHTJOIN_ASSIGN_OR_RETURN(out.sets, LoadNodeSets(sets_path));
   DHTJOIN_ASSIGN_OR_RETURN(out.measure,
                            ParseMeasure(args.Get("measure", "dhtlambda")));
@@ -316,6 +330,12 @@ Status RunServe(const ParsedArgs& args) {
         int64_t mb, ParsePositiveInt(args.Get("cache-mb", ""), "cache-mb"));
     sopts.cache_budget_bytes = static_cast<std::size_t>(mb) << 20;
   }
+  if (args.Has("admit-floor-bytes")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        int64_t floor, ParsePositiveInt(args.Get("admit-floor-bytes", ""),
+                                        "admit-floor-bytes"));
+    sopts.cache_admission_bypass_bytes = static_cast<std::size_t>(floor);
+  }
   serve::DhtJoinService service(in.graph, in.measure, in.d, sopts);
 
   std::printf("# serving %zu requests over %zu templates (zipf %.2f, "
@@ -351,11 +371,13 @@ Status RunServe(const ParsedArgs& args) {
               static_cast<double>(workload.requests.size()) /
                   (seconds > 0 ? seconds : 1e-9));
   std::printf("cache: %.1f%% hit rate (%lld hits / %lld misses), "
-              "%lld evictions, %zu entries, %.1f MB resident of %.1f MB\n",
+              "%lld evictions, %lld admission rejects, %zu entries, "
+              "%.1f MB resident of %.1f MB\n",
               total > 0 ? 1e2 * static_cast<double>(stats.hits) / total : 0.0,
               static_cast<long long>(stats.hits),
               static_cast<long long>(stats.misses),
-              static_cast<long long>(stats.evictions), stats.entries,
+              static_cast<long long>(stats.evictions),
+              static_cast<long long>(stats.admission_rejects), stats.entries,
               static_cast<double>(stats.resident_bytes) / (1 << 20),
               static_cast<double>(service.cache().max_bytes()) / (1 << 20));
   return Status::OK();
