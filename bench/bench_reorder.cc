@@ -67,6 +67,7 @@ namespace {
 
 constexpr double kDenseGatherGate = 1.25;
 constexpr double kRestrictedSweepGate = 1.5;
+constexpr double kSoaGatherGate = 1.03;
 
 /// Many mutually unreachable random islands; a walk saturates its own
 /// island while the full dense sweep still streams every row.
@@ -101,12 +102,13 @@ struct GatherTiming {
 /// Times the adaptive engine's dense fallback — the scalar
 /// BackwardWalker forced to kDense — over a d-step backward eval of
 /// every target, reading the requested sources (the gated path).
+/// `soa` selects the gather's edge stream (split arrays vs AoS).
 GatherTiming TimeScalarDenseGather(const Graph& g, const DhtParams& p, int d,
                                    const std::vector<NodeId>& targets,
                                    const std::vector<NodeId>& sources,
-                                   int repeats) {
+                                   int repeats, bool soa = true) {
   GatherTiming t;
-  BackwardWalker walker(g, PropagationMode::kDense);
+  BackwardWalker walker(g, PropagationMode::kDense, true, soa);
   auto run = [&] {
     for (std::size_t ti = 0; ti < targets.size(); ++ti) {
       walker.Reset(p, targets[ti]);
@@ -123,13 +125,15 @@ GatherTiming TimeScalarDenseGather(const Graph& g, const DhtParams& p, int d,
 }
 
 /// Times the 8-lane batch gather (reported, not gated; see file
-/// comment).
+/// comment). `soa` streams the split (to[], prob[]) arrays instead of
+/// the 16-byte AoS OutEdge stream — bit-identical by construction.
 GatherTiming TimeBatchDenseGather(const Graph& g, const DhtParams& p, int d,
                                   const std::vector<NodeId>& targets,
                                   const std::vector<NodeId>& sources,
-                                  int repeats) {
+                                  int repeats, bool soa = true) {
   GatherTiming t;
-  BackwardWalkerBatch batch(g, {.mode = PropagationMode::kDense});
+  BackwardWalkerBatch batch(
+      g, {.mode = PropagationMode::kDense, .soa_gather = soa});
   t.rows = batch.Run(p, d, targets, sources);  // warm-up + result capture
   t.ms_per_run =
       TimeIt(repeats, [&] { batch.Run(p, d, targets, sources); }) * 1e3;
@@ -263,6 +267,39 @@ int main(int argc, char** argv) {
       bdegree.ms_per_run, batch_degree_speedup, brcm.ms_per_run,
       batch_rcm_speedup, batch_identical ? "yes" : "NO");
 
+  // SoA gather stream (graph.h OutTargets/OutProbs): the dense gather
+  // reads only (to, prob), so the split arrays cut the hot stream from
+  // 16 padded bytes/edge to 12. The SCALAR gather (one madd/edge,
+  // stream-bound) is the gated beneficiary and defaults to SoA; the
+  // 8-lane batch (eight madds/edge amortize the stream) measurably
+  // prefers AoS, which is its default — both A/B'd here, byte-identity
+  // fatal, the committed scalar ratio CI-gated.
+  GatherTiming saos =
+      TimeScalarDenseGather(base, p, d, scalar_targets, sources, repeats,
+                            /*soa=*/false);
+  const bool soa_identical = BitIdentical(saos.rows, unordered.rows);
+  const double soa_speedup =
+      saos.ms_per_run / std::max(unordered.ms_per_run, 1e-9);
+  GatherTiming baos =
+      TimeBatchDenseGather(base, p, d, batch_targets, sources, 1,
+                           /*soa=*/false);
+  GatherTiming bsoa =
+      TimeBatchDenseGather(base, p, d, batch_targets, sources, 1,
+                           /*soa=*/true);
+  const bool batch_soa_identical = BitIdentical(baos.rows, bsoa.rows);
+  const double batch_soa_speedup =
+      baos.ms_per_run / std::max(bsoa.ms_per_run, 1e-9);
+  std::printf(
+      "dense d=%d backward gather, AoS vs SoA edge stream (input "
+      "layout):\n"
+      "  scalar: aos %8.2f ms   soa %8.2f ms (%.2fx, gated)   "
+      "byte-identical=%s\n"
+      "  batch:  aos %8.2f ms   soa %8.2f ms (%.2fx, reported)   "
+      "byte-identical=%s\n",
+      d, saos.ms_per_run, unordered.ms_per_run, soa_speedup,
+      soa_identical ? "yes" : "NO", baos.ms_per_run, bsoa.ms_per_run,
+      batch_soa_speedup, batch_soa_identical ? "yes" : "NO");
+
   // ------------------------- 2. restricted sweep + reordered layout
   // 512 islands of 2k nodes under an arbitrary labelling; the walk
   // lives on one island (~0.2% of the graph) but saturates it, so the
@@ -342,6 +379,14 @@ int main(int argc, char** argv) {
       .Set("dblp_batch_gather_degree_speedup", batch_degree_speedup)
       .Set("dblp_batch_gather_rcm_speedup", batch_rcm_speedup)
       .Set("dblp_batch_gather_byte_identical", batch_identical ? 1 : 0)
+      .Set("dblp_scalar_gather_aos_ms", saos.ms_per_run)
+      .Set("soa_scalar_gather_speedup", soa_speedup)
+      .Set("soa_scalar_gather_byte_identical", soa_identical ? 1 : 0)
+      .Set("dblp_batch_gather_aos_ms", baos.ms_per_run)
+      .Set("dblp_batch_gather_soa_ms", bsoa.ms_per_run)
+      .Set("soa_batch_gather_speedup", batch_soa_speedup)
+      .Set("soa_batch_gather_byte_identical", batch_soa_identical ? 1 : 0)
+      .Set("gate_soa_scalar_gather", kSoaGatherGate)
       .Set("archipelago_islands", kIslands)
       .Set("restricted_sweep_full_ms", full_ms)
       .Set("restricted_sweep_restricted_ms", restricted_ms)
@@ -357,10 +402,18 @@ int main(int argc, char** argv) {
               sweep_speedup, reorder_gather_speedup);
 
   bool ok = true;
-  if (!gather_identical || !sweep_identical || !batch_identical) {
-    std::fprintf(stderr, "FAIL: reordered/restricted results are not "
+  if (!gather_identical || !sweep_identical || !batch_identical ||
+      !soa_identical || !batch_soa_identical) {
+    std::fprintf(stderr, "FAIL: reordered/restricted/SoA results are not "
                          "byte-identical\n");
     ok = false;  // fatal in every mode
+  }
+  if (soa_speedup < kSoaGatherGate) {
+    std::fprintf(stderr,
+                 "%s: scalar SoA-gather speedup %.2fx below the %.2fx gate\n",
+                 smoke ? "WARN (smoke)" : "FAIL", soa_speedup,
+                 kSoaGatherGate);
+    ok = ok && smoke;
   }
   if (best_speedup < kDenseGatherGate) {
     std::fprintf(

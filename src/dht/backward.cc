@@ -3,9 +3,10 @@
 namespace dhtjoin {
 
 BackwardWalker::BackwardWalker(const Graph& g, PropagationMode mode,
-                               bool restrict_dense)
+                               bool restrict_dense, bool soa_gather)
     : g_(g),
-      engine_(g, Propagator::Direction::kBackward, mode, restrict_dense),
+      engine_(g, Propagator::Direction::kBackward, mode, restrict_dense,
+              soa_gather),
       score_delta_(static_cast<std::size_t>(g.num_nodes()), 0.0) {}
 
 void BackwardWalker::Reset(const DhtParams& params, NodeId q) {

@@ -92,9 +92,12 @@ class BackwardSnapshotProvider {
 /// to reordering (graph/reorder.h).
 class BackwardWalker {
  public:
+  /// `soa_gather` selects the dense gather's edge stream (split SoA
+  /// arrays vs AoS OutEdge; bit-identical — see Propagator).
   explicit BackwardWalker(const Graph& g,
                           PropagationMode mode = PropagationMode::kAdaptive,
-                          bool restrict_dense = true);
+                          bool restrict_dense = true,
+                          bool soa_gather = true);
 
   /// Starts a new backward walk absorbed at `q`.
   void Reset(const DhtParams& params, NodeId q);

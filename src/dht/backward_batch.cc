@@ -1,471 +1,11 @@
 #include "dht/backward_batch.h"
 
-#include <map>
-
 namespace dhtjoin {
 
-namespace {
-constexpr int kW = BackwardWalkerBatch::kLaneWidth;
-}  // namespace
-
-/// Workspace for one in-flight block. All arrays obey the propagate.h
-/// zero-invariant (exactly 0.0 / false outside the support lists), so a
-/// state popped from the free list is clean without any O(n) reset.
-struct BackwardWalkerBatch::BlockState {
-  explicit BlockState(NodeId n)
-      : mass(static_cast<std::size_t>(n) * kW, 0.0),
-        next(static_cast<std::size_t>(n) * kW, 0.0),
-        in_next(static_cast<std::size_t>(n), 0) {}
-
-  std::vector<double> mass, next;   // n x kW row-major lane matrices
-  std::vector<uint8_t> in_next;     // first-touch flags for `next`
-  std::vector<NodeId> support, next_support;
-  SweepPlan plan;                   // dense rows of the current block
-  bool support_canonical = true;    // deferred sort; see StepLanes
-  int64_t edges_relaxed = 0;        // per-lane, accumulated per Run
-
-  std::size_t ApproxBytes() const {
-    return sizeof(*this) + (mass.capacity() + next.capacity()) *
-                               sizeof(double) +
-           in_next.capacity() +
-           (support.capacity() + next_support.capacity()) * sizeof(NodeId);
-  }
-
-  /// Zeroes the mass rows of the current support and clears it, leaving
-  /// the workspace reusable without an O(n) sweep.
-  void RestoreZeroInvariant() {
-    for (NodeId v : support) {
-      double* row = &mass[static_cast<std::size_t>(v) * kW];
-      std::fill(row, row + kW, 0.0);
-    }
-    support.clear();
-    support_canonical = true;
-  }
-};
-
-BackwardWalkerBatch::BackwardWalkerBatch(const Graph& g)
-    : BackwardWalkerBatch(g, Options()) {}
-
-BackwardWalkerBatch::BackwardWalkerBatch(const Graph& g, Options options)
-    : g_(g),
-      options_(options),
-      pool_(options.num_threads > 0 ? options.num_threads
-                                    : ThreadPool::DefaultThreadCount()) {}
-
-BackwardWalkerBatch::~BackwardWalkerBatch() = default;
-
-std::unique_ptr<BackwardWalkerBatch::BlockState>
-BackwardWalkerBatch::AcquireState() {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  if (free_states_.empty()) {
-    return std::make_unique<BlockState>(g_.num_nodes());
-  }
-  auto state = std::move(free_states_.back());
-  free_states_.pop_back();
-  pooled_bytes_ -= state->ApproxBytes();
-  return state;
-}
-
-void BackwardWalkerBatch::ReleaseState(std::unique_ptr<BlockState> state) {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  edges_relaxed_ += state->edges_relaxed;
-  state->edges_relaxed = 0;
-  pooled_bytes_ += state->ApproxBytes();
-  free_states_.push_back(std::move(state));
-}
-
-void BackwardWalkerBatch::TrimPool() {
-  // Pool cap (Options::max_pooled_bytes), applied BETWEEN runs:
-  // workspaces over the cap are freed here instead of pinning 128
-  // bytes/node until the evaluator dies. Trimming only at run
-  // boundaries keeps intra-run block recycling intact even when a
-  // single workspace exceeds the cap (huge n) — the next Run then
-  // reallocates, a time/space trade the caller opted into.
-  std::lock_guard<std::mutex> lock(state_mu_);
-  while (!free_states_.empty() && pooled_bytes_ > options_.max_pooled_bytes) {
-    pooled_bytes_ -= free_states_.back()->ApproxBytes();
-    free_states_.pop_back();
-    ++workspaces_discarded_;
-  }
-}
-
-std::size_t BackwardWalkerBatch::pooled_workspaces() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  return free_states_.size();
-}
-
-std::size_t BackwardWalkerBatch::pooled_workspace_bytes() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  return pooled_bytes_;
-}
-
-int64_t BackwardWalkerBatch::workspaces_discarded() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  return workspaces_discarded_;
-}
-
-std::vector<double> BackwardWalkerBatch::Run(const DhtParams& params, int d,
-                                             std::span<const NodeId> targets,
-                                             std::span<const NodeId> sources) {
-  DHTJOIN_CHECK(params.Validate().ok());
-  DHTJOIN_CHECK_GE(d, 1);
-  for (NodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
-  for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
-
-  // External -> layout ids, once per call; all block work is internal.
-  std::vector<NodeId> target_storage, source_storage;
-  std::span<const NodeId> itargets = g_.MapToInternal(targets, target_storage);
-  std::span<const NodeId> isources = g_.MapToInternal(sources, source_storage);
-
-  std::vector<double> out(targets.size() * sources.size(), params.beta);
-  const std::size_t num_blocks = (targets.size() + kW - 1) / kW;
-  pool_.ParallelFor(static_cast<int64_t>(num_blocks), [&](int64_t block) {
-    const std::size_t first = static_cast<std::size_t>(block) * kW;
-    const int width =
-        static_cast<int>(std::min<std::size_t>(kW, targets.size() - first));
-    auto state = AcquireState();
-    RunBlock(*state, params, d, itargets, first, width, isources, out.data());
-    ReleaseState(std::move(state));
-  });
-  TrimPool();
-  return out;
-}
-
-/// One blocked transition step shared by the from-scratch and resumable
-/// paths: advances every lane of `st` one level, choosing sparse push or
-/// dense gather by the shared adaptive policy (against the block's
-/// restricted dense cost), and leaves the (canonically sorted) new
-/// support in st.support with st.mass holding the new masses.
-void BackwardWalkerBatch::StepLanes(BlockState& st, int width) const {
-  const Graph& g = g_;
-  const PropagationMode mode = options_.mode;
-  // Adaptive direction choice, as in Propagator::ChooseDense. The
-  // per-edge work is `width` lanes on both paths, so the single-lane
-  // threshold carries over unchanged.
-  bool dense = mode == PropagationMode::kDense;
-  if (mode == PropagationMode::kAdaptive) {
-    if (SupportSizeForcesDense(st.support.size(), st.plan.cost)) {
-      dense = true;
-    } else {
-      // The degree sum counts every support row (reading all kW lanes
-      // per node just to exclude the rare all-dead ones would cost
-      // more than it saves); dead rows are dropped by the next sparse
-      // push, so the estimate only transiently overshoots.
-      int64_t frontier_edges = 0;
-      for (NodeId v : st.support) frontier_edges += g.InDegree(v);
-      dense = FrontierPrefersDense(st.support.size(), frontier_edges,
-                                   st.plan.cost);
-    }
-  }
-
-  if (!dense) {
-    // Sparse: push the block's union frontier over transposed rows.
-    // The push CONSUMES the support order (destinations accumulate in
-    // frontier order), so bring it into canonical order first — the
-    // dense gather's summation order in every layout (the deferred
-    // half of the sorted-support contract; a run of dense steps never
-    // pays this sort).
-    if (!st.support_canonical) {
-      g.SortCanonical(st.support);
-      st.support_canonical = true;
-    }
-    int64_t relaxed = 0;
-    for (NodeId v : st.support) {
-      double* row = &st.mass[static_cast<std::size_t>(v) * kW];
-      // Rows with no live lane (absorbed targets, decayed mass) carry
-      // nothing; skipping them also drops the node from the support so
-      // dead regions stop inflating the frontier and edges_relaxed.
-      int live_lanes = 0;
-      for (int b = 0; b < kW; ++b) live_lanes += row[b] != 0.0 ? 1 : 0;
-      if (live_lanes == 0) continue;
-      // Bill each lane only for its own frontier: lane b's sequential
-      // walker would relax InDegree(v) edges iff it has mass at v.
-      relaxed += g.InDegree(v) * live_lanes;
-      for (const InEdge& e : g.InEdges(v)) {
-        double* dst = &st.next[static_cast<std::size_t>(e.from) * kW];
-        uint8_t& flag = st.in_next[static_cast<std::size_t>(e.from)];
-        if (!flag) {
-          flag = 1;
-          st.next_support.push_back(e.from);
-        }
-        for (int b = 0; b < kW; ++b) dst[b] += e.prob * row[b];
-      }
-      std::fill(row, row + kW, 0.0);
-    }
-    st.edges_relaxed += relaxed;
-  } else {
-    // Dense: sequential gather over the block plan's out-rows. Rows
-    // outside the plan (other weak components) cannot see the support,
-    // so skipping them is exact — the restricted sweep (DESIGN.md §7).
-    st.plan.ForEachRow(g.num_nodes(), [&](NodeId u) {
-      double acc[kW] = {0.0};
-      for (const OutEdge& e : g.OutEdges(u)) {
-        const double* src = &st.mass[static_cast<std::size_t>(e.to) * kW];
-        for (int b = 0; b < kW; ++b) acc[b] += e.prob * src[b];
-      }
-      if (std::any_of(acc, acc + kW, [](double x) { return x != 0.0; })) {
-        double* dst = &st.next[static_cast<std::size_t>(u) * kW];
-        for (int b = 0; b < kW; ++b) dst[b] = acc[b];
-        st.next_support.push_back(u);
-      }
-    });
-    for (NodeId v : st.support) {
-      double* row = &st.mass[static_cast<std::size_t>(v) * kW];
-      std::fill(row, row + kW, 0.0);
-    }
-    st.edges_relaxed += st.plan.edges * width;
-  }
-  for (NodeId u : st.next_support) {
-    st.in_next[static_cast<std::size_t>(u)] = 0;
-  }
-  // Sorted-support contract (propagate.h), deferred: the new support is
-  // left in emission order and canonically sorted only when a later
-  // sparse push consumes it. The dense gather emits rows ascending by
-  // internal id — already canonical exactly on an insertion-ordered
-  // layout with a gap-free plan.
-  st.support_canonical = dense && !g.is_reordered() && st.plan.full;
-  st.mass.swap(st.next);
-  st.support.swap(st.next_support);
-  st.next_support.clear();
-}
-
-void BackwardWalkerBatch::RunBlock(BlockState& st, const DhtParams& params,
-                                   int d, std::span<const NodeId> targets,
-                                   std::size_t first_target, int width,
-                                   std::span<const NodeId> sources,
-                                   double* out) {
-  const auto num_sources = static_cast<std::size_t>(sources.size());
-
-  // Seed: lane b carries the walker of targets[first_target + b].
-  // Duplicate targets simply share a support node with two live lanes.
-  NodeId lane_target[kW];
-  for (int b = 0; b < width; ++b) {
-    NodeId q = targets[first_target + static_cast<std::size_t>(b)];
-    lane_target[b] = q;
-    st.mass[static_cast<std::size_t>(q) * kW + static_cast<std::size_t>(b)] =
-        1.0;
-    st.support.push_back(q);
-  }
-  // Dedup in case two lanes share a target node (they stay independent
-  // columns of the shared row).
-  g_.SortCanonical(st.support);
-  st.support.erase(std::unique(st.support.begin(), st.support.end()),
-                   st.support.end());
-  st.support_canonical = true;
-  st.plan = options_.restrict_dense
-                ? g_.PlanDenseSweep({lane_target,
-                                     static_cast<std::size_t>(width)})
-                : g_.FullSweepPlan();
-
-  double lambda_pow = 1.0;
-  for (int step = 0; step < d; ++step) {
-    StepLanes(st, width);
-
-    // Score the requested sources: h grows by alpha * lambda^i * P_i.
-    lambda_pow *= params.lambda;
-    const double coeff = params.alpha * lambda_pow;
-    for (std::size_t s = 0; s < num_sources; ++s) {
-      const double* row =
-          &st.mass[static_cast<std::size_t>(sources[s]) * kW];
-      for (int b = 0; b < width; ++b) {
-        out[(first_target + static_cast<std::size_t>(b)) * num_sources + s] +=
-            coeff * row[b];
-      }
-    }
-
-    // First-hit absorption, per lane: mass that reached the lane's own
-    // target must not re-emit.
-    if (params.first_hit) {
-      for (int b = 0; b < width; ++b) {
-        st.mass[static_cast<std::size_t>(lane_target[b]) * kW +
-                static_cast<std::size_t>(b)] = 0.0;
-      }
-    }
-  }
-
-  st.RestoreZeroInvariant();
-}
-
-void BackwardWalkerBatch::AdvanceBlock(BlockState& st, const DhtParams& params,
-                                       int from_level, int to_level,
-                                       std::span<const NodeId> lane_targets,
-                                       std::span<const std::size_t> lane_slots,
-                                       std::span<const NodeId> sources,
-                                       BackwardBatchStates& states,
-                                       bool save_states,
-                                       double* const* rows) {
-  const int width = static_cast<int>(lane_targets.size());
-  const auto num_sources = static_cast<std::size_t>(sources.size());
-
-  // Load: fresh lanes (from_level == 0) seed unit mass at their target;
-  // resumed lanes replay their sparse snapshot. Every lane's mass lives
-  // in its target's weak component, so the plan from the lane targets
-  // covers resumed snapshots too.
-  NodeId lane_target[kW];
-  for (int b = 0; b < width; ++b) {
-    NodeId q = lane_targets[static_cast<std::size_t>(b)];
-    lane_target[b] = q;
-    if (from_level == 0) {
-      double& slot =
-          st.mass[static_cast<std::size_t>(q) * kW + static_cast<std::size_t>(b)];
-      if (slot == 0.0 && st.in_next[static_cast<std::size_t>(q)] == 0) {
-        st.in_next[static_cast<std::size_t>(q)] = 1;
-        st.support.push_back(q);
-      }
-      slot = 1.0;
-    } else {
-      const auto& saved =
-          states.slots_[lane_slots[static_cast<std::size_t>(b)]].mass;
-      for (const auto& [v, m] : saved) {
-        double& slot =
-            st.mass[static_cast<std::size_t>(v) * kW + static_cast<std::size_t>(b)];
-        if (slot == 0.0 && st.in_next[static_cast<std::size_t>(v)] == 0) {
-          st.in_next[static_cast<std::size_t>(v)] = 1;
-          st.support.push_back(v);
-        }
-        slot = m;
-      }
-    }
-  }
-  for (NodeId v : st.support) st.in_next[static_cast<std::size_t>(v)] = 0;
-  g_.SortCanonical(st.support);
-  st.support.erase(std::unique(st.support.begin(), st.support.end()),
-                   st.support.end());
-  st.support_canonical = true;
-  st.plan = options_.restrict_dense
-                ? g_.PlanDenseSweep({lane_target,
-                                     static_cast<std::size_t>(width)})
-                : g_.FullSweepPlan();
-
-  // Resume the discount where the walk stopped: all lanes share a level
-  // (and thus bit-equal saved lambda^level values), so lane 0 speaks
-  // for the block; fresh blocks start at lambda^0.
-  double lambda_pow =
-      from_level == 0 ? 1.0
-                      : states.slots_[lane_slots[0]].lambda_pow;
-
-  for (int step = from_level; step < to_level; ++step) {
-    StepLanes(st, width);
-    lambda_pow *= params.lambda;
-    const double coeff = params.alpha * lambda_pow;
-    for (std::size_t s = 0; s < num_sources; ++s) {
-      const double* row = &st.mass[static_cast<std::size_t>(sources[s]) * kW];
-      for (int b = 0; b < width; ++b) rows[b][s] += coeff * row[b];
-    }
-    if (params.first_hit) {
-      for (int b = 0; b < width; ++b) {
-        st.mass[static_cast<std::size_t>(lane_target[b]) * kW +
-                static_cast<std::size_t>(b)] = 0.0;
-      }
-    }
-  }
-
-  // Write back per-lane states under the byte budget. The old snapshot
-  // is only released once the new one is known to fit: under budget
-  // pressure a lane keeps its previous (lower-level) state, so the next
-  // advance resumes from there instead of degrading to a full restart
-  // (AdvanceRun groups mixed saved levels). A final advance
-  // (save_states off) skips the snapshots entirely.
-  for (int b = 0; save_states && b < width; ++b) {
-    BackwardBatchStates::Slot& slot =
-        states.slots_[lane_slots[static_cast<std::size_t>(b)]];
-    BackwardBatchStates::Slot cand;
-    cand.level = to_level;
-    cand.lambda_pow = lambda_pow;
-    for (NodeId v : st.support) {
-      double m = st.mass[static_cast<std::size_t>(v) * kW +
-                         static_cast<std::size_t>(b)];
-      if (m != 0.0) cand.mass.emplace_back(v, m);
-    }
-    cand.row.assign(rows[b], rows[b] + num_sources);
-    cand.bytes = cand.ApproxBytes();
-    const std::size_t prev =
-        states.bytes_.fetch_add(cand.bytes, std::memory_order_relaxed);
-    if (prev + cand.bytes - slot.bytes <= states.max_bytes_) {
-      states.bytes_.fetch_sub(slot.bytes, std::memory_order_relaxed);
-      slot = std::move(cand);
-    } else {
-      states.bytes_.fetch_sub(cand.bytes, std::memory_order_relaxed);
-      states.evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
-
-  st.RestoreZeroInvariant();
-}
-
-int64_t BackwardWalkerBatch::AdvanceRun(const DhtParams& params, int to_level,
-                                        std::span<const NodeId> targets,
-                                        std::span<const std::size_t> slots,
-                                        std::span<const NodeId> sources,
-                                        BackwardBatchStates& states,
-                                        bool save_states, double* out) {
-  DHTJOIN_CHECK(params.Validate().ok());
-  DHTJOIN_CHECK_GE(to_level, 1);
-  for (NodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
-  for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
-  const std::size_t num_sources = sources.size();
-
-  std::vector<NodeId> target_storage, source_storage;
-  std::span<const NodeId> itargets = g_.MapToInternal(targets, target_storage);
-  std::span<const NodeId> isources = g_.MapToInternal(sources, source_storage);
-
-  // Initialize each target's output row from its saved score row (or
-  // the beta floor when fresh), and group still-advancing targets by
-  // saved level so each block steps a uniform number of levels.
-  std::map<int, std::vector<std::size_t>> by_level;
-  int64_t fresh = 0;
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    const BackwardBatchStates::Slot& slot = states.slots_[slots[i]];
-    DHTJOIN_CHECK_LE(slot.level, to_level);
-    double* row = out + i * num_sources;
-    if (slot.level == 0) {
-      std::fill(row, row + num_sources, params.beta);
-      ++fresh;
-    } else {
-      DHTJOIN_CHECK_EQ(slot.row.size(), num_sources);
-      std::copy(slot.row.begin(), slot.row.end(), row);
-      states.hits_.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (slot.level < to_level) by_level[slot.level].push_back(i);
-  }
-
-  struct Block {
-    int from_level;
-    std::vector<std::size_t> idx;  // indices into targets/slots/out rows
-  };
-  std::vector<Block> blocks;
-  for (auto& [level, idxs] : by_level) {
-    for (std::size_t base = 0; base < idxs.size(); base += kW) {
-      Block blk;
-      blk.from_level = level;
-      const std::size_t count = std::min<std::size_t>(kW, idxs.size() - base);
-      blk.idx.assign(idxs.begin() + static_cast<std::ptrdiff_t>(base),
-                     idxs.begin() + static_cast<std::ptrdiff_t>(base + count));
-      blocks.push_back(std::move(blk));
-    }
-  }
-
-  pool_.ParallelFor(static_cast<int64_t>(blocks.size()), [&](int64_t bi) {
-    const Block& blk = blocks[static_cast<std::size_t>(bi)];
-    const int width = static_cast<int>(blk.idx.size());
-    NodeId lane_targets[kW];
-    std::size_t lane_slots[kW];
-    double* rows[kW];
-    for (int b = 0; b < width; ++b) {
-      const std::size_t i = blk.idx[static_cast<std::size_t>(b)];
-      lane_targets[b] = itargets[i];
-      lane_slots[b] = slots[i];
-      rows[b] = out + i * num_sources;
-    }
-    auto state = AcquireState();
-    AdvanceBlock(*state, params, blk.from_level, to_level,
-                 {lane_targets, static_cast<std::size_t>(width)},
-                 {lane_slots, static_cast<std::size_t>(width)}, isources,
-                 states, save_states, rows);
-    ReleaseState(std::move(state));
-  });
-  TrimPool();
-  return fresh;
-}
+// The 8-lane default and the 4-lane narrow option are the only widths
+// the library instantiates; keeping the definitions here spares every
+// including TU the template instantiation cost.
+template class BackwardWalkerBatchT<8>;
+template class BackwardWalkerBatchT<4>;
 
 }  // namespace dhtjoin

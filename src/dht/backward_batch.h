@@ -12,15 +12,23 @@
 /// classic SpMV -> SpMM win. Blocks are independent and fan out across
 /// a ThreadPool for multicore scaling on top.
 ///
-/// Steps are frontier-adaptive exactly like dht/propagate.h: while the
-/// union support of a block is small, mass is pushed over the transposed
-/// in-rows of the frontier only; once it crosses the degree-weighted
-/// threshold the block switches to the dense sequential gather. The
-/// union support is kept SORTED at every step boundary, which makes the
-/// per-lane summation order identical to the dense gather's CSR order —
-/// so scores are bit-identical across modes, lane groupings, thread
-/// counts, and (crucially) across restarted vs resumed walks
-/// (DESIGN.md §3).
+/// The block machinery (lane workspace, pooling, the frontier-adaptive
+/// blocked step, level grouping, write-back-under-budget) is the shared
+/// core in dht/batch_core.h, templated on direction and lane width;
+/// this engine supplies the backward direction policy (sparse push over
+/// transposed in-rows, dense sequential gather over the sweep plan's
+/// out-rows) and is itself a template on the lane width W:
+/// BackwardWalkerBatch is the 8-lane default (one cache line of
+/// doubles); BackwardWalkerBatchT<4> is the narrow-lane option — half
+/// the workspace bytes with twice the blocks in flight, bit-identical
+/// results.
+///
+/// Steps are frontier-adaptive exactly like dht/propagate.h, and the
+/// union support of a block is kept SORTED at every step boundary, so
+/// the per-lane summation order is identical to the dense gather's CSR
+/// order — scores are bit-identical across modes, lane groupings, lane
+/// WIDTHS, thread counts, and restarted vs resumed walks (DESIGN.md
+/// §3).
 ///
 /// Scores are only materialized for a caller-provided source set P
 /// (joins never read anything else), which keeps the output |Q| x |P|
@@ -28,20 +36,28 @@
 ///
 /// Resumable deepening: the IDJ schedule walks the same targets at
 /// levels 1, 2, 4, ..., d. BackwardBatchStates holds per-target sparse
-/// snapshots (mass + score row + depth) so AdvanceChunked() continues
-/// each target from its saved level instead of restarting — O(d) total
-/// steps per surviving target instead of O(2d). States live under a
-/// byte budget; a target whose state was evicted (or never saved) is
-/// transparently restarted, producing bit-identical scores.
+/// snapshots (mass + score row + depth) so the advance entry points
+/// continue each target from its saved level instead of restarting —
+/// O(d) total steps per surviving target instead of O(2d). States live
+/// under a byte budget; a target whose state was evicted (or never
+/// saved) is transparently restarted, producing bit-identical scores.
+///
+/// FUSED SCHEDULING: AdvanceMany() takes a whole round's worth of
+/// advance groups — each its own target list, pinned source set, states
+/// pool, and output rows — builds every (group, level-group,
+/// lane-block) into ONE flat block list, and dispatches a single
+/// ParallelFor. The per-group entry points (AdvanceChunked, and Run's
+/// from-scratch schedule) are thin wrappers over the same machinery, so
+/// every caller shares one code path and the fork/join barrier count
+/// per deepening round is 1, not |groups| (DESIGN.md §8; the barrier
+/// reduction is gated in bench_scheduler).
 ///
 /// Memory contract: each concurrently-running block owns a workspace of
-/// 2 * n * kLaneWidth doubles (128 bytes/node). Peak transient memory
-/// is num_threads x 128 bytes x n, plus whatever BackwardBatchStates'
-/// budget admits. Between runs, workspaces are pooled up to
-/// Options::max_pooled_bytes; the pool is trimmed to the cap at every
-/// run boundary (workspaces_discarded counts the frees), so huge
-/// graphs on many cores no longer pin num_threads workspaces for the
-/// evaluator's lifetime while intra-run block recycling stays intact.
+/// 2 * n * kLaneWidth doubles (128 bytes/node at W = 8). Peak transient
+/// memory is num_threads x 2 * W * 8 bytes x n, plus whatever
+/// BackwardBatchStates' budget admits. Between runs, workspaces are
+/// pooled up to Options::max_pooled_bytes; the pool is trimmed to the
+/// cap at every run boundary (workspaces_discarded counts the frees).
 ///
 /// Node ids crossing the public interface (targets, sources) are
 /// EXTERNAL ids; the engine translates to the graph's physical layout
@@ -66,6 +82,7 @@
 #include <utility>
 #include <vector>
 
+#include "dht/batch_core.h"
 #include "dht/params.h"
 #include "dht/propagate.h"
 #include "graph/graph.h"
@@ -82,7 +99,12 @@ struct BackwardBatchSnapshot {
   int level = 0;
   double lambda_pow = 1.0;
   std::vector<std::pair<NodeId, double>> mass;  // nonzero, ascending node
-  std::vector<double> row;                      // over the pinned sources
+  /// Score DELTAS over the pinned sources: h_level(p, q) - beta per
+  /// source p. Kept beta-exclusive so a resumed row continues the exact
+  /// floating-point sum the scalar BackwardWalker's score_delta_
+  /// accumulates — the engines add beta only at output, which is what
+  /// makes batch and scalar scores BIT-identical (DESIGN.md §3).
+  std::vector<double> row;
 
   std::size_t ApproxBytes() const {
     return sizeof(*this) + mass.capacity() * sizeof(mass[0]) +
@@ -90,16 +112,19 @@ struct BackwardBatchSnapshot {
   }
 };
 
-/// Per-target resumable walk states for BackwardWalkerBatch, indexed by
-/// a caller-stable slot id (B-IDJ uses the target's index within Q).
-/// Retention is best-effort under `max_bytes`: a state that does not fit
-/// is dropped and its walk restarts from scratch on the next advance,
-/// with bit-identical results (see file comment).
-class BackwardBatchStates {
+/// Per-target resumable walk states for the backward batch engines,
+/// indexed by a caller-stable slot id (B-IDJ uses the target's index
+/// within Q). Retention is best-effort under the byte budget: a state
+/// that does not fit is dropped and its walk restarts from scratch on
+/// the next advance, with bit-identical results (see file comment).
+/// When the budget came from the autotuner, callers fold the observed
+/// hit/eviction counters back into it between rounds via the inherited
+/// Retune() (batch_core::BatchStateBudget).
+class BackwardBatchStates : public batch_core::BatchStateBudget {
  public:
   explicit BackwardBatchStates(std::size_t num_slots,
-                               std::size_t max_bytes = kDefaultMaxBytes) :
-      slots_(num_slots), max_bytes_(max_bytes) {}
+                               std::size_t max_bytes = kDefaultMaxBytes)
+      : BatchStateBudget(max_bytes), slots_(num_slots) {}
 
   /// Default budget mirrors WalkerStatePool::kDefaultMaxBytes.
   static constexpr std::size_t kDefaultMaxBytes = std::size_t{256} << 20;
@@ -114,9 +139,10 @@ class BackwardBatchStates {
     s = Slot{};
   }
 
-  /// Score row of `slot` over the pinned source set, at depth
-  /// level(slot). Empty when the slot holds no state. Valid until the
-  /// slot is next advanced, dropped, or taken.
+  /// Score DELTA row of `slot` over the pinned source set, at depth
+  /// level(slot): h_level - beta per source (BackwardBatchSnapshot::row
+  /// semantics — add beta to read scores). Empty when the slot holds no
+  /// state. Valid until the slot is next advanced, dropped, or taken.
   std::span<const double> Row(std::size_t slot) const {
     return slots_[slot].row;
   }
@@ -147,29 +173,12 @@ class BackwardBatchStates {
     cand.mass = snap.mass;
     cand.row = snap.row;
     cand.bytes = cand.ApproxBytes();
-    const std::size_t prev =
-        bytes_.fetch_add(cand.bytes, std::memory_order_relaxed);
-    if (prev + cand.bytes > max_bytes_) {
-      bytes_.fetch_sub(cand.bytes, std::memory_order_relaxed);
-      return false;
-    }
-    slots_[slot] = std::move(cand);
-    return true;
-  }
-
-  std::size_t bytes() const {
-    return bytes_.load(std::memory_order_relaxed);
-  }
-
-  /// Observability (TwoWayJoinStats::state_*): walks resumed from a
-  /// saved slot vs snapshots the byte budget forced out at write-back.
-  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  int64_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
+    return TryCommit(slots_[slot], std::move(cand));
   }
 
  private:
-  friend class BackwardWalkerBatch;
+  template <int>
+  friend class BackwardWalkerBatchT;
 
   struct Slot {
     int level = 0;
@@ -185,18 +194,38 @@ class BackwardBatchStates {
   };
 
   std::vector<Slot> slots_;
-  std::size_t max_bytes_;
-  std::atomic<std::size_t> bytes_{0};
-  std::atomic<int64_t> hits_{0};
-  std::atomic<int64_t> evictions_{0};
+};
+
+/// One group of the fused backward scheduler (AdvanceMany): advance
+/// `targets` (whose resumable states live in `states` at `slots`) to
+/// `to_level`, writing each target's score row over `sources` into
+/// `out` (row-major, |targets| x |sources|). The source set must be
+/// identical across every advance sharing a states object (rows are
+/// resumed, not recomputed). Slot ids must be distinct across groups
+/// that share one states object — groups are advanced concurrently.
+struct BackwardAdvanceGroup {
+  int to_level = 0;
+  std::span<const NodeId> targets;        // external ids
+  std::span<const std::size_t> slots;     // parallel to targets
+  std::span<const NodeId> sources;        // external ids
+  BackwardBatchStates* states = nullptr;
+  /// Off for a FINAL advance whose states would never be read again —
+  /// spares the snapshot copies.
+  bool save_states = true;
+  double* out = nullptr;
 };
 
 /// Advances many backward walkers at once; see file comment.
-class BackwardWalkerBatch {
+/// W is the lane width (walkers advanced together per block, also the
+/// SIMD-friendly row width of the mass matrix); use the
+/// BackwardWalkerBatch alias (W = 8, one cache line of doubles) unless
+/// workspace memory is the constraint.
+template <int W>
+class BackwardWalkerBatchT {
+  static_assert(W > 0, "lane width must be positive");
+
  public:
-  /// Walkers advanced together per block; also the SIMD-friendly row
-  /// width of the mass matrix (8 doubles = one cache line).
-  static constexpr int kLaneWidth = 8;
+  static constexpr int kLaneWidth = W;
 
   struct Options {
     PropagationMode mode = PropagationMode::kAdaptive;
@@ -206,6 +235,14 @@ class BackwardWalkerBatch {
     /// comment). Off = the seed engine's all-rows sweep; results are
     /// bit-identical either way (benchmark baseline switch).
     bool restrict_dense = true;
+    /// Stream the split SoA (to[], prob[]) arrays in the dense gather
+    /// instead of the 16-byte AoS OutEdge stream (bit-identical either
+    /// way; bench_reorder A/Bs this). Default OFF here: at W = 8 the
+    /// per-edge work is eight madds, which amortizes the AoS stream,
+    /// and the second address stream measurably costs more than the 4
+    /// saved bytes/edge. The SCALAR engine (one madd/edge, truly
+    /// stream-bound) defaults to SoA, where the cut wins.
+    bool soa_gather = false;
     /// Byte cap on idle block workspaces retained between runs; a
     /// workspace released over the cap is freed instead of pooled.
     std::size_t max_pooled_bytes = kDefaultMaxPooledBytes;
@@ -215,9 +252,14 @@ class BackwardWalkerBatch {
   /// bounds a many-core engine on a huge graph to ~8 idle workspaces.
   static constexpr std::size_t kDefaultMaxPooledBytes = std::size_t{1} << 30;
 
-  explicit BackwardWalkerBatch(const Graph& g);
-  BackwardWalkerBatch(const Graph& g, Options options);
-  ~BackwardWalkerBatch();
+  explicit BackwardWalkerBatchT(const Graph& g)
+      : BackwardWalkerBatchT(g, Options()) {}
+  BackwardWalkerBatchT(const Graph& g, Options options)
+      : g_(g),
+        options_(options),
+        pool_(options.num_threads > 0 ? options.num_threads
+                                      : ThreadPool::DefaultThreadCount()),
+        workspaces_(g.num_nodes(), options.max_pooled_bytes) {}
 
   /// Runs a d-step backward walk from every target and returns the
   /// scores of the requested sources, row-major:
@@ -230,23 +272,55 @@ class BackwardWalkerBatch {
   /// engine (50k x 50k doubles is 20 GB).
   std::vector<double> Run(const DhtParams& params, int d,
                           std::span<const NodeId> targets,
-                          std::span<const NodeId> sources);
+                          std::span<const NodeId> sources) {
+    DHTJOIN_CHECK(params.Validate().ok());
+    DHTJOIN_CHECK_GE(d, 1);
+    for (NodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
+    for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
+
+    // External -> layout ids, once per call; all block work is internal.
+    std::vector<NodeId> target_storage, source_storage;
+    std::span<const NodeId> itargets =
+        g_.MapToInternal(targets, target_storage);
+    std::span<const NodeId> isources =
+        g_.MapToInternal(sources, source_storage);
+
+    // Blocks accumulate beta-EXCLUSIVE score deltas (the scalar
+    // walker's score_delta_ sum, in the same step order); beta joins
+    // once at the end, so every cell is bit-identical to
+    // BackwardWalker::Score (DESIGN.md §3).
+    std::vector<double> out(targets.size() * sources.size(), 0.0);
+    const std::size_t num_blocks = (targets.size() + W - 1) / W;
+    pool_.ParallelFor(static_cast<int64_t>(num_blocks), [&](int64_t block) {
+      const std::size_t first = static_cast<std::size_t>(block) * W;
+      const int width =
+          static_cast<int>(std::min<std::size_t>(W, targets.size() - first));
+      auto state = workspaces_.Acquire();
+      RunBlock(*state, params, d, itargets, first, width, isources,
+               out.data());
+      workspaces_.Release(std::move(state));
+    });
+    workspaces_.Trim();
+    for (double& cell : out) cell += params.beta;
+    return out;
+  }
 
   /// Largest target count per Run() that keeps the returned matrix near
   /// 32 MB; never less than one full lane block.
   static std::size_t MaxTargetsPerRun(std::size_t num_sources) {
     constexpr std::size_t kMaxMatrixDoubles = std::size_t{4} << 20;
     std::size_t cap = kMaxMatrixDoubles / (num_sources == 0 ? 1 : num_sources);
-    return cap < kLaneWidth ? kLaneWidth : cap;
+    return cap < static_cast<std::size_t>(W) ? static_cast<std::size_t>(W)
+                                             : cap;
   }
 
   /// Run() with the MaxTargetsPerRun slicing applied: walks every
   /// target, invoking consume(target_index, row) with the |sources|-wide
   /// score row of targets[target_index]. Rows are only valid during the
-  /// callback. This is the form the joins use — memory stays bounded
-  /// regardless of |targets| x |sources|. `max_targets_per_run` forces a
-  /// smaller slice (0 = MaxTargetsPerRun); tests use it to exercise the
-  /// multi-chunk path at toy sizes.
+  /// callback. This is the form the broad joins use — memory stays
+  /// bounded regardless of |targets| x |sources|. `max_targets_per_run`
+  /// forces a smaller slice (0 = MaxTargetsPerRun); tests use it to
+  /// exercise the multi-chunk path at toy sizes.
   template <typename Consume>
   void RunChunked(const DhtParams& params, int d,
                   std::span<const NodeId> targets,
@@ -270,13 +344,11 @@ class BackwardWalkerBatch {
   /// The resumable form of RunChunked: advances targets[i] (whose state
   /// lives in states slot slots[i]) from its saved level to `to_level`,
   /// then invokes consume(i, row) with its h_{to_level} score row over
-  /// `sources`. The source set must be identical across calls sharing a
-  /// states object (rows are resumed, not recomputed). Targets saved at
-  /// different levels are grouped and advanced separately, so evictions
-  /// and fresh targets mix freely. `save_states = false` skips the
-  /// write-back — for a FINAL advance (e.g. the exact-d pass) whose
-  /// states would never be read, sparing the snapshot copies. Returns
-  /// the number of walks that started from scratch (fresh or evicted).
+  /// `sources`. Targets saved at different levels are grouped and
+  /// advanced separately, so evictions and fresh targets mix freely.
+  /// `save_states = false` skips the write-back for a FINAL advance.
+  /// Returns the number of walks that started from scratch (fresh or
+  /// evicted). A thin wrapper over AdvanceMany (one group per chunk).
   template <typename Consume>
   int64_t AdvanceChunked(const DhtParams& params, int to_level,
                          std::span<const NodeId> targets,
@@ -293,9 +365,15 @@ class BackwardWalkerBatch {
     for (std::size_t base = 0; base < targets.size(); base += chunk) {
       const std::size_t count = std::min(chunk, targets.size() - base);
       std::vector<double> scores(count * sources.size());
-      fresh += AdvanceRun(params, to_level, targets.subspan(base, count),
-                          slots.subspan(base, count), sources, states,
-                          save_states, scores.data());
+      BackwardAdvanceGroup group;
+      group.to_level = to_level;
+      group.targets = targets.subspan(base, count);
+      group.slots = slots.subspan(base, count);
+      group.sources = sources;
+      group.states = &states;
+      group.save_states = save_states;
+      group.out = scores.data();
+      fresh += AdvanceMany(params, {&group, 1});
       for (std::size_t i = 0; i < count; ++i) {
         consume(base + i, scores.data() + i * sources.size());
       }
@@ -303,67 +381,271 @@ class BackwardWalkerBatch {
     return fresh;
   }
 
-  /// Per-walker edges relaxed, summed over all lanes and Run() calls,
+  /// The fused multi-group scheduler (see file comment): advances every
+  /// group's targets in ONE ParallelFor across all (group, level-group,
+  /// lane-block) blocks. Group enumeration order, per-group level
+  /// grouping, and lane blocking are exactly those of sequential
+  /// per-group AdvanceChunked calls, so the written rows are
+  /// byte-identical to the per-group loop. Callers are responsible for
+  /// sizing the union of `out` buffers (one round's rows must fit in
+  /// memory; slice the groups across calls when they cannot). Returns
+  /// the number of walks started from scratch.
+  int64_t AdvanceMany(const DhtParams& params,
+                      std::span<const BackwardAdvanceGroup> groups) {
+    DHTJOIN_CHECK(params.Validate().ok());
+    struct GroupCtx {
+      std::vector<NodeId> target_storage, source_storage;
+      std::span<const NodeId> itargets, isources;
+    };
+    std::vector<GroupCtx> ctx(groups.size());
+    batch_core::BlockList blocks;
+    int64_t fresh = 0;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const BackwardAdvanceGroup& grp = groups[gi];
+      DHTJOIN_CHECK_GE(grp.to_level, 1);
+      DHTJOIN_CHECK(grp.states != nullptr);
+      DHTJOIN_CHECK(grp.out != nullptr || grp.targets.empty());
+      DHTJOIN_CHECK_EQ(grp.targets.size(), grp.slots.size());
+      for (NodeId q : grp.targets) DHTJOIN_CHECK(g_.ContainsNode(q));
+      for (NodeId p : grp.sources) DHTJOIN_CHECK(g_.ContainsNode(p));
+      ctx[gi].itargets = g_.MapToInternal(grp.targets, ctx[gi].target_storage);
+      ctx[gi].isources = g_.MapToInternal(grp.sources, ctx[gi].source_storage);
+
+      // Initialize each target's output row from its saved delta row
+      // (or zero when fresh) and enumerate still-advancing targets into
+      // uniform-level lane blocks. Rows stay beta-exclusive until the
+      // post-barrier pass below.
+      BackwardBatchStates& states = *grp.states;
+      const std::size_t num_sources = grp.sources.size();
+      for (std::size_t i = 0; i < grp.targets.size(); ++i) {
+        const BackwardBatchStates::Slot& slot = states.slots_[grp.slots[i]];
+        DHTJOIN_CHECK_LE(slot.level, grp.to_level);
+        double* row = grp.out + i * num_sources;
+        if (slot.level == 0) {
+          std::fill(row, row + num_sources, 0.0);
+          ++fresh;
+          states.misses_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          DHTJOIN_CHECK_EQ(slot.row.size(), num_sources);
+          std::copy(slot.row.begin(), slot.row.end(), row);
+          states.hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      batch_core::AppendLevelBlocks(
+          gi, grp.targets.size(), grp.to_level, W,
+          [&](std::size_t i) { return states.slots_[grp.slots[i]].level; },
+          blocks);
+    }
+
+    // ONE fork/join for the whole round, every group and level mixed;
+    // blocks are independent (disjoint slots, disjoint output rows).
+    pool_.ParallelFor(
+        static_cast<int64_t>(blocks.blocks.size()), [&](int64_t bi) {
+          const batch_core::LevelBlock& blk =
+              blocks.blocks[static_cast<std::size_t>(bi)];
+          const BackwardAdvanceGroup& grp = groups[blk.plan];
+          std::span<const std::size_t> lanes = blocks.Lanes(blk);
+          const int width = blk.width;
+          NodeId lane_targets[W];
+          std::size_t lane_slots[W];
+          double* rows[W];
+          for (int b = 0; b < width; ++b) {
+            const std::size_t i = lanes[static_cast<std::size_t>(b)];
+            lane_targets[b] = ctx[blk.plan].itargets[i];
+            lane_slots[b] = grp.slots[i];
+            rows[b] = grp.out + i * grp.sources.size();
+          }
+          auto state = workspaces_.Acquire();
+          AdvanceBlock(*state, params, blk.from_level, grp.to_level,
+                       {lane_targets, static_cast<std::size_t>(width)},
+                       {lane_slots, static_cast<std::size_t>(width)},
+                       ctx[blk.plan].isources, *grp.states, grp.save_states,
+                       rows);
+          workspaces_.Release(std::move(state));
+        });
+    workspaces_.Trim();
+    // Rows (and the snapshots written back above) are beta-exclusive
+    // deltas; hand callers real scores. beta + delta is exactly the
+    // scalar walker's read, so the output is bit-identical to it.
+    for (const BackwardAdvanceGroup& grp : groups) {
+      const std::size_t cells = grp.targets.size() * grp.sources.size();
+      for (std::size_t c = 0; c < cells; ++c) grp.out[c] += params.beta;
+    }
+    return fresh;
+  }
+
+  /// Per-walker edges relaxed, summed over all lanes and runs,
   /// comparable with sequential BackwardWalker::edges_relaxed: a sparse
   /// step bills each lane only for frontier nodes where that lane has
   /// mass; a dense pass bills every lane its sweep plan's edges (all of
   /// |E| when unrestricted — the work the blocked kernel performs per
   /// lane).
-  int64_t edges_relaxed() const { return edges_relaxed_; }
+  int64_t edges_relaxed() const { return workspaces_.edges_relaxed(); }
+
+  /// Fork/join barriers dispatched by this engine so far (one per Run
+  /// chunk or AdvanceMany round). The fused scheduler exists to keep
+  /// this independent of |Q|; surfaced as TwoWayJoinStats::pool_barriers.
+  int64_t scheduler_barriers() const { return pool_.parallel_fors(); }
 
   /// Workspace-pool observability (Options::max_pooled_bytes).
-  std::size_t pooled_workspaces() const;
-  std::size_t pooled_workspace_bytes() const;
-  int64_t workspaces_discarded() const;
+  std::size_t pooled_workspaces() const {
+    return workspaces_.pooled_workspaces();
+  }
+  std::size_t pooled_workspace_bytes() const {
+    return workspaces_.pooled_workspace_bytes();
+  }
+  int64_t workspaces_discarded() const {
+    return workspaces_.workspaces_discarded();
+  }
 
  private:
-  struct BlockState;
+  using Workspace = batch_core::BlockWorkspace<W>;
 
-  std::unique_ptr<BlockState> AcquireState();
-  void ReleaseState(std::unique_ptr<BlockState> state);
-  /// Frees pooled workspaces over Options::max_pooled_bytes; called at
-  /// run boundaries so intra-run recycling is never disabled.
-  void TrimPool();
-
-  /// One blocked transition step shared by the from-scratch and
-  /// resumable paths; leaves the (sorted) new support in st.support.
-  void StepLanes(BlockState& st, int width) const;
+  void Step(Workspace& st, int width) const {
+    batch_core::StepLanes<batch_core::BackwardStepPolicy, W>(
+        g_, options_.mode, options_.soa_gather, st, width);
+  }
 
   /// Walks one block of `width` targets to depth d, writing score rows
   /// for block-local target t into out[(first_target + t) * num_sources].
-  void RunBlock(BlockState& state, const DhtParams& params, int d,
+  void RunBlock(Workspace& st, const DhtParams& params, int d,
                 std::span<const NodeId> targets, std::size_t first_target,
-                int width, std::span<const NodeId> sources, double* out);
+                int width, std::span<const NodeId> sources, double* out) {
+    const auto num_sources = static_cast<std::size_t>(sources.size());
 
-  /// Resumable chunk body behind AdvanceChunked; writes the score row of
-  /// targets[i] into out[i * sources.size()]. Returns fresh-start count.
-  int64_t AdvanceRun(const DhtParams& params, int to_level,
-                     std::span<const NodeId> targets,
-                     std::span<const std::size_t> slots,
-                     std::span<const NodeId> sources,
-                     BackwardBatchStates& states, bool save_states,
-                     double* out);
+    // Seed: lane b carries the walker of targets[first_target + b].
+    // Duplicate targets simply share a support node with two live lanes.
+    NodeId lane_target[W];
+    for (int b = 0; b < width; ++b) {
+      NodeId q = targets[first_target + static_cast<std::size_t>(b)];
+      lane_target[b] = q;
+      st.mass[static_cast<std::size_t>(q) * W + static_cast<std::size_t>(b)] =
+          1.0;
+      st.support.push_back(q);
+    }
+    // Dedup in case two lanes share a target node (they stay independent
+    // columns of the shared row).
+    g_.SortCanonical(st.support);
+    st.support.erase(std::unique(st.support.begin(), st.support.end()),
+                     st.support.end());
+    st.support_canonical = true;
+    st.plan = options_.restrict_dense
+                  ? g_.PlanDenseSweep({lane_target,
+                                       static_cast<std::size_t>(width)})
+                  : g_.FullSweepPlan();
+
+    double lambda_pow = 1.0;
+    for (int step = 0; step < d; ++step) {
+      Step(st, width);
+
+      // Score the requested sources: h grows by alpha * lambda^i * P_i.
+      lambda_pow *= params.lambda;
+      const double coeff = params.alpha * lambda_pow;
+      for (std::size_t s = 0; s < num_sources; ++s) {
+        const double* row =
+            &st.mass[static_cast<std::size_t>(sources[s]) * W];
+        for (int b = 0; b < width; ++b) {
+          out[(first_target + static_cast<std::size_t>(b)) * num_sources +
+              s] += coeff * row[b];
+        }
+      }
+
+      // First-hit absorption, per lane: mass that reached the lane's own
+      // target must not re-emit.
+      if (params.first_hit) {
+        for (int b = 0; b < width; ++b) {
+          st.mass[static_cast<std::size_t>(lane_target[b]) * W +
+                  static_cast<std::size_t>(b)] = 0.0;
+        }
+      }
+    }
+
+    st.RestoreZeroInvariant();
+  }
 
   /// Walks one uniform-level block from `from_level` to `to_level`.
-  /// Lane seeds/rows must already be loaded into `st` / `out`; saves
-  /// per-lane states back into `states` under its budget (unless
-  /// `save_states` is off).
-  void AdvanceBlock(BlockState& st, const DhtParams& params, int from_level,
+  /// Fresh lanes (from_level == 0) seed unit mass at their target;
+  /// resumed lanes replay their sparse snapshot. Saves per-lane states
+  /// back into `states` under its budget (unless `save_states` is off).
+  void AdvanceBlock(Workspace& st, const DhtParams& params, int from_level,
                     int to_level, std::span<const NodeId> lane_targets,
                     std::span<const std::size_t> lane_slots,
                     std::span<const NodeId> sources,
                     BackwardBatchStates& states, bool save_states,
-                    double* const* rows);
+                    double* const* rows) {
+    const int width = static_cast<int>(lane_targets.size());
+    const auto num_sources = static_cast<std::size_t>(sources.size());
+
+    // Load: every lane's mass lives in its target's weak component, so
+    // the plan from the lane targets covers resumed snapshots too.
+    NodeId lane_target[W];
+    for (int b = 0; b < width; ++b) {
+      lane_target[b] = lane_targets[static_cast<std::size_t>(b)];
+    }
+    batch_core::LoadLaneMass<W>(
+        g_, st, from_level, lane_target, width,
+        [&](int b) -> const std::vector<std::pair<NodeId, double>>& {
+          return states.slots_[lane_slots[static_cast<std::size_t>(b)]].mass;
+        });
+    st.plan = options_.restrict_dense
+                  ? g_.PlanDenseSweep({lane_target,
+                                       static_cast<std::size_t>(width)})
+                  : g_.FullSweepPlan();
+
+    // Resume the discount where the walk stopped: all lanes share a
+    // level (and thus bit-equal saved lambda^level values), so lane 0
+    // speaks for the block; fresh blocks start at lambda^0.
+    double lambda_pow =
+        from_level == 0 ? 1.0 : states.slots_[lane_slots[0]].lambda_pow;
+
+    for (int step = from_level; step < to_level; ++step) {
+      Step(st, width);
+      lambda_pow *= params.lambda;
+      const double coeff = params.alpha * lambda_pow;
+      for (std::size_t s = 0; s < num_sources; ++s) {
+        const double* row = &st.mass[static_cast<std::size_t>(sources[s]) * W];
+        for (int b = 0; b < width; ++b) rows[b][s] += coeff * row[b];
+      }
+      if (params.first_hit) {
+        for (int b = 0; b < width; ++b) {
+          st.mass[static_cast<std::size_t>(lane_target[b]) * W +
+                  static_cast<std::size_t>(b)] = 0.0;
+        }
+      }
+    }
+
+    // Write back per-lane states under the byte budget. The old
+    // snapshot is only released once the new one is known to fit: under
+    // budget pressure a lane keeps its previous (lower-level) state, so
+    // the next advance resumes from there instead of degrading to a
+    // full restart (the level grouping handles mixed saved levels). A
+    // final advance (save_states off) skips the snapshots entirely.
+    for (int b = 0; save_states && b < width; ++b) {
+      BackwardBatchStates::Slot& slot =
+          states.slots_[lane_slots[static_cast<std::size_t>(b)]];
+      BackwardBatchStates::Slot cand;
+      cand.level = to_level;
+      cand.lambda_pow = lambda_pow;
+      batch_core::CollectLaneMass(st, b, cand.mass);
+      cand.row.assign(rows[b], rows[b] + num_sources);
+      cand.bytes = cand.ApproxBytes();
+      states.TryCommit(slot, std::move(cand));
+    }
+
+    st.RestoreZeroInvariant();
+  }
 
   const Graph& g_;
   Options options_;
   ThreadPool pool_;
-  mutable std::mutex state_mu_;
-  std::vector<std::unique_ptr<BlockState>> free_states_;
-  std::size_t pooled_bytes_ = 0;
-  int64_t workspaces_discarded_ = 0;
-  int64_t edges_relaxed_ = 0;
+  batch_core::WorkspacePool<W> workspaces_;
 };
+
+/// The default 8-lane engine (one cache line of doubles per node).
+using BackwardWalkerBatch = BackwardWalkerBatchT<8>;
+
+extern template class BackwardWalkerBatchT<8>;
+extern template class BackwardWalkerBatchT<4>;
 
 }  // namespace dhtjoin
 

@@ -1,394 +1,11 @@
 #include "dht/forward_batch.h"
 
-#include <map>
-
 namespace dhtjoin {
 
-namespace {
-constexpr int kW = ForwardWalkerBatch::kLaneWidth;
-}  // namespace
-
-/// Workspace for one in-flight block; same zero-invariant pooling as the
-/// backward batch (see backward_batch.cc).
-struct ForwardWalkerBatch::BlockState {
-  explicit BlockState(NodeId n)
-      : mass(static_cast<std::size_t>(n) * kW, 0.0),
-        next(static_cast<std::size_t>(n) * kW, 0.0),
-        in_next(static_cast<std::size_t>(n), 0) {}
-
-  std::vector<double> mass, next;   // n x kW row-major lane matrices
-  std::vector<uint8_t> in_next;     // first-touch flags for `next`
-  std::vector<NodeId> support, next_support;
-  SweepPlan plan;                   // dense plan of the current block
-  bool support_canonical = true;    // deferred sort; see StepLanes
-  int64_t edges_relaxed = 0;
-
-  std::size_t ApproxBytes() const {
-    return sizeof(*this) + (mass.capacity() + next.capacity()) *
-                               sizeof(double) +
-           in_next.capacity() +
-           (support.capacity() + next_support.capacity()) * sizeof(NodeId);
-  }
-
-  void RestoreZeroInvariant() {
-    for (NodeId v : support) {
-      double* row = &mass[static_cast<std::size_t>(v) * kW];
-      std::fill(row, row + kW, 0.0);
-    }
-    support.clear();
-    support_canonical = true;
-  }
-};
-
-ForwardWalkerBatch::ForwardWalkerBatch(const Graph& g)
-    : ForwardWalkerBatch(g, Options()) {}
-
-ForwardWalkerBatch::ForwardWalkerBatch(const Graph& g, Options options)
-    : g_(g),
-      options_(options),
-      pool_(options.num_threads > 0 ? options.num_threads
-                                    : ThreadPool::DefaultThreadCount()) {}
-
-ForwardWalkerBatch::~ForwardWalkerBatch() = default;
-
-std::unique_ptr<ForwardWalkerBatch::BlockState>
-ForwardWalkerBatch::AcquireState() {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  if (free_states_.empty()) {
-    return std::make_unique<BlockState>(g_.num_nodes());
-  }
-  auto state = std::move(free_states_.back());
-  free_states_.pop_back();
-  pooled_bytes_ -= state->ApproxBytes();
-  return state;
-}
-
-void ForwardWalkerBatch::ReleaseState(std::unique_ptr<BlockState> state) {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  edges_relaxed_ += state->edges_relaxed;
-  state->edges_relaxed = 0;
-  pooled_bytes_ += state->ApproxBytes();
-  free_states_.push_back(std::move(state));
-}
-
-void ForwardWalkerBatch::TrimPool() {
-  // Run-boundary pool cap, as in BackwardWalkerBatch::TrimPool.
-  std::lock_guard<std::mutex> lock(state_mu_);
-  while (!free_states_.empty() && pooled_bytes_ > options_.max_pooled_bytes) {
-    pooled_bytes_ -= free_states_.back()->ApproxBytes();
-    free_states_.pop_back();
-    ++workspaces_discarded_;
-  }
-}
-
-std::size_t ForwardWalkerBatch::pooled_workspaces() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  return free_states_.size();
-}
-
-std::size_t ForwardWalkerBatch::pooled_workspace_bytes() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  return pooled_bytes_;
-}
-
-int64_t ForwardWalkerBatch::workspaces_discarded() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  return workspaces_discarded_;
-}
-
-/// One blocked forward transition step: pushes every lane's mass along
-/// the out-rows of the (canonically sorted) union support. The "dense"
-/// mode differs from sparse only in billing and in skipping the
-/// frontier degree scan — the push itself already visits exactly the
-/// nonzero rows in canonical order, which is the dense sweep's
-/// summation order, so both modes are bit-identical (the scalar
-/// engine's StepForward works the same way).
-void ForwardWalkerBatch::StepLanes(BlockState& st, int width) const {
-  const Graph& g = g_;
-  const PropagationMode mode = options_.mode;
-  bool dense = mode == PropagationMode::kDense;
-  if (mode == PropagationMode::kAdaptive) {
-    if (SupportSizeForcesDense(st.support.size(), st.plan.cost)) {
-      dense = true;
-    } else {
-      int64_t frontier_edges = 0;
-      for (NodeId v : st.support) frontier_edges += g.OutDegree(v);
-      dense = FrontierPrefersDense(st.support.size(), frontier_edges,
-                                   st.plan.cost);
-    }
-  }
-
-  // The forward push always CONSUMES the support order (destinations
-  // accumulate in frontier order): canonical order first (the deferred
-  // sorted-support contract; see backward_batch.cc's StepLanes).
-  if (!st.support_canonical) {
-    g.SortCanonical(st.support);
-    st.support_canonical = true;
-  }
-  int64_t relaxed = 0;
-  for (NodeId v : st.support) {
-    double* row = &st.mass[static_cast<std::size_t>(v) * kW];
-    int live_lanes = 0;
-    for (int b = 0; b < kW; ++b) live_lanes += row[b] != 0.0 ? 1 : 0;
-    if (live_lanes == 0) continue;
-    relaxed += g.OutDegree(v) * live_lanes;
-    for (const OutEdge& e : g.OutEdges(v)) {
-      double* dst = &st.next[static_cast<std::size_t>(e.to) * kW];
-      uint8_t& flag = st.in_next[static_cast<std::size_t>(e.to)];
-      if (!flag) {
-        flag = 1;
-        st.next_support.push_back(e.to);
-      }
-      for (int b = 0; b < kW; ++b) dst[b] += e.prob * row[b];
-    }
-    std::fill(row, row + kW, 0.0);
-  }
-  st.edges_relaxed += dense ? st.plan.edges * width : relaxed;
-
-  for (NodeId u : st.next_support) {
-    st.in_next[static_cast<std::size_t>(u)] = 0;
-  }
-  // Sorted-support contract (propagate.h / DESIGN.md §3, §7), deferred:
-  // the push emits destinations in first-touch order; the next step's
-  // sort restores canonical order before it is consumed.
-  st.support_canonical = false;
-  st.mass.swap(st.next);
-  st.support.swap(st.next_support);
-  st.next_support.clear();
-}
-
-std::vector<double> ForwardWalkerBatch::Run(const DhtParams& params, int d,
-                                            std::span<const NodeId> sources,
-                                            std::span<const NodeId> targets) {
-  DHTJOIN_CHECK(params.Validate().ok());
-  DHTJOIN_CHECK_GE(d, 1);
-  for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
-  for (NodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
-
-  std::vector<NodeId> source_storage, target_storage;
-  std::span<const NodeId> isources = g_.MapToInternal(sources, source_storage);
-  std::span<const NodeId> itargets = g_.MapToInternal(targets, target_storage);
-
-  std::vector<double> out(sources.size() * targets.size(), params.beta);
-  const std::size_t source_blocks = (sources.size() + kW - 1) / kW;
-  const std::size_t num_blocks = source_blocks * targets.size();
-  pool_.ParallelFor(static_cast<int64_t>(num_blocks), [&](int64_t block) {
-    const std::size_t ti = static_cast<std::size_t>(block) / source_blocks;
-    const std::size_t first =
-        (static_cast<std::size_t>(block) % source_blocks) * kW;
-    const int width =
-        static_cast<int>(std::min<std::size_t>(kW, sources.size() - first));
-    auto state = AcquireState();
-    RunBlock(*state, params, d, isources, first, width, itargets[ti], ti,
-             targets.size(), out.data());
-    ReleaseState(std::move(state));
-  });
-  TrimPool();
-  return out;
-}
-
-void ForwardWalkerBatch::RunBlock(BlockState& st, const DhtParams& params,
-                                  int d, std::span<const NodeId> sources,
-                                  std::size_t first_source, int width,
-                                  NodeId target, std::size_t target_index,
-                                  std::size_t num_targets, double* out) {
-  // Seed: lane b walks from sources[first_source + b]; duplicates share
-  // a support row with independent lanes.
-  for (int b = 0; b < width; ++b) {
-    NodeId p = sources[first_source + static_cast<std::size_t>(b)];
-    st.mass[static_cast<std::size_t>(p) * kW + static_cast<std::size_t>(b)] =
-        1.0;
-    st.support.push_back(p);
-  }
-  g_.SortCanonical(st.support);
-  st.support.erase(std::unique(st.support.begin(), st.support.end()),
-                   st.support.end());
-  st.support_canonical = true;
-  st.plan = options_.restrict_dense ? g_.PlanDenseSweep(st.support)
-                                    : g_.FullSweepPlan();
-
-  double lambda_pow = 1.0;
-  for (int step = 0; step < d; ++step) {
-    StepLanes(st, width);
-    // mass/next swap inside StepLanes, so the row pointer is per-step.
-    double* target_row = &st.mass[static_cast<std::size_t>(target) * kW];
-    lambda_pow *= params.lambda;
-    const double coeff = params.alpha * lambda_pow;
-    for (int b = 0; b < width; ++b) {
-      out[(first_source + static_cast<std::size_t>(b)) * num_targets +
-          target_index] += coeff * target_row[b];
-    }
-    // First-hit absorption: every lane of this block absorbs at the
-    // shared target, so the whole row goes dark.
-    if (params.first_hit) std::fill(target_row, target_row + width, 0.0);
-  }
-
-  st.RestoreZeroInvariant();
-}
-
-int64_t ForwardWalkerBatch::AdvancePairsRun(const DhtParams& params,
-                                            int to_level,
-                                            std::span<const NodeId> sources,
-                                            std::span<const std::size_t> slots,
-                                            NodeId target,
-                                            ForwardBatchStates& states,
-                                            bool save_states, double* out) {
-  DHTJOIN_CHECK(params.Validate().ok());
-  DHTJOIN_CHECK_GE(to_level, 1);
-  DHTJOIN_CHECK(g_.ContainsNode(target));
-  for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
-
-  std::vector<NodeId> source_storage;
-  std::span<const NodeId> isources = g_.MapToInternal(sources, source_storage);
-  const NodeId itarget = g_.ToInternal(target);
-
-  std::map<int, std::vector<std::size_t>> by_level;
-  int64_t fresh = 0;
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    const ForwardBatchStates::Slot* slot = states.FindSlot(slots[i]);
-    const int level = slot == nullptr ? 0 : slot->level;
-    DHTJOIN_CHECK_LE(level, to_level);
-    if (level == 0) {
-      out[i] = params.beta;
-      ++fresh;
-    } else {
-      out[i] = slot->score;
-      states.hits_.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (level < to_level) {
-      by_level[level].push_back(i);
-      // Materialize the map entry now: the parallel write-back below
-      // only assigns through pre-existing entries, so the hash map is
-      // never structurally mutated from worker threads.
-      if (save_states && slot == nullptr) states.slots_[slots[i]];
-    }
-  }
-
-  struct Block {
-    int from_level;
-    std::vector<std::size_t> idx;
-  };
-  std::vector<Block> blocks;
-  for (auto& [level, idxs] : by_level) {
-    for (std::size_t base = 0; base < idxs.size(); base += kW) {
-      const std::size_t count = std::min<std::size_t>(kW, idxs.size() - base);
-      blocks.push_back(Block{
-          level,
-          {idxs.begin() + static_cast<std::ptrdiff_t>(base),
-           idxs.begin() + static_cast<std::ptrdiff_t>(base + count)}});
-    }
-  }
-
-  pool_.ParallelFor(static_cast<int64_t>(blocks.size()), [&](int64_t bi) {
-    const Block& blk = blocks[static_cast<std::size_t>(bi)];
-    const int width = static_cast<int>(blk.idx.size());
-    auto state = AcquireState();
-    BlockState& st = *state;
-
-    // Load: fresh lanes seed unit mass at their source; resumed lanes
-    // replay their sparse snapshot (mass stays inside the sources'
-    // components, so the plan from the lane sources covers both).
-    NodeId lane_source[kW];
-    for (int b = 0; b < width; ++b) {
-      const std::size_t i = blk.idx[static_cast<std::size_t>(b)];
-      lane_source[b] = isources[i];
-      if (blk.from_level == 0) {
-        NodeId p = isources[i];
-        double& slot =
-            st.mass[static_cast<std::size_t>(p) * kW +
-                    static_cast<std::size_t>(b)];
-        if (slot == 0.0 && st.in_next[static_cast<std::size_t>(p)] == 0) {
-          st.in_next[static_cast<std::size_t>(p)] = 1;
-          st.support.push_back(p);
-        }
-        slot = 1.0;
-      } else {
-        const auto& saved = states.FindSlot(slots[i])->mass;
-        for (const auto& [v, m] : saved) {
-          double& slot = st.mass[static_cast<std::size_t>(v) * kW +
-                                 static_cast<std::size_t>(b)];
-          if (slot == 0.0 && st.in_next[static_cast<std::size_t>(v)] == 0) {
-            st.in_next[static_cast<std::size_t>(v)] = 1;
-            st.support.push_back(v);
-          }
-          slot = m;
-        }
-      }
-    }
-    for (NodeId v : st.support) st.in_next[static_cast<std::size_t>(v)] = 0;
-    g_.SortCanonical(st.support);
-    st.support_canonical = true;
-    st.plan = options_.restrict_dense
-                  ? g_.PlanDenseSweep({lane_source,
-                                       static_cast<std::size_t>(width)})
-                  : g_.FullSweepPlan();
-
-    // Resume the discount where the walk stopped (lane 0 speaks for the
-    // uniform-level block); fresh blocks start at lambda^0.
-    double lambda_pow =
-        blk.from_level == 0
-            ? 1.0
-            : states.FindSlot(slots[blk.idx[0]])->lambda_pow;
-
-    for (int step = blk.from_level; step < to_level; ++step) {
-      StepLanes(st, width);
-      double* target_row = &st.mass[static_cast<std::size_t>(itarget) * kW];
-      lambda_pow *= params.lambda;
-      const double coeff = params.alpha * lambda_pow;
-      for (int b = 0; b < width; ++b) {
-        out[blk.idx[static_cast<std::size_t>(b)]] += coeff * target_row[b];
-      }
-      if (params.first_hit) std::fill(target_row, target_row + width, 0.0);
-    }
-
-    // Write back per-lane states under the byte budget. As in the
-    // backward batch, the old (lower-level) snapshot is kept whenever
-    // the new one does not fit, so budget pressure degrades resume
-    // gracefully instead of to a full restart every level. A final
-    // advance (save_states off) skips the snapshots entirely.
-    for (int b = 0; save_states && b < width; ++b) {
-      const std::size_t i = blk.idx[static_cast<std::size_t>(b)];
-      ForwardBatchStates::Slot& slot = *states.FindSlot(slots[i]);
-      ForwardBatchStates::Slot cand;
-      cand.level = to_level;
-      cand.lambda_pow = lambda_pow;
-      cand.score = out[i];
-      for (NodeId v : st.support) {
-        double m = st.mass[static_cast<std::size_t>(v) * kW +
-                           static_cast<std::size_t>(b)];
-        if (m != 0.0) cand.mass.emplace_back(v, m);
-      }
-      cand.bytes = cand.ApproxBytes();
-      const std::size_t prev =
-          states.bytes_.fetch_add(cand.bytes, std::memory_order_relaxed);
-      if (prev + cand.bytes - slot.bytes <= states.max_bytes_) {
-        states.bytes_.fetch_sub(slot.bytes, std::memory_order_relaxed);
-        slot = std::move(cand);
-      } else {
-        states.bytes_.fetch_sub(cand.bytes, std::memory_order_relaxed);
-        states.evictions_.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-
-    st.RestoreZeroInvariant();
-    ReleaseState(std::move(state));
-  });
-  TrimPool();
-
-  // Entries whose write-back was refused by the budget (or that were
-  // only materialized for the parallel phase) hold no state; erase them
-  // so the sparse map never accumulates empty nodes.
-  if (save_states) {
-    for (const auto& [level, idxs] : by_level) {
-      for (std::size_t i : idxs) {
-        auto it = states.slots_.find(slots[i]);
-        if (it != states.slots_.end() && it->second.level == 0) {
-          states.slots_.erase(it);
-        }
-      }
-    }
-  }
-  return fresh;
-}
+// The 8-lane default and the 4-lane narrow option are the only widths
+// the library instantiates; keeping the definitions here spares every
+// including TU the template instantiation cost.
+template class ForwardWalkerBatchT<8>;
+template class ForwardWalkerBatchT<4>;
 
 }  // namespace dhtjoin

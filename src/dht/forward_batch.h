@@ -11,22 +11,41 @@
 /// Per pair this divides edge traffic by W and turns the scattered
 /// per-walk pushes into cache-line-wide lane updates — the forward
 /// analogue of BackwardWalkerBatch, with the lane axis transposed
-/// (8 sources x 1 target instead of 8 targets x all sources). Blocks
+/// (W sources x 1 target instead of W targets x all sources). Blocks
 /// are independent and fan out across a ThreadPool.
 ///
-/// Steps are frontier-adaptive with the shared policy of
-/// dht/propagate.h, and the union support is kept SORTED at every step
-/// boundary, so per-lane summation order equals the dense sweep's CSR
-/// order: scores are bit-identical across modes, lane groupings, thread
+/// The block machinery (lane workspace, pooling, the frontier-adaptive
+/// blocked step, level grouping, write-back-under-budget) is the shared
+/// core in dht/batch_core.h; this engine supplies the forward direction
+/// policy (push over out-rows; "dense" only changes billing, because a
+/// forward push already visits exactly the nonzero rows in canonical
+/// order) and is a template on the lane width W: ForwardWalkerBatch is
+/// the 8-lane default, ForwardWalkerBatchT<4> the narrow-lane option —
+/// bit-identical results at half the workspace bytes per block.
+///
+/// The union support is kept SORTED at every step boundary, so per-lane
+/// summation order equals the dense sweep's CSR order: scores are
+/// bit-identical across modes, lane groupings, lane widths, thread
 /// counts, and restarted vs resumed walks (DESIGN.md §3), and match the
 /// scalar ForwardWalker exactly.
 ///
 /// Resumable deepening: F-IDJ revisits the same (p, q) pairs at levels
 /// 1, 2, 4, ..., d. ForwardBatchStates holds per-pair sparse snapshots
-/// so AdvancePairs() continues each pair from its saved level instead of
-/// restarting — O(d) total steps per surviving pair instead of O(2d) —
-/// under a byte budget with transparent bit-identical restarts on
-/// eviction.
+/// so the advance entry points continue each pair from its saved level
+/// instead of restarting — O(d) total steps per surviving pair instead
+/// of O(2d) — under a byte budget with transparent bit-identical
+/// restarts on eviction.
+///
+/// FUSED SCHEDULING: the historical entry point advanced ONE target's
+/// pairs per call — its own ParallelFor barrier — so a deepening round
+/// over |Q| targets paid |Q| fork/joins even when the live set had
+/// shrunk to a handful of near-empty blocks. AdvanceMany() takes every
+/// live (target, sources) plan of the round at once, builds all
+/// (plan, level-group, lane-block) blocks into one flat list, and
+/// dispatches a SINGLE ParallelFor. AdvancePairs remains as a thin
+/// one-plan wrapper. Block enumeration order inside each plan is
+/// exactly the per-target call's, so scores are byte-identical either
+/// way (DESIGN.md §8; gated in bench_scheduler and the parity tests).
 ///
 /// Memory contract: like the backward batch, each concurrent block owns
 /// 2 * n * kLaneWidth doubles, pooled between runs up to
@@ -56,6 +75,7 @@
 #include <utility>
 #include <vector>
 
+#include "dht/batch_core.h"
 #include "dht/params.h"
 #include "dht/propagate.h"
 #include "graph/graph.h"
@@ -63,18 +83,20 @@
 
 namespace dhtjoin {
 
-/// Per-pair resumable walk states for ForwardWalkerBatch, keyed by a
-/// caller-stable slot id (F-IDJ uses source_index * |Q| + target_index,
-/// i.e. a PairKey over the original grid). Storage is a SPARSE hash map:
-/// only pairs that actually saved a state pay anything, so a huge
-/// |P| x |Q| pair space resumes under budget with no upfront dense
-/// allocation (formerly a ROADMAP item). Retention is best-effort under
-/// `max_bytes`: a dropped state restarts from scratch on the next
-/// advance with bit-identical results.
-class ForwardBatchStates {
+/// Per-pair resumable walk states for the forward batch engines, keyed
+/// by a caller-stable slot id (F-IDJ uses source_index * |Q| +
+/// target_index, i.e. a PairKey over the original grid). Storage is a
+/// SPARSE hash map: only pairs that actually saved a state pay
+/// anything, so a huge |P| x |Q| pair space resumes under budget with
+/// no upfront dense allocation. Retention is best-effort under the byte
+/// budget: a dropped state restarts from scratch on the next advance
+/// with bit-identical results. When the budget came from the autotuner,
+/// callers fold the observed hit/eviction counters back into it between
+/// rounds via the inherited Retune() (batch_core::BatchStateBudget).
+class ForwardBatchStates : public batch_core::BatchStateBudget {
  public:
   explicit ForwardBatchStates(std::size_t max_bytes = kDefaultMaxBytes)
-      : max_bytes_(max_bytes) {}
+      : BatchStateBudget(max_bytes) {}
 
   static constexpr std::size_t kDefaultMaxBytes = std::size_t{256} << 20;
 
@@ -92,22 +114,12 @@ class ForwardBatchStates {
     slots_.erase(it);
   }
 
-  std::size_t bytes() const {
-    return bytes_.load(std::memory_order_relaxed);
-  }
-
   /// Number of pairs currently holding a saved state.
   std::size_t size() const { return slots_.size(); }
 
-  /// Observability (TwoWayJoinStats::state_*): walks resumed from a
-  /// saved state vs snapshots the byte budget forced out at write-back.
-  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  int64_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
-
  private:
-  friend class ForwardWalkerBatch;
+  template <int>
+  friend class ForwardWalkerBatchT;
 
   struct Slot {
     int level = 0;
@@ -138,18 +150,30 @@ class ForwardBatchStates {
   }
 
   std::unordered_map<std::size_t, Slot> slots_;
-  std::size_t max_bytes_;
-  std::atomic<std::size_t> bytes_{0};
-  std::atomic<int64_t> hits_{0};
-  std::atomic<int64_t> evictions_{0};
+};
+
+/// One target's share of a fused forward round (AdvanceMany): advance
+/// the pairs (sources[i], target) from their saved levels (states slot
+/// slots[i]) to the round's level, writing h(sources[i], target) into
+/// out[i]. Slot ids must be distinct across the plans of one call —
+/// plans are advanced concurrently.
+struct ForwardTargetPlan {
+  NodeId target = kInvalidNode;           // external id
+  std::span<const NodeId> sources;        // external ids
+  std::span<const std::size_t> slots;     // parallel to sources
+  double* out = nullptr;                  // |sources| scores
 };
 
 /// Advances many forward pair-walkers at once; see file comment.
-class ForwardWalkerBatch {
+/// W is the lane width (source walkers advanced together per block, all
+/// absorbed at the block's common target); use the ForwardWalkerBatch
+/// alias (W = 8) unless workspace memory is the constraint.
+template <int W>
+class ForwardWalkerBatchT {
+  static_assert(W > 0, "lane width must be positive");
+
  public:
-  /// Source walkers advanced together per block (8 doubles = one cache
-  /// line), all absorbed at the block's common target.
-  static constexpr int kLaneWidth = 8;
+  static constexpr int kLaneWidth = W;
 
   struct Options {
     PropagationMode mode = PropagationMode::kAdaptive;
@@ -166,9 +190,14 @@ class ForwardWalkerBatch {
   /// Default workspace-pool cap, as in BackwardWalkerBatch.
   static constexpr std::size_t kDefaultMaxPooledBytes = std::size_t{1} << 30;
 
-  explicit ForwardWalkerBatch(const Graph& g);
-  ForwardWalkerBatch(const Graph& g, Options options);
-  ~ForwardWalkerBatch();
+  explicit ForwardWalkerBatchT(const Graph& g)
+      : ForwardWalkerBatchT(g, Options()) {}
+  ForwardWalkerBatchT(const Graph& g, Options options)
+      : g_(g),
+        options_(options),
+        pool_(options.num_threads > 0 ? options.num_threads
+                                      : ThreadPool::DefaultThreadCount()),
+        workspaces_(g.num_nodes(), options.max_pooled_bytes) {}
 
   /// Runs a d-step forward walk for every (source, target) pair and
   /// returns the scores row-major by SOURCE:
@@ -180,14 +209,43 @@ class ForwardWalkerBatch {
   /// per call (RunChunked does this for you).
   std::vector<double> Run(const DhtParams& params, int d,
                           std::span<const NodeId> sources,
-                          std::span<const NodeId> targets);
+                          std::span<const NodeId> targets) {
+    DHTJOIN_CHECK(params.Validate().ok());
+    DHTJOIN_CHECK_GE(d, 1);
+    for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
+    for (NodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
+
+    std::vector<NodeId> source_storage, target_storage;
+    std::span<const NodeId> isources =
+        g_.MapToInternal(sources, source_storage);
+    std::span<const NodeId> itargets =
+        g_.MapToInternal(targets, target_storage);
+
+    std::vector<double> out(sources.size() * targets.size(), params.beta);
+    const std::size_t source_blocks = (sources.size() + W - 1) / W;
+    const std::size_t num_blocks = source_blocks * targets.size();
+    pool_.ParallelFor(static_cast<int64_t>(num_blocks), [&](int64_t block) {
+      const std::size_t ti = static_cast<std::size_t>(block) / source_blocks;
+      const std::size_t first =
+          (static_cast<std::size_t>(block) % source_blocks) * W;
+      const int width =
+          static_cast<int>(std::min<std::size_t>(W, sources.size() - first));
+      auto state = workspaces_.Acquire();
+      RunBlock(*state, params, d, isources, first, width, itargets[ti], ti,
+               targets.size(), out.data());
+      workspaces_.Release(std::move(state));
+    });
+    workspaces_.Trim();
+    return out;
+  }
 
   /// Largest source count per Run() that keeps the returned matrix near
   /// 32 MB; never less than one full lane block.
   static std::size_t MaxSourcesPerRun(std::size_t num_targets) {
     constexpr std::size_t kMaxMatrixDoubles = std::size_t{4} << 20;
     std::size_t cap = kMaxMatrixDoubles / (num_targets == 0 ? 1 : num_targets);
-    return cap < kLaneWidth ? kLaneWidth : cap;
+    return cap < static_cast<std::size_t>(W) ? static_cast<std::size_t>(W)
+                                             : cap;
   }
 
   /// Run() with MaxSourcesPerRun slicing applied: walks every pair,
@@ -213,14 +271,16 @@ class ForwardWalkerBatch {
     }
   }
 
-  /// The resumable form: advances the pairs (sources[i], target) from
-  /// their saved levels (states slot slots[i]) to `to_level`, then
-  /// invokes consume(i, score) with h_{to_level}(sources[i], target).
-  /// Pairs saved at different levels are grouped and advanced
-  /// separately, so evictions and fresh pairs mix freely.
-  /// `save_states = false` skips the write-back for a FINAL advance
-  /// whose states would never be read. Returns the number of pair
-  /// walks started from scratch.
+  /// The resumable per-target form: advances the pairs (sources[i],
+  /// target) from their saved levels (states slot slots[i]) to
+  /// `to_level`, then invokes consume(i, score) with
+  /// h_{to_level}(sources[i], target). Pairs saved at different levels
+  /// are grouped and advanced separately, so evictions and fresh pairs
+  /// mix freely. `save_states = false` skips the write-back for a FINAL
+  /// advance whose states would never be read. Returns the number of
+  /// pair walks started from scratch. A thin one-plan wrapper over
+  /// AdvanceMany — schedulers advancing MANY targets per round should
+  /// call AdvanceMany directly and pay one barrier, not |targets|.
   template <typename Consume>
   int64_t AdvancePairs(const DhtParams& params, int to_level,
                        std::span<const NodeId> sources,
@@ -229,9 +289,149 @@ class ForwardWalkerBatch {
                        bool save_states = true) {
     DHTJOIN_CHECK_EQ(sources.size(), slots.size());
     std::vector<double> scores(sources.size());
-    int64_t fresh = AdvancePairsRun(params, to_level, sources, slots, target,
-                                    states, save_states, scores.data());
+    ForwardTargetPlan plan;
+    plan.target = target;
+    plan.sources = sources;
+    plan.slots = slots;
+    plan.out = scores.data();
+    int64_t fresh = AdvanceMany(params, to_level, {&plan, 1}, states,
+                                save_states);
     for (std::size_t i = 0; i < sources.size(); ++i) consume(i, scores[i]);
+    return fresh;
+  }
+
+  /// The fused multi-target scheduler (see file comment): advances
+  /// every plan's pairs to `to_level` in ONE ParallelFor. Beyond the
+  /// barrier elimination, the fused enumeration packs lanes ACROSS
+  /// plans: a shrunken live set leaves every target a partial lane
+  /// block (4 live sources = half the SIMD rows dead), so the flat
+  /// (plan, pair) list is chunked into FULL W-wide blocks whose lanes
+  /// carry per-lane absorption targets — the same per-lane device the
+  /// backward engine uses for targets. A 4-source round over |Q|
+  /// targets runs |Q|/2 full blocks instead of |Q| half-empty ones,
+  /// halving the edge-stream passes. Scores stay bit-identical to the
+  /// per-target loop: lanes are independent columns, a lane sums the
+  /// same contributions in the same canonical support order whatever
+  /// its block-mates are (extra union-support rows contribute exact
+  /// zeros), and sparse/dense mode flips never change values
+  /// (DESIGN.md §3, §8; gated in the parity tests and
+  /// bench_scheduler). Callers size the union of `out` buffers (slice
+  /// the plan list across calls when a round's scores cannot all be
+  /// held). Returns the number of pair walks started from scratch.
+  int64_t AdvanceMany(const DhtParams& params, int to_level,
+                      std::span<const ForwardTargetPlan> plans,
+                      ForwardBatchStates& states, bool save_states) {
+    DHTJOIN_CHECK(params.Validate().ok());
+    DHTJOIN_CHECK_GE(to_level, 1);
+
+    struct PlanCtx {
+      std::vector<NodeId> source_storage;
+      std::span<const NodeId> isources;
+      NodeId itarget = kInvalidNode;
+    };
+    struct Item {
+      std::size_t plan;
+      std::size_t idx;  // pair index within the plan
+    };
+    std::vector<PlanCtx> ctx(plans.size());
+    // Level-major (ascending), plan-major within a level, pair order
+    // within a plan — the per-target loop's enumeration, flattened.
+    std::map<int, std::vector<Item>> by_level;
+    int64_t fresh = 0;
+    for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+      const ForwardTargetPlan& plan = plans[pi];
+      DHTJOIN_CHECK(g_.ContainsNode(plan.target));
+      DHTJOIN_CHECK(plan.out != nullptr || plan.sources.empty());
+      DHTJOIN_CHECK_EQ(plan.sources.size(), plan.slots.size());
+      // Schedulers typically pass ONE live source list for every
+      // target of the round; validate and translate it once, not once
+      // per plan.
+      if (pi > 0 && plan.sources.data() == plans[pi - 1].sources.data() &&
+          plan.sources.size() == plans[pi - 1].sources.size()) {
+        ctx[pi].isources = ctx[pi - 1].isources;
+      } else {
+        for (NodeId p : plan.sources) DHTJOIN_CHECK(g_.ContainsNode(p));
+        ctx[pi].isources =
+            g_.MapToInternal(plan.sources, ctx[pi].source_storage);
+      }
+      ctx[pi].itarget = g_.ToInternal(plan.target);
+
+      for (std::size_t i = 0; i < plan.sources.size(); ++i) {
+        const ForwardBatchStates::Slot* slot = states.FindSlot(plan.slots[i]);
+        const int level = slot == nullptr ? 0 : slot->level;
+        DHTJOIN_CHECK_LE(level, to_level);
+        if (level == 0) {
+          plan.out[i] = params.beta;
+          ++fresh;
+          states.misses_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          plan.out[i] = slot->score;
+          states.hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (level < to_level) {
+          by_level[level].push_back(Item{pi, i});
+          // Materialize the map entry now: the parallel write-back
+          // below only assigns through pre-existing entries, so the
+          // hash map is never structurally mutated from worker threads.
+          if (save_states && slot == nullptr) states.slots_[plan.slots[i]];
+        }
+      }
+    }
+
+    struct Block {
+      int from_level;
+      std::size_t first;  // into the flat item array
+      int width;
+    };
+    std::vector<Item> items;
+    std::vector<Block> blocks;
+    for (auto& [level, level_items] : by_level) {
+      for (std::size_t base = 0; base < level_items.size();
+           base += static_cast<std::size_t>(W)) {
+        const std::size_t count = std::min<std::size_t>(
+            static_cast<std::size_t>(W), level_items.size() - base);
+        blocks.push_back(Block{level, items.size() + base,
+                               static_cast<int>(count)});
+      }
+      items.insert(items.end(), level_items.begin(), level_items.end());
+    }
+
+    // ONE fork/join for the whole round, every plan and level mixed;
+    // blocks are independent (disjoint slots, disjoint output cells).
+    pool_.ParallelFor(
+        static_cast<int64_t>(blocks.size()), [&](int64_t bi) {
+          const Block& blk = blocks[static_cast<std::size_t>(bi)];
+          const int width = blk.width;
+          NodeId lane_source[W];
+          NodeId lane_target[W];
+          std::size_t lane_slot[W];
+          double* lane_out[W];
+          for (int b = 0; b < width; ++b) {
+            const Item& item = items[blk.first + static_cast<std::size_t>(b)];
+            lane_source[b] = ctx[item.plan].isources[item.idx];
+            lane_target[b] = ctx[item.plan].itarget;
+            lane_slot[b] = plans[item.plan].slots[item.idx];
+            lane_out[b] = plans[item.plan].out + item.idx;
+          }
+          auto state = workspaces_.Acquire();
+          AdvanceBlock(*state, params, blk.from_level, to_level, lane_source,
+                       lane_target, lane_slot, lane_out, width, states,
+                       save_states);
+          workspaces_.Release(std::move(state));
+        });
+    workspaces_.Trim();
+
+    // Entries whose write-back was refused by the budget (or that were
+    // only materialized for the parallel phase) hold no state; erase
+    // them so the sparse map never accumulates empty nodes.
+    if (save_states) {
+      for (const Item& item : items) {
+        auto it = states.slots_.find(plans[item.plan].slots[item.idx]);
+        if (it != states.slots_.end() && it->second.level == 0) {
+          states.slots_.erase(it);
+        }
+      }
+    }
     return fresh;
   }
 
@@ -239,50 +439,146 @@ class ForwardWalkerBatch {
   /// comparable with the scalar ForwardWalker's edges_relaxed: a sparse
   /// step bills each lane only for frontier nodes where that lane has
   /// mass; a dense pass bills every lane its sweep plan's edges.
-  int64_t edges_relaxed() const { return edges_relaxed_; }
+  int64_t edges_relaxed() const { return workspaces_.edges_relaxed(); }
+
+  /// Fork/join barriers dispatched by this engine so far (one per Run
+  /// chunk or AdvanceMany round); see BackwardWalkerBatchT.
+  int64_t scheduler_barriers() const { return pool_.parallel_fors(); }
 
   /// Workspace-pool observability (Options::max_pooled_bytes).
-  std::size_t pooled_workspaces() const;
-  std::size_t pooled_workspace_bytes() const;
-  int64_t workspaces_discarded() const;
+  std::size_t pooled_workspaces() const {
+    return workspaces_.pooled_workspaces();
+  }
+  std::size_t pooled_workspace_bytes() const {
+    return workspaces_.pooled_workspace_bytes();
+  }
+  int64_t workspaces_discarded() const {
+    return workspaces_.workspaces_discarded();
+  }
 
  private:
-  struct BlockState;
+  using Workspace = batch_core::BlockWorkspace<W>;
 
-  std::unique_ptr<BlockState> AcquireState();
-  void ReleaseState(std::unique_ptr<BlockState> state);
-  /// Frees pooled workspaces over Options::max_pooled_bytes; called at
-  /// run boundaries so intra-run recycling is never disabled.
-  void TrimPool();
-
-  /// One blocked forward transition step; leaves the (sorted) new
-  /// support in st.support.
-  void StepLanes(BlockState& st, int width) const;
+  void Step(Workspace& st, int width) const {
+    batch_core::StepLanes<batch_core::ForwardStepPolicy, W>(
+        g_, options_.mode, /*soa_gather=*/false, st, width);
+  }
 
   /// Walks one block of `width` sources to depth d with absorption at
   /// `target`, adding score contributions into out[(first + b)].
-  void RunBlock(BlockState& st, const DhtParams& params, int d,
+  void RunBlock(Workspace& st, const DhtParams& params, int d,
                 std::span<const NodeId> sources, std::size_t first_source,
                 int width, NodeId target, std::size_t target_index,
-                std::size_t num_targets, double* out);
+                std::size_t num_targets, double* out) {
+    // Seed: lane b walks from sources[first_source + b]; duplicates
+    // share a support row with independent lanes.
+    for (int b = 0; b < width; ++b) {
+      NodeId p = sources[first_source + static_cast<std::size_t>(b)];
+      st.mass[static_cast<std::size_t>(p) * W + static_cast<std::size_t>(b)] =
+          1.0;
+      st.support.push_back(p);
+    }
+    g_.SortCanonical(st.support);
+    st.support.erase(std::unique(st.support.begin(), st.support.end()),
+                     st.support.end());
+    st.support_canonical = true;
+    st.plan = options_.restrict_dense ? g_.PlanDenseSweep(st.support)
+                                      : g_.FullSweepPlan();
 
-  /// Resumable body behind AdvancePairs; writes h_{to_level} of pair i
-  /// into out[i]. Returns fresh-start count.
-  int64_t AdvancePairsRun(const DhtParams& params, int to_level,
-                          std::span<const NodeId> sources,
-                          std::span<const std::size_t> slots, NodeId target,
-                          ForwardBatchStates& states, bool save_states,
-                          double* out);
+    double lambda_pow = 1.0;
+    for (int step = 0; step < d; ++step) {
+      Step(st, width);
+      // mass/next swap inside the step, so the row pointer is per-step.
+      double* target_row = &st.mass[static_cast<std::size_t>(target) * W];
+      lambda_pow *= params.lambda;
+      const double coeff = params.alpha * lambda_pow;
+      for (int b = 0; b < width; ++b) {
+        out[(first_source + static_cast<std::size_t>(b)) * num_targets +
+            target_index] += coeff * target_row[b];
+      }
+      // First-hit absorption: every lane of this block absorbs at the
+      // shared target, so the whole row goes dark.
+      if (params.first_hit) std::fill(target_row, target_row + width, 0.0);
+    }
+
+    st.RestoreZeroInvariant();
+  }
+
+  /// Advances one uniform-level lane block from `from_level` to
+  /// `to_level`. Lanes carry independent (source, target) PAIRS — the
+  /// cross-plan packing device — so absorption and scoring are
+  /// per-lane, mirroring the backward engine's per-lane targets: loads
+  /// fresh seeds or saved snapshots, steps, scores each lane at its own
+  /// target, and writes the per-lane states back under the byte budget.
+  void AdvanceBlock(Workspace& st, const DhtParams& params, int from_level,
+                    int to_level, const NodeId* lane_source,
+                    const NodeId* lane_target, const std::size_t* lane_slot,
+                    double* const* lane_out, int width,
+                    ForwardBatchStates& states, bool save_states) {
+    // Load: fresh lanes seed unit mass at their source; resumed lanes
+    // replay their sparse snapshot (mass stays inside the sources'
+    // components, so the plan from the lane sources covers both).
+    batch_core::LoadLaneMass<W>(
+        g_, st, from_level, lane_source, width,
+        [&](int b) -> const std::vector<std::pair<NodeId, double>>& {
+          return states.FindSlot(lane_slot[b])->mass;
+        });
+    st.plan = options_.restrict_dense
+                  ? g_.PlanDenseSweep({lane_source,
+                                       static_cast<std::size_t>(width)})
+                  : g_.FullSweepPlan();
+
+    // Resume the discount where the walk stopped (lane 0 speaks for the
+    // uniform-level block; equal levels have bit-equal saved lambda^l
+    // products); fresh blocks start at lambda^0.
+    double lambda_pow =
+        from_level == 0 ? 1.0
+                        : states.FindSlot(lane_slot[0])->lambda_pow;
+
+    for (int step = from_level; step < to_level; ++step) {
+      Step(st, width);
+      lambda_pow *= params.lambda;
+      const double coeff = params.alpha * lambda_pow;
+      for (int b = 0; b < width; ++b) {
+        // Each lane reads (and, under first-hit, darkens) its OWN
+        // absorption target's mass slot.
+        double& cell = st.mass[static_cast<std::size_t>(lane_target[b]) * W +
+                               static_cast<std::size_t>(b)];
+        *lane_out[b] += coeff * cell;
+        if (params.first_hit) cell = 0.0;
+      }
+    }
+
+    // Write back per-lane states under the byte budget. As in the
+    // backward batch, the old (lower-level) snapshot is kept whenever
+    // the new one does not fit, so budget pressure degrades resume
+    // gracefully instead of to a full restart every level. A final
+    // advance (save_states off) skips the snapshots entirely.
+    for (int b = 0; save_states && b < width; ++b) {
+      ForwardBatchStates::Slot& slot = *states.FindSlot(lane_slot[b]);
+      ForwardBatchStates::Slot cand;
+      cand.level = to_level;
+      cand.lambda_pow = lambda_pow;
+      cand.score = *lane_out[b];
+      batch_core::CollectLaneMass(st, b, cand.mass);
+      cand.bytes = cand.ApproxBytes();
+      states.TryCommit(slot, std::move(cand));
+    }
+
+    st.RestoreZeroInvariant();
+  }
 
   const Graph& g_;
   Options options_;
   ThreadPool pool_;
-  mutable std::mutex state_mu_;
-  std::vector<std::unique_ptr<BlockState>> free_states_;
-  std::size_t pooled_bytes_ = 0;
-  int64_t workspaces_discarded_ = 0;
-  int64_t edges_relaxed_ = 0;
+  batch_core::WorkspacePool<W> workspaces_;
 };
+
+/// The default 8-lane engine (one cache line of doubles per node).
+using ForwardWalkerBatch = ForwardWalkerBatchT<8>;
+
+extern template class ForwardWalkerBatchT<8>;
+extern template class ForwardWalkerBatchT<4>;
 
 }  // namespace dhtjoin
 

@@ -126,10 +126,15 @@ class Propagator {
   /// `restrict_dense` = false disables the reachability restriction
   /// (dense steps sweep all n rows and bill all m edges, as the seed
   /// engine did) — the benchmark baseline; results are bit-identical
-  /// either way.
+  /// either way. `soa_gather` streams the split (to[], prob[]) arrays
+  /// (Graph::OutTargets/OutProbs, 12 bytes/edge) in the dense backward
+  /// gather instead of the 16-byte AoS OutEdge stream — the scalar
+  /// gather does one madd per edge and is stream-bound, so the cut is
+  /// a measured win (bench_reorder gates it); bit-identical either
+  /// way.
   Propagator(const Graph& g, Direction dir,
              PropagationMode mode = PropagationMode::kAdaptive,
-             bool restrict_dense = true);
+             bool restrict_dense = true, bool soa_gather = true);
 
   /// Drops all mass and places 1.0 at `seed`. O(|support|), not O(n).
   void Reset(NodeId seed);
@@ -212,6 +217,7 @@ class Propagator {
   Direction dir_;
   PropagationMode mode_;
   bool restrict_dense_;
+  bool soa_gather_;
   // Invariant: mass_ and next_ are exactly 0.0 outside their support
   // lists, at all times. Steps clean up after themselves (sparse clear),
   // so Reset never pays O(n). support_ is brought into canonical order

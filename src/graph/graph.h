@@ -158,6 +158,26 @@ class Graph {
             out_weights_.data() + out_offsets_[u + 1]};
   }
 
+  /// SoA mirror of OutEdges(u): targets only, positionally aligned with
+  /// OutProbs(u). The dense backward gather streams the whole out-CSR
+  /// end to end and reads nothing but (to, prob); the split arrays cut
+  /// its stream from 16 padded bytes/edge to 12 (4 + 8) — see the
+  /// ROADMAP item gated in bench_reorder. Sparse pushes keep the AoS
+  /// OutEdges stream: their per-row access touches one row at a time,
+  /// where a second array would only double the cache-line traffic.
+  std::span<const NodeId> OutTargets(NodeId u) const {
+    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
+    return {gather_to_.data() + out_offsets_[u],
+            gather_to_.data() + out_offsets_[u + 1]};
+  }
+
+  /// SoA mirror of OutEdges(u): transition probabilities only.
+  std::span<const double> OutProbs(NodeId u) const {
+    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
+    return {gather_prob_.data() + out_offsets_[u],
+            gather_prob_.data() + out_offsets_[u + 1]};
+  }
+
   /// Incoming arcs of internal node `u` (sources I_u with their
   /// transition probabilities p_{source,u}), sorted by canonical source.
   std::span<const InEdge> InEdges(NodeId u) const {
@@ -284,9 +304,23 @@ class Graph {
     ReachIndex reach;
   };
 
+  /// Rebuilds the SoA gather mirrors (gather_to_, gather_prob_) from
+  /// out_edges_; every Graph producer calls this once after the out-CSR
+  /// is final.
+  void BuildGatherArrays() {
+    gather_to_.resize(out_edges_.size());
+    gather_prob_.resize(out_edges_.size());
+    for (std::size_t e = 0; e < out_edges_.size(); ++e) {
+      gather_to_[e] = out_edges_[e].to;
+      gather_prob_[e] = out_edges_[e].prob;
+    }
+  }
+
   std::vector<int64_t> out_offsets_;  // size num_nodes()+1
   std::vector<OutEdge> out_edges_;    // sorted by canonical target per row
   std::vector<double> out_weights_;   // positionally aligned with out_edges_
+  std::vector<NodeId> gather_to_;     // SoA mirrors of out_edges_ for the
+  std::vector<double> gather_prob_;   // dense gather (see OutTargets)
   std::vector<int64_t> in_offsets_;   // size num_nodes()+1
   std::vector<InEdge> in_edges_;      // sorted by canonical source per row
   std::vector<NodeId> new_to_old_;    // empty = insertion layout

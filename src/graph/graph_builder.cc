@@ -109,6 +109,7 @@ Result<Graph> GraphBuilder::Build() {
 
   edges_.clear();
   edges_.shrink_to_fit();
+  g.BuildGatherArrays();
   g.caches_ = std::make_shared<Graph::LazyCaches>();
   return g;
 }

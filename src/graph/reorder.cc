@@ -179,6 +179,7 @@ Result<Graph> ApplyNodePermutation(const Graph& g,
           InEdge{u, edge.prob};
     }
   }
+  out.BuildGatherArrays();
   return out;
 }
 

@@ -34,11 +34,13 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   };
 
   BackwardWalkerBatch batch(g);
-  const std::size_t budget = options_.state_budget_bytes > 0
-                                 ? options_.state_budget_bytes
-                                 : AutotuneStateBudgetBytes(g.num_nodes());
+  const bool autotuned_budget = options_.state_budget_bytes == 0;
+  const std::size_t budget = autotuned_budget
+                                 ? AutotuneStateBudgetBytes(g.num_nodes())
+                                 : options_.state_budget_bytes;
   BackwardBatchStates states(options_.resume ? Q.size() : 0, budget);
   int64_t batch_edges_seen = 0;
+  int64_t batch_barriers_seen = 0;
   // Batched l-step walks for the live targets; consume(i, row) receives
   // the |P|-wide score row of live[i]. With resume on, each target
   // continues from its previous level's saved state; otherwise it
@@ -58,6 +60,9 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
     }
     stats_.walk_steps += batch.edges_relaxed() - batch_edges_seen;
     batch_edges_seen = batch.edges_relaxed();
+    stats_.barriers_per_iteration.push_back(batch.scheduler_barriers() -
+                                            batch_barriers_seen);
+    batch_barriers_seen = batch.scheduler_barriers();
   };
 
   std::vector<std::size_t> live(Q.size());
@@ -97,6 +102,11 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
                   static_cast<double>(Q.size()));
     live.swap(survivors);
     stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+    // Feedback autotuning between rounds (batch_core::BatchStateBudget):
+    // grow the pool on thrash, shrink on idle. Explicit budgets are the
+    // caller's contract; evicted states restart bit-identically, so
+    // retuning never changes a result.
+    if (options_.resume && autotuned_budget) states.Retune();
   }
 
   // Final pass (Alg. 2 Steps 16-17): exact d-step walks for survivors.
@@ -118,6 +128,7 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   stats_.state_misses = options_.resume ? stats_.walks_started : 0;
   stats_.state_evictions = states.evictions();
   stats_.state_resident_bytes = static_cast<int64_t>(states.bytes());
+  stats_.pool_barriers = batch.scheduler_barriers();
 
   std::vector<ScoredPair> out;
   for (auto& entry : best.TakeSortedDescending()) {

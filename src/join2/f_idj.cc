@@ -1,5 +1,6 @@
 #include "join2/f_idj.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "dht/walker_state.h"
@@ -20,11 +21,13 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   // slot ids stay stable as the live set shrinks; the map is sparse, so
   // a huge pair space costs nothing until pairs actually save states.
   const bool resume = options_.resume;
-  const std::size_t budget = options_.state_budget_bytes > 0
-                                 ? options_.state_budget_bytes
-                                 : AutotuneStateBudgetBytes(g.num_nodes());
+  const bool autotuned_budget = options_.state_budget_bytes == 0;
+  const std::size_t budget = autotuned_budget
+                                 ? AutotuneStateBudgetBytes(g.num_nodes())
+                                 : options_.state_budget_bytes;
   ForwardBatchStates states(budget);
   int64_t batch_edges_seen = 0;
+  int64_t batch_barriers_seen = 0;
 
   // live holds ORIGINAL indices into P.
   std::vector<std::size_t> live(P.size());
@@ -36,22 +39,48 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   // from its saved level; restart recomputes from scratch — identical
   // scores either way (sorted-support determinism, DESIGN.md §3).
   // `save` is off for the final exact-d pass.
+  //
+  // The resume schedule runs on the FUSED scheduler (AdvanceMany): all
+  // |Q| targets' (live source, q) blocks of the round go through ONE
+  // ParallelFor, instead of the historical one-AdvancePairs-barrier per
+  // target per level — the O(|Q|) fork/joins that dominated large-|Q|
+  // rounds once pruning had shrunk the live set (DESIGN.md §8). Targets
+  // are sliced only to keep the round's score matrix near 32 MB.
   auto walk_live = [&](const std::vector<std::size_t>& lv, int l, bool save,
                        auto&& consume) {
     std::vector<NodeId> nodes(lv.size());
     for (std::size_t i = 0; i < lv.size(); ++i) nodes[i] = P[lv[i]];
     if (resume) {
-      std::vector<std::size_t> slots(lv.size());
-      for (std::size_t qi = 0; qi < Q.size(); ++qi) {
-        for (std::size_t i = 0; i < lv.size(); ++i) {
-          slots[i] = lv[i] * Q.size() + qi;
+      constexpr std::size_t kMaxMatrixDoubles = std::size_t{4} << 20;
+      const std::size_t targets_per_call = std::max<std::size_t>(
+          1, kMaxMatrixDoubles / std::max<std::size_t>(1, lv.size()));
+      std::vector<double> scores;
+      std::vector<std::size_t> slots;
+      std::vector<ForwardTargetPlan> plans;
+      for (std::size_t qbase = 0; qbase < Q.size();
+           qbase += targets_per_call) {
+        const std::size_t qcount =
+            std::min(targets_per_call, Q.size() - qbase);
+        scores.assign(lv.size() * qcount, 0.0);
+        slots.resize(lv.size() * qcount);
+        plans.assign(qcount, ForwardTargetPlan{});
+        for (std::size_t t = 0; t < qcount; ++t) {
+          const std::size_t qi = qbase + t;
+          for (std::size_t i = 0; i < lv.size(); ++i) {
+            slots[t * lv.size() + i] = lv[i] * Q.size() + qi;
+          }
+          plans[t].target = Q[qi];
+          plans[t].sources = nodes;
+          plans[t].slots = {slots.data() + t * lv.size(), lv.size()};
+          plans[t].out = scores.data() + t * lv.size();
         }
         stats_.walks_started +=
-            batch.AdvancePairs(params, l, nodes, slots, Q[qi], states,
-                               [&](std::size_t i, double s) {
-                                 consume(i, qi, s);
-                               },
-                               save);
+            batch.AdvanceMany(params, l, plans, states, save);
+        for (std::size_t t = 0; t < qcount; ++t) {
+          for (std::size_t i = 0; i < lv.size(); ++i) {
+            consume(i, qbase + t, scores[t * lv.size() + i]);
+          }
+        }
       }
     } else {
       batch.RunChunked(params, l, nodes, Q.nodes(),
@@ -65,6 +94,9 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
     }
     stats_.walk_steps += batch.edges_relaxed() - batch_edges_seen;
     batch_edges_seen = batch.edges_relaxed();
+    stats_.barriers_per_iteration.push_back(batch.scheduler_barriers() -
+                                            batch_barriers_seen);
+    batch_barriers_seen = batch.scheduler_barriers();
   };
 
   for (int l = 1; l < d; l *= 2) {
@@ -99,6 +131,11 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
                   static_cast<double>(P.size()));
     live.swap(survivors);
     stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+    // Feedback autotuning between rounds: fold the pool's observed
+    // hit/eviction behaviour back into its byte budget (grow on thrash,
+    // shrink on idle). Explicit budgets are left alone; evicted states
+    // restart bit-identically, so this never changes a result.
+    if (resume && autotuned_budget) states.Retune();
   }
 
   // Final pass: exact d-step scores for surviving sources.
@@ -116,6 +153,7 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   stats_.state_misses = resume ? stats_.walks_started : 0;
   stats_.state_evictions = states.evictions();
   stats_.state_resident_bytes = static_cast<int64_t>(states.bytes());
+  stats_.pool_barriers = batch.scheduler_barriers();
 
   std::vector<ScoredPair> out;
   for (auto& entry : best.TakeSortedDescending()) {

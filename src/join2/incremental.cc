@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "dht/backward_batch.h"
+
 #include "util/top_k.h"
 
 namespace dhtjoin {
@@ -128,13 +130,26 @@ void IncrementalTwoWayJoin::DeepenTarget(std::size_t qi, int new_level) {
       options_.snapshots->Store(q, std::move(snapshot));
     }
   }
-  stats_.state_evictions = walker_states_.evictions();
+  stats_.state_evictions = walker_states_.evictions() + schedule_evictions_;
   stats_.state_resident_bytes = static_cast<int64_t>(walker_states_.bytes());
 
+  row_buffer_.resize(P_.size());
+  for (std::size_t pi = 0; pi < P_.size(); ++pi) {
+    row_buffer_[pi] = walker_.Score(P_[pi]);
+  }
+  ApplyRow(qi, new_level, row_buffer_.data());
+}
+
+void IncrementalTwoWayJoin::ApplyRow(std::size_t qi, int new_level,
+                                     const double* row) {
+  DHTJOIN_CHECK_GT(new_level, q_level_[qi]);
+  DHTJOIN_CHECK_LE(new_level, d_);
+  NodeId q = Q_[qi];
   const double remainder = Remainder(new_level, qi);
-  for (NodeId p : P_) {
+  for (std::size_t pi = 0; pi < P_.size(); ++pi) {
+    NodeId p = P_[pi];
     if (p == q) continue;
-    double s = walker_.Score(p);
+    double s = row[pi];
     if (s <= params_.beta) continue;
     uint64_t key = PairKey(p, q);
     if (returned_.contains(key)) continue;
@@ -177,20 +192,79 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
   for (std::size_t qi = 0; qi < Q_.size(); ++qi) live[qi] = qi;
   stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
 
-  for (int l = 1; l < d_; l *= 2) {
-    std::vector<double> q_upper(live.size(), kNegInf);
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      std::size_t qi = live[i];
-      DeepenTarget(qi, l);
-      // qUpper = max_p h_l(p, q) + U_l^+; the walker still holds the
-      // scores of this target.
-      double pmax = params_.beta;
-      for (NodeId p : P_) {
-        if (p == Q_[qi]) continue;
-        pmax = std::max(pmax, walker_.Score(p));
+  if (options_.snapshots != nullptr) {
+    // Scalar schedule, kept for the serving path: the provider's
+    // snapshots are scalar walks with a full score surface (reusable
+    // under ANY query's P), which only the scalar walker can produce
+    // and consume — DeepenTarget imports/offers them per target.
+    for (int l = 1; l < d_; l *= 2) {
+      std::vector<double> q_upper(live.size(), kNegInf);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        std::size_t qi = live[i];
+        DeepenTarget(qi, l);
+        // qUpper = max_p h_l(p, q) + U_l^+; the walker still holds the
+        // scores of this target.
+        double pmax = params_.beta;
+        for (NodeId p : P_) {
+          if (p == Q_[qi]) continue;
+          pmax = std::max(pmax, walker_.Score(p));
+        }
+        q_upper[i] = pmax + Remainder(l, qi);
       }
-      q_upper[i] = pmax + Remainder(l, qi);
+      double tm = LowerThreshold(m);
+      std::vector<std::size_t> survivors;
+      survivors.reserve(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (q_upper[i] >= tm) survivors.push_back(live[i]);
+      }
+      stats_.pruned_fraction_per_iteration.push_back(
+          1.0 - static_cast<double>(survivors.size()) /
+                    static_cast<double>(Q_.size()));
+      live.swap(survivors);
+      stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
     }
+    for (std::size_t qi : live) {
+      if (q_level_[qi] < d_) DeepenTarget(qi, d_);
+    }
+    return;
+  }
+
+  // Batch-driven eager schedule (the default): the whole live set
+  // deepens through the fused core — one fork/join barrier per round
+  // instead of one scalar walk per target per level — with per-target
+  // resumable states local to the schedule. Next() keeps the scalar
+  // resume pool: its single-target refinements would pay the full
+  // W-lane stride for one live lane. A target pruned here restarts
+  // from scratch if Next() later re-activates it — bit-identical
+  // scores, just 2x the steps for that target (DESIGN.md §3, §8).
+  BackwardWalkerBatch batch(g_);
+  BackwardBatchStates batch_states(Q_.size(), walker_states_.max_bytes());
+  int64_t edges_seen = 0;
+  int64_t barriers_seen = 0;
+  auto account = [&] {
+    stats_.walk_steps += batch.edges_relaxed() - edges_seen;
+    edges_seen = batch.edges_relaxed();
+    stats_.barriers_per_iteration.push_back(batch.scheduler_barriers() -
+                                            barriers_seen);
+    barriers_seen = batch.scheduler_barriers();
+  };
+  for (int l = 1; l < d_; l *= 2) {
+    std::vector<NodeId> nodes(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) nodes[i] = Q_[live[i]];
+    std::vector<double> q_upper(live.size(), kNegInf);
+    stats_.walks_started += batch.AdvanceChunked(
+        params_, l, nodes, live, P_.nodes(), batch_states,
+        [&](std::size_t i, const double* row) {
+          const std::size_t qi = live[i];
+          ApplyRow(qi, l, row);
+          double pmax = params_.beta;
+          for (std::size_t pi = 0; pi < P_.size(); ++pi) {
+            if (P_[pi] == Q_[qi]) continue;
+            pmax = std::max(pmax, row[pi]);
+          }
+          q_upper[i] = pmax + Remainder(l, qi);
+        });
+    account();
     double tm = LowerThreshold(m);
     std::vector<std::size_t> survivors;
     survivors.reserve(live.size());
@@ -202,10 +276,35 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
                   static_cast<double>(Q_.size()));
     live.swap(survivors);
     stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+    // Same feedback autotuning the scalar pool gets: grow the schedule's
+    // state budget on thrash, shrink on idle (never changes a result).
+    if (autotune_budget_) batch_states.Retune();
   }
+  // Final exact-d pass for survivors; their states die with the
+  // schedule (depth d is final for the truncated measure), so skip the
+  // write-back.
+  std::vector<std::size_t> need;
   for (std::size_t qi : live) {
-    if (q_level_[qi] < d_) DeepenTarget(qi, d_);
+    if (q_level_[qi] < d_) need.push_back(qi);
   }
+  if (!need.empty()) {
+    std::vector<NodeId> nodes(need.size());
+    for (std::size_t i = 0; i < need.size(); ++i) nodes[i] = Q_[need[i]];
+    stats_.walks_started += batch.AdvanceChunked(
+        params_, d_, nodes, need, P_.nodes(), batch_states,
+        [&](std::size_t i, const double* row) {
+          ApplyRow(need[i], d_, row);
+        },
+        /*save_states=*/false);
+    account();
+  }
+  stats_.state_hits += batch_states.hits();
+  stats_.state_misses += batch_states.misses();
+  // Remember the schedule's evictions: DeepenTarget refreshes
+  // stats_.state_evictions from the scalar pool on every later call.
+  schedule_evictions_ = batch_states.evictions();
+  stats_.state_evictions += schedule_evictions_;
+  stats_.pool_barriers += batch.scheduler_barriers();
 }
 
 std::optional<ScoredPair> IncrementalTwoWayJoin::Next() {

@@ -99,8 +99,21 @@ class IncrementalTwoWayJoin {
   /// tightening F entries and refreshing the residual bound.
   void DeepenTarget(std::size_t qi, int new_level);
 
+  /// The F-maintenance half of a deepening: folds target qi's score row
+  /// over P (h_{new_level}(P[pi], Q[qi]) at row[pi]) into the candidate
+  /// heap and residual bound, and records the new level. Shared by the
+  /// scalar DeepenTarget and the batch-driven initial schedule.
+  void ApplyRow(std::size_t qi, int new_level, const double* row);
+
   /// Runs the B-IDJ deepening schedule with pruning threshold from the
-  /// m-th best lower bound.
+  /// m-th best lower bound. Driven by the fused batch engine
+  /// (BackwardWalkerBatch::AdvanceMany via AdvanceChunked) — one
+  /// fork/join per deepening round over the whole live set — except
+  /// when a cross-query snapshot provider is attached: provider
+  /// snapshots are SCALAR walks (a full score surface, reusable under
+  /// any P), which a batch row over this query's P cannot produce, so
+  /// that path keeps the scalar walker and its cache import/export.
+  /// Scores are identical either way (DESIGN.md §3).
   void RunInitialSchedule(std::size_t m);
 
   /// m-th largest lower bound currently in F (-inf when |F| < m).
@@ -125,6 +138,8 @@ class IncrementalTwoWayJoin {
   WalkerStatePool<BackwardWalkerState> walker_states_;
   bool autotune_budget_ = false;
   int64_t deepen_calls_ = 0;
+  int64_t schedule_evictions_ = 0;  // from the batch-driven top-m setup
+  std::vector<double> row_buffer_;  // scratch: one score row over P_
 
   MutableHeap<PairEntry> f_;  // keyed by upper bound h+
   std::unordered_map<uint64_t, MutableHeap<PairEntry>::Handle> index_;

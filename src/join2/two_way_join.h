@@ -100,6 +100,14 @@ struct TwoWayJoinStats {
   /// each deepening iteration (paper Fig. 10(b)).
   std::vector<double> pruned_fraction_per_iteration;
 
+  /// Fork/join barriers (ThreadPool::ParallelFor dispatches) the run's
+  /// batch engines paid in total, and per deepening round. The fused
+  /// multi-target scheduler (dht/batch_core.h, DESIGN.md §8) keeps the
+  /// per-round count at O(1) instead of O(|live targets|); gated in
+  /// bench_scheduler and surfaced in dhtjoin_cli's stats JSON.
+  int64_t pool_barriers = 0;
+  std::vector<int64_t> barriers_per_iteration;
+
   /// Resume-state pool observability (filled by the IDJ-family runs, the
   /// incremental enumerator, and the serving executor): walks continued
   /// from a saved state vs started fresh (never saved, or evicted), and

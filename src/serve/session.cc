@@ -205,6 +205,7 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
   qs.cold_targets = static_cast<int64_t>(Q.size()) - qs.warm_targets;
 
   int64_t batch_edges_seen = 0;
+  int64_t batch_barriers_seen = 0;
   // Advances the subset of live targets still below level l, then hands
   // EVERY live target's row to score_row(live_pos, row, row_level):
   // advanced targets through the batch consume callback (at exactly l),
@@ -232,13 +233,23 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
           },
           save);
     }
+    std::vector<double> warm_row;
     for (std::size_t i = 0; i < live.size(); ++i) {
       if (!advanced[i]) {
-        score_row(i, states.Row(live[i]).data(), states.level(live[i]));
+        // Stored rows are beta-exclusive deltas (BackwardBatchSnapshot
+        // semantics); add the floor back exactly as the engine does at
+        // output, so a warm row is bit-identical to the advanced one.
+        std::span<const double> delta = states.Row(live[i]);
+        warm_row.assign(delta.begin(), delta.end());
+        for (double& cell : warm_row) cell += params_.beta;
+        score_row(i, warm_row.data(), states.level(live[i]));
       }
     }
     qs.join.walk_steps += batch.edges_relaxed() - batch_edges_seen;
     batch_edges_seen = batch.edges_relaxed();
+    qs.join.barriers_per_iteration.push_back(batch.scheduler_barriers() -
+                                             batch_barriers_seen);
+    batch_barriers_seen = batch.scheduler_barriers();
   };
 
   std::vector<std::size_t> live(Q.size());
@@ -277,6 +288,11 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
                   static_cast<double>(Q.size()));
     live.swap(survivors);
     qs.join.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+    // Feedback autotuning between rounds: the per-query budget came
+    // from AutotuneStateBudgetBytes, so fold the observed hit/eviction
+    // counters back into it (evicted states restart bit-identically —
+    // the warm == cold byte-identity gates are unaffected).
+    states.Retune();
   }
 
   // Final exact-d pass. States are saved (unlike BIdjJoin's final pass)
@@ -317,6 +333,7 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
   qs.join.state_misses = qs.join.walks_started;
   qs.join.state_evictions = states.evictions();
   qs.join.state_resident_bytes = static_cast<int64_t>(states.bytes());
+  qs.join.pool_barriers = batch.scheduler_barriers();
 
   std::vector<ScoredPair> result;
   for (auto& entry : best.TakeSortedDescending()) {

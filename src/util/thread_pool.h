@@ -10,6 +10,7 @@
 #ifndef DHTJOIN_UTIL_THREAD_POOL_H_
 #define DHTJOIN_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -83,6 +84,7 @@ class ThreadPool {
   /// A single item runs inline — no reason to bounce one task through
   /// a worker (or spawn the workers at all).
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn) {
+    if (count > 0) parallel_fors_.fetch_add(1, std::memory_order_relaxed);
     if (target_threads_ <= 1 || count == 1) {
       for (int64_t i = 0; i < count; ++i) fn(i);
       return;
@@ -91,6 +93,16 @@ class ThreadPool {
       Submit([&fn, i] { fn(i); });
     }
     Wait();
+  }
+
+  /// Number of non-empty ParallelFor dispatches so far — each is one
+  /// fork/join barrier (counted even in run-inline mode, where the
+  /// barrier costs nothing but still marks a scheduling pass). The
+  /// fused multi-target schedulers (dht/batch_core.h) exist to keep
+  /// this from scaling with |Q|; TwoWayJoinStats::pool_barriers
+  /// surfaces per-run deltas.
+  int64_t parallel_fors() const {
+    return parallel_fors_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -113,6 +125,7 @@ class ThreadPool {
   }
 
   const int target_threads_;
+  std::atomic<int64_t> parallel_fors_{0};
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable ready_, idle_;

@@ -16,6 +16,7 @@
 #include "dht/forward.h"
 #include "dht/forward_batch.h"
 #include "dht/walker_state.h"
+#include "graph/reorder.h"
 #include "join2/b_idj.h"
 #include "join2/f_idj.h"
 #include "testing/reference.h"
@@ -428,6 +429,270 @@ TEST(ResumeTest, ForwardBatchPairResumeMatchesFromScratchBitwise) {
           << "first_hit=" << p.first_hit << " i=" << i;
     }
   }
+}
+
+// ------------------------------------- fused multi-target scheduler
+
+TEST(ResumeTest, BackwardBatchMatchesScalarWalkerBitwise) {
+  // The batch engine accumulates beta-exclusive delta rows in the
+  // scalar walker's exact step order and adds beta at output, so the
+  // two engines are BIT-identical — the property that lets the
+  // incremental join's batch-driven initial schedule coexist with the
+  // scalar Next() path without perturbing a single result.
+  Graph g = RandomGraph(50, 170, 61, true, true);
+  std::vector<NodeId> targets = {2, 7, 13, 21, 30, 44};
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < 25; ++u) sources.push_back(u);
+  for (const DhtParams& p : Semantics()) {
+    BackwardWalkerBatch batch(g);
+    std::vector<double> got = batch.Run(p, 8, targets, sources);
+    BackwardWalker walker(g);
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      walker.Reset(p, targets[t]);
+      walker.Advance(8);
+      for (std::size_t s = 0; s < sources.size(); ++s) {
+        if (sources[s] == targets[t]) continue;
+        EXPECT_EQ(got[t * sources.size() + s], walker.Score(sources[s]))
+            << "first_hit=" << p.first_hit << " t=" << t << " s=" << s;
+      }
+    }
+  }
+}
+
+/// Runs the F-IDJ-shaped deepening schedule over every (source, target)
+/// pair with one AdvancePairs call per target per level — the
+/// historical per-target loop — and returns the final-level scores
+/// (row-major by target) plus the engine's barrier count.
+std::pair<std::vector<double>, int64_t> ForwardPerTargetLoop(
+    const Graph& g, const DhtParams& p, const std::vector<int>& levels,
+    const std::vector<NodeId>& sources, const std::vector<NodeId>& targets,
+    int num_threads) {
+  ForwardWalkerBatch batch(g, {.num_threads = num_threads});
+  ForwardBatchStates states;
+  std::vector<double> out(targets.size() * sources.size());
+  std::vector<std::size_t> slots(sources.size());
+  for (int l : levels) {
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        slots[i] = i * targets.size() + t;
+      }
+      batch.AdvancePairs(p, l, sources, slots, targets[t], states,
+                         [&](std::size_t i, double s) {
+                           out[t * sources.size() + i] = s;
+                         });
+    }
+  }
+  return {std::move(out), batch.scheduler_barriers()};
+}
+
+/// The same schedule through the fused scheduler: ONE AdvanceMany call
+/// (one fork/join) per level across all targets.
+std::pair<std::vector<double>, int64_t> ForwardFusedSchedule(
+    const Graph& g, const DhtParams& p, const std::vector<int>& levels,
+    const std::vector<NodeId>& sources, const std::vector<NodeId>& targets,
+    int num_threads) {
+  ForwardWalkerBatch batch(g, {.num_threads = num_threads});
+  ForwardBatchStates states;
+  std::vector<double> out(targets.size() * sources.size());
+  std::vector<std::size_t> slots(targets.size() * sources.size());
+  std::vector<ForwardTargetPlan> plans(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      slots[t * sources.size() + i] = i * targets.size() + t;
+    }
+    plans[t].target = targets[t];
+    plans[t].sources = sources;
+    plans[t].slots = {slots.data() + t * sources.size(), sources.size()};
+    plans[t].out = out.data() + t * sources.size();
+  }
+  for (int l : levels) batch.AdvanceMany(p, l, plans, states, true);
+  return {std::move(out), batch.scheduler_barriers()};
+}
+
+TEST(ResumeTest, ForwardAdvanceManyMatchesPerTargetLoopBitwise) {
+  Graph base = RandomGraph(48, 160, 62, true, true);
+  Graph rcm = *ReorderGraph(base, ReorderKind::kRcm);
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < 19; ++u) sources.push_back(u);  // partial blocks
+  std::vector<NodeId> targets = {20, 25, 30, 35, 40, 45, 47};
+  const std::vector<int> levels = {1, 2, 4, 8};
+  for (const DhtParams& p : Semantics()) {
+    auto [loop, loop_barriers] =
+        ForwardPerTargetLoop(base, p, levels, sources, targets, 1);
+    for (const Graph* g : {&base, &rcm}) {
+      for (int threads : {1, 4}) {
+        auto [fused, fused_barriers] =
+            ForwardFusedSchedule(*g, p, levels, sources, targets, threads);
+        ASSERT_EQ(fused.size(), loop.size());
+        for (std::size_t i = 0; i < loop.size(); ++i) {
+          EXPECT_EQ(fused[i], loop[i])
+              << "first_hit=" << p.first_hit << " i=" << i
+              << " threads=" << threads << " rcm=" << (g == &rcm);
+        }
+        // One barrier per level instead of |targets| per level.
+        EXPECT_EQ(fused_barriers,
+                  static_cast<int64_t>(levels.size()));
+        EXPECT_EQ(loop_barriers,
+                  static_cast<int64_t>(levels.size() * targets.size()));
+      }
+    }
+    // Restart-vs-resume: the fused resume schedule equals a single
+    // from-scratch run at the final depth.
+    ForwardWalkerBatch scratch(base);
+    std::vector<double> whole = scratch.Run(p, 8, sources, targets);
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        EXPECT_EQ(loop[t * sources.size() + i],
+                  whole[i * targets.size() + t])
+            << "first_hit=" << p.first_hit;
+      }
+    }
+  }
+}
+
+TEST(ResumeTest, BackwardAdvanceManyMultiGroupMatchesSequentialBitwise) {
+  Graph g = RandomGraph(55, 180, 63, true, true);
+  DhtParams p = DhtParams::Lambda(0.3);
+  std::vector<NodeId> targets_a = {1, 4, 9, 16, 25, 36, 49};
+  std::vector<NodeId> targets_b = {2, 6, 12, 20, 30, 42};
+  std::vector<NodeId> sources_a = {40, 41, 42, 43};
+  std::vector<NodeId> sources_b = {10, 11, 12};
+  std::vector<std::size_t> slots_a, slots_b;
+  for (std::size_t i = 0; i < targets_a.size(); ++i) slots_a.push_back(i);
+  for (std::size_t i = 0; i < targets_b.size(); ++i) slots_b.push_back(i);
+
+  // Sequential: one AdvanceChunked per group per level.
+  BackwardWalkerBatch seq(g);
+  BackwardBatchStates seq_a(targets_a.size()), seq_b(targets_b.size());
+  std::vector<double> want_a(targets_a.size() * sources_a.size());
+  std::vector<double> want_b(targets_b.size() * sources_b.size());
+  auto copy_to = [](std::vector<double>& dst, std::size_t width) {
+    return [&dst, width](std::size_t i, const double* row) {
+      std::copy(row, row + width, dst.data() + i * width);
+    };
+  };
+  for (int l : {1, 2, 4, 8}) {
+    seq.AdvanceChunked(p, l, targets_a, slots_a, sources_a, seq_a,
+                       copy_to(want_a, sources_a.size()));
+    seq.AdvanceChunked(p, l, targets_b, slots_b, sources_b, seq_b,
+                       copy_to(want_b, sources_b.size()));
+  }
+
+  // Fused: both groups (their own states, sources, and output rows) in
+  // one AdvanceMany per level — one barrier for the whole round.
+  BackwardWalkerBatch fused(g);
+  BackwardBatchStates fus_a(targets_a.size()), fus_b(targets_b.size());
+  std::vector<double> got_a(want_a.size()), got_b(want_b.size());
+  for (int l : {1, 2, 4, 8}) {
+    BackwardAdvanceGroup groups[2];
+    groups[0] = {l, targets_a, slots_a, sources_a, &fus_a, true,
+                 got_a.data()};
+    groups[1] = {l, targets_b, slots_b, sources_b, &fus_b, true,
+                 got_b.data()};
+    fused.AdvanceMany(p, groups);
+  }
+  for (std::size_t i = 0; i < want_a.size(); ++i) {
+    EXPECT_EQ(got_a[i], want_a[i]) << "group a, i=" << i;
+  }
+  for (std::size_t i = 0; i < want_b.size(); ++i) {
+    EXPECT_EQ(got_b[i], want_b[i]) << "group b, i=" << i;
+  }
+  EXPECT_EQ(fused.scheduler_barriers(), 4);
+  EXPECT_EQ(seq.scheduler_barriers(), 8);
+}
+
+TEST(ResumeTest, NarrowLaneWidthIsBitIdenticalToDefault) {
+  // kLaneWidth = 4: half the workspace bytes per block, twice the
+  // blocks in flight, identical bits — lanes are independent columns
+  // and the union support only ever contributes exact zeros to lanes
+  // that don't own a node.
+  Graph g = RandomGraph(50, 170, 64, true, true);
+  std::vector<NodeId> targets = {3, 9, 14, 20, 27, 33, 38, 44, 48};
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < 22; ++u) sources.push_back(u);
+  std::vector<std::size_t> slots(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) slots[i] = i;
+  for (const DhtParams& p : Semantics()) {
+    BackwardWalkerBatchT<8> wide(g);
+    BackwardWalkerBatchT<4> narrow(g);
+    EXPECT_EQ(wide.Run(p, 8, targets, sources),
+              narrow.Run(p, 8, targets, sources))
+        << "first_hit=" << p.first_hit;
+
+    // The resumable deepening path too, per level.
+    BackwardBatchStates ws(targets.size()), ns(targets.size());
+    std::vector<double> wrow(targets.size() * sources.size());
+    std::vector<double> nrow(wrow.size());
+    for (int l : {1, 2, 4, 8}) {
+      wide.AdvanceChunked(p, l, targets, slots, sources, ws,
+                          [&](std::size_t i, const double* row) {
+                            std::copy(row, row + sources.size(),
+                                      wrow.data() + i * sources.size());
+                          });
+      narrow.AdvanceChunked(p, l, targets, slots, sources, ns,
+                            [&](std::size_t i, const double* row) {
+                              std::copy(row, row + sources.size(),
+                                        nrow.data() + i * sources.size());
+                            });
+      for (std::size_t i = 0; i < wrow.size(); ++i) {
+        EXPECT_EQ(nrow[i], wrow[i])
+            << "first_hit=" << p.first_hit << " l=" << l << " i=" << i;
+      }
+    }
+
+    ForwardWalkerBatchT<8> fwide(g);
+    ForwardWalkerBatchT<4> fnarrow(g);
+    EXPECT_EQ(fwide.Run(p, 8, sources, targets),
+              fnarrow.Run(p, 8, sources, targets))
+        << "first_hit=" << p.first_hit;
+  }
+}
+
+TEST(ResumeTest, BatchStatesRetuneGrowsOnThrashShrinksOnIdle) {
+  Graph g = RandomGraph(40, 130, 65);
+  DhtParams p = DhtParams::Lambda(0.2);
+  std::vector<NodeId> targets = {1, 5, 9, 13, 17, 21, 25, 29};
+  std::vector<std::size_t> slots(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) slots[i] = i;
+  std::vector<NodeId> sources = {0, 2, 4, 6};
+  auto sink = [](std::size_t, const double*) {};
+
+  // THRASH: a 1-byte budget refuses every write-back (all misses +
+  // evictions), so the feedback autotuner doubles the budget.
+  BackwardWalkerBatch batch(g);
+  BackwardBatchStates starving(targets.size(), 1);
+  for (int l : {1, 2, 4}) {
+    batch.AdvanceChunked(p, l, targets, slots, sources, starving, sink);
+  }
+  EXPECT_GT(starving.evictions(), 0);
+  EXPECT_GT(starving.misses(), starving.hits());
+  EXPECT_EQ(starving.Retune(1, 1024), 2u);
+  EXPECT_EQ(starving.budget_grows(), 1);
+
+  // IDLE: a huge budget with every walk resuming and nothing evicted —
+  // the autotuner halves it (never below resident bytes or `lo`).
+  BackwardBatchStates idle(targets.size(), std::size_t{64} << 20);
+  for (int l : {1, 2, 4, 8}) {
+    batch.AdvanceChunked(p, l, targets, slots, sources, idle, sink);
+  }
+  EXPECT_EQ(idle.evictions(), 0);
+  EXPECT_GT(idle.hits(), 0);
+  const std::size_t before = idle.max_bytes();
+  EXPECT_EQ(idle.Retune(1, std::size_t{1} << 30), before / 2);
+  EXPECT_EQ(idle.budget_shrinks(), 1);
+
+  // The forward pool shares the same budget base; spot-check thrash.
+  ForwardWalkerBatch fbatch(g);
+  ForwardBatchStates fstarving(1);
+  std::vector<std::size_t> fslots(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) fslots[i] = i;
+  for (int l : {1, 2, 4}) {
+    fbatch.AdvancePairs(p, l, sources, fslots, targets[0], fstarving,
+                        [](std::size_t, double) {});
+  }
+  EXPECT_GT(fstarving.evictions(), 0);
+  EXPECT_EQ(fstarving.Retune(1, 1024), 2u);
+  EXPECT_EQ(fstarving.budget_grows(), 1);
 }
 
 // ------------------------------------------- joins: resume ≡ restart

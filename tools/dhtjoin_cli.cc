@@ -205,6 +205,26 @@ Status RunJoin2(const ParsedArgs& args) {
   for (const ScoredPair& sp : pairs) {
     std::printf("%4d  %8d %8d  %+.8f\n", rank++, sp.p, sp.q, sp.score);
   }
+  // Machine-readable run counters, incl. the fused scheduler's
+  // fork/join barriers (total and per deepening round).
+  const TwoWayJoinStats& st = join->stats();
+  std::string barriers = "[";
+  for (std::size_t i = 0; i < st.barriers_per_iteration.size(); ++i) {
+    if (i > 0) barriers += ", ";
+    barriers += std::to_string(st.barriers_per_iteration[i]);
+  }
+  barriers += "]";
+  std::printf(
+      "# stats {\"walk_steps\": %lld, \"walks_started\": %lld, "
+      "\"pool_barriers\": %lld, \"barriers_per_iteration\": %s, "
+      "\"state_hits\": %lld, \"state_misses\": %lld, "
+      "\"state_evictions\": %lld}\n",
+      static_cast<long long>(st.walk_steps),
+      static_cast<long long>(st.walks_started),
+      static_cast<long long>(st.pool_barriers), barriers.c_str(),
+      static_cast<long long>(st.state_hits),
+      static_cast<long long>(st.state_misses),
+      static_cast<long long>(st.state_evictions));
   return Status::OK();
 }
 
