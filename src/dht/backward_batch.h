@@ -86,6 +86,7 @@
 #include "dht/params.h"
 #include "dht/propagate.h"
 #include "graph/graph.h"
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace dhtjoin {
@@ -356,7 +357,9 @@ class BackwardWalkerBatchT {
                          std::span<const NodeId> sources,
                          BackwardBatchStates& states, Consume&& consume,
                          bool save_states = true,
-                         std::size_t max_targets_per_run = 0) {
+                         std::size_t max_targets_per_run = 0,
+                         const ExecContext* exec = nullptr,
+                         bool* interrupted = nullptr) {
     DHTJOIN_CHECK_EQ(targets.size(), slots.size());
     const std::size_t chunk = max_targets_per_run > 0
                                   ? max_targets_per_run
@@ -373,7 +376,8 @@ class BackwardWalkerBatchT {
       group.states = &states;
       group.save_states = save_states;
       group.out = scores.data();
-      fresh += AdvanceMany(params, {&group, 1});
+      fresh += AdvanceMany(params, {&group, 1}, exec, interrupted);
+      if (interrupted != nullptr && *interrupted) return fresh;
       for (std::size_t i = 0; i < count; ++i) {
         consume(base + i, scores.data() + i * sources.size());
       }
@@ -390,8 +394,19 @@ class BackwardWalkerBatchT {
   /// sizing the union of `out` buffers (one round's rows must fit in
   /// memory; slice the groups across calls when they cannot). Returns
   /// the number of walks started from scratch.
+  ///
+  /// Cooperative stop (util/deadline.h): when `exec` is set, each block
+  /// polls exec->CheckBlockGroup() ONCE before running — per block
+  /// group, never per edge. On a stop, blocks that have not started are
+  /// skipped (their slots keep their previous saved level; their output
+  /// rows are garbage) and `*interrupted` is set; the caller must then
+  /// DISCARD the round and degrade at its last completed level
+  /// (DESIGN.md §9). Blocks already running finish normally — that
+  /// bounds stop latency to one block group.
   int64_t AdvanceMany(const DhtParams& params,
-                      std::span<const BackwardAdvanceGroup> groups) {
+                      std::span<const BackwardAdvanceGroup> groups,
+                      const ExecContext* exec = nullptr,
+                      bool* interrupted = nullptr) {
     DHTJOIN_CHECK(params.Validate().ok());
     struct GroupCtx {
       std::vector<NodeId> target_storage, source_storage;
@@ -439,8 +454,16 @@ class BackwardWalkerBatchT {
 
     // ONE fork/join for the whole round, every group and level mixed;
     // blocks are independent (disjoint slots, disjoint output rows).
+    std::atomic<bool> stopped{false};
     pool_.ParallelFor(
         static_cast<int64_t>(blocks.blocks.size()), [&](int64_t bi) {
+          if (exec != nullptr) {
+            if (stopped.load(std::memory_order_relaxed) ||
+                exec->CheckBlockGroup() != StatusCode::kOk) {
+              stopped.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
           const batch_core::LevelBlock& blk =
               blocks.blocks[static_cast<std::size_t>(bi)];
           const BackwardAdvanceGroup& grp = groups[blk.plan];
@@ -464,6 +487,9 @@ class BackwardWalkerBatchT {
           workspaces_.Release(std::move(state));
         });
     workspaces_.Trim();
+    if (interrupted != nullptr) {
+      *interrupted = stopped.load(std::memory_order_relaxed);
+    }
     // Rows (and the snapshots written back above) are beta-exclusive
     // deltas; hand callers real scores. beta + delta is exactly the
     // scalar walker's read, so the output is bit-identical to it.

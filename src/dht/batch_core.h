@@ -41,6 +41,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -220,6 +221,20 @@ class BatchStateBudget {
   int64_t budget_grows() const { return grows_; }
   int64_t budget_shrinks() const { return shrinks_; }
 
+  /// Fault-injection hook (util/fault_injection.h): when set and
+  /// returning true, the next TryCommit reports a simulated pool
+  /// allocation failure — counted as an eviction plus an injected
+  /// fault, before any byte accounting. Harmless to correctness by the
+  /// same argument as real evictions: the slot keeps its previous
+  /// snapshot and the walk restarts bit-identically. Install between
+  /// advances, never while a ParallelFor is running.
+  void set_commit_fault(std::function<bool()> hook) {
+    commit_fault_ = std::move(hook);
+  }
+  int64_t injected_commit_faults() const {
+    return injected_commit_faults_.load(std::memory_order_relaxed);
+  }
+
  protected:
   /// Replaces `slot` with `cand` if the swap fits the budget; otherwise
   /// drops `cand` and counts an eviction, leaving the slot's previous
@@ -230,6 +245,11 @@ class BatchStateBudget {
   /// then-check on the atomic byte counter).
   template <typename Slot>
   bool TryCommit(Slot& slot, Slot&& cand) {
+    if (commit_fault_ && commit_fault_()) {
+      injected_commit_faults_.fetch_add(1, std::memory_order_relaxed);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     const std::size_t prev =
         bytes_.fetch_add(cand.bytes, std::memory_order_relaxed);
     if (prev + cand.bytes - slot.bytes <= max_bytes_) {
@@ -243,6 +263,8 @@ class BatchStateBudget {
   }
 
   std::size_t max_bytes_;
+  std::function<bool()> commit_fault_;
+  std::atomic<int64_t> injected_commit_faults_{0};
   std::atomic<std::size_t> bytes_{0};
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};

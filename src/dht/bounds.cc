@@ -12,7 +12,8 @@ double XUpperBound(const DhtParams& params, int l) {
 }
 
 YBoundTable::YBoundTable(const Graph& g, const DhtParams& params, int d,
-                         const NodeSet& P, const NodeSet& Q)
+                         const NodeSet& P, const NodeSet& Q,
+                         const ExecContext* exec)
     : d_(d) {
   DHTJOIN_CHECK_GE(d, 1);
   // Non-absorbing sweep from all of P at once on the shared engine: the
@@ -31,12 +32,24 @@ YBoundTable::YBoundTable(const Graph& g, const DhtParams& params, int d,
       Q.size(), std::vector<double>(static_cast<std::size_t>(d), 0.0));
 
   for (int i = 1; i <= d; ++i) {
+    if (exec != nullptr && exec->Check() != StatusCode::kOk) {
+      complete_ = false;
+      break;
+    }
     sweep.Step();
     for (std::size_t qi = 0; qi < Q.size(); ++qi) {
       s[qi][static_cast<std::size_t>(i) - 1] = sweep.Mass(probes[qi]);
     }
   }
   edges_relaxed_ = sweep.edges_relaxed();
+  if (!complete_) {
+    // Abandoned sweep: leave an all-zero (INVALID) table; callers must
+    // consult complete() before Bound().
+    per_q_suffix_.assign(Q.size(),
+                         std::vector<double>(static_cast<std::size_t>(d) + 1,
+                                             0.0));
+    return;
+  }
 
   // Suffix sums: Y_l = alpha * sum_{i=l+1..d} lambda^i min(S_i, 1).
   per_q_suffix_.assign(Q.size(),

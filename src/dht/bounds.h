@@ -23,6 +23,7 @@
 #include "dht/params.h"
 #include "graph/graph.h"
 #include "graph/node_set.h"
+#include "util/deadline.h"
 
 namespace dhtjoin {
 
@@ -37,8 +38,17 @@ class YBoundTable {
   /// frontier-adaptive engine (dht/propagate.h) — O(d * |E|) worst case,
   /// output-sensitive when the sweep mass stays local — and builds
   /// per-q suffix sums (O(d * |Q|) space).
+  ///
+  /// When `exec` is set, the sweep polls exec->Check() once per step
+  /// (the construction's level boundary). A stop abandons the sweep:
+  /// complete() turns false and Bound() must not be used — the caller
+  /// degrades with the pair-independent X bound instead (DESIGN.md §9).
   YBoundTable(const Graph& g, const DhtParams& params, int d,
-              const NodeSet& P, const NodeSet& Q);
+              const NodeSet& P, const NodeSet& Q,
+              const ExecContext* exec = nullptr);
+
+  /// False when construction was abandoned by a cooperative stop.
+  bool complete() const { return complete_; }
 
   /// Edges actually relaxed by the construction sweep — the real cost
   /// to charge to TwoWayJoinStats::walk_steps (a flat d * |E| would
@@ -57,6 +67,7 @@ class YBoundTable {
 
  private:
   int d_;
+  bool complete_ = true;
   int64_t edges_relaxed_ = 0;
   // per_q_suffix_[qi][l] = Y_l^+(P, q); length d+1, entry [d] = 0.
   std::vector<std::vector<double>> per_q_suffix_;

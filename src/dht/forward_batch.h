@@ -79,6 +79,7 @@
 #include "dht/params.h"
 #include "dht/propagate.h"
 #include "graph/graph.h"
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace dhtjoin {
@@ -318,9 +319,19 @@ class ForwardWalkerBatchT {
   /// bench_scheduler). Callers size the union of `out` buffers (slice
   /// the plan list across calls when a round's scores cannot all be
   /// held). Returns the number of pair walks started from scratch.
+  ///
+  /// Cooperative stop (util/deadline.h): when `exec` is set, each block
+  /// polls exec->CheckBlockGroup() once before running (per block
+  /// group, never per edge). On a stop, not-yet-started blocks are
+  /// skipped (their slots keep their previous saved level; their output
+  /// cells are garbage) and `*interrupted` is set; the caller must then
+  /// DISCARD the round and degrade at its last completed level
+  /// (DESIGN.md §9).
   int64_t AdvanceMany(const DhtParams& params, int to_level,
                       std::span<const ForwardTargetPlan> plans,
-                      ForwardBatchStates& states, bool save_states) {
+                      ForwardBatchStates& states, bool save_states,
+                      const ExecContext* exec = nullptr,
+                      bool* interrupted = nullptr) {
     DHTJOIN_CHECK(params.Validate().ok());
     DHTJOIN_CHECK_GE(to_level, 1);
 
@@ -398,8 +409,16 @@ class ForwardWalkerBatchT {
 
     // ONE fork/join for the whole round, every plan and level mixed;
     // blocks are independent (disjoint slots, disjoint output cells).
+    std::atomic<bool> stopped{false};
     pool_.ParallelFor(
         static_cast<int64_t>(blocks.size()), [&](int64_t bi) {
+          if (exec != nullptr) {
+            if (stopped.load(std::memory_order_relaxed) ||
+                exec->CheckBlockGroup() != StatusCode::kOk) {
+              stopped.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
           const Block& blk = blocks[static_cast<std::size_t>(bi)];
           const int width = blk.width;
           NodeId lane_source[W];
@@ -420,6 +439,9 @@ class ForwardWalkerBatchT {
           workspaces_.Release(std::move(state));
         });
     workspaces_.Trim();
+    if (interrupted != nullptr) {
+      *interrupted = stopped.load(std::memory_order_relaxed);
+    }
 
     // Entries whose write-back was refused by the budget (or that were
     // only materialized for the parallel phase) hold no state; erase

@@ -15,6 +15,7 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
                                               std::size_t k) {
   DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, k));
   stats_.Reset();
+  const ExecContext* exec = options_.exec;
 
   ForwardWalkerBatch batch(g);
   // Pair states are keyed on the ORIGINAL (pi, qi) grid so a source's
@@ -26,6 +27,9 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
                                  ? AutotuneStateBudgetBytes(g.num_nodes())
                                  : options_.state_budget_bytes;
   ForwardBatchStates states(budget);
+  if (exec != nullptr && exec->commit_fault) {
+    states.set_commit_fault(exec->commit_fault);
+  }
   int64_t batch_edges_seen = 0;
   int64_t batch_barriers_seen = 0;
 
@@ -38,7 +42,10 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   // consume(i, qi, score), i indexing `live`. Resume continues each pair
   // from its saved level; restart recomputes from scratch — identical
   // scores either way (sorted-support determinism, DESIGN.md §3).
-  // `save` is off for the final exact-d pass.
+  // `save` is off for the final exact-d pass. Returns false when a
+  // cooperative stop interrupted the round (resume schedule only; the
+  // restart schedule polls at level boundaries) — the round's partial
+  // output must then be DISCARDED.
   //
   // The resume schedule runs on the FUSED scheduler (AdvanceMany): all
   // |Q| targets' (live source, q) blocks of the round go through ONE
@@ -50,6 +57,7 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
                        auto&& consume) {
     std::vector<NodeId> nodes(lv.size());
     for (std::size_t i = 0; i < lv.size(); ++i) nodes[i] = P[lv[i]];
+    bool interrupted = false;
     if (resume) {
       constexpr std::size_t kMaxMatrixDoubles = std::size_t{4} << 20;
       const std::size_t targets_per_call = std::max<std::size_t>(
@@ -75,7 +83,9 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
           plans[t].out = scores.data() + t * lv.size();
         }
         stats_.walks_started +=
-            batch.AdvanceMany(params, l, plans, states, save);
+            batch.AdvanceMany(params, l, plans, states, save, exec,
+                              &interrupted);
+        if (interrupted) break;
         for (std::size_t t = 0; t < qcount; ++t) {
           for (std::size_t i = 0; i < lv.size(); ++i) {
             consume(i, qbase + t, scores[t * lv.size() + i]);
@@ -97,13 +107,44 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
     stats_.barriers_per_iteration.push_back(batch.scheduler_barriers() -
                                             batch_barriers_seen);
     batch_barriers_seen = batch.scheduler_barriers();
+    return !interrupted;
+  };
+
+  // Anytime state (DESIGN.md §9): the top-k snapshot of the last
+  // COMPLETED deepening level plus its level and eps bound — for F-IDJ
+  // the remainder is the pair-independent X_l^+, so one scalar covers
+  // every pair by construction.
+  std::vector<ScoredPair> anytime;
+  int cut_level = 0;
+  double cut_eps = params.XBound(0);
+  auto finish_stats = [&] {
+    stats_.state_hits = states.hits();
+    stats_.state_misses = resume ? stats_.walks_started : 0;
+    stats_.state_evictions = states.evictions();
+    stats_.state_resident_bytes = static_cast<int64_t>(states.bytes());
+    stats_.pool_barriers = batch.scheduler_barriers();
+    if (exec != nullptr) stats_.lifecycle_checks = exec->blocks_checked();
+  };
+  auto degrade = [&](StatusCode code) -> Result<std::vector<ScoredPair>> {
+    finish_stats();
+    if (code == StatusCode::kCancelled) {
+      return Status::Cancelled(Name() + ": query cancelled");
+    }
+    stats_.partial = PartialInfo{true, cut_level, cut_eps};
+    std::vector<ScoredPair> out = anytime;
+    FinalizePairs(out, k);
+    return out;
   };
 
   for (int l = 1; l < d; l *= 2) {
+    if (exec != nullptr) {
+      StatusCode code = exec->Check();
+      if (code != StatusCode::kOk) return degrade(code);
+    }
     PairTopK bounds(k);
     std::vector<double> pmax(live.size(), params.beta);  // floor over q
-    walk_live(live, l, /*save=*/true,
-              [&](std::size_t i, std::size_t qi, double s) {
+    bool completed = walk_live(live, l, /*save=*/true,
+                               [&](std::size_t i, std::size_t qi, double s) {
       NodeId p = P[live[i]];
       NodeId q = Q[qi];
       if (p == q) return;  // self pair: score is meaningless
@@ -112,6 +153,18 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
         if (s > pmax[i]) pmax[i] = s;
       }
     });
+    if (!completed) return degrade(exec->stop_code());
+    // Round l completed: refresh the anytime snapshot before pruning.
+    cut_level = l;
+    cut_eps = params.XBound(l);
+    {
+      PairTopK snapshot = bounds;
+      anytime.clear();
+      for (auto& entry : snapshot.TakeSortedDescending()) {
+        anytime.push_back(entry.item);
+      }
+    }
+    if (exec != nullptr && exec->on_level) exec->on_level(l);
     double tk = bounds.Threshold();
     std::vector<std::size_t> survivors;
     survivors.reserve(live.size());
@@ -139,21 +192,22 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   }
 
   // Final pass: exact d-step scores for surviving sources.
+  if (exec != nullptr) {
+    StatusCode code = exec->Check();
+    if (code != StatusCode::kOk) return degrade(code);
+  }
   PairTopK best(k);
-  walk_live(live, d, /*save=*/false,
-            [&](std::size_t i, std::size_t qi, double s) {
+  bool completed = walk_live(live, d, /*save=*/false,
+                             [&](std::size_t i, std::size_t qi, double s) {
     NodeId p = P[live[i]];
     NodeId q = Q[qi];
     if (p == q) return;
     if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
   });
+  if (!completed) return degrade(exec->stop_code());
 
-  // Pool observability; all zero on the restart schedule (no pool use).
-  stats_.state_hits = states.hits();
-  stats_.state_misses = resume ? stats_.walks_started : 0;
-  stats_.state_evictions = states.evictions();
-  stats_.state_resident_bytes = static_cast<int64_t>(states.bytes());
-  stats_.pool_barriers = batch.scheduler_barriers();
+  finish_stats();
+  stats_.partial = PartialInfo{false, d, 0.0};
 
   std::vector<ScoredPair> out;
   for (auto& entry : best.TakeSortedDescending()) {

@@ -35,6 +35,12 @@ class FIdjJoin final : public TwoWayJoin {
     /// Byte budget for the per-pair states; evictions restart. 0 means
     /// autotune from graph size (AutotuneStateBudgetBytes).
     std::size_t state_budget_bytes = 0;
+    /// Optional query lifecycle (util/deadline.h): deadline, cancel
+    /// token, effort budget. Must outlive Run(). A hard stop (cancel)
+    /// returns Status{kCancelled}; a soft stop (deadline / effort)
+    /// degrades at the last completed deepening level and reports
+    /// stats().partial (DESIGN.md §9). Null = run to completion.
+    const ExecContext* exec = nullptr;
   };
 
   FIdjJoin() = default;

@@ -83,6 +83,25 @@ enum class UpperBoundKind {
   kY,  ///< Y_l^+(P, q) of Theorem 1 (per-target, tighter)
 };
 
+/// Anytime-degradation record for a run under an ExecContext
+/// (util/deadline.h, DESIGN.md §9). When a soft stop (deadline or
+/// effort budget) interrupts an IDJ-style run, the executor cuts at the
+/// last COMPLETED deepening level and returns that level's top-k; the
+/// returned scores are then h_level_reached values, and by the §2
+/// remainder bounds every exact score satisfies
+///   score <= h_d <= score + eps_bound .
+/// A full (undegraded) run reports {false, d, 0.0}.
+struct PartialInfo {
+  bool degraded = false;
+  /// Depth of the returned scores: the last completed deepening level
+  /// (0 = stopped before any level completed — scores are absent and
+  /// the result is empty with eps_bound = U_0^+).
+  int level_reached = 0;
+  /// max over live targets q of U_{level_reached}^+(q): one scalar
+  /// valid for every returned pair.
+  double eps_bound = 0.0;
+};
+
 /// Observability counters filled in by every algorithm run.
 struct TwoWayJoinStats {
   /// Total edges relaxed across all walks (multiply-adds into the next
@@ -119,6 +138,16 @@ struct TwoWayJoinStats {
   int64_t state_misses = 0;
   int64_t state_evictions = 0;
   int64_t state_resident_bytes = 0;
+
+  /// Degradation record of the run (see PartialInfo); {false, d, 0}
+  /// for a run that completed its exact final pass. `level_reached`
+  /// stays 0 for the non-deepening algorithms (F-BJ, B-BJ), which
+  /// never degrade.
+  PartialInfo partial;
+
+  /// Block-group cooperative checks performed by the run's engines
+  /// (ExecContext::blocks_checked); 0 when no ExecContext was given.
+  int64_t lifecycle_checks = 0;
 
   void Reset() { *this = TwoWayJoinStats(); }
 };

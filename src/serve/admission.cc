@@ -1,0 +1,87 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dhtjoin {
+
+Status AdmissionController::Admit(int64_t estimated_cost) {
+  if (options_.max_estimated_cost > 0 &&
+      estimated_cost > options_.max_estimated_cost) {
+    stats_shed_cost_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "query rejected: estimated cost " + std::to_string(estimated_cost) +
+        " exceeds ceiling " + std::to_string(options_.max_estimated_cost) +
+        "; retry_after_micros=" + std::to_string(RetryAfterMicros()));
+  }
+  if (options_.max_in_flight > 0) {
+    // Reserve-then-check, mirroring the state-budget commit: the
+    // increment IS the reservation, so two racing admits cannot both
+    // squeeze past a full gate.
+    const int64_t now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (now > options_.max_in_flight) {
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      stats_shed_capacity_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "service overloaded: " + std::to_string(now - 1) +
+          " queries in flight (cap " +
+          std::to_string(options_.max_in_flight) +
+          "); retry_after_micros=" + std::to_string(RetryAfterMicros()));
+    }
+  } else {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_admitted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void AdmissionController::Finish(int64_t service_micros) {
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  if (service_micros > 0) {
+    // EMA with 1/8 weight; a plain store race just loses one sample.
+    const int64_t prev = ema_service_micros_.load(std::memory_order_relaxed);
+    const int64_t next =
+        prev == 0 ? service_micros : prev + (service_micros - prev) / 8;
+    ema_service_micros_.store(next, std::memory_order_relaxed);
+  }
+}
+
+AdmissionStats AdmissionController::stats() const {
+  AdmissionStats s;
+  s.admitted = stats_admitted_.load(std::memory_order_relaxed);
+  s.shed_capacity = stats_shed_capacity_.load(std::memory_order_relaxed);
+  s.shed_cost = stats_shed_cost_.load(std::memory_order_relaxed);
+  s.shed_expired = stats_shed_expired_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int64_t AdmissionController::RetryAfterMicros() const {
+  const int64_t ema = ema_service_micros_.load(std::memory_order_relaxed);
+  const int64_t depth = std::max<int64_t>(1, in_flight());
+  return std::max<int64_t>(1000, ema * depth);
+}
+
+int64_t EstimateTwoWayCost(const Graph& g, const NodeSet& P, const NodeSet& Q,
+                           int d, int sample_size) {
+  if (Q.empty()) return 0;
+  // Deterministic evenly-spaced sample (no RNG: identical queries must
+  // produce identical admission decisions).
+  const std::size_t n = Q.size();
+  const std::size_t take =
+      std::min<std::size_t>(n, static_cast<std::size_t>(
+                                   std::max(1, sample_size)));
+  int64_t degree_sum = 0;
+  for (std::size_t s = 0; s < take; ++s) {
+    const std::size_t qi = s * n / take;
+    degree_sum += g.InDegree(Q[qi]);
+  }
+  const double avg_deg =
+      static_cast<double>(degree_sum) / static_cast<double>(take);
+  // A backward deepening run walks each target ~d steps; each step
+  // relaxes the frontier's in-edges, which the seed frontier's degree
+  // proxies. |P| enters only through scoring (cheap) — leave it out.
+  const double est = static_cast<double>(n) * avg_deg * d;
+  return static_cast<int64_t>(est);
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,116 @@
+/// \file serve/admission.h
+/// \brief Admission control for the serving layer: concurrency and
+/// queue-depth caps plus a cheap sampled per-query cost estimate.
+///
+/// DhtJoinService consults the controller BEFORE enqueuing a query:
+///
+///  * a hard cap on queries in flight (running + queued) sheds load
+///    the pool could only absorb as unbounded latency;
+///  * a cost gate rejects individual queries whose ESTIMATED work
+///    exceeds a configurable ceiling — the estimate is a deterministic
+///    degree sample in the spirit of Kim et al.'s ~O(AGM/OUT)
+///    sampling-based output estimators (PAPERS.md): sample a few
+///    targets of Q, average their in-degrees, and extrapolate
+///    |Q| * avg_deg * d edge relaxations. Crude, but it is computed
+///    from O(sample) graph lookups, it is monotone in the real worst
+///    case, and it separates the pathological broad-join tail from the
+///    bulk of a Zipf stream, which is all a shed gate needs;
+///  * queries that waited past their deadline are shed at DEQUEUE
+///    (the worker would only burn pool time computing a level-0
+///    degrade).
+///
+/// Rejections surface as Status{kResourceExhausted} with a retry-after
+/// hint derived from observed service time. Counters feed
+/// ServiceStats-style observability and the CLI's `# stats` JSON.
+
+#ifndef DHTJOIN_SERVE_ADMISSION_H_
+#define DHTJOIN_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/node_set.h"
+#include "util/status.h"
+
+namespace dhtjoin {
+
+struct AdmissionOptions {
+  /// Maximum queries admitted and not yet finished (running + queued).
+  /// 0 disables the cap.
+  int64_t max_in_flight = 0;
+  /// Reject a query whose estimated cost (EstimateTwoWayCost) exceeds
+  /// this many edge relaxations. 0 disables the gate.
+  int64_t max_estimated_cost = 0;
+  /// Targets sampled by the cost estimate (deterministic positions).
+  int sample_size = 16;
+};
+
+/// Monotone counters; readable while the service runs.
+struct AdmissionStats {
+  int64_t admitted = 0;
+  /// Rejected at submit: in-flight cap.
+  int64_t shed_capacity = 0;
+  /// Rejected at submit: estimated cost over the ceiling.
+  int64_t shed_cost = 0;
+  /// Shed at dequeue: deadline already expired while queued.
+  int64_t shed_expired = 0;
+};
+
+/// Thread-safe admission gate. One per service.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Tries to admit one query of estimated cost `estimated_cost`
+  /// (pass 0 to skip the cost gate, e.g. when no estimate is cheap).
+  /// On success the in-flight count is held until Finish(). On
+  /// rejection returns kResourceExhausted with a retry-after hint.
+  Status Admit(int64_t estimated_cost);
+
+  /// Releases one admitted query (always pair with a successful
+  /// Admit). `service_micros` feeds the retry-after estimate; pass 0
+  /// for shed/expired queries.
+  void Finish(int64_t service_micros);
+
+  /// Records a queued query shed at dequeue because its deadline had
+  /// already expired (counted on top of the Finish() it still needs).
+  void RecordExpired() {
+    stats_shed_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  AdmissionStats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Suggested client back-off: the observed mean service time times
+  /// the queue depth ahead of a new arrival (floor 1 ms). This is what
+  /// the rejection message's retry-after hint reports.
+  int64_t RetryAfterMicros() const;
+
+ private:
+  AdmissionOptions options_;
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<int64_t> stats_admitted_{0};
+  std::atomic<int64_t> stats_shed_capacity_{0};
+  std::atomic<int64_t> stats_shed_cost_{0};
+  std::atomic<int64_t> stats_shed_expired_{0};
+  // Exponential moving average of service time, updated by Finish().
+  std::atomic<int64_t> ema_service_micros_{0};
+};
+
+/// Deterministic sampled cost estimate for a two-way join (see file
+/// comment): ~|Q| * avg_in_degree(sample of Q) * d edge relaxations.
+/// O(sample_size) graph lookups; identical for identical inputs.
+int64_t EstimateTwoWayCost(const Graph& g, const NodeSet& P, const NodeSet& Q,
+                           int d, int sample_size);
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_SERVE_ADMISSION_H_

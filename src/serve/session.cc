@@ -1,6 +1,8 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <exception>
+#include <string>
 #include <utility>
 
 #include "dht/backward_batch.h"
@@ -101,6 +103,7 @@ DhtJoinService::DhtJoinService(const Graph& g, const DhtParams& params, int d,
           .admission_bypass_bytes = options.cache_admission_bypass_bytes}),
       pool_(options.num_threads > 0 ? options.num_threads
                                     : ThreadPool::DefaultThreadCount()),
+      admission_(options.admission),
       snapshots_(std::make_unique<SnapshotAdapter>(this)),
       tables_(std::make_unique<TableAdapter>(this)) {}
 
@@ -122,8 +125,41 @@ CacheKey DhtJoinService::BaseKey(CachePayload kind) const {
 Result<std::vector<ScoredPair>> DhtJoinService::TwoWay(const NodeSet& P,
                                                        const NodeSet& Q,
                                                        std::size_t k,
-                                                       QueryStats* stats) {
-  return RunTwoWay(P, Q, k, stats);
+                                                       QueryStats* stats,
+                                                       const ExecContext* exec) {
+  QueryStats local;
+  QueryStats* qs = stats != nullptr ? stats : &local;
+  Result<std::vector<ScoredPair>> result = RunTwoWay(P, Q, k, qs, exec);
+  RecordOutcome(result.status(), *qs, exec);
+  return result;
+}
+
+void DhtJoinService::RecordOutcome(const Status& status, const QueryStats& qs,
+                                   const ExecContext* exec) {
+  if (status.code() == StatusCode::kCancelled) {
+    stat_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (status.ok() && qs.join.partial.degraded) {
+    stat_degraded_.fetch_add(1, std::memory_order_relaxed);
+    if (exec != nullptr &&
+        exec->stop_code() == StatusCode::kResourceExhausted) {
+      stat_effort_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stat_deadline_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+ServiceStats DhtJoinService::service_stats() const {
+  ServiceStats s;
+  s.admission = admission_.stats();
+  s.degraded = stat_degraded_.load(std::memory_order_relaxed);
+  s.cancelled = stat_cancelled_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = stat_deadline_.load(std::memory_order_relaxed);
+  s.effort_exhausted = stat_effort_.load(std::memory_order_relaxed);
+  s.exceptions = stat_exceptions_.load(std::memory_order_relaxed);
+  return s;
 }
 
 /// The cache-aware B-IDJ (see the file comment of session.h and
@@ -138,14 +174,14 @@ Result<std::vector<ScoredPair>> DhtJoinService::TwoWay(const NodeSet& P,
 /// same FinalizePairs), deliberately diverging only in the cache
 /// import/export, the mixed-level scoring, keeping pruned targets'
 /// states, and saving the final pass. Any change to B-IDJ's schedule
-/// must be mirrored here; the `warm == cold == BIdjJoin::Run`
-/// byte-identity gates in tests/serve_test.cc and bench_serving (CI)
-/// fail loudly on drift. Folding both into one parameterized schedule
-/// is a ROADMAP item.
-Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
-                                                          const NodeSet& Q,
-                                                          std::size_t k,
-                                                          QueryStats* out) {
+/// must be mirrored here — including the lifecycle logic (level-
+/// boundary checks, anytime snapshot, level-cut degradation); the
+/// `warm == cold == BIdjJoin::Run` byte-identity gates in
+/// tests/serve_test.cc and bench_serving (CI) fail loudly on drift.
+/// Folding both into one parameterized schedule is a ROADMAP item.
+Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
+    const NodeSet& P, const NodeSet& Q, std::size_t k, QueryStats* out,
+    const ExecContext* exec) {
   DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g_, params_, d_, P, Q, k));
   WallTimer timer;
   QueryStats qs;
@@ -154,7 +190,9 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
   auto q_nodes = std::make_shared<const std::vector<NodeId>>(Q.nodes());
   const uint64_t p_digest = DigestNodes(*p_nodes);
 
-  // Y-bound table: cached whole per (P, Q, d).
+  // Y-bound table: cached whole per (P, Q, d). A construction abandoned
+  // by a cooperative stop is NEVER cached (the table would be invalid
+  // for every later query); the run then degrades with the X fallback.
   std::shared_ptr<const CachedYBound> ybound;
   if (options_.bound == UpperBoundKind::kY) {
     CacheKey ykey = BaseKey(CachePayload::kYBound);
@@ -166,18 +204,18 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
     ybound = cache_.GetAs<CachedYBound>(ykey);
     if (ybound == nullptr) {
       auto fresh = std::make_shared<CachedYBound>(
-          YBoundTable(g_, params_, d_, P, Q));
+          YBoundTable(g_, params_, d_, P, Q, exec));
       fresh->num_targets_hint = Q.size();
       qs.join.walk_steps += fresh->table.edges_relaxed();
-      cache_.Put(ykey, fresh);
+      if (fresh->table.complete()) cache_.Put(ykey, fresh);
       ybound = std::move(fresh);
     } else {
       qs.ybound_cached = true;
     }
   }
+  const bool y_usable = ybound != nullptr && ybound->table.complete();
   auto remainder = [&](int l, std::size_t qi) {
-    return options_.bound == UpperBoundKind::kY ? ybound->table.Bound(l, qi)
-                                                : params_.XBound(l);
+    return y_usable ? ybound->table.Bound(l, qi) : params_.XBound(l);
   };
 
   auto batch_key = [&](std::size_t qi) {
@@ -192,6 +230,9 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
   // pinned to exactly this P — the key guarantees both).
   BackwardWalkerBatch batch(g_, {.num_threads = 1});
   BackwardBatchStates states(Q.size(), per_query_state_budget_);
+  if (exec != nullptr && exec->commit_fault) {
+    states.set_commit_fault(exec->commit_fault);
+  }
   std::vector<int> imported_level(Q.size(), 0);
   for (std::size_t qi = 0; qi < Q.size(); ++qi) {
     auto entry = cache_.GetAs<CachedBatchState>(batch_key(qi));
@@ -211,6 +252,8 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
   // advanced targets through the batch consume callback (at exactly l),
   // already-deep targets straight from their stored rows (at their own
   // level >= l — the valid, tighter bound).
+  // Returns false when a cooperative stop interrupted the round — the
+  // round's partial output must then be DISCARDED (mirrors BIdjJoin).
   auto walk_live = [&](const std::vector<std::size_t>& live, int l, bool save,
                        auto&& score_row) {
     std::vector<char> advanced(live.size(), 0);
@@ -225,24 +268,27 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
         need_slots.push_back(live[i]);
       }
     }
+    bool interrupted = false;
     if (!need_nodes.empty()) {
       qs.join.walks_started += batch.AdvanceChunked(
           params_, l, need_nodes, need_slots, *p_nodes, states,
           [&](std::size_t i, const double* row) {
             score_row(need_pos[i], row, l);
           },
-          save);
+          save, /*max_targets_per_run=*/0, exec, &interrupted);
     }
-    std::vector<double> warm_row;
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      if (!advanced[i]) {
-        // Stored rows are beta-exclusive deltas (BackwardBatchSnapshot
-        // semantics); add the floor back exactly as the engine does at
-        // output, so a warm row is bit-identical to the advanced one.
-        std::span<const double> delta = states.Row(live[i]);
-        warm_row.assign(delta.begin(), delta.end());
-        for (double& cell : warm_row) cell += params_.beta;
-        score_row(i, warm_row.data(), states.level(live[i]));
+    if (!interrupted) {
+      std::vector<double> warm_row;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (!advanced[i]) {
+          // Stored rows are beta-exclusive deltas (BackwardBatchSnapshot
+          // semantics); add the floor back exactly as the engine does at
+          // output, so a warm row is bit-identical to the advanced one.
+          std::span<const double> delta = states.Row(live[i]);
+          warm_row.assign(delta.begin(), delta.end());
+          for (double& cell : warm_row) cell += params_.beta;
+          score_row(i, warm_row.data(), states.level(live[i]));
+        }
       }
     }
     qs.join.walk_steps += batch.edges_relaxed() - batch_edges_seen;
@@ -250,30 +296,111 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
     qs.join.barriers_per_iteration.push_back(batch.scheduler_barriers() -
                                              batch_barriers_seen);
     batch_barriers_seen = batch.scheduler_barriers();
+    return !interrupted;
   };
 
   std::vector<std::size_t> live(Q.size());
   for (std::size_t qi = 0; qi < Q.size(); ++qi) live[qi] = qi;
   qs.join.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
 
+  // Anytime state, mirroring BIdjJoin (DESIGN.md §9): the top-k
+  // snapshot of the last COMPLETED deepening level, its level, and its
+  // eps bound (max U_l^+ over the targets live in that level).
+  std::vector<ScoredPair> anytime;
+  int cut_level = 0;
+  double cut_eps = 0.0;
+  for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+    cut_eps = std::max(cut_eps, remainder(0, qi));
+  }
+  // Write back every state that got deeper than what the cache gave
+  // us — including on a degraded run: every written snapshot is a
+  // COMPLETED level (interrupted blocks keep their previous one), so
+  // it is bit-safe for any later query. PutIf keeps the deepest walk
+  // under the shard lock when concurrent sessions race on one target
+  // (DESIGN.md §6).
+  auto write_back = [&] {
+    for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+      if (states.level(qi) <= imported_level[qi]) continue;
+      BackwardBatchSnapshot snap;
+      if (states.Take(qi, &snap)) {
+        const int level = snap.level;
+        cache_.PutIf(batch_key(qi),
+                     std::make_shared<CachedBatchState>(std::move(snap)),
+                     [level](const CacheEntry& existing) {
+                       return static_cast<const CachedBatchState&>(existing)
+                                  .snap.level >= level;
+                     });
+      }
+    }
+  };
+  auto finish_stats = [&] {
+    qs.join.state_hits = states.hits();
+    qs.join.state_misses = qs.join.walks_started;
+    qs.join.state_evictions = states.evictions();
+    qs.join.state_resident_bytes = static_cast<int64_t>(states.bytes());
+    qs.join.pool_barriers = batch.scheduler_barriers();
+    if (exec != nullptr) qs.join.lifecycle_checks = exec->blocks_checked();
+  };
+  auto degrade = [&](StatusCode code) -> Result<std::vector<ScoredPair>> {
+    write_back();
+    finish_stats();
+    qs.seconds = timer.Seconds();
+    if (code == StatusCode::kCancelled) {
+      if (out != nullptr) *out = std::move(qs);
+      return Status::Cancelled("serve: query cancelled");
+    }
+    qs.join.partial = PartialInfo{true, cut_level, cut_eps};
+    std::vector<ScoredPair> result = anytime;
+    FinalizePairs(result, k);
+    if (out != nullptr) *out = std::move(qs);
+    return result;
+  };
+  // An interrupted Y sweep leaves nothing to return: degrade at level 0.
+  if (ybound != nullptr && !ybound->table.complete()) {
+    return degrade(exec->stop_code());
+  }
+
   for (int l = 1; l < d_; l *= 2) {
+    if (exec != nullptr) {
+      StatusCode code = exec->Check();
+      if (code != StatusCode::kOk) return degrade(code);
+    }
     PairTopK bounds(k);
     std::vector<double> q_upper(live.size());
-    walk_live(live, l, /*save=*/true,
-              [&](std::size_t i, const double* row, int row_level) {
-                NodeId q = Q[live[i]];
-                double pmax = params_.beta;
-                for (std::size_t pi = 0; pi < P.size(); ++pi) {
-                  NodeId p = P[pi];
-                  if (p == q) continue;
-                  double s = row[pi];
-                  if (s > params_.beta) {
-                    bounds.Offer(s, ScoredPair{p, q, s});
-                    if (s > pmax) pmax = s;
-                  }
-                }
-                q_upper[i] = pmax + remainder(row_level, live[i]);
-              });
+    bool completed =
+        walk_live(live, l, /*save=*/true,
+                  [&](std::size_t i, const double* row, int row_level) {
+                    NodeId q = Q[live[i]];
+                    double pmax = params_.beta;
+                    for (std::size_t pi = 0; pi < P.size(); ++pi) {
+                      NodeId p = P[pi];
+                      if (p == q) continue;
+                      double s = row[pi];
+                      if (s > params_.beta) {
+                        bounds.Offer(s, ScoredPair{p, q, s});
+                        if (s > pmax) pmax = s;
+                      }
+                    }
+                    q_upper[i] = pmax + remainder(row_level, live[i]);
+                  });
+    if (!completed) return degrade(exec->stop_code());
+    // Round l completed: refresh the anytime snapshot before pruning.
+    // Warm rows scored at deeper levels only tighten (U is monotone
+    // decreasing in l), so max U_l^+ over the round's live targets
+    // bounds every snapshot pair.
+    cut_level = l;
+    cut_eps = 0.0;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      cut_eps = std::max(cut_eps, remainder(l, live[i]));
+    }
+    {
+      PairTopK snapshot = bounds;
+      anytime.clear();
+      for (auto& entry : snapshot.TakeSortedDescending()) {
+        anytime.push_back(entry.item);
+      }
+    }
+    if (exec != nullptr && exec->on_level) exec->on_level(l);
     double tk = bounds.Threshold();
     std::vector<std::size_t> survivors;
     survivors.reserve(live.size());
@@ -298,42 +425,31 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(const NodeSet& P,
   // Final exact-d pass. States are saved (unlike BIdjJoin's final pass)
   // because a level-d row is the best possible warm start: an exactly
   // repeated query reads every row with zero walk steps.
+  if (exec != nullptr) {
+    StatusCode code = exec->Check();
+    if (code != StatusCode::kOk) return degrade(code);
+  }
   PairTopK best(k);
   if (!live.empty()) {
-    walk_live(live, d_, /*save=*/true,
-              [&](std::size_t i, const double* row, int /*row_level*/) {
-                NodeId q = Q[live[i]];
-                for (std::size_t pi = 0; pi < P.size(); ++pi) {
-                  NodeId p = P[pi];
-                  if (p == q) continue;
-                  double s = row[pi];
-                  if (s > params_.beta) best.Offer(s, ScoredPair{p, q, s});
-                }
-              });
+    bool completed =
+        walk_live(live, d_, /*save=*/true,
+                  [&](std::size_t i, const double* row, int /*row_level*/) {
+                    NodeId q = Q[live[i]];
+                    for (std::size_t pi = 0; pi < P.size(); ++pi) {
+                      NodeId p = P[pi];
+                      if (p == q) continue;
+                      double s = row[pi];
+                      if (s > params_.beta) {
+                        best.Offer(s, ScoredPair{p, q, s});
+                      }
+                    }
+                  });
+    if (!completed) return degrade(exec->stop_code());
   }
 
-  // Write back every state that got deeper than what the cache gave
-  // us. PutIf keeps the deepest walk under the shard lock when
-  // concurrent sessions race on one target (DESIGN.md §6).
-  for (std::size_t qi = 0; qi < Q.size(); ++qi) {
-    if (states.level(qi) <= imported_level[qi]) continue;
-    BackwardBatchSnapshot snap;
-    if (states.Take(qi, &snap)) {
-      const int level = snap.level;
-      cache_.PutIf(batch_key(qi),
-                   std::make_shared<CachedBatchState>(std::move(snap)),
-                   [level](const CacheEntry& existing) {
-                     return static_cast<const CachedBatchState&>(existing)
-                                .snap.level >= level;
-                   });
-    }
-  }
-
-  qs.join.state_hits = states.hits();
-  qs.join.state_misses = qs.join.walks_started;
-  qs.join.state_evictions = states.evictions();
-  qs.join.state_resident_bytes = static_cast<int64_t>(states.bytes());
-  qs.join.pool_barriers = batch.scheduler_barriers();
+  write_back();
+  finish_stats();
+  qs.join.partial = PartialInfo{false, d_, 0.0};
 
   std::vector<ScoredPair> result;
   for (auto& entry : best.TakeSortedDescending()) {
@@ -370,23 +486,99 @@ Result<std::vector<TupleAnswer>> DhtJoinService::Nway(const QueryGraph& query,
 }
 
 std::future<Result<std::vector<ScoredPair>>> DhtJoinService::SubmitTwoWay(
-    NodeSet P, NodeSet Q, std::size_t k) {
+    NodeSet P, NodeSet Q, std::size_t k, QueryOptions qopts) {
   auto promise =
       std::make_shared<std::promise<Result<std::vector<ScoredPair>>>>();
   auto future = promise->get_future();
-  pool_.Submit([this, promise, P = std::move(P), Q = std::move(Q), k] {
-    promise->set_value(TwoWay(P, Q, k));
+  // Admission runs on the SUBMITTING thread, before enqueue: a shed
+  // query never occupies a pool slot, and the caller learns
+  // immediately (the future is already resolved when Submit returns).
+  const int64_t est =
+      EstimateTwoWayCost(g_, P, Q, d_, admission_.options().sample_size);
+  Status admitted = admission_.Admit(est);
+  if (!admitted.ok()) {
+    promise->set_value(std::move(admitted));
+    return future;
+  }
+  pool_.Submit([this, promise, P = std::move(P), Q = std::move(Q), k,
+                qopts = std::move(qopts)] {
+    WallTimer timer;
+    const ExecContext* exec = qopts.exec.get();
+    // Deadline already expired while queued: count the shed; the run
+    // below observes the sticky stop at its first check and degrades
+    // at level 0 without walking anything.
+    if (exec != nullptr && exec->Check() == StatusCode::kDeadlineExceeded) {
+      admission_.RecordExpired();
+    }
+    Result<std::vector<ScoredPair>> result =
+        Status::Internal("serve: unreachable");
+    try {
+      result = TwoWay(P, Q, k, qopts.stats, exec);
+    } catch (const std::exception& e) {
+      stat_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      result = Status::Internal(std::string("serve: worker exception: ") +
+                                e.what());
+    } catch (...) {
+      stat_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      result = Status::Internal("serve: worker exception (non-std type)");
+    }
+    admission_.Finish(static_cast<int64_t>(timer.Seconds() * 1e6));
+    promise->set_value(std::move(result));
   });
   return future;
 }
 
 std::future<Result<std::vector<TupleAnswer>>> DhtJoinService::SubmitNway(
-    QueryGraph query, const Aggregate& f, std::size_t k, NwayAlgo algo) {
+    QueryGraph query, const Aggregate& f, std::size_t k, NwayAlgo algo,
+    QueryOptions qopts) {
   auto promise =
       std::make_shared<std::promise<Result<std::vector<TupleAnswer>>>>();
   auto future = promise->get_future();
-  pool_.Submit([this, promise, query = std::move(query), &f, k, algo] {
-    promise->set_value(Nway(query, f, k, algo));
+  // No cheap cost estimate exists for an arbitrary query graph yet, so
+  // n-way admission uses the in-flight cap only.
+  Status admitted = admission_.Admit(/*estimated_cost=*/0);
+  if (!admitted.ok()) {
+    promise->set_value(std::move(admitted));
+    return future;
+  }
+  pool_.Submit([this, promise, query = std::move(query), &f, k, algo,
+                qopts = std::move(qopts)] {
+    WallTimer timer;
+    const ExecContext* exec = qopts.exec.get();
+    // The n-way executors have no degrade path yet, so an expired or
+    // cancelled queued query is shed whole at dequeue.
+    if (exec != nullptr) {
+      StatusCode code = exec->Check();
+      if (code != StatusCode::kOk) {
+        if (code == StatusCode::kDeadlineExceeded) {
+          admission_.RecordExpired();
+          stat_deadline_.fetch_add(1, std::memory_order_relaxed);
+        } else if (code == StatusCode::kCancelled) {
+          stat_cancelled_.fetch_add(1, std::memory_order_relaxed);
+        }
+        admission_.Finish(0);
+        promise->set_value(
+            code == StatusCode::kCancelled
+                ? Status::Cancelled("nway: cancelled while queued")
+                : Status::DeadlineExceeded(
+                      "nway: deadline expired while queued"));
+        return;
+      }
+    }
+    Result<std::vector<TupleAnswer>> result =
+        Status::Internal("nway: unreachable");
+    try {
+      result = Nway(query, f, k, algo, qopts.stats);
+    } catch (const std::exception& e) {
+      stat_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      result = Status::Internal(std::string("nway: worker exception: ") +
+                                e.what());
+    } catch (...) {
+      stat_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      result = Status::Internal("nway: worker exception (non-std type)");
+    }
+    admission_.Finish(static_cast<int64_t>(timer.Seconds() * 1e6));
+    promise->set_value(std::move(result));
   });
   return future;
 }

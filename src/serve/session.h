@@ -23,6 +23,7 @@
 #ifndef DHTJOIN_SERVE_SESSION_H_
 #define DHTJOIN_SERVE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <limits>
@@ -32,10 +33,38 @@
 #include "core/nl_join.h"
 #include "core/partial_join.h"
 #include "join2/two_way_join.h"
+#include "serve/admission.h"
 #include "serve/score_cache.h"
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace dhtjoin::serve {
+
+/// Per-query lifecycle options for the async sessions (Submit*). The
+/// ExecContext (deadline, cancel token, effort budget, fault hooks —
+/// util/deadline.h) is shared because the query runs after Submit
+/// returns; it must not be reused across queries. `stats`, when set,
+/// must stay alive until the returned future resolves — it is written
+/// before the promise is fulfilled, so reading it AFTER future.get()
+/// is race-free.
+struct QueryOptions {
+  std::shared_ptr<ExecContext> exec;
+  struct QueryStats* stats = nullptr;
+};
+
+/// Service-level lifecycle counters (monotone; readable while serving).
+struct ServiceStats {
+  AdmissionStats admission;
+  /// Soft-stopped queries that returned a degraded (partial) answer.
+  int64_t degraded = 0;
+  /// Hard-cancelled queries (Status{kCancelled}).
+  int64_t cancelled = 0;
+  /// Soft stops by cause: deadline expiry vs effort-budget exhaustion.
+  int64_t deadline_exceeded = 0;
+  int64_t effort_exhausted = 0;
+  /// Worker-task exceptions contained and surfaced as Status{kInternal}.
+  int64_t exceptions = 0;
+};
 
 /// Per-query observability, filled by the executing session.
 struct QueryStats {
@@ -72,6 +101,11 @@ class DhtJoinService {
     int num_threads = 0;
     /// Remainder bound of the two-way executor (paper uses Y).
     UpperBoundKind bound = UpperBoundKind::kY;
+    /// Admission control for the async sessions (serve/admission.h):
+    /// in-flight cap and sampled cost gate. Defaults admit everything.
+    /// Synchronous TwoWay/Nway calls bypass admission — the caller IS
+    /// the capacity there.
+    AdmissionOptions admission;
   };
 
   /// The graph must outlive the service. O(n + m) once for the
@@ -87,9 +121,17 @@ class DhtJoinService {
   /// Top-k 2-way join of (P, Q) — results identical to
   /// BIdjJoin(options.bound).Run on a cold library, whatever the cache
   /// holds (DESIGN.md §6).
+  ///
+  /// When `exec` is set, the run is deadline/cancel/effort-governed: a
+  /// hard cancel returns Status{kCancelled}; a soft stop degrades at
+  /// the last completed deepening level with stats->join.partial
+  /// describing the cut (DESIGN.md §9) — identical semantics (and
+  /// bit-identical degraded answers at equal cut levels) to
+  /// BIdjJoin::Run under the same ExecContext.
   Result<std::vector<ScoredPair>> TwoWay(const NodeSet& P, const NodeSet& Q,
                                          std::size_t k,
-                                         QueryStats* stats = nullptr);
+                                         QueryStats* stats = nullptr,
+                                         const ExecContext* exec = nullptr);
 
   enum class NwayAlgo {
     kPartialJoinIncremental,  ///< PJ-i, walk snapshots through the cache
@@ -106,12 +148,21 @@ class DhtJoinService {
 
   /// Asynchronous sessions: the query runs on the service pool; the
   /// future carries the same result TwoWay/Nway would return.
-  std::future<Result<std::vector<ScoredPair>>> SubmitTwoWay(NodeSet P,
-                                                            NodeSet Q,
-                                                            std::size_t k);
+  ///
+  /// Lifecycle (util/deadline.h, serve/admission.h):
+  ///  * admission runs BEFORE enqueue — an over-capacity or
+  ///    over-cost-estimate query resolves its future immediately with
+  ///    Status{kResourceExhausted} (+ retry-after hint in the message);
+  ///  * a query whose deadline expired while QUEUED is shed at dequeue
+  ///    (degrades at level 0: empty answer + partial info);
+  ///  * worker-task exceptions never escape the pool — they surface as
+  ///    Status{kInternal} on the future.
+  std::future<Result<std::vector<ScoredPair>>> SubmitTwoWay(
+      NodeSet P, NodeSet Q, std::size_t k, QueryOptions qopts = {});
   std::future<Result<std::vector<TupleAnswer>>> SubmitNway(
       QueryGraph query, const Aggregate& f, std::size_t k,
-      NwayAlgo algo = NwayAlgo::kPartialJoinIncremental);
+      NwayAlgo algo = NwayAlgo::kPartialJoinIncremental,
+      QueryOptions qopts = {});
 
   /// Blocks until every submitted session has finished.
   void Drain();
@@ -122,6 +173,10 @@ class DhtJoinService {
   uint64_t graph_fingerprint() const { return graph_fp_; }
   CacheStats cache_stats() const { return cache_.stats(); }
   ScoreCache& cache() { return cache_; }
+  /// Lifecycle counters: admission sheds, degraded/cancelled queries,
+  /// contained worker exceptions.
+  ServiceStats service_stats() const;
+  const AdmissionController& admission() const { return admission_; }
 
  private:
   class SnapshotAdapter;  // BackwardSnapshotProvider over the cache
@@ -131,7 +186,12 @@ class DhtJoinService {
 
   Result<std::vector<ScoredPair>> RunTwoWay(const NodeSet& P,
                                             const NodeSet& Q, std::size_t k,
-                                            QueryStats* stats);
+                                            QueryStats* stats,
+                                            const ExecContext* exec);
+
+  /// Folds a finished run's outcome into the service counters.
+  void RecordOutcome(const Status& status, const QueryStats& qs,
+                     const ExecContext* exec);
 
   const Graph& g_;
   DhtParams params_;
@@ -141,8 +201,14 @@ class DhtJoinService {
   std::size_t per_query_state_budget_;
   ScoreCache cache_;
   ThreadPool pool_;
+  AdmissionController admission_;
   std::unique_ptr<SnapshotAdapter> snapshots_;
   std::unique_ptr<TableAdapter> tables_;
+  std::atomic<int64_t> stat_degraded_{0};
+  std::atomic<int64_t> stat_cancelled_{0};
+  std::atomic<int64_t> stat_deadline_{0};
+  std::atomic<int64_t> stat_effort_{0};
+  std::atomic<int64_t> stat_exceptions_{0};
 };
 
 }  // namespace dhtjoin::serve

@@ -1,0 +1,208 @@
+/// \file util/deadline.h
+/// \brief Query-lifecycle primitives: deadlines, cooperative
+/// cancellation, and the per-query ExecContext threaded from the
+/// serving layer down into the fused block schedulers.
+///
+/// The engines never kill a query preemptively: cancellation is
+/// COOPERATIVE and checked only at block-group boundaries (one check
+/// per (plan, level-group, lane-block) of a fused round — see
+/// dht/batch_core.h), never per edge, so the hot kernels carry zero
+/// lifecycle overhead. A stop observed mid-round makes the scheduler
+/// skip the blocks it has not started; the executor then discards the
+/// incomplete round and CUTS AT THE LAST COMPLETED DEEPENING LEVEL,
+/// which keeps degraded answers deterministic (DESIGN.md §9):
+///
+///  * a hard stop (CancelToken) surfaces as Status{kCancelled};
+///  * a soft stop (deadline, effort budget) degrades: the executor
+///    returns the top-k of the last completed level l together with a
+///    PartialInfo{level_reached = l, eps_bound = max U_l^+} derived
+///    from the §2 residual bounds — every returned score s satisfies
+///    s <= h_d <= s + eps_bound.
+///
+/// ExecContext also carries the hooks the fault-injection harness
+/// (util/fault_injection.h) uses to fire deterministic faults at the
+/// same block-group boundaries.
+
+#ifndef DHTJOIN_UTIL_DEADLINE_H_
+#define DHTJOIN_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "util/status.h"
+
+namespace dhtjoin {
+
+/// A point in steady time before which work must finish; infinite by
+/// default. Cheap to copy and to test (one clock read per Expired()).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline (never expires).
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+
+  static Deadline After(Clock::duration budget) {
+    return Deadline(Clock::now() + budget);
+  }
+
+  static Deadline AfterMillis(int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+  static Deadline AfterSeconds(double seconds) {
+    return After(std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds)));
+  }
+
+  bool is_infinite() const { return infinite_; }
+
+  bool Expired() const { return !infinite_ && Clock::now() >= when_; }
+
+  /// Seconds until expiry; negative once expired, +inf when infinite.
+  double RemainingSeconds() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(when_ - Clock::now()).count();
+  }
+
+  Clock::time_point when() const { return when_; }
+
+ private:
+  explicit Deadline(Clock::time_point when) : infinite_(false), when_(when) {}
+
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
+/// A shared cooperative cancellation flag. Cancel() may be called from
+/// any thread (typically a client or supervisor); the executing query
+/// observes it at its next block-group boundary and stops with
+/// Status{kCancelled}. Cancellation is sticky and idempotent.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-query execution context: deadline, cancellation token, effort
+/// budget, and instrumentation hooks. One ExecContext belongs to ONE
+/// query run; it is mutated (sticky stop code, counters) while the
+/// query executes, so it is neither copyable nor reusable across runs.
+///
+/// Checked at two granularities:
+///  * Check()            — executor-level, at deepening-level
+///                         boundaries (free: no counter);
+///  * CheckBlockGroup()  — scheduler-level, once per block group
+///                         inside AdvanceMany; bumps the effort
+///                         counter and fires the fault hook.
+///
+/// The first non-OK observation wins and is sticky: once a query is
+/// stopped it stays stopped, so every layer that polls later sees the
+/// same verdict (a deadline cannot un-expire; cancel and soft-stop are
+/// one-way; the effort counter only grows).
+struct ExecContext {
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  Deadline deadline;
+  /// Optional cooperative cancellation; null = not cancellable.
+  std::shared_ptr<CancelToken> token;
+  /// Maximum block-group checks before a soft stop (kResourceExhausted
+  /// degrade); 0 = unlimited. A deterministic, clock-free alternative
+  /// to a deadline: the cumulative block count at every round boundary
+  /// is a pure function of the query, so the cut level is reproducible
+  /// across thread counts and machines.
+  int64_t effort_budget_blocks = 0;
+
+  /// Fault-injection / test hook, fired with the 1-based check count at
+  /// every block-group boundary BEFORE the stop tests. Must be
+  /// thread-safe (block groups run on pool workers). Installed by
+  /// FaultInjector::Arm; null in production.
+  std::function<void(int64_t)> block_hook;
+  /// Fault hook for simulated state-pool allocation failure, consulted
+  /// by BatchStateBudget::TryCommit (true = fail this commit). Must be
+  /// thread-safe. Evicted states restart bit-identically, so this
+  /// fault never changes results — only step counts.
+  std::function<bool()> commit_fault;
+  /// Progress callback fired by the deepening executors after each
+  /// COMPLETED level l (executor thread, outside any ParallelFor).
+  /// Tests use it to stop a query at an exact level; servers can use
+  /// it to stream anytime answers.
+  std::function<void(int level)> on_level;
+
+  /// Executor-level poll (deepening-level boundaries). Returns the
+  /// sticky stop code: kOk, kCancelled, kDeadlineExceeded, or
+  /// kResourceExhausted.
+  StatusCode Check() const {
+    StatusCode sticky = stop_code();
+    if (sticky != StatusCode::kOk) return sticky;
+    if (token != nullptr && token->cancelled()) {
+      return RecordStop(StatusCode::kCancelled);
+    }
+    if (deadline.Expired()) {
+      return RecordStop(StatusCode::kDeadlineExceeded);
+    }
+    return StatusCode::kOk;
+  }
+
+  /// Scheduler-level poll, once per block group inside AdvanceMany:
+  /// bumps the effort counter, fires the fault hook, then runs the
+  /// same stop tests as Check() plus the effort-budget test.
+  StatusCode CheckBlockGroup() const {
+    const int64_t n = blocks_checked_.fetch_add(1,
+                                                std::memory_order_relaxed) +
+                      1;
+    if (block_hook) block_hook(n);
+    StatusCode code = Check();
+    if (code != StatusCode::kOk) return code;
+    if (effort_budget_blocks > 0 && n > effort_budget_blocks) {
+      return RecordStop(StatusCode::kResourceExhausted);
+    }
+    return StatusCode::kOk;
+  }
+
+  /// Requests a soft stop (anytime degrade at the next boundary), as a
+  /// deadline expiry would. Used by on_level callbacks and tests to
+  /// force a deterministic cut level.
+  void RequestSoftStop() const { RecordStop(StatusCode::kDeadlineExceeded); }
+
+  /// The sticky verdict so far (kOk while running).
+  StatusCode stop_code() const {
+    return static_cast<StatusCode>(
+        stop_code_.load(std::memory_order_relaxed));
+  }
+  bool stopped() const { return stop_code() != StatusCode::kOk; }
+
+  /// Block-group checks performed so far (effort spent).
+  int64_t blocks_checked() const {
+    return blocks_checked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  StatusCode RecordStop(StatusCode code) const {
+    int expected = static_cast<int>(StatusCode::kOk);
+    stop_code_.compare_exchange_strong(expected, static_cast<int>(code),
+                                       std::memory_order_relaxed);
+    return stop_code();
+  }
+
+  mutable std::atomic<int64_t> blocks_checked_{0};
+  mutable std::atomic<int> stop_code_{static_cast<int>(StatusCode::kOk)};
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_UTIL_DEADLINE_H_

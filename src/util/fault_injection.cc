@@ -1,0 +1,73 @@
+#include "util/fault_injection.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace dhtjoin {
+namespace {
+
+// splitmix64: tiny, stateless, excellent avalanche — the same hash the
+// graph generators use for reproducible randomness.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void FaultInjector::Arm(ExecContext& ctx) {
+  if (plan_.cancel_at_check > 0 && ctx.token == nullptr) {
+    ctx.token = std::make_shared<CancelToken>();
+  }
+  ctx.block_hook = [this, token = ctx.token](int64_t n) {
+    if (plan_.delay_at_check > 0 && n == plan_.delay_at_check) {
+      delays_fired_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_micros));
+    }
+    if (plan_.cancel_at_check > 0 && n == plan_.cancel_at_check &&
+        token != nullptr) {
+      cancels_fired_.fetch_add(1, std::memory_order_relaxed);
+      token->Cancel();
+    }
+    if (plan_.throw_at_check > 0 && n == plan_.throw_at_check) {
+      throws_fired_.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("fault_injection: injected failure at block " +
+                               std::to_string(n));
+    }
+  };
+  if (plan_.commit_fail_rate > 0.0) {
+    ctx.commit_fault = [this]() {
+      const uint64_t attempt =
+          static_cast<uint64_t>(
+              commit_attempts_.fetch_add(1, std::memory_order_relaxed)) +
+          1;
+      if (ShouldFailCommit(attempt)) {
+        commit_faults_fired_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    };
+  }
+}
+
+void FaultInjector::Reset() {
+  commit_attempts_.store(0, std::memory_order_relaxed);
+  cancels_fired_.store(0, std::memory_order_relaxed);
+  delays_fired_.store(0, std::memory_order_relaxed);
+  throws_fired_.store(0, std::memory_order_relaxed);
+  commit_faults_fired_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFailCommit(uint64_t attempt) const {
+  if (plan_.commit_fail_rate <= 0.0) return false;
+  if (plan_.commit_fail_rate >= 1.0) return true;
+  const uint64_t h = SplitMix64(plan_.seed ^ (attempt * 0x9e3779b97f4a7c15ULL));
+  // Top 53 bits -> uniform double in [0,1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < plan_.commit_fail_rate;
+}
+
+}  // namespace dhtjoin

@@ -1,0 +1,96 @@
+/// \file util/fault_injection.h
+/// \brief Seeded, deterministic fault injection for robustness tests
+/// and the chaos benchmark.
+///
+/// A FaultPlan describes WHAT goes wrong and WHEN, keyed to the
+/// deterministic block-group check counter an ExecContext maintains
+/// (util/deadline.h): "cancel at the Nth block-group check", "stall
+/// the Nth block for D microseconds", "throw from the Nth block", and
+/// "fail state-pool commits with probability p" (simulated allocation
+/// failure — the engine treats it as an eviction and restarts the
+/// walk bit-identically, so results never change, only step counts).
+///
+/// All randomness is a splitmix64 hash of (seed, event ordinal), so
+/// the same plan against the same query produces the same fault
+/// sequence on every machine and at every thread count. Tests assert
+/// on exact counter values; the chaos bench replays a fixed plan per
+/// query index.
+///
+/// FaultInjector::Arm installs the plan's hooks onto an ExecContext;
+/// the injector must outlive every query run that uses that context.
+
+#ifndef DHTJOIN_UTIL_FAULT_INJECTION_H_
+#define DHTJOIN_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/deadline.h"
+
+namespace dhtjoin {
+
+/// A deterministic schedule of faults for one query run. Ordinals are
+/// 1-based block-group check counts; 0 disables the fault.
+struct FaultPlan {
+  /// Cancel the query's token at the Nth block-group check.
+  int64_t cancel_at_check = 0;
+  /// Busy-delay the Nth block-group check (simulated straggler block).
+  int64_t delay_at_check = 0;
+  int64_t delay_micros = 0;
+  /// Throw a std::runtime_error from the Nth block-group check
+  /// (exercises the exception containment of the thread pool and the
+  /// service's Submit wrapper).
+  int64_t throw_at_check = 0;
+  /// Per-commit probability in [0,1] that BatchStateBudget::TryCommit
+  /// reports a simulated allocation failure (forced eviction).
+  double commit_fail_rate = 0.0;
+  /// Seed for the commit-failure hash sequence.
+  uint64_t seed = 0;
+};
+
+/// Installs a FaultPlan's hooks onto an ExecContext and counts fired
+/// events. One injector drives one context; reusable only after
+/// Reset(). Thread-safe: hooks fire from pool workers.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs block_hook and commit_fault on `ctx`; creates a token if
+  /// the plan cancels and `ctx` has none.
+  void Arm(ExecContext& ctx);
+
+  /// Clears fired-event counters (the plan itself is immutable).
+  void Reset();
+
+  const FaultPlan& plan() const { return plan_; }
+  int64_t cancels_fired() const {
+    return cancels_fired_.load(std::memory_order_relaxed);
+  }
+  int64_t delays_fired() const {
+    return delays_fired_.load(std::memory_order_relaxed);
+  }
+  int64_t throws_fired() const {
+    return throws_fired_.load(std::memory_order_relaxed);
+  }
+  int64_t commit_faults_fired() const {
+    return commit_faults_fired_.load(std::memory_order_relaxed);
+  }
+
+  /// Deterministic Bernoulli(commit_fail_rate) draw for the Nth commit
+  /// attempt (1-based), via splitmix64(seed ^ n). Exposed for tests.
+  bool ShouldFailCommit(uint64_t attempt) const;
+
+ private:
+  FaultPlan plan_;
+  std::atomic<int64_t> commit_attempts_{0};
+  std::atomic<int64_t> cancels_fired_{0};
+  std::atomic<int64_t> delays_fired_{0};
+  std::atomic<int64_t> throws_fired_{0};
+  std::atomic<int64_t> commit_faults_fired_{0};
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_UTIL_FAULT_INJECTION_H_

@@ -27,6 +27,9 @@ enum class StatusCode {
   kAlreadyExists,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -59,6 +62,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

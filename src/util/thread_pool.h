@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -83,16 +84,39 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, count), spread over the pool, and waits.
   /// A single item runs inline — no reason to bounce one task through
   /// a worker (or spawn the workers at all).
+  ///
+  /// Exception-safe: a throw from fn never escapes into WorkerLoop
+  /// (which would skip the pending_ decrement and deadlock Wait(), or
+  /// std::terminate). The first exception is captured and rethrown on
+  /// the calling thread after every task has drained; remaining tasks
+  /// still run — the cooperative-stop machinery (util/deadline.h) is
+  /// the mechanism for cutting a round short, not stack unwinding.
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn) {
     if (count > 0) parallel_fors_.fetch_add(1, std::memory_order_relaxed);
     if (target_threads_ <= 1 || count == 1) {
       for (int64_t i = 0; i < count; ++i) fn(i);
       return;
     }
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
     for (int64_t i = 0; i < count; ++i) {
-      Submit([&fn, i] { fn(i); });
+      Submit([&, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!failed.exchange(true, std::memory_order_relaxed)) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            first_error = std::current_exception();
+          }
+        }
+      });
     }
     Wait();
+    if (failed.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      std::rethrow_exception(first_error);
+    }
   }
 
   /// Number of non-empty ParallelFor dispatches so far — each is one

@@ -39,6 +39,7 @@
 #include "serve/session.h"
 #include "serve/workload.h"
 #include "tools/cli_parse.h"
+#include "util/deadline.h"
 #include "util/timer.h"
 
 namespace dhtjoin::cli {
@@ -62,7 +63,8 @@ constexpr char kUsage[] =
     "           [--requests 200] [--templates 16] [--zipf 1.0]\n"
     "           [--set-size 100] [--k 50] [--threads N] [--cache-mb MB]\n"
     "           [--admit-floor-bytes B] [--seed 17] [--measure ...]\n"
-    "           [--epsilon 1e-6] [--reorder none|degree|rcm]\n";
+    "           [--epsilon 1e-6] [--reorder none|degree|rcm]\n"
+    "           [--deadline-ms MS] [--max-in-flight N] [--max-cost C]\n";
 
 Status Fail(const std::string& msg) { return Status::InvalidArgument(msg); }
 
@@ -218,13 +220,16 @@ Status RunJoin2(const ParsedArgs& args) {
       "# stats {\"walk_steps\": %lld, \"walks_started\": %lld, "
       "\"pool_barriers\": %lld, \"barriers_per_iteration\": %s, "
       "\"state_hits\": %lld, \"state_misses\": %lld, "
-      "\"state_evictions\": %lld}\n",
+      "\"state_evictions\": %lld, \"degraded\": %s, "
+      "\"level_reached\": %d, \"eps_bound\": %.9g}\n",
       static_cast<long long>(st.walk_steps),
       static_cast<long long>(st.walks_started),
       static_cast<long long>(st.pool_barriers), barriers.c_str(),
       static_cast<long long>(st.state_hits),
       static_cast<long long>(st.state_misses),
-      static_cast<long long>(st.state_evictions));
+      static_cast<long long>(st.state_evictions),
+      st.partial.degraded ? "true" : "false", st.partial.level_reached,
+      st.partial.eps_bound);
   return Status::OK();
 }
 
@@ -356,6 +361,28 @@ Status RunServe(const ParsedArgs& args) {
                                         "admit-floor-bytes"));
     sopts.cache_admission_bypass_bytes = static_cast<std::size_t>(floor);
   }
+  // Lifecycle flags: per-query deadline and admission gates
+  // (serve/admission.h). Deadline-hit queries return DEGRADED partial
+  // answers (counted below), they do not fail the run; admission-shed
+  // queries resolve with kResourceExhausted.
+  int64_t deadline_ms = 0;
+  if (args.Has("deadline-ms")) {
+    DHTJOIN_ASSIGN_OR_RETURN(deadline_ms,
+                             ParsePositiveInt(args.Get("deadline-ms", ""),
+                                              "deadline-ms"));
+  }
+  if (args.Has("max-in-flight")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        int64_t cap, ParsePositiveInt(args.Get("max-in-flight", ""),
+                                      "max-in-flight"));
+    sopts.admission.max_in_flight = cap;
+  }
+  if (args.Has("max-cost")) {
+    DHTJOIN_ASSIGN_OR_RETURN(int64_t ceiling,
+                             ParsePositiveInt(args.Get("max-cost", ""),
+                                              "max-cost"));
+    sopts.admission.max_estimated_cost = ceiling;
+  }
   serve::DhtJoinService service(in.graph, in.measure, in.d, sopts);
 
   std::printf("# serving %zu requests over %zu templates (zipf %.2f, "
@@ -364,21 +391,42 @@ Status RunServe(const ParsedArgs& args) {
               wopts.set_size, wopts.k, in.d,
               sopts.num_threads == 1 ? "sequential" : "concurrent sessions");
 
+  auto make_exec = [&]() -> std::shared_ptr<ExecContext> {
+    if (deadline_ms == 0) return nullptr;
+    auto exec = std::make_shared<ExecContext>();
+    exec->deadline = Deadline::AfterMillis(deadline_ms);
+    return exec;
+  };
+
   WallTimer timer;
+  int64_t shed = 0;
   if (sopts.num_threads == 1) {
     for (const serve::TwoWayRequest& req : workload.requests) {
-      DHTJOIN_ASSIGN_OR_RETURN(auto result,
-                               service.TwoWay(req.P, req.Q, req.k));
+      auto exec = make_exec();
+      DHTJOIN_ASSIGN_OR_RETURN(
+          auto result,
+          service.TwoWay(req.P, req.Q, req.k, nullptr, exec.get()));
       (void)result;
     }
   } else {
     std::vector<std::future<Result<std::vector<ScoredPair>>>> futures;
+    std::vector<std::shared_ptr<ExecContext>> execs;
     futures.reserve(workload.requests.size());
+    execs.reserve(workload.requests.size());
     for (const serve::TwoWayRequest& req : workload.requests) {
-      futures.push_back(service.SubmitTwoWay(req.P, req.Q, req.k));
+      serve::QueryOptions qopts;
+      qopts.exec = make_exec();
+      execs.push_back(qopts.exec);
+      futures.push_back(
+          service.SubmitTwoWay(req.P, req.Q, req.k, std::move(qopts)));
     }
     for (auto& f : futures) {
-      DHTJOIN_RETURN_NOT_OK(f.get().status());
+      Status status = f.get().status();
+      if (status.code() == StatusCode::kResourceExhausted) {
+        ++shed;  // expected under admission pressure; counted, not fatal
+      } else {
+        DHTJOIN_RETURN_NOT_OK(status);
+      }
     }
   }
   const double seconds = timer.Seconds();
@@ -400,6 +448,25 @@ Status RunServe(const ParsedArgs& args) {
               static_cast<long long>(stats.admission_rejects), stats.entries,
               static_cast<double>(stats.resident_bytes) / (1 << 20),
               static_cast<double>(service.cache().max_bytes()) / (1 << 20));
+  // Machine-readable lifecycle counters (serve/admission.h,
+  // ServiceStats): how many queries were shed at each gate, degraded
+  // by deadline/effort, hard-cancelled, or hit a contained exception.
+  serve::ServiceStats ss = service.service_stats();
+  std::printf(
+      "# stats {\"admitted\": %lld, \"shed_capacity\": %lld, "
+      "\"shed_cost\": %lld, \"shed_expired\": %lld, \"shed_total\": %lld, "
+      "\"degraded\": %lld, \"deadline_exceeded\": %lld, "
+      "\"effort_exhausted\": %lld, \"cancelled\": %lld, "
+      "\"exceptions\": %lld}\n",
+      static_cast<long long>(ss.admission.admitted),
+      static_cast<long long>(ss.admission.shed_capacity),
+      static_cast<long long>(ss.admission.shed_cost),
+      static_cast<long long>(ss.admission.shed_expired),
+      static_cast<long long>(shed), static_cast<long long>(ss.degraded),
+      static_cast<long long>(ss.deadline_exceeded),
+      static_cast<long long>(ss.effort_exhausted),
+      static_cast<long long>(ss.cancelled),
+      static_cast<long long>(ss.exceptions));
   return Status::OK();
 }
 
