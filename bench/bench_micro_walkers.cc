@@ -50,8 +50,8 @@ struct BackwardResult {
 
 BackwardResult RunBackwardComparison(const Graph& g, const DhtParams& p,
                                      int d,
-                                     const std::vector<NodeId>& targets,
-                                     const std::vector<NodeId>& sources,
+                                     const std::vector<ExtNodeId>& targets,
+                                     const std::vector<ExtNodeId>& sources,
                                      int repeats) {
   BackwardResult r;
 
@@ -124,14 +124,14 @@ int main(int argc, char** argv) {
               ReorderKindName(reorder));
 
   // Spread targets across the id space; sources likewise.
-  std::vector<NodeId> targets, sources;
+  std::vector<ExtNodeId> targets, sources;
   for (std::size_t i = 0; i < kNumTargets; ++i) {
-    targets.push_back(static_cast<NodeId>(
-        (i * 131 + 17) % static_cast<std::size_t>(g.num_nodes())));
+    targets.push_back(ExtNodeId(static_cast<NodeId>(
+        (i * 131 + 17) % static_cast<std::size_t>(g.num_nodes()))));
   }
   for (std::size_t i = 0; i < kNumSources; ++i) {
-    sources.push_back(static_cast<NodeId>(
-        (i * 37 + 5) % static_cast<std::size_t>(g.num_nodes())));
+    sources.push_back(ExtNodeId(static_cast<NodeId>(
+        (i * 37 + 5) % static_cast<std::size_t>(g.num_nodes()))));
   }
 
   std::vector<JsonObject> rows;
@@ -176,8 +176,8 @@ int main(int argc, char** argv) {
 
   // Forward single-pair micro numbers (the F-BJ inner loop).
   std::printf("\nforward pair computation (d=8):\n");
-  NodeId u = ds.areas[0][0];
-  NodeId v = ds.areas[1][0];
+  ExtNodeId u = ds.areas[0][0];
+  ExtNodeId v = ds.areas[1][0];
   double fwd_dense = 0.0, fwd_adaptive = 0.0;
   {
     ForwardWalker dense(g, PropagationMode::kDense);
@@ -196,14 +196,14 @@ int main(int argc, char** argv) {
   // same per-pair walks, one out-CSR pass per kLaneWidth lanes.
   constexpr std::size_t kFwdSources = 24;
   constexpr std::size_t kFwdTargets = 12;
-  std::vector<NodeId> fwd_sources, fwd_targets;
+  std::vector<ExtNodeId> fwd_sources, fwd_targets;
   for (std::size_t i = 0; i < kFwdSources; ++i) {
-    fwd_sources.push_back(static_cast<NodeId>(
-        (i * 211 + 3) % static_cast<std::size_t>(g.num_nodes())));
+    fwd_sources.push_back(ExtNodeId(static_cast<NodeId>(
+        (i * 211 + 3) % static_cast<std::size_t>(g.num_nodes()))));
   }
   for (std::size_t i = 0; i < kFwdTargets; ++i) {
-    fwd_targets.push_back(static_cast<NodeId>(
-        (i * 97 + 41) % static_cast<std::size_t>(g.num_nodes())));
+    fwd_targets.push_back(ExtNodeId(static_cast<NodeId>(
+        (i * 97 + 41) % static_cast<std::size_t>(g.num_nodes()))));
   }
   const double num_pairs =
       static_cast<double>(kFwdSources) * static_cast<double>(kFwdTargets);

@@ -104,8 +104,8 @@ struct GatherTiming {
 /// every target, reading the requested sources (the gated path).
 /// `soa` selects the gather's edge stream (split arrays vs AoS).
 GatherTiming TimeScalarDenseGather(const Graph& g, const DhtParams& p, int d,
-                                   const std::vector<NodeId>& targets,
-                                   const std::vector<NodeId>& sources,
+                                   const std::vector<ExtNodeId>& targets,
+                                   const std::vector<ExtNodeId>& sources,
                                    int repeats, bool soa = true) {
   GatherTiming t;
   BackwardWalker walker(g, PropagationMode::kDense, true, soa);
@@ -128,8 +128,8 @@ GatherTiming TimeScalarDenseGather(const Graph& g, const DhtParams& p, int d,
 /// comment). `soa` streams the split (to[], prob[]) arrays instead of
 /// the 16-byte AoS OutEdge stream — bit-identical by construction.
 GatherTiming TimeBatchDenseGather(const Graph& g, const DhtParams& p, int d,
-                                  const std::vector<NodeId>& targets,
-                                  const std::vector<NodeId>& sources,
+                                  const std::vector<ExtNodeId>& targets,
+                                  const std::vector<ExtNodeId>& sources,
                                   int repeats, bool soa = true) {
   GatherTiming t;
   BackwardWalkerBatch batch(
@@ -161,8 +161,8 @@ Graph RelabelArbitrarily(const Graph& g, uint64_t seed) {
   }
   GraphBuilder b(g.num_nodes(), /*undirected=*/false);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    auto row = g.OutEdges(u);
-    auto weights = g.OutWeights(u);
+    auto row = g.OutEdges(IntNodeId(u));
+    auto weights = g.OutWeights(IntNodeId(u));
     for (std::size_t i = 0; i < row.size(); ++i) {
       CheckOk(b.AddEdge(relabel[static_cast<std::size_t>(u)],
                         relabel[static_cast<std::size_t>(row[i].to)],
@@ -200,18 +200,18 @@ int main(int argc, char** argv) {
               "rcm, generator-native\n",
               base.num_nodes(), static_cast<long long>(base.num_edges()));
 
-  std::vector<NodeId> scalar_targets, batch_targets, sources;
+  std::vector<ExtNodeId> scalar_targets, batch_targets, sources;
   for (std::size_t i = 0; i < 4; ++i) {
-    scalar_targets.push_back(static_cast<NodeId>(
-        (i * 131 + 17) % static_cast<std::size_t>(base.num_nodes())));
+    scalar_targets.push_back(ExtNodeId(static_cast<NodeId>(
+        (i * 131 + 17) % static_cast<std::size_t>(base.num_nodes()))));
   }
   for (std::size_t i = 0; i < 8; ++i) {
-    batch_targets.push_back(static_cast<NodeId>(
-        (i * 131 + 17) % static_cast<std::size_t>(base.num_nodes())));
+    batch_targets.push_back(ExtNodeId(static_cast<NodeId>(
+        (i * 131 + 17) % static_cast<std::size_t>(base.num_nodes()))));
   }
   for (std::size_t i = 0; i < 100; ++i) {
-    sources.push_back(static_cast<NodeId>(
-        (i * 37 + 5) % static_cast<std::size_t>(base.num_nodes())));
+    sources.push_back(ExtNodeId(static_cast<NodeId>(
+        (i * 37 + 5) % static_cast<std::size_t>(base.num_nodes()))));
   }
 
   const int repeats = 5;
@@ -324,12 +324,13 @@ int main(int argc, char** argv) {
                        std::vector<double>* mass_out) {
     Propagator engine(g, Propagator::Direction::kBackward,
                       PropagationMode::kDense, restrict_dense);
-    engine.Reset(g.ToInternal(seed_node));
+    engine.Reset(g.ToInternal(ExtNodeId(seed_node)));
     for (int i = 0; i < sweep_d; ++i) engine.Step();
     if (mass_out != nullptr) {
       mass_out->assign(static_cast<std::size_t>(g.num_nodes()), 0.0);
       engine.ForEachMass([&](NodeId u, double m) {
-        (*mass_out)[static_cast<std::size_t>(g.ToExternal(u))] = m;
+        (*mass_out)[static_cast<std::size_t>(
+            g.ToExternal(IntNodeId(u)).value())] = m;
       });
     }
   };

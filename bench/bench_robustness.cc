@@ -114,11 +114,11 @@ void VerifyEps(const Graph& g, const DhtParams& params, int d,
                Tally& tally) {
   BackwardWalker walker(g);
   for (auto& [q, checks] : by_target) {
-    walker.Reset(params, q);
+    walker.Reset(params, ExtNodeId(q));
     walker.Advance(d);
     for (const EpsCheck& c : checks) {
       ++tally.eps_pairs;
-      const double exact = walker.Score(c.p);
+      const double exact = walker.Score(ExtNodeId(c.p));
       if (!(c.score <= exact + 1e-12 && exact <= c.score + c.eps + 1e-12)) {
         ++tally.eps_violations;
         std::fprintf(stderr,

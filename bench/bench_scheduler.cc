@@ -52,8 +52,8 @@ constexpr double kWallClockGate = 1.05;
 /// the per-pair states — near-empty per-target work, the barrier-bound
 /// regime.
 struct Workload {
-  std::vector<NodeId> sources;  // the shrunken live set
-  std::vector<NodeId> targets;  // all of Q, every round
+  std::vector<ExtNodeId> sources;  // the shrunken live set
+  std::vector<ExtNodeId> targets;  // all of Q, every round
   std::vector<int> levels;
 };
 
@@ -153,20 +153,24 @@ int main(int argc, char** argv) {
   const std::size_t num_targets = smoke ? 512 : 3000;
   const std::size_t num_sources = 4;  // a shrunken live set
   for (std::size_t t = 0; t < num_targets; ++t) {
-    w.targets.push_back(static_cast<NodeId>(
-        (t * 577 + 31) % static_cast<std::size_t>(g.num_nodes())));
+    w.targets.push_back(ExtNodeId(static_cast<NodeId>(
+        (t * 577 + 31) % static_cast<std::size_t>(g.num_nodes()))));
   }
   std::vector<NodeId> by_degree(static_cast<std::size_t>(g.num_nodes()));
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     by_degree[static_cast<std::size_t>(u)] = u;
   }
   std::sort(by_degree.begin(), by_degree.end(), [&g](NodeId a, NodeId b) {
-    if (g.Degree(a) != g.Degree(b)) return g.Degree(a) < g.Degree(b);
+    if (g.Degree(IntNodeId(a)) != g.Degree(IntNodeId(b))) {
+      return g.Degree(IntNodeId(a)) < g.Degree(IntNodeId(b));
+    }
     return a < b;
   });
-  w.sources.assign(by_degree.begin(),
-                   by_degree.begin() + static_cast<std::ptrdiff_t>(
-                                           num_sources));
+  // Fresh fixture graph: internal == external ids, so the low-degree
+  // prefix can be wrapped directly as external walker sources.
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    w.sources.push_back(ExtNodeId(by_degree[i]));
+  }
   w.levels = {1, 2};
   std::printf("[setup] n=%d m=%lld, %zu targets x %zu live sources "
               "(low-degree), levels 1/2\n",
@@ -200,11 +204,11 @@ int main(int argc, char** argv) {
   // graph — its per-round barrier counts are the production trace of
   // the same property.
   FIdjJoin fidj;
-  NodeSet P("P", std::vector<NodeId>(w.sources.begin(), w.sources.end()));
-  std::vector<NodeId> q_nodes(w.targets.begin(),
-                              w.targets.begin() +
-                                  std::min<std::size_t>(w.targets.size(),
-                                                        smoke ? 64 : 256));
+  NodeSet P("P", std::vector<ExtNodeId>(w.sources.begin(), w.sources.end()));
+  std::vector<ExtNodeId> q_nodes(w.targets.begin(),
+                                 w.targets.begin() +
+                                     std::min<std::size_t>(w.targets.size(),
+                                                           smoke ? 64 : 256));
   std::sort(q_nodes.begin(), q_nodes.end());
   q_nodes.erase(std::unique(q_nodes.begin(), q_nodes.end()), q_nodes.end());
   NodeSet Q("Q", q_nodes);

@@ -22,7 +22,7 @@ namespace {
 
 std::string AuthorName(NodeId id, const datasets::DblpLikeDataset& ds) {
   for (const NodeSet& area : ds.areas) {
-    if (area.Contains(id)) {
+    if (area.Contains(ExtNodeId(id))) {
       return "a" + std::to_string(id) + "(" + area.name() + ")";
     }
   }

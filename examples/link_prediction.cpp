@@ -46,8 +46,13 @@ int main() {
   std::printf("\ntop predicted new DB-AI collaborations:\n");
   int shown = 0;
   for (const ScoredPair& sp : *pairs) {
-    if (snapshot->HasEdge(sp.p, sp.q)) continue;  // already collaborated
-    bool came_true = ds->graph.HasEdge(sp.p, sp.q);
+    if (snapshot->HasEdge(snapshot->ToInternal(ExtNodeId(sp.p)),
+                          snapshot->ToInternal(ExtNodeId(sp.q)))) {
+      continue;  // already collaborated
+    }
+    bool came_true =
+        ds->graph.HasEdge(ds->graph.ToInternal(ExtNodeId(sp.p)),
+                          ds->graph.ToInternal(ExtNodeId(sp.q)));
     std::printf("  a%-6d ~ a%-6d  h_d = %+.6f   %s\n", sp.p, sp.q, sp.score,
                 came_true ? "[came true by 2012]" : "");
     if (++shown == 10) break;

@@ -68,8 +68,8 @@ Result<std::vector<TupleAnswer>> NestedLoopJoin::Run(
         const std::size_t tcount = std::min(tgt_chunk, R.size() - tb);
         std::vector<double> scores = batch.Run(
             params, d,
-            std::span<const NodeId>(L.nodes()).subspan(sb, scount),
-            std::span<const NodeId>(R.nodes()).subspan(tb, tcount));
+            std::span<const ExtNodeId>(L.nodes()).subspan(sb, scount),
+            std::span<const ExtNodeId>(R.nodes()).subspan(tb, tcount));
         for (std::size_t li = 0; li < scount; ++li) {
           std::copy(scores.begin() + static_cast<std::ptrdiff_t>(li * tcount),
                     scores.begin() +
@@ -118,7 +118,7 @@ Result<std::vector<TupleAnswer>> NestedLoopJoin::Run(
                            tuple_index[static_cast<std::size_t>(
                                edges[e].right)]];
         } else {
-          score = walker.Compute(params, d, u, v);
+          score = walker.Compute(params, d, ExtNodeId(u), ExtNodeId(v));
           stats_.dht_computations++;
         }
         if (score <= params.beta) {
@@ -141,7 +141,7 @@ Result<std::vector<TupleAnswer>> NestedLoopJoin::Run(
     }
     const NodeSet& set = query.set(attr);
     for (std::size_t i = 0; i < set.size(); ++i) {
-      tuple[static_cast<std::size_t>(attr)] = set[i];
+      tuple[static_cast<std::size_t>(attr)] = set[i].value();
       tuple_index[static_cast<std::size_t>(attr)] = i;
       self(self, attr + 1);
       if (budget_exceeded) return;

@@ -23,7 +23,10 @@ Result<Graph> DblpLikeDataset::SnapshotBefore(int year) const {
   for (std::size_t e = 0; e < edge_list.size(); ++e) {
     if (edge_year[e] >= year) continue;
     auto [u, v] = edge_list[e];
-    DHTJOIN_RETURN_NOT_OK(builder.AddEdge(u, v, graph.EdgeWeight(u, v)));
+    DHTJOIN_RETURN_NOT_OK(builder.AddEdge(
+        u, v,
+        graph.EdgeWeight(graph.ToInternal(ExtNodeId(u)),
+                         graph.ToInternal(ExtNodeId(v)))));
   }
   return builder.Build();
 }
@@ -48,7 +51,7 @@ Result<DblpLikeDataset> GenerateDblpLike(const DblpLikeConfig& config) {
   out.graph = std::move(base.graph);
   out.edge_list = std::move(base.edge_list);
   for (std::size_t i = 0; i < base.communities.size(); ++i) {
-    std::vector<NodeId> members(base.communities[i].begin(),
+    std::vector<ExtNodeId> members(base.communities[i].begin(),
                                 base.communities[i].end());
     out.areas.emplace_back(kDblpAreaNames[i], std::move(members));
   }

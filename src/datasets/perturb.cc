@@ -28,11 +28,11 @@ Result<Graph> RemoveEdges(const Graph& g,
   for (auto [u, v] : removed) drop.insert(UndirectedKey(u, v));
   GraphBuilder builder(g.num_nodes(), /*undirected=*/false);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    const NodeId ext_u = g.ToExternal(u);
-    auto row = g.OutEdges(u);
-    auto weights = g.OutWeights(u);
+    const NodeId ext_u = g.ToExternal(IntNodeId(u)).value();
+    auto row = g.OutEdges(IntNodeId(u));
+    auto weights = g.OutWeights(IntNodeId(u));
     for (std::size_t i = 0; i < row.size(); ++i) {
-      const NodeId ext_v = g.ToExternal(row[i].to);
+      const NodeId ext_v = g.ToExternal(IntNodeId(row[i].to)).value();
       if (drop.contains(UndirectedKey(ext_u, ext_v))) continue;
       DHTJOIN_RETURN_NOT_OK(builder.AddEdge(ext_u, ext_v, weights[i]));
     }
@@ -54,10 +54,12 @@ Result<EdgeRemovalResult> RemoveInterSetEdges(const Graph& g,
   // Collect inter-set undirected pairs once (scan the smaller side).
   std::vector<UndirectedPair> candidates;
   std::unordered_set<uint64_t> seen;
-  for (NodeId p : P) {
-    for (const OutEdge& e : g.OutEdges(g.ToInternal(p))) {
-      const NodeId v = g.ToExternal(e.to);
-      if (!Q.Contains(v) || v == p) continue;
+  for (ExtNodeId ep : P) {
+    const NodeId p = ep.value();
+    for (const OutEdge& e : g.OutEdges(g.ToInternal(ep))) {
+      const ExtNodeId ev = g.ToExternal(IntNodeId(e.to));
+      const NodeId v = ev.value();
+      if (!Q.Contains(ev) || v == p) continue;
       if (seen.insert(UndirectedKey(p, v)).second) {
         candidates.emplace_back(std::min(p, v), std::max(p, v));
       }
@@ -85,25 +87,27 @@ Result<EdgeRemovalResult> RemoveInterSetEdges(const Graph& g,
 std::vector<Triangle> FindTriangles(const Graph& g, const NodeSet& P,
                                     const NodeSet& Q, const NodeSet& R) {
   std::vector<Triangle> out;
-  for (NodeId p : P) {
-    for (const OutEdge& pe : g.OutEdges(g.ToInternal(p))) {
-      NodeId q = g.ToExternal(pe.to);
-      if (q == p || !Q.Contains(q)) continue;
+  for (ExtNodeId ep : P) {
+    const NodeId p = ep.value();
+    for (const OutEdge& pe : g.OutEdges(g.ToInternal(ep))) {
+      const ExtNodeId eq = g.ToExternal(IntNodeId(pe.to));
+      const NodeId q = eq.value();
+      if (q == p || !Q.Contains(eq)) continue;
       // Intersect out-neighbourhoods of p and q, restricted to R.
       // Rows are sorted by CANONICAL (external) id, so the merge
       // compares external ids — correct in every layout.
-      auto prow = g.OutEdges(g.ToInternal(p));
-      auto qrow = g.OutEdges(g.ToInternal(q));
+      auto prow = g.OutEdges(g.ToInternal(ep));
+      auto qrow = g.OutEdges(g.ToInternal(eq));
       std::size_t i = 0, j = 0;
       while (i < prow.size() && j < qrow.size()) {
-        const NodeId pi = g.ToExternal(prow[i].to);
-        const NodeId qj = g.ToExternal(qrow[j].to);
+        const NodeId pi = g.ToExternal(IntNodeId(prow[i].to)).value();
+        const NodeId qj = g.ToExternal(IntNodeId(qrow[j].to)).value();
         if (pi < qj) {
           ++i;
         } else if (pi > qj) {
           ++j;
         } else {
-          if (pi != p && pi != q && R.Contains(pi)) {
+          if (pi != p && pi != q && R.Contains(ExtNodeId(pi))) {
             out.push_back(Triangle{p, q, pi});
           }
           ++i;

@@ -36,7 +36,7 @@ Result<YeastLikeDataset> GenerateYeastLike(const YeastLikeConfig& config) {
   // Partitions come out of the generator largest-first; relabel with the
   // type codes.
   for (std::size_t i = 0; i < base.partitions.size(); ++i) {
-    std::vector<NodeId> members(base.partitions[i].begin(),
+    std::vector<ExtNodeId> members(base.partitions[i].begin(),
                                 base.partitions[i].end());
     out.partitions.emplace_back(kTypeCodes[i], std::move(members));
   }

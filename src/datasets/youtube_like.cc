@@ -51,7 +51,7 @@ Result<YouTubeLikeDataset> GenerateYouTubeLike(
     for (int tries = 0; tries < 50; ++tries) {
       seed = static_cast<NodeId>(
           rng.Below(static_cast<uint64_t>(out.graph.num_nodes())));
-      if (out.graph.Degree(seed) >= 4) break;
+      if (out.graph.Degree(IntNodeId(seed)) >= 4) break;
     }
     members.insert(seed);
     member_list.push_back(seed);
@@ -65,7 +65,7 @@ Result<YouTubeLikeDataset> GenerateYouTubeLike(
       NodeId u;
       if (rng.Chance(0.92)) {
         NodeId from = member_list[rng.Below(member_list.size())];
-        auto row = out.graph.OutEdges(from);
+        auto row = out.graph.OutEdges(IntNodeId(from));
         if (row.empty()) continue;
         u = row[rng.Below(row.size())].to;
       } else {

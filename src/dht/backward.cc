@@ -9,7 +9,7 @@ BackwardWalker::BackwardWalker(const Graph& g, PropagationMode mode,
               soa_gather),
       score_delta_(static_cast<std::size_t>(g.num_nodes()), 0.0) {}
 
-void BackwardWalker::Reset(const DhtParams& params, NodeId q) {
+void BackwardWalker::Reset(const DhtParams& params, ExtNodeId q) {
   DHTJOIN_CHECK(g_.ContainsNode(q));
   params_ = params;
   target_ = q;
@@ -35,7 +35,7 @@ void BackwardWalker::Save(BackwardWalkerState* out) const {
 
 void BackwardWalker::Restore(const DhtParams& params,
                              const BackwardWalkerState& state) {
-  DHTJOIN_CHECK(state.target != kInvalidNode);
+  DHTJOIN_CHECK(state.target.valid());
   params_ = params;
   target_ = state.target;
   target_internal_ = g_.ToInternal(state.target);
@@ -51,7 +51,7 @@ void BackwardWalker::Restore(const DhtParams& params,
 }
 
 void BackwardWalker::Advance(int steps) {
-  DHTJOIN_CHECK(target_ != kInvalidNode);
+  DHTJOIN_CHECK(target_.valid());
   for (int s = 0; s < steps; ++s) {
     engine_.Step();
     ++level_;

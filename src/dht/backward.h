@@ -37,7 +37,7 @@ namespace dhtjoin {
 /// Snapshot of one in-flight backward walk (target, depth, propagation
 /// mass, score deltas). O(touched) memory, not O(n).
 struct BackwardWalkerState {
-  NodeId target = kInvalidNode;
+  ExtNodeId target;  ///< external id; invalid when the state is empty
   int level = 0;
   double lambda_pow = 1.0;
   PropagatorState engine;
@@ -63,17 +63,18 @@ class BackwardSnapshotProvider {
   virtual ~BackwardSnapshotProvider() = default;
 
   /// Deepest saved walk of `target`, or nullptr.
-  virtual std::shared_ptr<const BackwardWalkerState> Fetch(NodeId target) = 0;
+  virtual std::shared_ptr<const BackwardWalkerState> Fetch(
+      ExtNodeId target) = 0;
 
   /// Offers the walk of `target` for future queries.
-  virtual void Store(NodeId target, BackwardWalkerState state) = 0;
+  virtual void Store(ExtNodeId target, BackwardWalkerState state) = 0;
 
   /// Cheap pre-check: would a Store of `target` at `level` possibly be
   /// kept? False lets callers skip the snapshot copy entirely (the
   /// common warm case: the cache already holds an equal-or-deeper
   /// walk). Advisory only — Store remains the authoritative,
   /// race-safe arbiter.
-  virtual bool WantsLevel(NodeId target, int level) {
+  virtual bool WantsLevel(ExtNodeId target, int level) {
     (void)target;
     (void)level;
     return true;
@@ -100,7 +101,7 @@ class BackwardWalker {
                           bool soa_gather = true);
 
   /// Starts a new backward walk absorbed at `q`.
-  void Reset(const DhtParams& params, NodeId q);
+  void Reset(const DhtParams& params, ExtNodeId q);
 
   /// Advances the walk by `steps` more steps.
   void Advance(int steps);
@@ -116,14 +117,14 @@ class BackwardWalker {
   /// Current depth l.
   int level() const { return level_; }
 
-  NodeId target() const { return target_; }
+  ExtNodeId target() const { return target_; }
 
   /// h_l(u, q) at the current depth; equals params.beta when u cannot
   /// reach q within l steps. Score(q) itself is meaningless (self pair)
   /// and must not be consumed by joins.
-  double Score(NodeId u) const {
+  double Score(ExtNodeId u) const {
     return params_.beta +
-           score_delta_[static_cast<std::size_t>(g_.ToInternal(u))];
+           score_delta_[static_cast<std::size_t>(g_.ToInternal(u).value())];
   }
 
   /// Edges relaxed by this walker since construction (across Resets).
@@ -133,8 +134,8 @@ class BackwardWalker {
   const Graph& g_;
   Propagator engine_;
   DhtParams params_;
-  NodeId target_ = kInvalidNode;           // external id
-  NodeId target_internal_ = kInvalidNode;  // layout id, for absorption
+  ExtNodeId target_;
+  IntNodeId target_internal_;  // layout id, for absorption
   int level_ = 0;
   double lambda_pow_ = 1.0;  // lambda^level
   // score_delta_[u] = h_l(u, q) - beta for INTERNAL u; exactly 0.0

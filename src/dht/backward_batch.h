@@ -206,9 +206,9 @@ class BackwardBatchStates : public batch_core::BatchStateBudget {
 /// that share one states object — groups are advanced concurrently.
 struct BackwardAdvanceGroup {
   int to_level = 0;
-  std::span<const NodeId> targets;        // external ids
+  std::span<const ExtNodeId> targets;
   std::span<const std::size_t> slots;     // parallel to targets
-  std::span<const NodeId> sources;        // external ids
+  std::span<const ExtNodeId> sources;
   BackwardBatchStates* states = nullptr;
   /// Off for a FINAL advance whose states would never be read again —
   /// spares the snapshot copies.
@@ -272,12 +272,12 @@ class BackwardWalkerBatchT {
   /// to MaxTargetsPerRun() per call or the allocation alone defeats the
   /// engine (50k x 50k doubles is 20 GB).
   std::vector<double> Run(const DhtParams& params, int d,
-                          std::span<const NodeId> targets,
-                          std::span<const NodeId> sources) {
+                          std::span<const ExtNodeId> targets,
+                          std::span<const ExtNodeId> sources) {
     DHTJOIN_CHECK(params.Validate().ok());
     DHTJOIN_CHECK_GE(d, 1);
-    for (NodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
-    for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
+    for (ExtNodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
+    for (ExtNodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
 
     // External -> layout ids, once per call; all block work is internal.
     std::vector<NodeId> target_storage, source_storage;
@@ -324,8 +324,8 @@ class BackwardWalkerBatchT {
   /// exercise the multi-chunk path at toy sizes.
   template <typename Consume>
   void RunChunked(const DhtParams& params, int d,
-                  std::span<const NodeId> targets,
-                  std::span<const NodeId> sources, Consume&& consume,
+                  std::span<const ExtNodeId> targets,
+                  std::span<const ExtNodeId> sources, Consume&& consume,
                   std::size_t max_targets_per_run = 0) {
     const std::size_t chunk = max_targets_per_run > 0
                                   ? max_targets_per_run
@@ -352,9 +352,9 @@ class BackwardWalkerBatchT {
   /// evicted). A thin wrapper over AdvanceMany (one group per chunk).
   template <typename Consume>
   int64_t AdvanceChunked(const DhtParams& params, int to_level,
-                         std::span<const NodeId> targets,
+                         std::span<const ExtNodeId> targets,
                          std::span<const std::size_t> slots,
-                         std::span<const NodeId> sources,
+                         std::span<const ExtNodeId> sources,
                          BackwardBatchStates& states, Consume&& consume,
                          bool save_states = true,
                          std::size_t max_targets_per_run = 0,
@@ -421,8 +421,8 @@ class BackwardWalkerBatchT {
       DHTJOIN_CHECK(grp.states != nullptr);
       DHTJOIN_CHECK(grp.out != nullptr || grp.targets.empty());
       DHTJOIN_CHECK_EQ(grp.targets.size(), grp.slots.size());
-      for (NodeId q : grp.targets) DHTJOIN_CHECK(g_.ContainsNode(q));
-      for (NodeId p : grp.sources) DHTJOIN_CHECK(g_.ContainsNode(p));
+      for (ExtNodeId q : grp.targets) DHTJOIN_CHECK(g_.ContainsNode(q));
+      for (ExtNodeId p : grp.sources) DHTJOIN_CHECK(g_.ContainsNode(p));
       ctx[gi].itargets = g_.MapToInternal(grp.targets, ctx[gi].target_storage);
       ctx[gi].isources = g_.MapToInternal(grp.sources, ctx[gi].source_storage);
 

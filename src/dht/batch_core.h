@@ -35,6 +35,11 @@
 /// orders, tie-breaks — are byte-identical by construction (DESIGN.md
 /// §8; gated in bench_scheduler and the parity tests).
 
+// dhtlint: allow-file(raw-id-param): below the remap boundary — every
+// id in the batch kernels is internal-space by construction
+// (graph/node_id.h layering note); the typed boundary is the batch
+// engines' public Run/Advance surfaces.
+
 #ifndef DHTJOIN_DHT_BATCH_CORE_H_
 #define DHTJOIN_DHT_BATCH_CORE_H_
 
@@ -284,10 +289,10 @@ class BatchStateBudget {
 struct BackwardStepPolicy {
   static constexpr bool kDenseIsGather = true;
   static int64_t FrontierDegree(const Graph& g, NodeId v) {
-    return g.InDegree(v);
+    return g.InDegree(IntNodeId(v));
   }
   static std::span<const InEdge> PushEdges(const Graph& g, NodeId v) {
-    return g.InEdges(v);
+    return g.InEdges(IntNodeId(v));
   }
   static NodeId EdgeDest(const InEdge& e) { return e.from; }
 };
@@ -299,10 +304,10 @@ struct BackwardStepPolicy {
 struct ForwardStepPolicy {
   static constexpr bool kDenseIsGather = false;
   static int64_t FrontierDegree(const Graph& g, NodeId v) {
-    return g.OutDegree(v);
+    return g.OutDegree(IntNodeId(v));
   }
   static std::span<const OutEdge> PushEdges(const Graph& g, NodeId v) {
-    return g.OutEdges(v);
+    return g.OutEdges(IntNodeId(v));
   }
   static NodeId EdgeDest(const OutEdge& e) { return e.to; }
 };
@@ -383,14 +388,14 @@ void StepLanes(const Graph& g, PropagationMode mode, bool soa_gather,
     st.plan.ForEachRow(g.num_nodes(), [&](NodeId u) {
       double acc[W] = {0.0};
       if (soa_gather) {
-        std::span<const NodeId> to = g.OutTargets(u);
-        std::span<const double> prob = g.OutProbs(u);
+        std::span<const NodeId> to = g.OutTargets(IntNodeId(u));
+        std::span<const double> prob = g.OutProbs(IntNodeId(u));
         for (std::size_t e = 0; e < to.size(); ++e) {
           const double* src = &st.mass[static_cast<std::size_t>(to[e]) * W];
           for (int b = 0; b < W; ++b) acc[b] += prob[e] * src[b];
         }
       } else {
-        for (const OutEdge& e : g.OutEdges(u)) {
+        for (const OutEdge& e : g.OutEdges(IntNodeId(u))) {
           const double* src = &st.mass[static_cast<std::size_t>(e.to) * W];
           for (int b = 0; b < W; ++b) acc[b] += e.prob * src[b];
         }

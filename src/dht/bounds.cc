@@ -24,7 +24,7 @@ YBoundTable::YBoundTable(const Graph& g, const DhtParams& params, int d,
   // probe ids once (identity on a never-reordered graph).
   Propagator sweep(g, Propagator::Direction::kForward);
   std::vector<NodeId> seed_storage, probe_storage;
-  sweep.Reset(g.MapToInternal(P.nodes(), seed_storage));
+  sweep.Reset(AsIntIds(g.MapToInternal(P.nodes(), seed_storage)));
   std::span<const NodeId> probes = g.MapToInternal(Q.nodes(), probe_storage);
 
   // s[qi][i-1] = S_i(P, q) for i = 1..d.
@@ -38,7 +38,8 @@ YBoundTable::YBoundTable(const Graph& g, const DhtParams& params, int d,
     }
     sweep.Step();
     for (std::size_t qi = 0; qi < Q.size(); ++qi) {
-      s[qi][static_cast<std::size_t>(i) - 1] = sweep.Mass(probes[qi]);
+      s[qi][static_cast<std::size_t>(i) - 1] =
+          sweep.Mass(IntNodeId(probes[qi]));
     }
   }
   edges_relaxed_ = sweep.edges_relaxed();

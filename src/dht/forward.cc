@@ -7,10 +7,10 @@ ForwardWalker::ForwardWalker(const Graph& g, PropagationMode mode,
     : g_(g),
       engine_(g, Propagator::Direction::kForward, mode, restrict_dense) {}
 
-void ForwardWalker::Reset(const DhtParams& params, NodeId u, NodeId v) {
+void ForwardWalker::Reset(const DhtParams& params, ExtNodeId u, ExtNodeId v) {
   DHTJOIN_CHECK(g_.ContainsNode(u));
   DHTJOIN_CHECK(g_.ContainsNode(v));
-  DHTJOIN_CHECK_NE(u, v);
+  DHTJOIN_CHECK(u != v);
   params_ = params;
   source_ = u;
   target_ = v;
@@ -34,7 +34,7 @@ void ForwardWalker::Save(ForwardWalkerState* out) const {
 
 void ForwardWalker::Restore(const DhtParams& params,
                             const ForwardWalkerState& state) {
-  DHTJOIN_CHECK(state.target != kInvalidNode);
+  DHTJOIN_CHECK(state.target.valid());
   params_ = params;
   source_ = state.source;
   target_ = state.target;
@@ -47,7 +47,7 @@ void ForwardWalker::Restore(const DhtParams& params,
 }
 
 void ForwardWalker::Advance(int steps) {
-  DHTJOIN_CHECK(target_ != kInvalidNode);
+  DHTJOIN_CHECK(target_.valid());
   for (int s = 0; s < steps; ++s) {
     engine_.Step();
     ++level_;
@@ -67,8 +67,8 @@ double ForwardWalker::HitProbability(int i) const {
   return hit_probs_[static_cast<std::size_t>(i) - 1];
 }
 
-double ForwardWalker::Compute(const DhtParams& params, int d, NodeId u,
-                              NodeId v) {
+double ForwardWalker::Compute(const DhtParams& params, int d, ExtNodeId u,
+                              ExtNodeId v) {
   Reset(params, u, v);
   Advance(d);
   return Score();

@@ -33,8 +33,8 @@ namespace dhtjoin {
 
 /// Snapshot of one in-flight forward walk. O(support) memory.
 struct ForwardWalkerState {
-  NodeId source = kInvalidNode;
-  NodeId target = kInvalidNode;
+  ExtNodeId source;  ///< external id; invalid when the state is empty
+  ExtNodeId target;
   int level = 0;
   double score = 0.0;
   double lambda_pow = 1.0;
@@ -64,7 +64,7 @@ class ForwardWalker {
                          bool restrict_dense = true);
 
   /// Starts a new walk from `u` absorbed at `v`. `u != v` required.
-  void Reset(const DhtParams& params, NodeId u, NodeId v);
+  void Reset(const DhtParams& params, ExtNodeId u, ExtNodeId v);
 
   /// Advances the walk by `steps` more steps.
   void Advance(int steps);
@@ -86,7 +86,7 @@ class ForwardWalker {
   double HitProbability(int i) const;
 
   /// Convenience: full truncated score h_d(u, v) in one call.
-  double Compute(const DhtParams& params, int d, NodeId u, NodeId v);
+  double Compute(const DhtParams& params, int d, ExtNodeId u, ExtNodeId v);
 
   /// Edges relaxed by this walker since construction (across Resets).
   int64_t edges_relaxed() const { return engine_.edges_relaxed(); }
@@ -95,9 +95,9 @@ class ForwardWalker {
   const Graph& g_;
   Propagator engine_;
   DhtParams params_;
-  NodeId source_ = kInvalidNode;           // external id
-  NodeId target_ = kInvalidNode;           // external id
-  NodeId target_internal_ = kInvalidNode;  // layout id, for absorption
+  ExtNodeId source_;
+  ExtNodeId target_;
+  IntNodeId target_internal_;  // layout id, for absorption
   int level_ = 0;
   double score_ = 0.0;
   double lambda_pow_ = 1.0;        // lambda^level

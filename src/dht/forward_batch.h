@@ -159,8 +159,8 @@ class ForwardBatchStates : public batch_core::BatchStateBudget {
 /// out[i]. Slot ids must be distinct across the plans of one call —
 /// plans are advanced concurrently.
 struct ForwardTargetPlan {
-  NodeId target = kInvalidNode;           // external id
-  std::span<const NodeId> sources;        // external ids
+  ExtNodeId target;
+  std::span<const ExtNodeId> sources;
   std::span<const std::size_t> slots;     // parallel to sources
   double* out = nullptr;                  // |sources| scores
 };
@@ -209,12 +209,12 @@ class ForwardWalkerBatchT {
   /// The matrix is dense: slice huge source sets to MaxSourcesPerRun()
   /// per call (RunChunked does this for you).
   std::vector<double> Run(const DhtParams& params, int d,
-                          std::span<const NodeId> sources,
-                          std::span<const NodeId> targets) {
+                          std::span<const ExtNodeId> sources,
+                          std::span<const ExtNodeId> targets) {
     DHTJOIN_CHECK(params.Validate().ok());
     DHTJOIN_CHECK_GE(d, 1);
-    for (NodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
-    for (NodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
+    for (ExtNodeId p : sources) DHTJOIN_CHECK(g_.ContainsNode(p));
+    for (ExtNodeId q : targets) DHTJOIN_CHECK(g_.ContainsNode(q));
 
     std::vector<NodeId> source_storage, target_storage;
     std::span<const NodeId> isources =
@@ -256,8 +256,8 @@ class ForwardWalkerBatchT {
   /// MaxSourcesPerRun); tests use it to exercise the multi-chunk path.
   template <typename Consume>
   void RunChunked(const DhtParams& params, int d,
-                  std::span<const NodeId> sources,
-                  std::span<const NodeId> targets, Consume&& consume,
+                  std::span<const ExtNodeId> sources,
+                  std::span<const ExtNodeId> targets, Consume&& consume,
                   std::size_t max_sources_per_run = 0) {
     const std::size_t chunk = max_sources_per_run > 0
                                   ? max_sources_per_run
@@ -284,8 +284,8 @@ class ForwardWalkerBatchT {
   /// call AdvanceMany directly and pay one barrier, not |targets|.
   template <typename Consume>
   int64_t AdvancePairs(const DhtParams& params, int to_level,
-                       std::span<const NodeId> sources,
-                       std::span<const std::size_t> slots, NodeId target,
+                       std::span<const ExtNodeId> sources,
+                       std::span<const std::size_t> slots, ExtNodeId target,
                        ForwardBatchStates& states, Consume&& consume,
                        bool save_states = true) {
     DHTJOIN_CHECK_EQ(sources.size(), slots.size());
@@ -338,7 +338,7 @@ class ForwardWalkerBatchT {
     struct PlanCtx {
       std::vector<NodeId> source_storage;
       std::span<const NodeId> isources;
-      NodeId itarget = kInvalidNode;
+      NodeId itarget = kInvalidNode;  // raw internal id
     };
     struct Item {
       std::size_t plan;
@@ -361,11 +361,11 @@ class ForwardWalkerBatchT {
           plan.sources.size() == plans[pi - 1].sources.size()) {
         ctx[pi].isources = ctx[pi - 1].isources;
       } else {
-        for (NodeId p : plan.sources) DHTJOIN_CHECK(g_.ContainsNode(p));
+        for (ExtNodeId p : plan.sources) DHTJOIN_CHECK(g_.ContainsNode(p));
         ctx[pi].isources =
             g_.MapToInternal(plan.sources, ctx[pi].source_storage);
       }
-      ctx[pi].itarget = g_.ToInternal(plan.target);
+      ctx[pi].itarget = g_.ToInternal(plan.target).value();
 
       for (std::size_t i = 0; i < plan.sources.size(); ++i) {
         const ForwardBatchStates::Slot* slot = states.FindSlot(plan.slots[i]);
@@ -488,6 +488,8 @@ class ForwardWalkerBatchT {
 
   /// Walks one block of `width` sources to depth d with absorption at
   /// `target`, adding score contributions into out[(first + b)].
+  // dhtlint: allow(raw-id-param): block kernel below the remap —
+  // sources/target were translated to internal ids by the caller
   void RunBlock(Workspace& st, const DhtParams& params, int d,
                 std::span<const NodeId> sources, std::size_t first_source,
                 int width, NodeId target, std::size_t target_index,

@@ -18,21 +18,23 @@ void Propagator::RebuildPlan(std::span<const NodeId> seeds) {
   plan_ = restrict_dense_ ? g_.PlanDenseSweep(seeds) : g_.FullSweepPlan();
 }
 
-void Propagator::Reset(NodeId seed) {
+void Propagator::Reset(IntNodeId seed) {
   DHTJOIN_CHECK(g_.ContainsNode(seed));
   for (NodeId u : support_) mass_[static_cast<std::size_t>(u)] = 0.0;
   support_.clear();
-  support_.push_back(seed);
-  mass_[static_cast<std::size_t>(seed)] = 1.0;
+  const NodeId raw = seed.value();
+  support_.push_back(raw);
+  mass_[static_cast<std::size_t>(raw)] = 1.0;
   support_canonical_ = true;
-  RebuildPlan({&seed, 1});
+  RebuildPlan({&raw, 1});
 }
 
-void Propagator::Reset(std::span<const NodeId> seeds) {
+void Propagator::Reset(std::span<const IntNodeId> seeds) {
   for (NodeId u : support_) mass_[static_cast<std::size_t>(u)] = 0.0;
   support_.clear();
-  for (NodeId seed : seeds) {
-    DHTJOIN_CHECK(g_.ContainsNode(seed));
+  for (IntNodeId typed_seed : seeds) {
+    DHTJOIN_CHECK(g_.ContainsNode(typed_seed));
+    const NodeId seed = typed_seed.value();
     double& slot = mass_[static_cast<std::size_t>(seed)];
     if (slot == 0.0) support_.push_back(seed);
     slot = 1.0;
@@ -55,7 +57,7 @@ void Propagator::RestoreState(const PropagatorState& state) {
   for (NodeId u : support_) mass_[static_cast<std::size_t>(u)] = 0.0;
   support_.clear();
   for (const auto& [u, m] : state.mass) {
-    DHTJOIN_DCHECK(g_.ContainsNode(u));
+    DHTJOIN_DCHECK(g_.ContainsNode(IntNodeId(u)));
     support_.push_back(u);
     mass_[static_cast<std::size_t>(u)] = m;
   }
@@ -75,8 +77,9 @@ bool Propagator::ChooseDense() const {
   int64_t frontier_edges = 0;
   for (NodeId u : support_) {
     if (mass_[static_cast<std::size_t>(u)] == 0.0) continue;
-    frontier_edges += dir_ == Direction::kForward ? g_.OutDegree(u)
-                                                  : g_.InDegree(u);
+    frontier_edges += dir_ == Direction::kForward
+                          ? g_.OutDegree(IntNodeId(u))
+                          : g_.InDegree(IntNodeId(u));
   }
   return FrontierPrefersDense(support_.size(), frontier_edges, plan_.cost);
 }
@@ -120,8 +123,8 @@ void Propagator::StepForward(bool bill_dense) {
     double m = mass_[static_cast<std::size_t>(u)];
     mass_[static_cast<std::size_t>(u)] = 0.0;
     if (m == 0.0) continue;
-    relaxed += g_.OutDegree(u);
-    for (const OutEdge& e : g_.OutEdges(u)) {
+    relaxed += g_.OutDegree(IntNodeId(u));
+    for (const OutEdge& e : g_.OutEdges(IntNodeId(u))) {
       double add = m * e.prob;
       // Underflow guard: a zero contribution must not register the
       // node in the support (the first-touch test below relies on
@@ -141,14 +144,14 @@ void Propagator::StepSparseBackward() {
     double m = mass_[static_cast<std::size_t>(u)];
     mass_[static_cast<std::size_t>(u)] = 0.0;
     if (m == 0.0) continue;
-    for (const InEdge& e : g_.InEdges(u)) {
+    for (const InEdge& e : g_.InEdges(IntNodeId(u))) {
       double add = m * e.prob;
       if (add == 0.0) continue;
       double& slot = next_[static_cast<std::size_t>(e.from)];
       if (slot == 0.0) next_support_.push_back(e.from);
       slot += add;
     }
-    edges_relaxed_ += g_.InDegree(u);
+    edges_relaxed_ += g_.InDegree(IntNodeId(u));
   }
 }
 
@@ -170,8 +173,8 @@ void Propagator::StepDenseBackward() {
   next_support_.clear();
   if (soa_gather_) {
     plan_.ForEachRow(g_.num_nodes(), [&](NodeId u) {
-      std::span<const NodeId> to = g_.OutTargets(u);
-      std::span<const double> prob = g_.OutProbs(u);
+      std::span<const NodeId> to = g_.OutTargets(IntNodeId(u));
+      std::span<const double> prob = g_.OutProbs(IntNodeId(u));
       double acc = 0.0;
       for (std::size_t e = 0; e < to.size(); ++e) {
         acc += prob[e] * mass_[static_cast<std::size_t>(to[e])];
@@ -184,7 +187,7 @@ void Propagator::StepDenseBackward() {
   } else {
     plan_.ForEachRow(g_.num_nodes(), [&](NodeId u) {
       double acc = 0.0;
-      for (const OutEdge& e : g_.OutEdges(u)) {
+      for (const OutEdge& e : g_.OutEdges(IntNodeId(u))) {
         acc += e.prob * mass_[static_cast<std::size_t>(e.to)];
       }
       if (acc != 0.0) {

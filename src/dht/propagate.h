@@ -137,28 +137,34 @@ class Propagator {
              bool restrict_dense = true, bool soa_gather = true);
 
   /// Drops all mass and places 1.0 at `seed`. O(|support|), not O(n).
-  void Reset(NodeId seed);
+  void Reset(IntNodeId seed);
 
   /// Drops all mass and places 1.0 at every seed (the YBoundTable sweep
   /// starts from all of P at once). Seeds are deduplicated; a duplicate
-  /// seed still carries mass 1.0, not 2.0.
-  void Reset(std::span<const NodeId> seeds);
+  /// seed still carries mass 1.0, not 2.0. Callers holding the raw
+  /// output of Graph::MapToInternal view it via AsIntIds (zero copy).
+  void Reset(std::span<const IntNodeId> seeds);
 
   /// Advances one transition step.
   void Step();
 
   /// Current mass at `u`; exact 0.0 for nodes outside the support.
-  double Mass(NodeId u) const { return mass_[static_cast<std::size_t>(u)]; }
+  double Mass(IntNodeId u) const {
+    return mass_[static_cast<std::size_t>(u.value())];
+  }
 
   /// Zeroes the mass at `u` (absorption). The node may linger in the
   /// support list with zero mass; iteration skips it.
-  void ClearMass(NodeId u) { mass_[static_cast<std::size_t>(u)] = 0.0; }
+  void ClearMass(IntNodeId u) {
+    mass_[static_cast<std::size_t>(u.value())] = 0.0;
+  }
 
-  /// Invokes fn(node, mass) for every node with nonzero mass. The
-  /// iteration order is deterministic for a given walk but NOT
-  /// guaranteed sorted (the canonical support sort is deferred until a
-  /// step actually consumes the order); callers must be
-  /// order-insensitive, which every per-node accumulation is.
+  /// Invokes fn(node, mass) for every node with nonzero mass; `node` is
+  /// a RAW internal id (callers index internal-space arrays with it on
+  /// every invocation). The iteration order is deterministic for a
+  /// given walk but NOT guaranteed sorted (the canonical support sort
+  /// is deferred until a step actually consumes the order); callers
+  /// must be order-insensitive, which every per-node accumulation is.
   template <typename Fn>
   void ForEachMass(Fn&& fn) const {
     for (NodeId u : support_) {

@@ -27,8 +27,9 @@ Result<RocResult> EvaluateCliquePrediction(
 
   // Tuples carry external ids; HasEdge is layout-addressed.
   auto is_clique = [](const Graph& g, NodeId x, NodeId y, NodeId z) {
-    const NodeId ix = g.ToInternal(x), iy = g.ToInternal(y),
-                 iz = g.ToInternal(z);
+    const IntNodeId ix = g.ToInternal(ExtNodeId(x));
+    const IntNodeId iy = g.ToInternal(ExtNodeId(y));
+    const IntNodeId iz = g.ToInternal(ExtNodeId(z));
     return g.HasEdge(ix, iy) && g.HasEdge(iy, iz) && g.HasEdge(ix, iz);
   };
 

@@ -20,9 +20,9 @@ Result<RocResult> EvaluateLinkPrediction(const Graph& true_graph,
   batch.RunChunked(
       params, d, Q.nodes(), P.nodes(),
       [&](std::size_t qi, const double* row) {
-        NodeId q = Q[qi];
+        ExtNodeId q = Q[qi];
         for (std::size_t pi = 0; pi < P.size(); ++pi) {
-          NodeId p = P[pi];
+          ExtNodeId p = P[pi];
           if (p == q) continue;
           // HasEdge is layout-addressed; p/q are external ids.
           if (test_graph.HasEdge(test_graph.ToInternal(p),

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <unordered_set>
 
 #include "util/hash.h"
 
@@ -29,8 +28,8 @@ ComponentInfo ConnectedComponents(const Graph& g) {
           frontier.push_back(v);
         }
       };
-      for (const OutEdge& e : g.OutEdges(u)) visit(e.to);
-      for (const InEdge& e : g.InEdges(u)) visit(e.from);
+      for (const OutEdge& e : g.OutEdges(IntNodeId(u))) visit(e.to);
+      for (const InEdge& e : g.InEdges(IntNodeId(u))) visit(e.from);
     }
     sizes.push_back(size);
   }
@@ -43,13 +42,12 @@ double GlobalClusteringCoefficient(const Graph& g) {
   const auto n = static_cast<std::size_t>(g.num_nodes());
   std::vector<std::vector<NodeId>> nbrs(n);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    std::unordered_set<NodeId> set;
-    for (const OutEdge& e : g.OutEdges(u)) set.insert(e.to);
-    for (const InEdge& e : g.InEdges(u)) set.insert(e.from);
-    set.erase(u);
-    nbrs[static_cast<std::size_t>(u)].assign(set.begin(), set.end());
-    std::sort(nbrs[static_cast<std::size_t>(u)].begin(),
-              nbrs[static_cast<std::size_t>(u)].end());
+    std::vector<NodeId>& row = nbrs[static_cast<std::size_t>(u)];
+    for (const OutEdge& e : g.OutEdges(IntNodeId(u))) row.push_back(e.to);
+    for (const InEdge& e : g.InEdges(IntNodeId(u))) row.push_back(e.from);
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    row.erase(std::remove(row.begin(), row.end(), u), row.end());
   }
 
   int64_t wedges = 0;
@@ -77,8 +75,8 @@ DegreeStats ComputeDegreeStats(const Graph& g) {
   std::vector<int64_t> degrees(static_cast<std::size_t>(g.num_nodes()));
   int64_t total = 0;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    degrees[static_cast<std::size_t>(u)] = g.Degree(u);
-    total += g.Degree(u);
+    degrees[static_cast<std::size_t>(u)] = g.Degree(IntNodeId(u));
+    total += g.Degree(IntNodeId(u));
   }
   std::sort(degrees.begin(), degrees.end());
   auto percentile = [&](double p) {

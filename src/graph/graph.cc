@@ -10,28 +10,28 @@ namespace {
 /// target's CANONICAL id is that of internal node `v`.
 std::span<const OutEdge>::iterator FindEdge(const Graph& g,
                                             std::span<const OutEdge> row,
-                                            NodeId v) {
-  const NodeId key = g.ToExternal(v);
+                                            IntNodeId v) {
+  const ExtNodeId key = g.ToExternal(v);
   return std::lower_bound(row.begin(), row.end(), key,
-                          [&g](const OutEdge& e, NodeId target_key) {
-                            return g.ToExternal(e.to) < target_key;
+                          [&g](const OutEdge& e, ExtNodeId target_key) {
+                            return g.ToExternal(IntNodeId(e.to)) < target_key;
                           });
 }
 
 }  // namespace
 
-bool Graph::HasEdge(NodeId u, NodeId v) const {
+bool Graph::HasEdge(IntNodeId u, IntNodeId v) const {
   if (!ContainsNode(u) || !ContainsNode(v)) return false;
   auto row = OutEdges(u);
   auto it = FindEdge(*this, row, v);
-  return it != row.end() && it->to == v;
+  return it != row.end() && it->to == v.value();
 }
 
-double Graph::EdgeWeight(NodeId u, NodeId v) const {
+double Graph::EdgeWeight(IntNodeId u, IntNodeId v) const {
   if (!ContainsNode(u) || !ContainsNode(v)) return 0.0;
   auto row = OutEdges(u);
   auto it = FindEdge(*this, row, v);
-  if (it == row.end() || it->to != v) return 0.0;
+  if (it == row.end() || it->to != v.value()) return 0.0;
   return OutWeights(u)[static_cast<std::size_t>(it - row.begin())];
 }
 
@@ -57,8 +57,8 @@ const ReachIndex& Graph::Reachability() const {
             stack.push_back(v);
           }
         };
-        for (const OutEdge& e : OutEdges(u)) visit(e.to);
-        for (const InEdge& e : InEdges(u)) visit(e.from);
+        for (const OutEdge& e : OutEdges(IntNodeId(u))) visit(e.to);
+        for (const InEdge& e : InEdges(IntNodeId(u))) visit(e.from);
       }
     }
     // Group nodes by component via counting sort; ascending internal id
@@ -69,7 +69,7 @@ const ReachIndex& Graph::Reachability() const {
       const auto c = static_cast<std::size_t>(
           idx.comp_of[static_cast<std::size_t>(u)]);
       idx.comp_offsets[c + 1]++;
-      idx.comp_edges[c] += OutDegree(u);
+      idx.comp_edges[c] += OutDegree(IntNodeId(u));
     }
     for (int c = 0; c < num_comps; ++c) {
       idx.comp_offsets[static_cast<std::size_t>(c) + 1] +=
@@ -94,7 +94,7 @@ SweepPlan Graph::PlanDenseSweep(std::span<const NodeId> seeds) const {
   std::vector<int32_t> comps;
   comps.reserve(seeds.size());
   for (NodeId u : seeds) {
-    DHTJOIN_DCHECK(ContainsNode(u));
+    DHTJOIN_DCHECK(ContainsRaw(u));
     comps.push_back(idx.comp_of[static_cast<std::size_t>(u)]);
   }
   std::sort(comps.begin(), comps.end());

@@ -48,16 +48,11 @@
 #include <span>
 #include <vector>
 
+#include "graph/node_id.h"
 #include "util/check.h"
 #include "util/status.h"
 
 namespace dhtjoin {
-
-/// Dense node identifier in [0, Graph::num_nodes()).
-using NodeId = int32_t;
-
-/// Invalid/absent node marker.
-inline constexpr NodeId kInvalidNode = -1;
 
 /// One outgoing arc: target node and transition probability. Kept lean
 /// (16 bytes, like InEdge) because this array IS the inner loop of
@@ -118,6 +113,7 @@ struct SweepPlan {
   /// each range. Row order never affects values (per-row sums are
   /// independent); support lists are re-sorted canonically afterwards.
   template <typename Fn>
+  // dhtlint: allow(raw-id-param): row COUNT, not a node id
   void ForEachRow(NodeId num_nodes, Fn&& fn) const {
     if (full) {
       for (NodeId u = 0; u < num_nodes; ++u) fn(u);
@@ -144,18 +140,18 @@ class Graph {
 
   /// Outgoing arcs of internal node `u` (O_u) with transition
   /// probabilities, sorted by canonical target id.
-  std::span<const OutEdge> OutEdges(NodeId u) const {
-    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
-    return {out_edges_.data() + out_offsets_[u],
-            out_edges_.data() + out_offsets_[u + 1]};
+  std::span<const OutEdge> OutEdges(IntNodeId u) const {
+    DHTJOIN_DCHECK(ContainsRaw(u.value()));
+    return {out_edges_.data() + out_offsets_[u.value()],
+            out_edges_.data() + out_offsets_[u.value() + 1]};
   }
 
   /// Raw weights of `u`'s outgoing arcs, positionally aligned with
   /// OutEdges(u) (the cold half of the out-adjacency; see OutEdge).
-  std::span<const double> OutWeights(NodeId u) const {
-    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
-    return {out_weights_.data() + out_offsets_[u],
-            out_weights_.data() + out_offsets_[u + 1]};
+  std::span<const double> OutWeights(IntNodeId u) const {
+    DHTJOIN_DCHECK(ContainsRaw(u.value()));
+    return {out_weights_.data() + out_offsets_[u.value()],
+            out_weights_.data() + out_offsets_[u.value() + 1]};
   }
 
   /// SoA mirror of OutEdges(u): targets only, positionally aligned with
@@ -165,48 +161,53 @@ class Graph {
   /// ROADMAP item gated in bench_reorder. Sparse pushes keep the AoS
   /// OutEdges stream: their per-row access touches one row at a time,
   /// where a second array would only double the cache-line traffic.
-  std::span<const NodeId> OutTargets(NodeId u) const {
-    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
-    return {gather_to_.data() + out_offsets_[u],
-            gather_to_.data() + out_offsets_[u + 1]};
+  std::span<const NodeId> OutTargets(IntNodeId u) const {
+    DHTJOIN_DCHECK(ContainsRaw(u.value()));
+    return {gather_to_.data() + out_offsets_[u.value()],
+            gather_to_.data() + out_offsets_[u.value() + 1]};
   }
 
   /// SoA mirror of OutEdges(u): transition probabilities only.
-  std::span<const double> OutProbs(NodeId u) const {
-    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
-    return {gather_prob_.data() + out_offsets_[u],
-            gather_prob_.data() + out_offsets_[u + 1]};
+  std::span<const double> OutProbs(IntNodeId u) const {
+    DHTJOIN_DCHECK(ContainsRaw(u.value()));
+    return {gather_prob_.data() + out_offsets_[u.value()],
+            gather_prob_.data() + out_offsets_[u.value() + 1]};
   }
 
   /// Incoming arcs of internal node `u` (sources I_u with their
   /// transition probabilities p_{source,u}), sorted by canonical source.
-  std::span<const InEdge> InEdges(NodeId u) const {
-    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
-    return {in_edges_.data() + in_offsets_[u],
-            in_edges_.data() + in_offsets_[u + 1]};
+  std::span<const InEdge> InEdges(IntNodeId u) const {
+    DHTJOIN_DCHECK(ContainsRaw(u.value()));
+    return {in_edges_.data() + in_offsets_[u.value()],
+            in_edges_.data() + in_offsets_[u.value() + 1]};
   }
 
-  int64_t OutDegree(NodeId u) const {
-    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
-    return out_offsets_[u + 1] - out_offsets_[u];
+  int64_t OutDegree(IntNodeId u) const {
+    DHTJOIN_DCHECK(ContainsRaw(u.value()));
+    return out_offsets_[u.value() + 1] - out_offsets_[u.value()];
   }
 
-  int64_t InDegree(NodeId u) const {
-    DHTJOIN_DCHECK(u >= 0 && u < num_nodes());
-    return in_offsets_[u + 1] - in_offsets_[u];
+  int64_t InDegree(IntNodeId u) const {
+    DHTJOIN_DCHECK(ContainsRaw(u.value()));
+    return in_offsets_[u.value() + 1] - in_offsets_[u.value()];
   }
 
   /// Total degree (in + out); the generators use it for hub selection.
-  int64_t Degree(NodeId u) const { return OutDegree(u) + InDegree(u); }
+  int64_t Degree(IntNodeId u) const { return OutDegree(u) + InDegree(u); }
 
   /// True when (u, v) is an edge (internal ids). O(log OutDegree(u)) —
   /// out-edges are sorted by canonical target within each row.
-  bool HasEdge(NodeId u, NodeId v) const;
+  bool HasEdge(IntNodeId u, IntNodeId v) const;
 
   /// Weight of edge (u, v) (internal ids); 0 when absent.
-  double EdgeWeight(NodeId u, NodeId v) const;
+  double EdgeWeight(IntNodeId u, IntNodeId v) const;
 
-  bool ContainsNode(NodeId u) const { return u >= 0 && u < num_nodes(); }
+  /// Membership tests. Both spaces cover the same dense range
+  /// [0, num_nodes()), so each overload is the same range check — the
+  /// typed parameter documents (and enforces) which space the caller
+  /// holds.
+  bool ContainsNode(ExtNodeId u) const { return ContainsRaw(u.value()); }
+  bool ContainsNode(IntNodeId u) const { return ContainsRaw(u.value()); }
 
   // ------------------------------------------------------- layout/remap
 
@@ -214,18 +215,21 @@ class Graph {
   bool is_reordered() const { return !new_to_old_.empty(); }
 
   /// Internal (layout) id of external node `u`; identity when the graph
-  /// was never reordered.
-  NodeId ToInternal(NodeId u) const {
-    DHTJOIN_DCHECK(ContainsNode(u));
-    return old_to_new_.empty() ? u
-                               : old_to_new_[static_cast<std::size_t>(u)];
+  /// was never reordered. With ToExternal below, the ONLY sanctioned
+  /// crossing between the two id spaces (DESIGN.md §10).
+  IntNodeId ToInternal(ExtNodeId u) const {
+    DHTJOIN_DCHECK(ContainsRaw(u.value()));
+    return IntNodeId(old_to_new_.empty()
+                         ? u.value()
+                         : old_to_new_[static_cast<std::size_t>(u.value())]);
   }
 
   /// External (construction-time) id of internal node `u`.
-  NodeId ToExternal(NodeId u) const {
-    DHTJOIN_DCHECK(ContainsNode(u));
-    return new_to_old_.empty() ? u
-                               : new_to_old_[static_cast<std::size_t>(u)];
+  ExtNodeId ToExternal(IntNodeId u) const {
+    DHTJOIN_DCHECK(ContainsRaw(u.value()));
+    return ExtNodeId(new_to_old_.empty()
+                         ? u.value()
+                         : new_to_old_[static_cast<std::size_t>(u.value())]);
   }
 
   /// Sorts internal node ids by CANONICAL (external) id — the engine-
@@ -256,14 +260,17 @@ class Graph {
   std::span<const NodeId> old_to_new() const { return old_to_new_; }
 
   /// Bulk external -> internal translation for engine entry points:
-  /// returns `ids` unchanged on a never-reordered graph (zero copies),
-  /// else fills `storage` with the translated ids and returns it.
-  std::span<const NodeId> MapToInternal(std::span<const NodeId> ids,
+  /// returns the raw bits of `ids` unchanged on a never-reordered graph
+  /// (zero copies; the spaces coincide), else fills `storage` with the
+  /// translated ids and returns it. The result is RAW internal ids —
+  /// the engines index their mass vectors with them on every line, so
+  /// the typed wrapper stops at this boundary (graph/node_id.h).
+  std::span<const NodeId> MapToInternal(std::span<const ExtNodeId> ids,
                                         std::vector<NodeId>& storage) const {
-    if (old_to_new_.empty()) return ids;
+    if (old_to_new_.empty()) return RawIds(ids);
     storage.resize(ids.size());
     for (std::size_t i = 0; i < ids.size(); ++i) {
-      storage[i] = old_to_new_[static_cast<std::size_t>(ids[i])];
+      storage[i] = old_to_new_[static_cast<std::size_t>(ids[i].value())];
     }
     return storage;
   }
@@ -295,6 +302,12 @@ class Graph {
   friend Result<Graph> ApplyNodePermutation(const Graph& g,
                                             std::span<const NodeId>
                                                 new_to_old);
+
+  /// Space-agnostic range check backing both ContainsNode overloads and
+  /// the accessor DCHECKs (both spaces are dense in [0, num_nodes())).
+  // dhtlint: allow(raw-id-param): deliberately space-agnostic range
+  // check (both spaces are dense in [0, num_nodes()))
+  bool ContainsRaw(NodeId u) const { return u >= 0 && u < num_nodes(); }
 
   /// Lazily-built caches; allocated at Build()/reorder time so the
   /// once_flag exists before any thread can race on it. shared_ptr:

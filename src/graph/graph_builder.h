@@ -1,6 +1,10 @@
 /// \file graph/graph_builder.h
 /// \brief Mutable accumulator that produces an immutable Graph.
 
+// dhtlint: allow-file(raw-id-param): construction-time ingestion —
+// ids entering the builder are raw external by definition; no Graph
+// (and hence no remap or typed space) exists yet.
+
 #ifndef DHTJOIN_GRAPH_GRAPH_BUILDER_H_
 #define DHTJOIN_GRAPH_GRAPH_BUILDER_H_
 

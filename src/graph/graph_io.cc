@@ -27,10 +27,11 @@ Status SaveEdgeList(const Graph& g, const std::string& path) {
   // round-trips to the insertion-ordered graph it is a relabeling of,
   // so files mean the same nodes regardless of the writer's layout.
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    auto row = g.OutEdges(u);
-    auto weights = g.OutWeights(u);
+    auto row = g.OutEdges(IntNodeId(u));
+    auto weights = g.OutWeights(IntNodeId(u));
     for (std::size_t i = 0; i < row.size(); ++i) {
-      out << g.ToExternal(u) << ' ' << g.ToExternal(row[i].to) << ' '
+      out << g.ToExternal(IntNodeId(u)).value() << ' '
+          << g.ToExternal(IntNodeId(row[i].to)).value() << ' '
           << weights[i] << '\n';
     }
   }
@@ -104,7 +105,7 @@ Status SaveNodeSets(const std::vector<NodeSet>& sets,
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
   for (const NodeSet& s : sets) {
     out << s.name();
-    for (NodeId u : s) out << ' ' << u;
+    for (ExtNodeId u : s) out << ' ' << u.value();
     out << '\n';
   }
   out.flush();

@@ -5,12 +5,15 @@
 namespace dhtjoin {
 
 NodeSet::NodeSet(std::string name, std::vector<NodeId> nodes)
+    : NodeSet(std::move(name), WrapExtIds(nodes)) {}
+
+NodeSet::NodeSet(std::string name, std::vector<ExtNodeId> nodes)
     : name_(std::move(name)), nodes_(std::move(nodes)) {
   std::sort(nodes_.begin(), nodes_.end());
   nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
 }
 
-bool NodeSet::Contains(NodeId u) const {
+bool NodeSet::Contains(ExtNodeId u) const {
   return std::binary_search(nodes_.begin(), nodes_.end(), u);
 }
 
@@ -18,11 +21,11 @@ Status NodeSet::Validate(const Graph& g) const {
   if (nodes_.empty()) {
     return Status::InvalidArgument("node set '" + name_ + "' is empty");
   }
-  for (NodeId u : nodes_) {
+  for (ExtNodeId u : nodes_) {
     if (!g.ContainsNode(u)) {
       return Status::InvalidArgument("node set '" + name_ +
                                      "' references node " +
-                                     std::to_string(u) +
+                                     std::to_string(u.value()) +
                                      " absent from the graph");
     }
   }
@@ -30,10 +33,10 @@ Status NodeSet::Validate(const Graph& g) const {
 }
 
 NodeSet NodeSet::TopByDegree(const Graph& g, std::size_t count) const {
-  std::vector<NodeId> sorted = nodes_;
+  std::vector<ExtNodeId> sorted = nodes_;
   // Members are external ids; Degree is layout-addressed.
   std::stable_sort(sorted.begin(), sorted.end(),
-                   [&g](NodeId a, NodeId b) {
+                   [&g](ExtNodeId a, ExtNodeId b) {
                      return g.Degree(g.ToInternal(a)) >
                             g.Degree(g.ToInternal(b));
                    });

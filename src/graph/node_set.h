@@ -3,6 +3,12 @@
 ///
 /// The operands of every join in the paper are node sets R_i ⊆ V_G —
 /// e.g. "authors in the Database area" or "members of YouTube group 5".
+///
+/// Members are EXTERNAL node ids (graph/node_id.h): a node set means
+/// the same nodes in every physical layout of the graph, and the typed
+/// accessors make it a compile error to hand a member to an
+/// internal-space API without going through Graph::ToInternal /
+/// Graph::MapToInternal.
 
 #ifndef DHTJOIN_GRAPH_NODE_SET_H_
 #define DHTJOIN_GRAPH_NODE_SET_H_
@@ -15,23 +21,26 @@
 
 namespace dhtjoin {
 
-/// Sorted, deduplicated set of node ids with a display name.
+/// Sorted, deduplicated set of external node ids with a display name.
 class NodeSet {
  public:
   NodeSet() = default;
 
-  /// Sorts and dedups `nodes`.
+  /// Sorts and dedups `nodes`. The raw-id overload is the sanctioned
+  /// ingestion point for ids produced outside the typed world
+  /// (datasets, parsers, tests); the values are external ids.
   NodeSet(std::string name, std::vector<NodeId> nodes);
+  NodeSet(std::string name, std::vector<ExtNodeId> nodes);
 
   const std::string& name() const { return name_; }
-  const std::vector<NodeId>& nodes() const { return nodes_; }
+  const std::vector<ExtNodeId>& nodes() const { return nodes_; }
   std::size_t size() const { return nodes_.size(); }
   bool empty() const { return nodes_.empty(); }
 
   /// Membership test; O(log size).
-  bool Contains(NodeId u) const;
+  bool Contains(ExtNodeId u) const;
 
-  NodeId operator[](std::size_t i) const { return nodes_[i]; }
+  ExtNodeId operator[](std::size_t i) const { return nodes_[i]; }
   auto begin() const { return nodes_.begin(); }
   auto end() const { return nodes_.end(); }
 
@@ -44,7 +53,7 @@ class NodeSet {
 
  private:
   std::string name_;
-  std::vector<NodeId> nodes_;
+  std::vector<ExtNodeId> nodes_;
 };
 
 }  // namespace dhtjoin

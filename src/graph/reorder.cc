@@ -31,9 +31,9 @@ std::vector<NodeId> DegreeOrder(const Graph& g) {
   std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
-    const int64_t da = g.Degree(a), db = g.Degree(b);
+    const int64_t da = g.Degree(IntNodeId(a)), db = g.Degree(IntNodeId(b));
     if (da != db) return da > db;
-    return g.ToExternal(a) < g.ToExternal(b);
+    return g.ToExternal(IntNodeId(a)) < g.ToExternal(IntNodeId(b));
   });
   return order;
 }
@@ -49,9 +49,9 @@ std::vector<NodeId> RcmOrder(const Graph& g) {
   std::vector<NodeId> seeds(static_cast<std::size_t>(n));
   std::iota(seeds.begin(), seeds.end(), 0);
   std::sort(seeds.begin(), seeds.end(), [&g](NodeId a, NodeId b) {
-    const int64_t da = g.Degree(a), db = g.Degree(b);
+    const int64_t da = g.Degree(IntNodeId(a)), db = g.Degree(IntNodeId(b));
     if (da != db) return da < db;
-    return g.ToExternal(a) < g.ToExternal(b);
+    return g.ToExternal(IntNodeId(a)) < g.ToExternal(IntNodeId(b));
   });
 
   std::vector<NodeId> nbrs;
@@ -65,14 +65,14 @@ std::vector<NodeId> RcmOrder(const Graph& g) {
       // Symmetrized neighbourhood, deduped (rows are canonically
       // sorted, but out- and in-rows may share nodes).
       nbrs.clear();
-      for (const OutEdge& e : g.OutEdges(u)) nbrs.push_back(e.to);
-      for (const InEdge& e : g.InEdges(u)) nbrs.push_back(e.from);
+      for (const OutEdge& e : g.OutEdges(IntNodeId(u))) nbrs.push_back(e.to);
+      for (const InEdge& e : g.InEdges(IntNodeId(u))) nbrs.push_back(e.from);
       std::sort(nbrs.begin(), nbrs.end());
       nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
       std::sort(nbrs.begin(), nbrs.end(), [&g](NodeId a, NodeId b) {
-        const int64_t da = g.Degree(a), db = g.Degree(b);
+        const int64_t da = g.Degree(IntNodeId(a)), db = g.Degree(IntNodeId(b));
         if (da != db) return da < db;
-        return g.ToExternal(a) < g.ToExternal(b);
+        return g.ToExternal(IntNodeId(a)) < g.ToExternal(IntNodeId(b));
       });
       for (NodeId v : nbrs) {
         if (visited[static_cast<std::size_t>(v)]) continue;
@@ -111,7 +111,9 @@ Result<Graph> ApplyNodePermutation(const Graph& g,
   std::vector<NodeId> ext_of_new(static_cast<std::size_t>(n));
   bool identity = true;
   for (NodeId i = 0; i < n; ++i) {
-    const NodeId ext = g.ToExternal(new_to_old[static_cast<std::size_t>(i)]);
+    const NodeId ext =
+        g.ToExternal(IntNodeId(new_to_old[static_cast<std::size_t>(i)]))
+            .value();
     ext_of_new[static_cast<std::size_t>(i)] = ext;
     identity = identity && ext == i;
   }
@@ -144,8 +146,8 @@ Result<Graph> ApplyNodePermutation(const Graph& g,
   out.out_weights_.reserve(static_cast<std::size_t>(g.num_edges()));
   for (NodeId i = 0; i < n; ++i) {
     const NodeId src = new_to_old[static_cast<std::size_t>(i)];
-    auto row = g.OutEdges(src);
-    auto weights = g.OutWeights(src);
+    auto row = g.OutEdges(IntNodeId(src));
+    auto weights = g.OutWeights(IntNodeId(src));
     for (std::size_t e = 0; e < row.size(); ++e) {
       out.out_edges_.push_back(
           OutEdge{inv[static_cast<std::size_t>(row[e].to)], row[e].prob});
@@ -169,7 +171,7 @@ Result<Graph> ApplyNodePermutation(const Graph& g,
   std::vector<int64_t> cursor(out.in_offsets_.begin(),
                               out.in_offsets_.end() - 1);
   for (NodeId ext = 0; ext < n; ++ext) {
-    const NodeId u = out.ToInternal(ext);
+    const NodeId u = out.ToInternal(ExtNodeId(ext)).value();
     const auto begin = out.out_offsets_[static_cast<std::size_t>(u)];
     const auto end = out.out_offsets_[static_cast<std::size_t>(u) + 1];
     for (auto e = begin; e < end; ++e) {

@@ -29,13 +29,13 @@ Result<std::vector<ScoredPair>> BBjJoin::RunAllPairs(const Graph& g,
   std::vector<ScoredPair> out;
   batch.RunChunked(params, d, Q.nodes(), P.nodes(),
                    [&](std::size_t qi, const double* row) {
-                     NodeId q = Q[qi];
+                     ExtNodeId q = Q[qi];
                      for (std::size_t pi = 0; pi < P.size(); ++pi) {
-                       NodeId p = P[pi];
+                       ExtNodeId p = P[pi];
                        if (p == q) continue;
                        double score = row[pi];
                        if (score > params.beta) {
-                         out.push_back(ScoredPair{p, q, score});
+                         out.push_back(ScoredPair{p.value(), q.value(), score});
                        }
                      }
                    });

@@ -57,7 +57,7 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   // the round's partial output must then be DISCARDED.
   auto walk_live = [&](const std::vector<std::size_t>& live, int l, bool save,
                        auto&& consume) {
-    std::vector<NodeId> nodes(live.size());
+    std::vector<ExtNodeId> nodes(live.size());
     for (std::size_t i = 0; i < live.size(); ++i) nodes[i] = Q[live[i]];
     bool interrupted = false;
     if (options_.resume) {
@@ -124,14 +124,14 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
     bool completed =
         walk_live(live, l, /*save=*/true, [&](std::size_t i,
                                               const double* row) {
-          NodeId q = Q[live[i]];
+          ExtNodeId q = Q[live[i]];
           double pmax = params.beta;  // floor of h_l over p
           for (std::size_t pi = 0; pi < P.size(); ++pi) {
-            NodeId p = P[pi];
+            ExtNodeId p = P[pi];
             if (p == q) continue;
             double s = row[pi];
             if (s > params.beta) {
-              bounds.Offer(s, ScoredPair{p, q, s});
+              bounds.Offer(s, ScoredPair{p.value(), q.value(), s});
               if (s > pmax) pmax = s;
             }
           }
@@ -188,12 +188,12 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
     bool completed =
         walk_live(live, d, /*save=*/false, [&](std::size_t i,
                                                const double* row) {
-          NodeId q = Q[live[i]];
+          ExtNodeId q = Q[live[i]];
           for (std::size_t pi = 0; pi < P.size(); ++pi) {
-            NodeId p = P[pi];
+            ExtNodeId p = P[pi];
             if (p == q) continue;
             double s = row[pi];
-            if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
+            if (s > params.beta) best.Offer(s, ScoredPair{p.value(), q.value(), s});
           }
         });
     if (!completed) return degrade(exec->stop_code());

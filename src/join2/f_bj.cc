@@ -30,13 +30,13 @@ Result<std::vector<ScoredPair>> FBjJoin::RunAllPairs(const Graph& g,
   std::vector<ScoredPair> out;
   batch.RunChunked(params, d, P.nodes(), Q.nodes(),
                    [&](std::size_t pi, const double* row) {
-                     NodeId p = P[pi];
+                     ExtNodeId p = P[pi];
                      for (std::size_t qi = 0; qi < Q.size(); ++qi) {
-                       NodeId q = Q[qi];
+                       ExtNodeId q = Q[qi];
                        if (p == q) continue;
                        double score = row[qi];
                        if (score > params.beta) {
-                         out.push_back(ScoredPair{p, q, score});
+                         out.push_back(ScoredPair{p.value(), q.value(), score});
                        }
                      }
                    });

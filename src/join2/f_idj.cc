@@ -55,7 +55,7 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   // are sliced only to keep the round's score matrix near 32 MB.
   auto walk_live = [&](const std::vector<std::size_t>& lv, int l, bool save,
                        auto&& consume) {
-    std::vector<NodeId> nodes(lv.size());
+    std::vector<ExtNodeId> nodes(lv.size());
     for (std::size_t i = 0; i < lv.size(); ++i) nodes[i] = P[lv[i]];
     bool interrupted = false;
     if (resume) {
@@ -145,11 +145,11 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
     std::vector<double> pmax(live.size(), params.beta);  // floor over q
     bool completed = walk_live(live, l, /*save=*/true,
                                [&](std::size_t i, std::size_t qi, double s) {
-      NodeId p = P[live[i]];
-      NodeId q = Q[qi];
+      ExtNodeId p = P[live[i]];
+      ExtNodeId q = Q[qi];
       if (p == q) return;  // self pair: score is meaningless
       if (s > params.beta) {
-        bounds.Offer(s, ScoredPair{p, q, s});
+        bounds.Offer(s, ScoredPair{p.value(), q.value(), s});
         if (s > pmax[i]) pmax[i] = s;
       }
     });
@@ -199,10 +199,10 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   PairTopK best(k);
   bool completed = walk_live(live, d, /*save=*/false,
                              [&](std::size_t i, std::size_t qi, double s) {
-    NodeId p = P[live[i]];
-    NodeId q = Q[qi];
+    ExtNodeId p = P[live[i]];
+    ExtNodeId q = Q[qi];
     if (p == q) return;
-    if (s > params.beta) best.Offer(s, ScoredPair{p, q, s});
+    if (s > params.beta) best.Offer(s, ScoredPair{p.value(), q.value(), s});
   });
   if (!completed) return degrade(exec->stop_code());
 

@@ -80,7 +80,7 @@ void IncrementalTwoWayJoin::DeepenTarget(std::size_t qi, int new_level) {
   if (autotune_budget_ && ++deepen_calls_ % kRetunePeriod == 0) {
     walker_states_.Retune();
   }
-  NodeId q = Q_[qi];
+  ExtNodeId q = Q_[qi];
   int64_t edges_before = walker_.edges_relaxed();
   // Resume from the target's saved state when the pool still holds it
   // at the current level; failing that, try the cross-query provider
@@ -144,19 +144,19 @@ void IncrementalTwoWayJoin::ApplyRow(std::size_t qi, int new_level,
                                      const double* row) {
   DHTJOIN_CHECK_GT(new_level, q_level_[qi]);
   DHTJOIN_CHECK_LE(new_level, d_);
-  NodeId q = Q_[qi];
+  ExtNodeId q = Q_[qi];
   const double remainder = Remainder(new_level, qi);
   for (std::size_t pi = 0; pi < P_.size(); ++pi) {
-    NodeId p = P_[pi];
+    ExtNodeId p = P_[pi];
     if (p == q) continue;
     double s = row[pi];
     if (s <= params_.beta) continue;
-    uint64_t key = PairKey(p, q);
+    uint64_t key = PairKey(p.value(), q.value());
     if (returned_.contains(key)) continue;
     double upper = s + remainder;
     auto it = index_.find(key);
     if (it == index_.end()) {
-      PairEntry entry{p, qi, s, new_level};
+      PairEntry entry{p.value(), qi, s, new_level};
       index_.emplace(key, f_.Push(upper, entry));
     } else {
       PairEntry& entry = f_.GetMutable(it->second);
@@ -205,7 +205,7 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
         // qUpper = max_p h_l(p, q) + U_l^+; the walker still holds the
         // scores of this target.
         double pmax = params_.beta;
-        for (NodeId p : P_) {
+        for (ExtNodeId p : P_) {
           if (p == Q_[qi]) continue;
           pmax = std::max(pmax, walker_.Score(p));
         }
@@ -249,7 +249,7 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
     barriers_seen = batch.scheduler_barriers();
   };
   for (int l = 1; l < d_; l *= 2) {
-    std::vector<NodeId> nodes(live.size());
+    std::vector<ExtNodeId> nodes(live.size());
     for (std::size_t i = 0; i < live.size(); ++i) nodes[i] = Q_[live[i]];
     std::vector<double> q_upper(live.size(), kNegInf);
     stats_.walks_started += batch.AdvanceChunked(
@@ -288,7 +288,7 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
     if (q_level_[qi] < d_) need.push_back(qi);
   }
   if (!need.empty()) {
-    std::vector<NodeId> nodes(need.size());
+    std::vector<ExtNodeId> nodes(need.size());
     for (std::size_t i = 0; i < need.size(); ++i) nodes[i] = Q_[need[i]];
     stats_.walks_started += batch.AdvanceChunked(
         params_, d_, nodes, need, P_.nodes(), batch_states,
@@ -337,11 +337,11 @@ std::optional<ScoredPair> IncrementalTwoWayJoin::Next() {
         continue;
       }
       f_.Pop();
-      uint64_t key = PairKey(e1.p, Q_[e1.qi]);
+      uint64_t key = PairKey(e1.p, Q_[e1.qi].value());
       index_.erase(key);
       returned_.insert(key);
       ++num_returned_;
-      return ScoredPair{e1.p, Q_[e1.qi], e1.lower};
+      return ScoredPair{e1.p, Q_[e1.qi].value(), e1.lower};
     }
 
     // Blocked. When the top entry is exact, the heap property makes

@@ -75,6 +75,8 @@ struct ScoredPairPrefer {
 using PairTopK = TopK<ScoredPair, ScoredPairPrefer>;
 
 /// 64-bit key for hashing a node pair.
+// dhtlint: allow(raw-id-param): key over ScoredPair's raw external ids
+// (join OUTPUTS stay raw — DESIGN.md §10)
 inline uint64_t PairKey(NodeId p, NodeId q) { return PackPair(p, q); }
 
 /// Which remainder bound U_l^+ an IDJ-style algorithm plugs in.

@@ -8,6 +8,10 @@
 /// |R_i| x |R_j| array; a hash index is equivalent and much smaller,
 /// since only pulled pairs are ever probed.)
 
+// dhtlint: allow-file(raw-id-param): the buffer indexes ScoredPair
+// endpoints, which stay raw external ids by the join-output
+// convention (DESIGN.md §10).
+
 #ifndef DHTJOIN_RANKJOIN_CANDIDATE_BUFFER_H_
 #define DHTJOIN_RANKJOIN_CANDIDATE_BUFFER_H_
 

@@ -61,8 +61,8 @@ int64_t AdmissionController::RetryAfterMicros() const {
   return std::max<int64_t>(1000, ema * depth);
 }
 
-int64_t EstimateTwoWayCost(const Graph& g, const NodeSet& P, const NodeSet& Q,
-                           int d, int sample_size) {
+int64_t EstimateTwoWayCost(const Graph& g, const NodeSet& /*P*/,
+                           const NodeSet& Q, int d, int sample_size) {
   if (Q.empty()) return 0;
   // Deterministic evenly-spaced sample (no RNG: identical queries must
   // produce identical admission decisions).
@@ -73,7 +73,7 @@ int64_t EstimateTwoWayCost(const Graph& g, const NodeSet& P, const NodeSet& Q,
   int64_t degree_sum = 0;
   for (std::size_t s = 0; s < take; ++s) {
     const std::size_t qi = s * n / take;
-    degree_sum += g.InDegree(Q[qi]);
+    degree_sum += g.InDegree(g.ToInternal(Q[qi]));
   }
   const double avg_deg =
       static_cast<double>(degree_sum) / static_cast<double>(take);

@@ -27,8 +27,8 @@ class HashStream {
   uint64_t hash_ = 0xcbf29ce484222325ULL;
 };
 
-bool SameNodes(const std::shared_ptr<const std::vector<NodeId>>& a,
-               const std::shared_ptr<const std::vector<NodeId>>& b) {
+bool SameNodes(const std::shared_ptr<const std::vector<ExtNodeId>>& a,
+               const std::shared_ptr<const std::vector<ExtNodeId>>& b) {
   if (a == b) return true;  // same vector (or both null)
   if (a == nullptr || b == nullptr) return false;
   return *a == *b;
@@ -52,8 +52,8 @@ uint64_t GraphFingerprint(const Graph& g) {
   // CSR bits coincide (a permutation of a symmetric graph).
   h.Mix(g.layout_epoch());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    h.Mix(static_cast<uint64_t>(g.OutDegree(u)));
-    for (const OutEdge& e : g.OutEdges(u)) {
+    h.Mix(static_cast<uint64_t>(g.OutDegree(IntNodeId(u))));
+    for (const OutEdge& e : g.OutEdges(IntNodeId(u))) {
       h.Mix(static_cast<uint64_t>(static_cast<uint32_t>(e.to)));
       h.MixDouble(e.prob);
     }
@@ -61,10 +61,12 @@ uint64_t GraphFingerprint(const Graph& g) {
   return h.hash();
 }
 
-uint64_t DigestNodes(std::span<const NodeId> nodes) {
+uint64_t DigestNodes(std::span<const ExtNodeId> nodes) {
   HashStream h(0xbb67ae8584caa73bULL);
   h.Mix(nodes.size());
-  for (NodeId u : nodes) h.Mix(static_cast<uint64_t>(static_cast<uint32_t>(u)));
+  for (ExtNodeId u : nodes) {
+    h.Mix(static_cast<uint64_t>(static_cast<uint32_t>(u.value())));
+  }
   return h.hash();
 }
 
@@ -85,7 +87,7 @@ uint64_t CacheKey::Hash() const {
   h.MixDouble(params.lambda);
   h.Mix(params.first_hit ? 1 : 0);
   h.Mix(static_cast<uint64_t>(d));
-  h.Mix(static_cast<uint64_t>(static_cast<uint32_t>(seed)));
+  h.Mix(static_cast<uint64_t>(static_cast<uint32_t>(seed.value())));
   h.Mix(digest_a);
   h.Mix(digest_b);
   return h.hash();

@@ -53,10 +53,10 @@ namespace dhtjoin::serve {
 /// is valid on the other. O(n + m); compute once per served graph.
 uint64_t GraphFingerprint(const Graph& g);
 
-/// Order-sensitive content digest of a node list (NodeSet::nodes() is
-/// sorted/deduped, so equal sets digest equally). Used for HASHING keys
-/// only; equality always compares contents.
-uint64_t DigestNodes(std::span<const NodeId> nodes);
+/// Order-sensitive content digest of an external-id list
+/// (NodeSet::nodes() is sorted/deduped, so equal sets digest equally).
+/// Used for HASHING keys only; equality always compares contents.
+uint64_t DigestNodes(std::span<const ExtNodeId> nodes);
 
 /// What a cache entry holds; part of the key, so one cache serves all
 /// payload kinds without any chance of cross-kind aliasing.
@@ -78,9 +78,11 @@ struct CacheKey {
   CachePayload kind = CachePayload::kBackwardSnapshot;
   DhtParams params;
   int d = 0;
-  NodeId seed = kInvalidNode;  ///< seed/target node, when the payload has one
-  std::shared_ptr<const std::vector<NodeId>> set_a;  ///< e.g. P / L
-  std::shared_ptr<const std::vector<NodeId>> set_b;  ///< e.g. Q / R
+  /// Seed/target node (EXTERNAL id), when the payload has one. Keys
+  /// are layout-independent; graph_fp pins the layout separately.
+  ExtNodeId seed = kInvalidExtNode;
+  std::shared_ptr<const std::vector<ExtNodeId>> set_a;  ///< e.g. P / L
+  std::shared_ptr<const std::vector<ExtNodeId>> set_b;  ///< e.g. Q / R
   uint64_t digest_a = 0;  ///< DigestNodes(*set_a); 0 when unset
   uint64_t digest_b = 0;
 

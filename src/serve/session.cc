@@ -19,7 +19,7 @@ class DhtJoinService::SnapshotAdapter final : public BackwardSnapshotProvider {
  public:
   explicit SnapshotAdapter(DhtJoinService* service) : service_(service) {}
 
-  std::shared_ptr<const BackwardWalkerState> Fetch(NodeId target) override {
+  std::shared_ptr<const BackwardWalkerState> Fetch(ExtNodeId target) override {
     CacheKey key = service_->BaseKey(CachePayload::kBackwardSnapshot);
     key.seed = target;
     auto entry = service_->cache_.GetAs<CachedBackwardSnapshot>(key);
@@ -28,7 +28,7 @@ class DhtJoinService::SnapshotAdapter final : public BackwardSnapshotProvider {
     return {entry, &entry->state};
   }
 
-  void Store(NodeId target, BackwardWalkerState state) override {
+  void Store(ExtNodeId target, BackwardWalkerState state) override {
     CacheKey key = service_->BaseKey(CachePayload::kBackwardSnapshot);
     key.seed = target;
     const int level = state.level;
@@ -44,7 +44,7 @@ class DhtJoinService::SnapshotAdapter final : public BackwardSnapshotProvider {
         });
   }
 
-  bool WantsLevel(NodeId target, int level) override {
+  bool WantsLevel(ExtNodeId target, int level) override {
     CacheKey key = service_->BaseKey(CachePayload::kBackwardSnapshot);
     key.seed = target;
     auto existing = service_->cache_.PeekAs<CachedBackwardSnapshot>(key);
@@ -77,8 +77,8 @@ class DhtJoinService::TableAdapter final : public EdgeScoreTableProvider {
   CacheKey Key(const NodeSet& L, const NodeSet& R) const {
     CacheKey key = service_->BaseKey(CachePayload::kEdgeTable);
     key.d = service_->d_;
-    key.set_a = std::make_shared<const std::vector<NodeId>>(L.nodes());
-    key.set_b = std::make_shared<const std::vector<NodeId>>(R.nodes());
+    key.set_a = std::make_shared<const std::vector<ExtNodeId>>(L.nodes());
+    key.set_b = std::make_shared<const std::vector<ExtNodeId>>(R.nodes());
     key.digest_a = DigestNodes(*key.set_a);
     key.digest_b = DigestNodes(*key.set_b);
     return key;
@@ -186,8 +186,8 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
   WallTimer timer;
   QueryStats qs;
 
-  auto p_nodes = std::make_shared<const std::vector<NodeId>>(P.nodes());
-  auto q_nodes = std::make_shared<const std::vector<NodeId>>(Q.nodes());
+  auto p_nodes = std::make_shared<const std::vector<ExtNodeId>>(P.nodes());
+  auto q_nodes = std::make_shared<const std::vector<ExtNodeId>>(Q.nodes());
   const uint64_t p_digest = DigestNodes(*p_nodes);
 
   // Y-bound table: cached whole per (P, Q, d). A construction abandoned
@@ -258,7 +258,7 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
                        auto&& score_row) {
     std::vector<char> advanced(live.size(), 0);
     std::vector<std::size_t> need_pos;
-    std::vector<NodeId> need_nodes;
+    std::vector<ExtNodeId> need_nodes;
     std::vector<std::size_t> need_slots;
     for (std::size_t i = 0; i < live.size(); ++i) {
       if (states.level(live[i]) < l) {
@@ -370,14 +370,14 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
     bool completed =
         walk_live(live, l, /*save=*/true,
                   [&](std::size_t i, const double* row, int row_level) {
-                    NodeId q = Q[live[i]];
+                    ExtNodeId q = Q[live[i]];
                     double pmax = params_.beta;
                     for (std::size_t pi = 0; pi < P.size(); ++pi) {
-                      NodeId p = P[pi];
+                      ExtNodeId p = P[pi];
                       if (p == q) continue;
                       double s = row[pi];
                       if (s > params_.beta) {
-                        bounds.Offer(s, ScoredPair{p, q, s});
+                        bounds.Offer(s, ScoredPair{p.value(), q.value(), s});
                         if (s > pmax) pmax = s;
                       }
                     }
@@ -434,13 +434,13 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
     bool completed =
         walk_live(live, d_, /*save=*/true,
                   [&](std::size_t i, const double* row, int /*row_level*/) {
-                    NodeId q = Q[live[i]];
+                    ExtNodeId q = Q[live[i]];
                     for (std::size_t pi = 0; pi < P.size(); ++pi) {
-                      NodeId p = P[pi];
+                      ExtNodeId p = P[pi];
                       if (p == q) continue;
                       double s = row[pi];
                       if (s > params_.beta) {
-                        best.Offer(s, ScoredPair{p, q, s});
+                        best.Offer(s, ScoredPair{p.value(), q.value(), s});
                       }
                     }
                   });

@@ -9,14 +9,14 @@ namespace dhtjoin {
 namespace {
 
 template <typename NeighborFn>
-std::vector<int> Bfs(const Graph& g, NodeId start, int max_depth,
+std::vector<int> Bfs(const Graph& g, IntNodeId start, int max_depth,
                      NeighborFn&& neighbors) {
   DHTJOIN_CHECK(g.ContainsNode(start));
   DHTJOIN_CHECK_GE(max_depth, 0);
   std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()),
                         kUnreachable);
-  dist[static_cast<std::size_t>(start)] = 0;
-  std::deque<NodeId> frontier = {start};
+  dist[static_cast<std::size_t>(start.value())] = 0;
+  std::deque<NodeId> frontier = {start.value()};
   while (!frontier.empty()) {
     NodeId u = frontier.front();
     frontier.pop_front();
@@ -34,15 +34,15 @@ std::vector<int> Bfs(const Graph& g, NodeId start, int max_depth,
 
 }  // namespace
 
-std::vector<int> BfsFrom(const Graph& g, NodeId source, int max_depth) {
+std::vector<int> BfsFrom(const Graph& g, IntNodeId source, int max_depth) {
   return Bfs(g, source, max_depth, [&g](NodeId u, auto&& visit) {
-    for (const OutEdge& e : g.OutEdges(u)) visit(e.to);
+    for (const OutEdge& e : g.OutEdges(IntNodeId(u))) visit(e.to);
   });
 }
 
-std::vector<int> BfsTo(const Graph& g, NodeId target, int max_depth) {
+std::vector<int> BfsTo(const Graph& g, IntNodeId target, int max_depth) {
   return Bfs(g, target, max_depth, [&g](NodeId u, auto&& visit) {
-    for (const InEdge& e : g.InEdges(u)) visit(e.from);
+    for (const InEdge& e : g.InEdges(IntNodeId(u))) visit(e.from);
   });
 }
 

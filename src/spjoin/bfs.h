@@ -21,12 +21,13 @@ namespace dhtjoin {
 inline constexpr int kUnreachable = -1;
 
 /// Directed hop distances FROM `source` to every node, truncated at
-/// `max_depth` (nodes further away report kUnreachable).
-std::vector<int> BfsFrom(const Graph& g, NodeId source, int max_depth);
+/// `max_depth` (nodes further away report kUnreachable). The result is
+/// indexed by INTERNAL (layout) id, matching the seed argument's space.
+std::vector<int> BfsFrom(const Graph& g, IntNodeId source, int max_depth);
 
 /// Directed hop distances from every node TO `target` (walks in-edges),
-/// truncated at `max_depth`.
-std::vector<int> BfsTo(const Graph& g, NodeId target, int max_depth);
+/// truncated at `max_depth`. Internal-indexed, like BfsFrom.
+std::vector<int> BfsTo(const Graph& g, IntNodeId target, int max_depth);
 
 }  // namespace dhtjoin
 

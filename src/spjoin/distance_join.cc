@@ -26,13 +26,13 @@ Result<DistanceJoinResult> DistanceJoin(const Graph& g,
     const NodeSet& Q = query.set(edges[e].right);
     // Sets hold external ids; BFS is layout-addressed. pair_ok keys
     // stay external, matching the enumerated tuples.
-    for (NodeId q : Q) {
+    for (ExtNodeId q : Q) {
       std::vector<int> dist = BfsTo(g, g.ToInternal(q), delta);
-      for (NodeId p : P) {
+      for (ExtNodeId p : P) {
         if (p == q) continue;
-        int d = dist[static_cast<std::size_t>(g.ToInternal(p))];
+        int d = dist[static_cast<std::size_t>(g.ToInternal(p).value())];
         if (d != kUnreachable && d <= delta) {
-          pair_ok[e].emplace(PackPair(p, q), 1);
+          pair_ok[e].emplace(PackPair(p.value(), q.value()), 1);
         }
       }
     }
@@ -55,8 +55,8 @@ Result<DistanceJoinResult> DistanceJoin(const Graph& g,
       out.tuples.push_back(tuple);
       return out.tuples.size() < max_results;
     }
-    for (NodeId r : query.set(attr)) {
-      tuple[static_cast<std::size_t>(attr)] = r;
+    for (ExtNodeId r : query.set(attr)) {
+      tuple[static_cast<std::size_t>(attr)] = r.value();
       bool ok = true;
       for (std::size_t e : checks[static_cast<std::size_t>(attr)]) {
         NodeId u = tuple[static_cast<std::size_t>(edges[e].left)];
@@ -87,14 +87,14 @@ Result<eval::RocResult> EvaluateLinkPredictionByDistance(
   std::vector<std::pair<double, bool>> scored;
   // P/Q hold external ids; BFS distances and HasEdge are
   // layout-addressed.
-  for (NodeId q : Q) {
-    const NodeId iq = test_graph.ToInternal(q);
+  for (ExtNodeId q : Q) {
+    const IntNodeId iq = test_graph.ToInternal(q);
     std::vector<int> dist = BfsTo(test_graph, iq, max_depth);
-    for (NodeId p : P) {
+    for (ExtNodeId p : P) {
       if (p == q) continue;
-      const NodeId ip = test_graph.ToInternal(p);
+      const IntNodeId ip = test_graph.ToInternal(p);
       if (test_graph.HasEdge(ip, iq)) continue;
-      int d = dist[static_cast<std::size_t>(ip)];
+      int d = dist[static_cast<std::size_t>(ip.value())];
       // Unreachable pairs rank at the bottom, like beta-floor DHT pairs.
       double score = d == kUnreachable
                          ? -static_cast<double>(max_depth) - 1.0

@@ -9,6 +9,8 @@
 namespace dhtjoin {
 
 /// Packs two 32-bit ids into one 64-bit hash/map key.
+// dhtlint: allow(raw-id-param): generic bit-pack of two raw 32-bit
+// values; the caller picks (and must not mix) the id space
 inline uint64_t PackPair(int32_t a, int32_t b) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
          static_cast<uint32_t>(b);

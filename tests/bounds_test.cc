@@ -24,14 +24,15 @@ TEST_P(BoundsSweep, XBoundBracketsRemainder) {
   const int d = 10;
   BackwardWalker partial(g), full(g);
   for (NodeId q : {0, 13, 29}) {
-    full.Reset(p, q);
+    full.Reset(p, ExtNodeId(q));
     full.Advance(d);
-    partial.Reset(p, q);
+    partial.Reset(p, ExtNodeId(q));
     for (int l = 1; l <= d; l++) {
       partial.Advance(1);
       for (NodeId u = 0; u < g.num_nodes(); ++u) {
         if (u == q) continue;
-        EXPECT_LE(full.Score(u), partial.Score(u) + p.XBound(l) + 1e-12)
+        EXPECT_LE(full.Score(ExtNodeId(u)),
+                  partial.Score(ExtNodeId(u)) + p.XBound(l) + 1e-12)
             << "q=" << q << " u=" << u << " l=" << l;
       }
     }
@@ -49,17 +50,17 @@ TEST_P(BoundsSweep, YBoundBracketsRemainder) {
   YBoundTable ytable(g, p, d, P, Q);
   BackwardWalker partial(g), full(g);
   for (std::size_t qi = 0; qi < Q.size(); ++qi) {
-    NodeId q = Q[qi];
+    ExtNodeId q = Q[qi];
     full.Reset(p, q);
     full.Advance(d);
     partial.Reset(p, q);
     for (int l = 1; l <= d; ++l) {
       partial.Advance(1);
-      for (NodeId u : P) {
+      for (ExtNodeId u : P) {
         if (u == q) continue;
         EXPECT_LE(full.Score(u),
                   partial.Score(u) + ytable.Bound(l, qi) + 1e-12)
-            << "q=" << q << " u=" << u << " l=" << l;
+            << "q=" << q.value() << " u=" << u.value() << " l=" << l;
       }
     }
   }
@@ -156,7 +157,8 @@ TEST(BoundsTest, YBoundChargesRealSweepCost) {
   ASSERT_TRUE(b.AddEdge(2, 3).ok());
   ASSERT_TRUE(b.AddEdge(3, 2).ok());
   Graph tiny = std::move(b.Build()).value();
-  YBoundTable ytable(tiny, p, d, NodeSet("P", {0}), NodeSet("Q", {1}));
+  YBoundTable ytable(tiny, p, d, NodeSet("P", std::vector<NodeId>{0}),
+                     NodeSet("Q", std::vector<NodeId>{1}));
   EXPECT_LT(ytable.edges_relaxed(),
             static_cast<int64_t>(d) * tiny.num_edges());
 }
@@ -168,7 +170,7 @@ TEST(BoundsTest, YBoundCapsProbabilityAtOne) {
   Graph g = testing::StarGraph(12);
   DhtParams p = DhtParams::Lambda(0.5);
   NodeSet P = Range("P", 1, 11);  // 10 leaves
-  NodeSet Q("Q", {0});
+  NodeSet Q("Q", std::vector<NodeId>{0});
   const int d = 6;
   YBoundTable ytable(g, p, d, P, Q);
   // Uncapped would give alpha * (lambda * 10 + ...); capped is at most

@@ -93,5 +93,44 @@ TEST(ParsePositiveIntTest, Bounds) {
   EXPECT_FALSE(ParsePositiveInt("10x", "k").ok());
 }
 
+TEST(ParseNodeIdTest, AcceptsInRangeRejectsNegativeAndOutOfRange) {
+  auto id = ParseNodeId("7", "left", /*num_nodes=*/10);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, ExtNodeId(7));  // typed at the parse boundary
+  EXPECT_EQ(ParseNodeId("0", "left", 10)->value(), 0);
+  EXPECT_EQ(ParseNodeId("9", "left", 10)->value(), 9);
+
+  Status neg = ParseNodeId("-1", "left", 10).status();
+  EXPECT_EQ(neg.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(neg.message().find("non-negative"), std::string::npos);
+
+  Status oob = ParseNodeId("10", "left", 10).status();
+  EXPECT_EQ(oob.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(oob.message().find("out of range"), std::string::npos);
+
+  EXPECT_FALSE(ParseNodeId("", "left", 10).ok());
+  EXPECT_FALSE(ParseNodeId("3x", "left", 10).ok());
+  EXPECT_FALSE(ParseNodeId("seven", "left", 10).ok());
+}
+
+TEST(ParseNodeIdTest, UnboundedWhenGraphSizeUnknown) {
+  // num_nodes < 0 disables the upper bound (id validated later).
+  EXPECT_EQ(ParseNodeId("123456", "q", -1)->value(), 123456);
+  EXPECT_FALSE(ParseNodeId("-2", "q", -1).ok());
+}
+
+TEST(ParseNodeListTest, ParsesCommaListWithPerIdValidation) {
+  auto ids = ParseNodeList("3,1,7", "inline set", 10);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 3u);
+  EXPECT_EQ((*ids)[0], ExtNodeId(3));
+  EXPECT_EQ((*ids)[2], ExtNodeId(7));
+
+  EXPECT_FALSE(ParseNodeList("3,99", "inline set", 10).ok());  // range
+  EXPECT_FALSE(ParseNodeList("3,-1", "inline set", 10).ok());  // negative
+  EXPECT_FALSE(ParseNodeList("", "inline set", 10).ok());      // empty
+  EXPECT_FALSE(ParseNodeList(",,", "inline set", 10).ok());    // empty
+}
+
 }  // namespace
 }  // namespace dhtjoin::cli

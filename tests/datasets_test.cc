@@ -20,11 +20,13 @@ namespace {
 
 bool IsSymmetric(const Graph& g) {
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    auto row = g.OutEdges(u);
-    auto weights = g.OutWeights(u);
+    auto row = g.OutEdges(IntNodeId(u));
+    auto weights = g.OutWeights(IntNodeId(u));
     for (std::size_t i = 0; i < row.size(); ++i) {
-      if (!g.HasEdge(row[i].to, u)) return false;
-      if (g.EdgeWeight(row[i].to, u) != weights[i]) return false;
+      if (!g.HasEdge(IntNodeId(row[i].to), IntNodeId(u))) return false;
+      if (g.EdgeWeight(IntNodeId(row[i].to), IntNodeId(u)) != weights[i]) {
+        return false;
+      }
     }
   }
   return true;
@@ -51,7 +53,7 @@ TEST(PlantedPartitionTest, PartitionsDisjointAndCovering) {
   std::size_t total = 0;
   for (const NodeSet& p : ds->partitions) {
     total += p.size();
-    for (NodeId u : p) all.insert(u);
+    for (ExtNodeId u : p) all.insert(u.value());
   }
   EXPECT_EQ(total, all.size());  // disjoint
   EXPECT_EQ(all.size(), static_cast<std::size_t>(ds->graph.num_nodes()));
@@ -67,8 +69,8 @@ TEST(PlantedPartitionTest, DeterministicPerSeed) {
   ASSERT_TRUE(b.ok());
   ASSERT_EQ(a->graph.num_edges(), b->graph.num_edges());
   for (NodeId u = 0; u < a->graph.num_nodes(); ++u) {
-    auto ra = a->graph.OutEdges(u);
-    auto rb = b->graph.OutEdges(u);
+    auto ra = a->graph.OutEdges(IntNodeId(u));
+    auto rb = b->graph.OutEdges(IntNodeId(u));
     ASSERT_EQ(ra.size(), rb.size());
     for (std::size_t i = 0; i < ra.size(); ++i) {
       EXPECT_EQ(ra[i].to, rb[i].to);
@@ -79,8 +81,8 @@ TEST(PlantedPartitionTest, DeterministicPerSeed) {
   ASSERT_TRUE(c.ok());
   bool identical = true;
   for (NodeId u = 0; u < a->graph.num_nodes() && identical; ++u) {
-    auto ra = a->graph.OutEdges(u);
-    auto rc = c->graph.OutEdges(u);
+    auto ra = a->graph.OutEdges(IntNodeId(u));
+    auto rc = c->graph.OutEdges(IntNodeId(u));
     if (ra.size() != rc.size()) identical = false;
   }
   EXPECT_FALSE(identical);  // different seed, different graph
@@ -96,13 +98,13 @@ TEST(PlantedPartitionTest, CommunityStructurePresent) {
   ASSERT_TRUE(ds.ok());
   std::vector<int> part(static_cast<std::size_t>(ds->graph.num_nodes()), -1);
   for (std::size_t i = 0; i < ds->partitions.size(); ++i) {
-    for (NodeId u : ds->partitions[i]) {
-      part[static_cast<std::size_t>(u)] = static_cast<int>(i);
+    for (ExtNodeId u : ds->partitions[i]) {
+      part[static_cast<std::size_t>(u.value())] = static_cast<int>(i);
     }
   }
   int64_t intra = 0, total = 0;
   for (NodeId u = 0; u < ds->graph.num_nodes(); ++u) {
-    for (const OutEdge& e : ds->graph.OutEdges(u)) {
+    for (const OutEdge& e : ds->graph.OutEdges(IntNodeId(u))) {
       ++total;
       if (part[static_cast<std::size_t>(u)] ==
           part[static_cast<std::size_t>(e.to)]) {
@@ -139,7 +141,7 @@ TEST(PreferentialAttachmentTest, HeavyTailedDegrees) {
   ASSERT_TRUE(ds.ok());
   int64_t max_degree = 0;
   for (NodeId u = 0; u < ds->graph.num_nodes(); ++u) {
-    max_degree = std::max(max_degree, ds->graph.Degree(u));
+    max_degree = std::max(max_degree, ds->graph.Degree(IntNodeId(u)));
   }
   double mean = static_cast<double>(ds->graph.num_edges()) /
                 static_cast<double>(ds->graph.num_nodes());
@@ -166,7 +168,7 @@ TEST(PreferentialAttachmentTest, EdgeListAlignedWithGraph) {
   EXPECT_EQ(static_cast<int64_t>(ds->edge_list.size()) * 2,
             ds->graph.num_edges());
   for (auto [u, v] : ds->edge_list) {
-    EXPECT_TRUE(ds->graph.HasEdge(u, v));
+    EXPECT_TRUE(ds->graph.HasEdge(IntNodeId(u), IntNodeId(v)));
     EXPECT_LE(u, v);
   }
 }
@@ -219,7 +221,7 @@ TEST(DblpLikeTest, AreasWeightsAndYears) {
   }
   // Co-authorship weights are positive integers.
   for (NodeId u = 0; u < ds->graph.num_nodes(); ++u) {
-    for (double w : ds->graph.OutWeights(u)) {
+    for (double w : ds->graph.OutWeights(IntNodeId(u))) {
       EXPECT_GE(w, 1.0);
     }
   }
@@ -235,8 +237,8 @@ TEST(DblpLikeTest, SnapshotIsSubgraph) {
   EXPECT_LT(snap->num_edges(), ds->graph.num_edges());
   EXPECT_GT(snap->num_edges(), 0);
   for (NodeId u = 0; u < snap->num_nodes(); ++u) {
-    for (const OutEdge& e : snap->OutEdges(u)) {
-      EXPECT_TRUE(ds->graph.HasEdge(u, e.to));
+    for (const OutEdge& e : snap->OutEdges(IntNodeId(u))) {
+      EXPECT_TRUE(ds->graph.HasEdge(IntNodeId(u), IntNodeId(e.to)));
     }
   }
   // Recent years hold the bulk of the edges (growth curve).
@@ -260,7 +262,7 @@ TEST(YouTubeLikeTest, GroupsOverlapAndScale) {
   EXPECT_GE(ds->Group(1)->size(), ds->Group(10)->size());
   for (const NodeSet& grp : ds->groups) {
     EXPECT_GE(grp.size(), 8u);
-    for (NodeId u : grp) {
+    for (ExtNodeId u : grp) {
       EXPECT_TRUE(ds->graph.ContainsNode(u));
     }
   }
@@ -279,9 +281,9 @@ TEST(PerturbTest, RemoveInterSetEdgesHalves) {
   ASSERT_TRUE(removed.ok());
   EXPECT_GT(removed->removed.size(), 0u);
   for (auto [u, v] : removed->removed) {
-    EXPECT_TRUE(ds->graph.HasEdge(u, v));           // was there
-    EXPECT_FALSE(removed->graph.HasEdge(u, v));     // now gone
-    EXPECT_FALSE(removed->graph.HasEdge(v, u));     // both directions
+    EXPECT_TRUE(ds->graph.HasEdge(IntNodeId(u), IntNodeId(v)));
+    EXPECT_FALSE(removed->graph.HasEdge(IntNodeId(u), IntNodeId(v)));
+    EXPECT_FALSE(removed->graph.HasEdge(IntNodeId(v), IntNodeId(u)));
   }
   // Non-removed edges intact.
   EXPECT_EQ(removed->graph.num_edges(),
@@ -302,9 +304,10 @@ TEST(PerturbTest, RemoveFractionBounds) {
   auto all = RemoveInterSetEdges(ds->graph, P, Q, 1.0, 1);
   ASSERT_TRUE(all.ok());
   // Every inter-set edge gone.
-  for (NodeId p : P) {
-    for (const OutEdge& e : all->graph.OutEdges(p)) {
-      EXPECT_FALSE(Q.Contains(e.to));
+  for (ExtNodeId p : P) {
+    for (const OutEdge& e :
+         all->graph.OutEdges(all->graph.ToInternal(p))) {
+      EXPECT_FALSE(Q.Contains(ExtNodeId(e.to)));
     }
   }
   EXPECT_FALSE(RemoveInterSetEdges(ds->graph, P, Q, 1.5, 1).ok());

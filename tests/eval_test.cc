@@ -137,7 +137,9 @@ TEST(LinkPredictionTest, InvalidInputsRejected) {
   NodeSet P = testing::Range("P", 0, 5);
   NodeSet Q = testing::Range("Q", 5, 10);
   EXPECT_FALSE(
-      EvaluateLinkPrediction(g, g, NodeSet("E", {}), Q, params, 8).ok());
+      EvaluateLinkPrediction(g, g, NodeSet("E", std::vector<NodeId>{}), Q,
+                             params, 8)
+          .ok());
   EXPECT_FALSE(EvaluateLinkPrediction(g, g, P, Q, params, 0).ok());
 }
 

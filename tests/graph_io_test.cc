@@ -35,10 +35,12 @@ TEST_F(GraphIoTest, RoundTripPreservesGraph) {
   EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
   EXPECT_EQ(loaded->num_edges(), g.num_edges());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    auto row = g.OutEdges(u);
-    auto weights = g.OutWeights(u);
+    auto row = g.OutEdges(IntNodeId(u));
+    auto weights = g.OutWeights(IntNodeId(u));
     for (std::size_t i = 0; i < row.size(); ++i) {
-      EXPECT_DOUBLE_EQ(loaded->EdgeWeight(u, row[i].to), weights[i]);
+      EXPECT_DOUBLE_EQ(
+          loaded->EdgeWeight(IntNodeId(u), IntNodeId(row[i].to)),
+          weights[i]);
     }
   }
   std::remove(path.c_str());
@@ -50,8 +52,8 @@ TEST_F(GraphIoTest, LoadsHeaderlessFileWithDefaults) {
   auto g = LoadEdgeList(path);
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g->num_nodes(), 3);
-  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 1.0);  // default weight
-  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 2), 2.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(IntNodeId(0), IntNodeId(1)), 1.0);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(IntNodeId(1), IntNodeId(2)), 2.5);
   std::remove(path.c_str());
 }
 
@@ -109,8 +111,9 @@ TEST_F(GraphIoTest, HeaderAllowsIsolatedTrailingNodes) {
 }
 
 TEST_F(GraphIoTest, NodeSetsRoundTrip) {
-  std::vector<NodeSet> sets = {NodeSet("alpha", {3, 1, 2}),
-                               NodeSet("beta", {7})};
+  std::vector<NodeSet> sets = {
+      NodeSet("alpha", std::vector<NodeId>{3, 1, 2}),
+      NodeSet("beta", std::vector<NodeId>{7})};
   std::string path = TempPath("sets.txt");
   ASSERT_TRUE(SaveNodeSets(sets, path).ok());
   auto loaded = LoadNodeSets(path);
@@ -119,7 +122,7 @@ TEST_F(GraphIoTest, NodeSetsRoundTrip) {
   EXPECT_EQ((*loaded)[0].name(), "alpha");
   EXPECT_EQ((*loaded)[0].size(), 3u);
   EXPECT_EQ((*loaded)[1].name(), "beta");
-  EXPECT_TRUE((*loaded)[1].Contains(7));
+  EXPECT_TRUE((*loaded)[1].Contains(ExtNodeId(7)));
   std::remove(path.c_str());
 }
 
@@ -135,8 +138,8 @@ TEST_F(GraphIoTest, ScientificNotationWeightsAccepted) {
   WriteFile(path, "0 1 1.5e2\n1 0 2.5E-1\n");
   auto g = LoadEdgeList(path);
   ASSERT_TRUE(g.ok());
-  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 150.0);
-  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 0), 0.25);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(IntNodeId(0), IntNodeId(1)), 150.0);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(IntNodeId(1), IntNodeId(0)), 0.25);
   std::remove(path.c_str());
 }
 
@@ -146,7 +149,7 @@ TEST_F(GraphIoTest, DuplicateEdgesInFileAccumulate) {
   auto g = LoadEdgeList(path);
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g->num_edges(), 1);
-  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(IntNodeId(0), IntNodeId(1)), 3.0);
   std::remove(path.c_str());
 }
 

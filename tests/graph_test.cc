@@ -22,9 +22,9 @@ TEST(GraphBuilderTest, BasicDirectedGraph) {
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g->num_nodes(), 3);
   EXPECT_EQ(g->num_edges(), 3);
-  EXPECT_EQ(g->OutDegree(0), 2);
-  EXPECT_EQ(g->OutDegree(2), 0);
-  EXPECT_EQ(g->InDegree(2), 2);
+  EXPECT_EQ(g->OutDegree(IntNodeId(0)), 2);
+  EXPECT_EQ(g->OutDegree(IntNodeId(2)), 0);
+  EXPECT_EQ(g->InDegree(IntNodeId(2)), 2);
 }
 
 TEST(GraphBuilderTest, TransitionProbabilitiesNormalized) {
@@ -33,7 +33,7 @@ TEST(GraphBuilderTest, TransitionProbabilitiesNormalized) {
   ASSERT_TRUE(b.AddEdge(0, 2, 6.0).ok());
   auto g = b.Build();
   ASSERT_TRUE(g.ok());
-  auto row = g->OutEdges(0);
+  auto row = g->OutEdges(IntNodeId(0));
   ASSERT_EQ(row.size(), 2u);
   EXPECT_DOUBLE_EQ(row[0].prob, 0.25);  // to node 1: 2/8
   EXPECT_DOUBLE_EQ(row[1].prob, 0.75);  // to node 2: 6/8
@@ -45,9 +45,9 @@ TEST(GraphBuilderTest, UndirectedAddsBothDirections) {
   auto g = b.Build();
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g->num_edges(), 2);
-  EXPECT_TRUE(g->HasEdge(0, 1));
-  EXPECT_TRUE(g->HasEdge(1, 0));
-  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 0), 3.0);
+  EXPECT_TRUE(g->HasEdge(IntNodeId(0), IntNodeId(1)));
+  EXPECT_TRUE(g->HasEdge(IntNodeId(1), IntNodeId(0)));
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(IntNodeId(1), IntNodeId(0)), 3.0);
 }
 
 TEST(GraphBuilderTest, DuplicateEdgesAccumulateWeight) {
@@ -59,7 +59,7 @@ TEST(GraphBuilderTest, DuplicateEdgesAccumulateWeight) {
   auto g = b.Build();
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g->num_edges(), 1);
-  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 4.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(IntNodeId(0), IntNodeId(1)), 4.5);
 }
 
 TEST(GraphBuilderTest, RejectsSelfLoop) {
@@ -93,8 +93,8 @@ TEST(GraphBuilderTest, IsolatedNodesAllowed) {
   ASSERT_TRUE(b.AddEdge(0, 1).ok());
   auto g = b.Build();
   ASSERT_TRUE(g.ok());
-  EXPECT_EQ(g->OutDegree(3), 0);
-  EXPECT_EQ(g->InDegree(3), 0);
+  EXPECT_EQ(g->OutDegree(IntNodeId(3)), 0);
+  EXPECT_EQ(g->InDegree(IntNodeId(3)), 0);
 }
 
 TEST(GraphTest, OutEdgesSortedByTarget) {
@@ -104,7 +104,7 @@ TEST(GraphTest, OutEdgesSortedByTarget) {
   ASSERT_TRUE(b.AddEdge(0, 3).ok());
   auto g = b.Build();
   ASSERT_TRUE(g.ok());
-  auto row = g->OutEdges(0);
+  auto row = g->OutEdges(IntNodeId(0));
   EXPECT_EQ(row[0].to, 1);
   EXPECT_EQ(row[1].to, 3);
   EXPECT_EQ(row[2].to, 4);
@@ -116,9 +116,9 @@ TEST(GraphTest, InEdgesMatchOutEdges) {
   Graph g = testing::TwoCommunityGraph();
   int64_t in_edge_count = 0;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    in_edge_count += static_cast<int64_t>(g.InEdges(u).size());
-    for (const OutEdge& e : g.OutEdges(u)) {
-      auto ins = g.InEdges(e.to);
+    in_edge_count += static_cast<int64_t>(g.InEdges(IntNodeId(u)).size());
+    for (const OutEdge& e : g.OutEdges(IntNodeId(u))) {
+      auto ins = g.InEdges(IntNodeId(e.to));
       auto it = std::find_if(ins.begin(), ins.end(),
                              [&](const InEdge& in) { return in.from == u; });
       ASSERT_TRUE(it != ins.end())
@@ -133,21 +133,21 @@ TEST(GraphTest, InEdgesMatchOutEdges) {
 TEST(GraphTest, ProbabilitiesSumToOnePerNode) {
   Graph g = testing::TwoCommunityGraph();
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    if (g.OutDegree(u) == 0) continue;
+    if (g.OutDegree(IntNodeId(u)) == 0) continue;
     double total = 0.0;
-    for (const OutEdge& e : g.OutEdges(u)) total += e.prob;
+    for (const OutEdge& e : g.OutEdges(IntNodeId(u))) total += e.prob;
     EXPECT_NEAR(total, 1.0, 1e-12);
   }
 }
 
 TEST(GraphTest, HasEdgeAndWeightOnMissing) {
   Graph g = testing::PathGraph(3);
-  EXPECT_TRUE(g.HasEdge(0, 1));
-  EXPECT_FALSE(g.HasEdge(1, 0));  // directed
-  EXPECT_FALSE(g.HasEdge(0, 2));
-  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 0.0);
-  EXPECT_FALSE(g.HasEdge(-1, 0));
-  EXPECT_FALSE(g.HasEdge(0, 99));
+  EXPECT_TRUE(g.HasEdge(IntNodeId(0), IntNodeId(1)));
+  EXPECT_FALSE(g.HasEdge(IntNodeId(1), IntNodeId(0)));  // directed
+  EXPECT_FALSE(g.HasEdge(IntNodeId(0), IntNodeId(2)));
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(IntNodeId(0), IntNodeId(2)), 0.0);
+  EXPECT_FALSE(g.HasEdge(IntNodeId(-1), IntNodeId(0)));
+  EXPECT_FALSE(g.HasEdge(IntNodeId(0), IntNodeId(99)));
 }
 
 // ---------------------------------------------------------------- NodeSet
@@ -155,20 +155,20 @@ TEST(GraphTest, HasEdgeAndWeightOnMissing) {
 TEST(NodeSetTest, SortsAndDedups) {
   NodeSet s("x", {3, 1, 2, 1, 3});
   EXPECT_EQ(s.size(), 3u);
-  EXPECT_EQ(s[0], 1);
-  EXPECT_EQ(s[2], 3);
+  EXPECT_EQ(s[0].value(), 1);
+  EXPECT_EQ(s[2].value(), 3);
 }
 
 TEST(NodeSetTest, Contains) {
   NodeSet s("x", {5, 7});
-  EXPECT_TRUE(s.Contains(5));
-  EXPECT_FALSE(s.Contains(6));
+  EXPECT_TRUE(s.Contains(ExtNodeId(5)));
+  EXPECT_FALSE(s.Contains(ExtNodeId(6)));
 }
 
 TEST(NodeSetTest, ValidateAgainstGraph) {
   Graph g = testing::PathGraph(3);
   EXPECT_TRUE(NodeSet("ok", {0, 2}).Validate(g).ok());
-  EXPECT_EQ(NodeSet("empty", {}).Validate(g).code(),
+  EXPECT_EQ(NodeSet("empty", std::vector<NodeId>{}).Validate(g).code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(NodeSet("bad", {0, 5}).Validate(g).code(),
             StatusCode::kInvalidArgument);
@@ -179,7 +179,7 @@ TEST(NodeSetTest, TopByDegreePicksHubs) {
   NodeSet all("all", {0, 1, 2, 3, 4, 5});
   NodeSet top = all.TopByDegree(g, 1);
   ASSERT_EQ(top.size(), 1u);
-  EXPECT_EQ(top[0], 0);
+  EXPECT_EQ(top[0].value(), 0);
 }
 
 TEST(NodeSetTest, TopByDegreeKeepsAllWhenCountExceedsSize) {

@@ -101,9 +101,9 @@ TEST(IncrementalTest, ScoresAreExactDStepValues) {
   for (int i = 0; i < 20; ++i) {
     auto next = (*join)->Next();
     if (!next) break;
-    w.Reset(p, next->q);
+    w.Reset(p, ExtNodeId(next->q));
     w.Advance(d);
-    EXPECT_NEAR(next->score, w.Score(next->p), 1e-12);
+    EXPECT_NEAR(next->score, w.Score(ExtNodeId(next->p)), 1e-12);
   }
 }
 
@@ -111,7 +111,7 @@ TEST(IncrementalTest, EmptyResultWhenNothingReachable) {
   Graph g = testing::PathGraph(3);  // 0 -> 1 -> 2
   DhtParams p = DhtParams::Lambda(0.2);
   auto join = IncrementalTwoWayJoin::Create(g, p, 8, NodeSet("P", {1, 2}),
-                                            NodeSet("Q", {0}), 5);
+                                            NodeSet("Q", std::vector<NodeId>{0}), 5);
   ASSERT_TRUE(join.ok());
   EXPECT_FALSE((*join)->Next().has_value());
 }
@@ -133,7 +133,8 @@ TEST(IncrementalTest, InvalidInputsRejected) {
   EXPECT_FALSE(IncrementalTwoWayJoin::Create(g, p, 0, Range("P", 0, 5),
                                              Range("Q", 5, 10), 5)
                    .ok());
-  EXPECT_FALSE(IncrementalTwoWayJoin::Create(g, p, 8, NodeSet("E", {}),
+  EXPECT_FALSE(IncrementalTwoWayJoin::Create(g, p, 8,
+                                             NodeSet("E", std::vector<NodeId>{}),
                                              Range("Q", 5, 10), 5)
                    .ok());
 }

@@ -100,7 +100,7 @@ TEST(TwoWayJoinTest, UnreachablePairsExcluded) {
   Graph g = testing::PathGraph(3);
   DhtParams p = DhtParams::Lambda(0.2);
   NodeSet P("P", {1, 2});
-  NodeSet Q("Q", {0});
+  NodeSet Q("Q", std::vector<NodeId>{0});
   for (auto& algo : AllAlgorithms()) {
     auto got = algo->Run(g, p, 8, P, Q, 10);
     ASSERT_TRUE(got.ok()) << algo->Name();
@@ -131,9 +131,9 @@ TEST(TwoWayJoinTest, ScoresAreExactNotBounds) {
   ASSERT_TRUE(got.ok());
   BackwardWalker w(g);
   for (const ScoredPair& sp : *got) {
-    w.Reset(p, sp.q);
+    w.Reset(p, ExtNodeId(sp.q));
     w.Advance(d);
-    EXPECT_NEAR(sp.score, w.Score(sp.p), 1e-12);
+    EXPECT_NEAR(sp.score, w.Score(ExtNodeId(sp.p)), 1e-12);
   }
 }
 
@@ -145,8 +145,10 @@ TEST(TwoWayJoinTest, InvalidInputsRejected) {
   BBjJoin algo;
   EXPECT_FALSE(algo.Run(g, p, 0, P, Q, 10).ok());          // d < 1
   EXPECT_FALSE(algo.Run(g, p, 8, P, Q, 0).ok());           // k == 0
-  EXPECT_FALSE(algo.Run(g, p, 8, NodeSet("E", {}), Q, 10).ok());
-  EXPECT_FALSE(algo.Run(g, p, 8, NodeSet("B", {99}), Q, 10).ok());
+  EXPECT_FALSE(
+      algo.Run(g, p, 8, NodeSet("E", std::vector<NodeId>{}), Q, 10).ok());
+  EXPECT_FALSE(
+      algo.Run(g, p, 8, NodeSet("B", std::vector<NodeId>{99}), Q, 10).ok());
   DhtParams bad = p;
   bad.lambda = 1.5;
   EXPECT_FALSE(algo.Run(g, bad, 8, P, Q, 10).ok());
@@ -222,8 +224,8 @@ TEST(TwoWayJoinTest, DirectedAsymmetry) {
   Graph g = std::move(b.Build()).value();
   DhtParams p = DhtParams::Lambda(0.5);
   BBjJoin algo;
-  NodeSet A("A", {0});
-  NodeSet B("B", {1});
+  NodeSet A("A", std::vector<NodeId>{0});
+  NodeSet B("B", std::vector<NodeId>{1});
   auto ab = algo.Run(g, p, 8, A, B, 1);
   auto ba = algo.Run(g, p, 8, B, A, 1);
   ASSERT_TRUE(ab.ok());

@@ -1,0 +1,5 @@
+// Fixture: a suppression without a reason is itself a finding
+// (bad-suppression), and does NOT waive the underlying hit.
+
+// dhtlint: allow(float-accum)
+float no_reason = 0.0f;  // still trips float-accum

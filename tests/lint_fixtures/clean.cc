@@ -1,0 +1,13 @@
+// Fixture: deterministic engine code that must produce ZERO findings —
+// sorted containers, double accumulation, Rng-style seeding, no hidden
+// state. Comments mentioning rand() or float must not trip.
+#include <map>
+#include <vector>
+
+double SumSorted(const std::map<int, double>& scores) {
+  double total = 0.0;  // double, not float (see float-accum rule)
+  for (const auto& [node, score] : scores) {
+    total += score;
+  }
+  return total;
+}

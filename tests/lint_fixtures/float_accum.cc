@@ -1,0 +1,12 @@
+// Fixture: float-accum must trip on float declarations in engine code
+// (pseudo-path src/...) and honor suppressions.
+
+double Accumulate(const double* xs, int n) {
+  float total = 0.0f;  // TRIP: float accumulator
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<float>(xs[i]);  // TRIP: float narrowing
+  }
+  // dhtlint: allow(float-accum): telemetry gauge, never feeds a score
+  float gauge = total;  // suppressed
+  return static_cast<double>(gauge);
+}

@@ -1,0 +1,20 @@
+// Fixture: mutable-static must trip on mutable statics and
+// thread_local in hot paths (pseudo-path src/dht/...), skip
+// const/constexpr/static functions, and honor suppressions.
+
+static int call_count = 0;              // TRIP: mutable static
+thread_local double scratch = 0.0;      // TRIP: thread_local
+static const int kLimit = 8;            // clean: const
+static constexpr double kBeta = 0.1;    // clean: constexpr
+static double Helper(double x) {        // clean: static function
+  return x * kBeta;
+}
+// dhtlint: allow(mutable-static): debug counter, never read by scores
+static int debug_ticks = 0;  // suppressed
+
+double Touch(double x) {
+  ++call_count;
+  ++debug_ticks;
+  scratch = x;
+  return Helper(scratch) + kLimit;
+}

@@ -1,0 +1,23 @@
+// Fixture: raw-id-param must trip on bare NodeId/int32_t node
+// parameters in engine headers (pseudo-path src/.../x.h) and honor
+// both line and file suppressions (the file-level form is exercised by
+// the test rewriting this header's directive).
+#include <cstdint>
+
+using NodeId = int32_t;
+
+double ScoreOf(NodeId u);                    // TRIP
+void Observe(int32_t node, double score);    // TRIP
+// dhtlint: allow(raw-id-param): documented raw interior below the remap
+double Mass(NodeId u);                       // suppressed
+void Typed(double score);                    // clean: no id param
+
+inline double SumAll(int n) {
+  double total = 0.0;
+  for (NodeId u = 0; u < n; ++u) {           // clean: loop init
+    total += ScoreOf(u);
+  }
+  auto less = [](NodeId a, NodeId b) { return a < b; };  // clean: lambda
+  (void)less;
+  return total;
+}

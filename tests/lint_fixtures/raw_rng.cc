@@ -1,0 +1,21 @@
+// Fixture: raw-rng must trip on every raw randomness / wall-clock
+// source and honor suppressions. Mentions of rand() in comments or
+// strings must NOT trip (the scanner strips both).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned BadSeeds() {
+  unsigned a = static_cast<unsigned>(rand());       // TRIP
+  srand(42);                                        // TRIP
+  std::random_device rd;                            // TRIP
+  unsigned b = static_cast<unsigned>(time(nullptr));  // TRIP
+  auto now = std::chrono::system_clock::now();      // TRIP
+  (void)now;
+  const char* doc = "call rand() for chaos";  // string: no trip
+  (void)doc;
+  // dhtlint: allow(raw-rng): fixture demonstrates a reasoned waiver
+  unsigned c = static_cast<unsigned>(rand());  // suppressed
+  return a + b + c + rd();
+}

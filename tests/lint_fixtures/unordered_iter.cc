@@ -1,0 +1,20 @@
+// Fixture: unordered-iter must trip on hash-order iteration and honor
+// a reasoned suppression. Linted under the pseudo-path src/dht/fix.cc.
+#include <unordered_map>
+#include <unordered_set>
+
+double SumHashOrder() {
+  std::unordered_map<int, double> scores;
+  double total = 0.0;
+  for (const auto& [node, score] : scores) {  // TRIP: range-for
+    total += score;
+  }
+  std::unordered_set<int> seen;
+  auto it = seen.begin();  // TRIP: iterator walk
+  (void)it;
+  // dhtlint: allow(unordered-iter): max-reduction is order-insensitive
+  for (const auto& [node, score] : scores) {  // suppressed
+    if (score > total) total = score;
+  }
+  return total;
+}

@@ -150,9 +150,9 @@ TEST(NwayJoinTest, EdgeScoresAreConsistent) {
     for (std::size_t e = 0; e < query.edges().size(); ++e) {
       NodeId u = t.nodes[static_cast<std::size_t>(query.edges()[e].left)];
       NodeId v = t.nodes[static_cast<std::size_t>(query.edges()[e].right)];
-      w.Reset(p, v);
+      w.Reset(p, ExtNodeId(v));
       w.Advance(8);
-      EXPECT_NEAR(t.edge_scores[e], w.Score(u), 1e-9);
+      EXPECT_NEAR(t.edge_scores[e], w.Score(ExtNodeId(u)), 1e-9);
       lo = std::min(lo, t.edge_scores[e]);
     }
     EXPECT_NEAR(t.f, lo, 1e-12);
@@ -226,7 +226,7 @@ TEST(QueryGraphTest, EmptyNodeSetFailsValidation) {
   Graph g = RandomGraph(20, 50, 325);
   QueryGraph q;
   int a = q.AddNodeSet(Range("A", 0, 4));
-  int b = q.AddNodeSet(NodeSet("B", {}));
+  int b = q.AddNodeSet(NodeSet("B", std::vector<NodeId>{}));
   ASSERT_TRUE(q.AddEdge(a, b).ok());
   EXPECT_FALSE(q.Validate(g).ok());
 }

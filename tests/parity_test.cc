@@ -145,7 +145,7 @@ TEST(ParityTest, TieBreaksAreDeterministicAcrossAlgorithms) {
   DhtParams p = DhtParams::Lambda(0.3);
   const int d = 8;
   NodeSet P = Range("P", 1, 11);  // leaves
-  NodeSet Q("Q", {0});            // hub
+  NodeSet Q("Q", std::vector<NodeId>{0});  // hub
   const std::size_t k = 4;        // < 10 tied pairs
   std::vector<ScoredPair> expect;
   for (NodeId leaf = 1; leaf <= 4; ++leaf) {
@@ -222,7 +222,7 @@ TEST(ParityTest, ExactFloorScoresAreExcludedEverywhere) {
   Graph g = testing::PathGraph(6);  // 0 -> 1 -> ... -> 5
   DhtParams p = DhtParams::Lambda(0.2);
   const int d = 2;
-  NodeSet P("P", {0});
+  NodeSet P("P", std::vector<NodeId>{0});
   NodeSet Q("Q", {1, 2, 3, 4, 5});  // only 1 and 2 reachable within 2
   for (auto& algo : AllAlgorithms()) {
     auto got = algo->Run(g, p, d, P, Q, 10);

@@ -48,7 +48,8 @@ TEST(PprWalkerTest, TwoCycleClosedForm) {
   DhtParams p = DhtParams::PersonalizedPageRank(c);
   int d = p.StepsForEpsilon(1e-10);
   ForwardWalker w(g);
-  EXPECT_NEAR(w.Compute(p, d, 0, 1), c / (1.0 + c), 1e-9);
+  EXPECT_NEAR(w.Compute(p, d, ExtNodeId(0), ExtNodeId(1)), c / (1.0 + c),
+              1e-9);
 }
 
 TEST(PprWalkerTest, VisitingNotFirstHit) {
@@ -62,8 +63,8 @@ TEST(PprWalkerTest, VisitingNotFirstHit) {
   hit.first_hit = true;
   const int d = 20;
   ForwardWalker w(g);
-  double s_visit = w.Compute(visit, d, 0, 3);
-  double s_hit = w.Compute(hit, d, 0, 3);
+  double s_visit = w.Compute(visit, d, ExtNodeId(0), ExtNodeId(3));
+  double s_hit = w.Compute(hit, d, ExtNodeId(0), ExtNodeId(3));
   EXPECT_GT(s_visit, s_hit + 1e-9);
 }
 
@@ -74,11 +75,12 @@ TEST(PprWalkerTest, ForwardEqualsBackward) {
   ForwardWalker fw(g);
   BackwardWalker bw(g);
   for (NodeId v : {2, 11, 23}) {
-    bw.Reset(p, v);
+    bw.Reset(p, ExtNodeId(v));
     bw.Advance(d);
     for (NodeId u : {0, 5, 17, 28}) {
       if (u == v) continue;
-      EXPECT_NEAR(fw.Compute(p, d, u, v), bw.Score(u), 1e-10);
+      EXPECT_NEAR(fw.Compute(p, d, ExtNodeId(u), ExtNodeId(v)),
+                  bw.Score(ExtNodeId(u)), 1e-10);
     }
   }
 }
@@ -89,7 +91,7 @@ TEST(PprWalkerTest, VisitProbabilitiesCanSumPastOne) {
   Graph g = CycleGraph(3);
   DhtParams p = DhtParams::PersonalizedPageRank(0.9);
   ForwardWalker w(g);
-  w.Reset(p, 0, 2);
+  w.Reset(p, ExtNodeId(0), ExtNodeId(2));
   w.Advance(30);
   double total = 0.0;
   for (int i = 1; i <= 30; ++i) total += w.HitProbability(i);
@@ -105,13 +107,13 @@ TEST(PprBoundsTest, XAndYBracketRemainder) {
   YBoundTable ytable(g, p, d, P, Q);
   BackwardWalker partial(g), full(g);
   for (std::size_t qi = 0; qi < Q.size(); ++qi) {
-    NodeId q = Q[qi];
+    ExtNodeId q = Q[qi];
     full.Reset(p, q);
     full.Advance(d);
     partial.Reset(p, q);
     for (int l = 1; l <= d; ++l) {
       partial.Advance(1);
-      for (NodeId u : P) {
+      for (ExtNodeId u : P) {
         if (u == q) continue;
         EXPECT_LE(full.Score(u), partial.Score(u) + p.XBound(l) + 1e-12);
         EXPECT_LE(full.Score(u),
@@ -215,9 +217,10 @@ TEST(PprJoinTest, RankingDiffersFromDht) {
   DhtParams ppr = DhtParams::PersonalizedPageRank(c);
   DhtParams dht = DhtParams::Lambda(0.9);
   ForwardWalker w(g);
-  EXPECT_GT(w.Compute(dht, d, 0, 1), w.Compute(dht, d, 0, 3));  // A > B
-  double ppr_a = w.Compute(ppr, d, 0, 1);
-  double ppr_b = w.Compute(ppr, d, 0, 3);
+  EXPECT_GT(w.Compute(dht, d, ExtNodeId(0), ExtNodeId(1)),
+            w.Compute(dht, d, ExtNodeId(0), ExtNodeId(3)));  // A > B
+  double ppr_a = w.Compute(ppr, d, ExtNodeId(0), ExtNodeId(1));
+  double ppr_b = w.Compute(ppr, d, ExtNodeId(0), ExtNodeId(3));
   EXPECT_LT(ppr_a, ppr_b);  // B > A: ranking reversed
   // And both match their closed forms.
   EXPECT_NEAR(ppr_a, (1 - c) * c / 2, 1e-6);

@@ -59,17 +59,19 @@ TEST(PropagateTest, BackwardModesAgreeOnAllFixtures) {
       BackwardWalker sparse(fx.graph, PropagationMode::kSparse);
       BackwardWalker adaptive(fx.graph, PropagationMode::kAdaptive);
       for (NodeId q = 0; q < fx.graph.num_nodes(); q += 3) {
-        dense.Reset(p, q);
-        sparse.Reset(p, q);
-        adaptive.Reset(p, q);
+        dense.Reset(p, ExtNodeId(q));
+        sparse.Reset(p, ExtNodeId(q));
+        adaptive.Reset(p, ExtNodeId(q));
         dense.Advance(10);
         sparse.Advance(10);
         adaptive.Advance(10);
         for (NodeId u = 0; u < fx.graph.num_nodes(); ++u) {
-          EXPECT_NEAR(sparse.Score(u), dense.Score(u), kTol)
+          EXPECT_NEAR(sparse.Score(ExtNodeId(u)), dense.Score(ExtNodeId(u)),
+                      kTol)
               << fx.name << " first_hit=" << p.first_hit << " q=" << q
               << " u=" << u;
-          EXPECT_NEAR(adaptive.Score(u), dense.Score(u), kTol)
+          EXPECT_NEAR(adaptive.Score(ExtNodeId(u)), dense.Score(ExtNodeId(u)),
+                      kTol)
               << fx.name << " first_hit=" << p.first_hit << " q=" << q
               << " u=" << u;
         }
@@ -89,9 +91,9 @@ TEST(PropagateTest, ForwardModesAgreeOnAllFixtures) {
         for (NodeId v : {static_cast<NodeId>(n - 1), NodeId{1}}) {
           if (u == v) continue;
           const int d = 9;
-          dense.Reset(p, u, v);
-          sparse.Reset(p, u, v);
-          adaptive.Reset(p, u, v);
+          dense.Reset(p, ExtNodeId(u), ExtNodeId(v));
+          sparse.Reset(p, ExtNodeId(u), ExtNodeId(v));
+          adaptive.Reset(p, ExtNodeId(u), ExtNodeId(v));
           dense.Advance(d);
           sparse.Advance(d);
           adaptive.Advance(d);
@@ -116,13 +118,13 @@ TEST(PropagateTest, SparseResumableAdvanceMatchesOneShot) {
   DhtParams p = DhtParams::Lambda(0.5);
   BackwardWalker a(g, PropagationMode::kSparse);
   BackwardWalker b(g, PropagationMode::kSparse);
-  a.Reset(p, 4);
+  a.Reset(p, ExtNodeId(4));
   a.Advance(8);
-  b.Reset(p, 4);
+  b.Reset(p, ExtNodeId(4));
   b.Advance(3);
   b.Advance(5);  // resumed: must be bit-identical, not just close
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_DOUBLE_EQ(a.Score(u), b.Score(u));
+    EXPECT_DOUBLE_EQ(a.Score(ExtNodeId(u)), b.Score(ExtNodeId(u)));
   }
 }
 
@@ -136,8 +138,8 @@ TEST(PropagateTest, SparseStepsRelaxFewerEdgesOnLocalizedWalks) {
                    PropagationMode::kDense);
   Propagator adaptive(g, Propagator::Direction::kBackward,
                       PropagationMode::kAdaptive);
-  dense.Reset(1);
-  adaptive.Reset(1);
+  dense.Reset(IntNodeId(1));
+  adaptive.Reset(IntNodeId(1));
   dense.Step();
   adaptive.Step();
   EXPECT_LT(adaptive.edges_relaxed(), dense.edges_relaxed() / 4);
@@ -150,7 +152,7 @@ TEST(PropagateTest, AdaptiveGoesDenseOnSaturatedFrontier) {
   Graph g = testing::CompleteGraph(24);
   Propagator adaptive(g, Propagator::Direction::kBackward,
                       PropagationMode::kAdaptive);
-  adaptive.Reset(0);
+  adaptive.Reset(IntNodeId(0));
   adaptive.Step();  // frontier: 23 in-neighbors of node 0
   adaptive.Step();  // frontier: everything
   EXPECT_TRUE(adaptive.last_step_dense());
@@ -163,7 +165,7 @@ TEST(PropagateTest, MassConservedWithoutAbsorption) {
   for (auto mode : {PropagationMode::kDense, PropagationMode::kSparse,
                     PropagationMode::kAdaptive}) {
     Propagator engine(g, Propagator::Direction::kForward, mode);
-    engine.Reset(3);
+    engine.Reset(IntNodeId(3));
     for (int s = 0; s < 25; ++s) engine.Step();
     double total = 0.0;
     engine.ForEachMass([&](NodeId, double m) { total += m; });
@@ -175,9 +177,9 @@ TEST(PropagateTest, ResetDropsAllMass) {
   Graph g = TwoCommunityGraph();
   Propagator engine(g, Propagator::Direction::kBackward,
                     PropagationMode::kAdaptive);
-  engine.Reset(0);
+  engine.Reset(IntNodeId(0));
   for (int s = 0; s < 6; ++s) engine.Step();
-  engine.Reset(5);
+  engine.Reset(IntNodeId(5));
   double total = 0.0;
   int count = 0;
   engine.ForEachMass([&](NodeId u, double m) {
@@ -195,13 +197,13 @@ TEST(BackwardWalkerBatchTest, MatchesSequentialWalkerLoop) {
   // The issue's acceptance shape: batch(T, S) == per-target sequential
   // walks, for target counts that exercise full and partial lane blocks.
   Graph g = RandomGraph(50, 160, 34, true, true);
-  std::vector<NodeId> sources;
-  for (NodeId u = 0; u < 20; ++u) sources.push_back(u);
+  std::vector<ExtNodeId> sources;
+  for (NodeId u = 0; u < 20; ++u) sources.push_back(ExtNodeId(u));
   for (const DhtParams& p : Semantics()) {
     for (std::size_t num_targets : {1u, 7u, 8u, 9u, 30u}) {
-      std::vector<NodeId> targets;
+      std::vector<ExtNodeId> targets;
       for (std::size_t i = 0; i < num_targets; ++i) {
-        targets.push_back(static_cast<NodeId>((i * 3 + 10) % 50));
+        targets.push_back(ExtNodeId(static_cast<NodeId>((i * 3 + 10) % 50)));
       }
       BackwardWalkerBatch batch(g);
       std::vector<double> got = batch.Run(p, 8, targets, sources);
@@ -224,8 +226,8 @@ TEST(BackwardWalkerBatchTest, MatchesSequentialWalkerLoop) {
 TEST(BackwardWalkerBatchTest, DuplicateTargetsShareALaneRow) {
   Graph g = TwoCommunityGraph();
   DhtParams p = DhtParams::Lambda(0.3);
-  std::vector<NodeId> targets = {7, 7, 2, 7};  // duplicates in one block
-  std::vector<NodeId> sources = {0, 1, 3, 9};
+  std::vector<ExtNodeId> targets = {ExtNodeId(7), ExtNodeId(7), ExtNodeId(2), ExtNodeId(7)};  // dups in a block
+  std::vector<ExtNodeId> sources = {ExtNodeId(0), ExtNodeId(1), ExtNodeId(3), ExtNodeId(9)};
   BackwardWalkerBatch batch(g);
   std::vector<double> got = batch.Run(p, 6, targets, sources);
   BackwardWalker walker(g);
@@ -242,9 +244,9 @@ TEST(BackwardWalkerBatchTest, DuplicateTargetsShareALaneRow) {
 TEST(BackwardWalkerBatchTest, ThreadCountDoesNotChangeResults) {
   Graph g = RandomGraph(60, 200, 35);
   DhtParams p = DhtParams::Lambda(0.4);
-  std::vector<NodeId> targets;
-  for (NodeId q = 0; q < 40; ++q) targets.push_back(q);
-  std::vector<NodeId> sources = {41, 45, 50, 59};
+  std::vector<ExtNodeId> targets;
+  for (NodeId q = 0; q < 40; ++q) targets.push_back(ExtNodeId(q));
+  std::vector<ExtNodeId> sources = {ExtNodeId(41), ExtNodeId(45), ExtNodeId(50), ExtNodeId(59)};
   BackwardWalkerBatch one(g, {.num_threads = 1});
   BackwardWalkerBatch four(g, {.num_threads = 4});
   std::vector<double> a = one.Run(p, 8, targets, sources);
@@ -260,8 +262,10 @@ TEST(BackwardWalkerBatchTest, ThreadCountDoesNotChangeResults) {
 TEST(BackwardWalkerBatchTest, DenseModeMatchesAdaptive) {
   Graph g = RandomGraph(40, 120, 36);
   DhtParams p = DhtParams::Exponential();
-  std::vector<NodeId> targets = {0, 5, 9, 13, 17, 21, 25, 29, 33};
-  std::vector<NodeId> sources = {2, 3, 4, 38};
+  std::vector<ExtNodeId> targets = {ExtNodeId(0), ExtNodeId(5), ExtNodeId(9), ExtNodeId(13),
+                                    ExtNodeId(17), ExtNodeId(21), ExtNodeId(25), ExtNodeId(29),
+                                    ExtNodeId(33)};
+  std::vector<ExtNodeId> sources = {ExtNodeId(2), ExtNodeId(3), ExtNodeId(4), ExtNodeId(38)};
   BackwardWalkerBatch dense(g, {.mode = PropagationMode::kDense});
   BackwardWalkerBatch adaptive(g, {.mode = PropagationMode::kAdaptive});
   std::vector<double> a = dense.Run(p, 8, targets, sources);
@@ -277,8 +281,10 @@ TEST(BackwardWalkerBatchTest, RunChunkedMatchesSingleRunAcrossSlices) {
   // rely on for all-pairs memory bounding.
   Graph g = RandomGraph(40, 120, 37);
   DhtParams p = DhtParams::Lambda(0.3);
-  std::vector<NodeId> targets = {0, 4, 8, 12, 16, 20, 24, 28, 32, 36};
-  std::vector<NodeId> sources = {1, 2, 3, 39};
+  std::vector<ExtNodeId> targets = {ExtNodeId(0), ExtNodeId(4), ExtNodeId(8), ExtNodeId(12),
+                                    ExtNodeId(16), ExtNodeId(20), ExtNodeId(24), ExtNodeId(28),
+                                    ExtNodeId(32), ExtNodeId(36)};
+  std::vector<ExtNodeId> sources = {ExtNodeId(1), ExtNodeId(2), ExtNodeId(3), ExtNodeId(39)};
   BackwardWalkerBatch batch(g);
   std::vector<double> whole = batch.Run(p, 8, targets, sources);
   std::vector<double> chunked(whole.size(), 0.0);
@@ -299,8 +305,8 @@ TEST(BackwardWalkerBatchTest, RunChunkedMatchesSingleRunAcrossSlices) {
 TEST(BackwardWalkerBatchTest, RepeatedRunsReuseStatesCleanly) {
   Graph g = TwoCommunityGraph();
   DhtParams p = DhtParams::Lambda(0.2);
-  std::vector<NodeId> targets = {0, 5};
-  std::vector<NodeId> sources = {1, 9};
+  std::vector<ExtNodeId> targets = {ExtNodeId(0), ExtNodeId(5)};
+  std::vector<ExtNodeId> sources = {ExtNodeId(1), ExtNodeId(9)};
   BackwardWalkerBatch batch(g, {.num_threads = 1});
   std::vector<double> first = batch.Run(p, 8, targets, sources);
   batch.Run(p, 3, {&targets[1], 1}, sources);  // perturb the workspace

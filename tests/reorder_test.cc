@@ -87,27 +87,30 @@ TEST(ReorderTest, PermutationsAreValidAndRemapInverts) {
     EXPECT_NE(rg.layout_epoch(), 0u);
     std::vector<bool> hit(static_cast<std::size_t>(g.num_nodes()), false);
     for (NodeId u = 0; u < rg.num_nodes(); ++u) {
-      NodeId ext = rg.ToExternal(u);
+      const IntNodeId iu = IntNodeId(u);
+      ExtNodeId ext = rg.ToExternal(iu);
       ASSERT_TRUE(rg.ContainsNode(ext));
-      EXPECT_EQ(rg.ToInternal(ext), u);
-      EXPECT_FALSE(hit[static_cast<std::size_t>(ext)]);
-      hit[static_cast<std::size_t>(ext)] = true;
+      EXPECT_EQ(rg.ToInternal(ext).value(), u);
+      EXPECT_FALSE(hit[static_cast<std::size_t>(ext.value())]);
+      hit[static_cast<std::size_t>(ext.value())] = true;
       // Structure is preserved under the remap: same degrees, weights.
-      EXPECT_EQ(rg.OutDegree(u), g.OutDegree(ext));
-      EXPECT_EQ(rg.InDegree(u), g.InDegree(ext));
-      auto row = rg.OutEdges(u);
-      auto weights = rg.OutWeights(u);
+      // `g` is insertion-ordered, so its internal ids ARE external ids.
+      EXPECT_EQ(rg.OutDegree(iu), g.OutDegree(IntNodeId(ext.value())));
+      EXPECT_EQ(rg.InDegree(iu), g.InDegree(IntNodeId(ext.value())));
+      auto row = rg.OutEdges(iu);
+      auto weights = rg.OutWeights(iu);
       for (std::size_t i = 0; i < row.size(); ++i) {
-        NodeId vext = rg.ToExternal(row[i].to);
-        EXPECT_EQ(g.EdgeWeight(ext, vext), weights[i]);
-        EXPECT_EQ(g.HasEdge(ext, vext), rg.HasEdge(u, row[i].to));
+        const IntNodeId gu = g.ToInternal(ext);
+        const IntNodeId gv = g.ToInternal(rg.ToExternal(IntNodeId(row[i].to)));
+        EXPECT_EQ(g.EdgeWeight(gu, gv), weights[i]);
+        EXPECT_EQ(g.HasEdge(gu, gv), rg.HasEdge(iu, IntNodeId(row[i].to)));
       }
     }
   }
   // Degree layout: hubs first.
   Graph dg = Reordered(g, ReorderKind::kDegree);
   for (NodeId u = 0; u + 1 < dg.num_nodes(); ++u) {
-    EXPECT_GE(dg.Degree(u), dg.Degree(u + 1));
+    EXPECT_GE(dg.Degree(IntNodeId(u)), dg.Degree(IntNodeId(u + 1)));
   }
 }
 
@@ -125,9 +128,9 @@ TEST(ReorderTest, ReorderOfReorderedComposesToOriginalExternalIds) {
   Graph twice = Reordered(once, ReorderKind::kRcm);
   // External ids still mean construction-time ids after two relayouts.
   for (NodeId ext = 0; ext < g.num_nodes(); ++ext) {
-    NodeId u = twice.ToInternal(ext);
-    EXPECT_EQ(twice.ToExternal(u), ext);
-    EXPECT_EQ(twice.Degree(u), g.Degree(ext));
+    IntNodeId u = twice.ToInternal(ExtNodeId(ext));
+    EXPECT_EQ(twice.ToExternal(u).value(), ext);
+    EXPECT_EQ(twice.Degree(u), g.Degree(g.ToInternal(ExtNodeId(ext))));
   }
   // RCM of an RCM-equivalent layout equals RCM of the original: the
   // permutation is computed over canonical ids, not layout ids.
@@ -140,11 +143,11 @@ TEST(ReorderTest, ReorderOfReorderedComposesToOriginalExternalIds) {
 std::vector<double> MassAfter(const Graph& g, Propagator::Direction dir,
                               PropagationMode mode, NodeId seed, int d) {
   Propagator engine(g, dir, mode);
-  engine.Reset(g.ToInternal(seed));
+  engine.Reset(g.ToInternal(ExtNodeId(seed)));
   for (int i = 0; i < d; ++i) engine.Step();
   std::vector<double> mass(static_cast<std::size_t>(g.num_nodes()), 0.0);
   engine.ForEachMass([&](NodeId u, double m) {
-    mass[static_cast<std::size_t>(g.ToExternal(u))] = m;
+    mass[static_cast<std::size_t>(g.ToExternal(IntNodeId(u)).value())] = m;
   });
   return mass;
 }
@@ -258,14 +261,14 @@ TEST(ReorderTest, RestrictedSweepBitIdenticalAndCheaper) {
                           /*restrict_dense=*/true);
     Propagator full(g, dir, PropagationMode::kDense,
                     /*restrict_dense=*/false);
-    restricted.Reset(g.ToInternal(7));
-    full.Reset(g.ToInternal(7));
+    restricted.Reset(g.ToInternal(ExtNodeId(7)));
+    full.Reset(g.ToInternal(ExtNodeId(7)));
     for (int i = 0; i < 6; ++i) {
       restricted.Step();
       full.Step();
     }
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
-      ASSERT_EQ(restricted.Mass(u), full.Mass(u)) << u;
+      ASSERT_EQ(restricted.Mass(IntNodeId(u)), full.Mass(IntNodeId(u))) << u;
     }
     // The restricted plan covers one cluster: ~1/4 of the edge bill.
     EXPECT_LT(restricted.edges_relaxed(), full.edges_relaxed() / 2);
@@ -275,9 +278,11 @@ TEST(ReorderTest, RestrictedSweepBitIdenticalAndCheaper) {
   // Batch engines: same rows, restricted vs full. The targets share a
   // lane block AND a cluster, so the block's union plan stays local
   // (lanes from different components would widen it to their union).
-  std::vector<NodeId> targets = {3, 11, 19, 27, 35, 43};
-  std::vector<NodeId> sources;
-  for (NodeId p = 0; p < 200; p += 7) sources.push_back(p);
+  std::vector<ExtNodeId> targets = {ExtNodeId(3),  ExtNodeId(11),
+                                    ExtNodeId(19), ExtNodeId(27),
+                                    ExtNodeId(35), ExtNodeId(43)};
+  std::vector<ExtNodeId> sources;
+  for (NodeId p = 0; p < 200; p += 7) sources.push_back(ExtNodeId(p));
   DhtParams params = DhtParams::Lambda(0.2);
   BackwardWalkerBatch on(g, {.mode = PropagationMode::kDense});
   BackwardWalkerBatch off(g, {.mode = PropagationMode::kDense,
@@ -295,7 +300,7 @@ TEST(ReorderTest, RestrictedSweepBitIdenticalAndCheaper) {
   // have stayed sparse and paid the frontier penalty forever).
   Propagator adaptive(g, Propagator::Direction::kBackward,
                       PropagationMode::kAdaptive);
-  adaptive.Reset(g.ToInternal(7));
+  adaptive.Reset(g.ToInternal(ExtNodeId(7)));
   bool went_dense = false;
   for (int i = 0; i < 8; ++i) {
     adaptive.Step();
@@ -311,12 +316,13 @@ TEST(ReorderTest, RestrictedSweepOnReorderedClusteredGraph) {
   BackwardWalker a(g);
   BackwardWalker b(rg);
   for (NodeId q : {1, 45, 90}) {
-    a.Reset(params, q);
-    b.Reset(params, q);
+    a.Reset(params, ExtNodeId(q));
+    b.Reset(params, ExtNodeId(q));
     a.Advance(7);
     b.Advance(7);
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
-      ASSERT_EQ(a.Score(u), b.Score(u)) << "q=" << q << " u=" << u;
+      ASSERT_EQ(a.Score(ExtNodeId(u)), b.Score(ExtNodeId(u)))
+          << "q=" << q << " u=" << u;
     }
   }
 }
@@ -367,7 +373,7 @@ TEST(ReorderTest, FingerprintSeparatesLayouts) {
   ASSERT_TRUE(rotated.ok());
   // Same structural bits...
   for (NodeId u = 0; u < 4; ++u) {
-    ASSERT_EQ(cycle->OutDegree(u), rotated->OutDegree(u));
+    ASSERT_EQ(cycle->OutDegree(IntNodeId(u)), rotated->OutDegree(IntNodeId(u)));
   }
   // ...different meaning, different fingerprint.
   EXPECT_NE(serve::GraphFingerprint(*cycle),

@@ -44,15 +44,15 @@ TEST(ResumeTest, BackwardSplitAdvanceIsBitIdentical) {
       BackwardWalker whole(g, mode);
       BackwardWalker split(g, mode);
       for (int l : {1, 2, 4}) {
-        whole.Reset(p, 7);
+        whole.Reset(p, ExtNodeId(7));
         whole.Advance(2 * l);
-        split.Reset(p, 7);
+        split.Reset(p, ExtNodeId(7));
         split.Advance(l);
         split.Advance(l);
         for (NodeId u = 0; u < g.num_nodes(); ++u) {
           // Bit-identical, not merely close: resume must not perturb
           // the floating-point trajectory.
-          EXPECT_EQ(whole.Score(u), split.Score(u))
+          EXPECT_EQ(whole.Score(ExtNodeId(u)), split.Score(ExtNodeId(u)))
               << "first_hit=" << p.first_hit << " l=" << l << " u=" << u;
         }
       }
@@ -66,9 +66,9 @@ TEST(ResumeTest, ForwardSplitAdvanceIsBitIdentical) {
     ForwardWalker whole(g);
     ForwardWalker split(g);
     for (int l : {1, 3, 4}) {
-      whole.Reset(p, 2, 31);
+      whole.Reset(p, ExtNodeId(2), ExtNodeId(31));
       whole.Advance(2 * l);
-      split.Reset(p, 2, 31);
+      split.Reset(p, ExtNodeId(2), ExtNodeId(31));
       split.Advance(l);
       split.Advance(l);
       EXPECT_EQ(whole.Score(), split.Score())
@@ -84,25 +84,26 @@ TEST(ResumeTest, BackwardSaveRestoreResumesExactly) {
   Graph g = TwoCommunityGraph();
   DhtParams p = DhtParams::Lambda(0.3);
   BackwardWalker reference(g);
-  reference.Reset(p, 7);
+  reference.Reset(p, ExtNodeId(7));
   reference.Advance(8);
 
   BackwardWalker walker(g);
-  walker.Reset(p, 7);
+  walker.Reset(p, ExtNodeId(7));
   walker.Advance(3);
   BackwardWalkerState snapshot;
   walker.Save(&snapshot);
   EXPECT_EQ(snapshot.level, 3);
-  EXPECT_EQ(snapshot.target, 7);
+  EXPECT_EQ(snapshot.target.value(), 7);
   // Perturb the walker with unrelated targets, then restore.
-  walker.Reset(p, 2);
+  walker.Reset(p, ExtNodeId(2));
   walker.Advance(5);
   walker.Restore(p, snapshot);
   EXPECT_EQ(walker.level(), 3);
-  EXPECT_EQ(walker.target(), 7);
+  EXPECT_EQ(walker.target().value(), 7);
   walker.Advance(5);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_EQ(walker.Score(u), reference.Score(u)) << "u=" << u;
+    EXPECT_EQ(walker.Score(ExtNodeId(u)), reference.Score(ExtNodeId(u)))
+        << "u=" << u;
   }
 }
 
@@ -110,15 +111,15 @@ TEST(ResumeTest, ForwardSaveRestoreResumesExactly) {
   Graph g = TwoCommunityGraph();
   DhtParams p = DhtParams::PersonalizedPageRank(0.8);  // PPR path too
   ForwardWalker reference(g);
-  reference.Reset(p, 0, 9);
+  reference.Reset(p, ExtNodeId(0), ExtNodeId(9));
   reference.Advance(9);
 
   ForwardWalker walker(g);
-  walker.Reset(p, 0, 9);
+  walker.Reset(p, ExtNodeId(0), ExtNodeId(9));
   walker.Advance(4);
   ForwardWalkerState snapshot;
   walker.Save(&snapshot);
-  walker.Reset(p, 3, 6);
+  walker.Reset(p, ExtNodeId(3), ExtNodeId(6));
   walker.Advance(2);
   walker.Restore(p, snapshot);
   walker.Advance(5);
@@ -137,7 +138,7 @@ TEST(ResumeTest, WalkerStatePoolFindsPutAndEvictsLru) {
   BackwardWalker walker(g);
 
   BackwardWalkerState proto;
-  walker.Reset(p, 1);
+  walker.Reset(p, ExtNodeId(1));
   walker.Advance(2);
   walker.Save(&proto);
   const std::size_t per_state = proto.ApproxBytes();
@@ -167,7 +168,7 @@ TEST(ResumeTest, WalkerStatePoolRetuneGrowsOnThrashShrinksOnIdle) {
   DhtParams p = DhtParams::Lambda(0.2);
   BackwardWalker walker(g);
   BackwardWalkerState proto;
-  walker.Reset(p, 1);
+  walker.Reset(p, ExtNodeId(1));
   walker.Advance(2);
   walker.Save(&proto);
   const std::size_t per_state = proto.ApproxBytes();
@@ -202,8 +203,12 @@ TEST(ResumeTest, WalkerStatePoolRetuneGrowsOnThrashShrinksOnIdle) {
 TEST(ResumeTest, BatchWorkspacePoolCapDiscardsIdleWorkspaces) {
   Graph g = RandomGraph(60, 200, 91);
   DhtParams p = DhtParams::Lambda(0.2);
-  std::vector<NodeId> targets = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  std::vector<NodeId> sources = {11, 12, 13};
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(1), ExtNodeId(2), ExtNodeId(3), ExtNodeId(4),
+      ExtNodeId(5), ExtNodeId(6), ExtNodeId(7), ExtNodeId(8),
+      ExtNodeId(9), ExtNodeId(10)};
+  std::vector<ExtNodeId> sources = {
+      ExtNodeId(11), ExtNodeId(12), ExtNodeId(13)};
 
   // max_pooled_bytes = 1: every workspace is freed on release instead
   // of pinning 128 bytes/node for the engine's lifetime. Scores are
@@ -232,10 +237,13 @@ TEST(ResumeTest, BatchWorkspacePoolCapDiscardsIdleWorkspaces) {
 
 TEST(ResumeTest, BackwardBatchResumeMatchesFromScratchBitwise) {
   Graph g = RandomGraph(50, 170, 43, true, true);
-  std::vector<NodeId> targets = {3, 9, 14, 20, 27, 33, 38, 44, 48};
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(3), ExtNodeId(9), ExtNodeId(14), ExtNodeId(20),
+      ExtNodeId(27), ExtNodeId(33), ExtNodeId(38), ExtNodeId(44),
+      ExtNodeId(48)};
   std::vector<std::size_t> slots = {0, 1, 2, 3, 4, 5, 6, 7, 8};
-  std::vector<NodeId> sources;
-  for (NodeId u = 0; u < 25; ++u) sources.push_back(u);
+  std::vector<ExtNodeId> sources;
+  for (NodeId u = 0; u < 25; ++u) sources.push_back(ExtNodeId(u));
   for (const DhtParams& p : Semantics()) {
     BackwardWalkerBatch batch(g);
     std::vector<double> scratch = batch.Run(p, 8, targets, sources);
@@ -263,13 +271,14 @@ TEST(ResumeTest, BackwardBatchResumeMatchesFromScratchBitwise) {
 TEST(ResumeTest, BackwardBatchResumeRelaxesFewerEdgesThanRestart) {
   Graph g = RandomGraph(60, 220, 44);
   DhtParams p = DhtParams::Lambda(0.2);
-  std::vector<NodeId> targets;
+  std::vector<ExtNodeId> targets;
   std::vector<std::size_t> slots;
   for (NodeId q = 0; q < 24; ++q) {
-    targets.push_back(q);
+    targets.push_back(ExtNodeId(q));
     slots.push_back(static_cast<std::size_t>(q));
   }
-  std::vector<NodeId> sources = {30, 40, 50, 55};
+  std::vector<ExtNodeId> sources = {
+      ExtNodeId(30), ExtNodeId(40), ExtNodeId(50), ExtNodeId(55)};
 
   BackwardWalkerBatch restart(g);
   BackwardWalkerBatch resume(g);
@@ -287,10 +296,14 @@ TEST(ResumeTest, BackwardBatchResumeRelaxesFewerEdgesThanRestart) {
 TEST(ResumeTest, BackwardBatchEvictionRestartsTransparently) {
   Graph g = RandomGraph(40, 130, 45);
   DhtParams p = DhtParams::Exponential();
-  std::vector<NodeId> targets = {1, 5, 9, 13, 17, 21, 25, 29, 33, 37};
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(1), ExtNodeId(5), ExtNodeId(9), ExtNodeId(13),
+      ExtNodeId(17), ExtNodeId(21), ExtNodeId(25), ExtNodeId(29),
+      ExtNodeId(33), ExtNodeId(37)};
   std::vector<std::size_t> slots;
   for (std::size_t i = 0; i < targets.size(); ++i) slots.push_back(i);
-  std::vector<NodeId> sources = {0, 2, 4, 6};
+  std::vector<ExtNodeId> sources = {
+      ExtNodeId(0), ExtNodeId(2), ExtNodeId(4), ExtNodeId(6)};
 
   BackwardWalkerBatch batch(g);
   std::vector<double> scratch = batch.Run(p, 6, targets, sources);
@@ -315,9 +328,11 @@ TEST(ResumeTest, BackwardBatchEvictionRestartsTransparently) {
 TEST(ResumeTest, BackwardBatchDropFreesAndRestarts) {
   Graph g = TwoCommunityGraph();
   DhtParams p = DhtParams::Lambda(0.4);
-  std::vector<NodeId> targets = {7, 2};
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(7), ExtNodeId(2)};
   std::vector<std::size_t> slots = {0, 1};
-  std::vector<NodeId> sources = {0, 1, 3};
+  std::vector<ExtNodeId> sources = {
+      ExtNodeId(0), ExtNodeId(1), ExtNodeId(3)};
   BackwardWalkerBatch batch(g);
   BackwardBatchStates states(2);
   auto sink = [](std::size_t, const double*) {};
@@ -344,9 +359,11 @@ TEST(ResumeTest, BackwardBatchDropFreesAndRestarts) {
 
 TEST(ResumeTest, ForwardBatchMatchesScalarWalker) {
   Graph g = RandomGraph(50, 160, 46, true, true);
-  std::vector<NodeId> sources;
-  for (NodeId u = 0; u < 21; ++u) sources.push_back(u);  // partial block
-  std::vector<NodeId> targets = {25, 30, 35, 40, 45};
+  std::vector<ExtNodeId> sources;
+  for (NodeId u = 0; u < 21; ++u) sources.push_back(ExtNodeId(u));
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(25), ExtNodeId(30), ExtNodeId(35), ExtNodeId(40),
+      ExtNodeId(45)};
   for (const DhtParams& p : Semantics()) {
     ForwardWalkerBatch batch(g);
     std::vector<double> got = batch.Run(p, 8, sources, targets);
@@ -368,8 +385,12 @@ TEST(ResumeTest, ForwardBatchMatchesScalarWalker) {
 TEST(ResumeTest, ForwardBatchChunkedMatchesSingleRun) {
   Graph g = RandomGraph(40, 120, 47);
   DhtParams p = DhtParams::Lambda(0.3);
-  std::vector<NodeId> sources = {0, 3, 6, 9, 12, 15, 18, 21, 24, 27};
-  std::vector<NodeId> targets = {30, 33, 36};
+  std::vector<ExtNodeId> sources = {
+      ExtNodeId(0), ExtNodeId(3), ExtNodeId(6), ExtNodeId(9),
+      ExtNodeId(12), ExtNodeId(15), ExtNodeId(18), ExtNodeId(21),
+      ExtNodeId(24), ExtNodeId(27)};
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(30), ExtNodeId(33), ExtNodeId(36)};
   ForwardWalkerBatch batch(g);
   std::vector<double> whole = batch.Run(p, 7, sources, targets);
   std::vector<double> chunked(whole.size(), 0.0);
@@ -390,9 +411,10 @@ TEST(ResumeTest, ForwardBatchChunkedMatchesSingleRun) {
 TEST(ResumeTest, ForwardBatchThreadCountDoesNotChangeResults) {
   Graph g = RandomGraph(45, 150, 48);
   DhtParams p = DhtParams::Lambda(0.5);
-  std::vector<NodeId> sources;
-  for (NodeId u = 0; u < 30; ++u) sources.push_back(u);
-  std::vector<NodeId> targets = {31, 35, 39, 43};
+  std::vector<ExtNodeId> sources;
+  for (NodeId u = 0; u < 30; ++u) sources.push_back(ExtNodeId(u));
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(31), ExtNodeId(35), ExtNodeId(39), ExtNodeId(43)};
   ForwardWalkerBatch one(g, {.num_threads = 1});
   ForwardWalkerBatch four(g, {.num_threads = 4});
   std::vector<double> a = one.Run(p, 8, sources, targets);
@@ -406,11 +428,14 @@ TEST(ResumeTest, ForwardBatchThreadCountDoesNotChangeResults) {
 
 TEST(ResumeTest, ForwardBatchPairResumeMatchesFromScratchBitwise) {
   Graph g = RandomGraph(40, 130, 49, false, true);
-  std::vector<NodeId> sources = {0, 2, 4, 6, 8, 10, 12, 14, 16};
-  NodeId target = 33;
+  std::vector<ExtNodeId> sources = {
+      ExtNodeId(0), ExtNodeId(2), ExtNodeId(4), ExtNodeId(6),
+      ExtNodeId(8), ExtNodeId(10), ExtNodeId(12), ExtNodeId(14),
+      ExtNodeId(16)};
+  ExtNodeId target(33);
   std::vector<std::size_t> slots;
   for (std::size_t i = 0; i < sources.size(); ++i) slots.push_back(i);
-  std::vector<NodeId> target_vec = {target};
+  std::vector<ExtNodeId> target_vec = {target};
   for (const DhtParams& p : Semantics()) {
     ForwardWalkerBatch batch(g);
     std::vector<double> scratch = batch.Run(p, 8, sources, target_vec);
@@ -440,9 +465,11 @@ TEST(ResumeTest, BackwardBatchMatchesScalarWalkerBitwise) {
   // incremental join's batch-driven initial schedule coexist with the
   // scalar Next() path without perturbing a single result.
   Graph g = RandomGraph(50, 170, 61, true, true);
-  std::vector<NodeId> targets = {2, 7, 13, 21, 30, 44};
-  std::vector<NodeId> sources;
-  for (NodeId u = 0; u < 25; ++u) sources.push_back(u);
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(2), ExtNodeId(7), ExtNodeId(13), ExtNodeId(21),
+      ExtNodeId(30), ExtNodeId(44)};
+  std::vector<ExtNodeId> sources;
+  for (NodeId u = 0; u < 25; ++u) sources.push_back(ExtNodeId(u));
   for (const DhtParams& p : Semantics()) {
     BackwardWalkerBatch batch(g);
     std::vector<double> got = batch.Run(p, 8, targets, sources);
@@ -465,8 +492,8 @@ TEST(ResumeTest, BackwardBatchMatchesScalarWalkerBitwise) {
 /// (row-major by target) plus the engine's barrier count.
 std::pair<std::vector<double>, int64_t> ForwardPerTargetLoop(
     const Graph& g, const DhtParams& p, const std::vector<int>& levels,
-    const std::vector<NodeId>& sources, const std::vector<NodeId>& targets,
-    int num_threads) {
+    const std::vector<ExtNodeId>& sources,
+    const std::vector<ExtNodeId>& targets, int num_threads) {
   ForwardWalkerBatch batch(g, {.num_threads = num_threads});
   ForwardBatchStates states;
   std::vector<double> out(targets.size() * sources.size());
@@ -489,8 +516,8 @@ std::pair<std::vector<double>, int64_t> ForwardPerTargetLoop(
 /// (one fork/join) per level across all targets.
 std::pair<std::vector<double>, int64_t> ForwardFusedSchedule(
     const Graph& g, const DhtParams& p, const std::vector<int>& levels,
-    const std::vector<NodeId>& sources, const std::vector<NodeId>& targets,
-    int num_threads) {
+    const std::vector<ExtNodeId>& sources,
+    const std::vector<ExtNodeId>& targets, int num_threads) {
   ForwardWalkerBatch batch(g, {.num_threads = num_threads});
   ForwardBatchStates states;
   std::vector<double> out(targets.size() * sources.size());
@@ -512,9 +539,11 @@ std::pair<std::vector<double>, int64_t> ForwardFusedSchedule(
 TEST(ResumeTest, ForwardAdvanceManyMatchesPerTargetLoopBitwise) {
   Graph base = RandomGraph(48, 160, 62, true, true);
   Graph rcm = *ReorderGraph(base, ReorderKind::kRcm);
-  std::vector<NodeId> sources;
-  for (NodeId u = 0; u < 19; ++u) sources.push_back(u);  // partial blocks
-  std::vector<NodeId> targets = {20, 25, 30, 35, 40, 45, 47};
+  std::vector<ExtNodeId> sources;
+  for (NodeId u = 0; u < 19; ++u) sources.push_back(ExtNodeId(u));
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(20), ExtNodeId(25), ExtNodeId(30), ExtNodeId(35),
+      ExtNodeId(40), ExtNodeId(45), ExtNodeId(47)};
   const std::vector<int> levels = {1, 2, 4, 8};
   for (const DhtParams& p : Semantics()) {
     auto [loop, loop_barriers] =
@@ -553,10 +582,16 @@ TEST(ResumeTest, ForwardAdvanceManyMatchesPerTargetLoopBitwise) {
 TEST(ResumeTest, BackwardAdvanceManyMultiGroupMatchesSequentialBitwise) {
   Graph g = RandomGraph(55, 180, 63, true, true);
   DhtParams p = DhtParams::Lambda(0.3);
-  std::vector<NodeId> targets_a = {1, 4, 9, 16, 25, 36, 49};
-  std::vector<NodeId> targets_b = {2, 6, 12, 20, 30, 42};
-  std::vector<NodeId> sources_a = {40, 41, 42, 43};
-  std::vector<NodeId> sources_b = {10, 11, 12};
+  std::vector<ExtNodeId> targets_a = {
+      ExtNodeId(1), ExtNodeId(4), ExtNodeId(9), ExtNodeId(16),
+      ExtNodeId(25), ExtNodeId(36), ExtNodeId(49)};
+  std::vector<ExtNodeId> targets_b = {
+      ExtNodeId(2), ExtNodeId(6), ExtNodeId(12), ExtNodeId(20),
+      ExtNodeId(30), ExtNodeId(42)};
+  std::vector<ExtNodeId> sources_a = {
+      ExtNodeId(40), ExtNodeId(41), ExtNodeId(42), ExtNodeId(43)};
+  std::vector<ExtNodeId> sources_b = {
+      ExtNodeId(10), ExtNodeId(11), ExtNodeId(12)};
   std::vector<std::size_t> slots_a, slots_b;
   for (std::size_t i = 0; i < targets_a.size(); ++i) slots_a.push_back(i);
   for (std::size_t i = 0; i < targets_b.size(); ++i) slots_b.push_back(i);
@@ -607,9 +642,12 @@ TEST(ResumeTest, NarrowLaneWidthIsBitIdenticalToDefault) {
   // and the union support only ever contributes exact zeros to lanes
   // that don't own a node.
   Graph g = RandomGraph(50, 170, 64, true, true);
-  std::vector<NodeId> targets = {3, 9, 14, 20, 27, 33, 38, 44, 48};
-  std::vector<NodeId> sources;
-  for (NodeId u = 0; u < 22; ++u) sources.push_back(u);
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(3), ExtNodeId(9), ExtNodeId(14), ExtNodeId(20),
+      ExtNodeId(27), ExtNodeId(33), ExtNodeId(38), ExtNodeId(44),
+      ExtNodeId(48)};
+  std::vector<ExtNodeId> sources;
+  for (NodeId u = 0; u < 22; ++u) sources.push_back(ExtNodeId(u));
   std::vector<std::size_t> slots(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i) slots[i] = i;
   for (const DhtParams& p : Semantics()) {
@@ -651,10 +689,13 @@ TEST(ResumeTest, NarrowLaneWidthIsBitIdenticalToDefault) {
 TEST(ResumeTest, BatchStatesRetuneGrowsOnThrashShrinksOnIdle) {
   Graph g = RandomGraph(40, 130, 65);
   DhtParams p = DhtParams::Lambda(0.2);
-  std::vector<NodeId> targets = {1, 5, 9, 13, 17, 21, 25, 29};
+  std::vector<ExtNodeId> targets = {
+      ExtNodeId(1), ExtNodeId(5), ExtNodeId(9), ExtNodeId(13),
+      ExtNodeId(17), ExtNodeId(21), ExtNodeId(25), ExtNodeId(29)};
   std::vector<std::size_t> slots(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i) slots[i] = i;
-  std::vector<NodeId> sources = {0, 2, 4, 6};
+  std::vector<ExtNodeId> sources = {
+      ExtNodeId(0), ExtNodeId(2), ExtNodeId(4), ExtNodeId(6)};
   auto sink = [](std::size_t, const double*) {};
 
   // THRASH: a 1-byte budget refuses every write-back (all misses +

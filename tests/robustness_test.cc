@@ -225,9 +225,9 @@ void CheckEpsBounds(const Graph& g, const DhtParams& params, int d,
   ASSERT_GE(eps_bound, 0.0);
   BackwardWalker walker(g);
   for (const ScoredPair& sp : degraded) {
-    walker.Reset(params, sp.q);
+    walker.Reset(params, ExtNodeId(sp.q));
     walker.Advance(d);
-    const double exact = walker.Score(sp.p);
+    const double exact = walker.Score(ExtNodeId(sp.p));
     EXPECT_LE(sp.score, exact + 1e-12)
         << "pair (" << sp.p << ", " << sp.q << ")";
     EXPECT_LE(exact, sp.score + eps_bound + 1e-12)

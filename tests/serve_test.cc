@@ -53,10 +53,10 @@ TEST(ScoreCacheTest, GraphFingerprintSeparatesGraphs) {
 }
 
 TEST(ScoreCacheTest, DigestNodesIsContentBased) {
-  std::vector<NodeId> x = {1, 2, 3};
-  std::vector<NodeId> y = {1, 2, 3};
-  std::vector<NodeId> z = {1, 2, 4};
-  std::vector<NodeId> w = {1, 2};
+  std::vector<ExtNodeId> x = {ExtNodeId(1), ExtNodeId(2), ExtNodeId(3)};
+  std::vector<ExtNodeId> y = {ExtNodeId(1), ExtNodeId(2), ExtNodeId(3)};
+  std::vector<ExtNodeId> z = {ExtNodeId(1), ExtNodeId(2), ExtNodeId(4)};
+  std::vector<ExtNodeId> w = {ExtNodeId(1), ExtNodeId(2)};
   EXPECT_EQ(DigestNodes(x), DigestNodes(y));
   EXPECT_NE(DigestNodes(x), DigestNodes(z));
   EXPECT_NE(DigestNodes(x), DigestNodes(w));
@@ -68,8 +68,9 @@ CacheKey TableKey(uint64_t graph_fp, std::vector<NodeId> left,
   key.graph_fp = graph_fp;
   key.kind = CachePayload::kEdgeTable;
   key.d = 8;
-  key.set_a = std::make_shared<const std::vector<NodeId>>(std::move(left));
-  key.set_b = std::make_shared<const std::vector<NodeId>>(std::move(right));
+  key.set_a = std::make_shared<const std::vector<ExtNodeId>>(WrapExtIds(left));
+  key.set_b =
+      std::make_shared<const std::vector<ExtNodeId>>(WrapExtIds(right));
   key.digest_a = DigestNodes(*key.set_a);
   key.digest_b = DigestNodes(*key.set_b);
   return key;
@@ -404,10 +405,12 @@ TEST(DhtJoinServiceTest, ConcurrentSessionsAreDeterministic) {
 TEST(ForwardBatchStatesTest, SparseSlotsSupportHugeVirtualGrids) {
   Graph g = RandomGraph(40, 130, 53, false, true);
   DhtParams p = DhtParams::Lambda(0.3);
-  std::vector<NodeId> sources = {0, 2, 4, 6, 8, 10};
-  NodeId target = 33;
+  std::vector<ExtNodeId> sources = {ExtNodeId(0), ExtNodeId(2),
+                                    ExtNodeId(4), ExtNodeId(6),
+                                    ExtNodeId(8), ExtNodeId(10)};
+  ExtNodeId target(33);
   ForwardWalkerBatch batch(g);
-  std::vector<NodeId> target_vec = {target};
+  std::vector<ExtNodeId> target_vec = {target};
   std::vector<double> scratch = batch.Run(p, 8, sources, target_vec);
 
   // Slot ids from a virtual 10^9 x 10^9 pair grid: the dense slot
@@ -432,12 +435,13 @@ TEST(ForwardBatchStatesTest, SparseSlotsSupportHugeVirtualGrids) {
 TEST(ForwardBatchStatesTest, DropAndBytesTrackResidentStates) {
   Graph g = RandomGraph(40, 130, 54, false, true);
   DhtParams p = DhtParams::Lambda(0.3);
-  std::vector<NodeId> sources = {1, 3, 5};
+  std::vector<ExtNodeId> sources = {ExtNodeId(1), ExtNodeId(3),
+                                    ExtNodeId(5)};
   std::vector<std::size_t> slots = {900'000'000'000ULL, 7ULL,
                                     123'456'789'012ULL};
   ForwardWalkerBatch batch(g);
   ForwardBatchStates states;
-  batch.AdvancePairs(p, 4, sources, slots, 20, states,
+  batch.AdvancePairs(p, 4, sources, slots, ExtNodeId(20), states,
                      [](std::size_t, double) {});
   EXPECT_EQ(states.size(), 3u);
   EXPECT_GT(states.bytes(), 0u);

@@ -24,12 +24,12 @@ using testing::TwoCommunityGraph;
 
 TEST(BfsTest, PathGraphDistances) {
   Graph g = PathGraph(5);
-  auto from0 = BfsFrom(g, 0, 10);
+  auto from0 = BfsFrom(g, IntNodeId(0), 10);
   for (NodeId v = 0; v < 5; ++v) {
     EXPECT_EQ(from0[static_cast<std::size_t>(v)], v);
   }
   // Directed: nothing reaches node 0 except itself.
-  auto to0 = BfsTo(g, 0, 10);
+  auto to0 = BfsTo(g, IntNodeId(0), 10);
   EXPECT_EQ(to0[0], 0);
   for (NodeId v = 1; v < 5; ++v) {
     EXPECT_EQ(to0[static_cast<std::size_t>(v)], kUnreachable);
@@ -38,7 +38,7 @@ TEST(BfsTest, PathGraphDistances) {
 
 TEST(BfsTest, DepthTruncation) {
   Graph g = PathGraph(6);
-  auto dist = BfsFrom(g, 0, 2);
+  auto dist = BfsFrom(g, IntNodeId(0), 2);
   EXPECT_EQ(dist[2], 2);
   EXPECT_EQ(dist[3], kUnreachable);  // beyond the truncation depth
 }
@@ -46,8 +46,8 @@ TEST(BfsTest, DepthTruncation) {
 TEST(BfsTest, ForwardBackwardSymmetryOnUndirected) {
   Graph g = TwoCommunityGraph();
   for (NodeId s : {0, 4, 9}) {
-    auto fwd = BfsFrom(g, s, 20);
-    auto bwd = BfsTo(g, s, 20);
+    auto fwd = BfsFrom(g, IntNodeId(s), 20);
+    auto bwd = BfsTo(g, IntNodeId(s), 20);
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       EXPECT_EQ(fwd[static_cast<std::size_t>(v)],
                 bwd[static_cast<std::size_t>(v)]);
@@ -59,9 +59,9 @@ TEST(BfsTest, BfsToMatchesBfsFromTransposed) {
   // On a directed random graph, BfsTo(g, t)[s] == distance s -> t.
   Graph g = RandomGraph(25, 70, 71, /*undirected=*/false);
   for (NodeId t : {3, 12, 20}) {
-    auto to = BfsTo(g, t, 25);
+    auto to = BfsTo(g, IntNodeId(t), 25);
     for (NodeId s = 0; s < g.num_nodes(); ++s) {
-      auto from = BfsFrom(g, s, 25);
+      auto from = BfsFrom(g, IntNodeId(s), 25);
       EXPECT_EQ(to[static_cast<std::size_t>(s)],
                 from[static_cast<std::size_t>(t)])
           << "s=" << s << " t=" << t;
@@ -106,8 +106,8 @@ TEST(DistanceJoinTest, MultiEdgeQueryRequiresAllEdges) {
   ASSERT_TRUE(result.ok());
   for (const auto& t : result->tuples) {
     // Verify both constraints via reference BFS.
-    auto d_ab = BfsFrom(g, t[0], 2);
-    auto d_bc = BfsFrom(g, t[1], 2);
+    auto d_ab = BfsFrom(g, IntNodeId(t[0]), 2);
+    auto d_bc = BfsFrom(g, IntNodeId(t[1]), 2);
     EXPECT_NE(d_ab[static_cast<std::size_t>(t[1])], kUnreachable);
     EXPECT_LE(d_ab[static_cast<std::size_t>(t[1])], 2);
     EXPECT_NE(d_bc[static_cast<std::size_t>(t[2])], kUnreachable);

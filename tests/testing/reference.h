@@ -32,14 +32,17 @@ namespace dhtjoin::testing {
 /// by explicit enumeration of all walks (exponential; tiny graphs only).
 inline double RefFirstHitProb(const Graph& g, NodeId u, NodeId v, int i) {
   DHTJOIN_CHECK_GE(i, 1);
+  // u and v are EXTERNAL ids; rows are layout-addressed, so translate
+  // on the way in and out — the oracle is layout-independent.
   // When u == v the result is the first-RETURN probability; the start
   // node does not count as a hit, so the recursion below covers it.
   double total = 0.0;
-  for (const OutEdge& e : g.OutEdges(u)) {
+  for (const OutEdge& e : g.OutEdges(g.ToInternal(ExtNodeId(u)))) {
+    const NodeId to = g.ToExternal(IntNodeId(e.to)).value();
     if (i == 1) {
-      if (e.to == v) total += e.prob;
-    } else if (e.to != v) {
-      total += e.prob * RefFirstHitProb(g, e.to, v, i - 1);
+      if (to == v) total += e.prob;
+    } else if (to != v) {
+      total += e.prob * RefFirstHitProb(g, to, v, i - 1);
     }
   }
   return total;
@@ -66,13 +69,15 @@ inline std::vector<ScoredPair> RefTwoWayJoin(const Graph& g,
                                              std::size_t k) {
   BackwardWalker walker(g);
   std::vector<ScoredPair> out;
-  for (NodeId q : Q) {
+  for (ExtNodeId q : Q) {
     walker.Reset(params, q);
     walker.Advance(d);
-    for (NodeId p : P) {
+    for (ExtNodeId p : P) {
       if (p == q) continue;
       double s = walker.Score(p);
-      if (s > params.beta) out.push_back(ScoredPair{p, q, s});
+      if (s > params.beta) {
+        out.push_back(ScoredPair{p.value(), q.value(), s});
+      }
     }
   }
   std::sort(out.begin(), out.end(), ScoredPairGreater);
@@ -123,8 +128,8 @@ inline std::vector<TupleAnswer> RefNwayJoin(
       all.push_back(std::move(a));
       return;
     }
-    for (NodeId r : sets[attr]) {
-      tuple[attr] = r;
+    for (ExtNodeId r : sets[attr]) {
+      tuple[attr] = r.value();
       self(self, attr + 1);
     }
   };

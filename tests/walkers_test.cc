@@ -29,10 +29,11 @@ TEST(ForwardWalkerTest, PathGraphExactValues) {
   Graph g = PathGraph(3);
   DhtParams p = DhtParams::Lambda(0.2);
   ForwardWalker w(g);
-  EXPECT_DOUBLE_EQ(w.Compute(p, 1, 0, 2), p.beta);  // not yet reachable
+  EXPECT_DOUBLE_EQ(w.Compute(p, 1, ExtNodeId(0), ExtNodeId(2)), p.beta);
   double expect = p.alpha * p.lambda * p.lambda + p.beta;
-  EXPECT_DOUBLE_EQ(w.Compute(p, 2, 0, 2), expect);
-  EXPECT_DOUBLE_EQ(w.Compute(p, 8, 0, 2), expect);  // no longer paths
+  EXPECT_DOUBLE_EQ(w.Compute(p, 2, ExtNodeId(0), ExtNodeId(2)), expect);
+  // No longer paths exist past depth 2.
+  EXPECT_DOUBLE_EQ(w.Compute(p, 8, ExtNodeId(0), ExtNodeId(2)), expect);
 }
 
 TEST(ForwardWalkerTest, CycleFirstReturnIsExactlyN) {
@@ -42,7 +43,7 @@ TEST(ForwardWalkerTest, CycleFirstReturnIsExactlyN) {
   Graph g = CycleGraph(5);
   ForwardWalker w(g);
   DhtParams p = DhtParams::Lambda(0.5);
-  w.Reset(p, 0, 4);
+  w.Reset(p, ExtNodeId(0), ExtNodeId(4));
   w.Advance(8);
   for (int i = 1; i <= 8; ++i) {
     EXPECT_DOUBLE_EQ(w.HitProbability(i), i == 4 ? 1.0 : 0.0);
@@ -55,7 +56,7 @@ TEST(ForwardWalkerTest, StarHubOscillation) {
   Graph g = StarGraph(4);  // hub 0, leaves 1..3
   ForwardWalker w(g);
   DhtParams p = DhtParams::Exponential();
-  w.Reset(p, 1, 2);
+  w.Reset(p, ExtNodeId(1), ExtNodeId(2));
   w.Advance(4);
   EXPECT_DOUBLE_EQ(w.HitProbability(1), 0.0);
   EXPECT_NEAR(w.HitProbability(2), 1.0 / 3.0, 1e-12);
@@ -72,7 +73,7 @@ TEST(ForwardWalkerTest, MatchesPathEnumerationOracle) {
   for (NodeId u : {0, 3, 7}) {
     for (NodeId v : {2, 5, 9}) {
       if (u == v) continue;
-      w.Reset(DhtParams::Lambda(0.2), u, v);
+      w.Reset(DhtParams::Lambda(0.2), ExtNodeId(u), ExtNodeId(v));
       w.Advance(d);
       for (int i = 1; i <= d; ++i) {
         EXPECT_NEAR(w.HitProbability(i), RefFirstHitProb(g, u, v, i), 1e-10)
@@ -88,11 +89,11 @@ TEST(BackwardWalkerTest, MatchesPathEnumerationOracle) {
   const int d = 6;
   DhtParams p = DhtParams::Lambda(0.3);
   for (NodeId v : {2, 5, 9}) {
-    w.Reset(p, v);
+    w.Reset(p, ExtNodeId(v));
     w.Advance(d);
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
       if (u == v) continue;
-      EXPECT_NEAR(w.Score(u), RefHd(g, p, d, u, v), 1e-10)
+      EXPECT_NEAR(w.Score(ExtNodeId(u)), RefHd(g, p, d, u, v), 1e-10)
           << "u=" << u << " v=" << v;
     }
   }
@@ -115,11 +116,12 @@ TEST_P(WalkerAgreement, ForwardEqualsBackward) {
   ForwardWalker fw(g);
   BackwardWalker bw(g);
   for (NodeId v : {0, 7, 19}) {
-    bw.Reset(p, v);
+    bw.Reset(p, ExtNodeId(v));
     bw.Advance(d);
     for (NodeId u : {1, 3, 11, 25}) {
       if (u == v) continue;
-      EXPECT_NEAR(fw.Compute(p, d, u, v), bw.Score(u), 1e-10)
+      EXPECT_NEAR(fw.Compute(p, d, ExtNodeId(u), ExtNodeId(v)),
+                  bw.Score(ExtNodeId(u)), 1e-10)
           << "u=" << u << " v=" << v;
     }
   }
@@ -140,11 +142,11 @@ TEST(WalkerInvariants, ScoreMonotoneInD) {
   Graph g = RandomGraph(25, 60, 21);
   DhtParams p = DhtParams::Lambda(0.4);
   BackwardWalker w(g);
-  w.Reset(p, 5);
+  w.Reset(p, ExtNodeId(5));
   double prev = -1e100;
   for (int step = 0; step < 10; ++step) {
     w.Advance(1);
-    double s = w.Score(17);
+    double s = w.Score(ExtNodeId(17));
     EXPECT_GE(s, prev - 1e-15);
     prev = s;
   }
@@ -155,12 +157,12 @@ TEST(WalkerInvariants, ScoresWithinFloorAndCeiling) {
   for (double lambda : {0.2, 0.8}) {
     DhtParams p = DhtParams::Lambda(lambda);
     BackwardWalker w(g);
-    w.Reset(p, 3);
+    w.Reset(p, ExtNodeId(3));
     w.Advance(10);
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
       if (u == 3) continue;
-      EXPECT_GE(w.Score(u), p.FloorScore());
-      EXPECT_LE(w.Score(u), p.MaxScore() + 1e-12);
+      EXPECT_GE(w.Score(ExtNodeId(u)), p.FloorScore());
+      EXPECT_LE(w.Score(ExtNodeId(u)), p.MaxScore() + 1e-12);
     }
   }
 }
@@ -169,7 +171,7 @@ TEST(WalkerInvariants, FirstHitProbsFormSubDistribution) {
   // Sum over i of P_i(u, v) <= 1 (the walk may never hit v).
   Graph g = TwoCommunityGraph();
   ForwardWalker w(g);
-  w.Reset(DhtParams::Lambda(0.2), 0, 9);
+  w.Reset(DhtParams::Lambda(0.2), ExtNodeId(0), ExtNodeId(9));
   const int steps = 300;  // two sparse bridges: mixing is slow
   w.Advance(steps);
   double total = 0.0;
@@ -186,16 +188,17 @@ TEST(WalkerInvariants, DhtLambdaRecurrenceHolds) {
   int d = p.StepsForEpsilon(1e-10);
   BackwardWalker w(g);
   const NodeId v = 6;
-  w.Reset(p, v);
+  w.Reset(p, ExtNodeId(v));
   w.Advance(d);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     if (u == v) continue;
     double rhs = -1.0;
-    for (const OutEdge& e : g.OutEdges(u)) {
-      double hw = e.to == v ? 0.0 : w.Score(e.to);  // DHT(v, v) = 0
+    for (const OutEdge& e : g.OutEdges(IntNodeId(u))) {
+      // DHT(v, v) = 0; fresh fixture, so internal == external ids.
+      double hw = e.to == v ? 0.0 : w.Score(ExtNodeId(e.to));
       rhs += p.lambda * e.prob * hw;
     }
-    EXPECT_NEAR(w.Score(u), rhs, 1e-8) << "u=" << u;
+    EXPECT_NEAR(w.Score(ExtNodeId(u)), rhs, 1e-8) << "u=" << u;
   }
 }
 
@@ -204,7 +207,7 @@ TEST(WalkerInvariants, SinkNodeNeverReachesAnything) {
   Graph g = PathGraph(3);
   DhtParams p = DhtParams::Lambda(0.2);
   ForwardWalker w(g);
-  EXPECT_DOUBLE_EQ(w.Compute(p, 8, 2, 0), p.beta);
+  EXPECT_DOUBLE_EQ(w.Compute(p, 8, ExtNodeId(2), ExtNodeId(0)), p.beta);
 }
 
 TEST(WalkerInvariants, AbsorptionStopsMassAtTarget) {
@@ -213,7 +216,7 @@ TEST(WalkerInvariants, AbsorptionStopsMassAtTarget) {
   // target 1 must put zero hit probability at steps > 1.
   Graph g = PathGraph(4);
   ForwardWalker w(g);
-  w.Reset(DhtParams::Lambda(0.5), 0, 1);
+  w.Reset(DhtParams::Lambda(0.5), ExtNodeId(0), ExtNodeId(1));
   w.Advance(5);
   EXPECT_DOUBLE_EQ(w.HitProbability(1), 1.0);
   for (int i = 2; i <= 5; ++i) {
@@ -225,13 +228,13 @@ TEST(WalkerInvariants, ResumableAdvanceMatchesOneShot) {
   Graph g = RandomGraph(25, 70, 23);
   DhtParams p = DhtParams::Lambda(0.5);
   BackwardWalker a(g), b(g);
-  a.Reset(p, 4);
+  a.Reset(p, ExtNodeId(4));
   a.Advance(8);
-  b.Reset(p, 4);
+  b.Reset(p, ExtNodeId(4));
   b.Advance(3);
   b.Advance(5);  // resumed
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_DOUBLE_EQ(a.Score(u), b.Score(u));
+    EXPECT_DOUBLE_EQ(a.Score(ExtNodeId(u)), b.Score(ExtNodeId(u)));
   }
   EXPECT_EQ(b.level(), 8);
 }
@@ -240,14 +243,14 @@ TEST(WalkerInvariants, ResetReusesWorkspaceCleanly) {
   Graph g = TwoCommunityGraph();
   DhtParams p = DhtParams::Lambda(0.2);
   BackwardWalker w(g);
-  w.Reset(p, 0);
+  w.Reset(p, ExtNodeId(0));
   w.Advance(8);
-  double first = w.Score(9);
-  w.Reset(p, 5);  // different target
+  double first = w.Score(ExtNodeId(9));
+  w.Reset(p, ExtNodeId(5));  // different target
   w.Advance(8);
-  w.Reset(p, 0);  // back to the first target
+  w.Reset(p, ExtNodeId(0));  // back to the first target
   w.Advance(8);
-  EXPECT_DOUBLE_EQ(w.Score(9), first);
+  EXPECT_DOUBLE_EQ(w.Score(ExtNodeId(9)), first);
 }
 
 TEST(WalkerInvariants, WeightsChangeScores) {
@@ -261,7 +264,8 @@ TEST(WalkerInvariants, WeightsChangeScores) {
   Graph skew = std::move(b2.Build()).value();
   DhtParams p = DhtParams::Lambda(0.2);
   ForwardWalker we(even), ws(skew);
-  EXPECT_LT(we.Compute(p, 4, 0, 1), ws.Compute(p, 4, 0, 1));
+  EXPECT_LT(we.Compute(p, 4, ExtNodeId(0), ExtNodeId(1)),
+            ws.Compute(p, 4, ExtNodeId(0), ExtNodeId(1)));
 }
 
 }  // namespace

@@ -117,4 +117,48 @@ Result<int64_t> ParsePositiveInt(const std::string& text,
   return static_cast<int64_t>(v);
 }
 
+Result<ExtNodeId> ParseNodeId(const std::string& text,
+                              const std::string& what, NodeId num_nodes) {
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(what + " must be an integer node id, got '" +
+                                   text + "'");
+  }
+  if (v < 0) {
+    return Status::InvalidArgument(what + " node id must be non-negative, got " +
+                                   text);
+  }
+  if (num_nodes >= 0 && v >= static_cast<long long>(num_nodes)) {
+    return Status::InvalidArgument(
+        what + " node id " + text + " out of range [0, " +
+        std::to_string(num_nodes) + ")");
+  }
+  return ExtNodeId(static_cast<NodeId>(v));
+}
+
+Result<std::vector<ExtNodeId>> ParseNodeList(const std::string& text,
+                                             const std::string& what,
+                                             NodeId num_nodes) {
+  std::vector<ExtNodeId> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    auto comma = text.find(',', pos);
+    std::string item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!item.empty()) {
+      DHTJOIN_ASSIGN_OR_RETURN(ExtNodeId id,
+                               ParseNodeId(item, what, num_nodes));
+      out.push_back(id);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument(what + " node list is empty: '" + text +
+                                   "'");
+  }
+  return out;
+}
+
 }  // namespace dhtjoin::cli

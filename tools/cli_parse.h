@@ -50,6 +50,20 @@ Result<std::vector<QueryEdgeSpec>> ParseQuerySpec(const std::string& spec);
 Result<int64_t> ParsePositiveInt(const std::string& text,
                                  const std::string& what);
 
+/// Parses one EXTERNAL node id. Rejects non-numeric text, negative
+/// ids, and — when `num_nodes` >= 0 — ids outside [0, num_nodes), each
+/// with a message naming the offending value. Parsing returns the
+/// TYPED id so a raw CLI integer cannot drift into an internal-space
+/// API (graph/node_id.h).
+Result<ExtNodeId> ParseNodeId(const std::string& text,
+                              const std::string& what, NodeId num_nodes);
+
+/// Parses a comma-separated external node-id list ("3,1,17") with the
+/// same per-id validation. Empty list is an error.
+Result<std::vector<ExtNodeId>> ParseNodeList(const std::string& text,
+                                             const std::string& what,
+                                             NodeId num_nodes);
+
 }  // namespace dhtjoin::cli
 
 #endif  // DHTJOIN_TOOLS_CLI_PARSE_H_

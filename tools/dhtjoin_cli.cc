@@ -68,10 +68,22 @@ constexpr char kUsage[] =
 
 Status Fail(const std::string& msg) { return Status::InvalidArgument(msg); }
 
-Result<NodeSet> FindSet(const std::vector<NodeSet>& sets,
+/// Resolves `name` to a node set: a named set from --sets, or an
+/// inline literal list of external node ids ("3,1,17"). Inline ids are
+/// validated at parse time against the graph — negative or
+/// out-of-range ids fail with a clear error instead of flowing into
+/// the engines as raw ints (ParseNodeId returns typed ExtNodeId).
+Result<NodeSet> FindSet(const std::vector<NodeSet>& sets, const Graph& g,
                         const std::string& name) {
   for (const NodeSet& s : sets) {
     if (s.name() == name) return s;
+  }
+  if (!name.empty() &&
+      name.find_first_not_of("0123456789,-") == std::string::npos) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        std::vector<ExtNodeId> ids,
+        ParseNodeList(name, "inline set", g.num_nodes()));
+    return NodeSet(name, std::move(ids));
   }
   return Status::NotFound("node set '" + name + "' not found");
 }
@@ -175,9 +187,11 @@ Result<LoadedInputs> LoadCommon(const ParsedArgs& args) {
 Status RunJoin2(const ParsedArgs& args) {
   DHTJOIN_ASSIGN_OR_RETURN(LoadedInputs in, LoadCommon(args));
   DHTJOIN_ASSIGN_OR_RETURN(NodeSet P,
-                           FindSet(in.sets, args.Get("left", "")));
+                           FindSet(in.sets, in.graph,
+                                   args.Get("left", "")));
   DHTJOIN_ASSIGN_OR_RETURN(NodeSet Q,
-                           FindSet(in.sets, args.Get("right", "")));
+                           FindSet(in.sets, in.graph,
+                                   args.Get("right", "")));
   DHTJOIN_ASSIGN_OR_RETURN(int64_t k,
                            ParsePositiveInt(args.Get("k", "50"), "k"));
 
@@ -247,7 +261,7 @@ Status RunNjoin(const ParsedArgs& args) {
   auto attr = [&](const std::string& name) -> Result<int> {
     auto it = attr_of.find(name);
     if (it != attr_of.end()) return it->second;
-    DHTJOIN_ASSIGN_OR_RETURN(NodeSet set, FindSet(in.sets, name));
+    DHTJOIN_ASSIGN_OR_RETURN(NodeSet set, FindSet(in.sets, in.graph, name));
     int a = query.AddNodeSet(std::move(set));
     attr_of[name] = a;
     return a;

@@ -1,0 +1,117 @@
+/// \file tools/dhtlint.cc
+/// \brief CLI driver for the dhtlint determinism rules (CI gate).
+///
+/// Usage:
+///   dhtlint [--root DIR] [--report FILE] [file...]
+///
+/// With explicit files, lints exactly those (paths are taken relative
+/// to --root for rule scoping — this is what run_analysis.sh
+/// --changed-only passes). Without files, walks --root (default: the
+/// current directory) and lints every C++ source under src/ and
+/// tools/ (see lint::DefaultScanPath). Exits 1 when any unsuppressed
+/// finding remains, 0 otherwise; --report writes the JSON findings
+/// document either way.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/dhtlint_lib.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using dhtjoin::lint::Finding;
+using dhtjoin::lint::LintResult;
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Path relative to root, '/'-separated (rule scoping is prefix-based).
+std::string RelLabel(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  std::string label = (ec || rel.empty()) ? path.string() : rel.string();
+  for (char& c : label) {
+    if (c == '\\') c = '/';
+  }
+  return label;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string report_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "usage: dhtlint [--root DIR] [--report FILE] [file...]\n");
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+
+  std::vector<fs::path> targets;
+  if (!files.empty()) {
+    for (const std::string& f : files) targets.emplace_back(f);
+  } else {
+    for (const char* top : {"src", "tools"}) {
+      fs::path dir = root / top;
+      if (!fs::exists(dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        if (dhtjoin::lint::DefaultScanPath(RelLabel(entry.path(), root))) {
+          targets.push_back(entry.path());
+        }
+      }
+    }
+    std::sort(targets.begin(), targets.end());
+  }
+
+  LintResult all;
+  int unreadable = 0;
+  for (const fs::path& path : targets) {
+    std::string content;
+    if (!ReadFile(path, &content)) {
+      std::fprintf(stderr, "dhtlint: cannot read %s\n", path.c_str());
+      ++unreadable;
+      continue;
+    }
+    dhtjoin::lint::Merge(
+        &all, dhtjoin::lint::LintSource(RelLabel(path, root), content));
+  }
+
+  for (const Finding& f : all.findings) {
+    if (f.suppressed) continue;
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::binary);
+    out << dhtjoin::lint::ReportJson(all);
+  }
+
+  const int gate = all.NumUnsuppressed();
+  std::printf("dhtlint: %zu files, %zu findings (%d unsuppressed)\n",
+              targets.size(), all.findings.size(), gate);
+  return (gate > 0 || unreadable > 0) ? 1 : 0;
+}

@@ -1,0 +1,412 @@
+#include "tools/dhtlint_lib.h"
+
+#include <cctype>
+#include <cstdio>
+#include <regex>
+#include <sstream>
+
+namespace dhtjoin::lint {
+namespace {
+
+/// Splits into lines (without terminators).
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+/// Replaces comments and string/char literals with spaces, line by
+/// line, preserving line numbers and column widths. Block-comment
+/// state carries across lines.
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block = false;
+  for (const std::string& line : lines) {
+    std::string code(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            ++i;
+          } else if (line[i] == quote) {
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = c;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Suppression directives found in the raw (unstripped) lines.
+struct Suppressions {
+  // (comment line, (rule, reason)) — see LineReason for the reach.
+  std::vector<std::pair<int, std::pair<std::string, std::string>>>
+      line_allows;
+  std::vector<std::pair<std::string, std::string>> file_allows;  // rule,reason
+  std::vector<Finding> bad;  // allow() without a reason
+
+  // An allow on line K waives findings of its rule on K itself and the
+  // following declaration — up to kReach lines below, so a multi-line
+  // suppression comment above a multi-line signature still lands.
+  static constexpr int kReach = 4;
+
+  const std::string* LineReason(int line, const std::string& rule) const {
+    for (const auto& [allow_line, entry] : line_allows) {
+      if (entry.first == rule && line >= allow_line &&
+          line <= allow_line + kReach) {
+        return &entry.second;
+      }
+    }
+    return nullptr;
+  }
+  const std::string* FileReason(const std::string& rule) const {
+    for (const auto& [r, reason] : file_allows) {
+      if (r == rule) return &reason;
+    }
+    return nullptr;
+  }
+};
+
+Suppressions CollectSuppressions(const std::string& path,
+                                 const std::vector<std::string>& lines) {
+  static const std::regex kAllow(
+      R"(//\s*dhtlint:\s*allow(-file)?\(([A-Za-z0-9_-]+)\)\s*(:\s*(.*))?)");
+  Suppressions sup;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, kAllow)) continue;
+    const bool file_scope = m[1].matched;
+    const std::string rule = m[2].str();
+    std::string reason = m[4].matched ? m[4].str() : "";
+    while (!reason.empty() && std::isspace(static_cast<unsigned char>(
+                                  reason.back()))) {
+      reason.pop_back();
+    }
+    if (reason.empty()) {
+      sup.bad.push_back(Finding{
+          path, static_cast<int>(i + 1), "bad-suppression",
+          "dhtlint suppression of '" + rule +
+              "' has no reason; write `// dhtlint: allow(" + rule +
+              "): <why this is safe>`",
+          false, ""});
+      continue;
+    }
+    if (file_scope) {
+      sup.file_allows.emplace_back(rule, reason);
+    } else {
+      sup.line_allows.emplace_back(static_cast<int>(i + 1),
+                                    std::make_pair(rule, reason));
+    }
+  }
+  return sup;
+}
+
+// ------------------------------------------------------------- rules
+
+/// Names of variables/members declared with an unordered container
+/// type anywhere in the file (line-based heuristic: declaration and
+/// name on one line, the overwhelmingly common case under clang-format).
+std::vector<std::string> UnorderedVarNames(
+    const std::vector<std::string>& code) {
+  static const std::regex kDecl(
+      R"(unordered_(?:map|set|multimap|multiset)\s*<.*>\s+([A-Za-z_]\w*))");
+  std::vector<std::string> names;
+  for (const std::string& line : code) {
+    std::smatch m;
+    std::string rest = line;
+    while (std::regex_search(rest, m, kDecl)) {
+      names.push_back(m[1].str());
+      rest = m.suffix().str();
+    }
+  }
+  return names;
+}
+
+void RuleUnorderedIter(const std::string& path,
+                       const std::vector<std::string>& code,
+                       std::vector<Finding>* out) {
+  if (!StartsWith(path, "src/")) return;
+  const std::vector<std::string> names = UnorderedVarNames(code);
+  if (names.empty()) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    for (const std::string& name : names) {
+      const bool range_for =
+          Contains(line, "for") &&
+          std::regex_search(line, std::regex(R"(:\s*)" + name + R"(\s*\))"));
+      const bool iter_begin =
+          std::regex_search(line, std::regex(name + R"(\s*\.\s*begin\s*\()"));
+      if (range_for || iter_begin) {
+        out->push_back(Finding{
+            path, static_cast<int>(i + 1), "unordered-iter",
+            "iteration over unordered container '" + name +
+                "': hash order is nondeterministic; sort first "
+                "(SortCanonical / sorted supports) or justify "
+                "order-insensitivity in a suppression",
+            false, ""});
+        break;
+      }
+    }
+  }
+}
+
+void RuleRawRng(const std::string& path,
+                const std::vector<std::string>& code,
+                std::vector<Finding>* out) {
+  if (Contains(path, "util/rng") || Contains(path, "util/timer") ||
+      StartsWith(path, "bench/")) {
+    return;
+  }
+  static const std::regex kPatterns[] = {
+      std::regex(R"(\brand\s*\()"),
+      std::regex(R"(\bsrand\s*\()"),
+      std::regex(R"(\brandom_device\b)"),
+      std::regex(R"(\btime\s*\(\s*(NULL|nullptr|0)?\s*\))"),
+      std::regex(R"(\bgettimeofday\s*\()"),
+      std::regex(R"(\bsystem_clock\b)"),
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const std::regex& re : kPatterns) {
+      if (std::regex_search(code[i], re)) {
+        out->push_back(Finding{
+            path, static_cast<int>(i + 1), "raw-rng",
+            "raw randomness / wall-clock source: all seeding flows "
+            "through util/rng.h (deterministic, seedable) or "
+            "util/timer.h (measurement only)",
+            false, ""});
+        break;
+      }
+    }
+  }
+}
+
+void RuleFloatAccum(const std::string& path,
+                    const std::vector<std::string>& code,
+                    std::vector<Finding>* out) {
+  if (!StartsWith(path, "src/")) return;
+  static const std::regex kFloat(R"(\bfloat\b)");
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (std::regex_search(code[i], kFloat)) {
+      out->push_back(Finding{
+          path, static_cast<int>(i + 1), "float-accum",
+          "`float` in engine code: DHT scores and accumulators are "
+          "double end to end; float intermediates change results "
+          "across layouts and lane widths",
+          false, ""});
+    }
+  }
+}
+
+void RuleRawIdParam(const std::string& path,
+                    const std::vector<std::string>& code,
+                    std::vector<Finding>* out) {
+  // Public engine boundaries are the headers; .cc internals are free
+  // to use raw ids (they index storage).
+  if (!StartsWith(path, "src/") || !path.ends_with(".h")) return;
+  static const std::regex kParam(
+      R"([(,]\s*(?:const\s+)?(?:NodeId|int32_t)\s+[A-Za-z_]\w*\s*[,)=])");
+  // Loop inits (`for (NodeId u = 0; ...)`) and comparator lambdas
+  // (`[](NodeId a, NodeId b)`) are local raw-id use, not API surface.
+  static const std::regex kForInit(R"(\bfor\s*\()");
+  static const std::regex kLambda(R"(\]\s*\()");
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (std::regex_search(code[i], kForInit) ||
+        std::regex_search(code[i], kLambda)) {
+      continue;
+    }
+    if (std::regex_search(code[i], kParam)) {
+      out->push_back(Finding{
+          path, static_cast<int>(i + 1), "raw-id-param",
+          "bare NodeId/int32_t node parameter in a public engine "
+          "header: boundaries take ExtNodeId/IntNodeId "
+          "(graph/node_id.h) so id-space mixing cannot compile",
+          false, ""});
+    }
+  }
+}
+
+void RuleMutableStatic(const std::string& path,
+                       const std::vector<std::string>& code,
+                       std::vector<Finding>* out) {
+  if (!StartsWith(path, "src/dht/") && !StartsWith(path, "src/join2/")) {
+    return;
+  }
+  // `static` variable declarations that are not const/constexpr, plus
+  // any thread_local. Function declarations (static helpers) are fine:
+  // heuristically, a declaration whose identifier is immediately
+  // followed by '(' is a function.
+  static const std::regex kStaticVar(
+      R"(^\s*(?:inline\s+)?static\s+(?!const\b|constexpr\b|_assert|_cast))"
+      R"((?:[\w:<>,\s]+?)\s+[A-Za-z_]\w*\s*(?:=|;|\{))");
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    const bool tl = std::regex_search(line, std::regex(R"(\bthread_local\b)"));
+    const bool sv = std::regex_search(line, kStaticVar) &&
+                    !Contains(line, "static_assert") &&
+                    !Contains(line, "static_cast");
+    if (tl || sv) {
+      out->push_back(Finding{
+          path, static_cast<int>(i + 1), "mutable-static",
+          "mutable static / thread_local state in a hot path: hidden "
+          "cross-query state breaks resume parity (DESIGN.md §3); "
+          "thread state lives in explicit per-walk/per-batch objects",
+          false, ""});
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int LintResult::NumUnsuppressed() const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++n;
+  }
+  return n;
+}
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> kNames = {
+      "unordered-iter", "raw-rng",        "float-accum",
+      "raw-id-param",   "mutable-static", "bad-suppression",
+  };
+  return kNames;
+}
+
+LintResult LintSource(const std::string& path, const std::string& content) {
+  const std::vector<std::string> raw = SplitLines(content);
+  const std::vector<std::string> code = StripCommentsAndStrings(raw);
+  const Suppressions sup = CollectSuppressions(path, raw);
+
+  std::vector<Finding> hits;
+  RuleUnorderedIter(path, code, &hits);
+  RuleRawRng(path, code, &hits);
+  RuleFloatAccum(path, code, &hits);
+  RuleRawIdParam(path, code, &hits);
+  RuleMutableStatic(path, code, &hits);
+
+  LintResult result;
+  for (Finding& f : hits) {
+    if (const std::string* reason = sup.FileReason(f.rule)) {
+      f.suppressed = true;
+      f.reason = *reason;
+    } else if (const std::string* line_reason =
+                   sup.LineReason(f.line, f.rule)) {
+      f.suppressed = true;
+      f.reason = *line_reason;
+    }
+    result.findings.push_back(std::move(f));
+  }
+  for (const Finding& f : sup.bad) result.findings.push_back(f);
+  return result;
+}
+
+void Merge(LintResult* a, const LintResult& b) {
+  a->findings.insert(a->findings.end(), b.findings.begin(),
+                     b.findings.end());
+}
+
+std::string ReportJson(const LintResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"rule_counts\": {";
+  bool first = true;
+  for (const std::string& rule : RuleNames()) {
+    int total = 0, suppressed = 0;
+    for (const Finding& f : result.findings) {
+      if (f.rule != rule) continue;
+      ++total;
+      if (f.suppressed) ++suppressed;
+    }
+    os << (first ? "" : ",") << "\n    \"" << rule
+       << "\": {\"total\": " << total << ", \"suppressed\": " << suppressed
+       << "}";
+    first = false;
+  }
+  os << "\n  },\n  \"unsuppressed\": " << result.NumUnsuppressed()
+     << ",\n  \"findings\": [";
+  first = true;
+  for (const Finding& f : result.findings) {
+    os << (first ? "" : ",") << "\n    {\"file\": \"" << JsonEscape(f.file)
+       << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+       << "\", \"suppressed\": " << (f.suppressed ? "true" : "false");
+    if (f.suppressed) {
+      os << ", \"reason\": \"" << JsonEscape(f.reason) << "\"";
+    }
+    os << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+bool DefaultScanPath(const std::string& path) {
+  const bool cpp = path.ends_with(".cc") || path.ends_with(".h") ||
+                   path.ends_with(".cpp") || path.ends_with(".hpp");
+  if (!cpp) return false;
+  if (Contains(path, "lint_fixtures")) return false;
+  return StartsWith(path, "src/") ||
+         (StartsWith(path, "tools/") && !Contains(path, "dhtlint"));
+}
+
+}  // namespace dhtjoin::lint

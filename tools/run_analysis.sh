@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Static-analysis driver: dhtlint + clang-tidy (DESIGN.md §10).
+#
+#   tools/run_analysis.sh [--build-dir DIR] [--changed-only] [--no-tidy]
+#
+# dhtlint always runs (built from tools/dhtlint.cc if missing).
+# clang-tidy runs over build/compile_commands.json when the binary is
+# available; otherwise it is skipped with a notice — the container used
+# for local byte-identity runs does not ship clang-tidy, CI installs it.
+#
+# --changed-only restricts both passes to files touched relative to the
+# merge base with origin/main (falls back to HEAD~1, then to everything).
+set -u
+
+BUILD_DIR=build
+CHANGED_ONLY=0
+RUN_TIDY=1
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --changed-only) CHANGED_ONLY=1; shift ;;
+    --no-tidy) RUN_TIDY=0; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+STATUS=0
+
+# ---------------------------------------------------------------- file set
+CHANGED_FILES=()
+if [ "$CHANGED_ONLY" = 1 ]; then
+  BASE=$(git merge-base origin/main HEAD 2>/dev/null || git rev-parse HEAD~1 2>/dev/null || true)
+  if [ -n "$BASE" ]; then
+    while IFS= read -r f; do
+      case "$f" in
+        src/*.cc|src/*.h|tools/*.cc|tools/*.h) [ -f "$f" ] && CHANGED_FILES+=("$f") ;;
+      esac
+    done < <(git diff --name-only "$BASE" -- 'src' 'tools')
+    if [ ${#CHANGED_FILES[@]} -eq 0 ]; then
+      echo "run_analysis: no changed C++ sources since $BASE — nothing to lint."
+      exit 0
+    fi
+    echo "run_analysis: restricting to ${#CHANGED_FILES[@]} changed file(s)."
+  else
+    echo "run_analysis: no merge base found, scanning everything." >&2
+  fi
+fi
+
+# ----------------------------------------------------------------- dhtlint
+DHTLINT="$BUILD_DIR/dhtlint"
+if [ ! -x "$DHTLINT" ]; then
+  echo "run_analysis: building dhtlint..."
+  if [ -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    cmake --build "$BUILD_DIR" --target dhtlint >/dev/null || STATUS=1
+  fi
+fi
+if [ ! -x "$DHTLINT" ]; then
+  # Last resort: direct compile, no CMake configure required.
+  mkdir -p "$BUILD_DIR"
+  c++ -std=c++20 -O1 -I. tools/dhtlint.cc tools/dhtlint_lib.cc -o "$DHTLINT" || {
+    echo "run_analysis: FAILED to build dhtlint" >&2
+    exit 1
+  }
+fi
+
+echo "== dhtlint =="
+if [ ${#CHANGED_FILES[@]} -gt 0 ]; then
+  "$DHTLINT" --root "$ROOT" --report "$BUILD_DIR/dhtlint_report.json" "${CHANGED_FILES[@]}" || STATUS=1
+else
+  "$DHTLINT" --root "$ROOT" --report "$BUILD_DIR/dhtlint_report.json" || STATUS=1
+fi
+
+# -------------------------------------------------------------- clang-tidy
+if [ "$RUN_TIDY" = 1 ]; then
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_analysis: clang-tidy not found — skipping (CI installs it)."
+  elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_analysis: $BUILD_DIR/compile_commands.json missing — configure CMake first (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default)." >&2
+    STATUS=1
+  else
+    echo "== clang-tidy =="
+    TIDY_FILES=()
+    if [ ${#CHANGED_FILES[@]} -gt 0 ]; then
+      for f in "${CHANGED_FILES[@]}"; do
+        case "$f" in *.cc) TIDY_FILES+=("$f") ;; esac
+      done
+    else
+      while IFS= read -r f; do TIDY_FILES+=("$f"); done \
+        < <(git ls-files 'src/*.cc' 'tools/*.cc' | grep -v 'lint_fixtures')
+    fi
+    if [ ${#TIDY_FILES[@]} -gt 0 ]; then
+      clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_FILES[@]}" || STATUS=1
+    else
+      echo "run_analysis: no .cc files for clang-tidy."
+    fi
+  fi
+fi
+
+exit $STATUS
