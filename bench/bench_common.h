@@ -21,67 +21,19 @@
 #include "datasets/dblp_like.h"
 #include "datasets/yeast_like.h"
 #include "datasets/youtube_like.h"
+#include "obs/json.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 namespace dhtjoin::bench {
 
-/// Minimal JSON object builder for the machine-readable bench outputs
-/// (`BENCH_*.json`) that seed the perf trajectory. Values are rendered
-/// eagerly; nested objects/arrays go in via SetRaw.
-class JsonObject {
- public:
-  JsonObject& Set(const std::string& key, double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.9g", v);
-    return SetRaw(key, buf);
-  }
-  JsonObject& Set(const std::string& key, int64_t v) {
-    return SetRaw(key, std::to_string(v));
-  }
-  JsonObject& Set(const std::string& key, int v) {
-    return SetRaw(key, std::to_string(v));
-  }
-  JsonObject& Set(const std::string& key, const std::string& v) {
-    return SetRaw(key, "\"" + v + "\"");  // callers pass escape-free strings
-  }
-  JsonObject& SetRaw(const std::string& key, const std::string& raw) {
-    fields_.emplace_back(key, raw);
-    return *this;
-  }
-  std::string ToString() const {
-    std::string out = "{";
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
-    }
-    return out + "}";
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
-
-/// Renders a list of JSON objects as a JSON array.
-inline std::string JsonArray(const std::vector<JsonObject>& items) {
-  std::string out = "[";
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += items[i].ToString();
-  }
-  return out + "]";
-}
-
-/// Writes `json` to `path` (plus newline); aborts on IO failure.
-inline void WriteJsonFile(const std::string& path, const std::string& json) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    std::exit(1);
-  }
-  std::fprintf(f, "%s\n", json.c_str());
-  std::fclose(f);
-}
+/// The bench JSON surface (`BENCH_*.json`) is the shared obs builder:
+/// one implementation of key ordering, `", "` separators, and %.9g
+/// doubles, so the committed baselines stay byte-compatible with every
+/// other export in the tree (obs/json.h, DESIGN.md §11).
+using JsonObject = obs::JsonObject;
+using obs::JsonArray;
+using obs::WriteJsonFile;
 
 /// Average wall seconds of `fn` over `repeats` runs (>= 1).
 inline double TimeIt(int repeats, const std::function<void()>& fn) {

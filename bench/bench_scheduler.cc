@@ -38,6 +38,8 @@
 #include "bench_common.h"
 #include "dht/forward_batch.h"
 #include "join2/f_idj.h"
+#include "obs/trace.h"
+#include "util/deadline.h"
 
 using namespace dhtjoin;         // NOLINT
 using namespace dhtjoin::bench;  // NOLINT
@@ -46,6 +48,10 @@ namespace {
 
 constexpr double kBarrierGate = 2.0;
 constexpr double kWallClockGate = 1.05;
+// Tracing on the fused hot loop (one span + a handful of attrs per
+// ROUND, never per block) must cost <= 2% wall clock vs the same
+// schedule untraced (DESIGN.md §11).
+constexpr double kTracingOverheadGate = 1.02;
 
 /// The deepening schedule both drivers run: every round advances all
 /// |Q| targets' live pairs one doubling level deeper, resuming from
@@ -86,9 +92,13 @@ LoopResult RunPerTargetLoop(const Graph& g, const DhtParams& p,
   return r;
 }
 
-/// Fused: ONE AdvanceMany per round across all targets.
+/// Fused: ONE AdvanceMany per round across all targets. With `exec`
+/// non-null the round runs under lifecycle checks, and when a trace is
+/// attached to it, records one span per round — the tracing-overhead
+/// measurement below compares exactly these two calls.
 LoopResult RunFusedSchedule(const Graph& g, const DhtParams& p,
-                            const Workload& w) {
+                            const Workload& w,
+                            const ExecContext* exec = nullptr) {
   ForwardWalkerBatch batch(g);
   ForwardBatchStates states;
   LoopResult r;
@@ -106,7 +116,7 @@ LoopResult RunFusedSchedule(const Graph& g, const DhtParams& p,
     plans[t].out = r.scores.data() + t * w.sources.size();
   }
   for (int l : w.levels) {
-    batch.AdvanceMany(p, l, plans, states, /*save_states=*/true);
+    batch.AdvanceMany(p, l, plans, states, /*save_states=*/true, exec);
   }
   r.barriers = batch.scheduler_barriers();
   return r;
@@ -182,12 +192,24 @@ int main(int argc, char** argv) {
   LoopResult fused = RunFusedSchedule(g, p, w);
   const bool identical = BitIdentical(loop.scores, fused.scores);
 
+  // Tracing determinism: the same fused schedule with a span-recording
+  // trace attached must produce bit-identical scores (spans observe,
+  // never steer — DESIGN.md §11). Fatal in every mode.
+  ExecContext traced_exec;
+  obs::Trace trace(obs::SystemClock::Get());
+  traced_exec.set_trace(&trace);
+  LoopResult traced = RunFusedSchedule(g, p, w, &traced_exec);
+  const bool traced_identical = BitIdentical(fused.scores, traced.scores);
+
   const int repeats = smoke ? 2 : 3;
   const double loop_ms =
       TimeIt(repeats, [&] { RunPerTargetLoop(g, p, w); }) * 1e3;
   const double fused_ms =
       TimeIt(repeats, [&] { RunFusedSchedule(g, p, w); }) * 1e3;
+  const double traced_ms =
+      TimeIt(repeats, [&] { RunFusedSchedule(g, p, w, &traced_exec); }) * 1e3;
   const double speedup = loop_ms / std::max(fused_ms, 1e-9);
+  const double tracing_overhead = traced_ms / std::max(fused_ms, 1e-9);
   const double barrier_reduction =
       static_cast<double>(loop.barriers) /
       static_cast<double>(std::max<int64_t>(fused.barriers, 1));
@@ -199,6 +221,12 @@ int main(int argc, char** argv) {
       loop_ms, static_cast<long long>(loop.barriers), fused_ms,
       static_cast<long long>(fused.barriers), speedup, barrier_reduction,
       identical ? "yes" : "NO");
+  std::printf(
+      "traced fused:      %6.2f ms => %.3fx tracing overhead (%lld spans), "
+      "byte-identical=%s\n",
+      traced_ms, tracing_overhead,
+      static_cast<long long>(trace.num_spans()),
+      traced_identical ? "yes" : "NO");
 
   // Context: the real F-IDJ (rewired onto the fused path) on the same
   // graph — its per-round barrier counts are the production trace of
@@ -237,11 +265,15 @@ int main(int argc, char** argv) {
       .Set("fused_barriers", fused.barriers)
       .Set("barrier_reduction", barrier_reduction)
       .Set("byte_identical", identical ? 1 : 0)
+      .Set("traced_ms", traced_ms)
+      .Set("tracing_overhead", tracing_overhead)
+      .Set("traced_byte_identical", traced_identical ? 1 : 0)
       .Set("fidj_pool_barriers", st.pool_barriers)
       .Set("fidj_rounds",
            static_cast<int64_t>(st.barriers_per_iteration.size()))
       .Set("gate_barrier_reduction", kBarrierGate)
-      .Set("gate_wall_clock", kWallClockGate);
+      .Set("gate_wall_clock", kWallClockGate)
+      .Set("gate_tracing_overhead", kTracingOverheadGate);
   WriteJsonFile("BENCH_scheduler.json", doc.ToString());
   std::printf("\nwrote BENCH_scheduler.json (%.2fx wall, %.0fx barriers)\n",
               speedup, barrier_reduction);
@@ -263,6 +295,18 @@ int main(int argc, char** argv) {
                  "%s: fused wall-clock speedup %.2fx below the %.2fx gate\n",
                  smoke ? "WARN (smoke)" : "FAIL", speedup, kWallClockGate);
     ok = ok && smoke;
+  }
+  if (!traced_identical) {
+    std::fprintf(stderr, "FAIL: tracing changed the fused schedule's "
+                         "scores\n");
+    ok = false;  // fatal in every mode: spans must not steer
+  }
+  if (tracing_overhead > kTracingOverheadGate) {
+    std::fprintf(stderr,
+                 "%s: tracing overhead %.3fx above the %.3fx gate\n",
+                 smoke ? "WARN (smoke)" : "FAIL", tracing_overhead,
+                 kTracingOverheadGate);
+    ok = ok && smoke;  // timing-dependent: warn-only under --smoke
   }
   return ok ? 0 : 1;
 }

@@ -86,6 +86,7 @@
 #include "dht/params.h"
 #include "dht/propagate.h"
 #include "graph/graph.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/thread_pool.h"
 
@@ -408,6 +409,12 @@ class BackwardWalkerBatchT {
                       const ExecContext* exec = nullptr,
                       bool* interrupted = nullptr) {
     DHTJOIN_CHECK(params.Validate().ok());
+    // One span per fused round (never per block): blocks run, lanes
+    // packed, fresh walks, and an edge-stream byte estimate.
+    obs::Trace* const obs_trace = obs::TraceOf(exec);
+    obs::ScopedSpan obs_span(obs_trace, "b.advance_many");
+    const int64_t obs_edges_before =
+        obs_trace != nullptr ? workspaces_.edges_relaxed() : 0;
     struct GroupCtx {
       std::vector<NodeId> target_storage, source_storage;
       std::span<const NodeId> itargets, isources;
@@ -497,6 +504,22 @@ class BackwardWalkerBatchT {
       const std::size_t cells = grp.targets.size() * grp.sources.size();
       for (std::size_t c = 0; c < cells; ++c) grp.out[c] += params.beta;
     }
+    if (obs_trace != nullptr) {
+      int64_t lanes = 0;
+      for (const batch_core::LevelBlock& blk : blocks.blocks) {
+        lanes += blk.width;
+      }
+      obs_span.SetAttr("groups", static_cast<int64_t>(groups.size()));
+      obs_span.SetAttr("blocks", static_cast<int64_t>(blocks.blocks.size()));
+      obs_span.SetAttr("lanes", lanes);
+      obs_span.SetAttr("fresh", fresh);
+      obs_span.SetAttr("bytes",
+                       (workspaces_.edges_relaxed() - obs_edges_before) *
+                           static_cast<int64_t>(sizeof(InEdge)));
+      if (stopped.load(std::memory_order_relaxed)) {
+        obs_span.SetAttr("interrupted", int64_t{1});
+      }
+    }
     return fresh;
   }
 
@@ -511,7 +534,7 @@ class BackwardWalkerBatchT {
   /// Fork/join barriers dispatched by this engine so far (one per Run
   /// chunk or AdvanceMany round). The fused scheduler exists to keep
   /// this independent of |Q|; surfaced as TwoWayJoinStats::pool_barriers.
-  int64_t scheduler_barriers() const { return pool_.parallel_fors(); }
+  int64_t scheduler_barriers() const { return pool_.scheduler_barriers(); }
 
   /// Workspace-pool observability (Options::max_pooled_bytes).
   std::size_t pooled_workspaces() const {

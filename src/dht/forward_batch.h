@@ -79,6 +79,7 @@
 #include "dht/params.h"
 #include "dht/propagate.h"
 #include "graph/graph.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/thread_pool.h"
 
@@ -334,6 +335,12 @@ class ForwardWalkerBatchT {
                       bool* interrupted = nullptr) {
     DHTJOIN_CHECK(params.Validate().ok());
     DHTJOIN_CHECK_GE(to_level, 1);
+    // One span per fused round (never per block); see the backward
+    // engine's AdvanceMany for the attr meanings.
+    obs::Trace* const obs_trace = obs::TraceOf(exec);
+    obs::ScopedSpan obs_span(obs_trace, "f.advance_many");
+    const int64_t obs_edges_before =
+        obs_trace != nullptr ? workspaces_.edges_relaxed() : 0;
 
     struct PlanCtx {
       std::vector<NodeId> source_storage;
@@ -454,6 +461,20 @@ class ForwardWalkerBatchT {
         }
       }
     }
+    if (obs_trace != nullptr) {
+      int64_t lanes = 0;
+      for (const Block& blk : blocks) lanes += blk.width;
+      obs_span.SetAttr("plans", static_cast<int64_t>(plans.size()));
+      obs_span.SetAttr("blocks", static_cast<int64_t>(blocks.size()));
+      obs_span.SetAttr("lanes", lanes);
+      obs_span.SetAttr("fresh", fresh);
+      obs_span.SetAttr("bytes",
+                       (workspaces_.edges_relaxed() - obs_edges_before) *
+                           static_cast<int64_t>(sizeof(OutEdge)));
+      if (stopped.load(std::memory_order_relaxed)) {
+        obs_span.SetAttr("interrupted", int64_t{1});
+      }
+    }
     return fresh;
   }
 
@@ -465,7 +486,7 @@ class ForwardWalkerBatchT {
 
   /// Fork/join barriers dispatched by this engine so far (one per Run
   /// chunk or AdvanceMany round); see BackwardWalkerBatchT.
-  int64_t scheduler_barriers() const { return pool_.parallel_fors(); }
+  int64_t scheduler_barriers() const { return pool_.scheduler_barriers(); }
 
   /// Workspace-pool observability (Options::max_pooled_bytes).
   std::size_t pooled_workspaces() const {

@@ -7,6 +7,7 @@
 
 #include "dht/bounds.h"
 #include "dht/walker_state.h"
+#include "obs/trace.h"
 #include "util/top_k.h"
 
 namespace dhtjoin {
@@ -22,9 +23,11 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, k));
   stats_.Reset();
   const ExecContext* exec = options_.exec;
+  obs::Trace* const trace = obs::TraceOf(exec);
 
   std::unique_ptr<YBoundTable> ybound;
   if (options_.bound == UpperBoundKind::kY) {
+    obs::ScopedSpan ybound_span(trace, "ybound");
     ybound = std::make_unique<YBoundTable>(g, params, d, P, Q, exec);
     // Charge what the S_i(P, q) sweep actually relaxed (it runs on the
     // shared adaptive engine now, so a flat d * |E| would overcount).
@@ -119,6 +122,9 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
       StatusCode code = exec->Check();
       if (code != StatusCode::kOk) return degrade(code);
     }
+    obs::ScopedSpan round_span(trace, "round");
+    round_span.SetAttr("level", int64_t{l});
+    round_span.SetAttr("frontier", static_cast<int64_t>(live.size()));
     PairTopK bounds(k);  // B is reset every iteration (Alg. 2 Step 3)
     std::vector<double> q_upper(live.size());
     bool completed =
@@ -170,6 +176,7 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
         1.0 - static_cast<double>(survivors.size()) /
                   static_cast<double>(Q.size()));
     live.swap(survivors);
+    round_span.SetAttr("survivors", static_cast<int64_t>(live.size()));
     stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
     // Feedback autotuning between rounds (batch_core::BatchStateBudget):
     // grow the pool on thrash, shrink on idle. Explicit budgets are the
@@ -185,6 +192,9 @@ Result<std::vector<ScoredPair>> BIdjJoin::Run(const Graph& g,
   }
   PairTopK best(k);
   if (!live.empty()) {
+    obs::ScopedSpan final_span(trace, "final");
+    final_span.SetAttr("level", int64_t{d});
+    final_span.SetAttr("frontier", static_cast<int64_t>(live.size()));
     bool completed =
         walk_live(live, d, /*save=*/false, [&](std::size_t i,
                                                const double* row) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dht/walker_state.h"
+#include "obs/trace.h"
 #include "util/top_k.h"
 
 namespace dhtjoin {
@@ -16,6 +17,7 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
   DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g, params, d, P, Q, k));
   stats_.Reset();
   const ExecContext* exec = options_.exec;
+  obs::Trace* const trace = obs::TraceOf(exec);
 
   ForwardWalkerBatch batch(g);
   // Pair states are keyed on the ORIGINAL (pi, qi) grid so a source's
@@ -141,6 +143,9 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
       StatusCode code = exec->Check();
       if (code != StatusCode::kOk) return degrade(code);
     }
+    obs::ScopedSpan round_span(trace, "round");
+    round_span.SetAttr("level", int64_t{l});
+    round_span.SetAttr("frontier", static_cast<int64_t>(live.size()));
     PairTopK bounds(k);
     std::vector<double> pmax(live.size(), params.beta);  // floor over q
     bool completed = walk_live(live, l, /*save=*/true,
@@ -183,6 +188,7 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
         1.0 - static_cast<double>(survivors.size()) /
                   static_cast<double>(P.size()));
     live.swap(survivors);
+    round_span.SetAttr("survivors", static_cast<int64_t>(live.size()));
     stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
     // Feedback autotuning between rounds: fold the pool's observed
     // hit/eviction behaviour back into its byte budget (grow on thrash,
@@ -197,6 +203,9 @@ Result<std::vector<ScoredPair>> FIdjJoin::Run(const Graph& g,
     if (code != StatusCode::kOk) return degrade(code);
   }
   PairTopK best(k);
+  obs::ScopedSpan final_span(trace, "final");
+  final_span.SetAttr("level", int64_t{d});
+  final_span.SetAttr("frontier", static_cast<int64_t>(live.size()));
   bool completed = walk_live(live, d, /*save=*/false,
                              [&](std::size_t i, std::size_t qi, double s) {
     ExtNodeId p = P[live[i]];

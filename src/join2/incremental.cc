@@ -5,6 +5,7 @@
 
 #include "dht/backward_batch.h"
 
+#include "obs/trace.h"
 #include "util/top_k.h"
 
 namespace dhtjoin {
@@ -188,6 +189,8 @@ double IncrementalTwoWayJoin::LowerThreshold(std::size_t m) const {
 
 void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
   if (m == 0) return;  // fully lazy; Next() drives everything
+  obs::Trace* const trace = obs::TraceOf(options_.exec);
+  obs::ScopedSpan sched_span(trace, "schedule");
   std::vector<std::size_t> live(Q_.size());
   for (std::size_t qi = 0; qi < Q_.size(); ++qi) live[qi] = qi;
   stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
@@ -198,6 +201,9 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
     // under ANY query's P), which only the scalar walker can produce
     // and consume — DeepenTarget imports/offers them per target.
     for (int l = 1; l < d_; l *= 2) {
+      obs::ScopedSpan round_span(trace, "round");
+      round_span.SetAttr("level", int64_t{l});
+      round_span.SetAttr("frontier", static_cast<int64_t>(live.size()));
       std::vector<double> q_upper(live.size(), kNegInf);
       for (std::size_t i = 0; i < live.size(); ++i) {
         std::size_t qi = live[i];
@@ -222,7 +228,11 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
                     static_cast<double>(Q_.size()));
       live.swap(survivors);
       stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+      round_span.SetAttr("survivors", static_cast<int64_t>(live.size()));
     }
+    obs::ScopedSpan final_span(trace, "final");
+    final_span.SetAttr("level", int64_t{d_});
+    final_span.SetAttr("frontier", static_cast<int64_t>(live.size()));
     for (std::size_t qi : live) {
       if (q_level_[qi] < d_) DeepenTarget(qi, d_);
     }
@@ -239,16 +249,36 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
   // scores, just 2x the steps for that target (DESIGN.md §3, §8).
   BackwardWalkerBatch batch(g_);
   BackwardBatchStates batch_states(Q_.size(), walker_states_.max_bytes());
+  // All counter folds from the batch run through this one delta-based
+  // accountant, called once per deepening round. The engine counters
+  // (edges, barriers, resume hits/misses) are cumulative on the batch
+  // objects; folding deltas here keeps each event counted exactly once
+  // — the same "one hit or miss per (target, round) resume attempt"
+  // semantics the scalar DeepenTarget implements with its manual
+  // increments — and makes a second fold of the same round impossible
+  // (the old one-shot `+= batch_states.hits()` after the whole
+  // schedule double-counts as soon as anything reads or folds
+  // mid-schedule).
   int64_t edges_seen = 0;
   int64_t barriers_seen = 0;
+  int64_t hits_seen = 0;
+  int64_t misses_seen = 0;
   auto account = [&] {
     stats_.walk_steps += batch.edges_relaxed() - edges_seen;
     edges_seen = batch.edges_relaxed();
     stats_.barriers_per_iteration.push_back(batch.scheduler_barriers() -
                                             barriers_seen);
+    stats_.pool_barriers += batch.scheduler_barriers() - barriers_seen;
     barriers_seen = batch.scheduler_barriers();
+    stats_.state_hits += batch_states.hits() - hits_seen;
+    hits_seen = batch_states.hits();
+    stats_.state_misses += batch_states.misses() - misses_seen;
+    misses_seen = batch_states.misses();
   };
   for (int l = 1; l < d_; l *= 2) {
+    obs::ScopedSpan round_span(trace, "round");
+    round_span.SetAttr("level", int64_t{l});
+    round_span.SetAttr("frontier", static_cast<int64_t>(live.size()));
     std::vector<ExtNodeId> nodes(live.size());
     for (std::size_t i = 0; i < live.size(); ++i) nodes[i] = Q_[live[i]];
     std::vector<double> q_upper(live.size(), kNegInf);
@@ -276,6 +306,7 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
                   static_cast<double>(Q_.size()));
     live.swap(survivors);
     stats_.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+    round_span.SetAttr("survivors", static_cast<int64_t>(live.size()));
     // Same feedback autotuning the scalar pool gets: grow the schedule's
     // state budget on thrash, shrink on idle (never changes a result).
     if (autotune_budget_) batch_states.Retune();
@@ -288,6 +319,9 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
     if (q_level_[qi] < d_) need.push_back(qi);
   }
   if (!need.empty()) {
+    obs::ScopedSpan final_span(trace, "final");
+    final_span.SetAttr("level", int64_t{d_});
+    final_span.SetAttr("frontier", static_cast<int64_t>(need.size()));
     std::vector<ExtNodeId> nodes(need.size());
     for (std::size_t i = 0; i < need.size(); ++i) nodes[i] = Q_[need[i]];
     stats_.walks_started += batch.AdvanceChunked(
@@ -298,13 +332,11 @@ void IncrementalTwoWayJoin::RunInitialSchedule(std::size_t m) {
         /*save_states=*/false);
     account();
   }
-  stats_.state_hits += batch_states.hits();
-  stats_.state_misses += batch_states.misses();
   // Remember the schedule's evictions: DeepenTarget refreshes
-  // stats_.state_evictions from the scalar pool on every later call.
+  // stats_.state_evictions from the scalar pool on every later call,
+  // using this same formula — keep the two sites identical.
   schedule_evictions_ = batch_states.evictions();
-  stats_.state_evictions += schedule_evictions_;
-  stats_.pool_barriers += batch.scheduler_barriers();
+  stats_.state_evictions = walker_states_.evictions() + schedule_evictions_;
 }
 
 std::optional<ScoredPair> IncrementalTwoWayJoin::Next() {

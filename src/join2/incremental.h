@@ -40,6 +40,7 @@
 #include "dht/bounds.h"
 #include "dht/walker_state.h"
 #include "join2/two_way_join.h"
+#include "util/deadline.h"
 #include "util/mutable_heap.h"
 
 namespace dhtjoin {
@@ -58,6 +59,12 @@ class IncrementalTwoWayJoin {
     /// walk instead of restarting, and offers its own walks back —
     /// bit-identical either way (DESIGN.md §3). Must outlive the join.
     BackwardSnapshotProvider* snapshots = nullptr;
+    /// Used for TRACING only (obs::TraceOf): the initial schedule
+    /// records per-round spans (level, frontier, survivors) on the
+    /// attached trace. Deadline/cancel are deliberately NOT polled in
+    /// this engine — PJ-i has no anytime-degradation story yet, so a
+    /// mid-schedule stop would leave F half-built (DESIGN.md §9).
+    const ExecContext* exec = nullptr;
   };
 
   /// Prepares the enumerator and runs the top-m deepening schedule.

@@ -1,0 +1,75 @@
+/// \file obs/clock.h
+/// \brief Injected time source for all telemetry (DESIGN.md §11).
+///
+/// Every timing measurement in src/ goes through an obs::Clock so that
+/// (a) fake-clock tests can drive latency — and therefore histograms,
+/// slow-query capture, and deadline interplay — deterministically, and
+/// (b) dhtlint's raw-clock rule can ban direct monotonic-clock reads
+/// everywhere else in src/. SystemClock below is the single sanctioned
+/// raw read; Deadline (util/deadline.h) keeps its own steady_clock
+/// arithmetic because expiry is lifecycle control, not telemetry, and
+/// carries a reasoned suppression.
+
+#ifndef DHTJOIN_OBS_CLOCK_H_
+#define DHTJOIN_OBS_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/config.h"
+
+namespace dhtjoin {
+namespace obs {
+
+/// Monotonic nanosecond time source. Implementations must be
+/// thread-safe: NowNanos() is called from pool workers.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNanos() const = 0;
+};
+
+/// The real monotonic clock — the one sanctioned raw-clock read in
+/// src/ (everything else injects a Clock*).
+class SystemClock final : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide instance for callers that did not inject a clock.
+  static const SystemClock* Get() {
+    static const SystemClock kClock;
+    return &kClock;
+  }
+};
+
+/// Deterministic test clock: time moves only when told to. Advancing
+/// from one thread while another reads is safe (relaxed atomics).
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  int64_t NowNanos() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void AdvanceNanos(int64_t delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void AdvanceMicros(int64_t delta) { AdvanceNanos(delta * 1000); }
+  void AdvanceMillis(int64_t delta) { AdvanceNanos(delta * 1000000); }
+
+  void Set(int64_t nanos) { now_.store(nanos, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace obs
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_OBS_CLOCK_H_

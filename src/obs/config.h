@@ -1,0 +1,26 @@
+/// \file obs/config.h
+/// \brief Compile-time switch for the observability layer.
+///
+/// Building with -DDHT_OBS_OFF (CMake option DHT_OBS_OFF) compiles out
+/// trace spans and all telemetry *timing* (clock reads in ThreadPool
+/// task wrappers, span timestamps). Plain counters stay live in every
+/// build: they are part of the stats plumbing that tests and benches
+/// assert on (e.g. scheduler_barriers), and a relaxed fetch_add at
+/// round granularity is not measurable. See DESIGN.md §11.
+
+#ifndef DHTJOIN_OBS_CONFIG_H_
+#define DHTJOIN_OBS_CONFIG_H_
+
+namespace dhtjoin {
+namespace obs {
+
+#ifdef DHT_OBS_OFF
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+}  // namespace obs
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_OBS_CONFIG_H_

@@ -1,0 +1,98 @@
+#include "obs/export.h"
+
+#include <cctype>
+
+#include "obs/json.h"
+
+namespace dhtjoin {
+namespace obs {
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  JsonObject doc;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    doc.Set(c.name, c.value);
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    doc.Set(g.name, g.value);
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    doc.Set(h.name + ".count", h.count)
+        .Set(h.name + ".sum", h.sum)
+        .Set(h.name + ".mean", h.Mean())
+        .Set(h.name + ".p50", h.QuantileBound(0.50))
+        .Set(h.name + ".p95", h.QuantileBound(0.95))
+        .Set(h.name + ".p99", h.QuantileBound(0.99));
+  }
+  return doc.ToString();
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "dhtjoin_";
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_')
+               ? c
+               : '_';
+  }
+  return out;
+}
+
+std::string PromDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    const std::string name = PromName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    const std::string name = PromName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + PromDouble(g.value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string name = PromName(h.name);
+    out += "# TYPE " + name + " summary\n";
+    out += name + "{quantile=\"0.5\"} " +
+           std::to_string(h.QuantileBound(0.50)) + "\n";
+    out += name + "{quantile=\"0.95\"} " +
+           std::to_string(h.QuantileBound(0.95)) + "\n";
+    out += name + "{quantile=\"0.99\"} " +
+           std::to_string(h.QuantileBound(0.99)) + "\n";
+    out += name + "_sum " + std::to_string(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string ToJson(const TwoWayJoinStats& stats) {
+  std::string barriers = "[";
+  for (std::size_t i = 0; i < stats.barriers_per_iteration.size(); ++i) {
+    if (i > 0) barriers += ", ";
+    barriers += std::to_string(stats.barriers_per_iteration[i]);
+  }
+  barriers += "]";
+  JsonObject doc;
+  doc.Set("walk_steps", stats.walk_steps)
+      .Set("walks_started", stats.walks_started)
+      .Set("pool_barriers", stats.pool_barriers)
+      .SetRaw("barriers_per_iteration", barriers)
+      .Set("state_hits", stats.state_hits)
+      .Set("state_misses", stats.state_misses)
+      .Set("state_evictions", stats.state_evictions)
+      .SetRaw("degraded", stats.partial.degraded ? "true" : "false")
+      .Set("level_reached", stats.partial.level_reached)
+      .Set("eps_bound", stats.partial.eps_bound);
+  return doc.ToString();
+}
+
+}  // namespace obs
+}  // namespace dhtjoin

@@ -1,0 +1,40 @@
+/// \file obs/export.h
+/// \brief Export surface: registry snapshots and engine stat structs
+/// rendered as JSON / Prometheus text (DESIGN.md §11).
+///
+/// This is the one place stats become bytes. The CLI's `# stats`
+/// blocks, `--metrics-out` dumps, and the bench JSON files all come
+/// through here (benches via obs/json.h re-exported in
+/// bench_common.h), so key names and number formatting cannot drift
+/// between surfaces. ToJson(TwoWayJoinStats) reproduces the historical
+/// `dhtjoin_cli join2` stats block byte-for-byte.
+
+#ifndef DHTJOIN_OBS_EXPORT_H_
+#define DHTJOIN_OBS_EXPORT_H_
+
+#include <string>
+
+#include "join2/two_way_join.h"
+#include "obs/metrics.h"
+
+namespace dhtjoin {
+namespace obs {
+
+/// Flat JSON object: counters, then gauges, then histograms (each
+/// sorted by name; histograms expand to .count/.sum/.mean/.p50/.p95/
+/// .p99 with quantile upper bounds).
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition: counters/gauges as-is, histograms as
+/// summaries (quantile labels + _sum/_count). Metric names are
+/// prefixed with "dhtjoin_" and sanitized ([^a-zA-Z0-9_] -> '_').
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// The per-run join counters, byte-compatible with the hand-rolled
+/// printf JSON the CLI used to emit.
+std::string ToJson(const TwoWayJoinStats& stats);
+
+}  // namespace obs
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_OBS_EXPORT_H_

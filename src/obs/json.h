@@ -1,0 +1,85 @@
+/// \file obs/json.h
+/// \brief Minimal JSON emission shared by benches, the CLI, and the
+/// metrics export surface.
+///
+/// Moved here from bench/bench_common.h so every `# stats` block and
+/// `BENCH_*.json` file in the repo renders through ONE code path
+/// (DESIGN.md §11). The byte format is unchanged — committed baselines
+/// under bench/baselines/ still parse — and bench_common.h re-exports
+/// these names into dhtjoin::bench, so bench sources compile as before.
+/// Values are rendered eagerly; nested objects/arrays go in via SetRaw.
+
+#ifndef DHTJOIN_OBS_JSON_H_
+#define DHTJOIN_OBS_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dhtjoin {
+namespace obs {
+
+/// Insertion-ordered JSON object builder. Doubles render with %.9g;
+/// strings are quoted verbatim (callers pass escape-free strings).
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return SetRaw(key, buf);
+  }
+  JsonObject& Set(const std::string& key, int64_t v) {
+    return SetRaw(key, std::to_string(v));
+  }
+  JsonObject& Set(const std::string& key, int v) {
+    return SetRaw(key, std::to_string(v));
+  }
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    return SetRaw(key, "\"" + v + "\"");  // callers pass escape-free strings
+  }
+  JsonObject& SetRaw(const std::string& key, const std::string& raw) {
+    fields_.emplace_back(key, raw);
+    return *this;
+  }
+  std::string ToString() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Renders a list of JSON objects as a JSON array.
+inline std::string JsonArray(const std::vector<JsonObject>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].ToString();
+  }
+  return out + "]";
+}
+
+/// Writes `json` to `path` (plus newline); aborts on IO failure.
+/// Bench/CLI-only semantics — library code never calls this.
+inline void WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+}
+
+}  // namespace obs
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_OBS_JSON_H_

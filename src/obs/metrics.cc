@@ -1,0 +1,105 @@
+#include "obs/metrics.h"
+
+#include "util/check.h"
+
+namespace dhtjoin {
+namespace obs {
+
+int64_t HistogramSnapshot::QuantileBound(double q) const {
+  if (count <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile among `count` sorted values, 1-based.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  int64_t seen = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= rank) return Histogram::BucketUpperBound(b);
+  }
+  return Histogram::BucketUpperBound(Histogram::kBuckets - 1);
+}
+
+namespace {
+template <typename T>
+const T* FindByName(const std::vector<T>& v, const std::string& name) {
+  for (const T& s : v) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+}  // namespace
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(
+    const std::string& name) const {
+  return FindByName(counters, name);
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  return FindByName(histograms, name);
+}
+
+const GaugeSnapshot* MetricsSnapshot::FindGauge(
+    const std::string& name) const {
+  return FindByName(gauges, name);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Name collisions across kinds are programming errors.
+  DHTJOIN_CHECK(gauges_.find(name) == gauges_.end());
+  DHTJOIN_CHECK(histograms_.find(name) == histograms_.end());
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DHTJOIN_CHECK(counters_.find(name) == counters_.end());
+  DHTJOIN_CHECK(histograms_.find(name) == histograms_.end());
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DHTJOIN_CHECK(counters_.find(name) == counters_.end());
+  DHTJOIN_CHECK(gauges_.find(name) == gauges_.end());
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      hs.buckets[static_cast<std::size_t>(b)] =
+          h->buckets_[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+      hs.count += hs.buckets[static_cast<std::size_t>(b)];
+    }
+    hs.sum = h->Sum();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace dhtjoin

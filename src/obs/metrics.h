@@ -1,0 +1,190 @@
+/// \file obs/metrics.h
+/// \brief Lock-cheap metrics registry: counters, gauges, log2
+/// histograms with quantile bounds; snapshot-on-read (DESIGN.md §11).
+///
+/// Write paths are wait-free relaxed atomics (counters shard across
+/// cache lines so concurrent pool workers do not bounce one line);
+/// the registry mutex is touched only on metric *creation* and on
+/// Snapshot(). Hot code caches the Counter*/Histogram* pointer it got
+/// from the registry once — pointers are stable for the registry's
+/// lifetime.
+///
+/// Naming scheme: dot-separated lowercase path, unit suffix on timed
+/// metrics (`serve.query.latency_ns`, `serve.pool.queue_wait_ns`).
+/// Snapshots list each kind sorted by name, so every export
+/// (JSON, Prometheus text) is deterministic.
+
+#ifndef DHTJOIN_OBS_METRICS_H_
+#define DHTJOIN_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/config.h"
+
+namespace dhtjoin {
+namespace obs {
+
+namespace internal {
+/// Shard index for the calling thread. Hashing the thread id keeps the
+/// implementation free of thread_local state; the cost is a few ns per
+/// Add, which only round-granularity and per-task paths pay.
+inline std::size_t ShardIndex() {
+  return std::hash<std::thread::id>()(std::this_thread::get_id());
+}
+}  // namespace internal
+
+/// Monotonic counter. Add() is a relaxed fetch_add on a per-thread
+/// shard; Value() sums the shards (racy-tolerant: concurrent adds may
+/// or may not be included, which is fine for telemetry and exact once
+/// writers are quiesced — the mode every test uses).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void Add(int64_t delta) {
+    shards_[internal::ShardIndex() % kShards].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins double gauge.
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+/// Log2-bucketed histogram of non-negative int64 values (typically
+/// nanoseconds). Bucket 0 holds exactly the value 0; bucket b >= 1
+/// holds [2^(b-1), 2^b - 1]. Record() is one relaxed fetch_add per
+/// bucket plus one on the sharded sum.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Bucket index for a value (negatives clamp to bucket 0).
+  static int BucketOf(int64_t value) {
+    if (value <= 0) return 0;
+    return std::bit_width(static_cast<uint64_t>(value));
+  }
+
+  /// Inclusive upper bound of a bucket (what quantile queries report).
+  static int64_t BucketUpperBound(int bucket) {
+    if (bucket <= 0) return 0;
+    if (bucket >= 63) return std::numeric_limits<int64_t>::max();
+    return (int64_t{1} << bucket) - 1;
+  }
+
+  void Record(int64_t value) {
+    buckets_[static_cast<std::size_t>(BucketOf(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.Add(value > 0 ? value : 0);
+  }
+
+  int64_t Count() const {
+    int64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  int64_t Sum() const { return sum_.Value(); }
+
+ private:
+  friend class MetricsRegistry;
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  Counter sum_;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  int64_t count = 0;
+  int64_t sum = 0;
+  std::array<int64_t, Histogram::kBuckets> buckets{};
+
+  /// Inclusive upper bound of the bucket holding the q-quantile
+  /// (q in [0, 1]; 0 when the histogram is empty). Deterministic
+  /// given the recorded values — fake-clock tests pin exact results.
+  int64_t QuantileBound(double q) const;
+
+  double Mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+/// One coherent read of every registered metric, each kind sorted by
+/// name.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const CounterSnapshot* FindCounter(const std::string& name) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+  const GaugeSnapshot* FindGauge(const std::string& name) const;
+};
+
+/// Owns metrics by name. Get* registers on first use and returns a
+/// stable pointer; name collisions across kinds are a programming
+/// error (checked). Thread-safe.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: deterministic name order for Snapshot() without a sort,
+  // and no unordered-iter lint exposure.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_OBS_METRICS_H_

@@ -1,0 +1,103 @@
+/// \file obs/slow_query.h
+/// \brief Ring-buffered slow-query log (DESIGN.md §11).
+///
+/// The serving session records every query whose latency (by the
+/// injected obs::Clock) exceeds the configured threshold, together
+/// with the query's FULL rendered span tree — the ring holds the most
+/// recent `capacity` offenders, oldest evicted first. Everything here
+/// is telemetry capture, not control flow: dropping an entry can never
+/// affect answers.
+
+#ifndef DHTJOIN_OBS_SLOW_QUERY_H_
+#define DHTJOIN_OBS_SLOW_QUERY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dhtjoin {
+namespace obs {
+
+class SlowQueryLog {
+ public:
+  struct Entry {
+    std::string name;        // e.g. "twoway |P|=8 |Q|=16 k=10"
+    int64_t latency_ns = 0;
+    int64_t sequence = 0;    // monotone capture number (0-based)
+    std::string trace_json;  // full span tree at capture time
+  };
+
+  explicit SlowQueryLog(std::size_t capacity = 64)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  void Record(std::string name, int64_t latency_ns, std::string trace_json) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry e;
+    e.name = std::move(name);
+    e.latency_ns = latency_ns;
+    e.sequence = total_recorded_++;
+    e.trace_json = std::move(trace_json);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(e));
+    } else {
+      ring_[static_cast<std::size_t>(e.sequence) % capacity_] = std::move(e);
+    }
+  }
+
+  /// Entries oldest-first (at most `capacity` of them).
+  std::vector<Entry> Dump() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Entry> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      out = ring_;
+    } else {
+      const std::size_t head =
+          static_cast<std::size_t>(total_recorded_) % capacity_;
+      for (std::size_t i = 0; i < ring_.size(); ++i) {
+        out.push_back(ring_[(head + i) % capacity_]);
+      }
+    }
+    return out;
+  }
+
+  /// Total queries ever recorded (>= entries retained).
+  int64_t total_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_recorded_;
+  }
+
+  /// {"total_recorded": N, "slow_queries": [{...span tree...}, ...]}
+  std::string ToJson() const {
+    const std::vector<Entry> entries = Dump();
+    std::vector<JsonObject> items;
+    items.reserve(entries.size());
+    for (const Entry& e : entries) {
+      JsonObject item;
+      item.Set("name", e.name)
+          .Set("sequence", e.sequence)
+          .Set("latency_ns", e.latency_ns)
+          .SetRaw("trace", e.trace_json.empty() ? "{}" : e.trace_json);
+      items.push_back(std::move(item));
+    }
+    JsonObject doc;
+    doc.Set("total_recorded", total_recorded())
+        .SetRaw("slow_queries", JsonArray(items));
+    return doc.ToString();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  const std::size_t capacity_;
+  std::vector<Entry> ring_;
+  int64_t total_recorded_ = 0;
+};
+
+}  // namespace obs
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_OBS_SLOW_QUERY_H_

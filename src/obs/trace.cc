@@ -1,0 +1,200 @@
+#include "obs/trace.h"
+
+#ifndef DHT_OBS_OFF
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dhtjoin {
+namespace obs {
+
+namespace {
+
+void AppendInt(std::string* out, int64_t v) { *out += std::to_string(v); }
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+Trace::Trace(const Clock* clock) : clock_(clock) {
+  DHTJOIN_CHECK(clock_ != nullptr);
+}
+
+Trace::SpanId Trace::Begin(const char* name) {
+  const int64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  const SpanId id = static_cast<SpanId>(spans_.size());
+  Span span;
+  span.name = name;
+  span.start_ns = now;
+  if (!stack_.empty()) {
+    span.parent = stack_.back();
+    spans_[static_cast<std::size_t>(span.parent)].children.push_back(id);
+  } else {
+    roots_.push_back(id);
+  }
+  spans_.push_back(std::move(span));
+  stack_.push_back(id);
+  return id;
+}
+
+void Trace::End(SpanId id) {
+  if (id == kNoSpan) return;
+  const int64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  DHTJOIN_CHECK_GE(id, 0);
+  DHTJOIN_CHECK_LT(static_cast<std::size_t>(id), spans_.size());
+  Span& span = spans_[static_cast<std::size_t>(id)];
+  if (span.finished) return;  // idempotent
+  span.end_ns = now;
+  span.finished = true;
+  // Unwind the nesting stack through `id`: any deeper spans left open
+  // (a degrade/cancel path returned early) stay marked unfinished but
+  // no longer parent new spans.
+  while (!stack_.empty()) {
+    const SpanId top = stack_.back();
+    stack_.pop_back();
+    if (top == id) break;
+  }
+}
+
+void Trace::SetAttr(SpanId id, const char* key, int64_t value) {
+  if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  DHTJOIN_CHECK_LT(static_cast<std::size_t>(id), spans_.size());
+  Attr a;
+  a.key = key;
+  a.is_int = true;
+  a.i = value;
+  spans_[static_cast<std::size_t>(id)].attrs.push_back(std::move(a));
+}
+
+void Trace::SetAttr(SpanId id, const char* key, double value) {
+  if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  DHTJOIN_CHECK_LT(static_cast<std::size_t>(id), spans_.size());
+  Attr a;
+  a.key = key;
+  a.is_int = false;
+  a.d = value;
+  spans_[static_cast<std::size_t>(id)].attrs.push_back(std::move(a));
+}
+
+std::size_t Trace::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::size_t Trace::CountSpans(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Span& s : spans_) {
+    if (s.name == name) ++n;
+  }
+  return n;
+}
+
+int64_t Trace::SumAttr(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const Span& s : spans_) {
+    for (const Attr& a : s.attrs) {
+      if (a.is_int && a.key == key) total += a.i;
+    }
+  }
+  return total;
+}
+
+int64_t Trace::DurationNanos(SpanId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= spans_.size()) return 0;
+  const Span& s = spans_[static_cast<std::size_t>(id)];
+  return s.finished ? s.end_ns - s.start_ns : 0;
+}
+
+bool Trace::Finished(SpanId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= spans_.size()) return false;
+  return spans_[static_cast<std::size_t>(id)].finished;
+}
+
+void Trace::AppendJson(SpanId id, std::string* out) const {
+  const Span& s = spans_[static_cast<std::size_t>(id)];
+  *out += "{\"name\": \"" + s.name + "\", \"start_ns\": ";
+  AppendInt(out, s.start_ns);
+  *out += ", \"duration_ns\": ";
+  AppendInt(out, s.finished ? s.end_ns - s.start_ns : 0);
+  if (!s.finished) *out += ", \"unfinished\": true";
+  for (const Attr& a : s.attrs) {
+    *out += ", \"" + a.key + "\": ";
+    if (a.is_int) {
+      AppendInt(out, a.i);
+    } else {
+      AppendDouble(out, a.d);
+    }
+  }
+  if (!s.children.empty()) {
+    *out += ", \"spans\": [";
+    for (std::size_t i = 0; i < s.children.size(); ++i) {
+      if (i > 0) *out += ", ";
+      AppendJson(s.children[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+std::string Trace::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  if (roots_.size() == 1) {
+    AppendJson(roots_[0], &out);
+    return out;
+  }
+  out = "{\"spans\": [";
+  for (std::size_t i = 0; i < roots_.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendJson(roots_[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+void Trace::AppendText(SpanId id, int depth, std::string* out) const {
+  const Span& s = spans_[static_cast<std::size_t>(id)];
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  *out += s.name;
+  *out += " ";
+  AppendInt(out, s.finished ? s.end_ns - s.start_ns : 0);
+  *out += "ns";
+  if (!s.finished) *out += " (unfinished)";
+  for (const Attr& a : s.attrs) {
+    *out += " " + a.key + "=";
+    if (a.is_int) {
+      AppendInt(out, a.i);
+    } else {
+      AppendDouble(out, a.d);
+    }
+  }
+  *out += "\n";
+  for (const SpanId child : s.children) {
+    AppendText(child, depth + 1, out);
+  }
+}
+
+std::string Trace::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const SpanId root : roots_) AppendText(root, 0, &out);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dhtjoin
+
+#endif  // DHT_OBS_OFF

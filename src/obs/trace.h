@@ -1,0 +1,175 @@
+/// \file obs/trace.h
+/// \brief Per-query trace span tree (DESIGN.md §11).
+///
+/// A Trace records one query's phase structure as nested spans:
+///
+///   query.twoway                       (serve/session.cc, CLI, tests)
+///     ybound                           (bound-table build)
+///     import                           (cache state import; warm/cold)
+///     round                            (one deepening level; frontier)
+///       b.advance_many / f.advance_many  (one fused block-group pass:
+///                                         blocks, lanes, fresh, bytes)
+///     final                            (exact depth-d pass)
+///     write_back                       (cache export)
+///
+/// Spans nest via an explicit stack: Begin() parents under the
+/// innermost open span, so callees (the batch engines) need no parent
+/// id plumbing. All methods are thread-safe behind one mutex; calls
+/// happen at round/phase granularity — a handful per query, never
+/// inside block kernels — so the lock is uncontended in practice.
+///
+/// The trace rides on ExecContext (util/deadline.h) so tracing and
+/// deadline/cancel share one plumbing path; TraceOf(exec) is the
+/// canonical accessor and constant-folds to nullptr under DHT_OBS_OFF.
+/// A span left open when a query degrades or cancels is rendered with
+/// "unfinished": true — losing the tail of a span tree is itself a
+/// signal.
+
+#ifndef DHTJOIN_OBS_TRACE_H_
+#define DHTJOIN_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/config.h"
+#include "util/deadline.h"
+
+namespace dhtjoin {
+namespace obs {
+
+#ifndef DHT_OBS_OFF
+
+class Trace {
+ public:
+  using SpanId = int;
+  static constexpr SpanId kNoSpan = -1;
+
+  /// `clock` must outlive the trace (typically the service's clock).
+  explicit Trace(const Clock* clock);
+
+  /// Opens a span under the innermost open span (or as a root).
+  SpanId Begin(const char* name);
+  /// Closes `id` and every still-open span nested inside it.
+  void End(SpanId id);
+
+  void SetAttr(SpanId id, const char* key, int64_t value);
+  void SetAttr(SpanId id, const char* key, double value);
+
+  std::size_t num_spans() const;
+  std::size_t CountSpans(const std::string& name) const;
+  /// Sum of an int attribute over all spans carrying it (rollups).
+  int64_t SumAttr(const std::string& key) const;
+  int64_t DurationNanos(SpanId id) const;  // 0 while unfinished
+  bool Finished(SpanId id) const;
+
+  /// Nested JSON rendering of the span tree (self-contained document).
+  std::string ToJson() const;
+  /// Indented human-readable rendering (one span per line).
+  std::string ToText() const;
+
+ private:
+  struct Attr {
+    std::string key;
+    bool is_int = true;
+    int64_t i = 0;
+    double d = 0.0;
+  };
+  struct Span {
+    std::string name;
+    SpanId parent = kNoSpan;
+    int64_t start_ns = 0;
+    int64_t end_ns = 0;  // 0 = still open
+    bool finished = false;
+    std::vector<Attr> attrs;
+    std::vector<SpanId> children;
+  };
+
+  void AppendJson(SpanId id, std::string* out) const;  // mu_ held
+  void AppendText(SpanId id, int depth, std::string* out) const;
+
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::vector<SpanId> roots_;
+  std::vector<SpanId> stack_;  // open-span nesting
+};
+
+#else  // DHT_OBS_OFF: the whole API compiles to no-ops.
+
+class Trace {
+ public:
+  using SpanId = int;
+  static constexpr SpanId kNoSpan = -1;
+
+  explicit Trace(const Clock*) {}
+
+  SpanId Begin(const char*) { return kNoSpan; }
+  void End(SpanId) {}
+  void SetAttr(SpanId, const char*, int64_t) {}
+  void SetAttr(SpanId, const char*, double) {}
+
+  std::size_t num_spans() const { return 0; }
+  std::size_t CountSpans(const std::string&) const { return 0; }
+  int64_t SumAttr(const std::string&) const { return 0; }
+  int64_t DurationNanos(SpanId) const { return 0; }
+  bool Finished(SpanId) const { return false; }
+
+  std::string ToJson() const { return "{}"; }
+  std::string ToText() const { return std::string(); }
+};
+
+#endif  // DHT_OBS_OFF
+
+/// The trace attached to an ExecContext, or nullptr (no context, no
+/// trace attached, or observability compiled out). kEnabled is
+/// constexpr, so under DHT_OBS_OFF every `if (TraceOf(...))` branch
+/// folds away.
+inline Trace* TraceOf(const ExecContext* exec) {
+  if (!kEnabled || exec == nullptr) return nullptr;
+  return exec->trace();
+}
+
+/// RAII span: opens on construction (when `trace` is non-null), closes
+/// on destruction unless already closed. Safe with trace == nullptr —
+/// every call degenerates to a no-op, so call sites need no guards.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, const char* name) : trace_(trace) {
+    if (trace_ != nullptr) id_ = trace_->Begin(name);
+  }
+  ~ScopedSpan() { EndNow(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  Trace::SpanId id() const { return id_; }
+
+  void SetAttr(const char* key, int64_t value) {
+    if (trace_ != nullptr && id_ != Trace::kNoSpan)
+      trace_->SetAttr(id_, key, value);
+  }
+  void SetAttr(const char* key, double value) {
+    if (trace_ != nullptr && id_ != Trace::kNoSpan)
+      trace_->SetAttr(id_, key, value);
+  }
+
+  /// Closes the span early (destructor then does nothing).
+  void EndNow() {
+    if (trace_ != nullptr && id_ != Trace::kNoSpan) {
+      trace_->End(id_);
+      id_ = Trace::kNoSpan;
+    }
+  }
+
+ private:
+  Trace* trace_;
+  Trace::SpanId id_ = Trace::kNoSpan;
+};
+
+}  // namespace obs
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_OBS_TRACE_H_

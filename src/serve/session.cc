@@ -7,7 +7,7 @@
 
 #include "dht/backward_batch.h"
 #include "dht/walker_state.h"
-#include "util/timer.h"
+#include "obs/trace.h"
 
 namespace dhtjoin::serve {
 
@@ -105,7 +105,25 @@ DhtJoinService::DhtJoinService(const Graph& g, const DhtParams& params, int d,
                                     : ThreadPool::DefaultThreadCount()),
       admission_(options.admission),
       snapshots_(std::make_unique<SnapshotAdapter>(this)),
-      tables_(std::make_unique<TableAdapter>(this)) {}
+      tables_(std::make_unique<TableAdapter>(this)),
+      clock_(options.clock != nullptr ? options.clock
+                                      : obs::SystemClock::Get()),
+      slow_log_(options.slow_query_capacity),
+      m_queries_twoway_(metrics_.GetCounter("serve.query.twoway")),
+      m_queries_nway_(metrics_.GetCounter("serve.query.nway")),
+      m_query_errors_(metrics_.GetCounter("serve.query.errors")),
+      m_query_degraded_(metrics_.GetCounter("serve.query.degraded")),
+      m_query_cancelled_(metrics_.GetCounter("serve.query.cancelled")),
+      m_targets_warm_(metrics_.GetCounter("serve.targets.warm")),
+      m_targets_cold_(metrics_.GetCounter("serve.targets.cold")),
+      m_state_hits_(metrics_.GetCounter("serve.state.hits")),
+      m_state_misses_(metrics_.GetCounter("serve.state.misses")),
+      m_walk_steps_(metrics_.GetCounter("serve.walk_steps")),
+      m_deepen_rounds_(metrics_.GetCounter("serve.deepen.rounds")),
+      h_query_latency_(metrics_.GetHistogram("serve.query.latency_ns")),
+      h_deepen_frontier_(metrics_.GetHistogram("serve.deepen.frontier")) {
+  pool_.EnableMetrics(&metrics_, clock_, "serve.pool");
+}
 
 DhtJoinService::DhtJoinService(const Graph& g, const DhtParams& params, int d)
     : DhtJoinService(g, params, d, Options()) {}
@@ -129,8 +147,34 @@ Result<std::vector<ScoredPair>> DhtJoinService::TwoWay(const NodeSet& P,
                                                        const ExecContext* exec) {
   QueryStats local;
   QueryStats* qs = stats != nullptr ? stats : &local;
-  Result<std::vector<ScoredPair>> result = RunTwoWay(P, Q, k, qs, exec);
-  RecordOutcome(result.status(), *qs, exec);
+  const int64_t start_ns = clock_->NowNanos();
+  // Tracing rides on the ExecContext so the engines need no extra
+  // parameter; a caller without one gets a service-local context for
+  // the duration of the run (its checks always pass — no deadline, no
+  // token — so answers are unchanged). The trace pointer is detached
+  // before the trace goes out of scope.
+  obs::Trace trace_storage(clock_);
+  obs::Trace* trace = nullptr;
+  ExecContext local_exec;
+  const ExecContext* run_exec = exec;
+  if (obs::kEnabled && options_.trace_queries) {
+    trace = &trace_storage;
+    if (run_exec == nullptr) run_exec = &local_exec;
+    run_exec->set_trace(trace);
+  }
+  Result<std::vector<ScoredPair>> result =
+      Status::Internal("serve: unreachable");
+  {
+    obs::ScopedSpan root(trace, "query.twoway");
+    root.SetAttr("p", static_cast<int64_t>(P.size()));
+    root.SetAttr("q", static_cast<int64_t>(Q.size()));
+    root.SetAttr("k", static_cast<int64_t>(k));
+    result = RunTwoWay(P, Q, k, qs, run_exec);
+  }
+  if (run_exec != nullptr) run_exec->set_trace(nullptr);
+  RecordOutcome(result.status(), *qs, run_exec);
+  m_queries_twoway_->Increment();
+  FinishQuery("twoway", start_ns, result.status(), *qs, trace);
   return result;
 }
 
@@ -162,6 +206,82 @@ ServiceStats DhtJoinService::service_stats() const {
   return s;
 }
 
+void DhtJoinService::FinishQuery(const char* kind, int64_t start_ns,
+                                 const Status& status, QueryStats& qs,
+                                 obs::Trace* trace) {
+  const int64_t latency_ns = clock_->NowNanos() - start_ns;
+  qs.seconds = static_cast<double>(latency_ns) * 1e-9;
+  h_query_latency_->Record(latency_ns);
+  if (!status.ok()) m_query_errors_->Increment();
+  if (status.code() == StatusCode::kCancelled) m_query_cancelled_->Increment();
+  if (status.ok() && qs.join.partial.degraded) m_query_degraded_->Increment();
+  m_targets_warm_->Add(qs.warm_targets);
+  m_targets_cold_->Add(qs.cold_targets);
+  m_state_hits_->Add(qs.join.state_hits);
+  m_state_misses_->Add(qs.join.state_misses);
+  m_walk_steps_->Add(qs.join.walk_steps);
+  // One live_per_iteration entry per completed deepening round (the
+  // initial entry is the admission frontier): per-level visibility
+  // without touching the engines' hot loops.
+  m_deepen_rounds_->Add(
+      static_cast<int64_t>(qs.join.live_per_iteration.size()));
+  for (const int64_t frontier : qs.join.live_per_iteration) {
+    h_deepen_frontier_->Record(frontier);
+  }
+  if (trace != nullptr) {
+    qs.trace_spans = trace->num_spans();
+    qs.trace_rounds = trace->CountSpans("round");
+    qs.trace_blocks_run = trace->SumAttr("blocks");
+    qs.trace_lanes_packed = trace->SumAttr("lanes");
+    qs.trace_bytes_touched = trace->SumAttr("bytes");
+    if (options_.slow_query_nanos > 0 &&
+        latency_ns >= options_.slow_query_nanos) {
+      slow_log_.Record(kind, latency_ns, trace->ToJson());
+    }
+  }
+}
+
+obs::MetricsSnapshot DhtJoinService::SnapshotMetrics() {
+  // Gauges mirror state owned elsewhere (cache shards, admission
+  // controller, service atomics); refresh them at snapshot time
+  // instead of double-counting on the query path.
+  const CacheStats cs = cache_stats();
+  metrics_.GetGauge("serve.cache.hits")->Set(static_cast<double>(cs.hits));
+  metrics_.GetGauge("serve.cache.misses")->Set(static_cast<double>(cs.misses));
+  metrics_.GetGauge("serve.cache.insertions")
+      ->Set(static_cast<double>(cs.insertions));
+  metrics_.GetGauge("serve.cache.evictions")
+      ->Set(static_cast<double>(cs.evictions));
+  metrics_.GetGauge("serve.cache.admission_rejects")
+      ->Set(static_cast<double>(cs.admission_rejects));
+  metrics_.GetGauge("serve.cache.resident_bytes")
+      ->Set(static_cast<double>(cs.resident_bytes));
+  metrics_.GetGauge("serve.cache.entries")
+      ->Set(static_cast<double>(cs.entries));
+  const ServiceStats ss = service_stats();
+  metrics_.GetGauge("serve.admission.admitted")
+      ->Set(static_cast<double>(ss.admission.admitted));
+  metrics_.GetGauge("serve.admission.shed_capacity")
+      ->Set(static_cast<double>(ss.admission.shed_capacity));
+  metrics_.GetGauge("serve.admission.shed_cost")
+      ->Set(static_cast<double>(ss.admission.shed_cost));
+  metrics_.GetGauge("serve.admission.shed_expired")
+      ->Set(static_cast<double>(ss.admission.shed_expired));
+  metrics_.GetGauge("serve.lifecycle.degraded")
+      ->Set(static_cast<double>(ss.degraded));
+  metrics_.GetGauge("serve.lifecycle.cancelled")
+      ->Set(static_cast<double>(ss.cancelled));
+  metrics_.GetGauge("serve.lifecycle.deadline_exceeded")
+      ->Set(static_cast<double>(ss.deadline_exceeded));
+  metrics_.GetGauge("serve.lifecycle.effort_exhausted")
+      ->Set(static_cast<double>(ss.effort_exhausted));
+  metrics_.GetGauge("serve.lifecycle.exceptions")
+      ->Set(static_cast<double>(ss.exceptions));
+  metrics_.GetGauge("serve.slow_queries.total")
+      ->Set(static_cast<double>(slow_log_.total_recorded()));
+  return metrics_.Snapshot();
+}
+
 /// The cache-aware B-IDJ (see the file comment of session.h and
 /// DESIGN.md §6 for why the warm path is byte-identical to cold):
 /// targets deepen through the usual l = 1, 2, 4, ..., d schedule, but a
@@ -183,7 +303,7 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
     const NodeSet& P, const NodeSet& Q, std::size_t k, QueryStats* out,
     const ExecContext* exec) {
   DHTJOIN_RETURN_NOT_OK(ValidateJoinInputs(g_, params_, d_, P, Q, k));
-  WallTimer timer;
+  obs::Trace* const trace = obs::TraceOf(exec);
   QueryStats qs;
 
   auto p_nodes = std::make_shared<const std::vector<ExtNodeId>>(P.nodes());
@@ -195,6 +315,7 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
   // for every later query); the run then degrades with the X fallback.
   std::shared_ptr<const CachedYBound> ybound;
   if (options_.bound == UpperBoundKind::kY) {
+    obs::ScopedSpan ybound_span(trace, "ybound");
     CacheKey ykey = BaseKey(CachePayload::kYBound);
     ykey.d = d_;
     ykey.set_a = p_nodes;
@@ -212,6 +333,7 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
     } else {
       qs.ybound_cached = true;
     }
+    ybound_span.SetAttr("cached", int64_t{qs.ybound_cached ? 1 : 0});
   }
   const bool y_usable = ybound != nullptr && ybound->table.complete();
   auto remainder = [&](int l, std::size_t qi) {
@@ -234,16 +356,21 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
     states.set_commit_fault(exec->commit_fault);
   }
   std::vector<int> imported_level(Q.size(), 0);
-  for (std::size_t qi = 0; qi < Q.size(); ++qi) {
-    auto entry = cache_.GetAs<CachedBatchState>(batch_key(qi));
-    if (entry != nullptr && entry->snap.level <= d_ &&
-        entry->snap.row.size() == P.size() &&
-        states.Import(qi, entry->snap)) {
-      imported_level[qi] = entry->snap.level;
-      ++qs.warm_targets;
+  {
+    obs::ScopedSpan import_span(trace, "import");
+    for (std::size_t qi = 0; qi < Q.size(); ++qi) {
+      auto entry = cache_.GetAs<CachedBatchState>(batch_key(qi));
+      if (entry != nullptr && entry->snap.level <= d_ &&
+          entry->snap.row.size() == P.size() &&
+          states.Import(qi, entry->snap)) {
+        imported_level[qi] = entry->snap.level;
+        ++qs.warm_targets;
+      }
     }
+    qs.cold_targets = static_cast<int64_t>(Q.size()) - qs.warm_targets;
+    import_span.SetAttr("warm", qs.warm_targets);
+    import_span.SetAttr("cold", qs.cold_targets);
   }
-  qs.cold_targets = static_cast<int64_t>(Q.size()) - qs.warm_targets;
 
   int64_t batch_edges_seen = 0;
   int64_t batch_barriers_seen = 0;
@@ -319,6 +446,8 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
   // under the shard lock when concurrent sessions race on one target
   // (DESIGN.md §6).
   auto write_back = [&] {
+    obs::ScopedSpan wb_span(trace, "write_back");
+    int64_t exported = 0;
     for (std::size_t qi = 0; qi < Q.size(); ++qi) {
       if (states.level(qi) <= imported_level[qi]) continue;
       BackwardBatchSnapshot snap;
@@ -330,8 +459,10 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
                        return static_cast<const CachedBatchState&>(existing)
                                   .snap.level >= level;
                      });
+        ++exported;
       }
     }
+    wb_span.SetAttr("exported", exported);
   };
   auto finish_stats = [&] {
     qs.join.state_hits = states.hits();
@@ -344,7 +475,6 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
   auto degrade = [&](StatusCode code) -> Result<std::vector<ScoredPair>> {
     write_back();
     finish_stats();
-    qs.seconds = timer.Seconds();
     if (code == StatusCode::kCancelled) {
       if (out != nullptr) *out = std::move(qs);
       return Status::Cancelled("serve: query cancelled");
@@ -365,6 +495,9 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
       StatusCode code = exec->Check();
       if (code != StatusCode::kOk) return degrade(code);
     }
+    obs::ScopedSpan round_span(trace, "round");
+    round_span.SetAttr("level", int64_t{l});
+    round_span.SetAttr("frontier", static_cast<int64_t>(live.size()));
     PairTopK bounds(k);
     std::vector<double> q_upper(live.size());
     bool completed =
@@ -415,6 +548,7 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
                   static_cast<double>(Q.size()));
     live.swap(survivors);
     qs.join.live_per_iteration.push_back(static_cast<int64_t>(live.size()));
+    round_span.SetAttr("survivors", static_cast<int64_t>(live.size()));
     // Feedback autotuning between rounds: the per-query budget came
     // from AutotuneStateBudgetBytes, so fold the observed hit/eviction
     // counters back into it (evicted states restart bit-identically —
@@ -431,6 +565,9 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
   }
   PairTopK best(k);
   if (!live.empty()) {
+    obs::ScopedSpan final_span(trace, "final");
+    final_span.SetAttr("level", int64_t{d_});
+    final_span.SetAttr("frontier", static_cast<int64_t>(live.size()));
     bool completed =
         walk_live(live, d_, /*save=*/true,
                   [&](std::size_t i, const double* row, int /*row_level*/) {
@@ -456,7 +593,6 @@ Result<std::vector<ScoredPair>> DhtJoinService::RunTwoWay(
     result.push_back(entry.item);
   }
   FinalizePairs(result, k);
-  qs.seconds = timer.Seconds();
   if (out != nullptr) *out = std::move(qs);
   return result;
 }
@@ -466,22 +602,34 @@ Result<std::vector<TupleAnswer>> DhtJoinService::Nway(const QueryGraph& query,
                                                       std::size_t k,
                                                       NwayAlgo algo,
                                                       QueryStats* out) {
-  WallTimer timer;
-  QueryStats qs;
+  QueryStats local;
+  QueryStats* qs = out != nullptr ? out : &local;
+  *qs = QueryStats{};
+  const int64_t start_ns = clock_->NowNanos();
+  // N-way tracing is root-span-only for now: the n-way executors do
+  // not take an ExecContext yet (no degrade path — DESIGN.md §9), so
+  // there is nothing to hang engine spans on.
+  obs::Trace trace_storage(clock_);
+  obs::Trace* trace = nullptr;
+  if (obs::kEnabled && options_.trace_queries) trace = &trace_storage;
   Result<std::vector<TupleAnswer>> result =
       Status::Internal("nway: unreachable");
-  if (algo == NwayAlgo::kNestedLoop) {
-    NestedLoopJoin join(NestedLoopJoin::Options{.tables = tables_.get()});
-    result = join.Run(g_, params_, d_, query, f, k);
-    qs.table_hits = join.stats().table_hits;
-  } else {
-    PartialJoin join(PartialJoin::Options{.incremental = true,
-                                          .bound = options_.bound,
-                                          .snapshots = snapshots_.get()});
-    result = join.Run(g_, params_, d_, query, f, k);
+  {
+    obs::ScopedSpan root(trace, "query.nway");
+    root.SetAttr("k", static_cast<int64_t>(k));
+    if (algo == NwayAlgo::kNestedLoop) {
+      NestedLoopJoin join(NestedLoopJoin::Options{.tables = tables_.get()});
+      result = join.Run(g_, params_, d_, query, f, k);
+      qs->table_hits = join.stats().table_hits;
+    } else {
+      PartialJoin join(PartialJoin::Options{.incremental = true,
+                                            .bound = options_.bound,
+                                            .snapshots = snapshots_.get()});
+      result = join.Run(g_, params_, d_, query, f, k);
+    }
   }
-  qs.seconds = timer.Seconds();
-  if (out != nullptr) *out = std::move(qs);
+  m_queries_nway_->Increment();
+  FinishQuery("nway", start_ns, result.status(), *qs, trace);
   return result;
 }
 
@@ -502,7 +650,7 @@ std::future<Result<std::vector<ScoredPair>>> DhtJoinService::SubmitTwoWay(
   }
   pool_.Submit([this, promise, P = std::move(P), Q = std::move(Q), k,
                 qopts = std::move(qopts)] {
-    WallTimer timer;
+    const int64_t start_ns = clock_->NowNanos();
     const ExecContext* exec = qopts.exec.get();
     // Deadline already expired while queued: count the shed; the run
     // below observes the sticky stop at its first check and degrades
@@ -522,7 +670,7 @@ std::future<Result<std::vector<ScoredPair>>> DhtJoinService::SubmitTwoWay(
       stat_exceptions_.fetch_add(1, std::memory_order_relaxed);
       result = Status::Internal("serve: worker exception (non-std type)");
     }
-    admission_.Finish(static_cast<int64_t>(timer.Seconds() * 1e6));
+    admission_.Finish((clock_->NowNanos() - start_ns) / 1000);
     promise->set_value(std::move(result));
   });
   return future;
@@ -543,7 +691,7 @@ std::future<Result<std::vector<TupleAnswer>>> DhtJoinService::SubmitNway(
   }
   pool_.Submit([this, promise, query = std::move(query), &f, k, algo,
                 qopts = std::move(qopts)] {
-    WallTimer timer;
+    const int64_t start_ns = clock_->NowNanos();
     const ExecContext* exec = qopts.exec.get();
     // The n-way executors have no degrade path yet, so an expired or
     // cancelled queued query is shed whole at dequeue.
@@ -577,7 +725,7 @@ std::future<Result<std::vector<TupleAnswer>>> DhtJoinService::SubmitNway(
       stat_exceptions_.fetch_add(1, std::memory_order_relaxed);
       result = Status::Internal("nway: worker exception (non-std type)");
     }
-    admission_.Finish(static_cast<int64_t>(timer.Seconds() * 1e6));
+    admission_.Finish((clock_->NowNanos() - start_ns) / 1000);
     promise->set_value(std::move(result));
   });
   return future;

@@ -33,6 +33,9 @@
 #include "core/nl_join.h"
 #include "core/partial_join.h"
 #include "join2/two_way_join.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/slow_query.h"
 #include "serve/admission.h"
 #include "serve/score_cache.h"
 #include "util/deadline.h"
@@ -78,6 +81,15 @@ struct QueryStats {
   int64_t table_hits = 0;
   /// Walk/pool counters of the underlying executor.
   TwoWayJoinStats join;
+  /// Trace rollups (all 0 unless Options::trace_queries was on and the
+  /// build has observability): span count and the sums of the engine
+  /// span attributes — deepening rounds, fused blocks run, lanes
+  /// packed, delta bytes touched (DESIGN.md §11).
+  int64_t trace_spans = 0;
+  int64_t trace_rounds = 0;
+  int64_t trace_blocks_run = 0;
+  int64_t trace_lanes_packed = 0;
+  int64_t trace_bytes_touched = 0;
 };
 
 /// A serving endpoint for one graph + one measure configuration.
@@ -106,6 +118,25 @@ class DhtJoinService {
     /// Synchronous TwoWay/Nway calls bypass admission — the caller IS
     /// the capacity there.
     AdmissionOptions admission;
+    /// Observability (DESIGN.md §11). All service timing — query
+    /// latencies, pool task/queue histograms, admission cost feedback —
+    /// reads this clock; null means the real SystemClock. Tests inject
+    /// a FakeClock to make latency assertions deterministic. Must
+    /// outlive the service.
+    const obs::Clock* clock = nullptr;
+    /// Attach a span-tree trace to every query. Queries that arrive
+    /// with a caller ExecContext get the trace on it; callers without
+    /// one get a service-local context for the duration of the run.
+    /// Tracing never changes answers (asserted byte-identical in
+    /// tests/trace_test.cc); it costs one clock read + one small
+    /// allocation per span, at round granularity.
+    bool trace_queries = false;
+    /// Queries slower than this (by the injected clock) have their full
+    /// span tree captured in the slow-query ring. <= 0 disables; only
+    /// effective when trace_queries is on.
+    int64_t slow_query_nanos = 0;
+    /// Ring capacity of the slow-query log.
+    std::size_t slow_query_capacity = 32;
   };
 
   /// The graph must outlive the service. O(n + m) once for the
@@ -177,6 +208,16 @@ class DhtJoinService {
   /// contained worker exceptions.
   ServiceStats service_stats() const;
   const AdmissionController& admission() const { return admission_; }
+  /// The service metrics registry (always live; counters tick even
+  /// under DHT_OBS_OFF — only spans and timing compile out).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Registry snapshot with the cache / admission / service gauges
+  /// refreshed first — the payload behind `dhtjoin_cli serve
+  /// --metrics-out` (JSON) and --metrics-prom (Prometheus text).
+  obs::MetricsSnapshot SnapshotMetrics();
+  /// Ring of recent slow queries (latency above Options::
+  /// slow_query_nanos) with their full span trees.
+  const obs::SlowQueryLog& slow_queries() const { return slow_log_; }
 
  private:
   class SnapshotAdapter;  // BackwardSnapshotProvider over the cache
@@ -192,6 +233,12 @@ class DhtJoinService {
   /// Folds a finished run's outcome into the service counters.
   void RecordOutcome(const Status& status, const QueryStats& qs,
                      const ExecContext* exec);
+
+  /// End-of-query observability fold, shared by TwoWay and Nway: the
+  /// latency histogram, per-query registry counters, trace rollups
+  /// into `qs`, and the slow-query capture.
+  void FinishQuery(const char* kind, int64_t start_ns, const Status& status,
+                   QueryStats& qs, obs::Trace* trace);
 
   const Graph& g_;
   DhtParams params_;
@@ -209,6 +256,26 @@ class DhtJoinService {
   std::atomic<int64_t> stat_deadline_{0};
   std::atomic<int64_t> stat_effort_{0};
   std::atomic<int64_t> stat_exceptions_{0};
+
+  // ------------------------------------------------- observability
+  const obs::Clock* clock_;  // injected or SystemClock; never null
+  obs::MetricsRegistry metrics_;
+  obs::SlowQueryLog slow_log_;
+  // Hot-path handles resolved once at construction (registry lookups
+  // take a mutex; these do not).
+  obs::Counter* m_queries_twoway_;
+  obs::Counter* m_queries_nway_;
+  obs::Counter* m_query_errors_;
+  obs::Counter* m_query_degraded_;
+  obs::Counter* m_query_cancelled_;
+  obs::Counter* m_targets_warm_;
+  obs::Counter* m_targets_cold_;
+  obs::Counter* m_state_hits_;
+  obs::Counter* m_state_misses_;
+  obs::Counter* m_walk_steps_;
+  obs::Counter* m_deepen_rounds_;
+  obs::Histogram* h_query_latency_;
+  obs::Histogram* h_deepen_frontier_;
 };
 
 }  // namespace dhtjoin::serve

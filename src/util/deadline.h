@@ -37,10 +37,17 @@
 
 namespace dhtjoin {
 
+namespace obs {
+class Trace;  // src/obs/trace.h — forward-declared to keep util below obs
+}  // namespace obs
+
 /// A point in steady time before which work must finish; infinite by
 /// default. Cheap to copy and to test (one clock read per Expired()).
 class Deadline {
  public:
+  // dhtlint: allow-file(raw-clock): a deadline must expire by REAL
+  // time even when a test injects a FakeClock for latency metrics;
+  // Expired() deliberately reads the OS steady clock
   using Clock = std::chrono::steady_clock;
 
   /// No deadline (never expires).
@@ -191,6 +198,24 @@ struct ExecContext {
     return blocks_checked_.load(std::memory_order_relaxed);
   }
 
+  /// Optional per-query trace, attached by whoever owns the query (the
+  /// serving session, the CLI, tests) so tracing rides the same
+  /// plumbing as deadline/cancel. Setter is const for the same reason
+  /// the stop code is mutable: the context is shared down the stack as
+  /// const, yet instrumentation state belongs to the run. Always reads
+  /// null under DHT_OBS_OFF, so span code folds away via
+  /// obs::TraceOf().
+  obs::Trace* trace() const {
+#ifdef DHT_OBS_OFF
+    return nullptr;
+#else
+    return trace_.load(std::memory_order_relaxed);
+#endif
+  }
+  void set_trace(obs::Trace* trace) const {
+    trace_.store(trace, std::memory_order_relaxed);
+  }
+
  private:
   StatusCode RecordStop(StatusCode code) const {
     int expected = static_cast<int>(StatusCode::kOk);
@@ -201,6 +226,7 @@ struct ExecContext {
 
   mutable std::atomic<int64_t> blocks_checked_{0};
   mutable std::atomic<int> stop_code_{static_cast<int>(StatusCode::kOk)};
+  mutable std::atomic<obs::Trace*> trace_{nullptr};
 };
 
 }  // namespace dhtjoin

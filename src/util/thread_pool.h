@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace dhtjoin {
@@ -54,9 +56,34 @@ class ThreadPool {
 
   int num_threads() const { return target_threads_; }
 
-  /// Enqueues a task. In run-inline mode the task executes immediately.
+  /// Wires the pool into a metrics registry: per-task queue-wait and
+  /// execution-time histograms, task/steal counters, and the barrier
+  /// counter re-homed under `<prefix>.barriers`. Call before the first
+  /// Submit (not thread-safe against running work); pools that never
+  /// call this (the engine-internal ones) pay zero clock reads.
+  /// Timing is compiled out under DHT_OBS_OFF; counters stay live.
+  void EnableMetrics(obs::MetricsRegistry* registry, const obs::Clock* clock,
+                     const std::string& prefix) {
+    DHTJOIN_CHECK(registry != nullptr);
+    DHTJOIN_CHECK(clock != nullptr);
+    clock_ = clock;
+    queue_wait_ns_ = registry->GetHistogram(prefix + ".queue_wait_ns");
+    task_ns_ = registry->GetHistogram(prefix + ".task_ns");
+    tasks_ = registry->GetCounter(prefix + ".tasks");
+    tasks_inline_ = registry->GetCounter(prefix + ".tasks_inline");
+    workers_spawned_ = registry->GetCounter(prefix + ".workers_spawned");
+    barriers_ = registry->GetCounter(prefix + ".barriers");
+  }
+
+  /// Enqueues a task. In run-inline mode the task executes immediately
+  /// on the submitting thread (counted as a "steal": no worker ran it).
   void Submit(std::function<void()> task) {
+    if (tasks_ != nullptr) {
+      tasks_->Increment();
+      task = WrapTimed(std::move(task));
+    }
     if (target_threads_ <= 1) {
+      if (tasks_inline_ != nullptr) tasks_inline_->Increment();
       task();
       return;
     }
@@ -68,6 +95,7 @@ class ThreadPool {
       if (static_cast<int>(workers_.size()) < target_threads_ &&
           static_cast<int64_t>(workers_.size()) < pending_) {
         workers_.emplace_back([this] { WorkerLoop(); });
+        if (workers_spawned_ != nullptr) workers_spawned_->Increment();
       }
       queue_.push_back(std::move(task));
     }
@@ -92,7 +120,7 @@ class ThreadPool {
   /// still run — the cooperative-stop machinery (util/deadline.h) is
   /// the mechanism for cutting a round short, not stack unwinding.
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn) {
-    if (count > 0) parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+    if (count > 0) barriers_->Increment();
     if (target_threads_ <= 1 || count == 1) {
       for (int64_t i = 0; i < count; ++i) fn(i);
       return;
@@ -124,12 +152,25 @@ class ThreadPool {
   /// barrier costs nothing but still marks a scheduling pass). The
   /// fused multi-target schedulers (dht/batch_core.h) exist to keep
   /// this from scaling with |Q|; TwoWayJoinStats::pool_barriers
-  /// surfaces per-run deltas.
-  int64_t parallel_fors() const {
-    return parallel_fors_.load(std::memory_order_relaxed);
-  }
+  /// surfaces per-run deltas. Thin wrapper over the obs::Counter
+  /// (registry-homed once EnableMetrics ran).
+  int64_t scheduler_barriers() const { return barriers_->Value(); }
 
  private:
+  /// Wraps a task so queue wait (enqueue -> start) and execution time
+  /// land in the histograms. No-op (never called) when metrics are off;
+  /// compiles to plain execution under DHT_OBS_OFF.
+  std::function<void()> WrapTimed(std::function<void()> task) {
+    if (!obs::kEnabled) return task;
+    const int64_t enqueued_ns = clock_->NowNanos();
+    return [this, enqueued_ns, inner = std::move(task)] {
+      const int64_t start_ns = clock_->NowNanos();
+      queue_wait_ns_->Record(start_ns - enqueued_ns);
+      inner();
+      task_ns_->Record(clock_->NowNanos() - start_ns);
+    };
+  }
+
   void WorkerLoop() {
     while (true) {
       std::function<void()> task;
@@ -149,7 +190,16 @@ class ThreadPool {
   }
 
   const int target_threads_;
-  std::atomic<int64_t> parallel_fors_{0};
+  // Barrier counter: pool-local by default; EnableMetrics re-homes it
+  // in the registry (the pointer is what "thin wrapper" means above).
+  obs::Counter local_barriers_;
+  obs::Counter* barriers_ = &local_barriers_;
+  const obs::Clock* clock_ = nullptr;
+  obs::Histogram* queue_wait_ns_ = nullptr;
+  obs::Histogram* task_ns_ = nullptr;
+  obs::Counter* tasks_ = nullptr;
+  obs::Counter* tasks_inline_ = nullptr;
+  obs::Counter* workers_spawned_ = nullptr;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable ready_, idle_;

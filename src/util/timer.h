@@ -24,6 +24,9 @@ class WallTimer {
   double Millis() const { return Seconds() * 1e3; }
 
  private:
+  // dhtlint: allow-file(raw-clock): WallTimer is measurement-only
+  // scaffolding for benches/CLI output; engine code times through
+  // obs::Clock so tests can inject a FakeClock (DESIGN.md §11)
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };

@@ -69,6 +69,41 @@ TEST(DhtLintTest, RawRngAllowlistsRngTimerAndBench) {
             0);
 }
 
+TEST(DhtLintTest, RawClockTripsAndSuppresses) {
+  LintResult r =
+      LintSource("src/dht/fixture.cc", ReadFixture("raw_clock.cc"));
+  // steady_clock + high_resolution_clock trip; the string literal and
+  // the reasoned allow do not count as unsuppressed.
+  EXPECT_EQ(CountRule(r, "raw-clock", /*suppressed=*/false), 2);
+  EXPECT_EQ(CountRule(r, "raw-clock", /*suppressed=*/true), 1);
+}
+
+TEST(DhtLintTest, RawClockAllowlistsObsClockAndNonEngineCode) {
+  const std::string content = ReadFixture("raw_clock.cc");
+  // The injectable-clock implementation is THE sanctioned raw read.
+  EXPECT_EQ(CountRule(LintSource("src/obs/clock.h", content), "raw-clock",
+                      false),
+            0);
+  // Outside src/ (tools, benches) wall-clock reads are fine.
+  EXPECT_EQ(CountRule(LintSource("bench/bench_x.cc", content), "raw-clock",
+                      false),
+            0);
+  EXPECT_GT(CountRule(LintSource("src/serve/session.cc", content),
+                      "raw-clock", false),
+            0);
+}
+
+TEST(DhtLintTest, RawClockSuppressedViaAllowFileInTimerAndDeadline) {
+  // The real headers carry reasoned allow-file suppressions: findings
+  // exist but none are unsuppressed (lint gate stays green).
+  const std::string timer =
+      "// dhtlint: allow-file(raw-clock): measurement-only\n"
+      "using Clock = std::chrono::steady_clock;\n";
+  LintResult r = LintSource("src/util/timer.h", timer);
+  EXPECT_EQ(CountRule(r, "raw-clock", /*suppressed=*/true), 1);
+  EXPECT_EQ(r.NumUnsuppressed(), 0);
+}
+
 TEST(DhtLintTest, FloatAccumTripsAndSuppresses) {
   LintResult r =
       LintSource("src/dht/fixture.cc", ReadFixture("float_accum.cc"));

@@ -174,5 +174,58 @@ TEST(IncrementalTest, EagerScheduleDoesLessWorkOnNextThanLazy) {
   EXPECT_LE(walks_after - walks_before, 10);
 }
 
+TEST(IncrementalTest, BatchScheduleResumeCountersAreExact) {
+  // Regression for a double-count: the batch schedule used to fold the
+  // per-round hit/miss deltas AND add the cumulative engine counters
+  // once more at the end, inflating state_hits/state_misses ~2x. The
+  // semantics are "one hit or miss per (target, round) resume attempt":
+  // with m larger than the pair space nothing prunes, so an 18-target
+  // schedule at d = 8 runs rounds l = 1, 2, 4 plus the exact-8 pass —
+  // every target misses once (cold at l = 1) and hits exactly 3 times.
+  Graph g = RandomGraph(50, 150, 204, /*undirected=*/true,
+                        /*weighted=*/true);
+  DhtParams p = DhtParams::Lambda(0.2);
+  NodeSet P = Range("P", 0, 18);
+  NodeSet Q = Range("Q", 24, 42);  // 18 targets
+  auto join = IncrementalTwoWayJoin::Create(g, p, 8, P, Q, 5000);
+  ASSERT_TRUE(join.ok());
+
+  const TwoWayJoinStats& st = (*join)->stats();
+  const int64_t targets = 18;
+  EXPECT_EQ(st.state_misses, targets);
+  EXPECT_EQ(st.state_hits, 3 * targets);
+  EXPECT_EQ(st.state_evictions, 0);
+  // Nothing pruned: the live frontier stays |Q| through every round.
+  ASSERT_EQ(st.live_per_iteration.size(), 4u);
+  for (const int64_t live : st.live_per_iteration) {
+    EXPECT_EQ(live, targets);
+  }
+  // pool_barriers is the sum of its per-round breakdown (3 rounds +
+  // the final pass), also delta-folded — a second fold would break it.
+  ASSERT_EQ(st.barriers_per_iteration.size(), 4u);
+  int64_t total = 0;
+  for (const int64_t b : st.barriers_per_iteration) total += b;
+  EXPECT_EQ(st.pool_barriers, total);
+}
+
+TEST(IncrementalTest, ScalarPathCountsOneMissPerColdTarget) {
+  // The m = 0 enumerator deepens targets one scalar walk at a time:
+  // with an un-evicting pool each target is cold exactly once, so
+  // misses == touched targets, independent of how many levels each
+  // target is later resumed through (those are hits).
+  Graph g = RandomGraph(40, 120, 216, /*undirected=*/true,
+                        /*weighted=*/false);
+  DhtParams p = DhtParams::Lambda(0.2);
+  auto join = IncrementalTwoWayJoin::Create(g, p, 8, Range("P", 0, 15),
+                                            Range("Q", 20, 36), 0);
+  ASSERT_TRUE(join.ok());
+  while ((*join)->Next().has_value()) {
+  }
+  const TwoWayJoinStats& st = (*join)->stats();
+  EXPECT_EQ(st.state_evictions, 0);
+  EXPECT_EQ(st.state_misses, 16);  // |Q|: every target cold exactly once
+  EXPECT_GT(st.state_hits, 0);     // deeper levels resume, never restart
+}
+
 }  // namespace
 }  // namespace dhtjoin

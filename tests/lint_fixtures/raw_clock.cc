@@ -1,0 +1,29 @@
+// Fixture for the raw-clock rule: raw chrono clock reads in engine
+// code must flow through obs::Clock instead.
+#include <chrono>
+
+namespace fixture {
+
+int64_t BadSteady() {
+  // trips: steady_clock outside obs/clock.h
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t BadHighRes() {
+  // trips: high_resolution_clock
+  auto t = std::chrono::high_resolution_clock::now();
+  return t.time_since_epoch().count();
+}
+
+// dhtlint: allow(raw-clock): measurement-only scaffolding in this test
+int64_t SuppressedSteady() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+const char* NotAClock() {
+  return "steady_clock inside a string literal must not count";
+}
+
+}  // namespace fixture

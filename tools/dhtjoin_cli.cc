@@ -36,6 +36,8 @@
 #include "datasets/youtube_like.h"
 #include "graph/analysis.h"
 #include "graph/reorder.h"
+#include "obs/export.h"
+#include "obs/json.h"
 #include "serve/session.h"
 #include "serve/workload.h"
 #include "tools/cli_parse.h"
@@ -64,7 +66,10 @@ constexpr char kUsage[] =
     "           [--set-size 100] [--k 50] [--threads N] [--cache-mb MB]\n"
     "           [--admit-floor-bytes B] [--seed 17] [--measure ...]\n"
     "           [--epsilon 1e-6] [--reorder none|degree|rcm]\n"
-    "           [--deadline-ms MS] [--max-in-flight N] [--max-cost C]\n";
+    "           [--deadline-ms MS] [--max-in-flight N] [--max-cost C]\n"
+    "           [--slow-ms MS] [--trace-out T.json]\n"
+    "           [--metrics-out M.json] [--metrics-prom M.prom]\n"
+    "           [--metrics-every N]\n";
 
 Status Fail(const std::string& msg) { return Status::InvalidArgument(msg); }
 
@@ -222,28 +227,10 @@ Status RunJoin2(const ParsedArgs& args) {
     std::printf("%4d  %8d %8d  %+.8f\n", rank++, sp.p, sp.q, sp.score);
   }
   // Machine-readable run counters, incl. the fused scheduler's
-  // fork/join barriers (total and per deepening round).
-  const TwoWayJoinStats& st = join->stats();
-  std::string barriers = "[";
-  for (std::size_t i = 0; i < st.barriers_per_iteration.size(); ++i) {
-    if (i > 0) barriers += ", ";
-    barriers += std::to_string(st.barriers_per_iteration[i]);
-  }
-  barriers += "]";
-  std::printf(
-      "# stats {\"walk_steps\": %lld, \"walks_started\": %lld, "
-      "\"pool_barriers\": %lld, \"barriers_per_iteration\": %s, "
-      "\"state_hits\": %lld, \"state_misses\": %lld, "
-      "\"state_evictions\": %lld, \"degraded\": %s, "
-      "\"level_reached\": %d, \"eps_bound\": %.9g}\n",
-      static_cast<long long>(st.walk_steps),
-      static_cast<long long>(st.walks_started),
-      static_cast<long long>(st.pool_barriers), barriers.c_str(),
-      static_cast<long long>(st.state_hits),
-      static_cast<long long>(st.state_misses),
-      static_cast<long long>(st.state_evictions),
-      st.partial.degraded ? "true" : "false", st.partial.level_reached,
-      st.partial.eps_bound);
+  // fork/join barriers (total and per deepening round). Rendered by
+  // the shared export helper (obs/export.h) — byte-compatible with the
+  // historical hand-rolled printf, asserted in tests/obs_test.cc.
+  std::printf("# stats %s\n", obs::ToJson(join->stats()).c_str());
   return Status::OK();
 }
 
@@ -397,7 +384,48 @@ Status RunServe(const ParsedArgs& args) {
                                               "max-cost"));
     sopts.admission.max_estimated_cost = ceiling;
   }
+  // Observability export surface (obs/export.h, DESIGN.md §11).
+  // --slow-ms turns on per-query span tracing and retains the span
+  // trees of queries at or above the threshold in the ring-buffered
+  // slow-query log; --trace-out alone captures every traced query.
+  const std::string metrics_out = args.Get("metrics-out", "");
+  const std::string metrics_prom = args.Get("metrics-prom", "");
+  const std::string trace_out = args.Get("trace-out", "");
+  int64_t metrics_every = 0;
+  if (args.Has("metrics-every")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        metrics_every,
+        ParsePositiveInt(args.Get("metrics-every", ""), "metrics-every"));
+  }
+  if (args.Has("slow-ms")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        int64_t slow_ms,
+        ParsePositiveInt(args.Get("slow-ms", ""), "slow-ms"));
+    sopts.trace_queries = true;
+    sopts.slow_query_nanos = slow_ms * 1000000;
+  } else if (!trace_out.empty()) {
+    sopts.trace_queries = true;
+    sopts.slow_query_nanos = 1;  // no threshold given: capture everything
+  }
   serve::DhtJoinService service(in.graph, in.measure, in.d, sopts);
+
+  // One snapshot, both formats — the JSON and Prometheus dumps always
+  // describe the same instant. Runs again at exit so the final files
+  // cover the whole run even without --metrics-every.
+  auto flush_observability = [&] {
+    if (!metrics_out.empty() || !metrics_prom.empty()) {
+      const obs::MetricsSnapshot snap = service.SnapshotMetrics();
+      if (!metrics_out.empty()) {
+        obs::WriteJsonFile(metrics_out, obs::ToJson(snap));
+      }
+      if (!metrics_prom.empty()) {
+        obs::WriteJsonFile(metrics_prom, obs::ToPrometheusText(snap));
+      }
+    }
+    if (!trace_out.empty()) {
+      obs::WriteJsonFile(trace_out, service.slow_queries().ToJson());
+    }
+  };
 
   std::printf("# serving %zu requests over %zu templates (zipf %.2f, "
               "|sets| trimmed to %zu, k=%zu, d=%d, %s)\n",
@@ -414,6 +442,12 @@ Status RunServe(const ParsedArgs& args) {
 
   WallTimer timer;
   int64_t shed = 0;
+  int64_t completed = 0;
+  auto maybe_flush = [&] {
+    if (metrics_every > 0 && ++completed % metrics_every == 0) {
+      flush_observability();
+    }
+  };
   if (sopts.num_threads == 1) {
     for (const serve::TwoWayRequest& req : workload.requests) {
       auto exec = make_exec();
@@ -421,6 +455,7 @@ Status RunServe(const ParsedArgs& args) {
           auto result,
           service.TwoWay(req.P, req.Q, req.k, nullptr, exec.get()));
       (void)result;
+      maybe_flush();
     }
   } else {
     std::vector<std::future<Result<std::vector<ScoredPair>>>> futures;
@@ -441,6 +476,7 @@ Status RunServe(const ParsedArgs& args) {
       } else {
         DHTJOIN_RETURN_NOT_OK(status);
       }
+      maybe_flush();
     }
   }
   const double seconds = timer.Seconds();
@@ -466,21 +502,31 @@ Status RunServe(const ParsedArgs& args) {
   // ServiceStats): how many queries were shed at each gate, degraded
   // by deadline/effort, hard-cancelled, or hit a contained exception.
   serve::ServiceStats ss = service.service_stats();
-  std::printf(
-      "# stats {\"admitted\": %lld, \"shed_capacity\": %lld, "
-      "\"shed_cost\": %lld, \"shed_expired\": %lld, \"shed_total\": %lld, "
-      "\"degraded\": %lld, \"deadline_exceeded\": %lld, "
-      "\"effort_exhausted\": %lld, \"cancelled\": %lld, "
-      "\"exceptions\": %lld}\n",
-      static_cast<long long>(ss.admission.admitted),
-      static_cast<long long>(ss.admission.shed_capacity),
-      static_cast<long long>(ss.admission.shed_cost),
-      static_cast<long long>(ss.admission.shed_expired),
-      static_cast<long long>(shed), static_cast<long long>(ss.degraded),
-      static_cast<long long>(ss.deadline_exceeded),
-      static_cast<long long>(ss.effort_exhausted),
-      static_cast<long long>(ss.cancelled),
-      static_cast<long long>(ss.exceptions));
+  obs::JsonObject lifecycle;
+  lifecycle.Set("admitted", static_cast<int64_t>(ss.admission.admitted))
+      .Set("shed_capacity", static_cast<int64_t>(ss.admission.shed_capacity))
+      .Set("shed_cost", static_cast<int64_t>(ss.admission.shed_cost))
+      .Set("shed_expired", static_cast<int64_t>(ss.admission.shed_expired))
+      .Set("shed_total", shed)
+      .Set("degraded", static_cast<int64_t>(ss.degraded))
+      .Set("deadline_exceeded", static_cast<int64_t>(ss.deadline_exceeded))
+      .Set("effort_exhausted", static_cast<int64_t>(ss.effort_exhausted))
+      .Set("cancelled", static_cast<int64_t>(ss.cancelled))
+      .Set("exceptions", static_cast<int64_t>(ss.exceptions));
+  std::printf("# stats %s\n", lifecycle.ToString().c_str());
+
+  flush_observability();
+  if (!metrics_out.empty()) {
+    std::printf("# metrics (json) -> %s\n", metrics_out.c_str());
+  }
+  if (!metrics_prom.empty()) {
+    std::printf("# metrics (prometheus) -> %s\n", metrics_prom.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::printf("# slow-query traces (%lld captured) -> %s\n",
+                static_cast<long long>(service.slow_queries().total_recorded()),
+                trace_out.c_str());
+  }
   return Status::OK();
 }
 

@@ -220,6 +220,35 @@ void RuleRawRng(const std::string& path,
   }
 }
 
+void RuleRawClock(const std::string& path,
+                  const std::vector<std::string>& code,
+                  std::vector<Finding>* out) {
+  // Timing in the engine flows through obs::Clock (injectable: tests
+  // substitute a FakeClock, DHT_OBS_OFF compiles the reads out).
+  // obs/clock.h IS the one sanctioned raw read; util/timer.h and
+  // util/deadline.h carry explicit allow-file suppressions instead of
+  // a path skip so their justification lives next to the code.
+  if (!StartsWith(path, "src/")) return;
+  if (Contains(path, "obs/clock")) return;
+  static const std::regex kPatterns[] = {
+      std::regex(R"(\bsteady_clock\b)"),
+      std::regex(R"(\bhigh_resolution_clock\b)"),
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const std::regex& re : kPatterns) {
+      if (std::regex_search(code[i], re)) {
+        out->push_back(Finding{
+            path, static_cast<int>(i + 1), "raw-clock",
+            "raw chrono clock read in engine code: inject an "
+            "obs::Clock (obs/clock.h) so tests control time and "
+            "DHT_OBS_OFF can compile timing out (DESIGN.md §11)",
+            false, ""});
+        break;
+      }
+    }
+  }
+}
+
 void RuleFloatAccum(const std::string& path,
                     const std::vector<std::string>& code,
                     std::vector<Finding>* out) {
@@ -328,8 +357,9 @@ int LintResult::NumUnsuppressed() const {
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kNames = {
-      "unordered-iter", "raw-rng",        "float-accum",
-      "raw-id-param",   "mutable-static", "bad-suppression",
+      "unordered-iter", "raw-rng",        "raw-clock",
+      "float-accum",    "raw-id-param",   "mutable-static",
+      "bad-suppression",
   };
   return kNames;
 }
@@ -342,6 +372,7 @@ LintResult LintSource(const std::string& path, const std::string& content) {
   std::vector<Finding> hits;
   RuleUnorderedIter(path, code, &hits);
   RuleRawRng(path, code, &hits);
+  RuleRawClock(path, code, &hits);
   RuleFloatAccum(path, code, &hits);
   RuleRawIdParam(path, code, &hits);
   RuleMutableStatic(path, code, &hits);
