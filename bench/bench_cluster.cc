@@ -1,0 +1,499 @@
+/// \file bench/bench_cluster.cc
+/// \brief Chaos benchmark for the fault-tolerant serving tier: real
+/// worker PROCESSES (fork + loopback sockets, cluster/worker.h) driven
+/// by a ClusterCoordinator through every fault class the tier claims
+/// to survive — per-connection kill faults at each execution boundary,
+/// corrupted and truncated reply frames, a straggler that must be
+/// hedged, a worker SIGKILLed mid-stream, and a fully dead cluster
+/// that must degrade to local execution.
+///
+/// Acceptance gates (exit nonzero on violation):
+///  * BYTE-IDENTITY: every completed answer equals the single-process
+///    B-IDJ reference bit-for-bit (scores compared as u64 bit
+///    patterns), whatever faults the routing survived;
+///  * ZERO HANGS / CRASHES: every query resolves with OK or a typed
+///    Status under its wall budget — the stream always finishes;
+///  * FAULT COVERAGE: failovers, hedges, checksum rejects, and local
+///    fallbacks all actually fired (a chaos run that exercised
+///    nothing proves nothing);
+///  * DETECTION: a SIGKILLed worker is marked unhealthy by heartbeat
+///    probes, and a dead cluster without local fallback surfaces a
+///    typed error instead of wedging.
+///
+/// `--smoke` (CI, laptops) shrinks the graph and the stream; the full
+/// run writes the committed dev-box baseline
+/// (bench/baselines/BENCH_cluster.json).
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/coordinator.h"
+#include "cluster/worker.h"
+#include "join2/b_idj.h"
+#include "serve/workload.h"
+#include "util/deadline.h"
+
+using namespace dhtjoin;           // NOLINT
+using namespace dhtjoin::bench;    // NOLINT
+using namespace dhtjoin::cluster;  // NOLINT
+
+namespace {
+
+/// Per-query wall budget. Generous: it exists to turn a genuine hang
+/// into a typed kDeadlineExceeded instead of a wedged bench, not to
+/// exercise degradation (no query on these graphs needs 1% of it).
+constexpr double kQueryBudgetSeconds = 30.0;
+
+struct Tally {
+  int64_t completed = 0;
+  int64_t mismatches = 0;  // gate: must stay 0
+  int64_t unexpected = 0;  // gate: must stay 0
+  int64_t retries = 0;
+  int64_t failovers = 0;
+  int64_t hedged = 0;
+  int64_t hedge_won = 0;
+  int64_t local_fallbacks = 0;
+
+  void Merge(const Tally& other) {
+    completed += other.completed;
+    mismatches += other.mismatches;
+    unexpected += other.unexpected;
+    retries += other.retries;
+    failovers += other.failovers;
+    hedged += other.hedged;
+    hedge_won += other.hedge_won;
+    local_fallbacks += other.local_fallbacks;
+  }
+};
+
+bool BytesIdentical(const std::vector<ScoredPair>& got,
+                    const std::vector<ScoredPair>& want) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].p != want[i].p || got[i].q != want[i].q ||
+        std::bit_cast<uint64_t>(got[i].score) !=
+            std::bit_cast<uint64_t>(want[i].score)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs one request through the coordinator under the hang budget and
+/// accounts the outcome against the template reference.
+void RunOne(ClusterCoordinator& coord, const serve::TwoWayRequest& req,
+            const std::vector<ScoredPair>& reference, Tally& tally) {
+  ExecContext exec;
+  exec.deadline = Deadline::AfterSeconds(kQueryBudgetSeconds);
+  ClusterQueryStats cqs;
+  auto result = coord.TwoWay(req.P, req.Q, req.k, &cqs, &exec);
+  tally.retries += cqs.retries;
+  if (cqs.failover) ++tally.failovers;
+  if (cqs.hedged) ++tally.hedged;
+  if (cqs.hedge_won) ++tally.hedge_won;
+  if (cqs.local_fallback) ++tally.local_fallbacks;
+  if (!result.ok()) {
+    ++tally.unexpected;
+    std::fprintf(stderr, "UNEXPECTED STATUS: %s\n",
+                 result.status().ToString().c_str());
+    return;
+  }
+  ++tally.completed;
+  if (!BytesIdentical(*result, reference)) {
+    ++tally.mismatches;
+    std::fprintf(stderr, "BYTE-IDENTITY VIOLATION (routed answer diverged "
+                         "from the single-process reference)\n");
+  }
+}
+
+/// Sequentially replays requests [begin, end) through `coord`.
+Tally RunRange(ClusterCoordinator& coord,
+               const std::vector<serve::TwoWayRequest>& requests,
+               std::size_t begin, std::size_t end,
+               const std::vector<std::vector<ScoredPair>>& reference) {
+  Tally tally;
+  for (std::size_t i = begin; i < end && i < requests.size(); ++i) {
+    RunOne(coord, requests[i], reference[requests[i].template_id], tally);
+  }
+  return tally;
+}
+
+int64_t CounterValue(const obs::MetricsSnapshot& snap, const char* name) {
+  const obs::CounterSnapshot* c = snap.FindCounter(name);
+  return c == nullptr ? 0 : c->value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+
+  auto ds = smoke ? MakeDblp(4000) : MakeDblp();
+  const Graph& g = ds.graph;
+  PaperDefaults defaults;
+  const DhtParams& p = defaults.dht;
+  const int d = defaults.d;
+
+  serve::WorkloadOptions wopts;
+  wopts.num_requests = smoke ? 96 : 240;
+  wopts.num_templates = smoke ? 12 : 16;
+  wopts.zipf_s = 1.0;
+  wopts.set_size = smoke ? 60 : 100;
+  wopts.k = defaults.k;
+  wopts.seed = 43;
+  auto workload =
+      Unwrap(serve::GenerateZipfianTwoWayWorkload(g, ds.areas, wopts),
+             "GenerateZipfianTwoWayWorkload");
+  const std::vector<serve::TwoWayRequest>& requests = workload.requests;
+
+  // Phase slice sizes over the shared stream.
+  const std::size_t kIdentityN = smoke ? 24 : 80;
+  const std::size_t kKillChaosN = smoke ? 16 : 40;
+  const std::size_t kCorruptN = smoke ? 12 : 30;
+  const std::size_t kHedgeN = smoke ? 10 : 20;
+  const std::size_t kSigkillN = smoke ? 20 : 40;
+  const std::size_t kFallbackN = smoke ? 5 : 10;
+
+  std::printf("[setup] chaos stream: %zu requests over %zu templates "
+              "(zipf %.1f, |P|=|Q|=%zu, k=%zu, d=%d)\n",
+              requests.size(), workload.num_templates, wopts.zipf_s,
+              wopts.set_size, wopts.k, d);
+
+  // ---- Spawn the whole worker cast BEFORE any thread exists in this
+  // process (fork clones only the calling thread; the coordinators,
+  // the reference services, and phase E's client threads all come
+  // later). The graph is inherited copy-on-write, so six workers cost
+  // pages, not six CSR copies.
+  std::printf("[setup] forking 6 worker processes (2 clean, kill-chaos, "
+              "corrupt/truncate, straggler, sigkill victim)...\n");
+
+  WorkerOptions clean;
+  auto w_clean0 = Unwrap(SpawnWorkerProcess(g, p, d, clean), "spawn clean0");
+  auto w_clean1 = Unwrap(SpawnWorkerProcess(g, p, d, clean), "spawn clean1");
+
+  WorkerOptions killer;
+  killer.chaos.seed = 0xC1A05ULL;
+  killer.chaos.p_kill_before_execute = 0.25;
+  killer.chaos.p_kill_at_level = 0.25;
+  killer.chaos.p_kill_before_reply = 0.25;
+  killer.chaos.kill_level = 2;
+  auto w_killer = Unwrap(SpawnWorkerProcess(g, p, d, killer), "spawn killer");
+
+  WorkerOptions corrupter;
+  corrupter.chaos.seed = 0xBADF00DULL;
+  corrupter.chaos.p_corrupt_reply = 0.5;
+  corrupter.chaos.p_truncate_reply = 0.3;
+  auto w_corrupt =
+      Unwrap(SpawnWorkerProcess(g, p, d, corrupter), "spawn corrupter");
+
+  WorkerOptions straggler;
+  straggler.chaos.seed = 0x51071ULL;
+  straggler.chaos.p_delay_reply = 1.0;
+  straggler.chaos.delay_micros = 120000;  // 120 ms, far past the hedge clamp
+  auto w_slow = Unwrap(SpawnWorkerProcess(g, p, d, straggler), "spawn slow");
+
+  auto w_victim = Unwrap(SpawnWorkerProcess(g, p, d, clean), "spawn victim");
+
+  std::printf("[setup] workers on ports %u %u %u %u %u %u\n",
+              w_clean0.port, w_clean1.port, w_killer.port, w_corrupt.port,
+              w_slow.port, w_victim.port);
+
+  // ---- Reference answers per template: the same fresh B-IDJ oracle
+  // the robustness bench uses. Computed in-parent after forking.
+  std::vector<std::vector<ScoredPair>> reference(workload.num_templates);
+  std::vector<char> have_reference(workload.num_templates, 0);
+  for (const serve::TwoWayRequest& req : requests) {
+    if (have_reference[req.template_id]) continue;
+    BIdjJoin join;
+    reference[req.template_id] =
+        Unwrap(join.Run(g, p, d, req.P, req.Q, req.k), "BIdjJoin reference");
+    have_reference[req.template_id] = 1;
+  }
+
+  Tally total;
+  std::size_t cursor = 0;
+
+  CoordinatorOptions base;
+  base.hedge.enabled = false;
+  base.retry.backoff.initial_micros = 500;
+  base.retry.backoff.max_micros = 20000;
+  // Chaos phases keep hammering the faulty worker instead of routing
+  // around it after two misses — more fault hits per query, and the
+  // health axis is measured separately in phase E.
+  CoordinatorOptions chaos_opts = base;
+  chaos_opts.health.miss_threshold = 1000000;
+
+  // ---- Phase A: clean byte-identity + RPC cost over the wire.
+  double identity_seconds = 0.0;
+  {
+    std::printf("[phase A] %zu queries across 2 clean workers...\n",
+                kIdentityN);
+    ClusterCoordinator coord(
+        g, p, d,
+        {WorkerEndpoint{w_clean0.port}, WorkerEndpoint{w_clean1.port}}, base);
+    WallTimer timer;
+    Tally t =
+        RunRange(coord, requests, cursor, cursor + kIdentityN, reference);
+    identity_seconds = timer.Seconds();
+    cursor += kIdentityN;
+    std::printf("          %lld completed, %lld mismatches, %.2f ms/query\n",
+                static_cast<long long>(t.completed),
+                static_cast<long long>(t.mismatches),
+                1e3 * identity_seconds / static_cast<double>(kIdentityN));
+    total.Merge(t);
+  }
+
+  // ---- Phase B: kill-chaos worker severing connections at the
+  // import / deepening-round / write-back boundaries; every query must
+  // fail over to the clean worker with identical bytes.
+  int64_t killchaos_failovers = 0;
+  {
+    std::printf("[phase B] %zu queries with a kill-chaos primary "
+                "(75%% sever at a random boundary)...\n",
+                kKillChaosN);
+    ClusterCoordinator coord(
+        g, p, d,
+        {WorkerEndpoint{w_killer.port}, WorkerEndpoint{w_clean0.port}},
+        chaos_opts);
+    Tally t =
+        RunRange(coord, requests, cursor, cursor + kKillChaosN, reference);
+    cursor += kKillChaosN;
+    killchaos_failovers = t.failovers;
+    std::printf("          %lld completed, %lld failovers, %lld retries\n",
+                static_cast<long long>(t.completed),
+                static_cast<long long>(t.failovers),
+                static_cast<long long>(t.retries));
+    total.Merge(t);
+  }
+
+  // ---- Phase C: corrupted and truncated reply frames; the checksum /
+  // length verification must reject them and the retry must land on
+  // the clean worker.
+  int64_t checksum_rejects = 0;
+  {
+    std::printf("[phase C] %zu queries with a corrupt/truncate primary...\n",
+                kCorruptN);
+    ClusterCoordinator coord(
+        g, p, d,
+        {WorkerEndpoint{w_corrupt.port}, WorkerEndpoint{w_clean0.port}},
+        chaos_opts);
+    Tally t = RunRange(coord, requests, cursor, cursor + kCorruptN, reference);
+    cursor += kCorruptN;
+    checksum_rejects = CounterValue(coord.SnapshotMetrics(),
+                                    "cluster.frame.checksum_rejects");
+    std::printf("          %lld completed, %lld checksum rejects, %lld "
+                "failovers\n",
+                static_cast<long long>(t.completed),
+                static_cast<long long>(checksum_rejects),
+                static_cast<long long>(t.failovers));
+    total.Merge(t);
+  }
+
+  // ---- Phase D: hedging a straggler. The slow worker holds every
+  // reply for 120 ms; with warmup 0 and a 2 ms floor the hedge fires
+  // and the clean worker's reply wins — still byte-identical.
+  {
+    std::printf("[phase D] %zu queries with a 120 ms straggler, hedging "
+                "enabled...\n",
+                kHedgeN);
+    CoordinatorOptions hedged = chaos_opts;
+    hedged.hedge.enabled = true;
+    hedged.hedge.quantile = 0.5;
+    hedged.hedge.min_delay_micros = 2000;
+    hedged.hedge.max_delay_micros = 5000;
+    hedged.hedge.warmup_samples = 0;
+    ClusterCoordinator coord(
+        g, p, d,
+        {WorkerEndpoint{w_slow.port}, WorkerEndpoint{w_clean1.port}}, hedged);
+    Tally t = RunRange(coord, requests, cursor, cursor + kHedgeN, reference);
+    cursor += kHedgeN;
+    std::printf("          %lld completed, %lld hedged, %lld hedge wins\n",
+                static_cast<long long>(t.completed),
+                static_cast<long long>(t.hedged),
+                static_cast<long long>(t.hedge_won));
+    total.Merge(t);
+  }
+
+  // ---- Phase E: SIGKILL a worker while concurrent clients are mid-
+  // stream; every query still completes byte-identically on the
+  // survivor, and heartbeat probes mark the corpse unhealthy.
+  bool victim_detected_dead = false;
+  int64_t sigkill_failovers = 0;
+  {
+    std::printf("[phase E] %zu queries from 2 client threads; SIGKILL the "
+                "primary mid-stream...\n",
+                kSigkillN);
+    ClusterCoordinator coord(
+        g, p, d,
+        {WorkerEndpoint{w_victim.port}, WorkerEndpoint{w_clean1.port}}, base);
+    const std::size_t begin = cursor;
+    const std::size_t end = cursor + kSigkillN;
+    cursor = end;
+    std::atomic<std::size_t> next{begin};
+    std::mutex agg_mu;
+    Tally t;
+    auto client = [&] {
+      Tally local;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= end || i >= requests.size()) break;
+        RunOne(coord, requests[i], reference[requests[i].template_id], local);
+      }
+      const std::lock_guard<std::mutex> lock(agg_mu);
+      t.Merge(local);
+    };
+    std::thread c0(client), c1(client);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    KillWorkerProcess(w_victim);
+    c0.join();
+    c1.join();
+    // Two probe rounds: the first records the miss, the second crosses
+    // the default threshold.
+    (void)coord.PingAll();
+    (void)coord.PingAll();
+    victim_detected_dead = !coord.WorkerHealthy(0) && coord.NumHealthy() == 1;
+    sigkill_failovers = t.failovers;
+    std::printf("          %lld completed, %lld failovers, victim "
+                "unhealthy: %s\n",
+                static_cast<long long>(t.completed),
+                static_cast<long long>(t.failovers),
+                victim_detected_dead ? "yes" : "NO");
+    total.Merge(t);
+  }
+
+  // ---- Phase F: the whole cluster is dead. With local fallback the
+  // coordinator degrades to in-process execution (identical bytes);
+  // without it, a typed error surfaces instead of a hang.
+  bool typed_error_when_no_fallback = false;
+  {
+    std::printf("[phase F] %zu queries against a dead cluster, local "
+                "fallback on...\n",
+                kFallbackN);
+    ClusterCoordinator coord(g, p, d, {WorkerEndpoint{w_victim.port}}, base);
+    Tally t = RunRange(coord, requests, cursor, cursor + kFallbackN,
+                       reference);
+    cursor += kFallbackN;
+    std::printf("          %lld completed via local fallback\n",
+                static_cast<long long>(t.local_fallbacks));
+    total.Merge(t);
+
+    CoordinatorOptions strict = base;
+    strict.allow_local_fallback = false;
+    ClusterCoordinator no_fb(g, p, d, {WorkerEndpoint{w_victim.port}},
+                             strict);
+    ExecContext exec;
+    exec.deadline = Deadline::AfterSeconds(kQueryBudgetSeconds);
+    auto result = no_fb.TwoWay(requests[0].P, requests[0].Q, requests[0].k,
+                               nullptr, &exec);
+    typed_error_when_no_fallback = !result.ok();
+    std::printf("          fallback disabled -> %s\n",
+                result.ok() ? "OK (unexpected)"
+                            : result.status().ToString().c_str());
+  }
+
+  // ---- Graceful teardown: every surviving worker must drain and
+  // exit 0 on SIGTERM.
+  int64_t clean_worker_exits = 0;
+  for (const SpawnedWorker& w : {w_clean0, w_clean1, w_killer, w_corrupt,
+                                 w_slow}) {
+    if (StopWorkerProcess(w, 5000).ok()) ++clean_worker_exits;
+  }
+  std::printf("[teardown] %lld/5 surviving workers exited 0 on SIGTERM\n",
+              static_cast<long long>(clean_worker_exits));
+
+  const int64_t queries_total = static_cast<int64_t>(
+      kIdentityN + kKillChaosN + kCorruptN + kHedgeN + kSigkillN + kFallbackN);
+
+  std::printf("\n==== cluster chaos summary ====\n");
+  std::printf("  queries:        %lld (completed %lld)\n",
+              static_cast<long long>(queries_total),
+              static_cast<long long>(total.completed));
+  std::printf("  mismatches:     %lld\n",
+              static_cast<long long>(total.mismatches));
+  std::printf("  unexpected:     %lld\n",
+              static_cast<long long>(total.unexpected));
+  std::printf("  retries:        %lld, failovers: %lld\n",
+              static_cast<long long>(total.retries),
+              static_cast<long long>(total.failovers));
+  std::printf("  hedged:         %lld (won %lld)\n",
+              static_cast<long long>(total.hedged),
+              static_cast<long long>(total.hedge_won));
+  std::printf("  checksum rejects: %lld, local fallbacks: %lld\n",
+              static_cast<long long>(checksum_rejects),
+              static_cast<long long>(total.local_fallbacks));
+
+  bool ok = true;
+  auto gate = [&](bool pass, const char* what) {
+    std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", what);
+    ok = ok && pass;
+  };
+  gate(total.completed == queries_total && total.unexpected == 0,
+       "every admitted query completed (zero hangs, zero unexpected "
+       "statuses)");
+  gate(total.mismatches == 0,
+       "every completed answer byte-identical to the single-process "
+       "reference");
+  gate(killchaos_failovers > 0, "kill-chaos failovers fired");
+  gate(checksum_rejects > 0, "corrupt/truncated frames were caught by "
+                             "checksum/length verification");
+  gate(total.hedged > 0 && total.hedge_won > 0,
+       "hedges fired against the straggler and won");
+  gate(victim_detected_dead,
+       "heartbeats marked the SIGKILLed worker unhealthy");
+  gate(total.local_fallbacks >= static_cast<int64_t>(kFallbackN),
+       "dead cluster degraded to byte-identical local execution");
+  gate(typed_error_when_no_fallback,
+       "dead cluster without fallback surfaced a typed error");
+  gate(clean_worker_exits == 5,
+       "all surviving workers drained and exited 0 on SIGTERM");
+
+  JsonObject doc;
+  doc.Set("bench", std::string("cluster"))
+      .Set("mode", std::string(smoke ? "smoke" : "full"))
+      .Set("dataset", std::string("dblp_like"))
+      .Set("num_nodes", static_cast<int64_t>(g.num_nodes()))
+      .Set("num_edges", g.num_edges())
+      .Set("workers_spawned", static_cast<int64_t>(6))
+      .Set("queries_total", queries_total)
+      .Set("completed", total.completed)
+      .Set("identity_mismatches", total.mismatches)
+      .Set("unexpected_statuses", total.unexpected)
+      .Set("identity_ms_per_query",
+           1e3 * identity_seconds / static_cast<double>(kIdentityN))
+      .Set("retries", total.retries)
+      .Set("failovers", total.failovers)
+      .Set("killchaos_failovers", killchaos_failovers)
+      .Set("sigkill_failovers", sigkill_failovers)
+      .Set("hedged", total.hedged)
+      .Set("hedge_won", total.hedge_won)
+      .Set("checksum_rejects", checksum_rejects)
+      .Set("local_fallbacks", total.local_fallbacks)
+      .Set("clean_worker_exits", clean_worker_exits)
+      .Set("byte_identical", static_cast<int64_t>(total.mismatches == 0))
+      .Set("zero_hangs",
+           static_cast<int64_t>(total.completed == queries_total &&
+                                total.unexpected == 0))
+      .Set("victim_detected_dead",
+           static_cast<int64_t>(victim_detected_dead))
+      .Set("typed_error_when_no_fallback",
+           static_cast<int64_t>(typed_error_when_no_fallback));
+  WriteJsonFile("BENCH_cluster.json", doc.ToString());
+  std::printf("\nwrote BENCH_cluster.json\n");
+
+  if (!ok) {
+    std::fprintf(stderr, "\nCLUSTER CHAOS GATES FAILED\n");
+    return 1;
+  }
+  std::printf("all cluster chaos gates passed\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "cluster/chaos.h"
+
+#include "cluster/frame.h"
+#include "util/rng.h"
+
+namespace dhtjoin::cluster {
+
+WorkerFault DrawWorkerFault(const ChaosOptions& opts, uint64_t ordinal) {
+  WorkerFault fault;
+  if (!opts.enabled()) return fault;
+  uint64_t sm = opts.seed ^ (0x9e3779b97f4a7c15ULL * (ordinal + 1));
+  Rng rng(SplitMix64(sm));
+  fault.kill_level = opts.kill_level;
+  fault.delay_micros = opts.delay_micros;
+  if (rng.Chance(opts.p_kill_before_execute)) {
+    fault.kind = WorkerFaultKind::kKillBeforeExecute;
+  } else if (rng.Chance(opts.p_kill_at_level)) {
+    fault.kind = WorkerFaultKind::kKillAtLevel;
+  } else if (rng.Chance(opts.p_kill_before_reply)) {
+    fault.kind = WorkerFaultKind::kKillBeforeReply;
+  } else if (rng.Chance(opts.p_delay_reply)) {
+    fault.kind = WorkerFaultKind::kDelayReply;
+  } else if (rng.Chance(opts.p_corrupt_reply)) {
+    fault.kind = WorkerFaultKind::kCorruptReply;
+  } else if (rng.Chance(opts.p_truncate_reply)) {
+    fault.kind = WorkerFaultKind::kTruncateReply;
+  }
+  return fault;
+}
+
+void CorruptFramePayload(std::vector<uint8_t>& frame, uint64_t seed) {
+  if (frame.size() < kFrameHeaderBytes) return;
+  uint64_t sm = seed ^ 0xc2b2ae3d27d4eb4fULL;
+  uint64_t r = SplitMix64(sm);
+  std::size_t payload_len = frame.size() - kFrameHeaderBytes;
+  std::size_t pos;
+  if (payload_len > 0) {
+    pos = kFrameHeaderBytes + static_cast<std::size_t>(r % payload_len);
+  } else {
+    // Empty payload: flip a checksum byte (offset 20..27) so the
+    // receiver still sees a verification failure, not a magic error.
+    pos = 20 + static_cast<std::size_t>(r % 8);
+  }
+  uint8_t flip = static_cast<uint8_t>(1u << ((r >> 32) & 7u));
+  frame[pos] = static_cast<uint8_t>(frame[pos] ^ flip);
+}
+
+void TruncateFrame(std::vector<uint8_t>& frame, uint64_t seed) {
+  if (frame.empty()) return;
+  uint64_t sm = seed ^ 0x165667b19e3779f9ULL;
+  uint64_t r = SplitMix64(sm);
+  std::size_t keep = static_cast<std::size_t>(r % frame.size());
+  frame.resize(keep);
+}
+
+}  // namespace dhtjoin::cluster

@@ -1,0 +1,83 @@
+/// \file cluster/chaos.h
+/// \brief Seeded fault schedules for the cluster tier, extending the
+/// in-process harness of util/fault_injection.h across the wire.
+///
+/// A WorkerServer armed with ChaosOptions draws one WorkerFault per
+/// request (deterministically, from the seed and the request ordinal)
+/// and fires it at the matching execution boundary:
+///
+///  * kill faults sever the client connection — before execution
+///    starts (the import span boundary), after a chosen deepening
+///    level completes (a round boundary, via ExecContext::on_level),
+///    or after the answer is computed but before the reply frame is
+///    written (the write-back boundary). To the coordinator all three
+///    look like a worker crash at a different phase, which is exactly
+///    the failover-identity test matrix of DESIGN.md §12;
+///  * a delay fault holds the reply past the hedging threshold so
+///    hedges and deadline expiries fire deterministically;
+///  * corrupt/truncate faults mutate the encoded reply frame so the
+///    receiver's checksum/length verification must catch them.
+///
+/// Everything is a pure function of (seed, ordinal): a chaos run can
+/// be replayed exactly, and CI pins one schedule forever.
+
+#ifndef DHTJOIN_CLUSTER_CHAOS_H_
+#define DHTJOIN_CLUSTER_CHAOS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dhtjoin::cluster {
+
+enum class WorkerFaultKind : uint8_t {
+  kNone = 0,
+  kKillBeforeExecute,  ///< sever the connection at the import boundary
+  kKillAtLevel,        ///< sever after deepening level `kill_level`
+  kKillBeforeReply,    ///< sever at the write-back boundary
+  kDelayReply,         ///< hold the reply for `delay_micros`
+  kCorruptReply,       ///< flip one payload byte of the reply frame
+  kTruncateReply,      ///< send only a prefix of the reply frame
+};
+
+struct WorkerFault {
+  WorkerFaultKind kind = WorkerFaultKind::kNone;
+  int64_t kill_level = 1;
+  int64_t delay_micros = 0;
+};
+
+/// Per-worker chaos configuration. Probabilities are evaluated in the
+/// declaration order below; the first that fires wins, so the
+/// categories are mutually exclusive per request.
+struct ChaosOptions {
+  /// 0 disables chaos entirely (production default).
+  uint64_t seed = 0;
+  double p_kill_before_execute = 0.0;
+  double p_kill_at_level = 0.0;
+  double p_kill_before_reply = 0.0;
+  double p_delay_reply = 0.0;
+  double p_corrupt_reply = 0.0;
+  double p_truncate_reply = 0.0;
+  /// Deepening level after which kKillAtLevel severs.
+  int64_t kill_level = 1;
+  int64_t delay_micros = 0;
+
+  bool enabled() const { return seed != 0; }
+};
+
+/// The fault for request `ordinal` — deterministic in (opts.seed,
+/// ordinal), independent of arrival order across connections.
+WorkerFault DrawWorkerFault(const ChaosOptions& opts, uint64_t ordinal);
+
+/// Flips one deterministic payload byte of an encoded frame (header
+/// left intact so the corruption must be caught by the checksum, not
+/// the magic). Frames with an empty payload get a checksum-field flip
+/// instead. No-op on buffers shorter than a header.
+void CorruptFramePayload(std::vector<uint8_t>& frame, uint64_t seed);
+
+/// Truncates an encoded frame to a deterministic strict prefix (at
+/// least 1 byte shorter), simulating a peer dying mid-write.
+void TruncateFrame(std::vector<uint8_t>& frame, uint64_t seed);
+
+}  // namespace dhtjoin::cluster
+
+#endif  // DHTJOIN_CLUSTER_CHAOS_H_

@@ -1,0 +1,502 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/clock.h"
+
+namespace dhtjoin::cluster {
+
+namespace {
+
+constexpr std::size_t kLatencyRingCapacity = 128;
+
+void SleepMicros(int64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+Deadline EarlierDeadline(const Deadline& a, const Deadline& b) {
+  if (a.is_infinite()) return b;
+  if (b.is_infinite()) return a;
+  return Deadline::At(std::min(a.when(), b.when()));
+}
+
+}  // namespace
+
+ClusterCoordinator::ClusterCoordinator(const Graph& g,
+                                       const DhtParams& params, int d,
+                                       std::vector<WorkerEndpoint> workers,
+                                       CoordinatorOptions options)
+    : options_(std::move(options)),
+      local_service_(g, params, d, options_.local_service),
+      graph_fp_(local_service_.graph_fingerprint()),
+      params_fp_(ParamsFingerprint(params, d)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : obs::SystemClock::Get()),
+      metrics_(local_service_.metrics()),
+      latency_ring_(kLatencyRingCapacity, 0) {
+  workers_.reserve(workers.size());
+  for (const WorkerEndpoint& endpoint : workers) {
+    auto state = std::make_unique<WorkerState>();
+    state->endpoint = endpoint;
+    workers_.push_back(std::move(state));
+  }
+}
+
+ClusterCoordinator::~ClusterCoordinator() { StopHeartbeats(); }
+
+// ----------------------------------------------------------------- health
+
+bool ClusterCoordinator::WorkerHealthy(std::size_t index) const {
+  if (index >= workers_.size()) return false;
+  return workers_[index]->healthy.load(std::memory_order_relaxed);
+}
+
+std::size_t ClusterCoordinator::NumHealthy() const {
+  std::size_t n = 0;
+  for (const auto& w : workers_) {
+    if (w->healthy.load(std::memory_order_relaxed)) ++n;
+  }
+  return n;
+}
+
+void ClusterCoordinator::RecordMiss(std::size_t index) {
+  WorkerState& w = *workers_[index];
+  int64_t misses =
+      w.consecutive_misses.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (misses >= options_.health.miss_threshold) {
+    w.healthy.store(false, std::memory_order_relaxed);
+  }
+}
+
+void ClusterCoordinator::RecordSuccess(std::size_t index) {
+  WorkerState& w = *workers_[index];
+  w.consecutive_misses.store(0, std::memory_order_relaxed);
+  w.healthy.store(true, std::memory_order_relaxed);
+}
+
+std::size_t ClusterCoordinator::NextHealthyWorker(std::size_t avoid) {
+  const std::size_t n = workers_.size();
+  if (n == 0) return n;
+  const uint64_t start = rr_cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t idx = static_cast<std::size_t>((start + i) % n);
+    if (idx == avoid) continue;
+    if (workers_[idx]->healthy.load(std::memory_order_relaxed)) return idx;
+  }
+  return n;
+}
+
+Status ClusterCoordinator::ProbeWorker(std::size_t index) {
+  metrics_.heartbeat_probes->Increment();
+  const Deadline deadline = Deadline::AfterSeconds(
+      static_cast<double>(options_.health.ping_timeout_micros) * 1e-6);
+  Result<Socket> conn =
+      ConnectLoopback(workers_[index]->endpoint.port, deadline);
+  if (!conn.ok()) {
+    RecordMiss(index);
+    return conn.status();
+  }
+  uint64_t request_id = next_request_id_.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  Status sent = SendFrame(*conn, FrameType::kPing, request_id, {}, deadline);
+  if (!sent.ok()) {
+    RecordMiss(index);
+    return sent;
+  }
+  bool checksum_reject = false;
+  Result<RecvdFrame> pong = RecvFrame(*conn, deadline, &checksum_reject);
+  if (!pong.ok()) {
+    if (checksum_reject) metrics_.frame_checksum_rejects->Increment();
+    RecordMiss(index);
+    return pong.status();
+  }
+  if (static_cast<FrameType>(pong->header.type) != FrameType::kPong) {
+    RecordMiss(index);
+    return Status::IOError("heartbeat: unexpected frame type");
+  }
+  Result<HelloInfo> info = DecodeHelloInfo(pong->payload);
+  if (!info.ok()) {
+    RecordMiss(index);
+    return info.status();
+  }
+  if (info->graph_fp != graph_fp_ || info->params_fp != params_fp_) {
+    // A mis-deployed worker: well-formed answers over the WRONG data.
+    // Permanently routed around — never retried into.
+    RecordMiss(index);
+    workers_[index]->healthy.store(false, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        "worker " + std::to_string(index) +
+        " identity mismatch (different graph or measure parameters)");
+  }
+  RecordSuccess(index);
+  return Status::OK();
+}
+
+Status ClusterCoordinator::PingAll() {
+  Status first_mismatch = Status::OK();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Status st = ProbeWorker(i);
+    if (!st.ok()) {
+      metrics_.heartbeat_misses->Increment();
+      if (st.code() == StatusCode::kInvalidArgument && first_mismatch.ok()) {
+        first_mismatch = st;
+      }
+    }
+  }
+  return first_mismatch;
+}
+
+void ClusterCoordinator::StartHeartbeats() {
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  if (hb_thread_.joinable()) return;
+  hb_stop_.store(false, std::memory_order_relaxed);
+  hb_thread_ = std::thread([this] { HeartbeatLoop(); });
+}
+
+void ClusterCoordinator::StopHeartbeats() {
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  hb_stop_.store(true, std::memory_order_relaxed);
+  if (hb_thread_.joinable()) hb_thread_.join();
+}
+
+void ClusterCoordinator::HeartbeatLoop() {
+  while (!hb_stop_.load(std::memory_order_relaxed)) {
+    (void)PingAll();
+    int64_t remaining = options_.health.heartbeat_period_micros;
+    while (remaining > 0 && !hb_stop_.load(std::memory_order_relaxed)) {
+      int64_t slice = std::min<int64_t>(remaining, 10000);
+      SleepMicros(slice);
+      remaining -= slice;
+    }
+  }
+}
+
+// ---------------------------------------------------------- hedge latency
+
+void ClusterCoordinator::RecordLatencyMicros(int64_t micros) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_ring_[latency_pos_] = micros;
+  latency_pos_ = (latency_pos_ + 1) % latency_ring_.size();
+  ++latency_count_;
+}
+
+int64_t ClusterCoordinator::HedgeDelayMicros() const {
+  if (!options_.hedge.enabled) return 0;
+  std::vector<int64_t> sample;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    if (latency_count_ < options_.hedge.warmup_samples) return 0;
+    std::size_t filled = std::min<std::size_t>(
+        static_cast<std::size_t>(latency_count_), latency_ring_.size());
+    sample.assign(latency_ring_.begin(),
+                  latency_ring_.begin() + static_cast<std::ptrdiff_t>(filled));
+  }
+  // warmup_samples = 0 activates hedging before any latency has been
+  // observed; the clamp floor is the only sensible delay then.
+  if (sample.empty()) return options_.hedge.min_delay_micros;
+  double q = std::clamp(options_.hedge.quantile, 0.0, 1.0);
+  std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(sample.size() - 1));
+  std::nth_element(sample.begin(),
+                   sample.begin() + static_cast<std::ptrdiff_t>(rank),
+                   sample.end());
+  int64_t delay = sample[rank];
+  return std::clamp(delay, options_.hedge.min_delay_micros,
+                    options_.hedge.max_delay_micros);
+}
+
+// ------------------------------------------------------------------- rpc
+
+Result<Socket> ClusterCoordinator::OpenAndSend(std::size_t worker,
+                                               const TwoWayWireRequest& req,
+                                               uint64_t request_id,
+                                               const Deadline& deadline) {
+  metrics_.rpc_attempts->Increment();
+  Result<Socket> conn =
+      ConnectLoopback(workers_[worker]->endpoint.port, deadline);
+  if (!conn.ok()) return conn.status();
+  std::vector<uint8_t> payload = EncodeTwoWayRequest(req);
+  Status sent = SendFrame(*conn, FrameType::kTwoWay, request_id, payload,
+                          deadline);
+  if (!sent.ok()) return sent;
+  return conn;
+}
+
+Result<TwoWayWireReply> ClusterCoordinator::RecvReply(
+    Socket& sock, const Deadline& deadline) {
+  bool checksum_reject = false;
+  Result<RecvdFrame> frame = RecvFrame(sock, deadline, &checksum_reject);
+  if (!frame.ok()) {
+    if (checksum_reject) metrics_.frame_checksum_rejects->Increment();
+    return frame.status();
+  }
+  if (static_cast<FrameType>(frame->header.type) != FrameType::kTwoWayReply) {
+    return Status::IOError("unexpected frame type " +
+                           std::to_string(frame->header.type));
+  }
+  Result<TwoWayWireReply> reply = DecodeTwoWayReply(frame->payload);
+  if (!reply.ok()) {
+    // A malformed payload that passed the checksum: still a transport
+    // fault from the router's point of view — retryable elsewhere.
+    return Status::IOError("reply decode failed: " +
+                           reply.status().message());
+  }
+  return reply;
+}
+
+ClusterCoordinator::AttemptOutcome ClusterCoordinator::AttemptWithHedge(
+    std::size_t primary, const TwoWayWireRequest& req, uint64_t request_id,
+    const Deadline& deadline) {
+  AttemptOutcome out;
+  const int64_t attempt_start_ns = clock_->NowNanos();
+
+  Result<Socket> leg = OpenAndSend(primary, req, request_id, deadline);
+  if (!leg.ok()) {
+    metrics_.rpc_transport_errors->Increment();
+    RecordMiss(primary);
+    out.transport = leg.status();
+    return out;
+  }
+  Socket primary_sock = std::move(leg).value();
+  Socket hedge_sock;
+  std::size_t hedge_idx = workers_.size();
+
+  // Phase 1: give the primary the hedge delay to itself. If the timer
+  // (not the query deadline) expires first, duplicate the request to a
+  // second healthy worker — first reply wins.
+  const int64_t hedge_delay = HedgeDelayMicros();
+  if (hedge_delay > 0 && NumHealthy() > 1) {
+    const Deadline hedge_at = EarlierDeadline(
+        Deadline::AfterSeconds(static_cast<double>(hedge_delay) * 1e-6),
+        deadline);
+    const int pfd = primary_sock.fd();
+    Result<std::size_t> ready = WaitReadable({&pfd, 1}, hedge_at);
+    if (!ready.ok() &&
+        ready.status().code() == StatusCode::kDeadlineExceeded &&
+        !deadline.Expired()) {
+      hedge_idx = NextHealthyWorker(primary);
+      if (hedge_idx != workers_.size()) {
+        metrics_.hedge_fired->Increment();
+        out.hedge_fired = true;
+        uint64_t hedge_request_id =
+            next_request_id_.fetch_add(1, std::memory_order_relaxed);
+        Result<Socket> leg2 =
+            OpenAndSend(hedge_idx, req, hedge_request_id, deadline);
+        if (leg2.ok()) {
+          hedge_sock = std::move(leg2).value();
+        } else {
+          metrics_.rpc_transport_errors->Increment();
+          RecordMiss(hedge_idx);
+          hedge_idx = workers_.size();
+        }
+      }
+    }
+    // On ready.ok() (or a poll error) fall through: phase 2 receives
+    // and classifies.
+  }
+
+  // Phase 2: first well-formed reply from a live leg wins.
+  bool primary_live = true;
+  bool hedge_live = hedge_sock.valid();
+  while (primary_live || hedge_live) {
+    std::vector<int> fds;
+    std::vector<int> leg_of;  // 0 = primary, 1 = hedge
+    if (primary_live) {
+      fds.push_back(primary_sock.fd());
+      leg_of.push_back(0);
+    }
+    if (hedge_live) {
+      fds.push_back(hedge_sock.fd());
+      leg_of.push_back(1);
+    }
+    Result<std::size_t> ready = WaitReadable(fds, deadline);
+    if (!ready.ok()) {
+      metrics_.rpc_transport_errors->Increment();
+      out.transport = ready.status();
+      return out;
+    }
+    const int which = leg_of[ready.value()];
+    Socket& sock = which == 0 ? primary_sock : hedge_sock;
+    const std::size_t widx = which == 0 ? primary : hedge_idx;
+    Result<TwoWayWireReply> reply = RecvReply(sock, deadline);
+    if (!reply.ok()) {
+      metrics_.rpc_transport_errors->Increment();
+      RecordMiss(widx);
+      out.transport = reply.status();
+      if (reply.status().code() == StatusCode::kDeadlineExceeded) return out;
+      if (which == 0) {
+        primary_live = false;
+      } else {
+        hedge_live = false;
+      }
+      continue;  // the other leg may still answer
+    }
+    RecordSuccess(widx);
+    metrics_.rpc_ok->Increment();
+    out.transport = Status::OK();
+    out.reply = std::move(reply).value();
+    out.answered_by = widx;
+    out.hedge_won = which == 1;
+    if (out.hedge_won) metrics_.hedge_won->Increment();
+    if (out.reply.status_code == StatusCode::kOk) {
+      RecordLatencyMicros((clock_->NowNanos() - attempt_start_ns) / 1000);
+    }
+    return out;
+  }
+  if (out.transport.ok()) {
+    out.transport = Status::IOError("every attempt leg failed");
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- query
+
+Result<std::vector<ScoredPair>> ClusterCoordinator::TwoWay(
+    const NodeSet& P, const NodeSet& Q, std::size_t k,
+    ClusterQueryStats* stats, const ExecContext* exec) {
+  ClusterQueryStats scratch;
+  if (stats == nullptr) stats = &scratch;
+  *stats = ClusterQueryStats{};
+  const int64_t query_start_ns = clock_->NowNanos();
+  auto finish_latency = [&] {
+    metrics_.rpc_latency_ns->Record(clock_->NowNanos() - query_start_ns);
+  };
+
+  TwoWayWireRequest req;
+  req.graph_fp = graph_fp_;
+  req.params_fp = params_fp_;
+  req.p_ids.reserve(P.size());
+  for (ExtNodeId u : P) req.p_ids.push_back(u.value());
+  req.q_ids.reserve(Q.size());
+  for (ExtNodeId u : Q) req.q_ids.push_back(u.value());
+  req.k = static_cast<uint64_t>(k);
+  req.effort_blocks = exec != nullptr ? exec->effort_budget_blocks : 0;
+  const Deadline deadline =
+      exec != nullptr ? exec->deadline : Deadline::Infinite();
+
+  RetryBackoff backoff(options_.retry.backoff);
+  Status last_error = Status::IOError("no worker attempted");
+  // Whether local fallback is a sound response to the last failure:
+  // yes for unreachable/crashed workers, no for admission rejection
+  // (load-shedding must shed) or deadline expiry (no time left).
+  bool fallback_applies = true;
+  std::size_t prev_worker = workers_.size();
+  const int64_t max_attempts = std::max<int64_t>(1,
+                                                 options_.retry.max_attempts);
+
+  for (int64_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (exec != nullptr) {
+      StatusCode code = exec->Check();
+      if (code == StatusCode::kCancelled) {
+        finish_latency();
+        return Status::Cancelled("query cancelled");
+      }
+      if (code != StatusCode::kOk) {
+        last_error = MakeStatus(code, "query stopped before routing");
+        fallback_applies = false;
+        break;
+      }
+    }
+    std::size_t widx = NextHealthyWorker(workers_.size());
+    if (widx == workers_.size()) {
+      last_error = Status::IOError("no healthy workers");
+      fallback_applies = true;
+      break;
+    }
+    if (attempt > 0) {
+      stats->retries += 1;
+      metrics_.rpc_retries->Increment();
+      if (prev_worker != workers_.size() && widx != prev_worker) {
+        stats->failover = true;
+        metrics_.failover_worker->Increment();
+      }
+    }
+    prev_worker = widx;
+
+    req.deadline_micros = -1;
+    if (!deadline.is_infinite()) {
+      double remaining = deadline.RemainingSeconds();
+      if (remaining <= 0.0) {
+        last_error = Status::DeadlineExceeded("query deadline expired");
+        fallback_applies = false;
+        break;
+      }
+      req.deadline_micros = static_cast<int64_t>(remaining * 1e6);
+    }
+
+    const uint64_t request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    AttemptOutcome out = AttemptWithHedge(widx, req, request_id, deadline);
+    stats->attempts += 1;
+    if (out.hedge_fired) stats->hedged = true;
+    if (out.hedge_won) stats->hedge_won = true;
+
+    if (!out.transport.ok()) {
+      last_error = out.transport;
+      if (out.transport.code() == StatusCode::kDeadlineExceeded) {
+        fallback_applies = false;
+        break;
+      }
+      fallback_applies = true;
+      continue;  // immediate retry on the next healthy worker
+    }
+
+    const StatusCode code = out.reply.status_code;
+    if (code == StatusCode::kOk) {
+      stats->worker_index = static_cast<int64_t>(out.answered_by);
+      stats->degraded = out.reply.degraded;
+      stats->level_reached = out.reply.level_reached;
+      stats->eps_bound = out.reply.eps_bound;
+      stats->walk_steps = out.reply.walk_steps;
+      finish_latency();
+      return std::move(out.reply.pairs);
+    }
+    if (code == StatusCode::kResourceExhausted) {
+      metrics_.rpc_resource_exhausted->Increment();
+      stats->retry_after_hint_micros = out.reply.retry_after_micros;
+      last_error = MakeStatus(code, out.reply.message);
+      fallback_applies = false;
+      if (attempt + 1 < max_attempts) {
+        int64_t delay = backoff.NextDelayMicros(out.reply.retry_after_micros);
+        if (!deadline.is_infinite() &&
+            static_cast<double>(delay) * 1e-6 >= deadline.RemainingSeconds()) {
+          break;  // sleeping would outlive the query
+        }
+        metrics_.backoff_sleeps->Increment();
+        metrics_.backoff_micros->Add(delay);
+        SleepMicros(delay);
+      }
+      continue;
+    }
+    // Terminal worker-reported status (kInvalidArgument, kCancelled,
+    // kDeadlineExceeded, kInternal...): retrying cannot change it.
+    finish_latency();
+    return MakeStatus(code, out.reply.message);
+  }
+
+  if (options_.allow_local_fallback && fallback_applies) {
+    stats->local_fallback = true;
+    stats->worker_index = -1;
+    metrics_.failover_local->Increment();
+    serve::QueryStats qs;
+    Result<std::vector<ScoredPair>> local =
+        local_service_.TwoWay(P, Q, k, &qs, exec);
+    if (local.ok()) {
+      stats->degraded = qs.join.partial.degraded;
+      stats->level_reached = qs.join.partial.level_reached;
+      stats->eps_bound = qs.join.partial.eps_bound;
+      stats->walk_steps = qs.join.walk_steps;
+    }
+    finish_latency();
+    return local;
+  }
+  finish_latency();
+  return last_error;
+}
+
+}  // namespace dhtjoin::cluster

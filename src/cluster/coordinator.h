@@ -1,0 +1,228 @@
+/// \file cluster/coordinator.h
+/// \brief The client side of the cluster tier: routes two-way join
+/// queries to worker processes with deadlines, retries, hedging,
+/// health tracking, and byte-identical failover (DESIGN.md §12).
+///
+/// The invariant the whole file serves: every query handed to
+/// ClusterCoordinator::TwoWay returns either an answer BYTE-IDENTICAL
+/// to what the in-process DhtJoinService would have produced, or a
+/// typed Status — never a hang (every wait is Deadline-bounded) and
+/// never a silently wrong answer (fingerprint-checked routing,
+/// checksummed frames, and a single shared execution path).
+///
+/// Fault policy, in the order faults are met:
+///  * connect/send/recv failures and corrupt frames are TRANSPORT
+///    faults: the worker takes a health miss and the query retries on
+///    the next healthy worker immediately (no backoff — the data is
+///    elsewhere, waiting helps nobody);
+///  * worker admission rejections (kResourceExhausted) retry with
+///    capped exponential backoff + jitter, honoring the worker's
+///    retry-after hint as a floor (util/backoff.h);
+///  * worker-reported kInvalidArgument / kCancelled /
+///    kDeadlineExceeded are terminal — retrying cannot change them;
+///  * a straggling worker is hedged: after the p-quantile of recent
+///    latencies (clamped, warmed up), the same request is sent to a
+///    second worker and the first reply wins. Hedges are safe by
+///    construction: queries are read-only and answers are
+///    deterministic, so duplicated execution can only waste work;
+///  * when every worker is unreachable the coordinator degrades to
+///    LOCAL execution through its own DhtJoinService over the same
+///    graph — slower, but identical bytes.
+
+#ifndef DHTJOIN_CLUSTER_COORDINATOR_H_
+#define DHTJOIN_CLUSTER_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/metrics.h"
+#include "cluster/transport.h"
+#include "cluster/wire.h"
+#include "serve/session.h"
+#include "util/backoff.h"
+
+namespace dhtjoin::cluster {
+
+struct RetryPolicy {
+  /// Total worker attempts per query (first try + retries), before
+  /// local fallback is considered.
+  int64_t max_attempts = 4;
+  /// Backoff between admission-rejected attempts. Transport-failed
+  /// attempts retry immediately on another worker.
+  BackoffOptions backoff;
+};
+
+struct HedgePolicy {
+  bool enabled = true;
+  /// Latency quantile after which a hedge fires.
+  double quantile = 0.95;
+  /// Clamp on the derived hedge delay.
+  int64_t min_delay_micros = 2000;
+  int64_t max_delay_micros = 200000;
+  /// Successful replies observed before hedging activates (an empty
+  /// latency ring has no quantile worth acting on).
+  int64_t warmup_samples = 16;
+};
+
+struct HealthPolicy {
+  /// Consecutive transport misses before a worker is routed around.
+  int64_t miss_threshold = 2;
+  /// Per-probe timeout for heartbeat pings.
+  int64_t ping_timeout_micros = 250000;
+  /// Period of the background heartbeat thread (StartHeartbeats).
+  int64_t heartbeat_period_micros = 200000;
+};
+
+struct WorkerEndpoint {
+  uint16_t port = 0;  ///< loopback port of a WorkerServer
+};
+
+struct CoordinatorOptions {
+  RetryPolicy retry;
+  HedgePolicy hedge;
+  HealthPolicy health;
+  /// Degrade to in-process execution when no worker can answer.
+  /// Disabled, the coordinator returns the last transport error
+  /// instead (tests pin both behaviors).
+  bool allow_local_fallback = true;
+  /// Options of the local fallback DhtJoinService.
+  serve::DhtJoinService::Options local_service;
+  /// Telemetry time source (latency ring, histograms); null = system.
+  const obs::Clock* clock = nullptr;
+};
+
+/// Per-query routing observability.
+struct ClusterQueryStats {
+  int64_t attempts = 0;
+  int64_t retries = 0;
+  bool hedged = false;
+  bool hedge_won = false;
+  /// Query switched workers after a transport fault.
+  bool failover = false;
+  bool local_fallback = false;
+  /// Index (into the endpoint vector) of the answering worker; -1 for
+  /// local execution.
+  int64_t worker_index = -1;
+  /// Degradation record of the answering run (DESIGN.md §9).
+  bool degraded = false;
+  int64_t level_reached = 0;
+  double eps_bound = 0.0;
+  /// Worker-side counters of the answering run.
+  int64_t walk_steps = 0;
+  /// Last admission retry-after hint observed (micros; 0 = none).
+  int64_t retry_after_hint_micros = 0;
+};
+
+/// Routes queries to a fixed set of loopback workers. Thread-safe:
+/// concurrent TwoWay calls share only atomics, the latency ring
+/// mutex, and the (internally synchronized) local service.
+class ClusterCoordinator {
+ public:
+  ClusterCoordinator(const Graph& g, const DhtParams& params, int d,
+                     std::vector<WorkerEndpoint> workers,
+                     CoordinatorOptions options);
+  ~ClusterCoordinator();
+
+  ClusterCoordinator(const ClusterCoordinator&) = delete;
+  ClusterCoordinator& operator=(const ClusterCoordinator&) = delete;
+
+  /// Routed top-k two-way join; same result contract as
+  /// DhtJoinService::TwoWay (byte-identical answers or typed Status).
+  Result<std::vector<ScoredPair>> TwoWay(const NodeSet& P, const NodeSet& Q,
+                                         std::size_t k,
+                                         ClusterQueryStats* stats = nullptr,
+                                         const ExecContext* exec = nullptr);
+
+  /// One synchronous heartbeat round over all workers: pings, verifies
+  /// identity fingerprints, updates health. Returns the first
+  /// fingerprint-mismatch error (a mis-deployed worker is a
+  /// configuration bug worth surfacing), OK otherwise.
+  Status PingAll();
+
+  /// Background heartbeats at HealthPolicy::heartbeat_period_micros.
+  void StartHeartbeats();
+  void StopHeartbeats();
+
+  std::size_t num_workers() const { return workers_.size(); }
+  bool WorkerHealthy(std::size_t index) const;
+  std::size_t NumHealthy() const;
+
+  /// The in-process fallback service (also the reference for
+  /// byte-identity tests). Shares its MetricsRegistry with the
+  /// cluster counters, so one export carries serve.* and cluster.*.
+  serve::DhtJoinService& local_service() { return local_service_; }
+  obs::MetricsRegistry& metrics_registry() { return local_service_.metrics(); }
+  obs::MetricsSnapshot SnapshotMetrics() {
+    return local_service_.SnapshotMetrics();
+  }
+
+  /// Current hedge delay (micros; 0 = hedging inactive). Exposed for
+  /// tests and the stats surface.
+  int64_t HedgeDelayMicros() const;
+
+ private:
+  struct WorkerState {
+    WorkerEndpoint endpoint;
+    std::atomic<int64_t> consecutive_misses{0};
+    std::atomic<bool> healthy{true};
+  };
+
+  /// Outcome of one routed attempt (primary leg + optional hedge leg).
+  struct AttemptOutcome {
+    Status transport = Status::OK();  ///< non-OK: no usable reply
+    TwoWayWireReply reply;            ///< valid iff transport.ok()
+    std::size_t answered_by = 0;
+    bool hedge_fired = false;
+    bool hedge_won = false;
+  };
+
+  AttemptOutcome AttemptWithHedge(std::size_t primary,
+                                  const TwoWayWireRequest& req,
+                                  uint64_t request_id,
+                                  const Deadline& deadline);
+  /// One leg: connect + send. Returns the connected socket.
+  Result<Socket> OpenAndSend(std::size_t worker, const TwoWayWireRequest& req,
+                             uint64_t request_id, const Deadline& deadline);
+  /// Receive + decode one reply from `sock`; counts checksum rejects.
+  Result<TwoWayWireReply> RecvReply(Socket& sock, const Deadline& deadline);
+
+  Status ProbeWorker(std::size_t index);
+  void RecordMiss(std::size_t index);
+  void RecordSuccess(std::size_t index);
+  /// Next healthy worker in round-robin order, skipping `avoid`
+  /// (pass num_workers() to skip nobody). Returns num_workers() when
+  /// none qualify.
+  std::size_t NextHealthyWorker(std::size_t avoid);
+  void RecordLatencyMicros(int64_t micros);
+  void HeartbeatLoop();
+
+  CoordinatorOptions options_;
+  serve::DhtJoinService local_service_;
+  uint64_t graph_fp_;
+  uint64_t params_fp_;
+  const obs::Clock* clock_;
+  ClusterMetrics metrics_;
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> rr_cursor_{0};
+
+  /// Ring of recent successful-attempt latencies feeding the hedge
+  /// quantile.
+  mutable std::mutex latency_mu_;
+  std::vector<int64_t> latency_ring_;
+  std::size_t latency_pos_ = 0;
+  int64_t latency_count_ = 0;
+
+  std::atomic<bool> hb_stop_{false};
+  std::thread hb_thread_;
+  std::mutex hb_mu_;
+};
+
+}  // namespace dhtjoin::cluster
+
+#endif  // DHTJOIN_CLUSTER_COORDINATOR_H_

@@ -1,0 +1,74 @@
+/// \file cluster/metrics.h
+/// \brief The cluster tier's observability bundle: every counter and
+/// histogram the coordinator ticks, registered eagerly against an
+/// obs::MetricsRegistry so all of them appear in the JSON and
+/// Prometheus exports even before the first fault (a dashboard that
+/// only learns about `cluster.failover.local` when it first fires is
+/// a dashboard that cannot alert on it).
+///
+/// Naming follows the registry scheme (DESIGN.md §11): dot-separated
+/// lowercase, unit-suffixed timings.
+
+#ifndef DHTJOIN_CLUSTER_METRICS_H_
+#define DHTJOIN_CLUSTER_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace dhtjoin::cluster {
+
+struct ClusterMetrics {
+  explicit ClusterMetrics(obs::MetricsRegistry& registry)
+      : rpc_attempts(registry.GetCounter("cluster.rpc.attempts")),
+        rpc_ok(registry.GetCounter("cluster.rpc.ok")),
+        rpc_transport_errors(
+            registry.GetCounter("cluster.rpc.transport_errors")),
+        rpc_retries(registry.GetCounter("cluster.rpc.retries")),
+        rpc_resource_exhausted(
+            registry.GetCounter("cluster.rpc.resource_exhausted")),
+        hedge_fired(registry.GetCounter("cluster.hedge.fired")),
+        hedge_won(registry.GetCounter("cluster.hedge.won")),
+        failover_worker(registry.GetCounter("cluster.failover.worker")),
+        failover_local(registry.GetCounter("cluster.failover.local")),
+        heartbeat_probes(registry.GetCounter("cluster.heartbeat.probes")),
+        heartbeat_misses(registry.GetCounter("cluster.heartbeat.misses")),
+        frame_checksum_rejects(
+            registry.GetCounter("cluster.frame.checksum_rejects")),
+        backoff_sleeps(registry.GetCounter("cluster.backoff.sleeps")),
+        backoff_micros(registry.GetCounter("cluster.backoff.micros")),
+        rpc_latency_ns(registry.GetHistogram("cluster.rpc.latency_ns")) {}
+
+  /// RPC attempts sent to workers (initial sends + retries + hedges).
+  obs::Counter* rpc_attempts;
+  /// Attempts that returned a well-formed reply frame.
+  obs::Counter* rpc_ok;
+  /// Attempts lost to the transport: connect failure, severed
+  /// connection, truncated stream, deadline while receiving.
+  obs::Counter* rpc_transport_errors;
+  /// Re-sends after a failed or rejected attempt.
+  obs::Counter* rpc_retries;
+  /// Worker-side admission rejections observed.
+  obs::Counter* rpc_resource_exhausted;
+  /// Hedged (duplicate) requests fired after the latency threshold.
+  obs::Counter* hedge_fired;
+  /// Hedges whose reply arrived before the primary's.
+  obs::Counter* hedge_won;
+  /// Queries that failed over to a different worker.
+  obs::Counter* failover_worker;
+  /// Queries that degraded to local in-process execution.
+  obs::Counter* failover_local;
+  /// Heartbeat pings sent.
+  obs::Counter* heartbeat_probes;
+  /// Heartbeat pings that failed or timed out.
+  obs::Counter* heartbeat_misses;
+  /// Reply frames rejected by checksum/length verification.
+  obs::Counter* frame_checksum_rejects;
+  /// Backoff sleeps taken and their total duration.
+  obs::Counter* backoff_sleeps;
+  obs::Counter* backoff_micros;
+  /// End-to-end per-query latency (includes retries and failover).
+  obs::Histogram* rpc_latency_ns;
+};
+
+}  // namespace dhtjoin::cluster
+
+#endif  // DHTJOIN_CLUSTER_METRICS_H_

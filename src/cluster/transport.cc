@@ -1,0 +1,279 @@
+#include "cluster/transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace dhtjoin::cluster {
+
+namespace {
+
+/// Poll slice: bounds every blocking wait so stop flags and deadlines
+/// are observed promptly without spinning.
+constexpr int kSliceMillis = 50;
+
+int PollTimeoutMillis(const Deadline& deadline) {
+  if (deadline.is_infinite()) return kSliceMillis;
+  double rem = deadline.RemainingSeconds();
+  if (rem <= 0.0) return 0;
+  double ms = rem * 1000.0 + 1.0;
+  if (ms > static_cast<double>(kSliceMillis)) return kSliceMillis;
+  return static_cast<int>(ms);
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// Receives exactly `len` bytes into `out`, polling against the
+/// deadline and the optional stop flag.
+Status RecvExact(Socket& sock, uint8_t* out, std::size_t len,
+                 const Deadline& deadline, const std::atomic<bool>* stop) {
+  std::size_t got = 0;
+  while (got < len) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("receive aborted by stop flag");
+    }
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("deadline expired receiving frame");
+    }
+    ssize_t n = recv(sock.fd(), out + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError(got == 0 ? "connection closed by peer"
+                                      : "connection truncated mid-frame");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      pollfd pfd{sock.fd(), POLLIN, 0};
+      (void)poll(&pfd, 1, PollTimeoutMillis(deadline));
+      continue;
+    }
+    return ErrnoStatus("recv");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Socket
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) (void)shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    (void)close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ConnectLoopback(uint16_t port, const Deadline& deadline) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  Socket sock(fd);
+  DHTJOIN_RETURN_NOT_OK(SetNonBlocking(fd));
+  SetNoDelay(fd);
+  sockaddr_in addr = LoopbackAddr(port);
+  int rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    return ErrnoStatus("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  while (rc < 0) {  // EINPROGRESS: wait for writability, then check.
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("deadline expired connecting to port " +
+                                      std::to_string(port));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int pr = poll(&pfd, 1, PollTimeoutMillis(deadline));
+    if (pr < 0 && errno != EINTR) return ErrnoStatus("poll(connect)");
+    if (pr <= 0) continue;
+    int err = 0;
+    socklen_t errlen = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::IOError("connect(127.0.0.1:" + std::to_string(port) +
+                             "): " + std::strerror(err));
+    }
+    break;
+  }
+  return sock;
+}
+
+// -------------------------------------------------------------- Listener
+
+Result<Listener> Listener::BindLoopback(uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  Listener lst;
+  lst.sock_ = Socket(fd);
+  int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return ErrnoStatus("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (listen(fd, 64) < 0) return ErrnoStatus("listen");
+  sockaddr_in bound;
+  socklen_t blen = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  lst.port_ = ntohs(bound.sin_port);
+  DHTJOIN_RETURN_NOT_OK(SetNonBlocking(fd));
+  return lst;
+}
+
+Result<Socket> Listener::Accept(const std::atomic<bool>& stop) {
+  while (true) {
+    if (stop.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("listener stopped");
+    }
+    pollfd pfd{sock_.fd(), POLLIN, 0};
+    int pr = poll(&pfd, 1, kSliceMillis);
+    if (pr < 0 && errno != EINTR) return ErrnoStatus("poll(accept)");
+    if (pr <= 0) continue;
+    int conn = accept(sock_.fd(), nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      // A shutdown() listener surfaces EINVAL: treat as stop.
+      if (errno == EINVAL) return Status::Cancelled("listener shut down");
+      return ErrnoStatus("accept");
+    }
+    Socket csock(conn);
+    DHTJOIN_RETURN_NOT_OK(SetNonBlocking(conn));
+    SetNoDelay(conn);
+    return csock;
+  }
+}
+
+// ------------------------------------------------------------- framed IO
+
+Result<std::size_t> WaitReadable(std::span<const int> fds,
+                                 const Deadline& deadline) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (int fd : fds) pfds.push_back(pollfd{fd, POLLIN, 0});
+  while (true) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("deadline expired waiting for reply");
+    }
+    for (pollfd& p : pfds) p.revents = 0;
+    int pr = poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                  PollTimeoutMillis(deadline));
+    if (pr < 0 && errno != EINTR) return ErrnoStatus("poll(wait)");
+    if (pr <= 0) continue;
+    // Any event (data, error, hangup) makes the fd "ready": the
+    // subsequent RecvFrame classifies errors precisely.
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if (pfds[i].revents != 0) return i;
+    }
+  }
+}
+
+Status SendBytes(Socket& sock, std::span<const uint8_t> bytes,
+                 const Deadline& deadline) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("deadline expired sending frame");
+    }
+    ssize_t n = send(sock.fd(), bytes.data() + sent, bytes.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 &&
+        (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      pollfd pfd{sock.fd(), POLLOUT, 0};
+      (void)poll(&pfd, 1, PollTimeoutMillis(deadline));
+      continue;
+    }
+    return ErrnoStatus("send");
+  }
+  return Status::OK();
+}
+
+Status SendFrame(Socket& sock, FrameType type, uint64_t request_id,
+                 std::span<const uint8_t> payload, const Deadline& deadline) {
+  std::vector<uint8_t> frame = EncodeFrame(type, request_id, payload);
+  return SendBytes(sock, frame, deadline);
+}
+
+Result<RecvdFrame> RecvFrame(Socket& sock, const Deadline& deadline,
+                             bool* checksum_reject,
+                             const std::atomic<bool>* stop) {
+  if (checksum_reject != nullptr) *checksum_reject = false;
+  uint8_t head[kFrameHeaderBytes];
+  DHTJOIN_RETURN_NOT_OK(
+      RecvExact(sock, head, kFrameHeaderBytes, deadline, stop));
+  DHTJOIN_ASSIGN_OR_RETURN(
+      FrameHeader header,
+      DecodeFrameHeader(std::span<const uint8_t>(head, kFrameHeaderBytes)));
+  RecvdFrame out;
+  out.header = header;
+  out.payload.resize(header.payload_len);
+  if (header.payload_len > 0) {
+    DHTJOIN_RETURN_NOT_OK(RecvExact(sock, out.payload.data(),
+                                    out.payload.size(), deadline, stop));
+  }
+  Status verify = VerifyFramePayload(header, out.payload);
+  if (!verify.ok()) {
+    if (checksum_reject != nullptr) *checksum_reject = true;
+    return verify;
+  }
+  return out;
+}
+
+}  // namespace dhtjoin::cluster

@@ -1,0 +1,125 @@
+/// \file cluster/transport.h
+/// \brief Loopback socket transport for the cluster tier: RAII
+/// sockets, a stop-aware listener, and deadline-bounded framed I/O.
+///
+/// Every blocking operation is bounded: sends and receives poll with
+/// short slices against the query Deadline (util/deadline.h), so a
+/// hung or killed peer surfaces as kDeadlineExceeded / kIOError within
+/// one slice — never as a stuck coordinator thread. That bound is what
+/// lets the retry/hedge/failover layer above guarantee "typed Status
+/// or byte-identical answer, never a hang".
+///
+/// Thread-safety contract (TSan-clean by construction): a Socket is
+/// used by one thread at a time, EXCEPT Socket::ShutdownBoth(), which
+/// any thread may call to unblock a peer stuck in poll/recv — the fd
+/// stays open (close() races with concurrent use; shutdown() does
+/// not), and only the owning thread ever destroys the Socket.
+
+#ifndef DHTJOIN_CLUSTER_TRANSPORT_H_
+#define DHTJOIN_CLUSTER_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/frame.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace dhtjoin::cluster {
+
+/// RAII wrapper over a connected socket fd. Move-only; the destructor
+/// closes.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Half-kills the connection from any thread: pending and future
+  /// reads/writes on it fail immediately, but the fd stays open until
+  /// the owner destroys the Socket. The cross-thread abort primitive.
+  void ShutdownBoth();
+
+  /// Closes the fd. Only the owning thread may call this.
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to 127.0.0.1:port, bounded by `deadline`.
+Result<Socket> ConnectLoopback(uint16_t port, const Deadline& deadline);
+
+/// A listening loopback socket. Accept() polls in short slices and
+/// returns kCancelled as soon as `stop` is observed true, so a serving
+/// loop can be shut down without connecting to itself.
+class Listener {
+ public:
+  /// Binds 127.0.0.1:port (0 = kernel-chosen ephemeral port).
+  static Result<Listener> BindLoopback(uint16_t port);
+
+  Listener() = default;
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return sock_.valid(); }
+
+  Result<Socket> Accept(const std::atomic<bool>& stop);
+
+  /// Unblocks a concurrent Accept from another thread.
+  void ShutdownBoth() { sock_.ShutdownBoth(); }
+
+ private:
+  Socket sock_;
+  uint16_t port_ = 0;
+};
+
+/// Waits until one of `fds` is readable or `deadline` expires.
+/// Returns the index of the first readable fd, or kOutOfRange on
+/// deadline expiry, or kIOError if a socket errored/hung up with no
+/// data to read. The hedging primitive: the coordinator parks here on
+/// {primary, hedge} at once and takes whichever answers first.
+Result<std::size_t> WaitReadable(std::span<const int> fds,
+                                 const Deadline& deadline);
+
+/// Writes all of `bytes`, bounded by `deadline`. SIGPIPE-safe.
+Status SendBytes(Socket& sock, std::span<const uint8_t> bytes,
+                 const Deadline& deadline);
+
+/// Encodes and sends one frame.
+Status SendFrame(Socket& sock, FrameType type, uint64_t request_id,
+                 std::span<const uint8_t> payload, const Deadline& deadline);
+
+struct RecvdFrame {
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+};
+
+/// Receives one full frame (header + verified payload), bounded by
+/// `deadline`. Errors:
+///   kDeadlineExceeded — deadline expired mid-receive;
+///   kIOError          — peer closed/truncated/corrupted the stream
+///                       (checksum rejects additionally set
+///                       *checksum_reject when provided);
+///   kInvalidArgument  — malformed header (bad magic/version).
+/// When `stop` is non-null, a true observation aborts with kCancelled
+/// at the next poll slice (used by worker connection loops draining on
+/// shutdown).
+Result<RecvdFrame> RecvFrame(Socket& sock, const Deadline& deadline,
+                             bool* checksum_reject = nullptr,
+                             const std::atomic<bool>* stop = nullptr);
+
+}  // namespace dhtjoin::cluster
+
+#endif  // DHTJOIN_CLUSTER_TRANSPORT_H_

@@ -1,0 +1,286 @@
+#include "cluster/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace dhtjoin::cluster {
+
+// ------------------------------------------------------------ ByteWriter
+
+void ByteWriter::U16(uint16_t v) {
+  U8(static_cast<uint8_t>(v & 0xffu));
+  U8(static_cast<uint8_t>((v >> 8) & 0xffu));
+}
+
+void ByteWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    U8(static_cast<uint8_t>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    U8(static_cast<uint8_t>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::F64Bits(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void ByteWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+// ------------------------------------------------------------ ByteReader
+
+bool ByteReader::Take(std::size_t n, const uint8_t** out) {
+  if (!ok_ || data_.size() - off_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + off_;
+  off_ += n;
+  return true;
+}
+
+uint8_t ByteReader::U8() {
+  const uint8_t* p = nullptr;
+  if (!Take(1, &p)) return 0;
+  return p[0];
+}
+
+uint16_t ByteReader::U16() {
+  const uint8_t* p = nullptr;
+  if (!Take(2, &p)) return 0;
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) |
+                               static_cast<uint16_t>(p[1]) << 8);
+}
+
+uint32_t ByteReader::U32() {
+  const uint8_t* p = nullptr;
+  if (!Take(4, &p)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ByteReader::U64() {
+  const uint8_t* p = nullptr;
+  if (!Take(8, &p)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double ByteReader::F64Bits() { return std::bit_cast<double>(U64()); }
+
+std::string ByteReader::Str() {
+  uint32_t n = U32();
+  if (!ok_ || data_.size() - off_ < n) {
+    ok_ = false;
+    return std::string();
+  }
+  std::string s(reinterpret_cast<const char*>(data_.data() + off_), n);
+  off_ += n;
+  return s;
+}
+
+Status ByteReader::status() const {
+  if (!ok_) return Status::InvalidArgument("wire message truncated");
+  return Status::OK();
+}
+
+Status ByteReader::Finish() const {
+  DHTJOIN_RETURN_NOT_OK(status());
+  if (off_ != data_.size()) {
+    return Status::InvalidArgument("wire message has trailing bytes");
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- fingerprint
+
+uint64_t ParamsFingerprint(const DhtParams& params, int d) {
+  uint64_t sm = 0x243f6a8885a308d3ULL;  // pi digits; fixed fingerprint seed
+  uint64_t acc = SplitMix64(sm);
+  auto fold = [&](uint64_t word) {
+    uint64_t s = acc ^ word;
+    acc = SplitMix64(s);
+  };
+  fold(std::bit_cast<uint64_t>(params.alpha));
+  fold(std::bit_cast<uint64_t>(params.beta));
+  fold(std::bit_cast<uint64_t>(params.lambda));
+  fold(params.first_hit ? 1u : 0u);
+  fold(static_cast<uint64_t>(static_cast<int64_t>(d)));
+  return acc;
+}
+
+// -------------------------------------------------------------- messages
+
+namespace {
+
+/// Upper bound sanity test for a decoded element count: each element
+/// needs at least `elem_bytes` of remaining payload.
+bool CountPlausible(const ByteReader& r, uint64_t count,
+                    std::size_t elem_bytes) {
+  return count <= r.remaining() / elem_bytes;
+}
+
+void WriteIdVector(ByteWriter& w, const std::vector<NodeId>& ids) {
+  w.U32(static_cast<uint32_t>(ids.size()));
+  for (NodeId id : ids) {
+    w.U32(static_cast<uint32_t>(id));
+  }
+}
+
+bool ReadIdVector(ByteReader& r, std::vector<NodeId>* out) {
+  uint32_t n = r.U32();
+  if (!r.ok() || !CountPlausible(r, n, 4)) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out->push_back(static_cast<NodeId>(r.U32()));
+  }
+  return r.ok();
+}
+
+bool ValidStatusCode(uint16_t raw) {
+  return raw <= static_cast<uint16_t>(StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeHelloInfo(const HelloInfo& info) {
+  ByteWriter w;
+  w.U64(info.graph_fp);
+  w.U64(info.params_fp);
+  w.I64(info.d);
+  w.I64(info.queries_served);
+  w.I64(info.in_flight);
+  return w.Take();
+}
+
+Result<HelloInfo> DecodeHelloInfo(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  HelloInfo info;
+  info.graph_fp = r.U64();
+  info.params_fp = r.U64();
+  info.d = r.I64();
+  info.queries_served = r.I64();
+  info.in_flight = r.I64();
+  DHTJOIN_RETURN_NOT_OK(r.Finish());
+  return info;
+}
+
+std::vector<uint8_t> EncodeTwoWayRequest(const TwoWayWireRequest& req) {
+  ByteWriter w;
+  w.U64(req.graph_fp);
+  w.U64(req.params_fp);
+  WriteIdVector(w, req.p_ids);
+  WriteIdVector(w, req.q_ids);
+  w.U64(req.k);
+  w.I64(req.deadline_micros);
+  w.I64(req.effort_blocks);
+  return w.Take();
+}
+
+Result<TwoWayWireRequest> DecodeTwoWayRequest(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  TwoWayWireRequest req;
+  req.graph_fp = r.U64();
+  req.params_fp = r.U64();
+  if (!ReadIdVector(r, &req.p_ids) || !ReadIdVector(r, &req.q_ids)) {
+    return Status::InvalidArgument("two-way request: bad id vector");
+  }
+  req.k = r.U64();
+  req.deadline_micros = r.I64();
+  req.effort_blocks = r.I64();
+  DHTJOIN_RETURN_NOT_OK(r.Finish());
+  return req;
+}
+
+std::vector<uint8_t> EncodeTwoWayReply(const TwoWayWireReply& reply) {
+  ByteWriter w;
+  w.U16(static_cast<uint16_t>(reply.status_code));
+  w.Str(reply.message);
+  w.I64(reply.retry_after_micros);
+  w.U8(reply.degraded ? 1 : 0);
+  w.I64(reply.level_reached);
+  w.F64Bits(reply.eps_bound);
+  w.U32(static_cast<uint32_t>(reply.pairs.size()));
+  for (const ScoredPair& pr : reply.pairs) {
+    w.U32(static_cast<uint32_t>(pr.p));
+    w.U32(static_cast<uint32_t>(pr.q));
+    w.F64Bits(pr.score);
+  }
+  w.I64(reply.walk_steps);
+  w.I64(reply.warm_targets);
+  w.I64(reply.cold_targets);
+  return w.Take();
+}
+
+Result<TwoWayWireReply> DecodeTwoWayReply(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  TwoWayWireReply reply;
+  uint16_t raw_code = r.U16();
+  if (r.ok() && !ValidStatusCode(raw_code)) {
+    return Status::InvalidArgument("two-way reply: unknown status code " +
+                                   std::to_string(raw_code));
+  }
+  reply.status_code = static_cast<StatusCode>(raw_code);
+  reply.message = r.Str();
+  reply.retry_after_micros = r.I64();
+  reply.degraded = r.U8() != 0;
+  reply.level_reached = r.I64();
+  reply.eps_bound = r.F64Bits();
+  uint32_t n = r.U32();
+  if (!r.ok() || !CountPlausible(r, n, 16)) {
+    return Status::InvalidArgument("two-way reply: bad pair count");
+  }
+  reply.pairs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ScoredPair pr;
+    pr.p = static_cast<NodeId>(r.U32());
+    pr.q = static_cast<NodeId>(r.U32());
+    pr.score = r.F64Bits();
+    reply.pairs.push_back(pr);
+  }
+  reply.walk_steps = r.I64();
+  reply.warm_targets = r.I64();
+  reply.cold_targets = r.I64();
+  DHTJOIN_RETURN_NOT_OK(r.Finish());
+  return reply;
+}
+
+Status MakeStatus(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+  }
+  return Status::Internal("unknown status code");
+}
+
+}  // namespace dhtjoin::cluster

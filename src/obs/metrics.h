@@ -96,7 +96,9 @@ class Histogram {
   /// Bucket index for a value (negatives clamp to bucket 0).
   static int BucketOf(int64_t value) {
     if (value <= 0) return 0;
-    return std::bit_width(static_cast<uint64_t>(value));
+    // bit_width's return type is int in C++20 but unsigned long on
+    // older libstdc++; the cast keeps -Wconversion quiet on both.
+    return static_cast<int>(std::bit_width(static_cast<uint64_t>(value)));
   }
 
   /// Inclusive upper bound of a bucket (what quantile queries report).

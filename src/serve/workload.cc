@@ -1,9 +1,13 @@
 #include "serve/workload.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <mutex>
+#include <thread>
 #include <utility>
 
+#include "util/deadline.h"
 #include "util/rng.h"
 
 namespace dhtjoin::serve {
@@ -73,6 +77,133 @@ Result<ServingWorkload> GenerateZipfianTwoWayWorkload(
     workload.frequency[id]++;
   }
   return workload;
+}
+
+int64_t ParseRetryAfterMicros(const std::string& message) {
+  static constexpr char kKey[] = "retry_after_micros=";
+  const std::size_t pos = message.find(kKey);
+  if (pos == std::string::npos) return 0;
+  int64_t value = 0;
+  for (std::size_t i = pos + sizeof(kKey) - 1; i < message.size(); ++i) {
+    const char c = message[i];
+    if (c < '0' || c > '9') break;
+    if (value > (INT64_MAX - (c - '0')) / 10) return INT64_MAX;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+namespace {
+
+/// One client's pass over the shared request stream; returns its local
+/// counters for lock-free accumulation.
+ReplayStats ReplayClient(DhtJoinService& service,
+                         const ServingWorkload& workload,
+                         const ReplayOptions& opts,
+                         const std::atomic<bool>* stop,
+                         std::atomic<std::size_t>& next, uint64_t seed) {
+  ReplayStats local;
+  BackoffOptions bopts = opts.backoff;
+  bopts.seed = seed;
+  RetryBackoff backoff(bopts);
+  for (;;) {
+    const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= workload.requests.size()) break;
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      local.aborted++;
+      continue;  // drain the stream so every request is accounted for
+    }
+    const TwoWayRequest& req = workload.requests[i];
+    backoff.Reset();
+    bool retried = false;
+    for (int attempt = 0;; ++attempt) {
+      QueryStats qs;
+      QueryOptions qopts;
+      qopts.stats = &qs;
+      if (opts.deadline_micros > 0 || opts.effort_budget_blocks > 0) {
+        auto exec = std::make_shared<ExecContext>();
+        if (opts.deadline_micros > 0) {
+          exec->deadline = Deadline::AfterSeconds(
+              static_cast<double>(opts.deadline_micros) * 1e-6);
+        }
+        if (opts.effort_budget_blocks > 0) {
+          exec->effort_budget_blocks = opts.effort_budget_blocks;
+        }
+        qopts.exec = std::move(exec);
+      }
+      auto result = service.SubmitTwoWay(req.P, req.Q, req.k, qopts).get();
+      if (result.ok()) {
+        local.completed++;
+        if (qs.join.partial.degraded) local.degraded++;
+        break;
+      }
+      const Status& s = result.status();
+      if (s.code() != StatusCode::kResourceExhausted) {
+        local.failed++;
+        break;
+      }
+      const bool stopping =
+          stop != nullptr && stop->load(std::memory_order_acquire);
+      if (attempt + 1 >= opts.max_attempts || stopping) {
+        local.shed++;
+        break;
+      }
+      if (!retried) {
+        retried = true;
+        local.queries_retried++;
+      }
+      local.retries++;
+      const int64_t delay =
+          backoff.NextDelayMicros(ParseRetryAfterMicros(s.message()));
+      local.backoff_sleeps++;
+      local.backoff_micros += delay;
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+  }
+  return local;
+}
+
+}  // namespace
+
+Result<ReplayStats> ReplayWorkload(DhtJoinService& service,
+                                   const ServingWorkload& workload,
+                                   const ReplayOptions& opts,
+                                   const std::atomic<bool>* stop) {
+  if (opts.concurrency <= 0) {
+    return Status::InvalidArgument("replay concurrency must be positive");
+  }
+  if (opts.max_attempts <= 0) {
+    return Status::InvalidArgument("replay max_attempts must be positive");
+  }
+  ReplayStats total;
+  std::mutex agg_mu;
+  std::atomic<std::size_t> next{0};
+  auto run_client = [&](int t) {
+    ReplayStats local = ReplayClient(service, workload, opts, stop, next,
+                                     opts.backoff.seed +
+                                         static_cast<uint64_t>(t));
+    const std::lock_guard<std::mutex> lock(agg_mu);
+    total.completed += local.completed;
+    total.degraded += local.degraded;
+    total.shed += local.shed;
+    total.failed += local.failed;
+    total.aborted += local.aborted;
+    total.retries += local.retries;
+    total.queries_retried += local.queries_retried;
+    total.backoff_sleeps += local.backoff_sleeps;
+    total.backoff_micros += local.backoff_micros;
+  };
+  if (opts.concurrency == 1) {
+    run_client(0);
+    return total;
+  }
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(opts.concurrency));
+  for (int t = 0; t < opts.concurrency; ++t) {
+    clients.emplace_back(run_client, t);
+  }
+  for (std::thread& c : clients) c.join();
+  return total;
 }
 
 }  // namespace dhtjoin::serve

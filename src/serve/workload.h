@@ -14,11 +14,15 @@
 #ifndef DHTJOIN_SERVE_WORKLOAD_H_
 #define DHTJOIN_SERVE_WORKLOAD_H_
 
+#include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/node_set.h"
+#include "serve/session.h"
+#include "util/backoff.h"
 #include "util/status.h"
 
 namespace dhtjoin::serve {
@@ -60,6 +64,59 @@ struct WorkloadOptions {
 Result<ServingWorkload> GenerateZipfianTwoWayWorkload(
     const Graph& g, const std::vector<NodeSet>& sets,
     const WorkloadOptions& opts);
+
+/// Extracts the "retry_after_micros=N" hint an admission rejection
+/// embeds in its Status message (serve/admission.h). 0 when absent —
+/// callers fall back to pure exponential backoff.
+int64_t ParseRetryAfterMicros(const std::string& message);
+
+/// How ReplayWorkload drives the service.
+struct ReplayOptions {
+  /// Client threads pulling requests from the shared stream.
+  int concurrency = 1;
+  /// Submissions per query before it counts as shed (1 = no retries).
+  int max_attempts = 5;
+  /// Backoff between admission-rejected attempts; the rejection's
+  /// retry-after hint acts as a floor on each delay.
+  BackoffOptions backoff;
+  /// Per-attempt deadline (0 = none) and effort budget (0 = unlimited),
+  /// wrapped into a fresh ExecContext per submission.
+  int64_t deadline_micros = 0;
+  int64_t effort_budget_blocks = 0;
+};
+
+/// Client-side outcome counters of one replay. `completed + shed +
+/// failed + aborted` equals the number of requests dequeued.
+struct ReplayStats {
+  /// Queries that returned an answer (includes degraded ones).
+  int64_t completed = 0;
+  int64_t degraded = 0;
+  /// Still kResourceExhausted after max_attempts.
+  int64_t shed = 0;
+  /// Any other non-OK terminal status.
+  int64_t failed = 0;
+  /// Dequeued but dropped because the stop flag was raised.
+  int64_t aborted = 0;
+  /// Resubmissions after a rejection, and distinct queries that needed
+  /// at least one.
+  int64_t retries = 0;
+  int64_t queries_retried = 0;
+  /// Backoff sleeps taken and their summed requested duration.
+  int64_t backoff_sleeps = 0;
+  int64_t backoff_micros = 0;
+};
+
+/// Replays `workload` against `service` with `opts.concurrency` client
+/// threads. Rejected queries (kResourceExhausted) are retried with
+/// capped exponential backoff honoring the service's retry-after hint,
+/// instead of being dropped on first rejection. `stop`, when set,
+/// makes the replay stop admitting new requests as soon as it reads
+/// true (in-flight attempts still finish). Deterministic apart from
+/// scheduling: thread t uses backoff seed `opts.backoff.seed + t`.
+Result<ReplayStats> ReplayWorkload(DhtJoinService& service,
+                                   const ServingWorkload& workload,
+                                   const ReplayOptions& opts,
+                                   const std::atomic<bool>* stop = nullptr);
 
 }  // namespace dhtjoin::serve
 

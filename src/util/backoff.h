@@ -1,0 +1,80 @@
+/// \file util/backoff.h
+/// \brief Capped exponential retry backoff with deterministic jitter.
+///
+/// Shared by every retry loop in the repo — the cluster coordinator's
+/// RPC retries and the serving layer's client-side replay — so all of
+/// them honor admission retry-after hints the same way: the hint is a
+/// FLOOR (the server knows its own queue better than any client-side
+/// curve), the exponential cap bounds the worst case, and the jitter
+/// decorrelates clients without sacrificing reproducibility (it is
+/// drawn from an explicit seed, like every stochastic component of the
+/// library — util/rng.h).
+
+#ifndef DHTJOIN_UTIL_BACKOFF_H_
+#define DHTJOIN_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace dhtjoin {
+
+struct BackoffOptions {
+  int64_t initial_micros = 1000;
+  int64_t max_micros = 100000;
+  double multiplier = 2.0;
+  /// Jitter spread: a delay d is drawn uniformly from
+  /// [d * (1 - jitter), d]. 0 disables jitter (exact delays, used by
+  /// tests that pin schedules).
+  double jitter = 0.5;
+  uint64_t seed = 42;
+};
+
+/// One retry sequence. Not thread-safe; one instance per query/client.
+class RetryBackoff {
+ public:
+  explicit RetryBackoff(const BackoffOptions& options)
+      : options_(options), rng_(options.seed), next_micros_(
+            options.initial_micros) {}
+
+  /// The delay to sleep before the next attempt. `hint_micros` is a
+  /// server-provided retry-after floor (0 = none). Advances the
+  /// exponential schedule.
+  int64_t NextDelayMicros(int64_t hint_micros = 0) {
+    int64_t base = next_micros_;
+    double grown = static_cast<double>(next_micros_) * options_.multiplier;
+    next_micros_ = std::min(
+        options_.max_micros,
+        grown >= static_cast<double>(options_.max_micros)
+            ? options_.max_micros
+            : static_cast<int64_t>(grown));
+    int64_t jittered = base;
+    if (options_.jitter > 0.0 && base > 0) {
+      double lo = static_cast<double>(base) * (1.0 - options_.jitter);
+      double span = static_cast<double>(base) - lo;
+      jittered = static_cast<int64_t>(lo + span * rng_.NextDouble());
+    }
+    int64_t delay = std::max(jittered, hint_micros);
+    sleeps_ += 1;
+    total_micros_ += delay;
+    return delay;
+  }
+
+  /// Restarts the exponential schedule (e.g. after a success).
+  void Reset() { next_micros_ = options_.initial_micros; }
+
+  int64_t sleeps() const { return sleeps_; }
+  int64_t total_micros() const { return total_micros_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  int64_t next_micros_;
+  int64_t sleeps_ = 0;
+  int64_t total_micros_ = 0;
+};
+
+}  // namespace dhtjoin
+
+#endif  // DHTJOIN_UTIL_BACKOFF_H_

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/metrics.h"
 #include "obs/clock.h"
 #include "obs/export.h"
 #include "obs/json.h"
@@ -279,6 +280,66 @@ TEST(ThreadPoolMetricsTest, TaskAndQueueHistogramsFillUnderFakeClock) {
     EXPECT_EQ(after.FindHistogram("test.pool.queue_wait_ns")->count, 1);
     EXPECT_EQ(after.FindHistogram("test.pool.task_ns")->count, 1);
   }
+}
+
+// ------------------------------------------------------- cluster tier
+
+TEST(ClusterMetricsTest, EveryCounterIsRegisteredEagerlyAtZero) {
+  obs::MetricsRegistry registry;
+  dhtjoin::cluster::ClusterMetrics metrics(registry);
+  (void)metrics;
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  // A dashboard can only alert on series that exist BEFORE the first
+  // fault — every cluster counter must appear in a fresh snapshot.
+  const char* names[] = {
+      "cluster.rpc.attempts",        "cluster.rpc.ok",
+      "cluster.rpc.transport_errors", "cluster.rpc.retries",
+      "cluster.rpc.resource_exhausted", "cluster.hedge.fired",
+      "cluster.hedge.won",           "cluster.failover.worker",
+      "cluster.failover.local",      "cluster.heartbeat.probes",
+      "cluster.heartbeat.misses",    "cluster.frame.checksum_rejects",
+      "cluster.backoff.sleeps",      "cluster.backoff.micros",
+  };
+  for (const char* name : names) {
+    const obs::CounterSnapshot* c = snap.FindCounter(name);
+    ASSERT_NE(c, nullptr) << name;
+    EXPECT_EQ(c->value, 0) << name;
+  }
+  ASSERT_NE(snap.FindHistogram("cluster.rpc.latency_ns"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("cluster.rpc.latency_ns")->count, 0);
+}
+
+TEST(ClusterMetricsTest, ValuesExportExactlyInJsonAndPrometheus) {
+  obs::MetricsRegistry registry;
+  dhtjoin::cluster::ClusterMetrics metrics(registry);
+  metrics.rpc_attempts->Add(7);
+  metrics.hedge_fired->Increment();
+  metrics.failover_local->Add(2);
+  metrics.backoff_micros->Add(12500);
+  metrics.rpc_latency_ns->Record(4096);
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.FindCounter("cluster.rpc.attempts")->value, 7);
+  EXPECT_EQ(snap.FindCounter("cluster.hedge.fired")->value, 1);
+  EXPECT_EQ(snap.FindCounter("cluster.failover.local")->value, 2);
+  EXPECT_EQ(snap.FindCounter("cluster.backoff.micros")->value, 12500);
+  EXPECT_EQ(snap.FindHistogram("cluster.rpc.latency_ns")->count, 1);
+
+  const std::string json = obs::ToJson(snap);
+  EXPECT_NE(json.find("\"cluster.rpc.attempts\": 7"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cluster.failover.local\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"cluster.rpc.latency_ns.count\": 1"),
+            std::string::npos);
+
+  const std::string prom = obs::ToPrometheusText(snap);
+  EXPECT_NE(prom.find("# TYPE dhtjoin_cluster_rpc_attempts counter\n"
+                      "dhtjoin_cluster_rpc_attempts 7\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("dhtjoin_cluster_hedge_fired 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("dhtjoin_cluster_rpc_latency_ns_count 1\n"),
+            std::string::npos);
 }
 
 TEST(ThreadPoolMetricsTest, ConcurrentPoolRecordsEveryTask) {

@@ -23,13 +23,19 @@
 ///       --query "3-U>8-D,8-D>3-U" --k 5
 ///   (set names containing '-' need '>' edges in --query)
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cluster/coordinator.h"
+#include "cluster/worker.h"
 #include "core/dhtjoin.h"
 #include "datasets/dblp_like.h"
 #include "datasets/yeast_like.h"
@@ -47,8 +53,26 @@
 namespace dhtjoin::cli {
 namespace {
 
+/// Graceful-shutdown flag: SIGTERM/SIGINT flip it, the serve/worker
+/// loops poll it, drain in-flight work under a deadline, flush the
+/// observability files, and exit 0 (DESIGN.md §12). std::atomic<bool>
+/// is lock-free here, so the handler write is async-signal-safe.
+std::atomic<bool> g_stop{false};
+
+extern "C" void HandleStopSignal(int /*signum*/) {
+  g_stop.store(true, std::memory_order_release);
+}
+
+void InstallStopHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
 constexpr char kUsage[] =
-    "usage: dhtjoin_cli <generate|join2|njoin|serve|stats> "
+    "usage: dhtjoin_cli <generate|join2|njoin|serve|worker|stats> "
     "[--option value]...\n"
     "  stats    --graph G.txt [--sets S.txt]\n"
     "  generate --dataset yeast|dblp|youtube --out G.txt --sets S.txt\n"
@@ -69,7 +93,13 @@ constexpr char kUsage[] =
     "           [--deadline-ms MS] [--max-in-flight N] [--max-cost C]\n"
     "           [--slow-ms MS] [--trace-out T.json]\n"
     "           [--metrics-out M.json] [--metrics-prom M.prom]\n"
-    "           [--metrics-every N]\n";
+    "           [--metrics-every N] [--clients N] [--retry-attempts N]\n"
+    "           [--workers N]\n"
+    "  worker   --graph G.txt --sets S.txt [--port P] [--measure ...]\n"
+    "           [--epsilon 1e-6] [--max-in-flight N] [--max-cost C]\n"
+    "           [--chaos-seed S] [--chaos-kill P] [--chaos-delay P]\n"
+    "           [--chaos-delay-us US] [--chaos-corrupt P]\n"
+    "           [--chaos-truncate P]\n";
 
 Status Fail(const std::string& msg) { return Status::InvalidArgument(msg); }
 
@@ -306,6 +336,183 @@ Status RunNjoin(const ParsedArgs& args) {
   return Status::OK();
 }
 
+/// Serve-mode knobs shared by the single-process and cluster paths.
+struct ServeRuntimeFlags {
+  int64_t deadline_ms = 0;
+  int clients = 1;
+  int retry_attempts = 5;
+  int64_t metrics_every = 0;
+  std::string metrics_out;
+  std::string metrics_prom;
+  std::string trace_out;
+};
+
+/// Cluster serve mode (`--workers N`): forks N loopback worker
+/// processes, routes the workload through a ClusterCoordinator
+/// (deadlines, retries, hedging, failover — cluster/coordinator.h),
+/// and tears the workers down gracefully at the end or on SIGTERM/
+/// SIGINT. Exit 0 on a clean interrupt: stop admitting, drain, flush.
+Status RunServeCluster(const LoadedInputs& in,
+                       const serve::ServingWorkload& workload,
+                       const serve::DhtJoinService::Options& sopts,
+                       int num_workers, const ServeRuntimeFlags& flags) {
+  // Fork FIRST: fork() clones only the calling thread, and the
+  // coordinator's local service spins up its pool at construction.
+  // Workers inherit the graph copy-on-write.
+  std::vector<cluster::SpawnedWorker> spawned;
+  std::vector<cluster::WorkerEndpoint> endpoints;
+  cluster::WorkerOptions wo;
+  wo.service = sopts;
+  for (int i = 0; i < num_workers; ++i) {
+    Result<cluster::SpawnedWorker> w =
+        cluster::SpawnWorkerProcess(in.graph, in.measure, in.d, wo);
+    if (!w.ok()) {
+      for (const cluster::SpawnedWorker& s : spawned) {
+        cluster::KillWorkerProcess(s);
+      }
+      return w.status();
+    }
+    spawned.push_back(*w);
+    endpoints.push_back(cluster::WorkerEndpoint{w->port});
+  }
+
+  cluster::CoordinatorOptions copts;
+  copts.retry.max_attempts = flags.retry_attempts;
+  copts.local_service = sopts;
+  cluster::ClusterCoordinator coord(in.graph, in.measure, in.d,
+                                    std::move(endpoints), copts);
+  coord.StartHeartbeats();
+  InstallStopHandlers();
+
+  std::printf("# cluster serving %zu requests across %d workers "
+              "(%d clients, %d attempts/query, d=%d)\n",
+              workload.requests.size(), num_workers, flags.clients,
+              flags.retry_attempts, in.d);
+  for (const cluster::SpawnedWorker& s : spawned) {
+    std::printf("# worker pid %lld on 127.0.0.1:%u\n",
+                static_cast<long long>(s.pid), s.port);
+  }
+
+  struct Totals {
+    int64_t completed = 0;
+    int64_t degraded = 0;
+    int64_t shed = 0;
+    int64_t failed = 0;
+    int64_t aborted = 0;
+    int64_t retries = 0;
+    int64_t hedged = 0;
+    int64_t hedge_won = 0;
+    int64_t failover = 0;
+    int64_t local_fallback = 0;
+  };
+  Totals total;
+  std::mutex agg_mu;
+  std::atomic<std::size_t> next{0};
+  WallTimer timer;
+  auto client = [&] {
+    Totals local;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= workload.requests.size()) break;
+      if (g_stop.load(std::memory_order_acquire)) {
+        local.aborted++;  // stop admitting, but account for every request
+        continue;
+      }
+      const serve::TwoWayRequest& req = workload.requests[i];
+      std::shared_ptr<ExecContext> exec;
+      if (flags.deadline_ms > 0) {
+        exec = std::make_shared<ExecContext>();
+        exec->deadline = Deadline::AfterMillis(flags.deadline_ms);
+      }
+      cluster::ClusterQueryStats cqs;
+      Result<std::vector<ScoredPair>> r =
+          coord.TwoWay(req.P, req.Q, req.k, &cqs, exec.get());
+      local.retries += cqs.retries;
+      if (cqs.hedged) local.hedged++;
+      if (cqs.hedge_won) local.hedge_won++;
+      if (cqs.failover) local.failover++;
+      if (cqs.local_fallback) local.local_fallback++;
+      if (r.ok()) {
+        local.completed++;
+        if (cqs.degraded) local.degraded++;
+      } else if (r.status().code() == StatusCode::kResourceExhausted) {
+        local.shed++;  // all attempts rejected: client-visible shed
+      } else {
+        local.failed++;  // typed error; the replay keeps going
+      }
+    }
+    const std::lock_guard<std::mutex> lock(agg_mu);
+    total.completed += local.completed;
+    total.degraded += local.degraded;
+    total.shed += local.shed;
+    total.failed += local.failed;
+    total.aborted += local.aborted;
+    total.retries += local.retries;
+    total.hedged += local.hedged;
+    total.hedge_won += local.hedge_won;
+    total.failover += local.failover;
+    total.local_fallback += local.local_fallback;
+  };
+  if (flags.clients == 1) {
+    client();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(flags.clients));
+    for (int t = 0; t < flags.clients; ++t) threads.emplace_back(client);
+    for (std::thread& t : threads) t.join();
+  }
+  const double seconds = timer.Seconds();
+  coord.StopHeartbeats();
+
+  // One export carries both serve.* (local fallback service) and
+  // cluster.* metrics — they share a registry.
+  if (!flags.metrics_out.empty() || !flags.metrics_prom.empty()) {
+    const obs::MetricsSnapshot snap = coord.SnapshotMetrics();
+    if (!flags.metrics_out.empty()) {
+      obs::WriteJsonFile(flags.metrics_out, obs::ToJson(snap));
+    }
+    if (!flags.metrics_prom.empty()) {
+      obs::WriteJsonFile(flags.metrics_prom, obs::ToPrometheusText(snap));
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    obs::WriteJsonFile(flags.trace_out,
+                       coord.local_service().slow_queries().ToJson());
+  }
+
+  std::printf("cluster served %lld queries in %.3f s (%zu healthy "
+              "workers at end)\n",
+              static_cast<long long>(total.completed), seconds,
+              coord.NumHealthy());
+  obs::JsonObject cj;
+  cj.Set("completed", total.completed)
+      .Set("degraded", total.degraded)
+      .Set("shed", total.shed)
+      .Set("failed", total.failed)
+      .Set("aborted", total.aborted)
+      .Set("retries", total.retries)
+      .Set("hedged", total.hedged)
+      .Set("hedge_won", total.hedge_won)
+      .Set("failover", total.failover)
+      .Set("local_fallback", total.local_fallback);
+  std::printf("# cluster %s\n", cj.ToString().c_str());
+
+  Status worker_status = Status::OK();
+  for (const cluster::SpawnedWorker& s : spawned) {
+    Status st = cluster::StopWorkerProcess(s, 2000);
+    if (!st.ok()) {
+      std::printf("# worker pid %lld stop: %s\n",
+                  static_cast<long long>(s.pid), st.ToString().c_str());
+      if (worker_status.ok()) worker_status = st;
+    }
+  }
+  if (g_stop.load(std::memory_order_acquire)) {
+    std::printf("# interrupted: drained, flushed, workers stopped\n");
+    return Status::OK();  // a clean interrupt is a clean exit
+  }
+  return worker_status;
+}
+
 /// Serving mode: generate a repeated-query workload over the loaded
 /// node sets and drive it through a DhtJoinService, reporting warm
 /// throughput and cache behaviour. `--serve-workload` picks the
@@ -407,6 +614,40 @@ Status RunServe(const ParsedArgs& args) {
     sopts.trace_queries = true;
     sopts.slow_query_nanos = 1;  // no threshold given: capture everything
   }
+
+  // Client-side replay knobs: how many client threads drive the
+  // stream, and how often a rejected query is resubmitted before it
+  // counts as shed (serve/workload.h ReplayOptions).
+  ServeRuntimeFlags flags;
+  flags.deadline_ms = deadline_ms;
+  flags.metrics_every = metrics_every;
+  flags.metrics_out = metrics_out;
+  flags.metrics_prom = metrics_prom;
+  flags.trace_out = trace_out;
+  if (args.Has("clients")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        int64_t clients, ParsePositiveInt(args.Get("clients", ""),
+                                          "clients"));
+    flags.clients = static_cast<int>(clients);
+  } else if (sopts.num_threads > 1) {
+    flags.clients = sopts.num_threads;
+  }
+  if (args.Has("retry-attempts")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        int64_t attempts, ParsePositiveInt(args.Get("retry-attempts", ""),
+                                           "retry-attempts"));
+    flags.retry_attempts = static_cast<int>(attempts);
+  }
+  if (args.Has("workers")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        int64_t workers, ParsePositiveInt(args.Get("workers", ""),
+                                          "workers"));
+    // Dispatch BEFORE the service below spins up its thread pool:
+    // worker processes must fork from a single-threaded parent.
+    return RunServeCluster(in, workload, sopts,
+                           static_cast<int>(workers), flags);
+  }
+
   serve::DhtJoinService service(in.graph, in.measure, in.d, sopts);
 
   // One snapshot, both formats — the JSON and Prometheus dumps always
@@ -428,66 +669,59 @@ Status RunServe(const ParsedArgs& args) {
   };
 
   std::printf("# serving %zu requests over %zu templates (zipf %.2f, "
-              "|sets| trimmed to %zu, k=%zu, d=%d, %s)\n",
+              "|sets| trimmed to %zu, k=%zu, d=%d, %d clients, "
+              "%d attempts/query)\n",
               workload.requests.size(), workload.num_templates, wopts.zipf_s,
-              wopts.set_size, wopts.k, in.d,
-              sopts.num_threads == 1 ? "sequential" : "concurrent sessions");
+              wopts.set_size, wopts.k, in.d, flags.clients,
+              flags.retry_attempts);
 
-  auto make_exec = [&]() -> std::shared_ptr<ExecContext> {
-    if (deadline_ms == 0) return nullptr;
-    auto exec = std::make_shared<ExecContext>();
-    exec->deadline = Deadline::AfterMillis(deadline_ms);
-    return exec;
-  };
+  InstallStopHandlers();
+  serve::ReplayOptions ropts;
+  ropts.concurrency = flags.clients;
+  ropts.max_attempts = flags.retry_attempts;
+  ropts.deadline_micros = flags.deadline_ms * 1000;
 
   WallTimer timer;
-  int64_t shed = 0;
-  int64_t completed = 0;
-  auto maybe_flush = [&] {
-    if (metrics_every > 0 && ++completed % metrics_every == 0) {
-      flush_observability();
-    }
-  };
-  if (sopts.num_threads == 1) {
-    for (const serve::TwoWayRequest& req : workload.requests) {
-      auto exec = make_exec();
-      DHTJOIN_ASSIGN_OR_RETURN(
-          auto result,
-          service.TwoWay(req.P, req.Q, req.k, nullptr, exec.get()));
-      (void)result;
-      maybe_flush();
-    }
-  } else {
-    std::vector<std::future<Result<std::vector<ScoredPair>>>> futures;
-    std::vector<std::shared_ptr<ExecContext>> execs;
-    futures.reserve(workload.requests.size());
-    execs.reserve(workload.requests.size());
-    for (const serve::TwoWayRequest& req : workload.requests) {
-      serve::QueryOptions qopts;
-      qopts.exec = make_exec();
-      execs.push_back(qopts.exec);
-      futures.push_back(
-          service.SubmitTwoWay(req.P, req.Q, req.k, std::move(qopts)));
-    }
-    for (auto& f : futures) {
-      Status status = f.get().status();
-      if (status.code() == StatusCode::kResourceExhausted) {
-        ++shed;  // expected under admission pressure; counted, not fatal
-      } else {
-        DHTJOIN_RETURN_NOT_OK(status);
-      }
-      maybe_flush();
-    }
+  serve::ReplayStats rs;
+  // Chunked so --metrics-every flushes mid-run; one chunk otherwise.
+  const std::size_t chunk =
+      flags.metrics_every > 0 ? static_cast<std::size_t>(flags.metrics_every)
+                              : workload.requests.size();
+  for (std::size_t begin = 0; begin < workload.requests.size();
+       begin += chunk) {
+    const std::size_t end =
+        std::min(begin + chunk, workload.requests.size());
+    serve::ServingWorkload part;
+    part.num_templates = workload.num_templates;
+    part.requests.assign(workload.requests.begin() +
+                             static_cast<std::ptrdiff_t>(begin),
+                         workload.requests.begin() +
+                             static_cast<std::ptrdiff_t>(end));
+    DHTJOIN_ASSIGN_OR_RETURN(
+        serve::ReplayStats part_stats,
+        serve::ReplayWorkload(service, part, ropts, &g_stop));
+    rs.completed += part_stats.completed;
+    rs.degraded += part_stats.degraded;
+    rs.shed += part_stats.shed;
+    rs.failed += part_stats.failed;
+    rs.aborted += part_stats.aborted;
+    rs.retries += part_stats.retries;
+    rs.queries_retried += part_stats.queries_retried;
+    rs.backoff_sleeps += part_stats.backoff_sleeps;
+    rs.backoff_micros += part_stats.backoff_micros;
+    if (flags.metrics_every > 0) flush_observability();
   }
   const double seconds = timer.Seconds();
+  service.Drain();
 
   serve::CacheStats stats = service.cache_stats();
   const double total = static_cast<double>(stats.hits + stats.misses);
-  std::printf("served %zu queries in %.3f s (%.3f ms/query, %.1f qps)\n",
-              workload.requests.size(), seconds,
-              seconds * 1e3 / static_cast<double>(workload.requests.size()),
-              static_cast<double>(workload.requests.size()) /
-                  (seconds > 0 ? seconds : 1e-9));
+  const double served = static_cast<double>(
+      rs.completed > 0 ? rs.completed : 1);
+  std::printf("served %lld queries in %.3f s (%.3f ms/query, %.1f qps)\n",
+              static_cast<long long>(rs.completed), seconds,
+              seconds * 1e3 / served,
+              served / (seconds > 0 ? seconds : 1e-9));
   std::printf("cache: %.1f%% hit rate (%lld hits / %lld misses), "
               "%lld evictions, %lld admission rejects, %zu entries, "
               "%.1f MB resident of %.1f MB\n",
@@ -507,13 +741,27 @@ Status RunServe(const ParsedArgs& args) {
       .Set("shed_capacity", static_cast<int64_t>(ss.admission.shed_capacity))
       .Set("shed_cost", static_cast<int64_t>(ss.admission.shed_cost))
       .Set("shed_expired", static_cast<int64_t>(ss.admission.shed_expired))
-      .Set("shed_total", shed)
+      .Set("shed_total", rs.shed)
       .Set("degraded", static_cast<int64_t>(ss.degraded))
       .Set("deadline_exceeded", static_cast<int64_t>(ss.deadline_exceeded))
       .Set("effort_exhausted", static_cast<int64_t>(ss.effort_exhausted))
       .Set("cancelled", static_cast<int64_t>(ss.cancelled))
       .Set("exceptions", static_cast<int64_t>(ss.exceptions));
   std::printf("# stats %s\n", lifecycle.ToString().c_str());
+  // Client-side replay counters: how the backoff/retry loop behaved
+  // (serve/workload.h ReplayStats). `shed` here means "still rejected
+  // after every attempt", not "rejected once".
+  obs::JsonObject replay;
+  replay.Set("completed", rs.completed)
+      .Set("client_degraded", rs.degraded)
+      .Set("shed", rs.shed)
+      .Set("failed", rs.failed)
+      .Set("aborted", rs.aborted)
+      .Set("retries", rs.retries)
+      .Set("queries_retried", rs.queries_retried)
+      .Set("backoff_sleeps", rs.backoff_sleeps)
+      .Set("backoff_micros", rs.backoff_micros);
+  std::printf("# replay %s\n", replay.ToString().c_str());
 
   flush_observability();
   if (!metrics_out.empty()) {
@@ -527,6 +775,78 @@ Status RunServe(const ParsedArgs& args) {
                 static_cast<long long>(service.slow_queries().total_recorded()),
                 trace_out.c_str());
   }
+  if (g_stop.load(std::memory_order_acquire)) {
+    std::printf("# interrupted: drained and flushed; %lld requests not "
+                "admitted\n",
+                static_cast<long long>(rs.aborted));
+  }
+  return Status::OK();
+}
+
+/// Standalone worker process (`dhtjoin_cli worker`): loads the graph,
+/// serves framed two-way join requests on a loopback port until
+/// SIGTERM/SIGINT, then drains in-flight queries and exits 0. The
+/// chaos flags arm the seeded fault schedule of cluster/chaos.h —
+/// deterministic, for drills and demos; omit them in real serving.
+Status RunWorker(const ParsedArgs& args) {
+  DHTJOIN_ASSIGN_OR_RETURN(LoadedInputs in, LoadCommon(args));
+
+  cluster::WorkerOptions wopts;
+  if (args.Has("port")) {
+    DHTJOIN_ASSIGN_OR_RETURN(int64_t port,
+                             ParsePositiveInt(args.Get("port", ""), "port"));
+    if (port > 65535) return Fail("--port must fit in 16 bits");
+    wopts.port = static_cast<uint16_t>(port);
+  }
+  if (args.Has("max-in-flight")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        int64_t cap, ParsePositiveInt(args.Get("max-in-flight", ""),
+                                      "max-in-flight"));
+    wopts.service.admission.max_in_flight = cap;
+  }
+  if (args.Has("max-cost")) {
+    DHTJOIN_ASSIGN_OR_RETURN(int64_t ceiling,
+                             ParsePositiveInt(args.Get("max-cost", ""),
+                                              "max-cost"));
+    wopts.service.admission.max_estimated_cost = ceiling;
+  }
+  if (args.Has("chaos-seed")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        int64_t seed, ParsePositiveInt(args.Get("chaos-seed", ""),
+                                       "chaos-seed"));
+    wopts.chaos.seed = static_cast<uint64_t>(seed);
+    auto prob = [&](const char* flag) {
+      return std::strtod(args.Get(flag, "0").c_str(), nullptr);
+    };
+    wopts.chaos.p_kill_before_reply = prob("chaos-kill");
+    wopts.chaos.p_delay_reply = prob("chaos-delay");
+    wopts.chaos.p_corrupt_reply = prob("chaos-corrupt");
+    wopts.chaos.p_truncate_reply = prob("chaos-truncate");
+    if (args.Has("chaos-delay-us")) {
+      DHTJOIN_ASSIGN_OR_RETURN(
+          wopts.chaos.delay_micros,
+          ParsePositiveInt(args.Get("chaos-delay-us", ""), "chaos-delay-us"));
+    }
+  }
+
+  InstallStopHandlers();
+  cluster::WorkerServer server(in.graph, in.measure, in.d, wopts);
+  DHTJOIN_RETURN_NOT_OK(server.Start());
+  std::printf("# worker listening on 127.0.0.1:%u (graph fp %016llx, "
+              "d=%d)\n",
+              server.port(),
+              static_cast<unsigned long long>(
+                  server.service().graph_fingerprint()),
+              in.d);
+  std::fflush(stdout);  // parents scrape the port from this line
+
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::printf("# worker draining\n");
+  server.Stop(2000);
+  std::printf("# worker served %lld queries; exiting\n",
+              static_cast<long long>(server.queries_served()));
   return Status::OK();
 }
 
@@ -575,6 +895,8 @@ int Main(int argc, const char* const* argv) {
     status = RunNjoin(*parsed);
   } else if (parsed->command == "serve") {
     status = RunServe(*parsed);
+  } else if (parsed->command == "worker") {
+    status = RunWorker(*parsed);
   } else if (parsed->command == "stats") {
     status = RunStats(*parsed);
   } else {
