@@ -1,0 +1,415 @@
+/// \file bench/bench_recovery.cc
+/// \brief Durability benchmark for the snapshot/restore subsystem
+/// (DESIGN.md §13): the crash-safety matrix in-process, real workers
+/// SIGKILLed MID-CHECKPOINT at every writer phase under supervised
+/// respawn, and the warm-vs-cold payoff on a Zipfian replay.
+///
+/// Acceptance gates (exit nonzero on violation):
+///  * ZERO CORRUPT LOADS (fatal): across hook-simulated aborts at
+///    every writer phase, loader fuzz (truncations + bit flips), and
+///    real SIGKILLs landed inside the checkpoint writer, every read
+///    of the snapshot path yields the last good snapshot, a typed
+///    error, or kNotFound — never a loadable lie;
+///  * EVERY KILL PHASE SURVIVED: one worker slot per CheckpointPhase,
+///    each chaos-seeded to die at that phase, each respawned by the
+///    coordinator and the cluster kept answering byte-identically;
+///  * WARM BEATS COLD: a warm-restored service serves strictly more
+///    warm targets than a cold one on the same Zipfian replay, with
+///    byte-identical answers.
+///
+/// `--smoke` (CI, laptops) shrinks the graph and stream; the full run
+/// writes the committed dev-box baseline
+/// (bench/baselines/BENCH_recovery.json).
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/chaos.h"
+#include "cluster/coordinator.h"
+#include "cluster/supervisor.h"
+#include "cluster/worker.h"
+#include "persist/snapshot.h"
+#include "serve/session.h"
+#include "serve/workload.h"
+
+using namespace dhtjoin;           // NOLINT
+using namespace dhtjoin::bench;    // NOLINT
+using namespace dhtjoin::cluster;  // NOLINT
+
+namespace {
+
+bool BytesIdentical(const std::vector<ScoredPair>& got,
+                    const std::vector<ScoredPair>& want) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].p != want[i].p || got[i].q != want[i].q ||
+        std::bit_cast<uint64_t>(got[i].score) !=
+            std::bit_cast<uint64_t>(want[i].score)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A snapshot path read must be one of exactly three things: the last
+/// complete snapshot, a typed corruption error, or not-found. An OK
+/// load of garbage — or a crash — is the corruption this bench hunts.
+bool PathStateIsSane(const std::string& path) {
+  Result<persist::SnapshotFile> r = persist::ReadSnapshotFile(path);
+  if (r.ok()) return true;
+  return r.status().code() == StatusCode::kNotFound ||
+         r.status().code() == StatusCode::kInvalidArgument;
+}
+
+/// Finds a chaos seed whose ordinal-0 checkpoint fault kills at
+/// `phase` — each respawned worker restarts its checkpoint ordinal at
+/// 0, so the slot's seed pins WHERE in the writer every kill lands.
+uint64_t SeedForKillPhase(persist::CheckpointPhase phase) {
+  for (uint64_t seed = 1;; ++seed) {
+    ChaosOptions opts;
+    opts.seed = seed;
+    opts.p_kill_at_checkpoint = 1.0;
+    CheckpointFault fault = DrawCheckpointFault(opts, 0);
+    if (fault.armed && fault.kill_phase == phase) return seed;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+
+  auto ds = MakeDblp(smoke ? 3000 : 8000);
+  const Graph& g = ds.graph;
+  PaperDefaults defaults;
+  const DhtParams& p = defaults.dht;
+  const int d = defaults.d;
+
+  serve::WorkloadOptions wopts;
+  wopts.num_requests = smoke ? 48 : 160;
+  wopts.num_templates = smoke ? 8 : 12;
+  wopts.zipf_s = 1.0;
+  wopts.set_size = smoke ? 40 : 80;
+  wopts.k = defaults.k;
+  wopts.seed = 47;
+  auto workload =
+      Unwrap(serve::GenerateZipfianTwoWayWorkload(g, ds.areas, wopts),
+             "GenerateZipfianTwoWayWorkload");
+  const std::vector<serve::TwoWayRequest>& requests = workload.requests;
+
+  const std::string snapdir =
+      "/tmp/dhtjoin_recovery_" + std::to_string(::getpid());
+  ::mkdir(snapdir.c_str(), 0755);
+
+  std::printf("[setup] recovery stream: %zu requests over %zu templates "
+              "(zipf %.1f, |P|=|Q|=%zu, k=%zu, d=%d)\n",
+              requests.size(), workload.num_templates, wopts.zipf_s,
+              wopts.set_size, wopts.k, d);
+
+  // ---- Fork the supervisor agent BEFORE this process grows threads
+  // (fork clones only the calling thread). One slot per writer phase,
+  // each seeded so its first periodic checkpoint SIGKILLs the worker
+  // exactly there.
+  std::vector<WorkerSlot> slots;
+  std::vector<std::string> slot_paths;
+  for (int phase = 0; phase < persist::kNumCheckpointPhases; ++phase) {
+    WorkerSlot slot;
+    slot.options.checkpoint_path =
+        snapdir + "/worker_" + std::to_string(phase) + ".snap";
+    slot.options.checkpoint_every_ms = 15;
+    slot.options.chaos.seed =
+        SeedForKillPhase(static_cast<persist::CheckpointPhase>(phase));
+    slot.options.chaos.p_kill_at_checkpoint = 1.0;
+    slot_paths.push_back(slot.options.checkpoint_path);
+    slots.push_back(std::move(slot));
+    std::printf("[setup] slot %d kills its checkpoint %s (seed %llu)\n",
+                phase,
+                persist::CheckpointPhaseName(
+                    static_cast<persist::CheckpointPhase>(phase)),
+                static_cast<unsigned long long>(slots.back().options
+                                                    .chaos.seed));
+  }
+  auto supervisor =
+      Unwrap(WorkerSupervisor::Start(g, p, d, slots), "supervisor start");
+  std::vector<WorkerEndpoint> endpoints;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    auto w = Unwrap(supervisor->Spawn(i), "spawn slot");
+    endpoints.push_back(WorkerEndpoint{w.port});
+  }
+
+  // =========================================================== A
+  // In-process crash-safety matrix: abort the writer at every phase,
+  // then fuzz the surviving file. The snapshot path must stay sane at
+  // every step.
+  std::printf("\n[phase A] writer-abort matrix + loader fuzz\n");
+  int64_t corrupt_loads = 0;
+  int64_t abort_checks = 0;
+  const std::string inproc = snapdir + "/inproc.snap";
+  {
+    serve::DhtJoinService::Options sopts;
+    sopts.num_threads = 2;
+    serve::DhtJoinService service(g, p, d, sopts);
+    const int rounds = smoke ? 2 : 6;
+    std::size_t next_req = 0;
+    CheckOk(service.TwoWay(requests[0].P, requests[0].Q, requests[0].k)
+                .status(),
+            "phase A warmup query");
+    CheckOk(service.SaveWarmState(inproc), "phase A initial snapshot");
+    for (int round = 0; round < rounds; ++round) {
+      for (int phase = 0; phase < persist::kNumCheckpointPhases; ++phase) {
+        // Mutate the cache so the aborted snapshot would differ from
+        // the last good one — otherwise the abort proves nothing.
+        const auto& rq = requests[++next_req % requests.size()];
+        CheckOk(service.TwoWay(rq.P, rq.Q, rq.k).status(), "phase A query");
+        const auto kill_at = static_cast<persist::CheckpointPhase>(phase);
+        Status st = service.SaveWarmState(
+            inproc, [kill_at](persist::CheckpointPhase at) {
+              return at != kill_at;
+            });
+        if (st.code() != StatusCode::kCancelled) {
+          std::fprintf(stderr, "abort at %s returned %s\n",
+                       persist::CheckpointPhaseName(kill_at),
+                       st.ToString().c_str());
+          ++corrupt_loads;
+        }
+        ++abort_checks;
+        if (!PathStateIsSane(inproc)) ++corrupt_loads;
+        serve::DhtJoinService fresh(g, p, d, sopts);
+        if (!fresh.LoadWarmState(inproc).ok()) ++corrupt_loads;
+      }
+    }
+    CheckOk(service.SaveWarmState(inproc), "phase A final snapshot");
+  }
+  int64_t fuzz_checks = 0;
+  int64_t fuzz_accepted = 0;
+  {
+    auto bytes = Unwrap(persist::ReadFileBytes(inproc), "read inproc snap");
+    const std::size_t n = bytes.size();
+    const std::size_t stride = smoke ? (n / 257) + 1 : (n / 2048) + 1;
+    for (std::size_t len = 0; len < n; len += stride) {
+      ++fuzz_checks;
+      if (persist::DecodeSnapshot(
+              std::span<const uint8_t>(bytes.data(), len))
+              .ok()) {
+        ++fuzz_accepted;
+      }
+    }
+    for (std::size_t i = 0; i < n; i += stride) {
+      std::vector<uint8_t> flipped = bytes;
+      flipped[i] = static_cast<uint8_t>(flipped[i] ^ 0x10u);
+      ++fuzz_checks;
+      if (persist::DecodeSnapshot(flipped).ok()) ++fuzz_accepted;
+    }
+    std::printf("  %lld abort checks, %lld fuzz probes (%zu-byte file), "
+                "%lld corrupt loads, %lld fuzz acceptances\n",
+                static_cast<long long>(abort_checks),
+                static_cast<long long>(fuzz_checks), n,
+                static_cast<long long>(corrupt_loads),
+                static_cast<long long>(fuzz_accepted));
+  }
+
+  // =========================================================== B
+  // Real SIGKILLs inside the checkpoint writer, one slot per phase,
+  // under coordinator-driven respawn. The bench concurrently polls
+  // every snapshot path: rename(2) atomicity means NO poll may ever
+  // observe a half-written file.
+  std::printf("\n[phase B] SIGKILL-mid-checkpoint under supervised "
+              "respawn\n");
+  serve::DhtJoinService::Options ref_opts;
+  ref_opts.num_threads = 2;
+  serve::DhtJoinService reference(g, p, d, ref_opts);
+
+  CoordinatorOptions copts;
+  copts.hedge.enabled = false;
+  copts.retry.backoff.initial_micros = 500;
+  copts.retry.backoff.max_micros = 5000;
+  copts.local_service.num_threads = 2;
+  copts.health.heartbeat_period_micros = 20000;
+  copts.health.ping_timeout_micros = 100000;
+  copts.supervisor = supervisor.get();
+  copts.respawn.enabled = true;
+  copts.respawn.max_respawns = smoke ? 3 : 6;
+  copts.respawn.backoff.initial_micros = 20000;
+  copts.respawn.backoff.max_micros = 200000;
+  ClusterCoordinator coord(g, p, d, endpoints, copts);
+  coord.StartHeartbeats();
+
+  int64_t poll_rounds = 0;
+  int64_t corrupt_polls = 0;
+  int64_t chaos_completed = 0;
+  int64_t chaos_mismatches = 0;
+  int64_t chaos_typed_errors = 0;
+  {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(smoke ? 2500 : 8000);
+    std::size_t req_i = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (const std::string& path : slot_paths) {
+        if (!PathStateIsSane(path)) ++corrupt_polls;
+      }
+      ++poll_rounds;
+      if (poll_rounds % 4 == 0) {
+        const auto& rq = requests[req_i++ % requests.size()];
+        Result<std::vector<ScoredPair>> r = coord.TwoWay(rq.P, rq.Q, rq.k);
+        if (r.ok()) {
+          auto want = Unwrap(reference.TwoWay(rq.P, rq.Q, rq.k),
+                             "phase B reference");
+          if (BytesIdentical(*r, want)) {
+            ++chaos_completed;
+          } else {
+            ++chaos_mismatches;
+          }
+        } else {
+          ++chaos_typed_errors;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  coord.StopHeartbeats();
+  int64_t respawns_total = 0;
+  int slots_respawned = 0;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    const int64_t n = coord.WorkerRespawns(i);
+    respawns_total += n;
+    if (n > 0) ++slots_respawned;
+    std::printf("  slot %zu (%s): %lld respawns\n", i,
+                persist::CheckpointPhaseName(
+                    static_cast<persist::CheckpointPhase>(i)),
+                static_cast<long long>(n));
+  }
+  // Final sweep after the dust settles.
+  for (const std::string& path : slot_paths) {
+    if (!PathStateIsSane(path)) ++corrupt_polls;
+  }
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    (void)supervisor->Kill(i);
+  }
+  std::printf("  %lld poll rounds, %lld corrupt polls; queries: %lld "
+              "byte-identical, %lld mismatched, %lld typed errors\n",
+              static_cast<long long>(poll_rounds),
+              static_cast<long long>(corrupt_polls),
+              static_cast<long long>(chaos_completed),
+              static_cast<long long>(chaos_mismatches),
+              static_cast<long long>(chaos_typed_errors));
+
+  // =========================================================== C
+  // Warm-vs-cold payoff: replay the same Zipfian stream on a cold
+  // service and on a warm-restored one; the restored cache must serve
+  // strictly more warm targets, with byte-identical answers.
+  std::printf("\n[phase C] warm-vs-cold Zipfian replay\n");
+  const std::string warm_snap = snapdir + "/warmstate.snap";
+  serve::DhtJoinService::Options sopts;
+  sopts.num_threads = 2;
+  int64_t restored_entries = 0;
+  {
+    serve::DhtJoinService source(g, p, d, sopts);
+    for (const auto& rq : requests) {
+      CheckOk(source.TwoWay(rq.P, rq.Q, rq.k).status(), "phase C source");
+    }
+    CheckOk(source.SaveWarmState(warm_snap), "phase C snapshot");
+  }
+  int64_t cold_warm_targets = 0;
+  int64_t warm_warm_targets = 0;
+  int64_t replay_mismatches = 0;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  {
+    serve::DhtJoinService cold(g, p, d, sopts);
+    serve::DhtJoinService warmed(g, p, d, sopts);
+    restored_entries =
+        Unwrap(warmed.LoadWarmState(warm_snap), "phase C restore");
+    for (const auto& rq : requests) {
+      serve::QueryStats cs;
+      const auto c0 = std::chrono::steady_clock::now();
+      auto cold_r = Unwrap(cold.TwoWay(rq.P, rq.Q, rq.k, &cs),
+                           "phase C cold replay");
+      cold_seconds += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - c0)
+                          .count();
+      cold_warm_targets += cs.warm_targets;
+      serve::QueryStats ws;
+      const auto w0 = std::chrono::steady_clock::now();
+      auto warm_r = Unwrap(warmed.TwoWay(rq.P, rq.Q, rq.k, &ws),
+                           "phase C warm replay");
+      warm_seconds += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - w0)
+                          .count();
+      warm_warm_targets += ws.warm_targets;
+      if (!BytesIdentical(warm_r, cold_r)) ++replay_mismatches;
+    }
+  }
+  std::printf("  restored %lld entries; warm targets %lld (restored) vs "
+              "%lld (cold); replay %.1f ms warm vs %.1f ms cold\n",
+              static_cast<long long>(restored_entries),
+              static_cast<long long>(warm_warm_targets),
+              static_cast<long long>(cold_warm_targets),
+              1e3 * warm_seconds, 1e3 * cold_seconds);
+
+  // ======================================================= verdict
+  std::printf("\n[gates]\n");
+  bool ok = true;
+  auto gate = [&](bool pass, const char* what) {
+    std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", what);
+    ok = ok && pass;
+  };
+  gate(corrupt_loads == 0 && fuzz_accepted == 0 && corrupt_polls == 0,
+       "ZERO corrupt loads: every snapshot read under aborts, fuzz, and "
+       "live SIGKILLs was last-good, typed, or not-found");
+  gate(slots_respawned == persist::kNumCheckpointPhases,
+       "a worker killed at EVERY checkpoint phase was respawned");
+  gate(chaos_mismatches == 0 && chaos_completed > 0,
+       "queries during the kill storm stayed byte-identical to the "
+       "single-process reference");
+  gate(restored_entries > 0 && replay_mismatches == 0,
+       "warm restore loaded entries and replayed byte-identically");
+  gate(warm_warm_targets > cold_warm_targets,
+       "warm-restored service beat the cold one on Zipfian replay");
+
+  JsonObject doc;
+  doc.Set("bench", std::string("recovery"))
+      .Set("mode", std::string(smoke ? "smoke" : "full"))
+      .Set("dataset", std::string("dblp_like"))
+      .Set("num_nodes", static_cast<int64_t>(g.num_nodes()))
+      .Set("num_edges", g.num_edges())
+      .Set("abort_checks", abort_checks)
+      .Set("fuzz_checks", fuzz_checks)
+      .Set("fuzz_accepted", fuzz_accepted)
+      .Set("corrupt_loads", corrupt_loads)
+      .Set("poll_rounds", poll_rounds)
+      .Set("corrupt_polls", corrupt_polls)
+      .Set("respawns_total", respawns_total)
+      .Set("kill_phases_respawned", static_cast<int64_t>(slots_respawned))
+      .Set("chaos_completed", chaos_completed)
+      .Set("chaos_mismatches", chaos_mismatches)
+      .Set("chaos_typed_errors", chaos_typed_errors)
+      .Set("restored_entries", restored_entries)
+      .Set("warm_targets_restored", warm_warm_targets)
+      .Set("warm_targets_cold", cold_warm_targets)
+      .Set("replay_mismatches", replay_mismatches)
+      .Set("warm_replay_ms", 1e3 * warm_seconds)
+      .Set("cold_replay_ms", 1e3 * cold_seconds)
+      .Set("zero_corrupt_loads",
+           static_cast<int64_t>(corrupt_loads == 0 && fuzz_accepted == 0 &&
+                                corrupt_polls == 0));
+  WriteJsonFile("BENCH_recovery.json", doc.ToString());
+  std::printf("\nwrote BENCH_recovery.json\n");
+
+  if (!ok) {
+    std::fprintf(stderr, "\nRECOVERY GATES FAILED\n");
+    return 1;
+  }
+  std::printf("all recovery gates passed\n");
+  return 0;
+}

@@ -28,6 +28,21 @@ WorkerFault DrawWorkerFault(const ChaosOptions& opts, uint64_t ordinal) {
   return fault;
 }
 
+CheckpointFault DrawCheckpointFault(const ChaosOptions& opts,
+                                    uint64_t ordinal) {
+  CheckpointFault fault;
+  if (!opts.enabled()) return fault;
+  uint64_t sm = opts.seed ^ (0xbf58476d1ce4e5b9ULL * (ordinal + 1));
+  Rng rng(SplitMix64(sm));
+  if (!rng.Chance(opts.p_kill_at_checkpoint)) return fault;
+  fault.armed = true;
+  uint64_t phase_state = sm + 1;
+  fault.kill_phase = static_cast<persist::CheckpointPhase>(
+      SplitMix64(phase_state) %
+      static_cast<uint64_t>(persist::kNumCheckpointPhases));
+  return fault;
+}
+
 void CorruptFramePayload(std::vector<uint8_t>& frame, uint64_t seed) {
   if (frame.size() < kFrameHeaderBytes) return;
   uint64_t sm = seed ^ 0xc2b2ae3d27d4eb4fULL;

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "persist/snapshot.h"
+
 namespace dhtjoin::cluster {
 
 enum class WorkerFaultKind : uint8_t {
@@ -60,9 +62,29 @@ struct ChaosOptions {
   /// Deepening level after which kKillAtLevel severs.
   int64_t kill_level = 1;
   int64_t delay_micros = 0;
+  /// Probability that a CHECKPOINT (not a request) dies mid-write:
+  /// the worker raises SIGKILL at a seeded persist::CheckpointPhase.
+  /// Drawn per checkpoint ordinal by DrawCheckpointFault — the
+  /// recovery test matrix of the crash-safe writer (DESIGN.md §13).
+  double p_kill_at_checkpoint = 0.0;
 
   bool enabled() const { return seed != 0; }
 };
+
+/// The fault of checkpoint `ordinal`: whether to die, and at which
+/// writer phase. Deterministic in (opts.seed, ordinal) like every
+/// other chaos draw, so a SIGKILL-mid-checkpoint schedule replays
+/// exactly and CI pins one forever. The phase cycles through all of
+/// them across firing ordinals (seeded rotation), so a long-enough
+/// schedule exercises every crash point.
+struct CheckpointFault {
+  bool armed = false;
+  persist::CheckpointPhase kill_phase =
+      persist::CheckpointPhase::kAfterTempCreate;
+};
+
+CheckpointFault DrawCheckpointFault(const ChaosOptions& opts,
+                                    uint64_t ordinal);
 
 /// The fault for request `ordinal` — deterministic in (opts.seed,
 /// ordinal), independent of arrival order across connections.

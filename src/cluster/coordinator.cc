@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "cluster/supervisor.h"
 #include "obs/clock.h"
 
 namespace dhtjoin::cluster {
@@ -42,7 +43,7 @@ ClusterCoordinator::ClusterCoordinator(const Graph& g,
   workers_.reserve(workers.size());
   for (const WorkerEndpoint& endpoint : workers) {
     auto state = std::make_unique<WorkerState>();
-    state->endpoint = endpoint;
+    state->port.store(endpoint.port, std::memory_order_relaxed);
     workers_.push_back(std::move(state));
   }
 }
@@ -75,6 +76,7 @@ void ClusterCoordinator::RecordMiss(std::size_t index) {
 
 void ClusterCoordinator::RecordSuccess(std::size_t index) {
   WorkerState& w = *workers_[index];
+  if (w.quarantined.load(std::memory_order_relaxed)) return;  // sticky
   w.consecutive_misses.store(0, std::memory_order_relaxed);
   w.healthy.store(true, std::memory_order_relaxed);
 }
@@ -95,8 +97,10 @@ Status ClusterCoordinator::ProbeWorker(std::size_t index) {
   metrics_.heartbeat_probes->Increment();
   const Deadline deadline = Deadline::AfterSeconds(
       static_cast<double>(options_.health.ping_timeout_micros) * 1e-6);
-  Result<Socket> conn =
-      ConnectLoopback(workers_[index]->endpoint.port, deadline);
+  Result<Socket> conn = ConnectLoopback(
+      static_cast<uint16_t>(
+          workers_[index]->port.load(std::memory_order_relaxed)),
+      deadline);
   if (!conn.ok()) {
     RecordMiss(index);
     return conn.status();
@@ -126,9 +130,11 @@ Status ClusterCoordinator::ProbeWorker(std::size_t index) {
   }
   if (info->graph_fp != graph_fp_ || info->params_fp != params_fp_) {
     // A mis-deployed worker: well-formed answers over the WRONG data.
-    // Permanently routed around — never retried into.
+    // Permanently routed around — never retried into, never respawned
+    // (a relaunch would come back just as wrong).
     RecordMiss(index);
     workers_[index]->healthy.store(false, std::memory_order_relaxed);
+    workers_[index]->quarantined.store(true, std::memory_order_relaxed);
     return Status::InvalidArgument(
         "worker " + std::to_string(index) +
         " identity mismatch (different graph or measure parameters)");
@@ -164,9 +170,78 @@ void ClusterCoordinator::StopHeartbeats() {
   if (hb_thread_.joinable()) hb_thread_.join();
 }
 
+bool ClusterCoordinator::WorkerQuarantined(std::size_t index) const {
+  if (index >= workers_.size()) return false;
+  return workers_[index]->quarantined.load(std::memory_order_relaxed);
+}
+
+int64_t ClusterCoordinator::WorkerRespawns(std::size_t index) const {
+  if (index >= workers_.size()) return 0;
+  return workers_[index]->respawns.load(std::memory_order_relaxed);
+}
+
+int64_t ClusterCoordinator::TryRespawns() {
+  if (!options_.respawn.enabled || options_.supervisor == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(respawn_mu_);
+  int64_t recovered = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    WorkerState& w = *workers_[i];
+    if (w.healthy.load(std::memory_order_relaxed)) {
+      // A worker that came back on its own (transient network blip)
+      // clears its pending relaunch; the backoff state is kept so a
+      // crash-looper keeps backing off across episodes.
+      w.respawn_due_ns = 0;
+      continue;
+    }
+    if (w.quarantined.load(std::memory_order_relaxed)) continue;
+    if (w.respawns.load(std::memory_order_relaxed) >=
+        options_.respawn.max_respawns) {
+      continue;
+    }
+    if (w.respawn_backoff == nullptr) {
+      w.respawn_backoff =
+          std::make_unique<RetryBackoff>(options_.respawn.backoff);
+    }
+    const int64_t now_ns = clock_->NowNanos();
+    if (w.respawn_due_ns == 0) {
+      // First observation of this death: schedule, don't relaunch —
+      // the backoff delay is what keeps a crash-looping binary from
+      // melting the host.
+      w.respawn_due_ns = now_ns + w.respawn_backoff->NextDelayMicros() * 1000;
+      continue;
+    }
+    if (now_ns < w.respawn_due_ns) continue;
+
+    w.respawns.fetch_add(1, std::memory_order_relaxed);
+    metrics_.worker_respawns->Increment();
+    // Kill-then-spawn: if the slot's process is wedged rather than
+    // dead, replace it outright.
+    (void)options_.supervisor->Kill(i);
+    Result<SpawnedWorker> spawned = options_.supervisor->Spawn(i);
+    if (!spawned.ok()) {
+      w.respawn_due_ns = now_ns + w.respawn_backoff->NextDelayMicros() * 1000;
+      continue;
+    }
+    w.port.store(spawned->port, std::memory_order_relaxed);
+    w.consecutive_misses.store(0, std::memory_order_relaxed);
+    w.respawn_due_ns = 0;
+    // Probe before re-entering rotation: success marks it healthy, a
+    // fingerprint mismatch quarantines the slot right here.
+    Status probed = ProbeWorker(i);
+    if (probed.ok()) {
+      recovered += 1;
+    } else if (!w.quarantined.load(std::memory_order_relaxed)) {
+      w.respawn_due_ns =
+          clock_->NowNanos() + w.respawn_backoff->NextDelayMicros() * 1000;
+    }
+  }
+  return recovered;
+}
+
 void ClusterCoordinator::HeartbeatLoop() {
   while (!hb_stop_.load(std::memory_order_relaxed)) {
     (void)PingAll();
+    (void)TryRespawns();
     int64_t remaining = options_.health.heartbeat_period_micros;
     while (remaining > 0 && !hb_stop_.load(std::memory_order_relaxed)) {
       int64_t slice = std::min<int64_t>(remaining, 10000);
@@ -217,8 +292,10 @@ Result<Socket> ClusterCoordinator::OpenAndSend(std::size_t worker,
                                                uint64_t request_id,
                                                const Deadline& deadline) {
   metrics_.rpc_attempts->Increment();
-  Result<Socket> conn =
-      ConnectLoopback(workers_[worker]->endpoint.port, deadline);
+  Result<Socket> conn = ConnectLoopback(
+      static_cast<uint16_t>(
+          workers_[worker]->port.load(std::memory_order_relaxed)),
+      deadline);
   if (!conn.ok()) return conn.status();
   std::vector<uint8_t> payload = EncodeTwoWayRequest(req);
   Status sent = SendFrame(*conn, FrameType::kTwoWay, request_id, payload,
@@ -453,6 +530,8 @@ Result<std::vector<ScoredPair>> ClusterCoordinator::TwoWay(
       stats->level_reached = out.reply.level_reached;
       stats->eps_bound = out.reply.eps_bound;
       stats->walk_steps = out.reply.walk_steps;
+      stats->warm_targets = out.reply.warm_targets;
+      stats->cold_targets = out.reply.cold_targets;
       finish_latency();
       return std::move(out.reply.pairs);
     }
@@ -491,6 +570,8 @@ Result<std::vector<ScoredPair>> ClusterCoordinator::TwoWay(
       stats->level_reached = qs.join.partial.level_reached;
       stats->eps_bound = qs.join.partial.eps_bound;
       stats->walk_steps = qs.join.walk_steps;
+      stats->warm_targets = qs.warm_targets;
+      stats->cold_targets = qs.cold_targets;
     }
     finish_latency();
     return local;

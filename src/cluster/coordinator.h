@@ -47,6 +47,8 @@
 
 namespace dhtjoin::cluster {
 
+class WorkerSupervisor;
+
 struct RetryPolicy {
   /// Total worker attempts per query (first try + retries), before
   /// local fallback is considered.
@@ -81,10 +83,30 @@ struct WorkerEndpoint {
   uint16_t port = 0;  ///< loopback port of a WorkerServer
 };
 
+/// Supervised respawn of dead workers (DESIGN.md §13). Requires a
+/// WorkerSupervisor in CoordinatorOptions; only TRANSPORT deaths are
+/// respawned — a fingerprint-mismatched (quarantined) worker is a
+/// deployment bug that relaunching cannot fix.
+struct RespawnPolicy {
+  bool enabled = false;
+  /// Lifetime cap per worker slot; beyond it the slot is abandoned
+  /// (a worker that keeps dying is not coming back).
+  int64_t max_respawns = 3;
+  /// Exponential delay between death observation and relaunch, grown
+  /// across consecutive respawns of the same slot (never reset, so a
+  /// crash-looping worker backs off monotonically).
+  BackoffOptions backoff;
+};
+
 struct CoordinatorOptions {
   RetryPolicy retry;
   HedgePolicy hedge;
   HealthPolicy health;
+  RespawnPolicy respawn;
+  /// Spawn agent used by the respawn policy; slot i must serve
+  /// endpoint i. Not owned. Null disables respawn regardless of
+  /// `respawn.enabled`.
+  WorkerSupervisor* supervisor = nullptr;
   /// Degrade to in-process execution when no worker can answer.
   /// Disabled, the coordinator returns the last transport error
   /// instead (tests pin both behaviors).
@@ -113,6 +135,11 @@ struct ClusterQueryStats {
   double eps_bound = 0.0;
   /// Worker-side counters of the answering run.
   int64_t walk_steps = 0;
+  /// Score-cache temperature of the answering run: targets whose
+  /// backward state was warm vs recomputed from scratch. The recovery
+  /// bench gates on these (a warm-restored worker must beat cold).
+  int64_t warm_targets = 0;
+  int64_t cold_targets = 0;
   /// Last admission retry-after hint observed (micros; 0 = none).
   int64_t retry_after_hint_micros = 0;
 };
@@ -151,6 +178,19 @@ class ClusterCoordinator {
   bool WorkerHealthy(std::size_t index) const;
   std::size_t NumHealthy() const;
 
+  /// One respawn pass: every dead, unquarantined, under-cap worker is
+  /// scheduled (first observation) or relaunched (its backoff delay
+  /// elapsed on the injected clock). Returns the number of workers
+  /// brought back healthy. Called by the heartbeat loop after each
+  /// ping round; callable directly by tests driving a FakeClock.
+  int64_t TryRespawns();
+  /// True once the worker was fingerprint-quarantined. Sticky: a
+  /// quarantined worker is never respawned and never re-marked
+  /// healthy.
+  bool WorkerQuarantined(std::size_t index) const;
+  /// Respawns attempted for this worker so far.
+  int64_t WorkerRespawns(std::size_t index) const;
+
   /// The in-process fallback service (also the reference for
   /// byte-identity tests). Shares its MetricsRegistry with the
   /// cluster counters, so one export carries serve.* and cluster.*.
@@ -166,9 +206,18 @@ class ClusterCoordinator {
 
  private:
   struct WorkerState {
-    WorkerEndpoint endpoint;
+    /// Live port — atomic because a respawned worker comes back on a
+    /// fresh ephemeral port while query threads are routing.
+    std::atomic<uint32_t> port{0};
     std::atomic<int64_t> consecutive_misses{0};
     std::atomic<bool> healthy{true};
+    /// Fingerprint mismatch observed — permanently routed around,
+    /// never respawned (sticky; see WorkerQuarantined).
+    std::atomic<bool> quarantined{false};
+    std::atomic<int64_t> respawns{0};
+    /// Respawn scheduling state, touched only under respawn_mu_.
+    int64_t respawn_due_ns = 0;
+    std::unique_ptr<RetryBackoff> respawn_backoff;
   };
 
   /// Outcome of one routed attempt (primary leg + optional hedge leg).
@@ -221,6 +270,8 @@ class ClusterCoordinator {
   std::atomic<bool> hb_stop_{false};
   std::thread hb_thread_;
   std::mutex hb_mu_;
+  /// Serializes TryRespawns passes (heartbeat thread vs tests).
+  std::mutex respawn_mu_;
 };
 
 }  // namespace dhtjoin::cluster

@@ -35,6 +35,7 @@ struct ClusterMetrics {
             registry.GetCounter("cluster.frame.checksum_rejects")),
         backoff_sleeps(registry.GetCounter("cluster.backoff.sleeps")),
         backoff_micros(registry.GetCounter("cluster.backoff.micros")),
+        worker_respawns(registry.GetCounter("cluster.worker.respawns")),
         rpc_latency_ns(registry.GetHistogram("cluster.rpc.latency_ns")) {}
 
   /// RPC attempts sent to workers (initial sends + retries + hedges).
@@ -65,6 +66,8 @@ struct ClusterMetrics {
   /// Backoff sleeps taken and their total duration.
   obs::Counter* backoff_sleeps;
   obs::Counter* backoff_micros;
+  /// Dead workers relaunched by the respawn policy (DESIGN.md §13).
+  obs::Counter* worker_respawns;
   /// End-to-end per-query latency (includes retries and failover).
   obs::Histogram* rpc_latency_ns;
 };

@@ -1,0 +1,251 @@
+#include "cluster/supervisor.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace dhtjoin::cluster {
+
+namespace {
+
+// Wire protocol between parent and agent: fixed-size little-structs,
+// one command -> one reply, strictly serialized (the parent holds a
+// mutex across the round trip).
+enum : uint8_t {
+  kOpSpawn = 1,
+  kOpKill = 2,
+  kOpStop = 3,
+  kOpQuit = 4,
+};
+
+struct Command {
+  uint8_t op = 0;
+  uint8_t pad[3] = {0, 0, 0};
+  uint32_t slot = 0;
+  int64_t arg = 0;
+};
+static_assert(sizeof(Command) == 16, "agent protocol is fixed-size");
+
+struct Reply {
+  int32_t code = 0;  ///< 0 ok; 1 failure (message lost — agent side logs)
+  uint32_t port = 0;
+  int64_t pid = -1;
+};
+static_assert(sizeof(Reply) == 16, "agent protocol is fixed-size");
+
+bool WriteFull(int fd, const void* buf, std::size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReadFull(int fd, void* buf, std::size_t len) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = read(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF or error
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// The agent main loop. Single-threaded by construction: it was
+/// forked before the parent made threads and never makes its own, so
+/// SpawnWorkerProcess's fork-safety precondition holds for every
+/// respawn, forever.
+[[noreturn]] void RunAgent(int fd, const Graph& default_graph,
+                           const DhtParams& params, int d,
+                           const std::vector<WorkerSlot>& slots) {
+  // Die with the parent; take the workers along (they have their own
+  // PDEATHSIG on the agent).
+  (void)prctl(PR_SET_PDEATHSIG, SIGKILL);
+  // A dying worker must not kill the agent with a write to a closed
+  // pipe during spawn.
+  (void)signal(SIGPIPE, SIG_IGN);
+
+  std::vector<SpawnedWorker> live(slots.size());
+  auto kill_all = [&] {
+    for (SpawnedWorker& w : live) {
+      if (w.pid > 0) KillWorkerProcess(w);
+      w = SpawnedWorker{};
+    }
+  };
+
+  Command cmd;
+  while (ReadFull(fd, &cmd, sizeof(cmd))) {
+    Reply reply;
+    if (cmd.op == kOpQuit) {
+      reply.code = 0;
+      (void)WriteFull(fd, &reply, sizeof(reply));
+      break;
+    }
+    const std::size_t slot = cmd.slot;
+    if (slot >= slots.size()) {
+      reply.code = 1;
+      (void)WriteFull(fd, &reply, sizeof(reply));
+      continue;
+    }
+    switch (cmd.op) {
+      case kOpSpawn: {
+        if (live[slot].pid > 0) {
+          KillWorkerProcess(live[slot]);
+          live[slot] = SpawnedWorker{};
+        }
+        const Graph& g =
+            slots[slot].graph != nullptr ? *slots[slot].graph : default_graph;
+        Result<SpawnedWorker> spawned =
+            SpawnWorkerProcess(g, params, d, slots[slot].options);
+        if (spawned.ok()) {
+          live[slot] = spawned.value();
+          reply.code = 0;
+          reply.pid = live[slot].pid;
+          reply.port = live[slot].port;
+        } else {
+          reply.code = 1;
+        }
+        break;
+      }
+      case kOpKill: {
+        if (live[slot].pid > 0) KillWorkerProcess(live[slot]);
+        live[slot] = SpawnedWorker{};
+        reply.code = 0;
+        break;
+      }
+      case kOpStop: {
+        if (live[slot].pid > 0) {
+          Status st = StopWorkerProcess(live[slot], cmd.arg);
+          reply.code = st.ok() ? 0 : 1;
+        } else {
+          reply.code = 0;
+        }
+        live[slot] = SpawnedWorker{};
+        break;
+      }
+      default:
+        reply.code = 1;
+        break;
+    }
+    if (!WriteFull(fd, &reply, sizeof(reply))) break;
+  }
+  // EOF (parent died or destructed) or quit: no orphans.
+  kill_all();
+  (void)close(fd);
+  _exit(0);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WorkerSupervisor>> WorkerSupervisor::Start(
+    const Graph& g, const DhtParams& params, int d,
+    std::vector<WorkerSlot> slots) {
+  if (slots.empty()) {
+    return Status::InvalidArgument("supervisor needs at least one slot");
+  }
+  int sv[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) < 0) {
+    return Status::IOError("socketpair: " + std::string(std::strerror(errno)));
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    (void)close(sv[0]);
+    (void)close(sv[1]);
+    return Status::IOError("fork: " + std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    (void)close(sv[0]);
+    RunAgent(sv[1], g, params, d, slots);
+  }
+  (void)close(sv[1]);
+  return std::unique_ptr<WorkerSupervisor>(new WorkerSupervisor(
+      sv[0], static_cast<int64_t>(pid), slots.size()));
+}
+
+WorkerSupervisor::~WorkerSupervisor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) {
+      Command cmd;
+      cmd.op = kOpQuit;
+      Reply reply;
+      if (WriteFull(fd_, &cmd, sizeof(cmd))) {
+        (void)ReadFull(fd_, &reply, sizeof(reply));
+      }
+      (void)close(fd_);
+      fd_ = -1;
+    }
+  }
+  if (agent_pid_ > 0) {
+    (void)waitpid(static_cast<pid_t>(agent_pid_), nullptr, 0);
+  }
+}
+
+Status WorkerSupervisor::RoundTrip(uint8_t op, std::size_t slot, int64_t arg,
+                                   SpawnedWorker* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("supervisor agent is gone");
+  Command cmd;
+  cmd.op = op;
+  cmd.slot = static_cast<uint32_t>(slot);
+  cmd.arg = arg;
+  Reply reply;
+  if (!WriteFull(fd_, &cmd, sizeof(cmd)) ||
+      !ReadFull(fd_, &reply, sizeof(reply))) {
+    return Status::IOError("supervisor agent died");
+  }
+  if (reply.code != 0) {
+    return Status::Internal("supervisor op " + std::to_string(op) +
+                            " failed on slot " + std::to_string(slot));
+  }
+  if (out != nullptr) {
+    out->pid = reply.pid;
+    out->port = static_cast<uint16_t>(reply.port);
+  }
+  return Status::OK();
+}
+
+Result<SpawnedWorker> WorkerSupervisor::Spawn(std::size_t slot) {
+  if (slot >= num_slots_) {
+    return Status::InvalidArgument("slot out of range");
+  }
+  SpawnedWorker worker;
+  DHTJOIN_RETURN_NOT_OK(RoundTrip(kOpSpawn, slot, 0, &worker));
+  if (worker.port == 0) {
+    return Status::IOError("supervisor spawned worker with no port");
+  }
+  return worker;
+}
+
+Status WorkerSupervisor::Kill(std::size_t slot) {
+  if (slot >= num_slots_) {
+    return Status::InvalidArgument("slot out of range");
+  }
+  return RoundTrip(kOpKill, slot, 0, nullptr);
+}
+
+Status WorkerSupervisor::StopSlot(std::size_t slot, int64_t grace_millis) {
+  if (slot >= num_slots_) {
+    return Status::InvalidArgument("slot out of range");
+  }
+  return RoundTrip(kOpStop, slot, grace_millis, nullptr);
+}
+
+}  // namespace dhtjoin::cluster

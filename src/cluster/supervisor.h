@@ -1,0 +1,94 @@
+/// \file cluster/supervisor.h
+/// \brief Process supervision for worker respawn: a single-threaded
+/// spawn-agent child that forks workers on command, so the coordinator
+/// can relaunch dead workers AFTER it has created threads.
+///
+/// Why the indirection: fork() clones only the calling thread, so
+/// forking a worker from a multi-threaded coordinator (heartbeat
+/// thread, connection threads) is undefined-adjacent — any lock held
+/// by a non-forked thread stays locked forever in the child.
+/// SpawnWorkerProcess therefore documents "call before creating
+/// threads", which is exactly when a respawn CANNOT happen. The
+/// supervisor squares that circle: WorkerSupervisor::Start forks ONE
+/// agent process while the parent is still single-threaded; the agent
+/// stays single-threaded forever and forks workers whenever the
+/// (by now multi-threaded) parent asks over a socketpair.
+///
+/// Ownership chain: parent -> agent -> workers. Workers are the
+/// agent's children, so every stop/kill/reap goes through the agent
+/// (the parent cannot waitpid grandchildren). The agent dies with the
+/// parent (PR_SET_PDEATHSIG) and kills its workers on the way out, so
+/// a crashed coordinator leaves no orphans.
+
+#ifndef DHTJOIN_CLUSTER_SUPERVISOR_H_
+#define DHTJOIN_CLUSTER_SUPERVISOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/worker.h"
+
+namespace dhtjoin::cluster {
+
+/// One respawnable worker slot: the graph it serves (null = the
+/// supervisor's default graph) and its WorkerOptions. A per-slot
+/// graph exists so tests can stand up a mis-deployed worker (wrong
+/// graph -> fingerprint mismatch -> quarantine).
+struct WorkerSlot {
+  const Graph* graph = nullptr;
+  WorkerOptions options;
+};
+
+/// Handle to the spawn-agent process. Thread-safe: commands are
+/// serialized over the agent socket under an internal mutex, so any
+/// coordinator thread may request a respawn.
+class WorkerSupervisor {
+ public:
+  /// Forks the agent. MUST be called while the calling process is
+  /// still single-threaded (same rule as SpawnWorkerProcess — the
+  /// agent inherits the graph copy-on-write and must be safe to fork
+  /// from). Slots are fixed for the supervisor's lifetime.
+  static Result<std::unique_ptr<WorkerSupervisor>> Start(
+      const Graph& g, const DhtParams& params, int d,
+      std::vector<WorkerSlot> slots);
+
+  ~WorkerSupervisor();
+
+  WorkerSupervisor(const WorkerSupervisor&) = delete;
+  WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+  /// (Re)spawns slot `slot`. Any live occupant is SIGKILLed first, so
+  /// Spawn is also "replace". Returns the new worker's pid and port.
+  Result<SpawnedWorker> Spawn(std::size_t slot);
+
+  /// SIGKILL + reap the slot's worker (simulated crash). No-op when
+  /// the slot is empty.
+  Status Kill(std::size_t slot);
+
+  /// Graceful stop (SIGTERM + drain up to `grace_millis`, then
+  /// SIGKILL) of the slot's worker — the path that writes a final
+  /// checkpoint. No-op when the slot is empty.
+  Status StopSlot(std::size_t slot, int64_t grace_millis);
+
+  std::size_t num_slots() const { return num_slots_; }
+
+ private:
+  WorkerSupervisor(int fd, int64_t agent_pid, std::size_t num_slots)
+      : fd_(fd), agent_pid_(agent_pid), num_slots_(num_slots) {}
+
+  /// Sends one command and reads its reply; converts protocol-level
+  /// failures (dead agent, short read) into kIOError.
+  Status RoundTrip(uint8_t op, std::size_t slot, int64_t arg,
+                   SpawnedWorker* out);
+
+  std::mutex mu_;
+  int fd_ = -1;
+  int64_t agent_pid_ = -1;
+  std::size_t num_slots_ = 0;
+};
+
+}  // namespace dhtjoin::cluster
+
+#endif  // DHTJOIN_CLUSTER_SUPERVISOR_H_

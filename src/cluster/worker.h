@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,6 +46,16 @@ struct WorkerOptions {
   uint16_t port = 0;
   /// Seeded fault schedule; ChaosOptions{} (seed 0) disables.
   ChaosOptions chaos;
+  /// Warm-state snapshot path; empty disables durability. When set,
+  /// Start() warm-loads the file (missing file or fingerprint mismatch
+  /// fall back to cold; corruption is logged and ignored — a worker
+  /// must never refuse to serve because its cache file rotted) and
+  /// Stop() writes a final checkpoint after the drain.
+  std::string checkpoint_path;
+  /// Periodic checkpoint interval; 0 checkpoints only on graceful
+  /// Stop. Each periodic write draws a CheckpointFault from `chaos`,
+  /// so a seeded schedule can SIGKILL the worker mid-write.
+  int64_t checkpoint_every_ms = 0;
 };
 
 /// A serving worker: accept loop + one thread per connection, each
@@ -77,9 +88,25 @@ class WorkerServer {
   int64_t queries_served() const {
     return queries_served_.load(std::memory_order_relaxed);
   }
+  /// Cache entries restored by the warm load in Start() (0 when cold
+  /// or durability is disabled).
+  int64_t restored_entries() const {
+    return restored_entries_.load(std::memory_order_relaxed);
+  }
+  /// Checkpoints written so far (periodic + final).
+  int64_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes one checkpoint now. `chaos_armed` draws a CheckpointFault
+  /// for this write's ordinal (the periodic thread passes true; the
+  /// final graceful checkpoint passes false — a clean SIGTERM exit
+  /// must not be chaos-killed or StopWorkerProcess would misreport).
+  Status CheckpointNow(bool chaos_armed);
 
  private:
   void AcceptLoop();
+  void CheckpointLoop();
   void ServeConnection(Socket conn);
   /// One request frame: dispatch by type. Returns false when the
   /// connection should close (EOF, kill fault, transport error).
@@ -104,8 +131,12 @@ class WorkerServer {
   std::atomic<int64_t> queries_served_{0};
   std::atomic<int64_t> in_flight_{0};
   std::atomic<uint64_t> chaos_ordinal_{0};
+  std::atomic<uint64_t> checkpoint_ordinal_{0};
+  std::atomic<int64_t> restored_entries_{0};
+  std::atomic<int64_t> checkpoints_written_{0};
 
   std::thread accept_thread_;
+  std::thread checkpoint_thread_;
   /// Serializes Stop/Abort/destructor against each other.
   std::mutex stop_mu_;
   std::mutex mu_;

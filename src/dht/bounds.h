@@ -65,7 +65,31 @@ class YBoundTable {
 
   int d() const { return d_; }
 
+  /// The persisted representation (serve/warm_state.cc): suffix rows
+  /// per target, [qi][l] = Y_l^+(P, q), length d+1, entry [d] = 0.
+  /// Only meaningful for complete() tables.
+  const std::vector<std::vector<double>>& suffix_rows() const {
+    return per_q_suffix_;
+  }
+
+  /// Reassembles a COMPLETE table from persisted suffix rows — the
+  /// exact doubles of the construction sweep, so a warm-restored bound
+  /// prunes bit-identically to the one it was saved from. Caller
+  /// guarantees each row has length d+1 (the snapshot decoder checks).
+  static YBoundTable FromSuffixRows(
+      int d, int64_t edges_relaxed,
+      std::vector<std::vector<double>> per_q_suffix) {
+    YBoundTable table;
+    table.d_ = d;
+    table.complete_ = true;
+    table.edges_relaxed_ = edges_relaxed;
+    table.per_q_suffix_ = std::move(per_q_suffix);
+    return table;
+  }
+
  private:
+  YBoundTable() : d_(0) {}
+
   int d_;
   bool complete_ = true;
   int64_t edges_relaxed_ = 0;

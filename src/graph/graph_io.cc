@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -61,9 +62,14 @@ Result<Graph> LoadEdgeList(const std::string& path) {
       // Optional header: "# dhtjoin-graph nodes=N ...".
       auto pos = line.find("nodes=");
       if (pos != std::string::npos) {
-        declared_nodes =
-            static_cast<NodeId>(std::strtol(line.c_str() + pos + 6,
-                                            nullptr, 10));
+        const char* digits = line.c_str() + pos + 6;
+        char* end = nullptr;
+        long long declared = std::strtoll(digits, &end, 10);
+        if (end == digits || declared < 0) {
+          return Status::IOError(
+              LineError(path, line_no, "malformed nodes= header"));
+        }
+        declared_nodes = static_cast<NodeId>(declared);
       }
       continue;
     }
@@ -73,7 +79,21 @@ Result<Graph> LoadEdgeList(const std::string& path) {
     if (!(ss >> u >> v)) {
       return Status::IOError(LineError(path, line_no, "expected '<u> <v>'"));
     }
-    ss >> w;  // optional weight
+    if (!(ss >> w)) {
+      // The third field is optional, but if present it must parse: a
+      // truncated or garbled weight is a malformed file, not weight 1.
+      if (!ss.eof()) {
+        return Status::IOError(
+            LineError(path, line_no, "malformed edge weight"));
+      }
+      w = 1.0;
+      ss.clear();
+    }
+    std::string extra;
+    if (ss >> extra) {
+      return Status::IOError(LineError(
+          path, line_no, "trailing garbage after edge: '" + extra + "'"));
+    }
     if (u < 0 || v < 0) {
       return Status::IOError(LineError(path, line_no, "negative node id"));
     }
@@ -134,6 +154,12 @@ Result<std::vector<NodeSet>> LoadNodeSets(const std::string& path) {
         return Status::IOError(LineError(path, line_no, "negative node id"));
       }
       nodes.push_back(static_cast<NodeId>(id));
+    }
+    if (!ss.eof()) {
+      // The loop stopped on a non-numeric token, not end of line:
+      // refusing beats silently dropping the tail of the set.
+      return Status::IOError(
+          LineError(path, line_no, "malformed node id in set '" + name + "'"));
     }
     sets.emplace_back(name, std::move(nodes));
   }

@@ -191,6 +191,18 @@ void ScoreCache::Clear() {
   }
 }
 
+std::vector<ScoreCache::ExportedEntry> ScoreCache::Export() {
+  std::vector<ExportedEntry> out;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.reserve(out.size() + shard->lru.size());
+    for (const Node& node : shard->lru) {
+      out.push_back(ExportedEntry{node.key, node.entry});
+    }
+  }
+  return out;
+}
+
 CacheStats ScoreCache::stats() const {
   CacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);

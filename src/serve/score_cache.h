@@ -224,6 +224,20 @@ class ScoreCache {
   void Erase(const CacheKey& key);
   void Clear();
 
+  /// One resident entry, as exported for persistence.
+  struct ExportedEntry {
+    CacheKey key;
+    std::shared_ptr<const CacheEntry> entry;
+  };
+
+  /// Point-in-time copy of every resident (key, entry) pair, in shard
+  /// order, most-recently-used first within a shard — so a size-capped
+  /// checkpoint keeps the hottest payloads. Shared_ptr copies keep the
+  /// payloads alive independent of later eviction; recency and the
+  /// hit/miss counters are untouched (this is an observer, not a
+  /// reader). Each shard is locked only while being copied.
+  std::vector<ExportedEntry> Export();
+
   CacheStats stats() const;
   std::size_t max_bytes() const { return options_.max_bytes; }
   int num_shards() const { return static_cast<int>(shards_.size()); }

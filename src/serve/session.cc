@@ -5,9 +5,11 @@
 #include <string>
 #include <utility>
 
+#include "cluster/wire.h"
 #include "dht/backward_batch.h"
 #include "dht/walker_state.h"
 #include "obs/trace.h"
+#include "serve/warm_state.h"
 
 namespace dhtjoin::serve {
 
@@ -280,6 +282,85 @@ obs::MetricsSnapshot DhtJoinService::SnapshotMetrics() {
   metrics_.GetGauge("serve.slow_queries.total")
       ->Set(static_cast<double>(slow_log_.total_recorded()));
   return metrics_.Snapshot();
+}
+
+Status DhtJoinService::SaveWarmState(const std::string& path,
+                                     const persist::CheckpointHook& hook) {
+  persist::SnapshotFile file;
+  file.graph_fp = graph_fp_;
+  file.params_fp = cluster::ParamsFingerprint(params_, d_);
+  std::vector<ScoreCache::ExportedEntry> entries = cache_.Export();
+  file.sections.reserve(entries.size());
+  for (const ScoreCache::ExportedEntry& e : entries) {
+    std::vector<uint8_t> payload = EncodeCacheRecord(e.key, *e.entry);
+    // Empty = not snapshotable (e.g. an abandoned Y-bound sweep).
+    if (payload.empty()) continue;
+    file.sections.push_back(persist::SnapshotSection{
+        SectionKindFor(e.key.kind), std::move(payload)});
+  }
+  const std::vector<uint8_t> bytes = persist::EncodeSnapshot(file);
+  const Status status = persist::WriteFileAtomic(path, bytes, hook);
+  if (!status.ok()) {
+    persist_metrics_.checkpoint_failures->Increment();
+    return status;
+  }
+  persist_metrics_.checkpoint_writes->Increment();
+  persist_metrics_.checkpoint_bytes->Add(static_cast<int64_t>(bytes.size()));
+  return Status::OK();
+}
+
+Result<int64_t> DhtJoinService::LoadWarmState(const std::string& path) {
+  Result<std::vector<uint8_t>> bytes = persist::ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();  // kNotFound = ordinary cold start
+  Result<persist::SnapshotFile> decoded = persist::DecodeSnapshot(*bytes);
+  if (!decoded.ok()) {
+    persist_metrics_.restore_rejects->Increment();
+    return decoded.status();
+  }
+  if (decoded->graph_fp != graph_fp_ ||
+      decoded->params_fp != cluster::ParamsFingerprint(params_, d_)) {
+    // Someone else's snapshot (different graph, layout epoch, or
+    // measure): silently cold — restoring it could only break the
+    // byte-identity invariant the cache keying protects.
+    persist_metrics_.restore_rejects->Increment();
+    return int64_t{0};
+  }
+  int64_t restored = 0;
+  for (const persist::SnapshotSection& section : decoded->sections) {
+    Result<DecodedCacheRecord> record =
+        DecodeCacheRecord(section.kind, section.payload, graph_fp_, params_);
+    if (!record.ok()) {
+      // Section checksums passed but the record is structurally bad:
+      // an encoder/decoder version skew. Fail closed.
+      persist_metrics_.restore_rejects->Increment();
+      return record.status();
+    }
+    const CachePayload kind = record->key.kind;
+    const CacheEntry* incoming = record->entry.get();
+    // Same arbitration as live write-backs: deepest-wins for
+    // level-carrying walk states, resident-wins for whole tables (a
+    // live entry is never staler than a checkpointed one).
+    cache_.PutIf(record->key, record->entry,
+                 [kind, incoming](const CacheEntry& existing) {
+                   switch (kind) {
+                     case CachePayload::kBackwardSnapshot:
+                       return static_cast<const CachedBackwardSnapshot&>(
+                                  existing).state.level >=
+                              static_cast<const CachedBackwardSnapshot*>(
+                                  incoming)->state.level;
+                     case CachePayload::kBatchState:
+                       return static_cast<const CachedBatchState&>(existing)
+                                  .snap.level >=
+                              static_cast<const CachedBatchState*>(incoming)
+                                  ->snap.level;
+                     default:
+                       return true;
+                   }
+                 });
+    ++restored;
+  }
+  persist_metrics_.restore_hits->Add(restored);
+  return restored;
 }
 
 /// The cache-aware B-IDJ (see the file comment of session.h and

@@ -36,6 +36,8 @@
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/slow_query.h"
+#include "persist/metrics.h"
+#include "persist/snapshot.h"
 #include "serve/admission.h"
 #include "serve/score_cache.h"
 #include "util/deadline.h"
@@ -219,6 +221,27 @@ class DhtJoinService {
   /// slow_query_nanos) with their full span trees.
   const obs::SlowQueryLog& slow_queries() const { return slow_log_; }
 
+  // ------------------------------------------------------ durability
+  /// Checkpoints the warm state (every resident ScoreCache payload) to
+  /// `path`, crash-safely (persist/snapshot.h: temp file + fsync +
+  /// atomic rename — a kill at any byte offset leaves the previous
+  /// snapshot or the new one, never a corrupt file). `hook` observes
+  /// the writer's phases; the chaos harness uses it to kill
+  /// mid-checkpoint at a seeded phase. Thread-safe; may run while
+  /// queries are in flight (the export is a point-in-time copy).
+  Status SaveWarmState(const std::string& path,
+                       const persist::CheckpointHook& hook = nullptr);
+
+  /// Restores a checkpoint written by SaveWarmState. Returns the
+  /// number of records restored. Fingerprint mismatch (different
+  /// graph, layout epoch, or measure) is a SILENT cold start: OK with
+  /// 0 restored and persist.restore.rejects ticked — byte-identity
+  /// must never depend on whose snapshot is lying around. A missing
+  /// file is kNotFound (the ordinary cold start); a corrupt file is a
+  /// typed error and restores nothing. Restored answers are
+  /// byte-identical to cold execution (tests/persist_test.cc).
+  Result<int64_t> LoadWarmState(const std::string& path);
+
  private:
   class SnapshotAdapter;  // BackwardSnapshotProvider over the cache
   class TableAdapter;     // EdgeScoreTableProvider over the cache
@@ -261,6 +284,7 @@ class DhtJoinService {
   const obs::Clock* clock_;  // injected or SystemClock; never null
   obs::MetricsRegistry metrics_;
   obs::SlowQueryLog slow_log_;
+  persist::PersistMetrics persist_metrics_{metrics_};
   // Hot-path handles resolved once at construction (registry lookups
   // take a mutex; these do not).
   obs::Counter* m_queries_twoway_;

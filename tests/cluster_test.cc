@@ -11,12 +11,14 @@
 /// in-process (threads, not forks) so the whole matrix is
 /// TSan-checkable; bench_cluster covers the real fork/SIGKILL axis.
 
+#include <dirent.h>
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,13 +26,27 @@
 #include "cluster/chaos.h"
 #include "cluster/coordinator.h"
 #include "cluster/frame.h"
+#include "cluster/supervisor.h"
 #include "cluster/transport.h"
 #include "cluster/wire.h"
 #include "cluster/worker.h"
+#include "obs/clock.h"
 #include "serve/session.h"
 #include "serve/workload.h"
 #include "testing/reference.h"
 #include "util/backoff.h"
+
+// Fork-based tests (SpawnWorkerProcess, WorkerSupervisor) are skipped
+// under TSan: fork() in an instrumented multi-threaded test binary
+// trips the runtime's own locks, and the respawn machinery is already
+// covered by the uninstrumented jobs.
+#if defined(__SANITIZE_THREAD__)
+#define DHTJOIN_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DHTJOIN_TSAN_BUILD 1
+#endif
+#endif
 
 namespace dhtjoin {
 namespace {
@@ -659,6 +675,265 @@ TEST(WorkerServerTest, StopIsIdempotentAndDrains) {
   EXPECT_FALSE(server.running());
   server.Stop();  // idempotent
   server.Abort();
+}
+
+// --------------------------------------------- process supervision
+
+/// Open descriptors of this process, via /proc/self/fd. The DIR's own
+/// fd is included in every call, so before/after comparisons cancel.
+int CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int n = 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+TEST(WorkerProcessTest, FailedAndCleanSpawnsLeakNoFileDescriptors) {
+#ifdef DHTJOIN_TSAN_BUILD
+  GTEST_SKIP() << "fork-based; covered by the uninstrumented jobs";
+#endif
+  Graph g = RandomGraph(30, 90, 3);
+  DhtParams params = DhtParams::Lambda(0.2);
+  // Occupy a port so every spawned child fails its bind and reports
+  // failure back through the status pipe.
+  Result<cluster::Listener> occupied = cluster::Listener::BindLoopback(0);
+  ASSERT_TRUE(occupied.ok());
+
+  WorkerOptions wo;
+  wo.service.num_threads = 1;
+  wo.port = occupied->port();
+  const int before = CountOpenFds();
+  ASSERT_GT(before, 0);
+  for (int i = 0; i < 8; ++i) {
+    Result<cluster::SpawnedWorker> r =
+        cluster::SpawnWorkerProcess(g, params, 3, wo);
+    EXPECT_FALSE(r.ok()) << "bind to an occupied port succeeded";
+  }
+  EXPECT_EQ(CountOpenFds(), before) << "failed spawns leaked descriptors";
+
+  // The success path must be just as clean once the worker is stopped.
+  wo.port = 0;
+  Result<cluster::SpawnedWorker> w =
+      cluster::SpawnWorkerProcess(g, params, 3, wo);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_TRUE(cluster::StopWorkerProcess(*w, 2000).ok());
+  EXPECT_EQ(CountOpenFds(), before) << "spawn/stop cycle leaked descriptors";
+}
+
+/// Respawn tests share this setup: the supervisor MUST fork its agent
+/// while the test process has no live service threads, so everything
+/// threaded (reference service, coordinator) is built afterwards —
+/// the same ordering the CLI uses.
+struct RespawnRig {
+  Graph g = RandomGraph(60, 200, 7);
+  DhtParams params = DhtParams::Lambda(0.2);
+  NodeSet P = Range("P", 0, 20);
+  NodeSet Q = Range("Q", 25, 55);
+  static constexpr int kD = 6;
+  static constexpr std::size_t kK = 15;
+
+  CoordinatorOptions Options(cluster::WorkerSupervisor* sup,
+                             const obs::Clock* clock) const {
+    CoordinatorOptions o;
+    o.hedge.enabled = false;
+    o.retry.backoff.initial_micros = 200;
+    o.retry.backoff.max_micros = 2000;
+    o.local_service.num_threads = 2;
+    o.clock = clock;
+    o.supervisor = sup;
+    o.respawn.enabled = true;
+    o.respawn.backoff.initial_micros = 100000;  // 100ms, 200ms, 400ms...
+    o.respawn.backoff.max_micros = 10000000;
+    o.respawn.backoff.multiplier = 2.0;
+    o.respawn.backoff.jitter = 0.0;  // exact schedule, pinned below
+    return o;
+  }
+};
+
+TEST(RespawnTest, BackoffScheduleAndLifetimeCapAreHonored) {
+#ifdef DHTJOIN_TSAN_BUILD
+  GTEST_SKIP() << "fork-based; covered by the uninstrumented jobs";
+#endif
+  RespawnRig rig;
+  cluster::WorkerSlot slot;
+  slot.options.service.num_threads = 2;
+  auto sup = cluster::WorkerSupervisor::Start(rig.g, rig.params, rig.kD,
+                                              {slot});
+  ASSERT_TRUE(sup.ok()) << sup.status().ToString();
+  Result<cluster::SpawnedWorker> w = (*sup)->Spawn(0);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+
+  obs::FakeClock clock;
+  CoordinatorOptions copts = rig.Options(sup->get(), &clock);
+  copts.respawn.max_respawns = 2;
+  ClusterCoordinator coord(rig.g, rig.params, rig.kD,
+                           {WorkerEndpoint{w->port}}, copts);
+  ASSERT_TRUE(coord.PingAll().ok());
+  const std::vector<ScoredPair> want = [&] {
+    Result<std::vector<ScoredPair>> r =
+        coord.local_service().TwoWay(rig.P, rig.Q, rig.kK);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }();
+
+  auto kill_and_observe = [&] {
+    ASSERT_TRUE((*sup)->Kill(0).ok());
+    (void)coord.PingAll();
+    (void)coord.PingAll();  // miss_threshold = 2
+    ASSERT_FALSE(coord.WorkerHealthy(0));
+  };
+
+  // Death #1: the first pass schedules, the relaunch happens only
+  // once the FULL first backoff delay elapsed on the injected clock.
+  kill_and_observe();
+  EXPECT_EQ(coord.TryRespawns(), 0);  // schedules, does not spawn
+  clock.AdvanceMillis(99);
+  EXPECT_EQ(coord.TryRespawns(), 0);
+  EXPECT_EQ(coord.WorkerRespawns(0), 0);
+  clock.AdvanceMillis(2);
+  EXPECT_EQ(coord.TryRespawns(), 1);
+  EXPECT_EQ(coord.WorkerRespawns(0), 1);
+  EXPECT_TRUE(coord.WorkerHealthy(0));
+  {
+    ClusterQueryStats stats;
+    Result<std::vector<ScoredPair>> r = coord.TwoWay(rig.P, rig.Q, rig.kK,
+                                                     &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectBytesIdentical(*r, want);
+    EXPECT_EQ(stats.worker_index, 0);  // the RESPAWNED worker answered
+    EXPECT_FALSE(stats.local_fallback);
+  }
+
+  // Death #2: the backoff never resets, so the delay doubles.
+  kill_and_observe();
+  EXPECT_EQ(coord.TryRespawns(), 0);
+  clock.AdvanceMillis(199);
+  EXPECT_EQ(coord.TryRespawns(), 0);
+  clock.AdvanceMillis(2);
+  EXPECT_EQ(coord.TryRespawns(), 1);
+  EXPECT_EQ(coord.WorkerRespawns(0), 2);
+
+  // Death #3: at max_respawns the slot is abandoned for good, and
+  // queries degrade to byte-identical local execution.
+  kill_and_observe();
+  clock.AdvanceMillis(100000);
+  EXPECT_EQ(coord.TryRespawns(), 0);
+  EXPECT_EQ(coord.WorkerRespawns(0), 2);
+  EXPECT_FALSE(coord.WorkerHealthy(0));
+  ClusterQueryStats stats;
+  Result<std::vector<ScoredPair>> r = coord.TwoWay(rig.P, rig.Q, rig.kK,
+                                                   &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectBytesIdentical(*r, want);
+  EXPECT_TRUE(stats.local_fallback);
+}
+
+TEST(RespawnTest, RespawnedWorkerRejoinsWarmAndByteIdentical) {
+#ifdef DHTJOIN_TSAN_BUILD
+  GTEST_SKIP() << "fork-based; covered by the uninstrumented jobs";
+#endif
+  RespawnRig rig;
+  const std::string snap = ::testing::TempDir() + "respawn_warm.snap";
+  std::remove(snap.c_str());
+  cluster::WorkerSlot slot;
+  slot.options.service.num_threads = 2;
+  slot.options.checkpoint_path = snap;
+  auto sup = cluster::WorkerSupervisor::Start(rig.g, rig.params, rig.kD,
+                                              {slot});
+  ASSERT_TRUE(sup.ok()) << sup.status().ToString();
+  Result<cluster::SpawnedWorker> w = (*sup)->Spawn(0);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+
+  obs::FakeClock clock;
+  ClusterCoordinator coord(rig.g, rig.params, rig.kD,
+                           {WorkerEndpoint{w->port}},
+                           rig.Options(sup->get(), &clock));
+  ASSERT_TRUE(coord.PingAll().ok());
+
+  // Warm the worker's score cache, then stop it gracefully: the
+  // SIGTERM path writes the final checkpoint.
+  std::vector<ScoredPair> want;
+  {
+    ClusterQueryStats stats;
+    Result<std::vector<ScoredPair>> r = coord.TwoWay(rig.P, rig.Q, rig.kK,
+                                                     &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(stats.worker_index, 0);
+    want = *r;
+  }
+  ASSERT_TRUE((*sup)->StopSlot(0, 5000).ok());
+
+  // The coordinator sees an ordinary death and respawns the slot; the
+  // relaunched worker must warm-load the checkpoint.
+  (void)coord.PingAll();
+  (void)coord.PingAll();
+  ASSERT_FALSE(coord.WorkerHealthy(0));
+  EXPECT_EQ(coord.TryRespawns(), 0);
+  clock.AdvanceMillis(101);
+  ASSERT_EQ(coord.TryRespawns(), 1);
+  ASSERT_TRUE(coord.WorkerHealthy(0));
+
+  ClusterQueryStats stats;
+  Result<std::vector<ScoredPair>> r = coord.TwoWay(rig.P, rig.Q, rig.kK,
+                                                   &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectBytesIdentical(*r, want);
+  EXPECT_EQ(stats.worker_index, 0);
+  // The restored cache must serve this query WARM — the observable
+  // difference between a warm rejoin and a silent cold restart.
+  EXPECT_GT(stats.warm_targets, 0);
+  EXPECT_EQ(stats.cold_targets, 0);
+  std::remove(snap.c_str());
+}
+
+TEST(RespawnTest, FingerprintMismatchedWorkerIsQuarantinedNotRespawned) {
+#ifdef DHTJOIN_TSAN_BUILD
+  GTEST_SKIP() << "fork-based; covered by the uninstrumented jobs";
+#endif
+  RespawnRig rig;
+  // The slot is mis-deployed: it serves a DIFFERENT graph, so every
+  // spawn comes back fingerprint-mismatched. Respawning cannot fix a
+  // deployment bug — the slot must be quarantined, not crash-looped.
+  Graph wrong = RandomGraph(60, 200, 8);
+  cluster::WorkerSlot slot;
+  slot.graph = &wrong;
+  slot.options.service.num_threads = 2;
+  auto sup = cluster::WorkerSupervisor::Start(rig.g, rig.params, rig.kD,
+                                              {slot});
+  ASSERT_TRUE(sup.ok()) << sup.status().ToString();
+  Result<cluster::SpawnedWorker> w = (*sup)->Spawn(0);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+
+  obs::FakeClock clock;
+  ClusterCoordinator coord(rig.g, rig.params, rig.kD,
+                           {WorkerEndpoint{w->port}},
+                           rig.Options(sup->get(), &clock));
+  Status ping = coord.PingAll();
+  EXPECT_EQ(ping.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(coord.WorkerQuarantined(0));
+  EXPECT_FALSE(coord.WorkerHealthy(0));
+
+  // No amount of elapsed time respawns a quarantined slot.
+  for (int round = 0; round < 4; ++round) {
+    clock.AdvanceMillis(100000);
+    EXPECT_EQ(coord.TryRespawns(), 0);
+  }
+  EXPECT_EQ(coord.WorkerRespawns(0), 0);
+  EXPECT_TRUE(coord.WorkerQuarantined(0));
+
+  // Queries never touch the impostor; local execution stays correct.
+  ClusterQueryStats stats;
+  Result<std::vector<ScoredPair>> r = coord.TwoWay(rig.P, rig.Q, rig.kK,
+                                                   &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(stats.local_fallback);
+  Result<std::vector<ScoredPair>> want =
+      coord.local_service().TwoWay(rig.P, rig.Q, rig.kK);
+  ASSERT_TRUE(want.ok());
+  ExpectBytesIdentical(*r, *want);
+  ASSERT_TRUE((*sup)->Kill(0).ok());
 }
 
 TEST(TransportTest, ConnectToDeadPortFailsTyped) {

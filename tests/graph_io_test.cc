@@ -160,6 +160,77 @@ TEST_F(GraphIoTest, SelfLoopInFileRejected) {
   std::remove(path.c_str());
 }
 
+// Negative coverage at every field boundary: a file truncated or
+// garbled mid-token must be a typed kIOError naming the line — never
+// a silently different graph (DESIGN.md §13 treats loader laxity as a
+// durability bug).
+
+TEST_F(GraphIoTest, EdgeLineTruncatedAfterSourceRejected) {
+  std::string path = TempPath("trunc_src.txt");
+  WriteFile(path, "0 1 1\n3\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+  EXPECT_NE(g.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, MalformedHeaderNodeCountRejected) {
+  for (const char* header :
+       {"# dhtjoin-graph nodes=abc edges=1 directed=1\n",
+        "# dhtjoin-graph nodes=-5 edges=1 directed=1\n",
+        "# dhtjoin-graph nodes= edges=1 directed=1\n"}) {
+    SCOPED_TRACE(header);
+    std::string path = TempPath("badhdr.txt");
+    WriteFile(path, std::string(header) + "0 1 1\n");
+    auto g = LoadEdgeList(path);
+    ASSERT_FALSE(g.ok());
+    EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+    EXPECT_NE(g.status().message().find("malformed nodes="),
+              std::string::npos);
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(GraphIoTest, GarbledWeightTokenIsAnErrorNotWeightOne) {
+  // Pre-hardening, ">> w" failing silently defaulted the weight to 1
+  // — a truncated file loaded as a DIFFERENT graph. Now it is typed.
+  std::string path = TempPath("garbledw.txt");
+  WriteFile(path, "0 1 x\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("malformed edge weight"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, TrailingGarbageAfterEdgeRejected) {
+  for (const char* line : {"0 1 1.0 extra\n", "0 1 1.5x\n", "0 1 2 3\n"}) {
+    SCOPED_TRACE(line);
+    std::string path = TempPath("trailing.txt");
+    WriteFile(path, line);
+    auto g = LoadEdgeList(path);
+    ASSERT_FALSE(g.ok());
+    EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(GraphIoTest, NodeSetGarbledIdMidLineRejected) {
+  // "2x" parses its numeric prefix then leaves garbage; a lax loader
+  // would keep the prefix and drop the rest of the line.
+  for (const char* line : {"alpha 1 2x 3\n", "alpha 1 foo\n"}) {
+    SCOPED_TRACE(line);
+    std::string path = TempPath("garbledset.txt");
+    WriteFile(path, line);
+    auto sets = LoadNodeSets(path);
+    ASSERT_FALSE(sets.ok());
+    EXPECT_EQ(sets.status().code(), StatusCode::kIOError);
+    EXPECT_NE(sets.status().message().find("alpha"), std::string::npos);
+    std::remove(path.c_str());
+  }
+}
+
 TEST_F(GraphIoTest, SaveToUnwritablePathFails) {
   Graph g = testing::PathGraph(2);
   EXPECT_EQ(SaveEdgeList(g, "/nonexistent/dir/file.txt").code(),

@@ -17,6 +17,7 @@
 
 #include "cluster/metrics.h"
 #include "obs/clock.h"
+#include "persist/metrics.h"
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -299,6 +300,7 @@ TEST(ClusterMetricsTest, EveryCounterIsRegisteredEagerlyAtZero) {
       "cluster.failover.local",      "cluster.heartbeat.probes",
       "cluster.heartbeat.misses",    "cluster.frame.checksum_rejects",
       "cluster.backoff.sleeps",      "cluster.backoff.micros",
+      "cluster.worker.respawns",
   };
   for (const char* name : names) {
     const obs::CounterSnapshot* c = snap.FindCounter(name);
@@ -339,6 +341,56 @@ TEST(ClusterMetricsTest, ValuesExportExactlyInJsonAndPrometheus) {
       << prom;
   EXPECT_NE(prom.find("dhtjoin_cluster_hedge_fired 1\n"), std::string::npos);
   EXPECT_NE(prom.find("dhtjoin_cluster_rpc_latency_ns_count 1\n"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ persist tier
+
+TEST(PersistMetricsTest, EveryCounterIsRegisteredEagerlyAtZero) {
+  obs::MetricsRegistry registry;
+  dhtjoin::persist::PersistMetrics metrics(registry);
+  (void)metrics;
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  const char* names[] = {
+      "persist.checkpoint.writes", "persist.checkpoint.failures",
+      "persist.checkpoint.bytes",  "persist.restore.hits",
+      "persist.restore.rejects",
+  };
+  for (const char* name : names) {
+    const obs::CounterSnapshot* c = snap.FindCounter(name);
+    ASSERT_NE(c, nullptr) << name;
+    EXPECT_EQ(c->value, 0) << name;
+  }
+}
+
+TEST(PersistMetricsTest, ValuesExportExactlyInJsonAndPrometheus) {
+  obs::MetricsRegistry registry;
+  dhtjoin::persist::PersistMetrics metrics(registry);
+  metrics.checkpoint_writes->Add(3);
+  metrics.checkpoint_bytes->Add(65536);
+  metrics.restore_hits->Add(41);
+  metrics.restore_rejects->Increment();
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.FindCounter("persist.checkpoint.writes")->value, 3);
+  EXPECT_EQ(snap.FindCounter("persist.checkpoint.bytes")->value, 65536);
+  EXPECT_EQ(snap.FindCounter("persist.restore.hits")->value, 41);
+  EXPECT_EQ(snap.FindCounter("persist.restore.rejects")->value, 1);
+  EXPECT_EQ(snap.FindCounter("persist.checkpoint.failures")->value, 0);
+
+  const std::string json = obs::ToJson(snap);
+  EXPECT_NE(json.find("\"persist.checkpoint.writes\": 3"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"persist.checkpoint.bytes\": 65536"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"persist.restore.hits\": 41"), std::string::npos);
+
+  const std::string prom = obs::ToPrometheusText(snap);
+  EXPECT_NE(prom.find("# TYPE dhtjoin_persist_checkpoint_writes counter\n"
+                      "dhtjoin_persist_checkpoint_writes 3\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("dhtjoin_persist_restore_rejects 1\n"),
             std::string::npos);
 }
 

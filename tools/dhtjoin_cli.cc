@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cluster/coordinator.h"
+#include "cluster/supervisor.h"
 #include "cluster/worker.h"
 #include "core/dhtjoin.h"
 #include "datasets/dblp_like.h"
@@ -94,12 +95,14 @@ constexpr char kUsage[] =
     "           [--slow-ms MS] [--trace-out T.json]\n"
     "           [--metrics-out M.json] [--metrics-prom M.prom]\n"
     "           [--metrics-every N] [--clients N] [--retry-attempts N]\n"
-    "           [--workers N]\n"
+    "           [--workers N] [--checkpoint-dir DIR]\n"
+    "           [--checkpoint-every-ms MS] [--respawn-max N]\n"
     "  worker   --graph G.txt --sets S.txt [--port P] [--measure ...]\n"
     "           [--epsilon 1e-6] [--max-in-flight N] [--max-cost C]\n"
+    "           [--checkpoint-dir DIR] [--checkpoint-every-ms MS]\n"
     "           [--chaos-seed S] [--chaos-kill P] [--chaos-delay P]\n"
     "           [--chaos-delay-us US] [--chaos-corrupt P]\n"
-    "           [--chaos-truncate P]\n";
+    "           [--chaos-truncate P] [--chaos-checkpoint-kill P]\n";
 
 Status Fail(const std::string& msg) { return Status::InvalidArgument(msg); }
 
@@ -345,6 +348,12 @@ struct ServeRuntimeFlags {
   std::string metrics_out;
   std::string metrics_prom;
   std::string trace_out;
+  /// Durability & recovery (DESIGN.md §13): directory for per-worker
+  /// warm-state snapshots, the periodic checkpoint interval, and the
+  /// per-worker respawn cap (0 = no supervised respawn).
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_ms = 0;
+  int64_t respawn_max = 0;
 };
 
 /// Cluster serve mode (`--workers N`): forks N loopback worker
@@ -358,27 +367,62 @@ Status RunServeCluster(const LoadedInputs& in,
                        int num_workers, const ServeRuntimeFlags& flags) {
   // Fork FIRST: fork() clones only the calling thread, and the
   // coordinator's local service spins up its pool at construction.
-  // Workers inherit the graph copy-on-write.
+  // Workers inherit the graph copy-on-write. With --respawn-max the
+  // forking goes through a WorkerSupervisor agent (also forked here,
+  // while we are still single-threaded) so dead workers can be
+  // relaunched later, when this process is long multi-threaded.
+  auto worker_options_for = [&](int i) {
+    cluster::WorkerOptions wo;
+    wo.service = sopts;
+    if (!flags.checkpoint_dir.empty()) {
+      wo.checkpoint_path =
+          flags.checkpoint_dir + "/worker_" + std::to_string(i) + ".snap";
+      wo.checkpoint_every_ms = flags.checkpoint_every_ms;
+    }
+    return wo;
+  };
+  std::unique_ptr<cluster::WorkerSupervisor> supervisor;
   std::vector<cluster::SpawnedWorker> spawned;
   std::vector<cluster::WorkerEndpoint> endpoints;
-  cluster::WorkerOptions wo;
-  wo.service = sopts;
-  for (int i = 0; i < num_workers; ++i) {
-    Result<cluster::SpawnedWorker> w =
-        cluster::SpawnWorkerProcess(in.graph, in.measure, in.d, wo);
-    if (!w.ok()) {
-      for (const cluster::SpawnedWorker& s : spawned) {
-        cluster::KillWorkerProcess(s);
-      }
-      return w.status();
+  if (flags.respawn_max > 0) {
+    std::vector<cluster::WorkerSlot> slots(
+        static_cast<std::size_t>(num_workers));
+    for (int i = 0; i < num_workers; ++i) {
+      slots[static_cast<std::size_t>(i)].options = worker_options_for(i);
     }
-    spawned.push_back(*w);
-    endpoints.push_back(cluster::WorkerEndpoint{w->port});
+    DHTJOIN_ASSIGN_OR_RETURN(
+        supervisor, cluster::WorkerSupervisor::Start(in.graph, in.measure,
+                                                     in.d, std::move(slots)));
+    for (int i = 0; i < num_workers; ++i) {
+      Result<cluster::SpawnedWorker> w =
+          supervisor->Spawn(static_cast<std::size_t>(i));
+      if (!w.ok()) return w.status();  // supervisor dtor reaps the rest
+      spawned.push_back(*w);
+      endpoints.push_back(cluster::WorkerEndpoint{w->port});
+    }
+  } else {
+    for (int i = 0; i < num_workers; ++i) {
+      Result<cluster::SpawnedWorker> w = cluster::SpawnWorkerProcess(
+          in.graph, in.measure, in.d, worker_options_for(i));
+      if (!w.ok()) {
+        for (const cluster::SpawnedWorker& s : spawned) {
+          cluster::KillWorkerProcess(s);
+        }
+        return w.status();
+      }
+      spawned.push_back(*w);
+      endpoints.push_back(cluster::WorkerEndpoint{w->port});
+    }
   }
 
   cluster::CoordinatorOptions copts;
   copts.retry.max_attempts = flags.retry_attempts;
   copts.local_service = sopts;
+  if (supervisor != nullptr) {
+    copts.supervisor = supervisor.get();
+    copts.respawn.enabled = true;
+    copts.respawn.max_respawns = flags.respawn_max;
+  }
   cluster::ClusterCoordinator coord(in.graph, in.measure, in.d,
                                     std::move(endpoints), copts);
   coord.StartHeartbeats();
@@ -498,11 +542,17 @@ Status RunServeCluster(const LoadedInputs& in,
   std::printf("# cluster %s\n", cj.ToString().c_str());
 
   Status worker_status = Status::OK();
-  for (const cluster::SpawnedWorker& s : spawned) {
-    Status st = cluster::StopWorkerProcess(s, 2000);
+  for (std::size_t i = 0; i < spawned.size(); ++i) {
+    // Workers forked via the supervisor are the AGENT's children;
+    // their graceful stop must go through it (we cannot reap
+    // grandchildren).
+    Status st = supervisor != nullptr
+                    ? supervisor->StopSlot(i, 2000)
+                    : cluster::StopWorkerProcess(spawned[i], 2000);
     if (!st.ok()) {
       std::printf("# worker pid %lld stop: %s\n",
-                  static_cast<long long>(s.pid), st.ToString().c_str());
+                  static_cast<long long>(spawned[i].pid),
+                  st.ToString().c_str());
       if (worker_status.ok()) worker_status = st;
     }
   }
@@ -637,6 +687,21 @@ Status RunServe(const ParsedArgs& args) {
         int64_t attempts, ParsePositiveInt(args.Get("retry-attempts", ""),
                                            "retry-attempts"));
     flags.retry_attempts = static_cast<int>(attempts);
+  }
+  flags.checkpoint_dir = args.Get("checkpoint-dir", "");
+  if (args.Has("checkpoint-every-ms")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        flags.checkpoint_every_ms,
+        ParsePositiveInt(args.Get("checkpoint-every-ms", ""),
+                         "checkpoint-every-ms"));
+    if (flags.checkpoint_dir.empty()) {
+      return Fail("--checkpoint-every-ms needs --checkpoint-dir");
+    }
+  }
+  if (args.Has("respawn-max")) {
+    DHTJOIN_ASSIGN_OR_RETURN(
+        flags.respawn_max,
+        ParsePositiveInt(args.Get("respawn-max", ""), "respawn-max"));
   }
   if (args.Has("workers")) {
     DHTJOIN_ASSIGN_OR_RETURN(
@@ -810,6 +875,17 @@ Status RunWorker(const ParsedArgs& args) {
                                               "max-cost"));
     wopts.service.admission.max_estimated_cost = ceiling;
   }
+  if (args.Has("checkpoint-dir")) {
+    wopts.checkpoint_path = args.Get("checkpoint-dir", "") + "/worker.snap";
+    if (args.Has("checkpoint-every-ms")) {
+      DHTJOIN_ASSIGN_OR_RETURN(
+          wopts.checkpoint_every_ms,
+          ParsePositiveInt(args.Get("checkpoint-every-ms", ""),
+                           "checkpoint-every-ms"));
+    }
+  } else if (args.Has("checkpoint-every-ms")) {
+    return Fail("--checkpoint-every-ms needs --checkpoint-dir");
+  }
   if (args.Has("chaos-seed")) {
     DHTJOIN_ASSIGN_OR_RETURN(
         int64_t seed, ParsePositiveInt(args.Get("chaos-seed", ""),
@@ -822,6 +898,7 @@ Status RunWorker(const ParsedArgs& args) {
     wopts.chaos.p_delay_reply = prob("chaos-delay");
     wopts.chaos.p_corrupt_reply = prob("chaos-corrupt");
     wopts.chaos.p_truncate_reply = prob("chaos-truncate");
+    wopts.chaos.p_kill_at_checkpoint = prob("chaos-checkpoint-kill");
     if (args.Has("chaos-delay-us")) {
       DHTJOIN_ASSIGN_OR_RETURN(
           wopts.chaos.delay_micros,
@@ -832,6 +909,11 @@ Status RunWorker(const ParsedArgs& args) {
   InstallStopHandlers();
   cluster::WorkerServer server(in.graph, in.measure, in.d, wopts);
   DHTJOIN_RETURN_NOT_OK(server.Start());
+  if (!wopts.checkpoint_path.empty()) {
+    std::printf("# worker warm state: %lld entries restored from %s\n",
+                static_cast<long long>(server.restored_entries()),
+                wopts.checkpoint_path.c_str());
+  }
   std::printf("# worker listening on 127.0.0.1:%u (graph fp %016llx, "
               "d=%d)\n",
               server.port(),
